@@ -1,0 +1,132 @@
+//! Lemma 8 / Theorem 5: escape probability and collapse time.
+//!
+//! The proof of Lemma 8 bounds the probability that the defect random walk,
+//! started in the buffer zone `X`, crosses the width-`b` band `Y` and
+//! reaches the collapse region `Z` before falling back:
+//!
+//! ```text
+//! P(escape) ≤ ( sqrt((1 − δ₂/d)/(1 + δ₂/d)) )^{k·b/d²}
+//!             ───────────────────────────────────────
+//!                    1 − sqrt(1 − δ₂²/d²)
+//! ```
+//!
+//! which is `ξ₁·e^{−ξ₂·k/d³}` for constants `ξ₁, ξ₂` — so the expected
+//! number of arrivals before collapse is at least `(1/ξ₁)·e^{ξ₂·k/d³}`
+//! (Theorem 5). Experiment E04 checks the *shape*: measured collapse times
+//! grow exponentially in `k/d³`.
+
+/// Parameters of the Lemma 8 bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollapseParams {
+    /// Server threads `k`.
+    pub k: usize,
+    /// Degree `d`.
+    pub d: usize,
+    /// The drift constant `δ₂` (drift in `Y` is at least `δ₂·d/k·A` per
+    /// step, in defect units).
+    pub delta2: f64,
+    /// Width `b` of the band `Y` the walk must cross (defect fraction
+    /// units, `b₂ − b₁ − d²/k` in the paper's notation).
+    pub band_width: f64,
+}
+
+impl CollapseParams {
+    /// Creates parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `d ≥ 2`, `0 < delta2 < d` and `0 < band_width ≤ 1`.
+    #[must_use]
+    pub fn new(k: usize, d: usize, delta2: f64, band_width: f64) -> Self {
+        assert!(d >= 2, "theory requires d >= 2");
+        assert!(delta2 > 0.0 && delta2 < d as f64, "need 0 < delta2 < d");
+        assert!(band_width > 0.0 && band_width <= 1.0, "band width in (0, 1]");
+        CollapseParams { k, d, delta2, band_width }
+    }
+
+    /// The explicit Lemma 8 escape-probability bound.
+    #[must_use]
+    pub fn escape_probability(&self) -> f64 {
+        let d = self.d as f64;
+        let ratio = ((1.0 - self.delta2 / d) / (1.0 + self.delta2 / d)).sqrt();
+        let exponent = self.k as f64 * self.band_width / (d * d);
+        let numerator = ratio.powf(exponent);
+        let denominator = 1.0 - (1.0 - (self.delta2 / d).powi(2)).sqrt();
+        (numerator / denominator).min(1.0)
+    }
+
+    /// Theorem 5: expected megasteps before collapse ≥ 1 / escape
+    /// probability.
+    #[must_use]
+    pub fn collapse_time_lower_bound(&self) -> f64 {
+        1.0 / self.escape_probability()
+    }
+
+    /// The exponent `ξ₂·k/d³` in the asymptotic form, extracted so
+    /// experiments can verify linearity of `log(collapse time)` in `k/d³`.
+    ///
+    /// `sqrt((1−x)/(1+x)) = e^{−x−x³/3−…}`, so the exponent is
+    /// `(k·b/d²)·(δ₂/d + O(δ₂³/d³)) ≈ b·δ₂·k/d³`.
+    #[must_use]
+    pub fn asymptotic_exponent(&self) -> f64 {
+        let d = self.d as f64;
+        let ratio = ((1.0 - self.delta2 / d) / (1.0 + self.delta2 / d)).sqrt();
+        -(self.k as f64 * self.band_width / (d * d)) * ratio.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_probability_decreases_with_k() {
+        // The bound saturates at 1 for small k (Lemma 8 is an asymptotic
+        // statement); compare in the regime where it bites.
+        let p256 = CollapseParams::new(256, 2, 0.5, 0.3).escape_probability();
+        let p512 = CollapseParams::new(512, 2, 0.5, 0.3).escape_probability();
+        let p1024 = CollapseParams::new(1024, 2, 0.5, 0.3).escape_probability();
+        assert!(p256 > p512);
+        assert!(p512 > p1024);
+        assert!(p1024 > 0.0);
+    }
+
+    #[test]
+    fn collapse_time_grows_exponentially_in_k_over_d3() {
+        // log(T) should be ~ linear in k/d^3 at fixed delta2, band width.
+        let times: Vec<f64> = [256usize, 512, 1024, 2048]
+            .iter()
+            .map(|&k| CollapseParams::new(k, 2, 0.5, 0.3).collapse_time_lower_bound())
+            .collect();
+        let logs: Vec<f64> = times.iter().map(|t| t.ln()).collect();
+        // Successive differences of log T should be roughly equal (doubling
+        // k doubles the exponent) once out of the probability-1 saturation.
+        let d1 = logs[2] - logs[1];
+        let d2 = logs[3] - logs[2];
+        assert!(d2 > 1.5 * d1 && d2 < 2.5 * d1, "d1 {d1}, d2 {d2}");
+    }
+
+    #[test]
+    fn asymptotic_exponent_tracks_k_over_d3() {
+        let e1 = CollapseParams::new(100, 2, 0.5, 0.3).asymptotic_exponent();
+        let e2 = CollapseParams::new(200, 2, 0.5, 0.3).asymptotic_exponent();
+        assert!((e2 / e1 - 2.0).abs() < 1e-9, "exponent must be linear in k");
+        // And ≈ b·δ₂·k/d³ to leading order.
+        let approx = 0.3 * 0.5 * 100.0 / 8.0;
+        assert!((e1 - approx).abs() / approx < 0.05, "e1 {e1} vs approx {approx}");
+    }
+
+    #[test]
+    fn probability_capped_at_one() {
+        // Tiny k: the bound exceeds 1 and must be clamped.
+        let p = CollapseParams::new(4, 2, 0.1, 0.05).escape_probability();
+        assert!(p <= 1.0);
+        assert!(CollapseParams::new(4, 2, 0.1, 0.05).collapse_time_lower_bound() >= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < delta2 < d")]
+    fn delta2_validated() {
+        let _ = CollapseParams::new(16, 2, 2.5, 0.3);
+    }
+}

@@ -1,0 +1,191 @@
+//! The scalar *bound process*: a cheap stand-in for the defect trajectory.
+//!
+//! The full overlay simulation tracks the true `B^t` but costs a max-flow
+//! per sampled tuple. For collapse-time scaling (E04) we also simulate the
+//! one-dimensional chain that the paper's proof actually argues about:
+//!
+//! * a failed arrival (probability `p`) moves `b` **up** by Lemma 6's
+//!   worst-case step `d²/k · (1 − b)` (the damage can only hit currently
+//!   non-defective tuples, hence the `(1 − b)` attenuation; using the raw
+//!   `d²/k` is also available as [`StepModel::Pessimistic`]);
+//! * a working arrival (probability `1 − p`) moves `b` **down** by Lemma
+//!   7's expected decrement `b·(d/k)·(1 − d²/k − b^{(d−1)/d})`.
+//!
+//! The pessimistic variant stochastically dominates the true process, so
+//! its collapse times are conservative (earlier than reality) — the right
+//! direction for validating Theorem 5's *lower* bound on collapse time.
+
+use rand::{Rng, RngExt as _};
+
+use crate::drift::DriftParams;
+
+/// How failed arrivals are modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StepModel {
+    /// Up-step `d²/k · (1 − b)`: Lemma 6's bound attenuated by the tuples
+    /// already defective.
+    #[default]
+    Attenuated,
+    /// Up-step `d²/k` always: the raw Lemma 6 worst case.
+    Pessimistic,
+}
+
+/// The scalar defect chain.
+#[derive(Debug, Clone)]
+pub struct DefectChain {
+    params: DriftParams,
+    model: StepModel,
+    b: f64,
+    steps: u64,
+}
+
+impl DefectChain {
+    /// Creates a chain at `b = 0`.
+    #[must_use]
+    pub fn new(params: DriftParams, model: StepModel) -> Self {
+        DefectChain { params, model, b: 0.0, steps: 0 }
+    }
+
+    /// Current defect fraction.
+    #[must_use]
+    pub fn b(&self) -> f64 {
+        self.b
+    }
+
+    /// Arrivals simulated so far.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Simulates one arrival.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.steps += 1;
+        let d = self.params.d as f64;
+        let k = self.params.k as f64;
+        if rng.random_bool(self.params.p) {
+            let up = match self.model {
+                StepModel::Attenuated => d * d / k * (1.0 - self.b),
+                StepModel::Pessimistic => d * d / k,
+            };
+            self.b = (self.b + up).min(1.0);
+        } else {
+            let down = self.b * (d / k) * (1.0 - d * d / k - self.b.powf((d - 1.0) / d));
+            // Lemma 7's decrement is only guaranteed while the expression is
+            // positive (b below a2); past that the defect no longer shrinks.
+            if down > 0.0 {
+                self.b = (self.b - down).max(0.0);
+            }
+        }
+    }
+
+    /// Runs until `b ≥ threshold` (collapse) or `max_steps`; returns the
+    /// number of steps to collapse, or `None` if it never collapsed.
+    pub fn run_to_collapse<R: Rng + ?Sized>(
+        &mut self,
+        threshold: f64,
+        max_steps: u64,
+        rng: &mut R,
+    ) -> Option<u64> {
+        for _ in 0..max_steps {
+            self.step(rng);
+            if self.b >= threshold {
+                return Some(self.steps);
+            }
+        }
+        None
+    }
+
+    /// Runs `steps` arrivals and returns the time-averaged `b` over the
+    /// second half (a steady-state estimate).
+    pub fn steady_state_estimate<R: Rng + ?Sized>(&mut self, steps: u64, rng: &mut R) -> f64 {
+        let half = steps / 2;
+        for _ in 0..half {
+            self.step(rng);
+        }
+        let mut acc = 0.0;
+        for _ in half..steps {
+            self.step(rng);
+            acc += self.b;
+        }
+        acc / (steps - half).max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stays_near_theorem4_bound_in_stable_regime() {
+        let params = DriftParams::new(0.01, 3, 64);
+        let mut chain = DefectChain::new(params, StepModel::Attenuated);
+        let mut rng = StdRng::seed_from_u64(1);
+        let avg = chain.steady_state_estimate(200_000, &mut rng);
+        let a1 = params.theorem4_bound().unwrap();
+        // The chain takes Lemma 6's *max* up-step, so it sits above the true
+        // process but should stay within a small factor of a1 and far from
+        // collapse.
+        assert!(avg > 0.0, "chain never left zero");
+        assert!(avg < 6.0 * a1, "steady state {avg} too far above a1 {a1}");
+        assert!(chain.b() < 0.5, "chain drifted to collapse in stable regime");
+    }
+
+    #[test]
+    fn collapses_fast_in_unstable_regime() {
+        // p·d large: no negative drift region, collapse is quick.
+        let params = DriftParams { p: 0.45, d: 3, k: 16 };
+        let mut chain = DefectChain::new(params, StepModel::Pessimistic);
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = chain.run_to_collapse(0.9, 1_000_000, &mut rng);
+        assert!(t.is_some(), "unstable chain must collapse");
+        assert!(t.unwrap() < 100_000);
+    }
+
+    #[test]
+    fn collapse_time_grows_with_k() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut times = Vec::new();
+        for k in [6usize, 12, 24] {
+            let params = DriftParams { p: 0.15, d: 2, k };
+            let mut total = 0u64;
+            let trials = 20;
+            for _ in 0..trials {
+                let mut chain = DefectChain::new(params, StepModel::Pessimistic);
+                total += chain
+                    .run_to_collapse(0.7, 5_000_000, &mut rng)
+                    .expect("p=0.15, d=2 chain collapses eventually");
+            }
+            times.push(total as f64 / trials as f64);
+        }
+        assert!(times[1] > times[0], "{times:?}");
+        assert!(times[2] > times[1], "{times:?}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let params = DriftParams::new(0.05, 2, 16);
+        let run = |seed| {
+            let mut c = DefectChain::new(params, StepModel::Attenuated);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..1000 {
+                c.step(&mut rng);
+            }
+            c.b()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn b_stays_in_unit_interval() {
+        let params = DriftParams { p: 0.3, d: 3, k: 16 };
+        let mut chain = DefectChain::new(params, StepModel::Pessimistic);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            chain.step(&mut rng);
+            assert!((0.0..=1.0).contains(&chain.b()));
+        }
+    }
+}

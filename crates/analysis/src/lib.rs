@@ -1,0 +1,29 @@
+//! Closed-form theory from §4 of the paper, as executable functions.
+//!
+//! The experiments overlay these curves on measured data:
+//!
+//! * [`drift`] — the one-step drift function `f(b)` bounding
+//!   `E[b′] − b` (derived from Lemmas 6 and 7), its minimum and its roots
+//!   `a₁ < a₂`. The first root **is** Theorem 4's steady-state bound:
+//!   `a₁ = (1+ε)·p·d / ((1−p)(1−d²/k))`.
+//! * [`bounds`] — Lemma 8's Azuma-style escape probability and Theorem 5's
+//!   collapse-time lower bound `(1/ξ₁)·e^{ξ₂·k/d³}`.
+//! * [`defect_chain`] — the *bound process*: a scalar Markov chain that
+//!   moves by Lemma 6's worst-case increment on failures and Lemma 7's
+//!   expected decrement on working arrivals. It stochastically dominates
+//!   the true defect fraction, so its collapse times lower-bound nothing —
+//!   they *upper-bound* the defect trajectory — and it extends experiment
+//!   E04 to sizes the full simulation cannot reach.
+//! * [`combinatorics`] — log-domain binomials used everywhere above.
+//! * [`treepack`] — greedy edge-disjoint arborescence packing, the
+//!   "Edmonds' theorem" routing alternative the paper calls theoretically
+//!   optimal but impractical (§1): reproduced here as the E07 baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod combinatorics;
+pub mod defect_chain;
+pub mod drift;
+pub mod treepack;

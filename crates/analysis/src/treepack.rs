@@ -1,0 +1,248 @@
+//! Edge-disjoint arborescence packing — the §1 "theoretical" alternative.
+//!
+//! Edmonds' theorem: a directed graph contains `c` edge-disjoint spanning
+//! arborescences rooted at `r` iff every vertex has edge connectivity ≥ `c`
+//! from `r`. The paper notes one *could* broadcast optimally by partitioning
+//! the overlay into multicast trees this way, but that recomputing the
+//! partition on every failure is impractical — which is exactly why it uses
+//! network coding instead. We reproduce the alternative as the E07 routing
+//! baseline:
+//!
+//! * [`edmonds_capacity`] — the theorem's bound: `min_v maxflow(r → v)`.
+//! * [`greedy_pack`] — a simple greedy packer (repeatedly peel a BFS
+//!   spanning arborescence from the remaining edges). Greedy peeling is not
+//!   optimal in general; the gap to [`edmonds_capacity`] is reported by the
+//!   experiment as the *practicality tax* of tree-based distribution.
+
+use std::collections::VecDeque;
+
+use curtain_overlay::OverlayGraph;
+
+/// A directed multigraph given by its edge list (for packing).
+#[derive(Debug, Clone)]
+pub struct DiGraph {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl DiGraph {
+    /// Creates a graph with `n` vertices and the given directed edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    #[must_use]
+    pub fn new(n: usize, edges: Vec<(usize, usize)>) -> Self {
+        assert!(edges.iter().all(|&(u, v)| u < n && v < n), "edge endpoint out of range");
+        DiGraph { n, edges }
+    }
+
+    /// Builds from the live part of an overlay graph (the server plus
+    /// working nodes). Vertex indices are preserved.
+    #[must_use]
+    pub fn from_overlay(graph: &OverlayGraph) -> Self {
+        DiGraph { n: graph.vertex_count(), edges: graph.live_edges() }
+    }
+
+    /// Vertex count.
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Edge count.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+/// One extracted spanning arborescence: `parent_edge[v]` is the edge index
+/// used to reach `v` (`None` for the root).
+#[derive(Debug, Clone)]
+pub struct Arborescence {
+    /// Root vertex.
+    pub root: usize,
+    /// For each vertex, the index (into the packing's edge list) of its
+    /// incoming tree edge.
+    pub parent_edge: Vec<Option<usize>>,
+}
+
+/// Result of a greedy packing run.
+#[derive(Debug, Clone)]
+pub struct Packing {
+    /// The extracted arborescences.
+    pub trees: Vec<Arborescence>,
+    /// The Edmonds upper bound for the same graph.
+    pub edmonds_bound: usize,
+}
+
+impl Packing {
+    /// Trees actually packed.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Greedy's shortfall versus the Edmonds optimum.
+    #[must_use]
+    pub fn gap(&self) -> usize {
+        self.edmonds_bound - self.trees.len()
+    }
+}
+
+/// The Edmonds bound: broadcast capacity from `root` = the minimum over
+/// vertices of the max-flow from the root (vertices unreachable at all give
+/// capacity 0).
+///
+/// Skips vertices with no incident edges only if `root` is also isolated.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range.
+#[must_use]
+pub fn edmonds_capacity(graph: &DiGraph, root: usize) -> usize {
+    assert!(root < graph.n, "root out of range");
+    let mut flow = curtain_overlay::FlowNetwork::new(graph.n);
+    for &(u, v) in &graph.edges {
+        flow.add_edge(u, v, 1);
+    }
+    (0..graph.n)
+        .filter(|&v| v != root)
+        .map(|v| flow.max_flow(root, v, None))
+        .min()
+        .unwrap_or(0)
+}
+
+/// Greedily peels BFS spanning arborescences rooted at `root` until no
+/// spanning arborescence remains in the residual edges.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range.
+#[must_use]
+pub fn greedy_pack(graph: &DiGraph, root: usize) -> Packing {
+    assert!(root < graph.n, "root out of range");
+    let edmonds_bound = edmonds_capacity(graph, root);
+    let mut used = vec![false; graph.edges.len()];
+    // adjacency: vertex -> edge indices
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); graph.n];
+    for (i, &(u, _)) in graph.edges.iter().enumerate() {
+        adj[u].push(i);
+    }
+    let mut trees = Vec::new();
+    loop {
+        // BFS over unused edges.
+        let mut parent_edge: Vec<Option<usize>> = vec![None; graph.n];
+        let mut seen = vec![false; graph.n];
+        seen[root] = true;
+        let mut queue = VecDeque::from([root]);
+        let mut reached = 1;
+        while let Some(u) = queue.pop_front() {
+            for &e in &adj[u] {
+                if used[e] {
+                    continue;
+                }
+                let v = graph.edges[e].1;
+                if seen[v] {
+                    continue;
+                }
+                seen[v] = true;
+                parent_edge[v] = Some(e);
+                reached += 1;
+                queue.push_back(v);
+            }
+        }
+        if reached < graph.n {
+            break;
+        }
+        for pe in parent_edge.iter().flatten() {
+            used[*pe] = true;
+        }
+        trees.push(Arborescence { root, parent_edge });
+        if trees.len() >= edmonds_bound {
+            break; // cannot possibly do better
+        }
+    }
+    Packing { trees, edmonds_bound }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use curtain_overlay::{CurtainNetwork, OverlayConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_path_graph_packs_one_tree() {
+        // 0 -> 1 -> 2
+        let g = DiGraph::new(3, vec![(0, 1), (1, 2)]);
+        let pack = greedy_pack(&g, 0);
+        assert_eq!(pack.edmonds_bound, 1);
+        assert_eq!(pack.count(), 1);
+        assert_eq!(pack.gap(), 0);
+    }
+
+    #[test]
+    fn disconnected_graph_has_zero_capacity() {
+        let g = DiGraph::new(3, vec![(0, 1)]);
+        assert_eq!(edmonds_capacity(&g, 0), 0);
+        assert_eq!(greedy_pack(&g, 0).count(), 0);
+    }
+
+    #[test]
+    fn doubled_edges_pack_two_trees() {
+        // Two parallel copies of a star 0 -> {1, 2}.
+        let edges = vec![(0, 1), (0, 1), (0, 2), (0, 2)];
+        let g = DiGraph::new(3, edges);
+        let pack = greedy_pack(&g, 0);
+        assert_eq!(pack.edmonds_bound, 2);
+        assert_eq!(pack.count(), 2);
+    }
+
+    #[test]
+    fn trees_are_edge_disjoint_and_spanning() {
+        // Fresh curtain overlay: capacity should be d and trees disjoint.
+        let mut net = CurtainNetwork::new(OverlayConfig::new(8, 3)).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..30 {
+            net.join(&mut rng);
+        }
+        let g = DiGraph::from_overlay(&net.graph());
+        let pack = greedy_pack(&g, 0);
+        assert_eq!(pack.edmonds_bound, 3);
+        assert!(pack.count() >= 1, "greedy found no tree at all");
+        // Disjointness: no edge index reused across trees.
+        let mut seen = std::collections::HashSet::new();
+        for tree in &pack.trees {
+            for e in tree.parent_edge.iter().flatten() {
+                assert!(seen.insert(*e), "edge {e} reused");
+            }
+            // Spanning: every non-root vertex has a parent.
+            for (v, pe) in tree.parent_edge.iter().enumerate() {
+                if v != tree.root {
+                    assert!(pe.is_some(), "vertex {v} unreached");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_never_exceeds_edmonds() {
+        let mut net = CurtainNetwork::new(OverlayConfig::new(10, 4)).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..40 {
+            net.join(&mut rng);
+        }
+        let g = DiGraph::from_overlay(&net.graph());
+        let pack = greedy_pack(&g, 0);
+        assert!(pack.count() <= pack.edmonds_bound);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge endpoint out of range")]
+    fn bad_edges_rejected() {
+        let _ = DiGraph::new(2, vec![(0, 5)]);
+    }
+}

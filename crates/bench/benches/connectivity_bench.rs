@@ -1,0 +1,80 @@
+//! Max-flow connectivity benchmarks: per-node queries, tuple probes (the
+//! defect-estimation kernel), and whole-network scans.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use curtain_overlay::churn::grow_with_failures;
+use curtain_overlay::{defect, CurtainNetwork, OverlayConfig, OverlayGraph};
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+use std::hint::black_box;
+
+fn network(n: usize, p: f64, seed: u64) -> CurtainNetwork {
+    let mut net = CurtainNetwork::new(OverlayConfig::new(24, 3)).expect("valid config");
+    let mut rng = StdRng::seed_from_u64(seed);
+    grow_with_failures(&mut net, n, p, &mut rng);
+    net
+}
+
+fn bench_single_connectivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("connectivity_single_node");
+    for n in [200usize, 1000, 5000] {
+        let net = network(n, 0.05, 1);
+        let graph = net.graph();
+        let mut rng = StdRng::seed_from_u64(2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let pos = rng.random_range(0..n);
+                black_box(graph.connectivity_of_position(pos))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tuple_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("connectivity_tuple_probe");
+    for n in [200usize, 1000, 5000] {
+        let net = network(n, 0.05, 3);
+        let graph = net.graph();
+        let mut rng = StdRng::seed_from_u64(4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let tuple = net.matrix().sample_threads(3, &mut rng);
+                black_box(graph.tuple_connectivity(&tuple))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay_graph_build");
+    for n in [200usize, 1000, 5000] {
+        let net = network(n, 0.05, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(OverlayGraph::from_matrix(net.matrix())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_defect_sampling(c: &mut Criterion) {
+    let net = network(600, 0.05, 6);
+    c.bench_function("defect_sample_100_tuples_n600", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| black_box(defect::sample(net.matrix(), 3, 100, &mut rng)))
+    });
+    let small = network(120, 0.05, 8);
+    c.bench_function("defect_exact_k24_d2_n120", |b| {
+        b.iter(|| black_box(defect::exact(small.matrix(), 2)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_single_connectivity,
+    bench_tuple_probe,
+    bench_graph_build,
+    bench_defect_sampling
+);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Micro-benchmarks of the finite-field substrate: scalar ops, the axpy
+//! kernel, matrix elimination, and Reed–Solomon encode/decode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use curtain_gf::{vec_ops, Field, Gf256, Matrix, ReedSolomon};
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+use std::hint::black_box;
+
+fn bench_scalar_ops(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let xs: Vec<Gf256> = (0..1024).map(|_| Gf256::random(&mut rng)).collect();
+    c.bench_function("gf256_scalar_mul_1k", |b| {
+        b.iter(|| {
+            let mut acc = Gf256::ONE;
+            for &x in &xs {
+                if !x.is_zero() {
+                    acc = acc.mul(black_box(x));
+                }
+            }
+            acc
+        })
+    });
+    c.bench_function("gf256_scalar_inv_1k", |b| {
+        b.iter(|| {
+            let mut acc = Gf256::ZERO;
+            for &x in &xs {
+                if !x.is_zero() {
+                    acc = acc.add(x.inv());
+                }
+            }
+            acc
+        })
+    });
+}
+
+fn bench_axpy(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut group = c.benchmark_group("gf256_axpy");
+    for size in [256usize, 1024, 4096, 16384] {
+        let src: Vec<u8> = (0..size).map(|_| rng.random()).collect();
+        let mut dst: Vec<u8> = (0..size).map(|_| rng.random()).collect();
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| vec_ops::axpy(black_box(&mut dst), 0xA7, black_box(&src)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matrix(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut group = c.benchmark_group("gf256_matrix_rref");
+    for n in [16usize, 32, 64] {
+        let mut m = Matrix::<Gf256>::zero(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                m.set(i, j, Gf256::random(&mut rng));
+            }
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| m.clone().rref())
+        });
+    }
+    group.finish();
+}
+
+fn bench_reed_solomon(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let rs = ReedSolomon::new(8, 24);
+    let data: Vec<Vec<u8>> = (0..8)
+        .map(|_| {
+            let mut v = vec![0u8; 1024];
+            rng.fill(&mut v[..]);
+            v
+        })
+        .collect();
+    c.bench_function("rs_encode_8of24_1KiB", |b| b.iter(|| rs.encode(black_box(&data))));
+    let shares = rs.encode(&data);
+    let picked: Vec<(usize, Vec<u8>)> =
+        [3usize, 9, 11, 15, 17, 20, 21, 23].iter().map(|&i| (i, shares[i].clone())).collect();
+    c.bench_function("rs_decode_8of24_1KiB", |b| {
+        b.iter(|| rs.decode(black_box(&picked)).expect("decodes"))
+    });
+}
+
+criterion_group!(benches, bench_scalar_ops, bench_axpy, bench_matrix, bench_reed_solomon);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Overlay protocol benchmarks: join / leave / repair cost as the matrix
+//! grows — the server-side bookkeeping the paper argues stays cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use curtain_overlay::{CurtainNetwork, CurtainServer, OverlayConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+use std::hint::black_box;
+
+fn grown(n: usize, seed: u64) -> CurtainNetwork {
+    let mut net = CurtainNetwork::new(OverlayConfig::new(32, 4)).expect("valid config");
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..n {
+        net.join(&mut rng);
+    }
+    net
+}
+
+fn bench_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay_join");
+    for n in [100usize, 1000, 10000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let base = grown(n, 1);
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter_batched(
+                || base.clone(),
+                |mut net| black_box(net.join(&mut rng)),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_leave(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay_leave");
+    for n in [100usize, 1000, 10000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let base = grown(n, 3);
+            let mut rng = StdRng::seed_from_u64(4);
+            b.iter_batched(
+                || {
+                    let ids = base.node_ids();
+                    (base.clone(), ids[rng.random_range(0..ids.len())])
+                },
+                |(mut net, id)| net.leave(black_box(id)).expect("member"),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_fail_repair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay_fail_repair");
+    for n in [100usize, 1000, 10000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let base = grown(n, 5);
+            let mut rng = StdRng::seed_from_u64(6);
+            b.iter_batched(
+                || {
+                    let ids = base.node_ids();
+                    (base.clone(), ids[rng.random_range(0..ids.len())])
+                },
+                |(mut net, id)| {
+                    net.fail(id).expect("working");
+                    net.repair(black_box(id)).expect("failed");
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_hello_throughput(c: &mut Criterion) {
+    // Raw protocol throughput: how fast can a coordinator admit members?
+    c.bench_function("server_hello_x1000_from_5000", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut base = CurtainServer::new(OverlayConfig::new(64, 4)).expect("valid config");
+        for _ in 0..5000 {
+            base.hello(&mut rng);
+        }
+        b.iter_batched(
+            || base.clone(),
+            |mut server| {
+                for _ in 0..1000 {
+                    black_box(server.hello(&mut rng));
+                }
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_join, bench_leave, bench_fail_repair, bench_hello_throughput);
+criterion_main!(benches);

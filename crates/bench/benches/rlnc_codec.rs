@@ -1,0 +1,94 @@
+//! Codec benchmarks: encode / recode / progressive decode across
+//! generation sizes — the per-packet cost model of experiment E09.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use curtain_rlnc::{Decoder, Encoder, Recoder};
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+use std::hint::black_box;
+
+const PACKET: usize = 1024;
+
+fn source(g: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..g)
+        .map(|_| {
+            let mut v = vec![0u8; PACKET];
+            rng.fill(&mut v[..]);
+            v
+        })
+        .collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rlnc_encode");
+    for g in [16usize, 32, 64, 128] {
+        let enc = Encoder::new(0, source(g, 1)).expect("valid");
+        let mut rng = StdRng::seed_from_u64(2);
+        group.throughput(Throughput::Bytes(PACKET as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(g), &g, |b, _| {
+            b.iter(|| black_box(enc.encode(&mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_recode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rlnc_recode");
+    for g in [16usize, 32, 64, 128] {
+        let enc = Encoder::new(0, source(g, 3)).expect("valid");
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut rec = Recoder::new(0, g, PACKET);
+        while !rec.is_complete() {
+            rec.push(enc.encode(&mut rng)).expect("valid packet");
+        }
+        group.throughput(Throughput::Bytes(PACKET as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(g), &g, |b, _| {
+            b.iter(|| black_box(rec.recode(&mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode_full_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rlnc_decode_generation");
+    for g in [16usize, 32, 64] {
+        let enc = Encoder::new(0, source(g, 5)).expect("valid");
+        let mut rng = StdRng::seed_from_u64(6);
+        // Pre-generate plenty of packets so decode dominates.
+        let packets: Vec<_> = (0..g * 4).map(|_| enc.encode(&mut rng)).collect();
+        group.throughput(Throughput::Bytes((g * PACKET) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(g), &g, |b, _| {
+            b.iter(|| {
+                let mut dec = Decoder::new(0, g, PACKET);
+                let mut i = 0;
+                while !dec.is_complete() {
+                    dec.push(packets[i].clone()).expect("valid packet");
+                    i += 1;
+                }
+                black_box(dec.rank())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_wire_round_trip(c: &mut Criterion) {
+    let enc = Encoder::new(0, source(64, 7)).expect("valid");
+    let mut rng = StdRng::seed_from_u64(8);
+    let p = enc.encode(&mut rng);
+    c.bench_function("rlnc_wire_serialize_64_1KiB", |b| b.iter(|| black_box(p.to_wire())));
+    let wire = p.to_wire();
+    c.bench_function("rlnc_wire_parse_64_1KiB", |b| {
+        b.iter(|| curtain_rlnc::CodedPacket::from_wire(black_box(&wire)).expect("valid"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_recode,
+    bench_decode_full_generation,
+    bench_wire_round_trip
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! E01 — Theorem 4: the steady-state total defect fraction `E[B]/A` stays
+//! at `(1+ε)·p·d`, independent of the network size.
+//!
+//! Protocol: run the §4 arrival process (each arrival failed w.p. `p`) and
+//! Monte-Carlo-estimate the defect fraction at several checkpoints; compare
+//! with `p·d` and with the exact drift root `a₁` from `curtain-analysis`.
+
+use curtain_analysis::drift::DriftParams;
+use curtain_bench::{runtime, stats, table::Table};
+use curtain_overlay::churn::grow_with_failures;
+use curtain_overlay::{defect, CurtainNetwork, OverlayConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn measure(k: usize, d: usize, p: f64, n: usize, seed: u64, samples: u64) -> f64 {
+    // The defect is a drifting random process: average over independent
+    // instances and several checkpoints per instance.
+    let trials = 6;
+    let mut acc = Vec::new();
+    for t in 0..trials {
+        let mut rng = StdRng::seed_from_u64(seed + 1000 * t);
+        let mut net = CurtainNetwork::new(OverlayConfig::new(k, d)).expect("valid config");
+        grow_with_failures(&mut net, n, p, &mut rng);
+        for _ in 0..4 {
+            grow_with_failures(&mut net, n / 20 + 1, p, &mut rng);
+            let est = defect::sample(net.matrix(), d, samples, &mut rng);
+            acc.push(est.total_defect_fraction());
+        }
+    }
+    stats::mean(&acc)
+}
+
+fn main() {
+    runtime::banner(
+        "E01 / Theorem 4",
+        "steady-state defect E[B]/A <= (1+eps)*p*d, independent of N",
+    );
+    let scale = runtime::scale();
+    let samples = 300 * scale;
+
+    println!("-- defect vs p and d (k = 8*d^2, N = 600) --");
+    let t = Table::new(&["d", "k", "p", "p*d", "a1 (theory)", "measured B/A", "ratio/pd"]);
+    t.header();
+    for &d in &[2usize, 3, 4] {
+        let k = 8 * d * d;
+        for &p in &[0.005f64, 0.01, 0.02, 0.04] {
+            let measured = measure(k, d, p, 600, 42 + d as u64, samples);
+            let a1 = DriftParams::new(p, d, k)
+                .theorem4_bound()
+                .map_or("-".to_string(), |a| format!("{a:.4}"));
+            t.row(&[
+                d.to_string(),
+                k.to_string(),
+                format!("{p:.3}"),
+                format!("{:.4}", p * d as f64),
+                a1,
+                format!("{measured:.4}"),
+                format!("{:.2}", measured / (p * d as f64)),
+            ]);
+        }
+    }
+
+    println!();
+    println!("-- independence from network size (k=32, d=2, p=0.02) --");
+    let t = Table::new(&["N", "measured B/A", "p*d"]);
+    t.header();
+    for &n in &[150usize, 300, 600, 1200, 2400] {
+        let measured = measure(32, 2, 0.02, n, 7, samples);
+        t.row(&[
+            n.to_string(),
+            format!("{measured:.4}"),
+            format!("{:.4}", 0.04),
+        ]);
+    }
+    println!();
+    println!("expected shape: 'measured B/A' tracks p*d (ratio ~1) at every d,");
+    println!("and the N sweep is flat — failures are locally contained.");
+}

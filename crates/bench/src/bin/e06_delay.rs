@@ -1,0 +1,134 @@
+//! E06 — §6: delay vs cycles.
+//!
+//! The acyclic curtain has delay linear in N; inserting nodes into random
+//! *edges* (the §6 variant) makes the overlay an expander with logarithmic
+//! delay, at a small throughput cost from cycles. We measure (a) hop-depth
+//! distributions of both topologies as N grows, and (b) end-to-end decode
+//! times in the simulated network.
+
+use curtain_bench::{runtime, stats, table::Table};
+use curtain_broadcast::{Session, SessionConfig, Strategy, TopologySpec};
+use curtain_overlay::forest::ForestOverlay;
+use curtain_overlay::random_graph::RandomGraphOverlay;
+use curtain_overlay::{CurtainNetwork, OverlayConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const K: usize = 8;
+const D: usize = 2;
+
+fn curtain_depths(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = CurtainNetwork::new(OverlayConfig::new(K, D)).expect("valid config");
+    for _ in 0..n {
+        net.join(&mut rng);
+    }
+    net.graph()
+        .depths()
+        .into_iter()
+        .skip(1) // server
+        .flatten()
+        .map(|d| d as f64)
+        .collect()
+}
+
+fn random_graph_depths(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rg = RandomGraphOverlay::new(K, D);
+    for _ in 0..n {
+        rg.join(&mut rng);
+    }
+    rg.depths()
+        .into_iter()
+        .skip(1)
+        .flatten()
+        .map(|d| d as f64)
+        .collect()
+}
+
+fn forest_depths(n: usize) -> Vec<f64> {
+    // d interior-disjoint trees; fanout k keeps per-node upload at k·(1/d)
+    // stream units — the same total bandwidth budget as the curtain.
+    let mut f = ForestOverlay::new(D, K);
+    for _ in 0..n {
+        f.join();
+    }
+    f.content_depths().into_iter().map(|d| d as f64).collect()
+}
+
+fn main() {
+    runtime::banner(
+        "E06 / delay vs cycles",
+        "curtain delay ~ linear in N; random-edge insertion delay ~ log N",
+    );
+    let scale = runtime::scale();
+
+    println!("-- hop depth from the server (k = {K}, d = {D}) --");
+    let t = Table::new(&[
+        "N",
+        "curtain mean",
+        "curtain max",
+        "randgraph mean",
+        "randgraph max",
+        "forest mean",
+        "forest max",
+    ]);
+    t.header();
+    for &n in &[100usize, 200, 400, 800, 1600] {
+        let c: Vec<f64> = (0..scale).flat_map(|i| curtain_depths(n, 10 + i)).collect();
+        let r: Vec<f64> = (0..scale).flat_map(|i| random_graph_depths(n, 20 + i)).collect();
+        let f: Vec<f64> = forest_depths(n);
+        t.row(&[
+            n.to_string(),
+            format!("{:.1}", stats::mean(&c)),
+            format!("{:.0}", stats::percentile(&c, 100.0)),
+            format!("{:.1}", stats::mean(&r)),
+            format!("{:.0}", stats::percentile(&r, 100.0)),
+            format!("{:.1}", stats::mean(&f)),
+            format!("{:.0}", stats::percentile(&f, 100.0)),
+        ]);
+    }
+    println!();
+    println!("(curtain mean depth ~ N*d/(2k) = N/{}; random graph and the", 2 * K / D);
+    println!(" SplitStream-style forest of d interior-disjoint trees ~ log N)");
+
+    println!();
+    println!("-- end-to-end decode time, RLNC broadcast of 16 packets --");
+    let t = Table::new(&["N", "topology", "mean tick", "p95 tick", "decoded%"]);
+    t.header();
+    for &n in &[100usize, 200, 400] {
+        let cfg = SessionConfig::new(Strategy::Rlnc, 16, 64).with_max_ticks(20_000);
+        // Curtain.
+        let mut rng = StdRng::seed_from_u64(30);
+        let mut net = CurtainNetwork::new(OverlayConfig::new(K, D)).expect("valid config");
+        for _ in 0..n {
+            net.join(&mut rng);
+        }
+        let report = Session::run(&TopologySpec::from_curtain(&net), &cfg, 31);
+        t.row(&[
+            n.to_string(),
+            "curtain".into(),
+            format!("{:.0}", report.mean_completion_tick().unwrap_or(f64::NAN)),
+            report.completion_percentile(95.0).map_or("-".into(), |t| t.to_string()),
+            format!("{:.1}%", 100.0 * report.completion_fraction()),
+        ]);
+        // Random graph.
+        let mut rng = StdRng::seed_from_u64(32);
+        let mut rg = RandomGraphOverlay::new(K, D);
+        for _ in 0..n {
+            rg.join(&mut rng);
+        }
+        let report = Session::run(&TopologySpec::from_random_graph(&rg), &cfg, 33);
+        t.row(&[
+            n.to_string(),
+            "random graph".into(),
+            format!("{:.0}", report.mean_completion_tick().unwrap_or(f64::NAN)),
+            report.completion_percentile(95.0).map_or("-".into(), |t| t.to_string()),
+            format!("{:.1}%", 100.0 * report.completion_fraction()),
+        ]);
+    }
+    println!();
+    println!("expected shape: curtain decode time grows ~linearly with N (pipeline");
+    println!("depth dominates); random-graph decode time grows ~logarithmically.");
+    println!("Both decode 100% — cycles cost delay-spread throughput, not capacity.");
+}

@@ -1,0 +1,101 @@
+//! E07 — the §1 motivation: distribution-strategy shoot-out under failures.
+//!
+//! Same overlay, same bandwidth, same content; four ways to use it:
+//! uncoded chunk gossip (routing), source-only Reed–Solomon (erasure),
+//! RLNC recoding, and — as the reference line — the Edmonds tree-packing
+//! capacity (the "theoretically optimal but impractical" §1 alternative).
+
+use curtain_analysis::treepack::{greedy_pack, DiGraph};
+use curtain_bench::{runtime, stats, table::Table};
+use curtain_broadcast::{Session, SessionConfig, Strategy, TopologySpec};
+use curtain_overlay::{CurtainNetwork, OverlayConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+
+const K: usize = 12;
+const D: usize = 3;
+const N: usize = 150;
+const CHUNKS: usize = 24;
+
+fn main() {
+    runtime::banner(
+        "E07 / strategy comparison",
+        "RLNC tracks the min-cut optimum under failures; erasure and routing degrade",
+    );
+    let scale = runtime::scale();
+    let trials = 5 * scale;
+
+    let t = Table::new(&[
+        "fail frac",
+        "strategy",
+        "decoded%",
+        "mean tick",
+        "goodput x1e3",
+    ]);
+    t.header();
+    for &pfail in &[0.0f64, 0.02, 0.05, 0.10, 0.20] {
+        let mut decoded = vec![Vec::new(); 3];
+        let mut tick = vec![Vec::new(); 3];
+        let mut goodput = vec![Vec::new(); 3];
+        let mut tree_counts = Vec::new();
+        let mut edmonds = Vec::new();
+        for trial in 0..trials {
+            let seed = 500 + trial;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut net = CurtainNetwork::new(OverlayConfig::new(K, D)).expect("valid config");
+            for _ in 0..N {
+                net.join(&mut rng);
+            }
+            let mut topo = TopologySpec::from_curtain(&net);
+            let kill: Vec<usize> = (0..N).filter(|_| rng.random_bool(pfail)).collect();
+            topo.kill(&kill);
+            for &id in &kill {
+                net.fail(net.node_ids()[id]).expect("working");
+            }
+            // Tree packing on the live graph (routing's theoretical ceiling).
+            let g = DiGraph::from_overlay(&net.graph());
+            let pack = greedy_pack(&g, 0);
+            tree_counts.push(pack.count() as f64);
+            edmonds.push(pack.edmonds_bound as f64);
+            // The three simulated strategies.
+            for (i, strategy) in [Strategy::Rlnc, Strategy::SourceErasure, Strategy::Routing]
+                .into_iter()
+                .enumerate()
+            {
+                let cfg = SessionConfig::new(strategy, CHUNKS, 64).with_max_ticks(3000);
+                let r = Session::run(&topo, &cfg, seed ^ 0x77);
+                decoded[i].push(r.completion_fraction());
+                if let Some(t) = r.mean_completion_tick() {
+                    tick[i].push(t);
+                }
+                goodput[i].push(r.goodput());
+            }
+        }
+        for (i, name) in ["rlnc", "erasure", "routing"].into_iter().enumerate() {
+            t.row(&[
+                format!("{pfail:.2}"),
+                name.into(),
+                format!("{:.1}%", 100.0 * stats::mean(&decoded[i])),
+                if tick[i].is_empty() { "-".into() } else { format!("{:.0}", stats::mean(&tick[i])) },
+                format!("{:.3}", 1e3 * stats::mean(&goodput[i])),
+            ]);
+        }
+        t.row(&[
+            format!("{pfail:.2}"),
+            "treepack(info)".into(),
+            format!(
+                "{:.1}/{:.1} trees",
+                stats::mean(&tree_counts),
+                stats::mean(&edmonds)
+            ),
+            "-".into(),
+            "-".into(),
+        ]);
+    }
+    println!();
+    println!("expected shape: at 0 failures all three decode 100% (routing slowest");
+    println!("— coupon collector). As failures grow, erasure collapses first (dead");
+    println!("columns are unrecoverable), routing degrades, RLNC keeps decoding");
+    println!("wherever the min-cut is positive. Tree packing shows the min-cut");
+    println!("capacity (= RLNC's achieved rate) and greedy's shortfall versus it.");
+}

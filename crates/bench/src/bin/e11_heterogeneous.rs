@@ -1,0 +1,71 @@
+//! E11 — §5 heterogeneity: DSL/cable/T1 users coexist in one curtain; with
+//! priority encoding, received quality scales with purchased bandwidth.
+
+use curtain_bench::{runtime, stats, table::Table};
+use curtain_broadcast::heterogeneous::{
+    build_heterogeneous_curtain, BandwidthClass, PetProfile,
+};
+use curtain_broadcast::{Session, SessionConfig, Strategy, TopologySpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    runtime::banner(
+        "E11 / heterogeneous users + priority encoding",
+        "connectivity (= rate) tracks each class's degree; PET layers follow",
+    );
+    let scale = runtime::scale();
+    let trials = 5 * scale;
+    let k = 32;
+    let classes = [
+        BandwidthClass { name: "DSL", degree: 2, count: 60 },
+        BandwidthClass { name: "cable", degree: 4, count: 30 },
+        BandwidthClass { name: "T1", degree: 8, count: 10 },
+    ];
+    let total_packets = 64usize;
+    let deadline = 32u64;
+    let pet = PetProfile::new(vec![16, 40, 64]);
+
+    let mut conn = vec![Vec::new(); classes.len()];
+    let mut layers = vec![Vec::new(); classes.len()];
+    let mut full = vec![Vec::new(); classes.len()];
+    for trial in 0..trials {
+        let mut rng = StdRng::seed_from_u64(1100 + trial);
+        let (net, members) =
+            build_heterogeneous_curtain(k, &classes, &mut rng).expect("valid parameters");
+        let topo = TopologySpec::from_curtain(&net);
+        let cfg = SessionConfig::new(Strategy::Rlnc, total_packets, 512)
+            .with_loss(0.05)
+            .with_max_ticks(deadline);
+        let report = Session::run(&topo, &cfg, 1200 + trial);
+        for (node, ci) in &members {
+            conn[*ci].push(net.connectivity_of(*node).expect("working") as f64);
+            let pos = net.matrix().position_of(*node).expect("member");
+            let rank = (report.progress[pos] * total_packets as f64).round() as usize;
+            layers[*ci].push(pet.layers_decodable(rank) as f64);
+            full[*ci].push(if report.completed_at[pos].is_some() { 1.0 } else { 0.0 });
+        }
+    }
+
+    let t = Table::new(&[
+        "class",
+        "degree",
+        "mean connectivity",
+        "mean PET layers",
+        "full decode%",
+    ]);
+    t.header();
+    for (ci, class) in classes.iter().enumerate() {
+        t.row(&[
+            class.name.into(),
+            class.degree.to_string(),
+            format!("{:.2}", stats::mean(&conn[ci])),
+            format!("{:.2} / {}", stats::mean(&layers[ci]), pet.layer_count()),
+            format!("{:.1}%", 100.0 * stats::mean(&full[ci])),
+        ]);
+    }
+    println!();
+    println!("expected shape: mean connectivity ~ class degree (the curtain serves");
+    println!("each user at its own bandwidth); PET layers and full-decode rate");
+    println!("increase strictly with the class degree at a fixed deadline.");
+}

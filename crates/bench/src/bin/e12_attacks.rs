@@ -1,0 +1,105 @@
+//! E12 — §7 attack taxonomy: failure vs entropy-destruction vs jamming.
+//!
+//! "Our system is fairly robust to failure attacks … fairly robust, at
+//! least in the short term, to entropy destruction attacks … not robust to
+//! jamming attacks." One cohort, three behaviours, measured side by side.
+
+use curtain_bench::{runtime, stats, table::Table};
+use curtain_broadcast::attacks::{pick_cohort, AttackMode};
+use curtain_broadcast::{Session, SessionConfig, Strategy, TopologySpec};
+use curtain_overlay::{CurtainNetwork, OverlayConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const K: usize = 16;
+const D: usize = 3;
+const N: usize = 150;
+const CHUNKS: usize = 24;
+
+fn main() {
+    runtime::banner(
+        "E12 / member attacks",
+        "failure ~ contained; entropy destruction stalls quietly; jamming poisons everything",
+    );
+    let scale = runtime::scale();
+    let trials = 5 * scale;
+
+    let t = Table::new(&[
+        "fraction",
+        "attack",
+        "decoded ok%",
+        "corrupted%",
+        "stalled%",
+        "mean tick",
+        "traffic%",
+    ]);
+    t.header();
+    for &frac in &[0.05f64, 0.10, 0.20] {
+        let mut baseline_traffic = 1.0f64;
+        for mode in [
+            None,
+            Some(AttackMode::Fail),
+            Some(AttackMode::EntropyDestruction),
+            Some(AttackMode::Jamming),
+        ] {
+            let mut ok = Vec::new();
+            let mut corrupt = Vec::new();
+            let mut stalled = Vec::new();
+            let mut ticks = Vec::new();
+            let mut traffic = Vec::new();
+            for trial in 0..trials {
+                let seed = 1500 + trial;
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut net =
+                    CurtainNetwork::new(OverlayConfig::new(K, D)).expect("valid config");
+                for _ in 0..N {
+                    net.join(&mut rng);
+                }
+                let topo = TopologySpec::from_curtain(&net);
+                let mut cfg =
+                    SessionConfig::new(Strategy::Rlnc, CHUNKS, 128).with_max_ticks(1500);
+                if let Some(m) = mode {
+                    let cohort = pick_cohort(N, frac, &mut rng);
+                    cfg = cfg.with_attacks(&cohort, m);
+                }
+                let r = Session::run(&topo, &cfg, seed ^ 0x12);
+                // Traffic per tick, relative: is the attack *visible* in
+                // aggregate volume? (Failure: yes. Entropy destruction: no.)
+                traffic.push(r.net.offered as f64 / r.ticks_run.max(1) as f64);
+                ok.push(r.completion_fraction());
+                corrupt.push(r.corruption_fraction());
+                stalled.push(1.0 - r.completion_fraction() - r.corruption_fraction());
+                if let Some(t) = r.mean_completion_tick() {
+                    ticks.push(t);
+                }
+            }
+            let name = match mode {
+                None => "none",
+                Some(AttackMode::Fail) => "failure",
+                Some(AttackMode::EntropyDestruction) => "entropy-destr",
+                Some(AttackMode::Jamming) => "jamming",
+                Some(AttackMode::Honest) => unreachable!(),
+            };
+            if mode.is_none() {
+                baseline_traffic = stats::mean(&traffic);
+            }
+            t.row(&[
+                format!("{frac:.2}"),
+                name.into(),
+                format!("{:.1}%", 100.0 * stats::mean(&ok)),
+                format!("{:.1}%", 100.0 * stats::mean(&corrupt)),
+                format!("{:.1}%", 100.0 * stats::mean(&stalled)),
+                if ticks.is_empty() { "-".into() } else { format!("{:.0}", stats::mean(&ticks)) },
+                format!("{:.0}%", 100.0 * stats::mean(&traffic) / baseline_traffic),
+            ]);
+        }
+        println!();
+    }
+    println!("expected shape: failure cohorts barely dent decoded% (Theorem 4's");
+    println!("containment); entropy destruction converts some decoded% into");
+    println!("stalled% (it reduces usable min-cut while looking alive) — note its");
+    println!("traffic%: unlike failure, the volume looks normal, which is why the");
+    println!("paper calls it harder to detect; jamming");
+    println!("turns nearly all decoded% into corrupted% — the §7 open problem");
+    println!("(homomorphic packet signatures) is what's missing.");
+}

@@ -1,0 +1,83 @@
+//! E17 — decodability under live topology change ([CWJ03] via §1/§3).
+//!
+//! The static experiments freeze the overlay; here the overlay churns *while
+//! the broadcast runs*: joins attach mid-stream, leaves splice, failures go
+//! silent and are repaired after the §2 repair interval. Because every
+//! packet carries its coefficient vector, no receiver needs to know any of
+//! this happened — completion among surviving members should stay high
+//! across an order of magnitude of churn intensity.
+
+use curtain_bench::{runtime, stats, table::Table};
+use curtain_broadcast::{DynamicConfig, DynamicSession};
+use curtain_overlay::{CurtainNetwork, OverlayConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const K: usize = 16;
+const D: usize = 3;
+const N: usize = 60;
+const CHUNKS: usize = 24;
+const TICKS: u64 = 600;
+
+fn main() {
+    runtime::banner(
+        "E17 / broadcast under live churn",
+        "in-flight joins/leaves/failures do not break decodability (self-describing packets)",
+    );
+    let scale = runtime::scale();
+    let trials = 5 * scale;
+
+    let t = Table::new(&[
+        "churn level",
+        "joins",
+        "leaves",
+        "fails",
+        "repairs",
+        "members end",
+        "decoded%",
+        "progress%",
+    ]);
+    t.header();
+    for (label, mult) in [("none", 0.0f64), ("light", 1.0), ("heavy", 4.0), ("extreme", 10.0)] {
+        let mut acc: Vec<[f64; 7]> = Vec::new();
+        for trial in 0..trials {
+            let seed = 1700 + trial;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut net = CurtainNetwork::new(OverlayConfig::new(K, D)).expect("valid config");
+            for _ in 0..N {
+                net.join(&mut rng);
+            }
+            let cfg = DynamicConfig::new(CHUNKS, 64)
+                .with_churn(0.04 * mult, 0.02 * mult, 0.01 * mult, 20)
+                .with_loss(0.02);
+            let mut session = DynamicSession::new(net, cfg, seed ^ 0x17);
+            let report = session.run(TICKS);
+            let (j, l, f, r) = report.churn_counts;
+            acc.push([
+                j as f64,
+                l as f64,
+                f as f64,
+                r as f64,
+                report.final_members as f64,
+                report.completion_fraction(),
+                report.mean_progress,
+            ]);
+        }
+        let col = |i: usize| -> Vec<f64> { acc.iter().map(|a| a[i]).collect() };
+        t.row(&[
+            label.into(),
+            format!("{:.0}", stats::mean(&col(0))),
+            format!("{:.0}", stats::mean(&col(1))),
+            format!("{:.0}", stats::mean(&col(2))),
+            format!("{:.0}", stats::mean(&col(3))),
+            format!("{:.0}", stats::mean(&col(4))),
+            format!("{:.1}%", 100.0 * stats::mean(&col(5))),
+            format!("{:.1}%", 100.0 * stats::mean(&col(6))),
+        ]);
+    }
+    println!();
+    println!("expected shape: decoded% stays near 100% at every churn level (the");
+    println!("shortfall is recent joiners still catching up, visible as the gap");
+    println!("between decoded% and progress%). No strategy reconfiguration ever");
+    println!("happens — repairs are local splices, packets self-describe.");
+}

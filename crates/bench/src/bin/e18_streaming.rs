@@ -1,0 +1,93 @@
+//! E18 — live streaming continuity: the §1 synchronous scenario across
+//! topologies and loss levels.
+//!
+//! Startup latency is the §6 delay story in its user-visible form: a deep
+//! curtain makes late rows wait; the random-graph variant starts everyone
+//! almost immediately. Continuity (segments played on time) shows RLNC's
+//! loss resilience with real play-out deadlines.
+
+use curtain_bench::{runtime, stats, table::Table};
+use curtain_broadcast::{StreamConfig, StreamSession, TopologySpec};
+use curtain_overlay::random_graph::RandomGraphOverlay;
+use curtain_overlay::{CurtainNetwork, OverlayConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const K: usize = 8;
+const D: usize = 2;
+const SEGMENTS: usize = 10;
+const GEN_SIZE: usize = 12;
+
+fn curtain_topo(n: usize, seed: u64) -> TopologySpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = CurtainNetwork::new(OverlayConfig::new(K, D)).expect("valid config");
+    for _ in 0..n {
+        net.join(&mut rng);
+    }
+    TopologySpec::from_curtain(&net)
+}
+
+fn rg_topo(n: usize, seed: u64) -> TopologySpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rg = RandomGraphOverlay::new(K, D);
+    for _ in 0..n {
+        rg.join(&mut rng);
+    }
+    TopologySpec::from_random_graph(&rg)
+}
+
+fn main() {
+    runtime::banner(
+        "E18 / live streaming",
+        "startup latency tracks topology depth; continuity survives loss",
+    );
+    let scale = runtime::scale();
+    let trials = 4 * scale;
+
+    let t = Table::new(&[
+        "N",
+        "topology",
+        "loss",
+        "startup (mean)",
+        "continuity",
+        "flawless%",
+    ]);
+    t.header();
+    for &n in &[50usize, 150, 300] {
+        for (name, is_curtain) in [("curtain", true), ("random graph", false)] {
+            for &loss in &[0.0f64, 0.05, 0.15] {
+                let mut startup = Vec::new();
+                let mut continuity = Vec::new();
+                let mut flawless = Vec::new();
+                for trial in 0..trials {
+                    let seed = 1800 + trial;
+                    let topo = if is_curtain {
+                        curtain_topo(n, seed)
+                    } else {
+                        rg_topo(n, seed)
+                    };
+                    let cfg = StreamConfig::new(SEGMENTS, GEN_SIZE, 64, D).with_loss(loss);
+                    let report = StreamSession::run(&topo, &cfg, seed ^ 0x18);
+                    if let Some(s) = report.mean_startup() {
+                        startup.push(s);
+                    }
+                    continuity.push(report.continuity());
+                    flawless.push(report.flawless_fraction());
+                }
+                t.row(&[
+                    n.to_string(),
+                    name.into(),
+                    format!("{loss:.2}"),
+                    format!("{:.0}", stats::mean(&startup)),
+                    format!("{:.1}%", 100.0 * stats::mean(&continuity)),
+                    format!("{:.1}%", 100.0 * stats::mean(&flawless)),
+                ]);
+            }
+        }
+    }
+    println!();
+    println!("expected shape: curtain startup grows with N (linear pipeline depth;");
+    println!("late rows miss early segments — exactly the §6 trade-off), random");
+    println!("graph stays flat and keeps ~100% continuity; moderate loss degrades");
+    println!("continuity gracefully rather than collapsing it.");
+}

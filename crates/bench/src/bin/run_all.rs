@@ -1,0 +1,67 @@
+//! Runs every experiment binary in order — the one-command reproduction of
+//! the paper's entire evaluation.
+//!
+//! ```text
+//! cargo run --release -p curtain-bench --bin run_all
+//! CURTAIN_SCALE=5 cargo run --release -p curtain-bench --bin run_all
+//! ```
+
+use std::process::Command;
+use std::time::Instant;
+
+const EXPERIMENTS: &[&str] = &[
+    "e01_theorem4",
+    "e02_locality",
+    "e03_drift",
+    "e04_collapse",
+    "e05_adversarial",
+    "e06_delay",
+    "e07_strategies",
+    "e08_variance",
+    "e09_codec",
+    "e10_server_load",
+    "e11_heterogeneous",
+    "e12_attacks",
+    "e13_congestion",
+    "e14_conjecture",
+    "e15_gossip",
+    "e16_selfsustain",
+    "e17_live_churn",
+    "e18_streaming",
+    "e19_fairness",
+];
+
+fn main() {
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin dir");
+    let total = Instant::now();
+    let mut failed = Vec::new();
+    for (i, exp) in EXPERIMENTS.iter().enumerate() {
+        println!("\n################ [{}/{}] {exp} ################", i + 1, EXPERIMENTS.len());
+        let start = Instant::now();
+        let status = Command::new(bin_dir.join(exp)).status();
+        match status {
+            Ok(s) if s.success() => {
+                println!("---------------- {exp} finished in {:.1?}", start.elapsed());
+            }
+            Ok(s) => {
+                eprintln!("!!! {exp} exited with {s}");
+                failed.push(*exp);
+            }
+            Err(e) => {
+                eprintln!("!!! {exp} failed to launch: {e} (build with --release first)");
+                failed.push(*exp);
+            }
+        }
+    }
+    println!(
+        "\n================ all experiments done in {:.1?} ================",
+        total.elapsed()
+    );
+    if failed.is_empty() {
+        println!("every experiment ran to completion.");
+    } else {
+        eprintln!("failures: {failed:?}");
+        std::process::exit(1);
+    }
+}

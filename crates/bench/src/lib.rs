@@ -1,0 +1,161 @@
+//! Shared infrastructure for the experiment binaries (`src/bin/e*.rs`).
+//!
+//! Every binary reproduces one claim of the paper (see `DESIGN.md` §5 and
+//! `EXPERIMENTS.md` for the index). They share:
+//!
+//! * [`table`] — aligned plain-text table output (the "figures" of a
+//!   terminal reproduction);
+//! * [`stats`] — means, standard deviations and percentiles;
+//! * [`runtime`] — the `CURTAIN_SCALE` environment knob: `1` (default)
+//!   finishes each experiment in seconds; larger values multiply sample
+//!   counts for tighter error bars.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Aligned plain-text tables.
+pub mod table {
+    /// A fixed-column table printer.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use curtain_bench::table::Table;
+    ///
+    /// let t = Table::new(&["k", "d", "defect"]);
+    /// t.header();
+    /// t.row(&["64".into(), "3".into(), format!("{:.4}", 0.0321)]);
+    /// ```
+    pub struct Table {
+        columns: Vec<String>,
+        width: usize,
+    }
+
+    impl Table {
+        /// Creates a table with the given column names.
+        #[must_use]
+        pub fn new(columns: &[&str]) -> Self {
+            let width = columns.iter().map(|c| c.len()).max().unwrap_or(0).max(10) + 2;
+            Table { columns: columns.iter().map(ToString::to_string).collect(), width }
+        }
+
+        /// Prints the header row and a rule.
+        pub fn header(&self) {
+            let cells: Vec<String> = self
+                .columns
+                .iter()
+                .map(|c| format!("{c:>width$}", width = self.width))
+                .collect();
+            println!("{}", cells.join(""));
+            println!("{}", "-".repeat(self.width * self.columns.len()));
+        }
+
+        /// Prints one data row.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the cell count differs from the column count.
+        pub fn row(&self, cells: &[String]) {
+            assert_eq!(cells.len(), self.columns.len(), "cell count mismatch");
+            let cells: Vec<String> = cells
+                .iter()
+                .map(|c| format!("{c:>width$}", width = self.width))
+                .collect();
+            println!("{}", cells.join(""));
+        }
+    }
+}
+
+/// Summary statistics over f64 samples.
+pub mod stats {
+    /// Arithmetic mean (0.0 for empty input).
+    #[must_use]
+    pub fn mean(xs: &[f64]) -> f64 {
+        if xs.is_empty() {
+            return 0.0;
+        }
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    /// Population standard deviation (0.0 for fewer than two samples).
+    #[must_use]
+    pub fn std_dev(xs: &[f64]) -> f64 {
+        if xs.len() < 2 {
+            return 0.0;
+        }
+        let m = mean(xs);
+        (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+    }
+
+    /// The `pct` percentile (0–100) by nearest-rank on a copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or `pct` is out of range.
+    #[must_use]
+    pub fn percentile(xs: &[f64], pct: f64) -> f64 {
+        assert!(!xs.is_empty(), "empty sample");
+        assert!((0.0..=100.0).contains(&pct), "percentile out of range");
+        let mut v = xs.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        let rank = ((pct / 100.0) * (v.len() - 1) as f64).round() as usize;
+        v[rank]
+    }
+}
+
+/// Experiment sizing.
+pub mod runtime {
+    /// Reads `CURTAIN_SCALE` (default 1): a multiplier on sample counts.
+    #[must_use]
+    pub fn scale() -> u64 {
+        std::env::var("CURTAIN_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&s| s >= 1)
+            .unwrap_or(1)
+    }
+
+    /// Prints the standard experiment banner.
+    pub fn banner(id: &str, claim: &str) {
+        println!("=== {id} ===");
+        println!("claim: {claim}");
+        println!("scale: CURTAIN_SCALE={} (set higher for tighter error bars)", scale());
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(stats::mean(&xs), 2.5);
+        assert!((stats::std_dev(&xs) - 1.118033988749895).abs() < 1e-12);
+        assert_eq!(stats::percentile(&xs, 0.0), 1.0);
+        assert_eq!(stats::percentile(&xs, 100.0), 4.0);
+        assert_eq!(stats::percentile(&xs, 50.0), 3.0);
+    }
+
+    #[test]
+    fn stats_edge_cases() {
+        assert_eq!(stats::mean(&[]), 0.0);
+        assert_eq!(stats::std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn scale_defaults_to_one() {
+        // Unless the caller set it in the environment.
+        if std::env::var("CURTAIN_SCALE").is_err() {
+            assert_eq!(runtime::scale(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count mismatch")]
+    fn table_rejects_ragged_rows() {
+        let t = table::Table::new(&["a", "b"]);
+        t.row(&["only one".into()]);
+    }
+}

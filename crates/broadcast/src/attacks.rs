@@ -1,0 +1,88 @@
+//! Malicious-member models from §5 and §7.
+//!
+//! The paper distinguishes three attacks by members (not outsiders):
+//!
+//! * **Failure attacks** — adversaries join and then simply fail, perhaps
+//!   simultaneously ("cut-off the power … at the same time"). §5 proves
+//!   these are no worse than random failures as long as row positions are
+//!   random.
+//! * **Entropy-destruction attacks** — adversaries "simply pass on trivial
+//!   linear combinations of packets": they occupy `d` out-threads but
+//!   contribute at most one dimension to every descendant. Harder to
+//!   detect than failing (§7) because traffic keeps flowing.
+//! * **Jamming attacks** — adversaries inject random packets. "The random
+//!   packets have the potential, after network coding, of contaminating
+//!   almost every packet that almost every user receives" (§7). The paper
+//!   leaves homomorphic signatures as an open problem; experiment E12
+//!   quantifies the contamination.
+
+use rand::Rng;
+
+/// Per-node behaviour during a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AttackMode {
+    /// Normal protocol-following node.
+    #[default]
+    Honest,
+    /// Fails at session start (§5 failure attack).
+    Fail,
+    /// Forwards only (rescaled copies of) the first packet it ever
+    /// received — a trivial linear combination (§7).
+    EntropyDestruction,
+    /// Forwards uniformly random coefficient vectors with uniformly random
+    /// payloads (§7 jamming).
+    Jamming,
+}
+
+impl AttackMode {
+    /// True iff this node should be excluded from victim statistics.
+    #[must_use]
+    pub fn is_adversarial(self) -> bool {
+        self != AttackMode::Honest
+    }
+}
+
+/// Selects a uniformly random cohort of `fraction·n` client indices.
+///
+/// # Panics
+///
+/// Panics if `fraction` is outside `[0, 1]`.
+#[must_use]
+pub fn pick_cohort<R: Rng + ?Sized>(n: usize, fraction: f64, rng: &mut R) -> Vec<usize> {
+    assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
+    let count = ((n as f64 * fraction).round() as usize).min(n);
+    let mut idx: Vec<usize> = rand::seq::index::sample(rng, n, count).into_iter().collect();
+    idx.sort_unstable();
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cohort_size_and_uniqueness() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = pick_cohort(100, 0.15, &mut rng);
+        assert_eq!(c.len(), 15);
+        assert!(c.windows(2).all(|w| w[0] < w[1]));
+        assert!(c.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(pick_cohort(10, 0.0, &mut rng).is_empty());
+        assert_eq!(pick_cohort(10, 1.0, &mut rng).len(), 10);
+    }
+
+    #[test]
+    fn adversarial_flags() {
+        assert!(!AttackMode::Honest.is_adversarial());
+        assert!(AttackMode::Fail.is_adversarial());
+        assert!(AttackMode::EntropyDestruction.is_adversarial());
+        assert!(AttackMode::Jamming.is_adversarial());
+    }
+}

@@ -1,0 +1,523 @@
+//! Broadcast under live churn: the topology changes *during* the transfer.
+//!
+//! The static [`crate::Session`] snapshots an overlay; this module keeps
+//! the overlay alive. Joins, graceful leaves, failures and repairs are
+//! applied to the [`CurtainNetwork`] mid-broadcast and mirrored into the
+//! running simulation: new hosts and links appear, splice plans rewire
+//! parents to children, failed hosts fall silent until repaired out.
+//!
+//! This exercises the property the whole design rests on ([CWJ03] via §1):
+//! *because every packet carries its own coefficients, decodability
+//! survives arbitrary topology changes* — no routing tables, no tree
+//! recomputation, the repair is purely local.
+//!
+//! RLNC is the only strategy offered here: that is the paper's point — the
+//! baselines need global recomputation under churn, RLNC does not.
+
+use std::collections::HashMap;
+
+use curtain_overlay::{CurtainNetwork, Holder, NodeId, RepairPlan};
+use curtain_rlnc::{Encoder, Recoder};
+use curtain_simnet::{HostId, LinkConfig, World};
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+
+use crate::attacks::AttackMode;
+use crate::peer::{ClientRole, Msg, OutLink, Peer, Role, ServerRole};
+
+/// Parameters of a dynamic broadcast.
+#[derive(Debug, Clone)]
+pub struct DynamicConfig {
+    /// Content packets (one generation).
+    pub total_chunks: usize,
+    /// Bytes per packet.
+    pub packet_len: usize,
+    /// Link latency in ticks.
+    pub latency: u64,
+    /// Per-packet loss probability.
+    pub loss: f64,
+    /// Probability of a join per tick.
+    pub join_rate: f64,
+    /// Probability of a graceful leave (random member) per tick.
+    pub leave_rate: f64,
+    /// Probability of a failure (random member) per tick.
+    pub fail_rate: f64,
+    /// Ticks between a failure and its repair — the §2 repair interval.
+    pub repair_delay: u64,
+}
+
+impl DynamicConfig {
+    /// Reasonable defaults for a `total_chunks`-packet broadcast.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_chunks == 0` or `packet_len == 0`.
+    #[must_use]
+    pub fn new(total_chunks: usize, packet_len: usize) -> Self {
+        assert!(total_chunks > 0, "need at least one chunk");
+        assert!(packet_len > 0, "packets need at least one byte");
+        DynamicConfig {
+            total_chunks,
+            packet_len,
+            latency: 1,
+            loss: 0.0,
+            join_rate: 0.0,
+            leave_rate: 0.0,
+            fail_rate: 0.0,
+            repair_delay: 10,
+        }
+    }
+
+    /// Sets the churn rates.
+    #[must_use]
+    pub fn with_churn(mut self, join: f64, leave: f64, fail: f64, repair_delay: u64) -> Self {
+        self.join_rate = join;
+        self.leave_rate = leave;
+        self.fail_rate = fail;
+        self.repair_delay = repair_delay;
+        self
+    }
+
+    /// Sets the loss probability.
+    #[must_use]
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        self.loss = loss;
+        self
+    }
+}
+
+/// Outcome of a dynamic run.
+#[derive(Debug, Clone)]
+pub struct DynamicReport {
+    /// Members present at the end that had decoded everything.
+    pub completed_members: usize,
+    /// Members present at the end (working, honest).
+    pub final_members: usize,
+    /// Joins / leaves / failures / repairs applied during the run.
+    pub churn_counts: (u64, u64, u64, u64),
+    /// Ticks simulated.
+    pub ticks: u64,
+    /// Mean rank progress of end members (fraction of content).
+    pub mean_progress: f64,
+}
+
+impl DynamicReport {
+    /// Fraction of end members fully decoded.
+    #[must_use]
+    pub fn completion_fraction(&self) -> f64 {
+        if self.final_members == 0 {
+            return 0.0;
+        }
+        self.completed_members as f64 / self.final_members as f64
+    }
+}
+
+/// A broadcast session over a *live* curtain network.
+pub struct DynamicSession {
+    net: CurtainNetwork,
+    world: World<Peer, Msg>,
+    host_of: HashMap<NodeId, HostId>,
+    cfg: DynamicConfig,
+    rng: StdRng,
+    pending_repairs: Vec<(NodeId, u64)>,
+    churn_counts: (u64, u64, u64, u64),
+    link_cfg: LinkConfig,
+}
+
+impl DynamicSession {
+    /// Starts a session over an existing network. The server (host 0)
+    /// carries the whole generation; every current member starts empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network contains failed members (repair first) or the
+    /// config is inconsistent.
+    #[must_use]
+    pub fn new(net: CurtainNetwork, cfg: DynamicConfig, seed: u64) -> Self {
+        assert!(
+            net.failed_nodes().is_empty(),
+            "start from a repaired network; inject failures through the session"
+        );
+        let mut content_rng = StdRng::seed_from_u64(seed ^ 0xd1a_c0de);
+        let content: Vec<Vec<u8>> = (0..cfg.total_chunks)
+            .map(|_| {
+                let mut c = vec![0u8; cfg.packet_len];
+                content_rng.fill(&mut c[..]);
+                c
+            })
+            .collect();
+        let mut world: World<Peer, Msg> = World::new(seed);
+        world.add_actor(Peer {
+            alive: true,
+            attack: AttackMode::Honest,
+            outs: Vec::new(),
+            role: Role::Server(ServerRole::Rlnc {
+                encoder: Encoder::new(0, content).expect("non-empty content"),
+            }),
+            completed_at: Some(0),
+            cursors: Vec::new(),
+            gen_size: cfg.total_chunks,
+            packet_len: cfg.packet_len,
+            received_packets: 0,
+            sent_packets: 0,
+        });
+        let link_cfg = LinkConfig::reliable(cfg.latency).with_loss(cfg.loss);
+        let mut session = DynamicSession {
+            net,
+            world,
+            host_of: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed ^ 0xc4u64),
+            pending_repairs: Vec::new(),
+            churn_counts: (0, 0, 0, 0),
+            link_cfg,
+            cfg,
+        };
+        // Mirror the existing members and edges.
+        for row in session.net.matrix().rows().to_vec() {
+            session.add_host(row.node());
+        }
+        let matrix = session.net.matrix().clone();
+        for pos in 0..matrix.len() {
+            let child = matrix.row(pos).node();
+            for (thread, parent) in matrix.parents_of_position(pos) {
+                session.add_stream(parent, child, thread);
+            }
+        }
+        session
+    }
+
+    /// The live overlay.
+    #[must_use]
+    pub fn network(&self) -> &CurtainNetwork {
+        &self.net
+    }
+
+    fn add_host(&mut self, node: NodeId) -> HostId {
+        let host = self.world.add_actor(Peer {
+            alive: true,
+            attack: AttackMode::Honest,
+            outs: Vec::new(),
+            role: Role::Client(ClientRole::Rlnc {
+                recoder: Recoder::new(0, self.cfg.total_chunks, self.cfg.packet_len),
+                pinned: None,
+            }),
+            completed_at: None,
+            cursors: Vec::new(),
+            gen_size: self.cfg.total_chunks,
+            packet_len: self.cfg.packet_len,
+            received_packets: 0,
+            sent_packets: 0,
+        });
+        self.host_of.insert(node, host);
+        host
+    }
+
+    fn host(&self, holder: Holder) -> HostId {
+        match holder {
+            Holder::Server => HostId(0),
+            Holder::Node(n) => self.host_of[&n],
+        }
+    }
+
+    /// Connects `parent --thread--> child` with a fresh link.
+    fn add_stream(&mut self, parent: Holder, child: NodeId, thread: u16) {
+        let from = self.host(parent);
+        let to = self.host_of[&child];
+        let link = self.world.add_link(from, to, self.link_cfg);
+        let sender = self.world.actor_mut(from);
+        sender.outs.push(OutLink { link, thread: Some(thread) });
+        sender.cursors.push(0);
+    }
+
+    /// Removes the out-link `parent --thread--> child` if present.
+    fn remove_stream(&mut self, parent: Holder, child: NodeId, thread: u16) {
+        let to = self.host_of[&child];
+        let from = self.host(parent);
+        let world = &mut self.world;
+        let sender_outs: Vec<(usize, OutLink)> = world
+            .actor(from)
+            .outs
+            .iter()
+            .copied()
+            .enumerate()
+            .collect();
+        for (i, out) in sender_outs {
+            if out.thread == Some(thread) && world.link(out.link).to() == to.0 {
+                let sender = world.actor_mut(from);
+                sender.outs.remove(i);
+                sender.cursors.remove(i);
+                return;
+            }
+        }
+    }
+
+    /// Applies a join: the overlay admits the node, streams start flowing.
+    pub fn apply_join(&mut self) -> NodeId {
+        let grant = self.net.server_mut().hello(&mut self.rng);
+        self.add_host(grant.node);
+        for (thread, parent) in grant.parents {
+            self.add_stream(parent, grant.node, thread);
+        }
+        self.churn_counts.0 += 1;
+        grant.node
+    }
+
+    /// Applies a splice plan: each redirect rewires one thread.
+    fn apply_plan(&mut self, plan: &RepairPlan) {
+        let leaver = plan.node;
+        for r in &plan.redirects {
+            // The leaver's uplink to its child dies with the leaver's host;
+            // mark the host dead below. New stream: parent -> child.
+            if let Some(child) = r.child {
+                self.remove_stream(Holder::Node(leaver), child, r.thread);
+                self.add_stream(r.new_parent, child, r.thread);
+            }
+            // The parent's stream to the leaver stops.
+            self.remove_stream(r.new_parent, leaver, r.thread);
+        }
+        let host = self.host_of[&leaver];
+        self.world.actor_mut(host).alive = false;
+    }
+
+    /// Applies a graceful leave of `node`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates overlay protocol errors.
+    pub fn apply_leave(&mut self, node: NodeId) -> Result<(), curtain_overlay::OverlayError> {
+        let plan = self.net.server_mut().goodbye(node)?;
+        self.apply_plan(&plan);
+        self.churn_counts.1 += 1;
+        Ok(())
+    }
+
+    /// Applies a failure of `node` (silent host; repair follows after the
+    /// configured delay).
+    ///
+    /// # Errors
+    ///
+    /// Propagates overlay protocol errors.
+    pub fn apply_failure(&mut self, node: NodeId) -> Result<(), curtain_overlay::OverlayError> {
+        self.net.fail(node)?;
+        let host = self.host_of[&node];
+        self.world.actor_mut(host).alive = false;
+        self.pending_repairs
+            .push((node, self.world.now().ticks() + self.cfg.repair_delay));
+        self.churn_counts.2 += 1;
+        Ok(())
+    }
+
+    /// Repairs a failed node now (normally driven by the tick loop).
+    ///
+    /// # Errors
+    ///
+    /// Propagates overlay protocol errors.
+    pub fn apply_repair(&mut self, node: NodeId) -> Result<(), curtain_overlay::OverlayError> {
+        let plan = self.net.server_mut().repair(node)?;
+        self.apply_plan(&plan);
+        self.churn_counts.3 += 1;
+        Ok(())
+    }
+
+    /// One tick: due repairs, random churn events, then the network tick.
+    pub fn tick(&mut self) {
+        let now = self.world.now().ticks();
+        // Due repairs.
+        let due: Vec<NodeId> = self
+            .pending_repairs
+            .iter()
+            .filter(|(_, at)| *at <= now)
+            .map(|(n, _)| *n)
+            .collect();
+        self.pending_repairs.retain(|(_, at)| *at > now);
+        for node in due {
+            let _ = self.apply_repair(node);
+        }
+        // Random churn.
+        if self.cfg.join_rate > 0.0 && self.rng.random_bool(self.cfg.join_rate) {
+            self.apply_join();
+        }
+        if self.cfg.leave_rate > 0.0 && self.rng.random_bool(self.cfg.leave_rate) {
+            if let Some(node) = self.pick_working() {
+                let _ = self.apply_leave(node);
+            }
+        }
+        if self.cfg.fail_rate > 0.0 && self.rng.random_bool(self.cfg.fail_rate) {
+            if let Some(node) = self.pick_working() {
+                let _ = self.apply_failure(node);
+            }
+        }
+        self.world.tick();
+    }
+
+    fn pick_working(&mut self) -> Option<NodeId> {
+        let working: Vec<NodeId> = self
+            .net
+            .matrix()
+            .rows()
+            .iter()
+            .filter(|r| r.status() == curtain_overlay::NodeStatus::Working)
+            .map(|r| r.node())
+            .collect();
+        if working.is_empty() {
+            None
+        } else {
+            Some(working[self.rng.random_range(0..working.len())])
+        }
+    }
+
+    /// Runs `ticks` ticks and reports the end state.
+    pub fn run(&mut self, ticks: u64) -> DynamicReport {
+        for _ in 0..ticks {
+            self.tick();
+        }
+        self.report()
+    }
+
+    /// Builds a report for the current state.
+    #[must_use]
+    pub fn report(&self) -> DynamicReport {
+        let mut completed = 0;
+        let mut members = 0;
+        let mut progress_acc = 0.0;
+        for row in self.net.matrix().rows() {
+            if row.status() != curtain_overlay::NodeStatus::Working {
+                continue;
+            }
+            let host = self.host_of[&row.node()];
+            let peer = self.world.actor(host);
+            members += 1;
+            progress_acc += peer.progress();
+            if peer.completed_at.is_some() {
+                completed += 1;
+            }
+        }
+        DynamicReport {
+            completed_members: completed,
+            final_members: members,
+            churn_counts: self.churn_counts,
+            ticks: self.world.now().ticks(),
+            mean_progress: progress_acc / f64::from(members.max(1) as u32),
+        }
+    }
+
+    /// Rank progress of one member (for tests).
+    #[must_use]
+    pub fn progress_of(&self, node: NodeId) -> Option<f64> {
+        let host = self.host_of.get(&node)?;
+        Some(self.world.actor(*host).progress())
+    }
+}
+
+impl std::fmt::Debug for DynamicSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DynamicSession")
+            .field("members", &self.net.len())
+            .field("now", &self.world.now())
+            .field("churn", &self.churn_counts)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use curtain_overlay::OverlayConfig;
+
+    fn network(k: usize, d: usize, n: usize, seed: u64) -> CurtainNetwork {
+        let mut net = CurtainNetwork::new(OverlayConfig::new(k, d)).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..n {
+            net.join(&mut rng);
+        }
+        net
+    }
+
+    #[test]
+    fn no_churn_matches_static_expectations() {
+        let net = network(8, 2, 20, 1);
+        let mut s = DynamicSession::new(net, DynamicConfig::new(16, 32), 2);
+        let report = s.run(200);
+        assert_eq!(report.completion_fraction(), 1.0);
+        assert_eq!(report.churn_counts, (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn joins_mid_broadcast_catch_up() {
+        let net = network(8, 2, 10, 3);
+        let mut s = DynamicSession::new(net, DynamicConfig::new(12, 32), 4);
+        // Let the broadcast run a while, then a latecomer joins.
+        for _ in 0..30 {
+            s.tick();
+        }
+        let late = s.apply_join();
+        assert_eq!(s.progress_of(late), Some(0.0));
+        for _ in 0..100 {
+            s.tick();
+        }
+        assert_eq!(s.progress_of(late), Some(1.0), "latecomer must fully decode");
+    }
+
+    #[test]
+    fn graceful_leave_mid_broadcast_does_not_strand_children() {
+        let net = network(6, 2, 25, 5);
+        let mut s = DynamicSession::new(net, DynamicConfig::new(16, 32), 6);
+        for _ in 0..10 {
+            s.tick();
+        }
+        // An early (upstream) member leaves mid-transfer.
+        let victim = s.network().node_ids()[1];
+        s.apply_leave(victim).unwrap();
+        let report = s.run(300);
+        assert_eq!(report.completion_fraction(), 1.0);
+    }
+
+    #[test]
+    fn failure_then_repair_lets_descendants_finish() {
+        let net = network(6, 2, 25, 7);
+        let cfg = DynamicConfig { repair_delay: 20, ..DynamicConfig::new(24, 32) };
+        let mut s = DynamicSession::new(net, cfg, 8);
+        for _ in 0..5 {
+            s.tick();
+        }
+        let victim = s.network().node_ids()[0];
+        s.apply_failure(victim).unwrap();
+        let report = s.run(500);
+        // The victim is repaired (spliced out); everyone remaining decodes.
+        assert_eq!(report.churn_counts.3, 1, "repair must have run");
+        assert_eq!(report.completion_fraction(), 1.0);
+        assert!(s.network().matrix().position_of(victim).is_none());
+    }
+
+    #[test]
+    fn sustained_churn_still_completes_for_members() {
+        let net = network(16, 3, 40, 9);
+        let cfg = DynamicConfig::new(20, 32)
+            .with_churn(0.10, 0.05, 0.02, 15)
+            .with_loss(0.02);
+        let mut s = DynamicSession::new(net, cfg, 10);
+        let report = s.run(800);
+        let (joins, leaves, fails, repairs) = report.churn_counts;
+        assert!(joins > 20, "expected churn, got {joins} joins");
+        assert!(leaves > 5);
+        assert!(fails > 2);
+        assert!(repairs > 0);
+        // Overwhelming majority of the survivors hold the full content
+        // (recent joiners may still be catching up).
+        assert!(
+            report.completion_fraction() > 0.85,
+            "completion {:.2} too low under churn",
+            report.completion_fraction()
+        );
+        s.network().matrix().assert_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "repaired network")]
+    fn rejects_networks_with_standing_failures() {
+        let mut net = network(8, 2, 5, 11);
+        let id = net.node_ids()[0];
+        net.fail(id).unwrap();
+        let _ = DynamicSession::new(net, DynamicConfig::new(8, 16), 12);
+    }
+}

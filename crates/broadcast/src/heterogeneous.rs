@@ -1,0 +1,213 @@
+//! §5 heterogeneity: mixed node degrees and priority-encoded layers.
+//!
+//! *"The proofs assume equal bandwidth for all the nodes. However, the
+//! design of the system does not use this fact anywhere. … The ability to
+//! handle heterogeneous users allows priority encoding transmission [2] or
+//! other means for users with higher bandwidth connections to get higher
+//! resolution broadcasts."*
+//!
+//! A node of bandwidth class `d_i` clips `d_i` threads; its broadcast rate
+//! is its min-cut (≈ `d_i`). With priority encoding (PET), the content is
+//! layered so that *any* `r` received units decode the first `layers(r)`
+//! layers — here modelled by rank thresholds over the RLNC generation.
+
+use curtain_overlay::{CurtainNetwork, NodeId, OverlayConfig, OverlayError};
+use rand::Rng;
+
+/// A priority-encoding profile: layer `ℓ` is decodable once the received
+/// rank reaches `thresholds[ℓ]`.
+///
+/// # Example
+///
+/// ```
+/// use curtain_broadcast::heterogeneous::PetProfile;
+///
+/// // Base layer at rank 8, enhancement at 12, full quality at 16.
+/// let pet = PetProfile::new(vec![8, 12, 16]);
+/// assert_eq!(pet.layers_decodable(7), 0);
+/// assert_eq!(pet.layers_decodable(12), 2);
+/// assert_eq!(pet.layers_decodable(16), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PetProfile {
+    thresholds: Vec<usize>,
+}
+
+impl PetProfile {
+    /// Creates a profile from strictly increasing rank thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thresholds` is empty or not strictly increasing.
+    #[must_use]
+    pub fn new(thresholds: Vec<usize>) -> Self {
+        assert!(!thresholds.is_empty(), "need at least one layer");
+        assert!(
+            thresholds.windows(2).all(|w| w[0] < w[1]),
+            "thresholds must be strictly increasing"
+        );
+        PetProfile { thresholds }
+    }
+
+    /// Number of layers.
+    #[must_use]
+    pub fn layer_count(&self) -> usize {
+        self.thresholds.len()
+    }
+
+    /// How many layers a node with the given received rank can decode.
+    #[must_use]
+    pub fn layers_decodable(&self, rank: usize) -> usize {
+        self.thresholds.iter().take_while(|&&t| t <= rank).count()
+    }
+
+    /// The rank needed for full quality.
+    #[must_use]
+    pub fn full_rank(&self) -> usize {
+        *self.thresholds.last().expect("non-empty")
+    }
+}
+
+/// A bandwidth class: how many threads its members clip, and how many
+/// members to admit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BandwidthClass {
+    /// Human-readable label ("DSL", "T1", …).
+    pub name: &'static str,
+    /// Degree `d_i` for this class.
+    pub degree: usize,
+    /// Members to admit.
+    pub count: usize,
+}
+
+/// Builds a curtain with interleaved members of several bandwidth classes.
+/// Returns the network and, per admitted node, its class index.
+///
+/// Members are admitted round-robin across classes so arrival order does
+/// not correlate with class.
+///
+/// # Errors
+///
+/// Propagates configuration errors.
+///
+/// # Panics
+///
+/// Panics if a class degree exceeds `k` or `classes` is empty.
+pub fn build_heterogeneous_curtain<R: Rng + ?Sized>(
+    k: usize,
+    classes: &[BandwidthClass],
+    rng: &mut R,
+) -> Result<(CurtainNetwork, Vec<(NodeId, usize)>), OverlayError> {
+    assert!(!classes.is_empty(), "need at least one class");
+    let max_d = classes.iter().map(|c| c.degree).max().expect("non-empty");
+    assert!(max_d <= k, "class degree exceeds k");
+    // The config's d is only the default; per-admit degrees override it.
+    let mut net = CurtainNetwork::new(OverlayConfig::new(k, max_d))?;
+    let mut members = Vec::new();
+    let mut remaining: Vec<usize> = classes.iter().map(|c| c.count).collect();
+    loop {
+        let mut any = false;
+        for (ci, class) in classes.iter().enumerate() {
+            if remaining[ci] == 0 {
+                continue;
+            }
+            remaining[ci] -= 1;
+            any = true;
+            let grant = net.server_mut().hello_with_degree(class.degree, rng);
+            members.push((grant.node, ci));
+        }
+        if !any {
+            break;
+        }
+    }
+    Ok((net, members))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pet_layer_boundaries() {
+        let pet = PetProfile::new(vec![4, 8, 16]);
+        assert_eq!(pet.layer_count(), 3);
+        assert_eq!(pet.layers_decodable(0), 0);
+        assert_eq!(pet.layers_decodable(3), 0);
+        assert_eq!(pet.layers_decodable(4), 1);
+        assert_eq!(pet.layers_decodable(15), 2);
+        assert_eq!(pet.layers_decodable(100), 3);
+        assert_eq!(pet.full_rank(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn pet_rejects_non_increasing() {
+        let _ = PetProfile::new(vec![4, 4]);
+    }
+
+    #[test]
+    fn heterogeneous_curtain_has_mixed_degrees() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let classes = [
+            BandwidthClass { name: "DSL", degree: 2, count: 20 },
+            BandwidthClass { name: "T1", degree: 5, count: 10 },
+        ];
+        let (net, members) = build_heterogeneous_curtain(16, &classes, &mut rng).unwrap();
+        assert_eq!(net.len(), 30);
+        assert_eq!(members.len(), 30);
+        for (node, ci) in &members {
+            let pos = net.matrix().position_of(*node).unwrap();
+            assert_eq!(net.matrix().row(pos).threads().len(), classes[*ci].degree);
+        }
+        net.matrix().assert_invariants();
+    }
+
+    #[test]
+    fn higher_degree_classes_get_higher_connectivity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let classes = [
+            BandwidthClass { name: "DSL", degree: 2, count: 25 },
+            BandwidthClass { name: "T1", degree: 6, count: 25 },
+        ];
+        let (net, members) = build_heterogeneous_curtain(24, &classes, &mut rng).unwrap();
+        let mean_conn = |ci: usize| {
+            let conns: Vec<usize> = members
+                .iter()
+                .filter(|(_, c)| *c == ci)
+                .map(|(n, _)| net.connectivity_of(*n).unwrap())
+                .collect();
+            conns.iter().sum::<usize>() as f64 / conns.len() as f64
+        };
+        let dsl = mean_conn(0);
+        let t1 = mean_conn(1);
+        assert!(
+            t1 > dsl + 2.0,
+            "T1 class (mean {t1:.2}) should far exceed DSL (mean {dsl:.2})"
+        );
+    }
+
+    #[test]
+    fn pet_gives_more_layers_to_faster_nodes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let classes = [
+            BandwidthClass { name: "slow", degree: 2, count: 15 },
+            BandwidthClass { name: "fast", degree: 4, count: 15 },
+        ];
+        let (net, members) = build_heterogeneous_curtain(16, &classes, &mut rng).unwrap();
+        let pet = PetProfile::new(vec![1, 3, 4]);
+        // Use connectivity as the sustained per-tick rank rate: a node with
+        // min-cut c sustains c units per tick, so after one "deadline" its
+        // rank is proportional to c.
+        let layers = |ci: usize| -> f64 {
+            let ls: Vec<usize> = members
+                .iter()
+                .filter(|(_, c)| *c == ci)
+                .map(|(n, _)| pet.layers_decodable(net.connectivity_of(*n).unwrap()))
+                .collect();
+            ls.iter().sum::<usize>() as f64 / ls.len() as f64
+        };
+        assert!(layers(1) > layers(0));
+    }
+}

@@ -1,0 +1,221 @@
+//! Session outcome reporting.
+
+use curtain_simnet::NetStats;
+
+/// Per-node and aggregate outcome of one broadcast session.
+///
+/// "Victims" are the honest, initially-live clients; dead nodes and
+/// adversaries are flagged in [`SessionReport::excluded`] and ignored by
+/// the aggregate statistics.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// Tick at which each client completed the content; `None` = never.
+    pub completed_at: Vec<Option<u64>>,
+    /// Fraction of the content each client held at the end.
+    pub progress: Vec<f64>,
+    /// True for clients that "completed" but whose recovered content does
+    /// not match the original (jamming pollution).
+    pub corrupted: Vec<bool>,
+    /// True for dead or adversarial clients (excluded from aggregates).
+    pub excluded: Vec<bool>,
+    /// Link-level traffic counters.
+    pub net: NetStats,
+    /// Ticks actually simulated.
+    pub ticks_run: u64,
+    /// Packets each client accepted (fairness accounting).
+    pub received_packets: Vec<u64>,
+    /// Packets each client offered upstream of the link layer.
+    pub sent_packets: Vec<u64>,
+}
+
+impl SessionReport {
+    fn victims(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.completed_at.len()).filter(|&i| !self.excluded[i])
+    }
+
+    /// Number of honest live clients.
+    #[must_use]
+    pub fn victim_count(&self) -> usize {
+        self.victims().count()
+    }
+
+    /// Fraction of victims that completed *with correct content*.
+    #[must_use]
+    pub fn completion_fraction(&self) -> f64 {
+        let total = self.victim_count();
+        if total == 0 {
+            return 0.0;
+        }
+        let done = self
+            .victims()
+            .filter(|&i| self.completed_at[i].is_some() && !self.corrupted[i])
+            .count();
+        done as f64 / total as f64
+    }
+
+    /// Fraction of victims whose recovered content was corrupt.
+    #[must_use]
+    pub fn corruption_fraction(&self) -> f64 {
+        let total = self.victim_count();
+        if total == 0 {
+            return 0.0;
+        }
+        self.victims().filter(|&i| self.corrupted[i]).count() as f64 / total as f64
+    }
+
+    /// Mean completion tick over victims that completed correctly.
+    #[must_use]
+    pub fn mean_completion_tick(&self) -> Option<f64> {
+        let done: Vec<u64> = self
+            .victims()
+            .filter(|&i| !self.corrupted[i])
+            .filter_map(|i| self.completed_at[i])
+            .collect();
+        if done.is_empty() {
+            return None;
+        }
+        Some(done.iter().sum::<u64>() as f64 / done.len() as f64)
+    }
+
+    /// A completion-tick percentile (0–100) over correctly completed
+    /// victims.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pct` is outside `[0, 100]`.
+    #[must_use]
+    pub fn completion_percentile(&self, pct: f64) -> Option<u64> {
+        assert!((0.0..=100.0).contains(&pct), "percentile out of range");
+        let mut done: Vec<u64> = self
+            .victims()
+            .filter(|&i| !self.corrupted[i])
+            .filter_map(|i| self.completed_at[i])
+            .collect();
+        if done.is_empty() {
+            return None;
+        }
+        done.sort_unstable();
+        let rank = ((pct / 100.0) * (done.len() - 1) as f64).round() as usize;
+        Some(done[rank])
+    }
+
+    /// Mean end-of-run progress over victims (1.0 = everyone has all the
+    /// content, complete or not).
+    #[must_use]
+    pub fn mean_progress(&self) -> f64 {
+        let total = self.victim_count();
+        if total == 0 {
+            return 0.0;
+        }
+        self.victims().map(|i| self.progress[i]).sum::<f64>() / total as f64
+    }
+
+    /// *Goodput proxy*: mean victim progress divided by ticks run — content
+    /// fraction delivered per tick.
+    #[must_use]
+    pub fn goodput(&self) -> f64 {
+        if self.ticks_run == 0 {
+            return 0.0;
+        }
+        self.mean_progress() / self.ticks_run as f64
+    }
+
+    /// Per-victim upload/download ratios — §7's incentive measure: "each
+    /// node is required to reliably transmit as many bytes as it consumes".
+    /// A ratio ≥ 1 means the node repaid its download.
+    #[must_use]
+    pub fn upload_ratios(&self) -> Vec<f64> {
+        self.victims()
+            .map(|i| {
+                let down = self.received_packets[i].max(1) as f64;
+                self.sent_packets[i] as f64 / down
+            })
+            .collect()
+    }
+
+    /// Fraction of victims whose upload/download ratio is at least `bar`.
+    #[must_use]
+    pub fn fair_fraction(&self, bar: f64) -> f64 {
+        let ratios = self.upload_ratios();
+        if ratios.is_empty() {
+            return 0.0;
+        }
+        ratios.iter().filter(|&&r| r >= bar).count() as f64 / ratios.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SessionReport {
+        SessionReport {
+            completed_at: vec![Some(10), Some(20), None, Some(30), Some(5)],
+            progress: vec![1.0, 1.0, 0.5, 1.0, 1.0],
+            corrupted: vec![false, false, false, true, false],
+            excluded: vec![false, false, false, false, true],
+            net: NetStats::default(),
+            ticks_run: 100,
+            received_packets: vec![100, 100, 50, 100, 100],
+            sent_packets: vec![100, 90, 10, 100, 0],
+        }
+    }
+
+    #[test]
+    fn victim_accounting() {
+        let r = report();
+        assert_eq!(r.victim_count(), 4);
+        // Victims: 0 (done), 1 (done), 2 (incomplete), 3 (corrupt).
+        assert!((r.completion_fraction() - 0.5).abs() < 1e-12);
+        assert!((r.corruption_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn completion_stats() {
+        let r = report();
+        assert_eq!(r.mean_completion_tick(), Some(15.0));
+        assert_eq!(r.completion_percentile(0.0), Some(10));
+        assert_eq!(r.completion_percentile(100.0), Some(20));
+    }
+
+    #[test]
+    fn progress_and_goodput() {
+        let r = report();
+        assert!((r.mean_progress() - 3.5 / 4.0).abs() < 1e-12);
+        assert!((r.goodput() - 3.5 / 4.0 / 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = SessionReport {
+            completed_at: vec![],
+            progress: vec![],
+            corrupted: vec![],
+            excluded: vec![],
+            net: NetStats::default(),
+            ticks_run: 0,
+            received_packets: vec![],
+            sent_packets: vec![],
+        };
+        assert_eq!(r.completion_fraction(), 0.0);
+        assert_eq!(r.mean_completion_tick(), None);
+        assert_eq!(r.goodput(), 0.0);
+    }
+
+    #[test]
+    fn fairness_accounting() {
+        let r = report();
+        // Victims are indices 0..=3; ratios = 1.0, 0.9, 0.2, 1.0.
+        let ratios = r.upload_ratios();
+        assert_eq!(ratios.len(), 4);
+        assert!((ratios[0] - 1.0).abs() < 1e-12);
+        assert!((r.fair_fraction(0.9) - 0.75).abs() < 1e-12);
+        assert!((r.fair_fraction(1.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_validated() {
+        let _ = report().completion_percentile(150.0);
+    }
+}

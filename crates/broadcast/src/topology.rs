@@ -1,0 +1,248 @@
+//! Topology snapshots: from overlay structures to a flat edge list.
+
+use curtain_overlay::forest::{ForestOverlay, TreeParent};
+use curtain_overlay::random_graph::RandomGraphOverlay;
+use curtain_overlay::{CurtainNetwork, NodeStatus, ThreadId};
+
+/// The upper endpoint of an overlay edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// The broadcast server.
+    Server,
+    /// Client node by dense index (0-based, matrix order).
+    Node(usize),
+}
+
+/// A directed overlay edge: one unit-bandwidth stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverlayEdge {
+    /// Sender.
+    pub from: Endpoint,
+    /// Receiving client (dense index).
+    pub to: usize,
+    /// The thread (column of `M`) this edge belongs to, when the topology
+    /// came from a curtain; `None` for random-graph edges. The erasure
+    /// strategy uses it to route share `thread` down column `thread`.
+    pub thread: Option<ThreadId>,
+}
+
+/// A static snapshot of an overlay, ready to simulate.
+///
+/// Dead nodes keep their index (so reports align with the overlay) but
+/// neither forward nor count toward completion statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologySpec {
+    /// Number of client nodes.
+    pub nodes: usize,
+    /// Server fan-out `k` (number of threads), when known.
+    pub k: usize,
+    /// All overlay edges.
+    pub edges: Vec<OverlayEdge>,
+    /// Per client: true if the node is failed at session start.
+    pub dead: Vec<bool>,
+}
+
+impl TopologySpec {
+    /// Snapshots a curtain network. Client index = row position in `M`.
+    ///
+    /// Edges incident to failed rows are included (the matrix still routes
+    /// streams *to* a failed node's position) but the dead node will not
+    /// forward, reproducing the §2 failure semantics.
+    #[must_use]
+    pub fn from_curtain(net: &CurtainNetwork) -> Self {
+        let matrix = net.matrix();
+        let nodes = matrix.len();
+        let k = matrix.k();
+        let mut edges = Vec::new();
+        // Walk each column: consecutive holders form edges.
+        let mut last_holder: Vec<Endpoint> = vec![Endpoint::Server; k];
+        for (pos, row) in matrix.rows().iter().enumerate() {
+            for &t in row.threads() {
+                edges.push(OverlayEdge {
+                    from: last_holder[t as usize],
+                    to: pos,
+                    thread: Some(t),
+                });
+                last_holder[t as usize] = Endpoint::Node(pos);
+            }
+        }
+        let dead = matrix
+            .rows()
+            .iter()
+            .map(|r| r.status() == NodeStatus::Failed)
+            .collect();
+        TopologySpec { nodes, k, edges, dead }
+    }
+
+    /// Snapshots a §6 random-graph overlay. Client index = vertex − 1.
+    /// Hanging edges are skipped (they carry no stream yet).
+    #[must_use]
+    pub fn from_random_graph(net: &RandomGraphOverlay) -> Self {
+        let nodes = net.len();
+        let edges = net
+            .edges()
+            .iter()
+            .filter_map(|e| {
+                let to = e.lower?;
+                let from = if e.upper == curtain_overlay::random_graph::SERVER {
+                    Endpoint::Server
+                } else {
+                    Endpoint::Node(e.upper - 1)
+                };
+                Some(OverlayEdge { from, to: to - 1, thread: None })
+            })
+            .collect();
+        TopologySpec { nodes, k: net.k(), edges, dead: vec![false; nodes] }
+    }
+
+    /// Snapshots a §6 SplitStream-style forest. Tree `t` maps to thread
+    /// `t`, so the source-erasure strategy stripes exactly one share per
+    /// tree — the classic resilient-streaming baseline ([10, 4]).
+    #[must_use]
+    pub fn from_forest(forest: &ForestOverlay) -> Self {
+        let nodes = forest.len();
+        let edges = forest
+            .edges()
+            .into_iter()
+            .map(|(tree, parent, child)| OverlayEdge {
+                from: match parent {
+                    TreeParent::Server => Endpoint::Server,
+                    TreeParent::Node(p) => Endpoint::Node(p),
+                },
+                to: child,
+                thread: Some(tree as ThreadId),
+            })
+            .collect();
+        TopologySpec { nodes, k: forest.trees(), edges, dead: vec![false; nodes] }
+    }
+
+    /// Marks a set of client indices dead (post-snapshot failure injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn kill(&mut self, indices: &[usize]) {
+        for &i in indices {
+            self.dead[i] = true;
+        }
+    }
+
+    /// Number of live clients.
+    #[must_use]
+    pub fn live_nodes(&self) -> usize {
+        self.dead.iter().filter(|&&d| !d).count()
+    }
+
+    /// In-degree of each client (streams it receives).
+    #[must_use]
+    pub fn in_degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.nodes];
+        for e in &self.edges {
+            deg[e.to] += 1;
+        }
+        deg
+    }
+
+    /// Checks structural sanity (indices in range, erasure threads in `k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on violations.
+    pub fn assert_invariants(&self) {
+        assert_eq!(self.dead.len(), self.nodes, "dead mask length");
+        for e in &self.edges {
+            assert!(e.to < self.nodes, "edge target out of range");
+            if let Endpoint::Node(u) = e.from {
+                assert!(u < self.nodes, "edge source out of range");
+            }
+            if let Some(t) = e.thread {
+                assert!((t as usize) < self.k, "thread out of range");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use curtain_overlay::OverlayConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn curtain_snapshot_has_d_in_edges_per_node() {
+        let mut net = CurtainNetwork::new(OverlayConfig::new(8, 3)).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..15 {
+            net.join(&mut rng);
+        }
+        let topo = TopologySpec::from_curtain(&net);
+        topo.assert_invariants();
+        assert_eq!(topo.nodes, 15);
+        assert_eq!(topo.in_degrees(), vec![3; 15]);
+        assert_eq!(topo.live_nodes(), 15);
+        // Total edges = N * d.
+        assert_eq!(topo.edges.len(), 45);
+    }
+
+    #[test]
+    fn curtain_snapshot_tracks_failures() {
+        let mut net = CurtainNetwork::new(OverlayConfig::new(8, 2)).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let ids: Vec<_> = (0..10).map(|_| net.join(&mut rng)).collect();
+        net.fail(ids[4]).unwrap();
+        let topo = TopologySpec::from_curtain(&net);
+        assert!(topo.dead[4]);
+        assert_eq!(topo.live_nodes(), 9);
+    }
+
+    #[test]
+    fn first_rows_connect_to_server() {
+        let mut net = CurtainNetwork::new(OverlayConfig::new(4, 4)).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        net.join(&mut rng);
+        let topo = TopologySpec::from_curtain(&net);
+        assert_eq!(topo.edges.len(), 4);
+        assert!(topo.edges.iter().all(|e| e.from == Endpoint::Server && e.to == 0));
+    }
+
+    #[test]
+    fn random_graph_snapshot() {
+        let mut rg = RandomGraphOverlay::new(6, 2);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..20 {
+            rg.join(&mut rng);
+        }
+        let topo = TopologySpec::from_random_graph(&rg);
+        topo.assert_invariants();
+        assert_eq!(topo.nodes, 20);
+        assert_eq!(topo.in_degrees(), vec![2; 20]);
+        assert!(topo.edges.iter().all(|e| e.thread.is_none()));
+    }
+
+    #[test]
+    fn forest_snapshot_has_tree_threads() {
+        let mut f = ForestOverlay::new(3, 4);
+        for _ in 0..30 {
+            f.join();
+        }
+        let topo = TopologySpec::from_forest(&f);
+        topo.assert_invariants();
+        assert_eq!(topo.nodes, 30);
+        assert_eq!(topo.k, 3);
+        assert_eq!(topo.in_degrees(), vec![3; 30]);
+        assert!(topo.edges.iter().all(|e| e.thread.is_some()));
+    }
+
+    #[test]
+    fn kill_marks_dead() {
+        let mut rg = RandomGraphOverlay::new(4, 2);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..5 {
+            rg.join(&mut rng);
+        }
+        let mut topo = TopologySpec::from_random_graph(&rg);
+        topo.kill(&[1, 3]);
+        assert_eq!(topo.live_nodes(), 3);
+    }
+}

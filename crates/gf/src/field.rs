@@ -1,0 +1,167 @@
+//! The [`Field`] trait: the algebraic contract shared by GF(2⁸) and GF(2¹⁶).
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use rand::{Rng, RngExt};
+
+/// A finite field of characteristic 2, as used by the network-coding stack.
+///
+/// Implementors are small `Copy` value types wrapping an unsigned integer.
+/// All operations are total except division by zero and inversion of zero,
+/// which panic (network-coding code paths guard against them explicitly).
+///
+/// The trait is deliberately minimal: exactly what [`crate::Matrix`] and the
+/// RLNC codec need. Characteristic 2 is baked in (addition == subtraction ==
+/// XOR), which both implementations exploit.
+///
+/// # Example
+///
+/// ```
+/// use curtain_gf::{Field, Gf256};
+///
+/// fn horner<F: Field>(coeffs: &[F], x: F) -> F {
+///     coeffs.iter().rev().fold(F::ZERO, |acc, &c| acc.mul(x).add(c))
+/// }
+///
+/// let p = [Gf256::new(3), Gf256::new(1)]; // 3 + x
+/// assert_eq!(horner(&p, Gf256::new(2)), Gf256::new(1)); // 3 ^ 2 = 1
+/// ```
+pub trait Field: Copy + Clone + Eq + PartialEq + Debug + Hash + Default + Send + Sync + 'static {
+    /// The additive identity.
+    const ZERO: Self;
+    /// The multiplicative identity.
+    const ONE: Self;
+    /// Number of elements in the field (2⁸ or 2¹⁶).
+    const ORDER: usize;
+
+    /// Field addition (XOR in characteristic 2).
+    #[must_use]
+    fn add(self, rhs: Self) -> Self;
+
+    /// Field subtraction. In characteristic 2 this equals [`Field::add`].
+    #[must_use]
+    fn sub(self, rhs: Self) -> Self {
+        self.add(rhs)
+    }
+
+    /// Field multiplication.
+    #[must_use]
+    fn mul(self, rhs: Self) -> Self;
+
+    /// Field division.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    #[must_use]
+    fn div(self, rhs: Self) -> Self {
+        self.mul(rhs.inv())
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero.
+    #[must_use]
+    fn inv(self) -> Self;
+
+    /// Raises `self` to the power `exp` by square-and-multiply.
+    #[must_use]
+    fn pow(self, mut exp: u32) -> Self {
+        let mut base = self;
+        let mut acc = Self::ONE;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.mul(base);
+            }
+            base = base.mul(base);
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// True iff this is the additive identity.
+    fn is_zero(self) -> bool {
+        self == Self::ZERO
+    }
+
+    /// Converts from a canonical integer index in `0..Self::ORDER`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= Self::ORDER`.
+    fn from_index(v: usize) -> Self;
+
+    /// Converts to the canonical integer index in `0..Self::ORDER`.
+    fn to_index(self) -> usize;
+
+    /// Samples a uniformly random field element (zero included).
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self::from_index(rng.random_range(0..Self::ORDER))
+    }
+
+    /// Samples a uniformly random *non-zero* field element.
+    fn random_nonzero<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self::from_index(rng.random_range(1..Self::ORDER))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Gf256, Gf2p16};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pow_matches_repeated_mul<F: Field>() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let x = F::random(&mut rng);
+            let mut acc = F::ONE;
+            for e in 0..10u32 {
+                assert_eq!(x.pow(e), acc, "pow mismatch at exponent {e}");
+                acc = acc.mul(x);
+            }
+        }
+    }
+
+    #[test]
+    fn pow_gf256() {
+        pow_matches_repeated_mul::<Gf256>();
+    }
+
+    #[test]
+    fn pow_gf2p16() {
+        pow_matches_repeated_mul::<Gf2p16>();
+    }
+
+    #[test]
+    fn random_nonzero_never_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(!Gf256::random_nonzero(&mut rng).is_zero());
+        }
+    }
+
+    #[test]
+    fn sub_equals_add_in_char2() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let a = Gf2p16::random(&mut rng);
+            let b = Gf2p16::random(&mut rng);
+            assert_eq!(a.sub(b), a.add(b));
+        }
+    }
+
+    #[test]
+    fn index_round_trip() {
+        for i in 0..Gf256::ORDER {
+            assert_eq!(Gf256::from_index(i).to_index(), i);
+        }
+        for i in (0..Gf2p16::ORDER).step_by(257) {
+            assert_eq!(Gf2p16::from_index(i).to_index(), i);
+        }
+    }
+}

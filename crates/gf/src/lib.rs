@@ -1,0 +1,48 @@
+//! Finite-field arithmetic and linear algebra for network coding.
+//!
+//! This crate provides the algebraic substrate used by the rest of the
+//! `coded-curtain` workspace:
+//!
+//! * [`Gf256`] — the field GF(2⁸) with compile-time log/exp/mul tables,
+//!   the workhorse field for practical network coding (one byte per symbol).
+//! * [`Gf2p16`] — the field GF(2¹⁶) for applications that need longer
+//!   generations without coefficient-vector collisions.
+//! * [`Field`] — the trait abstracting both, so encoders/decoders are
+//!   field-generic.
+//! * [`vec_ops`] — bulk symbol-vector kernels (`axpy`, scaling, XOR add)
+//!   specialized for GF(2⁸) payload mixing.
+//! * [`Matrix`] — dense matrices over any [`Field`] with reduced row-echelon
+//!   elimination, rank, inversion and solving; the decoder's engine.
+//! * [`ReedSolomon`] — a systematic Reed–Solomon (MDS) code used by the
+//!   *source-only erasure coding* baseline strategy of the paper's §1.
+//!
+//! # Example
+//!
+//! ```
+//! use curtain_gf::{Field, Gf256};
+//!
+//! let a = Gf256::new(0x53);
+//! let b = Gf256::new(0xCA);
+//! let c = a.mul(b);
+//! // Multiplication is invertible for non-zero elements:
+//! assert_eq!(c.div(b), a);
+//! // The field has characteristic 2: addition is XOR and is its own inverse.
+//! assert_eq!(a.add(b).add(b), a);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod field;
+mod gf256;
+mod gf2p16;
+mod matrix;
+mod rs;
+pub(crate) mod tables;
+pub mod vec_ops;
+
+pub use field::Field;
+pub use gf256::Gf256;
+pub use gf2p16::Gf2p16;
+pub use matrix::Matrix;
+pub use rs::{ReedSolomon, RsError};

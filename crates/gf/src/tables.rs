@@ -1,0 +1,191 @@
+//! Compile-time generation of logarithm/antilogarithm/multiplication tables.
+//!
+//! Both fields are represented as polynomials over GF(2) modulo an
+//! irreducible polynomial, with `x` (= 2) a primitive element, so
+//! multiplication reduces to `exp[(log a + log b) mod (order - 1)]`.
+//!
+//! All tables are computed by `const fn` at compile time; there is no runtime
+//! initialization and no locking.
+
+/// Irreducible polynomial for GF(2⁸): x⁸ + x⁴ + x³ + x² + 1 (0x11D).
+///
+/// This is the polynomial used by most Reed–Solomon deployments; 2 is a
+/// generator of the multiplicative group.
+pub const GF256_POLY: u16 = 0x11D;
+
+/// Irreducible polynomial for GF(2¹⁶): x¹⁶ + x¹² + x³ + x + 1 (0x1100B).
+///
+/// The standard CCITT-adjacent choice; 2 is a generator of the multiplicative
+/// group modulo this polynomial.
+pub const GF2P16_POLY: u32 = 0x1100B;
+
+/// Log/exp tables for GF(2⁸).
+pub struct Gf256Tables {
+    /// `exp[i] = 2^i`, doubled so `exp[log a + log b]` needs no modulo.
+    pub exp: [u8; 512],
+    /// `log[a]` for `a != 0`; `log[0]` is a sentinel (unused).
+    pub log: [u16; 256],
+}
+
+const fn build_gf256() -> Gf256Tables {
+    let mut exp = [0u8; 512];
+    let mut log = [0u16; 256];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x as u8;
+        log[x as usize] = i as u16;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= GF256_POLY;
+        }
+        i += 1;
+    }
+    // Duplicate the cycle so that exp[log a + log b] (max 508) never wraps.
+    let mut j = 255;
+    while j < 512 {
+        exp[j] = exp[j - 255];
+        j += 1;
+    }
+    Gf256Tables { exp, log }
+}
+
+/// The GF(2⁸) log/exp tables, built at compile time.
+pub static GF256: Gf256Tables = build_gf256();
+
+/// Full 256×256 multiplication table for GF(2⁸).
+///
+/// `MUL[a][b] = a * b`. One 64 KiB table keeps the hot `axpy` loop in
+/// [`crate::vec_ops`] to a single indexed load per byte.
+pub static GF256_MUL: [[u8; 256]; 256] = build_gf256_mul();
+
+const fn build_gf256_mul() -> [[u8; 256]; 256] {
+    let t = build_gf256();
+    let mut m = [[0u8; 256]; 256];
+    let mut a = 1usize;
+    while a < 256 {
+        let la = t.log[a] as usize;
+        let mut b = 1usize;
+        while b < 256 {
+            m[a][b] = t.exp[la + t.log[b] as usize];
+            b += 1;
+        }
+        a += 1;
+    }
+    m
+}
+
+/// Log/exp tables for GF(2¹⁶). Boxed statics would be nicer for cache
+/// pressure, but `const` evaluation into `static` keeps things simple and the
+/// tables are only touched by the GF(2¹⁶) code paths.
+pub struct Gf2p16Tables {
+    /// `exp[i] = 2^i`, length 2·(2¹⁶−1) to avoid modulo in multiplication.
+    pub exp: [u16; 131070],
+    /// `log[a]` for `a != 0`.
+    pub log: [u32; 65536],
+}
+
+const fn build_gf2p16() -> Gf2p16Tables {
+    let mut exp = [0u16; 131070];
+    let mut log = [0u32; 65536];
+    let mut x: u32 = 1;
+    let mut i = 0;
+    while i < 65535 {
+        exp[i] = x as u16;
+        log[x as usize] = i as u32;
+        x <<= 1;
+        if x & 0x1_0000 != 0 {
+            x ^= GF2P16_POLY;
+        }
+        i += 1;
+    }
+    let mut j = 65535;
+    while j < 131070 {
+        exp[j] = exp[j - 65535];
+        j += 1;
+    }
+    Gf2p16Tables { exp, log }
+}
+
+/// The GF(2¹⁶) log/exp tables, built at compile time.
+pub static GF2P16: Gf2p16Tables = build_gf2p16();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Schoolbook carry-less multiply + reduce, used to validate the tables.
+    fn slow_mul_256(mut a: u16, b: u16) -> u8 {
+        let mut acc: u16 = 0;
+        let mut b = b;
+        while b != 0 {
+            if b & 1 != 0 {
+                acc ^= a;
+            }
+            b >>= 1;
+            a <<= 1;
+            if a & 0x100 != 0 {
+                a ^= GF256_POLY;
+            }
+        }
+        acc as u8
+    }
+
+    #[test]
+    fn exp_log_are_inverse_bijections() {
+        // exp restricted to 0..255 must be a bijection onto 1..=255.
+        let mut seen = [false; 256];
+        for i in 0..255 {
+            let v = GF256.exp[i] as usize;
+            assert_ne!(v, 0, "exp[{i}] must be non-zero");
+            assert!(!seen[v], "exp not injective at {i}");
+            seen[v] = true;
+            assert_eq!(GF256.log[v] as usize, i);
+        }
+    }
+
+    #[test]
+    fn mul_table_matches_slow_mul() {
+        for a in 0..256u16 {
+            for b in (0..256u16).step_by(7) {
+                assert_eq!(
+                    GF256_MUL[a as usize][b as usize],
+                    slow_mul_256(a, b),
+                    "mismatch at {a}*{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mul_table_zero_row_and_column() {
+        for i in 0..256 {
+            assert_eq!(GF256_MUL[0][i], 0);
+            assert_eq!(GF256_MUL[i][0], 0);
+        }
+    }
+
+    #[test]
+    fn gf2p16_exp_log_consistent() {
+        for i in (0..65535usize).step_by(911) {
+            let v = GF2P16.exp[i];
+            assert_ne!(v, 0);
+            assert_eq!(GF2P16.log[v as usize] as usize, i);
+        }
+    }
+
+    #[test]
+    fn gf2p16_generator_has_full_order() {
+        // 2 must not hit 1 before exponent 65535.
+        for i in 1..16usize {
+            // Check a few proper divisors of 65535 = 3*5*17*257.
+            let divisors = [3usize, 5, 17, 257, 65535 / 3, 65535 / 5, 65535 / 17, 65535 / 257];
+            let _ = i;
+            for d in divisors {
+                assert_ne!(GF2P16.exp[d], 1, "generator order divides {d}");
+            }
+            break;
+        }
+        assert_eq!(GF2P16.exp[0], 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! Bulk symbol-vector kernels over GF(2⁸) byte buffers.
+//!
+//! The RLNC hot path is `dst += c · src` over packet payloads (hundreds to
+//! thousands of bytes). These kernels operate directly on `[u8]`, using the
+//! compile-time 64 KiB multiplication table so each output byte costs one
+//! load and one XOR.
+
+use crate::tables::GF256_MUL;
+
+/// `dst[i] ^= src[i]` — addition of two symbol vectors in GF(2⁸).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn add_assign(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "vector length mismatch");
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= s;
+    }
+}
+
+/// `dst[i] = c * dst[i]` — in-place scaling of a symbol vector.
+pub fn scale_assign(dst: &mut [u8], c: u8) {
+    match c {
+        0 => dst.fill(0),
+        1 => {}
+        _ => {
+            let row = &GF256_MUL[c as usize];
+            for d in dst.iter_mut() {
+                *d = row[*d as usize];
+            }
+        }
+    }
+}
+
+/// `dst[i] ^= c * src[i]` — the axpy kernel at the heart of mixing and
+/// Gaussian elimination.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(dst: &mut [u8], c: u8, src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "vector length mismatch");
+    match c {
+        0 => {}
+        1 => add_assign(dst, src),
+        _ => {
+            let row = &GF256_MUL[c as usize];
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d ^= row[*s as usize];
+            }
+        }
+    }
+}
+
+/// Dot product of two symbol vectors in GF(2⁸).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn dot(a: &[u8], b: &[u8]) -> u8 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    a.iter().zip(b).fold(0u8, |acc, (&x, &y)| acc ^ GF256_MUL[x as usize][y as usize])
+}
+
+/// Returns true iff every byte is zero.
+#[must_use]
+pub fn is_zero(v: &[u8]) -> bool {
+    v.iter().all(|&b| b == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Field, Gf256};
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn axpy_matches_scalar_loop(c: u8, data in proptest::collection::vec(any::<(u8, u8)>(), 0..64)) {
+            let src: Vec<u8> = data.iter().map(|p| p.0).collect();
+            let mut dst: Vec<u8> = data.iter().map(|p| p.1).collect();
+            let expect: Vec<u8> = dst
+                .iter()
+                .zip(&src)
+                .map(|(&d, &s)| Gf256::new(d).add(Gf256::new(c).mul(Gf256::new(s))).value())
+                .collect();
+            axpy(&mut dst, c, &src);
+            prop_assert_eq!(dst, expect);
+        }
+
+        #[test]
+        fn scale_then_unscale_is_identity(c in 1u8.., v in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let mut w = v.clone();
+            scale_assign(&mut w, c);
+            scale_assign(&mut w, Gf256::new(c).inv().value());
+            prop_assert_eq!(w, v);
+        }
+
+        #[test]
+        fn add_assign_twice_cancels(a in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let mut d = vec![0u8; a.len()];
+            add_assign(&mut d, &a);
+            add_assign(&mut d, &a);
+            prop_assert!(is_zero(&d));
+        }
+
+        #[test]
+        fn dot_is_bilinear(c: u8, a in proptest::collection::vec(any::<u8>(), 1..32)) {
+            // dot(c*a, a) == c * dot(a, a)
+            let mut ca = a.clone();
+            scale_assign(&mut ca, c);
+            let lhs = dot(&ca, &a);
+            let rhs = Gf256::new(c).mul(Gf256::new(dot(&a, &a))).value();
+            prop_assert_eq!(lhs, rhs);
+        }
+    }
+
+    #[test]
+    fn scale_by_zero_clears() {
+        let mut v = vec![1u8, 2, 3];
+        scale_assign(&mut v, 0);
+        assert!(is_zero(&v));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn axpy_length_mismatch_panics() {
+        let mut d = [0u8; 3];
+        axpy(&mut d, 1, &[0u8; 4]);
+    }
+}

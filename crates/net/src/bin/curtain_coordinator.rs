@@ -1,0 +1,73 @@
+//! CLI: run a curtain coordinator.
+//!
+//! ```text
+//! curtain_coordinator <k> <d> [--checkpoint <path>] [--stats-every <secs>]
+//! ```
+//!
+//! Prints the control address; peers and the source point at it. The
+//! optional checkpoint file is rewritten after every stats interval so a
+//! replacement coordinator can be restarted from it.
+
+use std::time::Duration;
+
+use curtain_net::Coordinator;
+use curtain_overlay::OverlayConfig;
+
+fn usage() -> ! {
+    eprintln!("usage: curtain_coordinator <k> <d> [--checkpoint <path>] [--stats-every <secs>]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        usage();
+    }
+    let k: usize = args[0].parse().unwrap_or_else(|_| usage());
+    let d: usize = args[1].parse().unwrap_or_else(|_| usage());
+    let mut checkpoint: Option<String> = None;
+    let mut stats_every = 5u64;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--checkpoint" if i + 1 < args.len() => {
+                checkpoint = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--stats-every" if i + 1 < args.len() => {
+                stats_every = args[i + 1].parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+
+    let coordinator = match Coordinator::start(OverlayConfig::new(k, d)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("curtain coordinator listening on {}", coordinator.addr());
+    println!("k = {k} threads, d = {d} per node");
+    loop {
+        std::thread::sleep(Duration::from_secs(stats_every));
+        println!(
+            "members: {:>5}  completed: {:>5}  repairs: {:>4}",
+            coordinator.members(),
+            coordinator.completed(),
+            coordinator.repairs()
+        );
+        if let Some(path) = &checkpoint {
+            match coordinator.checkpoint_json() {
+                Ok(json) => {
+                    if let Err(e) = std::fs::write(path, json) {
+                        eprintln!("checkpoint write failed: {e}");
+                    }
+                }
+                Err(e) => eprintln!("checkpoint serialization failed: {e}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! CLI: join a curtain swarm, download, optionally keep seeding.
+//!
+//! ```text
+//! curtain_peer <coordinator-addr> [--out <path>] [--seed-secs <n>] [--timeout-secs <n>]
+//! ```
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use curtain_net::Peer;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: curtain_peer <coordinator-addr> [--out <path>] [--seed-secs <n>] [--timeout-secs <n>]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let coordinator: SocketAddr = args[0].parse().unwrap_or_else(|_| usage());
+    let mut out: Option<String> = None;
+    let mut seed_secs = 0u64;
+    let mut timeout_secs = 120u64;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" if i + 1 < args.len() => {
+                out = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--seed-secs" if i + 1 < args.len() => {
+                seed_secs = args[i + 1].parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--timeout-secs" if i + 1 < args.len() => {
+                timeout_secs = args[i + 1].parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+
+    let peer = match Peer::join(coordinator) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("join failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("joined as {} (data port {})", peer.node_id(), peer.data_addr());
+    if !peer.wait_complete(Duration::from_secs(timeout_secs)) {
+        eprintln!("timed out at rank {}", peer.rank());
+        peer.leave();
+        std::process::exit(1);
+    }
+    let content = peer.decoded_content().expect("complete peer recovers");
+    println!("decoded {} bytes", content.len());
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, &content) {
+            eprintln!("write failed: {e}");
+        } else {
+            println!("wrote {path}");
+        }
+    }
+    if seed_secs > 0 {
+        println!("seeding for {seed_secs}s …");
+        std::thread::sleep(Duration::from_secs(seed_secs));
+    }
+    peer.leave();
+    println!("left gracefully");
+}

@@ -1,0 +1,86 @@
+//! CLI: serve a file as a curtain source.
+//!
+//! ```text
+//! curtain_source <coordinator-addr> <file> [--generation <g>] [--packet-len <s>] [--pace-us <micros>]
+//! ```
+//!
+//! With `--packet-len`, the file is cut into multiple generations of
+//! `g × s` bytes (the scalable path); otherwise a single generation.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use curtain_net::Source;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: curtain_source <coordinator-addr> <file> [--generation <g>] [--packet-len <s>] [--pace-us <micros>]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        usage();
+    }
+    let coordinator: SocketAddr = args[0].parse().unwrap_or_else(|_| usage());
+    let path = &args[1];
+    let mut generation = 32usize;
+    let mut packet_len: Option<usize> = None;
+    let mut pace_us = 300u64;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--generation" if i + 1 < args.len() => {
+                generation = args[i + 1].parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--packet-len" if i + 1 < args.len() => {
+                packet_len = Some(args[i + 1].parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
+            "--pace-us" if i + 1 < args.len() => {
+                pace_us = args[i + 1].parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+
+    let content = match std::fs::read(path) {
+        Ok(c) if !c.is_empty() => c,
+        Ok(_) => {
+            eprintln!("{path} is empty");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let pace = Duration::from_micros(pace_us);
+    let source = match match packet_len {
+        Some(s) => Source::start_with_shape(coordinator, &content, generation, s, pace),
+        None => Source::start(coordinator, &content, generation, pace),
+    } {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to start source: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "serving {} ({} bytes) as {} generation(s) of {} packets x {} bytes from {}",
+        path,
+        content.len(),
+        source.generations(),
+        source.generation_size(),
+        source.packet_len(),
+        source.data_addr()
+    );
+    println!("press ctrl-c to stop");
+    loop {
+        std::thread::sleep(Duration::from_secs(60));
+    }
+}

@@ -1,0 +1,425 @@
+//! The coordinator: the paper's server-side matrix behind a TCP port.
+
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use curtain_overlay::{CurtainServer, Holder, NodeId, OverlayConfig, ThreadId};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::proto::{self, ParentAddr, Request, Response};
+
+#[derive(Clone, Copy)]
+struct SourceInfo {
+    addr: SocketAddr,
+    generations: usize,
+    generation_size: usize,
+    packet_len: usize,
+    content_len: usize,
+}
+
+struct State {
+    server: CurtainServer,
+    rng: StdRng,
+    addrs: HashMap<NodeId, SocketAddr>,
+    source: Option<SourceInfo>,
+    completed: HashSet<NodeId>,
+}
+
+impl State {
+    fn parent_addr(&self, holder: Holder) -> Option<ParentAddr> {
+        match holder {
+            Holder::Server => self.source.map(|s| ParentAddr::Source(s.addr)),
+            Holder::Node(n) => self.addrs.get(&n).map(|a| ParentAddr::Node(n, *a)),
+        }
+    }
+
+    /// The child's current parent on `thread`, after any necessary repair.
+    fn current_parent(&mut self, child: NodeId, thread: ThreadId) -> Result<ParentAddr, String> {
+        let pos = self
+            .server
+            .matrix()
+            .position_of(child)
+            .ok_or_else(|| format!("unknown child {child}"))?;
+        let (_, holder) = self
+            .server
+            .matrix()
+            .parents_of_position(pos)
+            .into_iter()
+            .find(|(t, _)| *t == thread)
+            .ok_or_else(|| format!("{child} does not hold thread {thread}"))?;
+        self.parent_addr(holder)
+            .ok_or_else(|| "no source registered".to_string())
+    }
+
+    fn handle(&mut self, request: Request) -> Response {
+        match request {
+            Request::RegisterSource {
+                data_addr,
+                generations,
+                generation_size,
+                packet_len,
+                content_len,
+            } => {
+                self.source = Some(SourceInfo {
+                    addr: data_addr,
+                    generations,
+                    generation_size,
+                    packet_len,
+                    content_len,
+                });
+                Response::Ok
+            }
+            Request::Hello { data_addr } => {
+                let Some(info) = self.source else {
+                    return Response::Error { reason: "no source registered yet".into() };
+                };
+                let grant = self.server.hello(&mut self.rng);
+                self.addrs.insert(grant.node, data_addr);
+                let mut parents = Vec::with_capacity(grant.parents.len());
+                for (thread, holder) in grant.parents {
+                    match self.parent_addr(holder) {
+                        Some(p) => parents.push((thread, p)),
+                        None => {
+                            return Response::Error {
+                                reason: format!("no address for parent of thread {thread}"),
+                            }
+                        }
+                    }
+                }
+                Response::Welcome {
+                    node: grant.node,
+                    generations: info.generations,
+                    generation_size: info.generation_size,
+                    packet_len: info.packet_len,
+                    content_len: info.content_len,
+                    parents,
+                }
+            }
+            Request::Goodbye { node } => match self.server.goodbye(node) {
+                Ok(_) => {
+                    self.addrs.remove(&node);
+                    Response::Ok
+                }
+                Err(e) => Response::Error { reason: e.to_string() },
+            },
+            Request::Complaint { child, failed_parent, thread } => {
+                // If the accused is still a member, mark it failed and
+                // splice it out (report + repair merged: the coordinator is
+                // the repair interval here). Duplicate complaints are fine:
+                // the node is already gone and we just return the child's
+                // current parent.
+                if let Some(failed) = failed_parent {
+                    if self.server.matrix().position_of(failed).is_some() {
+                        let _ = self.server.report_failure(failed);
+                        let _ = self.server.repair(failed);
+                        self.addrs.remove(&failed);
+                        self.completed.remove(&failed);
+                    }
+                }
+                match self.current_parent(child, thread) {
+                    Ok(new_parent) => Response::Redirect { thread, new_parent },
+                    Err(reason) => Response::Error { reason },
+                }
+            }
+            Request::Completed { node } => {
+                self.completed.insert(node);
+                Response::Ok
+            }
+            Request::Stats => Response::Stats {
+                members: self.server.matrix().len(),
+                completed: self.completed.len(),
+                repairs: self.server.metrics().repairs,
+            },
+        }
+    }
+}
+
+/// A running coordinator bound to a local TCP port.
+///
+/// The accept loop runs on a background thread; each control connection is
+/// one request/response exchange. Drop or [`Coordinator::shutdown`] stops
+/// it.
+pub struct Coordinator {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    state: Arc<Mutex<State>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Coordinator {
+    /// Binds `127.0.0.1:0` and starts serving the control protocol.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors and configuration errors.
+    pub fn start(config: OverlayConfig) -> io::Result<Self> {
+        Self::start_seeded(config, 0xC0DE)
+    }
+
+    /// Like [`Coordinator::start`] with an explicit RNG seed for the thread
+    /// assignments (tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors and configuration errors.
+    pub fn start_seeded(config: OverlayConfig, seed: u64) -> io::Result<Self> {
+        let server = CurtainServer::new(config).map_err(io::Error::other)?;
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let state = Arc::new(Mutex::new(State {
+            server,
+            rng: StdRng::seed_from_u64(seed),
+            addrs: HashMap::new(),
+            source: None,
+            completed: HashSet::new(),
+        }));
+        let handle = {
+            let stop = Arc::clone(&stop);
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || accept_loop(&listener, &stop, &state))
+        };
+        Ok(Coordinator { addr, stop, state, handle: Some(handle) })
+    }
+
+    /// The control-plane address peers dial.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current member count.
+    #[must_use]
+    pub fn members(&self) -> usize {
+        self.state.lock().server.matrix().len()
+    }
+
+    /// Peers that reported full decode.
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        self.state.lock().completed.len()
+    }
+
+    /// Repairs executed so far.
+    #[must_use]
+    pub fn repairs(&self) -> u64 {
+        self.state.lock().server.metrics().repairs
+    }
+
+    /// Checkpoint of the coordinator's overlay state as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization errors.
+    pub fn checkpoint_json(&self) -> Result<String, serde_json::Error> {
+        self.state.lock().server.to_json()
+    }
+
+    /// Stops the accept loop and joins the thread.
+    pub fn shutdown(mut self) {
+        self.stop_now();
+    }
+
+    fn stop_now(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        self.stop_now();
+    }
+}
+
+impl std::fmt::Debug for Coordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Coordinator")
+            .field("addr", &self.addr)
+            .field("members", &self.members())
+            .finish()
+    }
+}
+
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool, state: &Arc<Mutex<State>>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let state = Arc::clone(state);
+                std::thread::spawn(move || {
+                    let _ = handle_connection(&stream, &state);
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn handle_connection(stream: &TcpStream, state: &Mutex<State>) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let request = proto::read_request(stream)?;
+    let response = state.lock().handle(request);
+    proto::write_response(stream, &response)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    const T: Duration = Duration::from_secs(2);
+
+    #[test]
+    fn hello_requires_a_source() {
+        let c = Coordinator::start(OverlayConfig::new(4, 2)).unwrap();
+        let resp = proto::call(
+            c.addr(),
+            &Request::Hello { data_addr: "127.0.0.1:1".parse().unwrap() },
+            T,
+        )
+        .unwrap();
+        assert!(matches!(resp, Response::Error { .. }));
+    }
+
+    #[test]
+    fn register_then_hello_then_stats() {
+        let c = Coordinator::start(OverlayConfig::new(4, 2)).unwrap();
+        let resp = proto::call(
+            c.addr(),
+            &Request::RegisterSource {
+                data_addr: "127.0.0.1:9999".parse().unwrap(),
+                generations: 1,
+                generation_size: 8,
+                packet_len: 64,
+                content_len: 512,
+            },
+            T,
+        )
+        .unwrap();
+        assert_eq!(resp, Response::Ok);
+        let resp = proto::call(
+            c.addr(),
+            &Request::Hello { data_addr: "127.0.0.1:10000".parse().unwrap() },
+            T,
+        )
+        .unwrap();
+        let Response::Welcome { node, generation_size, content_len, parents, .. } = resp else {
+            panic!("expected welcome, got {resp:?}");
+        };
+        assert_eq!(generation_size, 8);
+        assert_eq!(content_len, 512);
+        assert_eq!(parents.len(), 2);
+        assert!(parents.iter().all(|(_, p)| matches!(p, ParentAddr::Source(_))));
+        // Stats reflect the join.
+        let resp = proto::call(c.addr(), &Request::Stats, T).unwrap();
+        assert_eq!(resp, Response::Stats { members: 1, completed: 0, repairs: 0 });
+        // Completion is recorded.
+        proto::call(c.addr(), &Request::Completed { node }, T).unwrap();
+        assert_eq!(c.completed(), 1);
+    }
+
+    #[test]
+    fn complaint_splices_and_redirects() {
+        let c = Coordinator::start_seeded(OverlayConfig::new(4, 2), 7).unwrap();
+        proto::call(
+            c.addr(),
+            &Request::RegisterSource {
+                data_addr: "127.0.0.1:9000".parse().unwrap(),
+                generations: 1,
+                generation_size: 4,
+                packet_len: 16,
+                content_len: 64,
+            },
+            T,
+        )
+        .unwrap();
+        // Two peers; the second may hang below the first.
+        let mut nodes = Vec::new();
+        for port in [9001u16, 9002] {
+            let resp = proto::call(
+                c.addr(),
+                &Request::Hello {
+                    data_addr: format!("127.0.0.1:{port}").parse().unwrap(),
+                },
+                T,
+            )
+            .unwrap();
+            let Response::Welcome { node, .. } = resp else { panic!() };
+            nodes.push(node);
+        }
+        // Find a (child, thread, parent) relation from the checkpoint.
+        let snapshot = c.checkpoint_json().unwrap();
+        let restored = CurtainServer::from_json(&snapshot).unwrap();
+        let pos1 = restored.matrix().position_of(nodes[1]).unwrap();
+        let parents = restored.matrix().parents_of_position(pos1);
+        let (thread, holder) = parents[0];
+        let failed = match holder {
+            Holder::Node(n) => Some(n),
+            Holder::Server => None,
+        };
+        let resp = proto::call(
+            c.addr(),
+            &Request::Complaint { child: nodes[1], failed_parent: failed, thread },
+            T,
+        )
+        .unwrap();
+        let Response::Redirect { thread: t2, new_parent } = resp else {
+            panic!("expected redirect, got {resp:?}");
+        };
+        assert_eq!(t2, thread);
+        if failed.is_some() {
+            // The accused is gone; member count dropped and the redirect
+            // points somewhere that is not the failed node.
+            assert_eq!(c.members(), 1);
+            assert_eq!(c.repairs(), 1);
+            assert_ne!(new_parent.node(), failed);
+        } else {
+            assert!(matches!(new_parent, ParentAddr::Source(_)));
+        }
+    }
+
+    #[test]
+    fn goodbye_removes_member() {
+        let c = Coordinator::start(OverlayConfig::new(4, 2)).unwrap();
+        proto::call(
+            c.addr(),
+            &Request::RegisterSource {
+                data_addr: "127.0.0.1:9100".parse().unwrap(),
+                generations: 1,
+                generation_size: 4,
+                packet_len: 16,
+                content_len: 64,
+            },
+            T,
+        )
+        .unwrap();
+        let resp = proto::call(
+            c.addr(),
+            &Request::Hello { data_addr: "127.0.0.1:9101".parse().unwrap() },
+            T,
+        )
+        .unwrap();
+        let Response::Welcome { node, .. } = resp else { panic!() };
+        assert_eq!(c.members(), 1);
+        let resp = proto::call(c.addr(), &Request::Goodbye { node }, T).unwrap();
+        assert_eq!(resp, Response::Ok);
+        assert_eq!(c.members(), 0);
+        // Double good-bye is an error, not a crash.
+        let resp = proto::call(c.addr(), &Request::Goodbye { node }, T).unwrap();
+        assert!(matches!(resp, Response::Error { .. }));
+    }
+}

@@ -1,0 +1,156 @@
+//! Data-plane framing: length-prefixed coded packets, plus the subscribe
+//! handshake.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+use curtain_overlay::{NodeId, ThreadId};
+use curtain_rlnc::CodedPacket;
+use serde::{Deserialize, Serialize};
+
+/// Upper bound on a frame (coefficients + payload); guards against
+/// corrupted length prefixes.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// The one-line handshake a subscriber sends after connecting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Subscribe {
+    /// The subscribing peer (for the publisher's bookkeeping/logging).
+    pub node: NodeId,
+    /// The overlay thread this subscription carries.
+    pub thread: ThreadId,
+}
+
+/// Writes the subscribe line.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_subscribe(mut stream: &TcpStream, sub: &Subscribe) -> io::Result<()> {
+    let mut line = serde_json::to_string(sub).map_err(io::Error::other)?;
+    line.push('\n');
+    stream.write_all(line.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads the subscribe line from a freshly accepted data connection.
+///
+/// # Errors
+///
+/// Propagates socket and parse errors.
+pub fn read_subscribe(stream: &TcpStream) -> io::Result<Subscribe> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut buf = String::new();
+    reader.read_line(&mut buf)?;
+    serde_json::from_str(&buf).map_err(io::Error::other)
+}
+
+/// Writes one length-prefixed packet frame.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_frame(stream: &mut impl Write, packet: &CodedPacket) -> io::Result<()> {
+    let wire = packet.to_wire();
+    let len = wire.len() as u32;
+    stream.write_all(&len.to_le_bytes())?;
+    stream.write_all(&wire)?;
+    stream.flush()
+}
+
+/// Reads one frame. `Ok(None)` signals clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// Propagates socket errors; corrupt frames map to `InvalidData`.
+pub fn read_frame(stream: &mut impl Read) -> io::Result<Option<CodedPacket>> {
+    let mut len_buf = [0u8; 4];
+    match read_exact_or_eof(stream, &mut len_buf)? {
+        false => return Ok(None),
+        true => {}
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len == 0 || len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad frame length"));
+    }
+    let mut body = vec![0u8; len as usize];
+    stream.read_exact(&mut body)?;
+    CodedPacket::from_wire(&body)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Reads exactly `buf.len()` bytes; returns `false` on EOF *before the
+/// first byte* (a clean close), errors on EOF mid-buffer.
+fn read_exact_or_eof(stream: &mut impl Read, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated frame"));
+            }
+            Ok(n) => filled += n,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn frame_round_trip_in_memory() {
+        let p = CodedPacket::new(0, vec![1, 2, 3], Bytes::from(vec![9u8; 64]));
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &p).unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        let got = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(got, p);
+        // Clean EOF after the frame.
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        let p = CodedPacket::new(0, vec![1], Bytes::from(vec![5u8; 8]));
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &p).unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut cursor = io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn zero_length_frame_rejected() {
+        let mut cursor = io::Cursor::new(vec![0u8, 0, 0, 0]);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn oversize_frame_rejected() {
+        let mut cursor = io::Cursor::new((MAX_FRAME + 1).to_le_bytes().to_vec());
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn multiple_frames_stream() {
+        let mut buf = Vec::new();
+        for i in 0..5u8 {
+            let p = CodedPacket::new(0, vec![i + 1, 0], Bytes::from(vec![i; 16]));
+            write_frame(&mut buf, &p).unwrap();
+        }
+        let mut cursor = io::Cursor::new(buf);
+        let mut count = 0;
+        while let Some(p) = read_frame(&mut cursor).unwrap() {
+            assert_eq!(p.payload()[0], count);
+            count += 1;
+        }
+        assert_eq!(count, 5);
+    }
+}

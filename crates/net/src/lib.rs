@@ -1,0 +1,55 @@
+//! The curtain protocol over real TCP sockets.
+//!
+//! Everything else in this workspace runs inside a deterministic simulator;
+//! this crate is the deployable counterpart: a [`Coordinator`] (the paper's
+//! server-side matrix `M` behind a JSON control port), a [`Source`] that
+//! streams RLNC-coded packets, and [`Peer`]s that join, subscribe to their
+//! `d` parents, recode, serve their own children, and — when a parent's
+//! socket dies — execute the §3 repair protocol: *complain to the
+//! coordinator, get redirected to the spliced-in parent, resubscribe*.
+//!
+//! Design notes:
+//!
+//! * **Control plane** — one JSON line per request/response over a
+//!   short-lived TCP connection ([`proto`]). The coordinator wraps the same
+//!   [`curtain_overlay::CurtainServer`] the simulations use.
+//! * **Data plane** — length-prefixed [`curtain_rlnc::CodedPacket`] wire
+//!   frames ([`framing`]). A subscriber opens a socket to its parent,
+//!   writes one subscribe line, then reads frames forever. Every packet
+//!   carries its coefficient vector, so reconnection needs no state
+//!   recovery whatsoever — the property the paper builds on.
+//! * **Failures** — crash = sockets drop. Children notice EOF, complain,
+//!   and are redirected; the coordinator marks the node failed and splices
+//!   it out (graceful leaves reuse the same path — the leaver just closes
+//!   everything and says good-bye first).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use curtain_net::{Coordinator, Peer, Source};
+//! use curtain_overlay::OverlayConfig;
+//! use std::time::Duration;
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let coordinator = Coordinator::start(OverlayConfig::new(8, 2))?;
+//! let content = vec![7u8; 4096];
+//! let _source = Source::start(coordinator.addr(), &content, 16, Duration::from_micros(200))?;
+//! let peer = Peer::join(coordinator.addr())?;
+//! assert!(peer.wait_complete(Duration::from_secs(10)));
+//! assert_eq!(peer.decoded_content().unwrap(), content);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coordinator;
+pub mod framing;
+mod peer;
+pub mod proto;
+mod source;
+
+pub use coordinator::Coordinator;
+pub use peer::Peer;
+pub use source::Source;

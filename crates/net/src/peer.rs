@@ -1,0 +1,391 @@
+//! A peer: joins, subscribes to its parents, recodes, serves its children,
+//! and runs the complaint/repair protocol when a parent dies.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use curtain_overlay::NodeId;
+use curtain_rlnc::Recoder;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::framing::{self, Subscribe};
+use crate::proto::{self, ParentAddr, Request, Response};
+
+const CALL_TIMEOUT: Duration = Duration::from_secs(5);
+/// Consecutive repair attempts per thread before the upstream gives up.
+const MAX_REPAIRS: usize = 32;
+
+/// Per-generation buffers plus the rotation cursor for serving children.
+struct ObjectState {
+    recoders: Vec<Recoder>,
+    complete_count: usize,
+    serve_cursor: usize,
+}
+
+impl ObjectState {
+    fn new(generations: usize, generation_size: usize, packet_len: usize) -> Self {
+        ObjectState {
+            recoders: (0..generations)
+                .map(|g| Recoder::new(g as u32, generation_size, packet_len))
+                .collect(),
+            complete_count: 0,
+            serve_cursor: 0,
+        }
+    }
+
+    /// Returns true iff the push was innovative.
+    fn push(&mut self, packet: curtain_rlnc::CodedPacket) -> bool {
+        let g = packet.generation() as usize;
+        let Some(recoder) = self.recoders.get_mut(g) else {
+            return false;
+        };
+        let was_complete = recoder.is_complete();
+        let innovative = recoder.push(packet).unwrap_or(false);
+        if !was_complete && recoder.is_complete() {
+            self.complete_count += 1;
+        }
+        innovative
+    }
+
+    fn is_complete(&self) -> bool {
+        self.complete_count == self.recoders.len()
+    }
+
+    fn rank(&self) -> usize {
+        self.recoders.iter().map(Recoder::rank).sum()
+    }
+
+    /// A recoded packet from the next generation with data, rotating so
+    /// children receive all generations.
+    fn recode_next<R: rand::Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+    ) -> Option<curtain_rlnc::CodedPacket> {
+        let n = self.recoders.len();
+        for probe in 0..n {
+            let g = (self.serve_cursor + probe) % n;
+            if self.recoders[g].rank() > 0 {
+                self.serve_cursor = (g + 1) % n;
+                return self.recoders[g].recode(rng);
+            }
+        }
+        None
+    }
+
+    fn recover_all(&self) -> Option<Vec<Vec<Vec<u8>>>> {
+        self.recoders.iter().map(Recoder::recover).collect()
+    }
+}
+
+struct Shared {
+    node: NodeId,
+    state: Mutex<ObjectState>,
+    complete: AtomicBool,
+    completion_reported: AtomicBool,
+    stop: AtomicBool,
+    coordinator: SocketAddr,
+}
+
+impl Shared {
+    fn note_progress(&self) {
+        if self.state.lock().is_complete() && !self.complete.swap(true, Ordering::SeqCst) {
+            // First completion: tell the coordinator (best effort).
+            if !self.completion_reported.swap(true, Ordering::SeqCst) {
+                let _ = proto::call(
+                    self.coordinator,
+                    &Request::Completed { node: self.node },
+                    CALL_TIMEOUT,
+                );
+            }
+        }
+    }
+}
+
+/// A running peer.
+///
+/// # Example
+///
+/// See the crate-level example.
+pub struct Peer {
+    node: NodeId,
+    data_addr: SocketAddr,
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    content_len: usize,
+}
+
+impl Peer {
+    /// Joins the overlay through the coordinator's hello protocol and
+    /// starts all data-plane threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and protocol rejections.
+    pub fn join(coordinator: SocketAddr) -> io::Result<Self> {
+        Self::join_paced(coordinator, Duration::from_micros(300))
+    }
+
+    /// Joins with an explicit forwarding pace (one packet per `pace` per
+    /// child subscription).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and protocol rejections.
+    pub fn join_paced(coordinator: SocketAddr, pace: Duration) -> io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let data_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let resp = proto::call(coordinator, &Request::Hello { data_addr }, CALL_TIMEOUT)?;
+        let Response::Welcome { node, generations, generation_size, packet_len, content_len, parents } =
+            resp
+        else {
+            return Err(io::Error::other(format!("join rejected: {resp:?}")));
+        };
+
+        let shared = Arc::new(Shared {
+            node,
+            state: Mutex::new(ObjectState::new(generations, generation_size, packet_len)),
+            complete: AtomicBool::new(false),
+            completion_reported: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            coordinator,
+        });
+
+        let mut handles = Vec::new();
+        // Child-serving accept loop.
+        {
+            let shared = Arc::clone(&shared);
+            let seed = Arc::new(AtomicU64::new(node.0.wrapping_mul(0x9E37_79B9)));
+            handles.push(std::thread::spawn(move || {
+                while !shared.stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let shared = Arc::clone(&shared);
+                            let s = seed.fetch_add(1, Ordering::SeqCst);
+                            std::thread::spawn(move || {
+                                let _ = serve_child(&stream, &shared, pace, s);
+                            });
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }));
+        }
+        // One upstream thread per parent.
+        for (thread, parent) in parents {
+            let shared = Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || {
+                upstream_loop(&shared, thread, parent);
+            }));
+        }
+        Ok(Peer { node, data_addr, shared, handles, content_len })
+    }
+
+    /// This peer's overlay id.
+    #[must_use]
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Where this peer's children connect.
+    #[must_use]
+    pub fn data_addr(&self) -> SocketAddr {
+        self.data_addr
+    }
+
+    /// Current total decoding rank across generations.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.shared.state.lock().rank()
+    }
+
+    /// True once the full generation is decodable.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.shared.complete.load(Ordering::SeqCst)
+    }
+
+    /// Blocks (polling) until complete or `timeout`; returns success.
+    #[must_use]
+    pub fn wait_complete(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if self.is_complete() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.is_complete()
+    }
+
+    /// The decoded content, trimmed to the source's original length;
+    /// `None` before completion.
+    #[must_use]
+    pub fn decoded_content(&self) -> Option<Vec<u8>> {
+        let generations = self.shared.state.lock().recover_all()?;
+        let mut out = Vec::new();
+        for packets in generations {
+            for p in packets {
+                out.extend_from_slice(&p);
+            }
+        }
+        out.truncate(self.content_len);
+        Some(out)
+    }
+
+    /// Leaves gracefully: good-bye to the coordinator, then all sockets
+    /// close (children are spliced to this peer's parents and will
+    /// resubscribe via the complaint path).
+    pub fn leave(mut self) {
+        let _ = proto::call(
+            self.shared.coordinator,
+            &Request::Goodbye { node: self.node },
+            CALL_TIMEOUT,
+        );
+        self.stop_threads();
+    }
+
+    /// Crashes: drops everything without telling anyone — the non-ergodic
+    /// failure of §2. Children detect the dead sockets and complain.
+    pub fn crash(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Peer {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+impl std::fmt::Debug for Peer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Peer")
+            .field("node", &self.node)
+            .field("rank", &self.rank())
+            .field("complete", &self.is_complete())
+            .finish()
+    }
+}
+
+/// Serves one child subscription: recoded packets at the configured pace.
+fn serve_child(stream: &TcpStream, shared: &Shared, pace: Duration, seed: u64) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let _sub = framing::read_subscribe(stream)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = stream.try_clone()?;
+    while !shared.stop.load(Ordering::SeqCst) {
+        let packet = shared.state.lock().recode_next(&mut rng);
+        match packet {
+            Some(p) => {
+                if framing::write_frame(&mut out, &p).is_err() {
+                    break; // child went away
+                }
+                std::thread::sleep(pace);
+            }
+            None => std::thread::sleep(Duration::from_millis(2)), // rank 0 yet
+        }
+    }
+    Ok(())
+}
+
+/// Reads from one parent; on socket death, runs the complaint/repair
+/// protocol and resubscribes to the replacement.
+fn upstream_loop(shared: &Shared, thread: u16, mut parent: ParentAddr) {
+    let mut repairs = 0usize;
+    'reconnect: while !shared.stop.load(Ordering::SeqCst) && repairs < MAX_REPAIRS {
+        let stream = match TcpStream::connect_timeout(&parent.addr(), CALL_TIMEOUT) {
+            Ok(s) => s,
+            Err(_) => {
+                repairs += 1;
+                if !complain(shared, thread, &mut parent) {
+                    return;
+                }
+                continue 'reconnect;
+            }
+        };
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+        if framing::write_subscribe(&stream, &Subscribe { node: shared.node, thread }).is_err() {
+            repairs += 1;
+            if !complain(shared, thread, &mut parent) {
+                return;
+            }
+            continue 'reconnect;
+        }
+        let mut reader = stream;
+        loop {
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            match framing::read_frame(&mut reader) {
+                Ok(Some(packet)) => {
+                    if shared.state.lock().push(packet) {
+                        shared.note_progress();
+                    }
+                }
+                Ok(None) => {
+                    // Clean EOF: the parent is gone.
+                    repairs += 1;
+                    if !complain(shared, thread, &mut parent) {
+                        return;
+                    }
+                    continue 'reconnect;
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    continue; // idle link; re-check stop and keep reading
+                }
+                Err(_) => {
+                    repairs += 1;
+                    if !complain(shared, thread, &mut parent) {
+                        return;
+                    }
+                    continue 'reconnect;
+                }
+            }
+        }
+    }
+}
+
+/// Runs the complaint protocol; updates `parent` on success.
+fn complain(shared: &Shared, thread: u16, parent: &mut ParentAddr) -> bool {
+    if shared.stop.load(Ordering::SeqCst) {
+        return false;
+    }
+    std::thread::sleep(Duration::from_millis(20)); // brief backoff
+    let resp = proto::call(
+        shared.coordinator,
+        &Request::Complaint {
+            child: shared.node,
+            failed_parent: parent.node(),
+            thread,
+        },
+        CALL_TIMEOUT,
+    );
+    match resp {
+        Ok(Response::Redirect { new_parent, .. }) => {
+            *parent = new_parent;
+            true
+        }
+        _ => false,
+    }
+}

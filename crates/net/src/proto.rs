@@ -1,0 +1,209 @@
+//! Control-plane messages: one JSON line per request and response.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use curtain_overlay::{NodeId, ThreadId};
+use serde::{Deserialize, Serialize};
+
+/// Where a stream comes from: the source host or a peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParentAddr {
+    /// The source's data listener.
+    Source(SocketAddr),
+    /// A peer's data listener.
+    Node(NodeId, SocketAddr),
+}
+
+impl ParentAddr {
+    /// The socket address to dial.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        match self {
+            ParentAddr::Source(a) | ParentAddr::Node(_, a) => *a,
+        }
+    }
+
+    /// The peer id, if this is a peer.
+    #[must_use]
+    pub fn node(&self) -> Option<NodeId> {
+        match self {
+            ParentAddr::Source(_) => None,
+            ParentAddr::Node(n, _) => Some(*n),
+        }
+    }
+}
+
+/// Requests a client may send to the coordinator.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Request {
+    /// The source announces itself and the content shape.
+    RegisterSource {
+        /// Source data-plane listener.
+        data_addr: SocketAddr,
+        /// Number of generations the object is split into.
+        generations: usize,
+        /// Packets per generation.
+        generation_size: usize,
+        /// Bytes per packet.
+        packet_len: usize,
+        /// Original (unpadded) object length in bytes.
+        content_len: usize,
+    },
+    /// A new peer asks to join (the hello protocol).
+    Hello {
+        /// The peer's data-plane listener (where its children will dial).
+        data_addr: SocketAddr,
+    },
+    /// A peer leaves gracefully (the good-bye protocol).
+    Goodbye {
+        /// The departing peer.
+        node: NodeId,
+    },
+    /// A child reports that its parent for `thread` stopped serving and
+    /// asks where to resubscribe (failure report + repair).
+    Complaint {
+        /// The complaining child.
+        child: NodeId,
+        /// The parent that died (`None` = it was the source).
+        failed_parent: Option<NodeId>,
+        /// The thread whose stream broke.
+        thread: ThreadId,
+    },
+    /// A peer announces it decoded the full generation.
+    Completed {
+        /// The peer.
+        node: NodeId,
+    },
+    /// Asks for progress counters (used by tests and operators).
+    Stats,
+}
+
+/// Responses from the coordinator.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Response {
+    /// Join granted.
+    Welcome {
+        /// Assigned node id.
+        node: NodeId,
+        /// Number of generations.
+        generations: usize,
+        /// Packets per generation.
+        generation_size: usize,
+        /// Bytes per packet.
+        packet_len: usize,
+        /// Original (unpadded) object length.
+        content_len: usize,
+        /// One parent per assigned thread.
+        parents: Vec<(ThreadId, ParentAddr)>,
+    },
+    /// Where to resubscribe after a complaint.
+    Redirect {
+        /// The thread in question.
+        thread: ThreadId,
+        /// The child's current parent for that thread.
+        new_parent: ParentAddr,
+    },
+    /// Progress counters.
+    Stats {
+        /// Current members.
+        members: usize,
+        /// Members that reported completion.
+        completed: usize,
+        /// Failures repaired so far.
+        repairs: u64,
+    },
+    /// Generic acknowledgement.
+    Ok,
+    /// The request could not be served.
+    Error {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+/// Sends one request and reads one response over a fresh connection.
+///
+/// # Errors
+///
+/// Propagates socket and serialization errors; the per-call timeout guards
+/// both connect and read.
+pub fn call(coordinator: SocketAddr, request: &Request, timeout: Duration) -> io::Result<Response> {
+    let stream = TcpStream::connect_timeout(&coordinator, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut writer = stream.try_clone()?;
+    let mut line = serde_json::to_string(request).map_err(io::Error::other)?;
+    line.push('\n');
+    writer.write_all(line.as_bytes())?;
+    writer.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut buf = String::new();
+    reader.read_line(&mut buf)?;
+    serde_json::from_str(&buf).map_err(io::Error::other)
+}
+
+/// Reads one request line from an accepted control connection.
+///
+/// # Errors
+///
+/// Propagates socket and parse errors.
+pub fn read_request(stream: &TcpStream) -> io::Result<Request> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut buf = String::new();
+    reader.read_line(&mut buf)?;
+    serde_json::from_str(&buf).map_err(io::Error::other)
+}
+
+/// Writes one response line to an accepted control connection.
+///
+/// # Errors
+///
+/// Propagates socket and serialization errors.
+pub fn write_response(mut stream: &TcpStream, response: &Response) -> io::Result<()> {
+    let mut line = serde_json::to_string(response).map_err(io::Error::other)?;
+    line.push('\n');
+    stream.write_all(line.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_json() {
+        let reqs = vec![
+            Request::Hello { data_addr: "127.0.0.1:1234".parse().unwrap() },
+            Request::Goodbye { node: NodeId(3) },
+            Request::Complaint { child: NodeId(4), failed_parent: Some(NodeId(1)), thread: 7 },
+            Request::Complaint { child: NodeId(4), failed_parent: None, thread: 0 },
+            Request::Completed { node: NodeId(9) },
+            Request::Stats,
+        ];
+        for r in reqs {
+            let s = serde_json::to_string(&r).unwrap();
+            let back: Request = serde_json::from_str(&s).unwrap();
+            assert_eq!(back, r);
+        }
+        let resp = Response::Welcome {
+            node: NodeId(1),
+            generations: 3,
+            generation_size: 16,
+            packet_len: 1024,
+            content_len: 40_000,
+            parents: vec![(0, ParentAddr::Source("127.0.0.1:9".parse().unwrap()))],
+        };
+        let s = serde_json::to_string(&resp).unwrap();
+        assert_eq!(serde_json::from_str::<Response>(&s).unwrap(), resp);
+    }
+
+    #[test]
+    fn parent_addr_accessors() {
+        let a: SocketAddr = "127.0.0.1:80".parse().unwrap();
+        assert_eq!(ParentAddr::Source(a).addr(), a);
+        assert_eq!(ParentAddr::Source(a).node(), None);
+        assert_eq!(ParentAddr::Node(NodeId(5), a).node(), Some(NodeId(5)));
+    }
+}

@@ -1,0 +1,210 @@
+//! The source: splits content into generations and streams coded packets
+//! to every subscriber.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use curtain_rlnc::pipeline::{ObjectEncoder, Schedule};
+use curtain_rlnc::Content;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::framing;
+use crate::proto::{self, Request, Response};
+
+/// A running source (the content origin).
+///
+/// Registers with the coordinator, then serves an unbounded stream of
+/// fresh random combinations to every child that subscribes — the server
+/// side of the curtain's `k` threads. Content is split into generations
+/// ([CWJ03]) so decoding cost stays bounded for arbitrarily large objects;
+/// each subscriber receives round-robin coded packets across generations.
+pub struct Source {
+    data_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    generations: usize,
+    generation_size: usize,
+    packet_len: usize,
+}
+
+impl Source {
+    /// Starts a source for `content`, cut into one generation of
+    /// `generation_size` packets (convenience for small objects).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/registration failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `content` is empty or `generation_size == 0`.
+    pub fn start(
+        coordinator: SocketAddr,
+        content: &[u8],
+        generation_size: usize,
+        pace: Duration,
+    ) -> io::Result<Self> {
+        assert!(!content.is_empty(), "content must be non-empty");
+        assert!(generation_size > 0, "generation size must be positive");
+        let packet_len = content.len().div_ceil(generation_size);
+        Self::start_with_shape(coordinator, content, generation_size, packet_len, pace)
+    }
+
+    /// Starts a source with an explicit `(generation_size, packet_len)`
+    /// shape; the object becomes `ceil(len / (g·s))` generations — the
+    /// production path for large files.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/registration failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty content or zero shape parameters.
+    pub fn start_with_shape(
+        coordinator: SocketAddr,
+        content: &[u8],
+        generation_size: usize,
+        packet_len: usize,
+        pace: Duration,
+    ) -> io::Result<Self> {
+        assert!(!content.is_empty(), "content must be non-empty");
+        let split = Content::split(content, generation_size, packet_len);
+        let generations = split.generations().len();
+        let content_len = content.len();
+        let encoder = Arc::new(ObjectEncoder::new(split).with_schedule(Schedule::RoundRobin));
+
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let data_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+
+        // Register before serving so the first Hello already has us.
+        let resp = proto::call(
+            coordinator,
+            &Request::RegisterSource {
+                data_addr,
+                generations,
+                generation_size,
+                packet_len,
+                content_len,
+            },
+            Duration::from_secs(5),
+        )?;
+        if resp != Response::Ok {
+            return Err(io::Error::other(format!("registration rejected: {resp:?}")));
+        }
+
+        let accept_handle = {
+            let stop = Arc::clone(&stop);
+            let encoder = Arc::clone(&encoder);
+            let seed = Arc::new(AtomicU64::new(0x50u64));
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let stop = Arc::clone(&stop);
+                            let encoder = Arc::clone(&encoder);
+                            let s = seed.fetch_add(1, Ordering::SeqCst);
+                            std::thread::spawn(move || {
+                                let _ = serve_subscriber(&stream, &encoder, &stop, pace, s);
+                            });
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+        Ok(Source {
+            data_addr,
+            stop,
+            accept_handle: Some(accept_handle),
+            generations,
+            generation_size,
+            packet_len,
+        })
+    }
+
+    /// The data-plane address children dial.
+    #[must_use]
+    pub fn data_addr(&self) -> SocketAddr {
+        self.data_addr
+    }
+
+    /// Number of generations.
+    #[must_use]
+    pub fn generations(&self) -> usize {
+        self.generations
+    }
+
+    /// Packets per generation.
+    #[must_use]
+    pub fn generation_size(&self) -> usize {
+        self.generation_size
+    }
+
+    /// Bytes per packet (after padding).
+    #[must_use]
+    pub fn packet_len(&self) -> usize {
+        self.packet_len
+    }
+
+    /// Stops serving (children will complain and be told the source is
+    /// still the registered parent — use this to emulate source departure).
+    pub fn shutdown(mut self) {
+        self.stop_now();
+    }
+
+    fn stop_now(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Source {
+    fn drop(&mut self) {
+        self.stop_now();
+    }
+}
+
+impl std::fmt::Debug for Source {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Source")
+            .field("data_addr", &self.data_addr)
+            .field("generation_size", &self.generation_size)
+            .finish()
+    }
+}
+
+fn serve_subscriber(
+    stream: &TcpStream,
+    encoder: &ObjectEncoder,
+    stop: &AtomicBool,
+    pace: Duration,
+    seed: u64,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let _sub = framing::read_subscribe(stream)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Each subscriber cycles the generations independently.
+    let mut encoder = encoder.clone();
+    let mut out = stream.try_clone()?;
+    while !stop.load(Ordering::SeqCst) {
+        let packet = encoder.next_packet(&mut rng);
+        if framing::write_frame(&mut out, &packet).is_err() {
+            break; // subscriber went away
+        }
+        std::thread::sleep(pace);
+    }
+    Ok(())
+}

@@ -1,0 +1,239 @@
+//! Coordinated (adversarial) failure cohorts — §5.
+//!
+//! An adversary cannot inject bad data (assumed handled by security means)
+//! but *can* fail on purpose, possibly simultaneously with accomplices. The
+//! paper argues that as long as the adversaries' **positions in `M` are
+//! random**, a simultaneous strike of a `p`-fraction is no worse than iid
+//! failures — and enforces random positions via random row insertion.
+//!
+//! This module builds the cohorts the experiment compares:
+//!
+//! * [`Cohort::RandomFraction`] — a uniformly random `p`-fraction (the iid
+//!   benchmark).
+//! * [`Cohort::LatestBlock`] — the most recently joined `p`-fraction. Under
+//!   [`crate::InsertPolicy::Append`] these sit *adjacent at the bottom* of
+//!   `M`, modelling a flash crowd of colluders; under
+//!   [`crate::InsertPolicy::RandomPosition`] their rows are scattered and
+//!   the strike reverts to the random case.
+//! * [`Cohort::ContiguousBlock`] — a worst-case adjacent run of rows
+//!   (adversaries who somehow achieved adjacency).
+
+use rand::Rng;
+
+use crate::network::CurtainNetwork;
+use crate::types::{NodeId, NodeStatus};
+
+/// A rule for selecting which members strike.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Cohort {
+    /// A uniformly random fraction `p` of current working members.
+    RandomFraction(f64),
+    /// The `p`-fraction of members with the *highest* node ids (latest
+    /// arrivals).
+    LatestBlock(f64),
+    /// A contiguous run of rows of length `p·N` starting at the given
+    /// fraction of the matrix height.
+    ContiguousBlock {
+        /// Fraction of members to strike.
+        fraction: f64,
+        /// Start of the run as a fraction of the matrix height in `[0, 1]`.
+        start: f64,
+    },
+}
+
+impl Cohort {
+    /// Selects the member nodes that will strike.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fraction is outside `[0, 1]`.
+    #[must_use]
+    pub fn select<R: Rng + ?Sized>(&self, net: &CurtainNetwork, rng: &mut R) -> Vec<NodeId> {
+        let working: Vec<NodeId> = net
+            .matrix()
+            .rows()
+            .iter()
+            .filter(|r| r.status() == NodeStatus::Working)
+            .map(|r| r.node())
+            .collect();
+        match *self {
+            Cohort::RandomFraction(p) => {
+                assert!((0.0..=1.0).contains(&p), "fraction out of range");
+                let count = (working.len() as f64 * p).round() as usize;
+                let idx = rand::seq::index::sample(rng, working.len(), count.min(working.len()));
+                idx.into_iter().map(|i| working[i]).collect()
+            }
+            Cohort::LatestBlock(p) => {
+                assert!((0.0..=1.0).contains(&p), "fraction out of range");
+                let count = (working.len() as f64 * p).round() as usize;
+                let mut by_arrival = working.clone();
+                by_arrival.sort_unstable(); // NodeId order == arrival order
+                by_arrival[by_arrival.len() - count.min(by_arrival.len())..].to_vec()
+            }
+            Cohort::ContiguousBlock { fraction, start } => {
+                assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
+                assert!((0.0..=1.0).contains(&start), "start out of range");
+                // Work in row order: a literal block of the matrix.
+                let rows: Vec<NodeId> = net
+                    .matrix()
+                    .rows()
+                    .iter()
+                    .filter(|r| r.status() == NodeStatus::Working)
+                    .map(|r| r.node())
+                    .collect();
+                let count = (rows.len() as f64 * fraction).round() as usize;
+                let begin = ((rows.len() as f64 * start) as usize)
+                    .min(rows.len().saturating_sub(count));
+                rows[begin..(begin + count).min(rows.len())].to_vec()
+            }
+        }
+    }
+}
+
+/// Outcome of a strike on the network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrikeReport {
+    /// How many nodes failed simultaneously.
+    pub struck: usize,
+    /// Histogram of the *surviving* working nodes' connectivities
+    /// (`hist[c]` = count with connectivity `c`).
+    pub survivor_connectivity: Vec<u64>,
+    /// Mean connectivity loss (thread units) among survivors.
+    pub mean_loss: f64,
+    /// Fraction of survivors with any loss at all.
+    pub affected_fraction: f64,
+    /// Fraction of survivors completely disconnected (connectivity 0).
+    pub disconnected_fraction: f64,
+}
+
+/// Fails every node in `cohort` simultaneously and measures the damage to
+/// the survivors. The network is left in the post-strike state (callers may
+/// then exercise repair).
+#[must_use]
+pub fn strike(net: &mut CurtainNetwork, cohort: &[NodeId]) -> StrikeReport {
+    let mut struck = 0;
+    for &node in cohort {
+        if net.fail(node).is_ok() {
+            struck += 1;
+        }
+    }
+    let hist = net.working_connectivity_histogram();
+    let d = net.config().d;
+    let total: u64 = hist.iter().sum();
+    let (mut lost, mut affected, mut disconnected) = (0u64, 0u64, 0u64);
+    for (c, &n) in hist.iter().enumerate() {
+        lost += (d - c) as u64 * n;
+        if c < d {
+            affected += n;
+        }
+        if c == 0 {
+            disconnected += n;
+        }
+    }
+    let denom = total.max(1) as f64;
+    StrikeReport {
+        struck,
+        survivor_connectivity: hist,
+        mean_loss: lost as f64 / denom,
+        affected_fraction: affected as f64 / denom,
+        disconnected_fraction: disconnected as f64 / denom,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{InsertPolicy, OverlayConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn grown(policy: InsertPolicy, n: usize, seed: u64) -> CurtainNetwork {
+        let cfg = OverlayConfig::new(16, 3).with_insert_policy(policy);
+        let mut net = CurtainNetwork::new(cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..n {
+            net.join(&mut rng);
+        }
+        net
+    }
+
+    #[test]
+    fn random_fraction_selects_expected_count() {
+        let net = grown(InsertPolicy::Append, 100, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let cohort = Cohort::RandomFraction(0.2).select(&net, &mut rng);
+        assert_eq!(cohort.len(), 20);
+        let unique: std::collections::HashSet<_> = cohort.iter().collect();
+        assert_eq!(unique.len(), 20);
+    }
+
+    #[test]
+    fn latest_block_selects_newest_ids() {
+        let net = grown(InsertPolicy::Append, 50, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let cohort = Cohort::LatestBlock(0.1).select(&net, &mut rng);
+        assert_eq!(cohort.len(), 5);
+        let min_id = cohort.iter().map(|n| n.0).min().unwrap();
+        assert!(min_id >= 45, "latest block must hold the newest arrivals");
+    }
+
+    #[test]
+    fn contiguous_block_is_adjacent_in_matrix() {
+        let net = grown(InsertPolicy::Append, 40, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let cohort = Cohort::ContiguousBlock { fraction: 0.25, start: 0.5 }.select(&net, &mut rng);
+        assert_eq!(cohort.len(), 10);
+        let positions: Vec<usize> = cohort
+            .iter()
+            .map(|&n| net.matrix().position_of(n).unwrap())
+            .collect();
+        for w in positions.windows(2) {
+            assert_eq!(w[1], w[0] + 1, "block must be contiguous");
+        }
+    }
+
+    #[test]
+    fn strike_report_is_consistent() {
+        let mut net = grown(InsertPolicy::Append, 80, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let cohort = Cohort::RandomFraction(0.1).select(&net, &mut rng);
+        let report = strike(&mut net, &cohort);
+        assert_eq!(report.struck, 8);
+        assert_eq!(
+            report.survivor_connectivity.iter().sum::<u64>() as usize,
+            net.working_len()
+        );
+        assert!(report.mean_loss >= 0.0);
+        assert!(report.affected_fraction <= 1.0);
+        assert!(report.disconnected_fraction <= report.affected_fraction);
+    }
+
+    #[test]
+    fn strike_on_empty_cohort_is_noop() {
+        let mut net = grown(InsertPolicy::Append, 10, 9);
+        let report = strike(&mut net, &[]);
+        assert_eq!(report.struck, 0);
+        assert_eq!(report.mean_loss, 0.0);
+    }
+
+    #[test]
+    fn random_insert_scatters_latest_block() {
+        // Under RandomPosition, the latest arrivals are spread across M.
+        let net = grown(InsertPolicy::RandomPosition, 200, 10);
+        let mut rng = StdRng::seed_from_u64(11);
+        let cohort = Cohort::LatestBlock(0.1).select(&net, &mut rng);
+        let mut positions: Vec<usize> = cohort
+            .iter()
+            .map(|&n| net.matrix().position_of(n).unwrap())
+            .collect();
+        positions.sort_unstable();
+        let adjacent = positions
+            .windows(2)
+            .filter(|w| w[1] == w[0] + 1)
+            .count();
+        assert!(
+            adjacent < positions.len() / 2,
+            "random insertion should scatter the cohort (adjacent = {adjacent})"
+        );
+    }
+}

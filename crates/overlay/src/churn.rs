@@ -1,0 +1,240 @@
+//! Randomized churn drivers for long-running experiments.
+//!
+//! Two processes are provided:
+//!
+//! * [`grow_with_failures`] — the exact §4 analysis process: nodes join
+//!   sequentially, each *already failed* with probability `p` (the paper's
+//!   reordered coin toss). No repairs; the defect drifts toward its
+//!   steady state. Used by experiments E01, E03, E04.
+//! * [`ChurnDriver`] — a protocol-level process with joins, graceful
+//!   leaves, failures and delayed repairs, modelling an operating network.
+//!   Used by the stress tests and E10.
+
+use rand::{Rng, RngExt as _};
+
+use crate::network::CurtainNetwork;
+use crate::types::NodeId;
+
+/// Runs the §4 arrival process: `n` sequential joins, each failed with
+/// probability `p`. Returns the ids in arrival order.
+pub fn grow_with_failures<R: Rng + ?Sized>(
+    net: &mut CurtainNetwork,
+    n: usize,
+    p: f64,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    (0..n).map(|_| net.join_with_failure_prob(p, rng)).collect()
+}
+
+/// Per-step event probabilities for [`ChurnDriver`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnConfig {
+    /// Probability of a join per step.
+    pub join_prob: f64,
+    /// Probability of a graceful leave of a random working node per step.
+    pub leave_prob: f64,
+    /// Probability of a failure of a random working node per step.
+    pub fail_prob: f64,
+    /// Steps between failure and repair (the repair interval).
+    pub repair_delay: usize,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig { join_prob: 0.5, leave_prob: 0.2, fail_prob: 0.05, repair_delay: 10 }
+    }
+}
+
+/// Counts of what a churn run actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChurnStats {
+    /// Joins executed.
+    pub joins: u64,
+    /// Graceful leaves executed.
+    pub leaves: u64,
+    /// Failures injected.
+    pub failures: u64,
+    /// Repairs executed.
+    pub repairs: u64,
+}
+
+/// Drives a [`CurtainNetwork`] through randomized joins, leaves, failures
+/// and delayed repairs.
+///
+/// # Example
+///
+/// ```
+/// use curtain_overlay::churn::{ChurnConfig, ChurnDriver};
+/// use curtain_overlay::{CurtainNetwork, OverlayConfig};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(5);
+/// let mut net = CurtainNetwork::new(OverlayConfig::new(16, 3)).expect("valid config");
+/// let mut driver = ChurnDriver::new(ChurnConfig::default());
+/// for _ in 0..200 {
+///     driver.step(&mut net, &mut rng);
+/// }
+/// assert!(driver.stats().joins > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChurnDriver {
+    config: ChurnConfig,
+    /// Failed nodes with the step at which they become repairable.
+    pending_repairs: Vec<(NodeId, u64)>,
+    step: u64,
+    stats: ChurnStats,
+}
+
+impl ChurnDriver {
+    /// Creates a driver.
+    #[must_use]
+    pub fn new(config: ChurnConfig) -> Self {
+        ChurnDriver { config, pending_repairs: Vec::new(), step: 0, stats: ChurnStats::default() }
+    }
+
+    /// Statistics of what happened so far.
+    #[must_use]
+    pub fn stats(&self) -> ChurnStats {
+        self.stats
+    }
+
+    /// Current step counter.
+    #[must_use]
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    /// Failed nodes whose repair is still pending.
+    #[must_use]
+    pub fn pending_repairs(&self) -> usize {
+        self.pending_repairs.len()
+    }
+
+    /// Executes one step: due repairs first, then randomized events.
+    pub fn step<R: Rng + ?Sized>(&mut self, net: &mut CurtainNetwork, rng: &mut R) {
+        self.step += 1;
+        // Execute due repairs.
+        let due: Vec<NodeId> = self
+            .pending_repairs
+            .iter()
+            .filter(|(_, at)| *at <= self.step)
+            .map(|(n, _)| *n)
+            .collect();
+        self.pending_repairs.retain(|(_, at)| *at > self.step);
+        for node in due {
+            if net.repair(node).is_ok() {
+                self.stats.repairs += 1;
+            }
+        }
+        // Randomized events.
+        if rng.random_bool(self.config.join_prob) {
+            net.join(rng);
+            self.stats.joins += 1;
+        }
+        if rng.random_bool(self.config.leave_prob) {
+            if let Some(node) = pick_working(net, rng) {
+                if net.leave(node).is_ok() {
+                    self.stats.leaves += 1;
+                }
+            }
+        }
+        if rng.random_bool(self.config.fail_prob) {
+            if let Some(node) = pick_working(net, rng) {
+                if net.fail(node).is_ok() {
+                    self.stats.failures += 1;
+                    self.pending_repairs
+                        .push((node, self.step + self.config.repair_delay as u64));
+                }
+            }
+        }
+    }
+
+    /// Runs `steps` steps.
+    pub fn run<R: Rng + ?Sized>(&mut self, net: &mut CurtainNetwork, steps: u64, rng: &mut R) {
+        for _ in 0..steps {
+            self.step(net, rng);
+        }
+    }
+}
+
+/// Picks a uniformly random working node, if any.
+fn pick_working<R: Rng + ?Sized>(net: &CurtainNetwork, rng: &mut R) -> Option<NodeId> {
+    let working: Vec<NodeId> = net
+        .matrix()
+        .rows()
+        .iter()
+        .filter(|r| r.status() == crate::types::NodeStatus::Working)
+        .map(|r| r.node())
+        .collect();
+    if working.is_empty() {
+        None
+    } else {
+        Some(working[rng.random_range(0..working.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::OverlayConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn grow_with_failures_tags_roughly_p() {
+        let mut net = CurtainNetwork::new(OverlayConfig::new(16, 2)).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 2000;
+        grow_with_failures(&mut net, n, 0.1, &mut rng);
+        let failed = net.failed_nodes().len() as f64 / n as f64;
+        assert!((failed - 0.1).abs() < 0.03, "failed fraction {failed}");
+    }
+
+    #[test]
+    fn churn_driver_maintains_invariants() {
+        let mut net = CurtainNetwork::new(OverlayConfig::new(12, 3)).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut driver = ChurnDriver::new(ChurnConfig::default());
+        driver.run(&mut net, 500, &mut rng);
+        net.matrix().assert_invariants();
+        let s = driver.stats();
+        assert!(s.joins > 100);
+        assert!(s.leaves > 0);
+        assert!(s.failures > 0);
+        assert!(s.repairs > 0);
+        // Every pending repair refers to a currently failed node.
+        for node in net.failed_nodes() {
+            assert!(net.connectivity_of(node).is_none());
+        }
+    }
+
+    #[test]
+    fn repairs_eventually_drain() {
+        let mut net = CurtainNetwork::new(OverlayConfig::new(12, 2)).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut driver = ChurnDriver::new(ChurnConfig {
+            join_prob: 1.0,
+            leave_prob: 0.0,
+            fail_prob: 0.3,
+            repair_delay: 5,
+        });
+        driver.run(&mut net, 200, &mut rng);
+        // Stop failing; run repair-only steps.
+        let mut drain = ChurnDriver {
+            config: ChurnConfig { join_prob: 0.0, leave_prob: 0.0, fail_prob: 0.0, repair_delay: 5 },
+            pending_repairs: driver.pending_repairs.clone(),
+            step: driver.step,
+            stats: driver.stats,
+        };
+        drain.run(&mut net, 20, &mut rng);
+        assert_eq!(net.failed_nodes().len(), 0);
+        assert_eq!(net.min_working_connectivity(), Some(2));
+    }
+
+    #[test]
+    fn pick_working_on_empty_is_none() {
+        let net = CurtainNetwork::new(OverlayConfig::new(4, 2)).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(pick_working(&net, &mut rng).is_none());
+    }
+}

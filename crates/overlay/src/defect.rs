@@ -1,0 +1,278 @@
+//! The paper's potential function: defect counts over hanging-thread tuples.
+//!
+//! §4 defines, for the network after `t` arrivals, `B_j^t` = the number of
+//! `d`-tuples of hanging threads whose edge connectivity from the server is
+//! `d − j`, and the *total defect* `B^t = Σ j · B_j^t` out of
+//! `A = C(k, d)` tuples. Lemma 2 identifies `E[B_1 + … + B_d]/A` with the
+//! probability that a newly arriving node picks a bad tuple, and Lemma 3
+//! identifies `E[B]/A` with its expected bandwidth loss; Theorem 4 bounds
+//! the steady state by `(1+ε)·p·d`.
+//!
+//! [`exact`] enumerates all `C(k, d)` tuples (feasible for small `k`);
+//! [`sample`] Monte-Carlo-estimates the same distribution for large `k`.
+
+use rand::Rng;
+
+use crate::graph::OverlayGraph;
+use crate::matrix::ThreadMatrix;
+use crate::types::ThreadId;
+
+/// Defect distribution over `d`-tuples of hanging threads.
+///
+/// `histogram[j]` counts (or estimates) tuples with connectivity `d − j`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DefectCounts {
+    /// Tuple size `d`.
+    pub d: usize,
+    /// `histogram[j]` = number of inspected tuples that lost `j` units.
+    pub histogram: Vec<u64>,
+    /// Number of tuples inspected (`A` for [`exact`], the sample size for
+    /// [`sample`]).
+    pub inspected: u64,
+}
+
+impl DefectCounts {
+    /// `B/A` — the *total defect fraction*, equal to the expected bandwidth
+    /// loss (in thread units) of a node arriving now, divided by `d`... more
+    /// precisely: `Σ j·B_j / A`, the paper's `E[B]/A` (Lemma 3).
+    #[must_use]
+    pub fn total_defect_fraction(&self) -> f64 {
+        if self.inspected == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .histogram
+            .iter()
+            .enumerate()
+            .map(|(j, &b)| j as u64 * b)
+            .sum();
+        weighted as f64 / self.inspected as f64
+    }
+
+    /// `(B_1 + … + B_d)/A` — the probability that an arriving node picks a
+    /// defective tuple at all (Lemma 2).
+    #[must_use]
+    pub fn defective_fraction(&self) -> f64 {
+        if self.inspected == 0 {
+            return 0.0;
+        }
+        let bad: u64 = self.histogram.iter().skip(1).sum();
+        bad as f64 / self.inspected as f64
+    }
+
+    /// Expected *fraction of bandwidth* lost by an arriving node: `B/(A·d)`
+    /// (each lost unit is `1/d` of the node's bandwidth) — the quantity §7
+    /// argues is ≈ `p` independent of `d`.
+    #[must_use]
+    pub fn bandwidth_loss_fraction(&self) -> f64 {
+        self.total_defect_fraction() / self.d as f64
+    }
+
+    /// Absolute total defect `B` (only meaningful for [`exact`]).
+    #[must_use]
+    pub fn total_defect(&self) -> u64 {
+        self.histogram
+            .iter()
+            .enumerate()
+            .map(|(j, &b)| j as u64 * b)
+            .sum()
+    }
+
+    /// Variance of the per-tuple loss `j` (used by the §7 variance-vs-d
+    /// experiment).
+    #[must_use]
+    pub fn loss_variance(&self) -> f64 {
+        if self.inspected == 0 {
+            return 0.0;
+        }
+        let mean = self.total_defect_fraction();
+        let sq: f64 = self
+            .histogram
+            .iter()
+            .enumerate()
+            .map(|(j, &b)| (j as f64 - mean).powi(2) * b as f64)
+            .sum();
+        sq / self.inspected as f64
+    }
+}
+
+/// Exactly enumerates all `C(k, d)` hanging-thread tuples.
+///
+/// Cost: `C(k, d)` max-flow computations; intended for the small-`k`
+/// regimes of experiments E03/E04 (e.g. `k ≤ 16`, `d ≤ 3`).
+///
+/// # Panics
+///
+/// Panics if `d == 0` or `d > k`.
+#[must_use]
+pub fn exact(matrix: &ThreadMatrix, d: usize) -> DefectCounts {
+    assert!(d > 0 && d <= matrix.k(), "invalid tuple size d={d} for k={}", matrix.k());
+    let graph = OverlayGraph::from_matrix(matrix);
+    let mut histogram = vec![0u64; d + 1];
+    let mut inspected = 0u64;
+    let mut tuple: Vec<ThreadId> = (0..d as ThreadId).collect();
+    loop {
+        let conn = graph.tuple_connectivity(&tuple);
+        histogram[d - conn] += 1;
+        inspected += 1;
+        if !next_combination(&mut tuple, matrix.k()) {
+            break;
+        }
+    }
+    DefectCounts { d, histogram, inspected }
+}
+
+/// Monte-Carlo estimate of the defect distribution from `samples` random
+/// tuples.
+///
+/// # Panics
+///
+/// Panics if `d == 0`, `d > k`, or `samples == 0`.
+#[must_use]
+pub fn sample<R: Rng + ?Sized>(
+    matrix: &ThreadMatrix,
+    d: usize,
+    samples: u64,
+    rng: &mut R,
+) -> DefectCounts {
+    assert!(d > 0 && d <= matrix.k(), "invalid tuple size d={d} for k={}", matrix.k());
+    assert!(samples > 0, "need at least one sample");
+    let graph = OverlayGraph::from_matrix(matrix);
+    let mut histogram = vec![0u64; d + 1];
+    for _ in 0..samples {
+        let tuple = matrix.sample_threads(d, rng);
+        let conn = graph.tuple_connectivity(&tuple);
+        histogram[d - conn] += 1;
+    }
+    DefectCounts { d, histogram, inspected: samples }
+}
+
+/// Advances `tuple` to the next lexicographic `d`-combination of `0..k`.
+/// Returns `false` after the last combination.
+fn next_combination(tuple: &mut [ThreadId], k: usize) -> bool {
+    let d = tuple.len();
+    let mut i = d;
+    while i > 0 {
+        i -= 1;
+        if (tuple[i] as usize) < k - d + i {
+            tuple[i] += 1;
+            for j in i + 1..d {
+                tuple[j] = tuple[j - 1] + 1;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+/// `C(n, r)` in u64 (panics on overflow) — sizes of the tuple space.
+///
+/// # Panics
+///
+/// Panics if the result overflows `u64`.
+#[must_use]
+pub fn binomial(n: u64, r: u64) -> u64 {
+    if r > n {
+        return 0;
+    }
+    let r = r.min(n - r);
+    let mut acc: u64 = 1;
+    for i in 0..r {
+        acc = acc
+            .checked_mul(n - i)
+            .expect("binomial overflow")
+            / (i + 1);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{NodeId, NodeStatus};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(16, 3), 560);
+        assert_eq!(binomial(4, 0), 1);
+        assert_eq!(binomial(3, 5), 0);
+        assert_eq!(binomial(60, 1), 60);
+    }
+
+    #[test]
+    fn next_combination_enumerates_all() {
+        let mut t: Vec<ThreadId> = vec![0, 1];
+        let mut count = 1;
+        while next_combination(&mut t, 5) {
+            count += 1;
+            assert!(t.windows(2).all(|w| w[0] < w[1]));
+        }
+        assert_eq!(count, binomial(5, 2));
+    }
+
+    #[test]
+    fn fresh_network_has_zero_defect() {
+        let m = ThreadMatrix::new(8);
+        let counts = exact(&m, 3);
+        assert_eq!(counts.inspected, binomial(8, 3));
+        assert_eq!(counts.total_defect(), 0);
+        assert_eq!(counts.defective_fraction(), 0.0);
+        assert_eq!(counts.total_defect_fraction(), 0.0);
+    }
+
+    #[test]
+    fn single_failed_first_node_matches_lemma6_extreme() {
+        // Lemma 6: a single failed node at the beginning changes B by
+        // exactly (d²/k)·A — every tuple touching one of its d threads
+        // loses per shared thread.
+        let k = 8;
+        let d = 2;
+        let mut m = ThreadMatrix::new(k);
+        m.append(NodeId(0), vec![0, 1], NodeStatus::Failed);
+        let counts = exact(&m, d);
+        let a = binomial(k as u64, d as u64) as f64;
+        let expect = (d * d) as f64 / k as f64 * a;
+        assert_eq!(counts.total_defect() as f64, expect);
+    }
+
+    #[test]
+    fn sampled_matches_exact_on_small_network() {
+        let k = 6;
+        let d = 2;
+        let mut m = ThreadMatrix::new(k);
+        m.append(NodeId(0), vec![0, 1], NodeStatus::Failed);
+        m.append(NodeId(1), vec![2, 3], NodeStatus::Working);
+        let ex = exact(&m, d);
+        let mut rng = StdRng::seed_from_u64(9);
+        let sa = sample(&m, d, 30_000, &mut rng);
+        let diff = (ex.total_defect_fraction() - sa.total_defect_fraction()).abs();
+        assert!(diff < 0.02, "sampled {:.4} vs exact {:.4}", sa.total_defect_fraction(), ex.total_defect_fraction());
+    }
+
+    #[test]
+    fn working_node_does_not_create_defect() {
+        let mut m = ThreadMatrix::new(8);
+        m.append(NodeId(0), vec![0, 1, 2], NodeStatus::Working);
+        m.append(NodeId(1), vec![1, 3, 5], NodeStatus::Working);
+        let counts = exact(&m, 3);
+        assert_eq!(counts.total_defect(), 0);
+    }
+
+    #[test]
+    fn loss_variance_zero_when_uniform() {
+        let m = ThreadMatrix::new(6);
+        let counts = exact(&m, 2);
+        assert_eq!(counts.loss_variance(), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_loss_scales_by_d() {
+        let mut m = ThreadMatrix::new(8);
+        m.append(NodeId(0), vec![0, 1], NodeStatus::Failed);
+        let counts = exact(&m, 2);
+        assert!((counts.bandwidth_loss_fraction() - counts.total_defect_fraction() / 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,315 @@
+//! The §6 "union of trees" alternative: SplitStream-style interior-disjoint
+//! multicast trees.
+//!
+//! §6 offers two ways to trade the curtain's linear delay for logarithmic:
+//! a random-graph insertion (see [`crate::random_graph`]) or "a topology
+//! such as that induced by the union of trees constructed in [10, 4]" —
+//! Padmanabhan–Wang–Chou's resilient streaming and Castro et al.'s
+//! SplitStream. This module builds that forest:
+//!
+//! * `t` trees, one per content stripe; every node is a member of every
+//!   tree (in-degree `t`).
+//! * Every node is *interior* (has children) in exactly **one** tree and a
+//!   leaf in the others, so its out-degree is bounded by the fanout and a
+//!   single failure damages only one stripe's subtree.
+//! * Trees fill breadth-first, so every tree has depth `O(log N)` — with
+//!   base `fanout/trees`, since only every `trees`-th descendant offers
+//!   child slots in a given tree.
+
+use std::collections::VecDeque;
+
+/// Who feeds a node in one tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeParent {
+    /// The server (tree root feed).
+    Server,
+    /// Another member, by dense index.
+    Node(usize),
+}
+
+/// A forest of interior-disjoint multicast trees.
+///
+/// # Example
+///
+/// ```
+/// use curtain_overlay::forest::ForestOverlay;
+///
+/// let mut f = ForestOverlay::new(3, 9); // 3 trees (stripes), fanout 9
+/// for _ in 0..100 {
+///     f.join();
+/// }
+/// // Logarithmic worst-case stripe depth (base fanout/trees = 3).
+/// assert!(f.max_depth() <= 6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ForestOverlay {
+    trees: usize,
+    fanout: usize,
+    /// `parents[tree][node]`.
+    parents: Vec<Vec<TreeParent>>,
+    /// Per tree: interior nodes with spare child capacity, BFS order.
+    free: Vec<VecDeque<(usize, usize)>>, // (node, remaining capacity)
+    nodes: usize,
+}
+
+impl ForestOverlay {
+    /// Creates an empty forest of `trees` trees with the given `fanout`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trees == 0` or `fanout < trees` (with smaller fanout the
+    /// interior-disjoint construction runs out of child slots).
+    #[must_use]
+    pub fn new(trees: usize, fanout: usize) -> Self {
+        assert!(trees > 0, "need at least one tree");
+        assert!(
+            fanout >= trees,
+            "fanout ({fanout}) must be at least the tree count ({trees})"
+        );
+        ForestOverlay {
+            trees,
+            fanout,
+            parents: vec![Vec::new(); trees],
+            free: vec![VecDeque::new(); trees],
+            nodes: 0,
+        }
+    }
+
+    /// Number of trees (stripes).
+    #[must_use]
+    pub fn trees(&self) -> usize {
+        self.trees
+    }
+
+    /// Interior fanout bound.
+    #[must_use]
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Members so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes
+    }
+
+    /// True iff nobody joined yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes == 0
+    }
+
+    /// Admits the next node; returns its index. The node becomes interior
+    /// in tree `index % trees` and a leaf everywhere else.
+    pub fn join(&mut self) -> usize {
+        let idx = self.nodes;
+        self.nodes += 1;
+        let home = idx % self.trees;
+        for t in 0..self.trees {
+            let parent = match self.free[t].front_mut() {
+                None => TreeParent::Server,
+                Some((node, capacity)) => {
+                    let p = TreeParent::Node(*node);
+                    *capacity -= 1;
+                    if *capacity == 0 {
+                        self.free[t].pop_front();
+                    }
+                    p
+                }
+            };
+            self.parents[t].push(parent);
+        }
+        // The node offers child slots only in its home tree.
+        self.free[home].push_back((idx, self.fanout));
+        idx
+    }
+
+    /// The parent of `node` in `tree`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[must_use]
+    pub fn parent(&self, tree: usize, node: usize) -> TreeParent {
+        self.parents[tree][node]
+    }
+
+    /// All edges as `(tree, parent, child)` triples.
+    #[must_use]
+    pub fn edges(&self) -> Vec<(usize, TreeParent, usize)> {
+        let mut out = Vec::with_capacity(self.trees * self.nodes);
+        for (t, tree) in self.parents.iter().enumerate() {
+            for (child, &parent) in tree.iter().enumerate() {
+                out.push((t, parent, child));
+            }
+        }
+        out
+    }
+
+    /// Depth of `node` in `tree` (server = 0).
+    #[must_use]
+    pub fn depth_in_tree(&self, tree: usize, node: usize) -> usize {
+        let mut depth = 1;
+        let mut current = node;
+        while let TreeParent::Node(p) = self.parents[tree][current] {
+            depth += 1;
+            current = p;
+        }
+        depth
+    }
+
+    /// Per-node content delay: a node needs all stripes, so its effective
+    /// depth is the maximum over trees.
+    #[must_use]
+    pub fn content_depths(&self) -> Vec<usize> {
+        (0..self.nodes)
+            .map(|n| (0..self.trees).map(|t| self.depth_in_tree(t, n)).max().unwrap_or(0))
+            .collect()
+    }
+
+    /// The worst content depth in the forest.
+    #[must_use]
+    pub fn max_depth(&self) -> usize {
+        self.content_depths().into_iter().max().unwrap_or(0)
+    }
+
+    /// Out-degree of each node, summed across trees.
+    #[must_use]
+    pub fn out_degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.nodes];
+        for tree in &self.parents {
+            for &parent in tree {
+                if let TreeParent::Node(p) = parent {
+                    deg[p] += 1;
+                }
+            }
+        }
+        deg
+    }
+
+    /// Checks the SplitStream invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics on violations.
+    pub fn assert_invariants(&self) {
+        // In-degree: exactly one parent per tree (by construction of the
+        // parents vectors) — check the vectors are full length.
+        for tree in &self.parents {
+            assert_eq!(tree.len(), self.nodes, "tree parent vector incomplete");
+        }
+        // Out-degree bound and interior-disjointness.
+        let mut interior_in: Vec<Vec<usize>> = vec![Vec::new(); self.nodes];
+        let mut per_tree_children: Vec<std::collections::HashMap<usize, usize>> =
+            vec![std::collections::HashMap::new(); self.trees];
+        for (t, tree) in self.parents.iter().enumerate() {
+            for &parent in tree {
+                if let TreeParent::Node(p) = parent {
+                    *per_tree_children[t].entry(p).or_insert(0) += 1;
+                    if !interior_in[p].contains(&t) {
+                        interior_in[p].push(t);
+                    }
+                }
+            }
+        }
+        for (node, trees) in interior_in.iter().enumerate() {
+            assert!(
+                trees.len() <= 1,
+                "node {node} is interior in {} trees",
+                trees.len()
+            );
+            if let Some(&t) = trees.first() {
+                assert_eq!(t, node % self.trees, "node {node} interior in foreign tree");
+            }
+        }
+        for children in &per_tree_children {
+            for (&node, &count) in children {
+                assert!(
+                    count <= self.fanout,
+                    "node {node} has {count} children (> fanout)"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grown(trees: usize, fanout: usize, n: usize) -> ForestOverlay {
+        let mut f = ForestOverlay::new(trees, fanout);
+        for _ in 0..n {
+            f.join();
+        }
+        f
+    }
+
+    #[test]
+    fn invariants_hold_through_growth() {
+        for n in [1usize, 5, 50, 500] {
+            let f = grown(3, 4, n);
+            f.assert_invariants();
+            assert_eq!(f.len(), n);
+        }
+    }
+
+    #[test]
+    fn out_degree_bounded_by_fanout() {
+        let f = grown(4, 4, 300);
+        for (node, &deg) in f.out_degrees().iter().enumerate() {
+            assert!(deg <= 4, "node {node} out-degree {deg}");
+        }
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        // The interior skeleton branches at fanout/trees = 3, so 10x the
+        // nodes adds ~log_3(10) ≈ 2.1 levels.
+        let small = grown(3, 9, 100);
+        let large = grown(3, 9, 1000);
+        assert!(
+            large.max_depth() <= small.max_depth() + 3,
+            "depth jumped {} -> {}",
+            small.max_depth(),
+            large.max_depth()
+        );
+        assert!(large.max_depth() <= 10, "max depth {}", large.max_depth());
+        // And it is far below the linear curtain depth N*d/k.
+        assert!(large.max_depth() < 1000 / 10);
+    }
+
+    #[test]
+    fn first_nodes_feed_from_server() {
+        let f = grown(3, 3, 3);
+        for t in 0..3 {
+            // Tree t's interior root is node t.
+            assert_eq!(f.parent(t, t), TreeParent::Server);
+        }
+    }
+
+    #[test]
+    fn every_node_has_a_parent_in_every_tree() {
+        let f = grown(2, 3, 40);
+        for t in 0..2 {
+            for n in 0..40 {
+                let _ = f.parent(t, n); // must not panic
+                assert!(f.depth_in_tree(t, n) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fanout")]
+    fn fanout_below_trees_rejected() {
+        let _ = ForestOverlay::new(4, 3);
+    }
+
+    #[test]
+    fn single_tree_is_a_plain_fanout_tree() {
+        let f = grown(1, 2, 15);
+        f.assert_invariants();
+        // Complete binary tree of 15 nodes: depth 4.
+        assert_eq!(f.max_depth(), 4);
+    }
+}

@@ -1,0 +1,254 @@
+//! Decentralized joins via gossip random walks.
+//!
+//! §3 notes that the central hello protocol is an *abstraction*: "it is
+//! possible also to have a distributed protocol, as in [12], which uses a
+//! gossip mechanism for a newly arriving node to find its parents", and §7
+//! adds that "the role of the server can be decreased still further or even
+//! eliminated".
+//!
+//! This module implements that variant. A newcomer knows one *bootstrap*
+//! member. For each of its `d` slots it launches a random walk over the
+//! membership graph (neighbors = overlay parents ∪ children); when the walk
+//! ends on a member currently holding the hanging end of one or more
+//! threads, the newcomer clips a random one of them. Longer walks mix
+//! better: the resulting thread choice converges to the centralized uniform
+//! pick, which is exactly what experiment E15 measures.
+
+use std::collections::HashMap;
+
+use rand::{Rng, RngExt as _};
+
+use crate::network::CurtainNetwork;
+use crate::types::{Holder, NodeId, NodeStatus, ThreadId};
+
+/// Parameters of a gossip join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GossipConfig {
+    /// Steps per random walk. Longer = better mixed ≈ more uniform.
+    pub walk_length: usize,
+    /// Attempts to find a slot before falling back to a uniform pick (the
+    /// newcomer asks the server/tracker as a last resort, as BitTorrent
+    /// clients do).
+    pub max_attempts: usize,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        GossipConfig { walk_length: 16, max_attempts: 64 }
+    }
+}
+
+/// Outcome statistics of one gossip join.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GossipJoinStats {
+    /// Total random-walk steps taken.
+    pub walk_steps: u64,
+    /// Slots found via gossip.
+    pub gossip_slots: usize,
+    /// Slots that fell back to the tracker (uniform pick).
+    pub fallback_slots: usize,
+}
+
+/// The membership graph used by the walks: every member plus the server
+/// (its direct children know it), with overlay parent/child adjacency.
+fn membership_graph(net: &CurtainNetwork) -> (Vec<Holder>, HashMap<Holder, Vec<Holder>>) {
+    let matrix = net.matrix();
+    let members: Vec<Holder> = matrix
+        .rows()
+        .iter()
+        .map(|r| Holder::Node(r.node()))
+        .collect();
+    let mut adj: HashMap<Holder, Vec<Holder>> = HashMap::new();
+    for (pos, row) in matrix.rows().iter().enumerate() {
+        let me = Holder::Node(row.node());
+        for (_, parent) in matrix.parents_of_position(pos) {
+            adj.entry(me).or_default().push(parent);
+            adj.entry(parent).or_default().push(me);
+        }
+    }
+    (members, adj)
+}
+
+/// Hanging threads per holder (`bottom_holders` inverted; includes the
+/// server's own free threads).
+fn hanging_by_holder(net: &CurtainNetwork) -> HashMap<Holder, Vec<ThreadId>> {
+    let mut map: HashMap<Holder, Vec<ThreadId>> = HashMap::new();
+    for (t, holder) in net.matrix().bottom_holders().into_iter().enumerate() {
+        map.entry(holder).or_default().push(t as ThreadId);
+    }
+    map
+}
+
+/// Joins a new working node by gossip; returns its id and the walk
+/// statistics.
+///
+/// The first member (empty network) necessarily takes server threads. The
+/// degree used is the network's configured `d`.
+pub fn gossip_join<R: Rng + ?Sized>(
+    net: &mut CurtainNetwork,
+    config: GossipConfig,
+    rng: &mut R,
+) -> (NodeId, GossipJoinStats) {
+    let d = net.config().d;
+    let mut stats = GossipJoinStats::default();
+    let mut chosen: Vec<ThreadId> = Vec::with_capacity(d);
+
+    let (members, adj) = membership_graph(net);
+    let hanging = hanging_by_holder(net);
+
+    if !members.is_empty() {
+        // Bootstrap: one known member, e.g. the most recent joiner.
+        let bootstrap = *members.last().expect("non-empty");
+        for _slot in 0..d {
+            let mut found = None;
+            'attempts: for _ in 0..config.max_attempts {
+                // One random walk.
+                let mut here = bootstrap;
+                for _ in 0..config.walk_length {
+                    stats.walk_steps += 1;
+                    if let Some(neigh) = adj.get(&here) {
+                        if !neigh.is_empty() {
+                            here = neigh[rng.random_range(0..neigh.len())];
+                        }
+                    }
+                }
+                // Does the endpoint hold a hanging thread we haven't taken?
+                if let Some(slots) = hanging.get(&here) {
+                    let free: Vec<ThreadId> = slots
+                        .iter()
+                        .copied()
+                        .filter(|t| !chosen.contains(t))
+                        .collect();
+                    if !free.is_empty() {
+                        found = Some(free[rng.random_range(0..free.len())]);
+                        break 'attempts;
+                    }
+                }
+            }
+            match found {
+                Some(t) => {
+                    stats.gossip_slots += 1;
+                    chosen.push(t);
+                }
+                None => {
+                    stats.fallback_slots += 1;
+                }
+            }
+        }
+    }
+
+    // Server-held hanging threads are reachable only via the tracker
+    // fallback (no member to walk to), as are exhausted walks.
+    let mut free: Vec<ThreadId> = (0..net.config().k as ThreadId)
+        .filter(|t| !chosen.contains(t))
+        .collect();
+    while chosen.len() < d {
+        let i = rng.random_range(0..free.len());
+        chosen.push(free.swap_remove(i));
+    }
+    chosen.sort_unstable();
+
+    let grant = net
+        .server_mut()
+        .admit_with_threads(chosen, rng, NodeStatus::Working);
+    (grant.node, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::OverlayConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net(k: usize, d: usize) -> CurtainNetwork {
+        CurtainNetwork::new(OverlayConfig::new(k, d)).unwrap()
+    }
+
+    #[test]
+    fn first_join_uses_fallback() {
+        let mut n = net(8, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (id, stats) = gossip_join(&mut n, GossipConfig::default(), &mut rng);
+        assert_eq!(n.len(), 1);
+        assert_eq!(stats.gossip_slots, 0);
+        assert_eq!(n.connectivity_of(id), Some(3));
+    }
+
+    #[test]
+    fn grown_gossip_network_has_full_connectivity() {
+        let mut n = net(12, 3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let ids: Vec<NodeId> = (0..60)
+            .map(|_| gossip_join(&mut n, GossipConfig::default(), &mut rng).0)
+            .collect();
+        n.matrix().assert_invariants();
+        for id in ids {
+            assert_eq!(n.connectivity_of(id), Some(3));
+        }
+    }
+
+    #[test]
+    fn gossip_finds_most_slots_without_the_tracker() {
+        let mut n = net(8, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        // Warm up so members hold the hanging ends.
+        for _ in 0..20 {
+            gossip_join(&mut n, GossipConfig::default(), &mut rng);
+        }
+        let mut gossip = 0;
+        let mut fallback = 0;
+        for _ in 0..50 {
+            let (_, s) = gossip_join(&mut n, GossipConfig::default(), &mut rng);
+            gossip += s.gossip_slots;
+            fallback += s.fallback_slots;
+        }
+        assert!(
+            gossip > 4 * fallback,
+            "gossip should find most slots: {gossip} vs fallback {fallback}"
+        );
+    }
+
+    #[test]
+    fn longer_walks_approach_uniform_thread_usage() {
+        // Frequency of each thread across many joins should be ~d/k for
+        // well-mixed walks.
+        let trials = 1200;
+        let k = 8;
+        let d = 2;
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = vec![0u32; k];
+        let mut n = net(k, d);
+        let cfg = GossipConfig { walk_length: 24, max_attempts: 64 };
+        for _ in 0..trials {
+            let (id, _) = gossip_join(&mut n, cfg, &mut rng);
+            let pos = n.matrix().position_of(id).unwrap();
+            for &t in n.matrix().row(pos).threads() {
+                counts[t as usize] += 1;
+            }
+            // Keep the network from growing unboundedly.
+            if n.len() > 60 {
+                let victim = n.node_ids()[0];
+                n.leave(victim).unwrap();
+            }
+        }
+        let expect = (trials * d) as f64 / k as f64;
+        for (t, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expect).abs() / expect;
+            assert!(dev < 0.25, "thread {t}: {c} vs {expect} ({dev:.2})");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed| {
+            let mut n = net(8, 2);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..30 {
+                gossip_join(&mut n, GossipConfig::default(), &mut rng);
+            }
+            n.matrix().clone()
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

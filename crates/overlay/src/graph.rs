@@ -1,0 +1,480 @@
+//! The overlay DAG induced by `M`, and max-flow edge connectivity.
+//!
+//! According to the network-coding theorem the broadcast rate a node can
+//! sustain equals its edge connectivity from the server (§4: *"it can
+//! receive the broadcast at the rate equal to its edge connectivity from the
+//! server"*), so connectivity is **the** quantity every experiment measures.
+
+use std::collections::VecDeque;
+
+use crate::matrix::ThreadMatrix;
+use crate::types::{NodeId, NodeStatus, ThreadId};
+
+/// A unit-capacity flow network with BFS (Edmonds–Karp) max-flow.
+///
+/// Reused by [`OverlayGraph`], the §6 random-graph variant, and the
+/// tree-packing baseline in `curtain-analysis`. Capacities are small
+/// integers; queries do not mutate the network (each call works on a scratch
+/// copy of the capacities).
+#[derive(Debug, Clone, Default)]
+pub struct FlowNetwork {
+    /// Per-vertex list of edge indices (both directions).
+    adj: Vec<Vec<u32>>,
+    /// Edge targets; edge `i ^ 1` is the reverse of edge `i`.
+    to: Vec<u32>,
+    /// Capacities, paired as (forward, reverse=0) unless explicitly added.
+    cap: Vec<u32>,
+}
+
+impl FlowNetwork {
+    /// Creates a network with `n` vertices and no edges.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        FlowNetwork { adj: vec![Vec::new(); n], to: Vec::new(), cap: Vec::new() }
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of directed edges added via [`FlowNetwork::add_edge`].
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.to.len() / 2
+    }
+
+    /// Adds a directed edge `u → v` with capacity `cap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize, cap: u32) {
+        assert!(u < self.adj.len() && v < self.adj.len(), "vertex out of range");
+        let e = self.to.len() as u32;
+        self.to.push(v as u32);
+        self.cap.push(cap);
+        self.adj[u].push(e);
+        self.to.push(u as u32);
+        self.cap.push(0);
+        self.adj[v].push(e + 1);
+    }
+
+    /// Appends a new vertex, returning its index.
+    pub fn add_vertex(&mut self) -> usize {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Maximum `s → t` flow. Vertices with `blocked[v] == true` cannot be
+    /// traversed (they model failed nodes); `s` and `t` are exempt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s`, `t`, or `blocked.len()` disagree with the vertex count.
+    #[must_use]
+    pub fn max_flow(&self, s: usize, t: usize, blocked: Option<&[bool]>) -> usize {
+        let n = self.adj.len();
+        assert!(s < n && t < n, "terminal out of range");
+        if let Some(b) = blocked {
+            assert_eq!(b.len(), n, "blocked mask length");
+        }
+        if s == t {
+            return 0;
+        }
+        let mut cap = self.cap.clone();
+        let mut flow = 0usize;
+        let mut pred: Vec<u32> = vec![u32::MAX; n];
+        loop {
+            // BFS for an augmenting path in the residual graph.
+            pred.fill(u32::MAX);
+            let mut queue = VecDeque::new();
+            queue.push_back(s);
+            'bfs: while let Some(u) = queue.pop_front() {
+                for &e in &self.adj[u] {
+                    let v = self.to[e as usize] as usize;
+                    if cap[e as usize] == 0 || pred[v] != u32::MAX || v == s {
+                        continue;
+                    }
+                    if v != t {
+                        if let Some(b) = blocked {
+                            if b[v] {
+                                continue;
+                            }
+                        }
+                    }
+                    pred[v] = e;
+                    if v == t {
+                        break 'bfs;
+                    }
+                    queue.push_back(v);
+                }
+            }
+            if pred[t] == u32::MAX {
+                return flow;
+            }
+            // Find the bottleneck and augment.
+            let mut bottleneck = u32::MAX;
+            let mut v = t;
+            while v != s {
+                let e = pred[v] as usize;
+                bottleneck = bottleneck.min(cap[e]);
+                v = self.to[e ^ 1] as usize;
+            }
+            let mut v = t;
+            while v != s {
+                let e = pred[v] as usize;
+                cap[e] -= bottleneck;
+                cap[e ^ 1] += bottleneck;
+                v = self.to[e ^ 1] as usize;
+            }
+            flow += bottleneck as usize;
+        }
+    }
+
+    /// BFS hop distances from `s`, skipping blocked vertices. `None` means
+    /// unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `blocked.len()` disagree with the vertex count.
+    #[must_use]
+    pub fn distances_from(&self, s: usize, blocked: Option<&[bool]>) -> Vec<Option<usize>> {
+        let n = self.adj.len();
+        assert!(s < n, "source out of range");
+        let mut dist = vec![None; n];
+        dist[s] = Some(0);
+        let mut queue = VecDeque::new();
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &e in &self.adj[u] {
+                if self.cap[e as usize] == 0 {
+                    continue; // reverse edge
+                }
+                let v = self.to[e as usize] as usize;
+                if dist[v].is_some() {
+                    continue;
+                }
+                if let Some(b) = blocked {
+                    if b[v] {
+                        continue;
+                    }
+                }
+                dist[v] = Some(dist[u].unwrap() + 1);
+                queue.push_back(v);
+            }
+        }
+        dist
+    }
+}
+
+/// The DAG induced by a [`ThreadMatrix`]: vertex 0 is the server, vertex
+/// `i + 1` is row `i`; for every thread there is a unit edge between each
+/// pair of consecutive holders.
+///
+/// Failed rows keep their vertex (so positions stay aligned) but are marked
+/// blocked: their edges exist in the underlying matrix but carry no flow —
+/// exactly the paper's failure semantics, where a failed node absorbs its
+/// incoming streams until the repair splices it out.
+#[derive(Debug, Clone)]
+pub struct OverlayGraph {
+    flow: FlowNetwork,
+    blocked: Vec<bool>,
+    /// Per thread: the vertex currently holding the hanging lower end.
+    bottoms: Vec<usize>,
+    /// NodeId per vertex (None for the server).
+    node_of: Vec<Option<NodeId>>,
+}
+
+impl OverlayGraph {
+    /// Vertex index of the server.
+    pub const SERVER: usize = 0;
+
+    /// Builds the graph for the current state of `matrix`.
+    #[must_use]
+    pub fn from_matrix(matrix: &ThreadMatrix) -> Self {
+        let n = matrix.len() + 1;
+        let mut flow = FlowNetwork::new(n);
+        let mut blocked = vec![false; n];
+        let mut node_of = vec![None; n];
+        let mut bottoms = vec![Self::SERVER; matrix.k()];
+        for (i, row) in matrix.rows().iter().enumerate() {
+            let v = i + 1;
+            node_of[v] = Some(row.node());
+            blocked[v] = row.status() == NodeStatus::Failed;
+            for &t in row.threads() {
+                flow.add_edge(bottoms[t as usize], v, 1);
+                bottoms[t as usize] = v;
+            }
+        }
+        OverlayGraph { flow, blocked, bottoms, node_of }
+    }
+
+    /// Number of vertices (rows + server).
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.flow.vertex_count()
+    }
+
+    /// The node at a vertex (`None` for the server).
+    #[must_use]
+    pub fn node_at(&self, vertex: usize) -> Option<NodeId> {
+        self.node_of[vertex]
+    }
+
+    /// True iff the vertex is a failed node.
+    #[must_use]
+    pub fn is_blocked(&self, vertex: usize) -> bool {
+        self.blocked[vertex]
+    }
+
+    /// The vertex holding the lower hanging end of `thread`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread is out of range.
+    #[must_use]
+    pub fn bottom_of(&self, thread: ThreadId) -> usize {
+        self.bottoms[thread as usize]
+    }
+
+    /// Edge connectivity from the server to the row at `position`
+    /// (max-flow with failed vertices blocked). Returns 0 for failed nodes.
+    #[must_use]
+    pub fn connectivity_of_position(&self, position: usize) -> usize {
+        let v = position + 1;
+        if self.blocked[v] {
+            return 0;
+        }
+        self.flow.max_flow(Self::SERVER, v, Some(&self.blocked))
+    }
+
+    /// Connectivity a *virtual* node would enjoy if it clipped the given
+    /// threads right now — the quantity behind the defect counts `B_j`
+    /// (§4: "the number of d-tuples of hanging threads that have
+    /// edge-connectivity d − j from the server").
+    ///
+    /// Duplicate threads in the tuple are allowed and contribute separate
+    /// unit edges (relevant only for baselines; the protocol never picks
+    /// duplicates).
+    #[must_use]
+    pub fn tuple_connectivity(&self, threads: &[ThreadId]) -> usize {
+        let mut flow = self.flow.clone();
+        let sink = flow.add_vertex();
+        for &t in threads {
+            flow.add_edge(self.bottoms[t as usize], sink, 1);
+        }
+        let mut blocked = self.blocked.clone();
+        blocked.push(false);
+        flow.max_flow(Self::SERVER, sink, Some(&blocked))
+    }
+
+    /// Hop distance from the server for every vertex (`None` for failed or
+    /// unreachable vertices) — the "delay" of §6.
+    #[must_use]
+    pub fn depths(&self) -> Vec<Option<usize>> {
+        self.flow.distances_from(Self::SERVER, Some(&self.blocked))
+    }
+
+    /// The live directed edges `(from, to)` of the DAG: thread segments
+    /// whose endpoints are both working (or the server). Multi-edges appear
+    /// once per shared thread. Used by the tree-packing baseline.
+    #[must_use]
+    pub fn live_edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for v in 0..self.flow.vertex_count() {
+            if self.blocked[v] {
+                continue;
+            }
+            for &e in &self.flow.adj[v] {
+                // Forward edges only (even indices carry the capacity).
+                if e % 2 != 0 || self.flow.cap[e as usize] == 0 {
+                    continue;
+                }
+                let to = self.flow.to[e as usize] as usize;
+                if !self.blocked[to] {
+                    out.push((v, to));
+                }
+            }
+        }
+        out
+    }
+
+    /// Connectivity of every row; `0` entries for failed rows.
+    #[must_use]
+    pub fn all_connectivities(&self) -> Vec<usize> {
+        (0..self.vertex_count() - 1)
+            .map(|p| self.connectivity_of_position(p))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::NodeStatus;
+
+    fn w() -> NodeStatus {
+        NodeStatus::Working
+    }
+
+    #[test]
+    fn flow_on_tiny_network() {
+        // s -> a -> t, s -> b -> t : flow 2.
+        let mut f = FlowNetwork::new(4);
+        f.add_edge(0, 1, 1);
+        f.add_edge(1, 3, 1);
+        f.add_edge(0, 2, 1);
+        f.add_edge(2, 3, 1);
+        assert_eq!(f.max_flow(0, 3, None), 2);
+    }
+
+    #[test]
+    fn flow_respects_bottleneck() {
+        // s -> a (cap 5) -> t (cap 2).
+        let mut f = FlowNetwork::new(3);
+        f.add_edge(0, 1, 5);
+        f.add_edge(1, 2, 2);
+        assert_eq!(f.max_flow(0, 2, None), 2);
+    }
+
+    #[test]
+    fn flow_uses_residual_paths() {
+        // Classic case where a naive greedy needs the residual edge.
+        let mut f = FlowNetwork::new(4);
+        f.add_edge(0, 1, 1);
+        f.add_edge(0, 2, 1);
+        f.add_edge(1, 2, 1);
+        f.add_edge(1, 3, 1);
+        f.add_edge(2, 3, 1);
+        assert_eq!(f.max_flow(0, 3, None), 2);
+    }
+
+    #[test]
+    fn blocked_vertices_cut_flow() {
+        let mut f = FlowNetwork::new(4);
+        f.add_edge(0, 1, 1);
+        f.add_edge(1, 3, 1);
+        f.add_edge(0, 2, 1);
+        f.add_edge(2, 3, 1);
+        let blocked = vec![false, true, false, false];
+        assert_eq!(f.max_flow(0, 3, Some(&blocked)), 1);
+    }
+
+    #[test]
+    fn flow_s_equals_t_is_zero() {
+        let f = FlowNetwork::new(2);
+        assert_eq!(f.max_flow(1, 1, None), 0);
+    }
+
+    #[test]
+    fn distances_simple_chain() {
+        let mut f = FlowNetwork::new(3);
+        f.add_edge(0, 1, 1);
+        f.add_edge(1, 2, 1);
+        let d = f.distances_from(0, None);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2)]);
+    }
+
+    fn matrix_abc() -> ThreadMatrix {
+        // k = 4; three nodes.
+        let mut m = ThreadMatrix::new(4);
+        m.append(NodeId(0), vec![0, 1], w()); // parents: server, server
+        m.append(NodeId(1), vec![1, 2], w()); // parents: n0 (t1), server (t2)
+        m.append(NodeId(2), vec![0, 1], w()); // parents: n0 (t0), n1 (t1)
+        m
+    }
+
+    #[test]
+    fn overlay_graph_structure() {
+        let g = OverlayGraph::from_matrix(&matrix_abc());
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.node_at(0), None);
+        assert_eq!(g.node_at(3), Some(NodeId(2)));
+        // Bottom holders: t0 -> n2 (v3), t1 -> n2 (v3), t2 -> n1 (v2), t3 -> server.
+        assert_eq!(g.bottom_of(0), 3);
+        assert_eq!(g.bottom_of(1), 3);
+        assert_eq!(g.bottom_of(2), 2);
+        assert_eq!(g.bottom_of(3), 0);
+    }
+
+    #[test]
+    fn full_connectivity_without_failures() {
+        let g = OverlayGraph::from_matrix(&matrix_abc());
+        for p in 0..3 {
+            assert_eq!(g.connectivity_of_position(p), 2, "row {p}");
+        }
+    }
+
+    #[test]
+    fn parent_failure_reduces_child_connectivity() {
+        let mut m = matrix_abc();
+        m.set_status(NodeId(0), NodeStatus::Failed);
+        let g = OverlayGraph::from_matrix(&m);
+        // n1 loses thread 1 (parent n0 failed): connectivity 1.
+        assert_eq!(g.connectivity_of_position(1), 1);
+        // n2's parents are n0 (t0, failed) and n1 (t1): n1 still delivers 1.
+        assert_eq!(g.connectivity_of_position(2), 1);
+        // The failed node itself reports 0.
+        assert_eq!(g.connectivity_of_position(0), 0);
+    }
+
+    #[test]
+    fn tuple_connectivity_fresh_network() {
+        let m = ThreadMatrix::new(4);
+        let g = OverlayGraph::from_matrix(&m);
+        // All threads hang from the server: any tuple has full connectivity.
+        assert_eq!(g.tuple_connectivity(&[0, 1]), 2);
+        assert_eq!(g.tuple_connectivity(&[0, 1, 2, 3]), 4);
+    }
+
+    #[test]
+    fn tuple_connectivity_behind_failure() {
+        let mut m = ThreadMatrix::new(3);
+        m.append(NodeId(0), vec![0, 1], w());
+        m.set_status(NodeId(0), NodeStatus::Failed);
+        let g = OverlayGraph::from_matrix(&m);
+        // Threads 0 and 1 hang below the failed node: dead.
+        assert_eq!(g.tuple_connectivity(&[0, 1]), 0);
+        // Thread 2 still hangs from the server.
+        assert_eq!(g.tuple_connectivity(&[1, 2]), 1);
+        assert_eq!(g.tuple_connectivity(&[2]), 1);
+    }
+
+    #[test]
+    fn depths_grow_down_the_curtain() {
+        // Chain: k=1 impossible (d<=k); use k=2,d=2 so every node holds both.
+        let mut m = ThreadMatrix::new(2);
+        for i in 0..5 {
+            m.append(NodeId(i), vec![0, 1], w());
+        }
+        let g = OverlayGraph::from_matrix(&m);
+        let depths = g.depths();
+        assert_eq!(depths[0], Some(0));
+        for i in 0..5 {
+            assert_eq!(depths[i + 1], Some(i + 1), "node {i}");
+        }
+    }
+
+    #[test]
+    fn all_connectivities_matches_individual() {
+        let mut m = matrix_abc();
+        m.set_status(NodeId(1), NodeStatus::Failed);
+        let g = OverlayGraph::from_matrix(&m);
+        let all = g.all_connectivities();
+        for p in 0..3 {
+            assert_eq!(all[p], g.connectivity_of_position(p));
+        }
+    }
+
+    #[test]
+    fn multi_edges_count_separately() {
+        // Node 1 takes both of node 0's threads: two parallel edges.
+        let mut m = ThreadMatrix::new(2);
+        m.append(NodeId(0), vec![0, 1], w());
+        m.append(NodeId(1), vec![0, 1], w());
+        let g = OverlayGraph::from_matrix(&m);
+        assert_eq!(g.connectivity_of_position(1), 2);
+    }
+}

@@ -1,0 +1,69 @@
+//! The curtain overlay of Jain, Lovász & Chou (PODC 2005).
+//!
+//! *"Imagine that the server is a curtain rod with `k` threads hanging, each
+//! thread representing a stream. When a node joins the network it picks `d`
+//! threads at random and clips them together."*
+//!
+//! This crate implements that scheme in full:
+//!
+//! * [`ThreadMatrix`] — the server-side matrix `M` (`N′ × k`, `d` ones per
+//!   row) that mirrors the topology, with append / random-position insert /
+//!   splice-out operations (§3, §5).
+//! * [`OverlayGraph`] — the induced DAG (edges between consecutive holders
+//!   of each thread) and unit-capacity max-flow *edge connectivity* from the
+//!   server, the quantity network coding turns into throughput (§4).
+//! * [`defect`] — the paper's potential function `B^t` (total defect over
+//!   hanging-thread `d`-tuples): exact enumeration for small `k`,
+//!   Monte-Carlo estimation for large (§4, Lemmas 2–7).
+//! * [`CurtainServer`] / [`CurtainNetwork`] — the hello / good-bye / repair
+//!   protocols and the congestion drop/restore extension (§3, §5).
+//! * [`churn`] — randomized join/leave/fail drivers for long-running
+//!   experiments.
+//! * [`adversary`] — coordinated-failure cohorts (§5): batch failures of
+//!   random vs adjacent-in-`M` user sets, under append vs random-insert
+//!   placement.
+//! * [`random_graph`] — the §6 low-delay variant where a new node inserts
+//!   itself into `d` random *edges* instead of hanging threads.
+//!
+//! # Example
+//!
+//! ```
+//! use curtain_overlay::{CurtainNetwork, OverlayConfig};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let mut net = CurtainNetwork::new(OverlayConfig::new(16, 3)).expect("valid config");
+//! let nodes: Vec<_> = (0..50).map(|_| net.join(&mut rng)).collect();
+//!
+//! // Without failures every node enjoys full connectivity d:
+//! assert!(nodes.iter().all(|&n| net.connectivity_of(n) == Some(3)));
+//!
+//! // A failure hurts (at most) its children, and repair heals them:
+//! net.fail(nodes[0]).unwrap();
+//! net.repair(nodes[0]).unwrap();
+//! assert!(nodes[1..].iter().all(|&n| net.connectivity_of(n) == Some(3)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod churn;
+pub mod defect;
+mod error;
+pub mod forest;
+pub mod gossip;
+mod graph;
+mod matrix;
+mod network;
+pub mod random_graph;
+mod server;
+pub mod snapshot;
+mod types;
+
+pub use error::OverlayError;
+pub use graph::{FlowNetwork, OverlayGraph};
+pub use matrix::{Row, ThreadMatrix};
+pub use network::CurtainNetwork;
+pub use server::{CurtainServer, JoinGrant, Redirect, RepairPlan, ServerMetrics};
+pub use types::{Holder, InsertPolicy, NodeId, NodeStatus, OverlayConfig, ThreadId};

@@ -1,0 +1,314 @@
+//! High-level facade combining the server and common queries.
+
+use rand::Rng;
+
+use crate::error::OverlayError;
+use crate::graph::OverlayGraph;
+use crate::matrix::ThreadMatrix;
+use crate::server::{CurtainServer, ServerMetrics};
+use crate::types::{NodeId, NodeStatus, OverlayConfig};
+
+/// A complete curtain overlay: the server plus convenience queries.
+///
+/// This is the type most examples and experiments drive. It hides the
+/// plan/grant plumbing of [`CurtainServer`] behind simple verbs and adds
+/// aggregate measurements (connectivity histograms, depth profiles).
+///
+/// # Example
+///
+/// ```
+/// use curtain_overlay::{CurtainNetwork, OverlayConfig};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut net = CurtainNetwork::new(OverlayConfig::new(12, 3)).expect("valid config");
+/// for _ in 0..20 {
+///     net.join(&mut rng);
+/// }
+/// assert_eq!(net.len(), 20);
+/// assert_eq!(net.min_working_connectivity(), Some(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CurtainNetwork {
+    server: CurtainServer,
+}
+
+impl CurtainNetwork {
+    /// Creates an empty network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::InvalidConfig`] on structural violations.
+    pub fn new(config: OverlayConfig) -> Result<Self, OverlayError> {
+        Ok(CurtainNetwork { server: CurtainServer::new(config)? })
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> OverlayConfig {
+        self.server.config()
+    }
+
+    /// Read access to the underlying server.
+    #[must_use]
+    pub fn server(&self) -> &CurtainServer {
+        &self.server
+    }
+
+    /// Mutable access to the underlying server (for protocol-level tests
+    /// and the congestion verbs).
+    pub fn server_mut(&mut self) -> &mut CurtainServer {
+        &mut self.server
+    }
+
+    /// Read access to the matrix `M`.
+    #[must_use]
+    pub fn matrix(&self) -> &ThreadMatrix {
+        self.server.matrix()
+    }
+
+    /// Server metrics so far.
+    #[must_use]
+    pub fn metrics(&self) -> ServerMetrics {
+        self.server.metrics()
+    }
+
+    /// Number of member rows (working + failed).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.matrix().len()
+    }
+
+    /// True iff the network has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.matrix().is_empty()
+    }
+
+    /// Number of working members.
+    #[must_use]
+    pub fn working_len(&self) -> usize {
+        self.matrix().working_len()
+    }
+
+    /// Ids of all members, in matrix order.
+    #[must_use]
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.matrix().rows().iter().map(|r| r.node()).collect()
+    }
+
+    /// Ids of failed members awaiting repair.
+    #[must_use]
+    pub fn failed_nodes(&self) -> Vec<NodeId> {
+        self.matrix().failed_nodes()
+    }
+
+    /// Joins a new working node, returning its id.
+    pub fn join<R: Rng + ?Sized>(&mut self, rng: &mut R) -> NodeId {
+        self.server.hello(rng).node
+    }
+
+    /// Joins a node that is *already failed* — the §4 analysis process where
+    /// each arrival fails with probability `p` before joining.
+    pub fn join_failed<R: Rng + ?Sized>(&mut self, rng: &mut R) -> NodeId {
+        self.server.admit(rng, NodeStatus::Failed).node
+    }
+
+    /// Joins a node, failed with probability `p` (the paper's coin toss).
+    pub fn join_with_failure_prob<R: Rng + ?Sized>(&mut self, p: f64, rng: &mut R) -> NodeId {
+        use rand::RngExt as _;
+        if rng.random_bool(p) {
+            self.join_failed(rng)
+        } else {
+            self.join(rng)
+        }
+    }
+
+    /// Graceful leave.
+    ///
+    /// # Errors
+    ///
+    /// See [`CurtainServer::goodbye`].
+    pub fn leave(&mut self, node: NodeId) -> Result<(), OverlayError> {
+        self.server.goodbye(node).map(|_| ())
+    }
+
+    /// Marks a node failed (children complain to the server).
+    ///
+    /// # Errors
+    ///
+    /// See [`CurtainServer::report_failure`].
+    pub fn fail(&mut self, node: NodeId) -> Result<(), OverlayError> {
+        self.server.report_failure(node).map(|_| ())
+    }
+
+    /// Repairs (splices out) a failed node.
+    ///
+    /// # Errors
+    ///
+    /// See [`CurtainServer::repair`].
+    pub fn repair(&mut self, node: NodeId) -> Result<(), OverlayError> {
+        self.server.repair(node).map(|_| ())
+    }
+
+    /// Repairs every failed node, returning how many were repaired.
+    pub fn repair_all(&mut self) -> usize {
+        let failed = self.failed_nodes();
+        let count = failed.len();
+        for node in failed {
+            self.server.repair(node).expect("listed as failed");
+        }
+        count
+    }
+
+    /// Builds the current overlay graph.
+    #[must_use]
+    pub fn graph(&self) -> OverlayGraph {
+        self.server.graph()
+    }
+
+    /// Edge connectivity of a node from the server; `None` if the node is
+    /// not a member or has failed.
+    #[must_use]
+    pub fn connectivity_of(&self, node: NodeId) -> Option<usize> {
+        let pos = self.matrix().position_of(node)?;
+        if self.matrix().row(pos).status() == NodeStatus::Failed {
+            return None;
+        }
+        Some(self.graph().connectivity_of_position(pos))
+    }
+
+    /// Edge connectivity of the row at `index`; `None` if out of range or
+    /// failed.
+    #[must_use]
+    pub fn connectivity_of_index(&self, index: usize) -> Option<usize> {
+        if index >= self.len() || self.matrix().row(index).status() == NodeStatus::Failed {
+            return None;
+        }
+        Some(self.graph().connectivity_of_position(index))
+    }
+
+    /// Histogram of working nodes' connectivities: `hist[c]` = number of
+    /// working nodes with connectivity `c` (length `d + 1`).
+    #[must_use]
+    pub fn working_connectivity_histogram(&self) -> Vec<u64> {
+        let d = self.config().d;
+        let graph = self.graph();
+        let mut hist = vec![0u64; d + 1];
+        for (pos, row) in self.matrix().rows().iter().enumerate() {
+            if row.status() == NodeStatus::Working {
+                let c = graph.connectivity_of_position(pos).min(d);
+                hist[c] += 1;
+            }
+        }
+        hist
+    }
+
+    /// Mean connectivity loss (in thread units, `d − connectivity`) over
+    /// working nodes; `None` if there are none.
+    #[must_use]
+    pub fn mean_working_connectivity_loss(&self) -> Option<f64> {
+        let hist = self.working_connectivity_histogram();
+        let total: u64 = hist.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let d = self.config().d;
+        let lost: u64 = hist
+            .iter()
+            .enumerate()
+            .map(|(c, &n)| (d - c) as u64 * n)
+            .sum();
+        Some(lost as f64 / total as f64)
+    }
+
+    /// Minimum connectivity among working nodes; `None` if there are none.
+    #[must_use]
+    pub fn min_working_connectivity(&self) -> Option<usize> {
+        let hist = self.working_connectivity_histogram();
+        hist.iter().position(|&n| n > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net(k: usize, d: usize) -> CurtainNetwork {
+        CurtainNetwork::new(OverlayConfig::new(k, d)).unwrap()
+    }
+
+    #[test]
+    fn joins_and_full_connectivity() {
+        let mut n = net(12, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let ids: Vec<NodeId> = (0..40).map(|_| n.join(&mut rng)).collect();
+        assert_eq!(n.len(), 40);
+        assert_eq!(n.working_len(), 40);
+        for id in ids {
+            assert_eq!(n.connectivity_of(id), Some(3));
+        }
+        assert_eq!(n.min_working_connectivity(), Some(3));
+        assert_eq!(n.mean_working_connectivity_loss(), Some(0.0));
+    }
+
+    #[test]
+    fn graceful_leave_keeps_everyone_at_d() {
+        let mut n = net(10, 2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let ids: Vec<NodeId> = (0..30).map(|_| n.join(&mut rng)).collect();
+        for &id in ids.iter().step_by(3) {
+            n.leave(id).unwrap();
+        }
+        assert_eq!(n.len(), 20);
+        assert_eq!(n.min_working_connectivity(), Some(2));
+    }
+
+    #[test]
+    fn failure_hurts_then_repair_heals() {
+        let mut n = net(8, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let ids: Vec<NodeId> = (0..25).map(|_| n.join(&mut rng)).collect();
+        n.fail(ids[3]).unwrap();
+        assert_eq!(n.connectivity_of(ids[3]), None);
+        assert_eq!(n.working_len(), 24);
+        assert_eq!(n.failed_nodes(), vec![ids[3]]);
+        // Someone may have lost connectivity; after repair all is back to d.
+        assert_eq!(n.repair_all(), 1);
+        assert_eq!(n.min_working_connectivity(), Some(2));
+        assert_eq!(n.len(), 24);
+    }
+
+    #[test]
+    fn join_with_failure_prob_extremes() {
+        let mut n = net(8, 2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = n.join_with_failure_prob(0.0, &mut rng);
+        let b = n.join_with_failure_prob(1.0, &mut rng);
+        assert_eq!(n.matrix().status_of(a), Some(NodeStatus::Working));
+        assert_eq!(n.matrix().status_of(b), Some(NodeStatus::Failed));
+    }
+
+    #[test]
+    fn histogram_sums_to_working_count() {
+        let mut n = net(8, 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            n.join_with_failure_prob(0.3, &mut rng);
+        }
+        let hist = n.working_connectivity_histogram();
+        assert_eq!(hist.iter().sum::<u64>() as usize, n.working_len());
+    }
+
+    #[test]
+    fn unknown_node_queries() {
+        let n = net(8, 2);
+        assert_eq!(n.connectivity_of(NodeId(5)), None);
+        assert_eq!(n.connectivity_of_index(0), None);
+        assert!(n.is_empty());
+        assert_eq!(n.mean_working_connectivity_loss(), None);
+        assert_eq!(n.min_working_connectivity(), None);
+    }
+}

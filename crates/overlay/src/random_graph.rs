@@ -1,0 +1,246 @@
+//! The §6 low-delay variant: insert new nodes into random *edges*.
+//!
+//! The curtain keeps the topology acyclic (no throughput loss from delay
+//! spread) but delay grows linearly in N. §6's alternative: *"each new user
+//! selects d random edges in the existing network, and inserts itself at
+//! these edges. Random graphs are expanders with high probability, so the
+//! delay will be logarithmic."*
+//!
+//! We model the network as a multiset of directed edges; the server starts
+//! with `k` *hanging* edges (lower end unattached — the thread pool). A new
+//! node picks `d` random edges; picking edge `(u, w)` replaces it with
+//! `(u, v)` and `(v, w)`, so `v` both receives from `u` and serves `w`
+//! (`w = None` keeps the lower end hanging). Every insertion preserves the
+//! edge-count invariant: hanging edges stay exactly `k`.
+
+use rand::Rng;
+
+use crate::graph::FlowNetwork;
+
+/// Vertex index of the server in a [`RandomGraphOverlay`].
+pub const SERVER: usize = 0;
+
+/// One directed overlay edge; `lower == None` means the lower end hangs
+/// free (a slot a newcomer can take).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Upper (sending) endpoint.
+    pub upper: usize,
+    /// Lower (receiving) endpoint, if attached.
+    pub lower: Option<usize>,
+}
+
+/// The §6 random-graph overlay.
+///
+/// # Example
+///
+/// ```
+/// use curtain_overlay::random_graph::RandomGraphOverlay;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(6);
+/// let mut net = RandomGraphOverlay::new(8, 2);
+/// for _ in 0..100 {
+///     net.join(&mut rng);
+/// }
+/// // Expander-style topology: depth is logarithmic, not linear.
+/// let max_depth = net.depths().into_iter().flatten().max().unwrap();
+/// assert!(max_depth < 30);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomGraphOverlay {
+    k: usize,
+    d: usize,
+    n_vertices: usize,
+    edges: Vec<Edge>,
+}
+
+impl RandomGraphOverlay {
+    /// Creates the initial state: the server with `k` hanging edges; new
+    /// nodes will take `d` edges each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0` or `d > k`.
+    #[must_use]
+    pub fn new(k: usize, d: usize) -> Self {
+        assert!(d > 0, "d must be positive");
+        assert!(d <= k, "d must not exceed k");
+        let edges = (0..k).map(|_| Edge { upper: SERVER, lower: None }).collect();
+        RandomGraphOverlay { k, d, n_vertices: 1, edges }
+    }
+
+    /// Server fan-out `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Per-node degree `d`.
+    #[must_use]
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Number of client nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n_vertices - 1
+    }
+
+    /// True iff no client has joined.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n_vertices == 1
+    }
+
+    /// All edges, hanging ones included.
+    #[must_use]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// A new node inserts itself into `d` distinct random edges; returns its
+    /// vertex index.
+    pub fn join<R: Rng + ?Sized>(&mut self, rng: &mut R) -> usize {
+        let v = self.n_vertices;
+        self.n_vertices += 1;
+        let picks = rand::seq::index::sample(rng, self.edges.len(), self.d);
+        let mut picked: Vec<usize> = picks.into_iter().collect();
+        // Replace in place: (u, w) -> (u, v); push (v, w).
+        picked.sort_unstable();
+        for &e in &picked {
+            let lower = self.edges[e].lower;
+            self.edges[e].lower = Some(v);
+            self.edges.push(Edge { upper: v, lower });
+        }
+        v
+    }
+
+    /// Builds a [`FlowNetwork`] over the attached edges (hanging edges carry
+    /// no flow).
+    #[must_use]
+    pub fn flow_network(&self) -> FlowNetwork {
+        let mut f = FlowNetwork::new(self.n_vertices);
+        for e in &self.edges {
+            if let Some(lower) = e.lower {
+                f.add_edge(e.upper, lower, 1);
+            }
+        }
+        f
+    }
+
+    /// Hop distance from the server per vertex (`None` = unreachable).
+    #[must_use]
+    pub fn depths(&self) -> Vec<Option<usize>> {
+        self.flow_network().distances_from(SERVER, None)
+    }
+
+    /// Edge connectivity of a vertex from the server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn connectivity(&self, v: usize) -> usize {
+        self.flow_network().max_flow(SERVER, v, None)
+    }
+
+    /// Sanity checks: hanging edge count stays `k`; every client vertex has
+    /// in-degree and out-degree `d` (out includes hanging stubs).
+    ///
+    /// # Panics
+    ///
+    /// Panics on violations.
+    pub fn assert_invariants(&self) {
+        let hanging = self.edges.iter().filter(|e| e.lower.is_none()).count();
+        assert_eq!(hanging, self.k, "hanging edge pool must stay k");
+        let mut indeg = vec![0usize; self.n_vertices];
+        let mut outdeg = vec![0usize; self.n_vertices];
+        for e in &self.edges {
+            outdeg[e.upper] += 1;
+            if let Some(l) = e.lower {
+                indeg[l] += 1;
+            }
+        }
+        assert_eq!(outdeg[SERVER], self.k, "server out-degree must stay k");
+        for v in 1..self.n_vertices {
+            assert_eq!(indeg[v], self.d, "vertex {v} in-degree");
+            assert_eq!(outdeg[v], self.d, "vertex {v} out-degree");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn invariants_hold_through_growth() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = RandomGraphOverlay::new(10, 3);
+        for _ in 0..300 {
+            net.join(&mut rng);
+            if net.len() % 50 == 0 {
+                net.assert_invariants();
+            }
+        }
+        net.assert_invariants();
+        assert_eq!(net.len(), 300);
+    }
+
+    #[test]
+    fn first_node_connects_to_server() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = RandomGraphOverlay::new(6, 2);
+        let v = net.join(&mut rng);
+        assert_eq!(net.connectivity(v), 2);
+        assert_eq!(net.depths()[v], Some(1));
+    }
+
+    #[test]
+    fn depth_is_logarithmic_not_linear() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 500;
+        let mut net = RandomGraphOverlay::new(8, 2);
+        for _ in 0..n {
+            net.join(&mut rng);
+        }
+        let depths: Vec<usize> = net.depths().into_iter().flatten().collect();
+        let max = *depths.iter().max().unwrap();
+        // ~log2(500) ≈ 9; allow generous slack but far below linear (≈ n·d/k).
+        assert!(max < 60, "max depth {max} not logarithmic");
+    }
+
+    #[test]
+    fn everyone_reachable() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut net = RandomGraphOverlay::new(8, 3);
+        for _ in 0..200 {
+            net.join(&mut rng);
+        }
+        let depths = net.depths();
+        assert!(depths.iter().all(Option::is_some), "disconnected vertex");
+    }
+
+    #[test]
+    fn connectivity_bounded_by_d() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut net = RandomGraphOverlay::new(8, 3);
+        let mut last = 0;
+        for _ in 0..100 {
+            last = net.join(&mut rng);
+        }
+        let c = net.connectivity(last);
+        assert!(c <= 3);
+        assert!(c >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "d must not exceed k")]
+    fn d_greater_than_k_rejected() {
+        let _ = RandomGraphOverlay::new(2, 3);
+    }
+}

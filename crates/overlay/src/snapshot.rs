@@ -1,0 +1,262 @@
+//! Checkpoint / restore of the coordinator state.
+//!
+//! A production coordinator must survive restarts: the matrix `M` *is* the
+//! network (losing it strands every stream). Snapshots are
+//! serde-serializable value types convertible to/from the live structures;
+//! `serde_json` (justified in DESIGN.md §6) gives a portable on-disk form.
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::ThreadMatrix;
+use crate::server::{CurtainServer, ServerMetrics};
+use crate::types::{NodeId, NodeStatus, OverlayConfig, ThreadId};
+
+/// Serializable form of one matrix row.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RowSnapshot {
+    /// The node id.
+    pub node: NodeId,
+    /// Its threads (sorted).
+    pub threads: Vec<ThreadId>,
+    /// Working/failed tag.
+    pub status: NodeStatus,
+}
+
+/// Serializable form of the matrix `M`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatrixSnapshot {
+    /// Number of threads (columns).
+    pub k: usize,
+    /// Rows in matrix order.
+    pub rows: Vec<RowSnapshot>,
+}
+
+impl From<&ThreadMatrix> for MatrixSnapshot {
+    fn from(m: &ThreadMatrix) -> Self {
+        MatrixSnapshot {
+            k: m.k(),
+            rows: m
+                .rows()
+                .iter()
+                .map(|r| RowSnapshot {
+                    node: r.node(),
+                    threads: r.threads().to_vec(),
+                    status: r.status(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl TryFrom<MatrixSnapshot> for ThreadMatrix {
+    type Error = crate::OverlayError;
+
+    fn try_from(s: MatrixSnapshot) -> Result<Self, Self::Error> {
+        if s.k == 0 || s.k > ThreadId::MAX as usize {
+            return Err(crate::OverlayError::InvalidConfig { k: s.k, d: 0 });
+        }
+        let mut m = ThreadMatrix::new(s.k);
+        for (i, row) in s.rows.into_iter().enumerate() {
+            // `insert` re-validates thread ranges and duplicates.
+            m.insert(i, row.node, row.threads, row.status);
+        }
+        Ok(m)
+    }
+}
+
+/// Serializable form of the whole coordinator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerSnapshot {
+    /// The static configuration.
+    pub config: OverlayConfig,
+    /// The matrix state.
+    pub matrix: MatrixSnapshot,
+    /// Next node id to assign (monotone across restarts, so ids never
+    /// repeat).
+    pub next_id: u64,
+    /// Accumulated metrics (optional to restore; kept for continuity).
+    #[serde(default)]
+    pub metrics: MetricsSnapshot,
+}
+
+/// Serializable metrics (mirrors [`ServerMetrics`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// See [`ServerMetrics::joins`].
+    pub joins: u64,
+    /// See [`ServerMetrics::graceful_leaves`].
+    pub graceful_leaves: u64,
+    /// See [`ServerMetrics::failures_reported`].
+    pub failures_reported: u64,
+    /// See [`ServerMetrics::repairs`].
+    pub repairs: u64,
+    /// See [`ServerMetrics::thread_drops`].
+    pub thread_drops: u64,
+    /// See [`ServerMetrics::thread_restores`].
+    pub thread_restores: u64,
+    /// See [`ServerMetrics::messages_in`].
+    pub messages_in: u64,
+    /// See [`ServerMetrics::messages_out`].
+    pub messages_out: u64,
+}
+
+impl From<ServerMetrics> for MetricsSnapshot {
+    fn from(m: ServerMetrics) -> Self {
+        MetricsSnapshot {
+            joins: m.joins,
+            graceful_leaves: m.graceful_leaves,
+            failures_reported: m.failures_reported,
+            repairs: m.repairs,
+            thread_drops: m.thread_drops,
+            thread_restores: m.thread_restores,
+            messages_in: m.messages_in,
+            messages_out: m.messages_out,
+        }
+    }
+}
+
+impl From<MetricsSnapshot> for ServerMetrics {
+    fn from(m: MetricsSnapshot) -> Self {
+        ServerMetrics {
+            joins: m.joins,
+            graceful_leaves: m.graceful_leaves,
+            failures_reported: m.failures_reported,
+            repairs: m.repairs,
+            thread_drops: m.thread_drops,
+            thread_restores: m.thread_restores,
+            messages_in: m.messages_in,
+            messages_out: m.messages_out,
+        }
+    }
+}
+
+impl CurtainServer {
+    /// Captures a snapshot of the coordinator.
+    #[must_use]
+    pub fn snapshot(&self) -> ServerSnapshot {
+        ServerSnapshot {
+            config: self.config(),
+            matrix: MatrixSnapshot::from(self.matrix()),
+            next_id: self.next_node_id(),
+            metrics: self.metrics().into(),
+        }
+    }
+
+    /// Restores a coordinator from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::OverlayError::InvalidConfig`] if the snapshot's
+    /// configuration or matrix shape is invalid.
+    pub fn restore(snapshot: ServerSnapshot) -> Result<Self, crate::OverlayError> {
+        snapshot.config.validate()?;
+        let matrix = ThreadMatrix::try_from(snapshot.matrix)?;
+        if matrix.k() != snapshot.config.k {
+            return Err(crate::OverlayError::InvalidConfig {
+                k: matrix.k(),
+                d: snapshot.config.d,
+            });
+        }
+        Ok(CurtainServer::from_parts(
+            snapshot.config,
+            matrix,
+            snapshot.next_id,
+            snapshot.metrics.into(),
+        ))
+    }
+
+    /// Serializes the snapshot to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors (effectively infallible for this type).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(&self.snapshot())
+    }
+
+    /// Restores a coordinator from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a boxed error on malformed JSON or invalid state.
+    pub fn from_json(json: &str) -> Result<Self, Box<dyn std::error::Error + Send + Sync>> {
+        let snapshot: ServerSnapshot = serde_json::from_str(json)?;
+        Ok(CurtainServer::restore(snapshot)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn busy_server() -> CurtainServer {
+        let mut s = CurtainServer::new(OverlayConfig::new(12, 3)).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let ids: Vec<NodeId> = (0..30).map(|_| s.hello(&mut rng).node).collect();
+        s.goodbye(ids[3]).unwrap();
+        s.report_failure(ids[7]).unwrap();
+        s.drop_thread(ids[10], &mut rng).unwrap();
+        s
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_everything() {
+        let s = busy_server();
+        let restored = CurtainServer::restore(s.snapshot()).unwrap();
+        assert_eq!(restored.matrix(), s.matrix());
+        assert_eq!(restored.config(), s.config());
+        assert_eq!(restored.metrics(), s.metrics());
+        assert_eq!(restored.next_node_id(), s.next_node_id());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let s = busy_server();
+        let json = s.to_json().unwrap();
+        let restored = CurtainServer::from_json(&json).unwrap();
+        assert_eq!(restored.matrix(), s.matrix());
+        // Ids keep increasing after restore — no reuse.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut restored = restored;
+        let new = restored.hello(&mut rng).node;
+        assert!(s.matrix().position_of(new).is_none());
+        assert_eq!(new.0, s.next_node_id());
+    }
+
+    #[test]
+    fn restored_server_keeps_protocol_invariants() {
+        let s = busy_server();
+        let mut restored = CurtainServer::from_json(&s.to_json().unwrap()).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        // Pending failure can still be repaired after restore.
+        let failed = restored.matrix().failed_nodes();
+        assert_eq!(failed.len(), 1);
+        restored.repair(failed[0]).unwrap();
+        for _ in 0..10 {
+            restored.hello(&mut rng);
+        }
+        restored.matrix().assert_invariants();
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(CurtainServer::from_json("{not json").is_err());
+        assert!(CurtainServer::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn invalid_snapshot_rejected() {
+        let s = busy_server();
+        let mut snap = s.snapshot();
+        snap.config.k = 6; // matrix has k = 12
+        assert!(CurtainServer::restore(snap).is_err());
+    }
+
+    #[test]
+    fn matrix_snapshot_rejects_bad_k() {
+        let snap = MatrixSnapshot { k: 0, rows: vec![] };
+        assert!(ThreadMatrix::try_from(snap).is_err());
+    }
+}

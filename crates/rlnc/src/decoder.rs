@@ -1,0 +1,246 @@
+//! The receiver: progressive Gaussian elimination and recovery.
+
+use crate::error::RlncError;
+use crate::generation::GenerationId;
+use crate::packet::CodedPacket;
+use crate::rowspace::RowSpace;
+use crate::stats::CodingStats;
+
+/// Decoder for one generation.
+///
+/// Packets are reduced on arrival (*progressive* decoding), so the cost of
+/// the final recovery is amortized across the transfer and the current
+/// [`Decoder::rank`] always equals the dimension of the received span —
+/// which, by the main theorem of network coding, converges to the node's
+/// min-cut from the server.
+///
+/// # Example
+///
+/// ```
+/// use curtain_rlnc::{Decoder, Encoder};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(2);
+/// let data = vec![vec![0xAA; 4], vec![0xBB; 4]];
+/// let enc = Encoder::new(0, data.clone()).unwrap();
+/// let mut dec = Decoder::new(0, 2, 4);
+/// while !dec.is_complete() {
+///     dec.push(enc.encode(&mut rng)).unwrap();
+/// }
+/// assert_eq!(dec.recover().unwrap(), data);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    id: GenerationId,
+    space: RowSpace,
+    stats: CodingStats,
+}
+
+impl Decoder {
+    /// Creates a decoder for generation `id` with `g` packets of
+    /// `symbol_len` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g == 0`.
+    #[must_use]
+    pub fn new(id: GenerationId, g: usize, symbol_len: usize) -> Self {
+        Decoder { id, space: RowSpace::new(g, symbol_len), stats: CodingStats::default() }
+    }
+
+    /// Generation id this decoder accepts.
+    #[must_use]
+    pub fn generation(&self) -> GenerationId {
+        self.id
+    }
+
+    /// Generation size `g`.
+    #[must_use]
+    pub fn generation_size(&self) -> usize {
+        self.space.generation_size()
+    }
+
+    /// Current rank (number of linearly independent packets received).
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.space.rank()
+    }
+
+    /// True iff the generation is fully decodable.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.space.is_complete()
+    }
+
+    /// Counters of innovative / redundant packets seen so far.
+    #[must_use]
+    pub fn stats(&self) -> &CodingStats {
+        &self.stats
+    }
+
+    /// Offers a packet. Returns `true` iff it was innovative (rank grew).
+    ///
+    /// # Errors
+    ///
+    /// * [`RlncError::GenerationMismatch`] for a foreign generation.
+    /// * [`RlncError::CoefficientLengthMismatch`] / [`RlncError::PayloadLengthMismatch`]
+    ///   on malformed packets.
+    pub fn push(&mut self, packet: CodedPacket) -> Result<bool, RlncError> {
+        self.validate(&packet)?;
+        let innovative = self
+            .space
+            .insert(packet.coefficients().to_vec(), packet.payload().to_vec());
+        self.stats.record(innovative);
+        Ok(innovative)
+    }
+
+    /// Returns `true` iff pushing `packet` would be innovative, without
+    /// consuming it (used by forwarding policies to avoid wasted sends).
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`Decoder::push`].
+    pub fn would_be_innovative(&self, packet: &CodedPacket) -> Result<bool, RlncError> {
+        self.validate(packet)?;
+        let mut probe = self.space.clone();
+        Ok(probe.insert(packet.coefficients().to_vec(), packet.payload().to_vec()))
+    }
+
+    /// Recovers the source packets once complete; `None` before that.
+    #[must_use]
+    pub fn recover(&self) -> Option<Vec<Vec<u8>>> {
+        self.space.recover()
+    }
+
+    fn validate(&self, packet: &CodedPacket) -> Result<(), RlncError> {
+        if packet.generation() != self.id {
+            return Err(RlncError::GenerationMismatch { expected: self.id, got: packet.generation() });
+        }
+        if packet.coefficients().len() != self.space.generation_size() {
+            return Err(RlncError::CoefficientLengthMismatch {
+                expected: self.space.generation_size(),
+                got: packet.coefficients().len(),
+            });
+        }
+        if packet.payload().len() != self.space.symbol_len() {
+            return Err(RlncError::PayloadLengthMismatch {
+                expected: self.space.symbol_len(),
+                got: packet.payload().len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::Encoder;
+    use bytes::Bytes;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn data(g: usize, s: usize) -> Vec<Vec<u8>> {
+        (0..g).map(|i| (0..s).map(|j| (i * 31 + j) as u8).collect()).collect()
+    }
+
+    #[test]
+    fn decodes_after_exactly_g_innovative_packets() {
+        let src = data(5, 12);
+        let enc = Encoder::new(0, src.clone()).unwrap();
+        let mut dec = Decoder::new(0, 5, 12);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut innovative = 0;
+        while !dec.is_complete() {
+            if dec.push(enc.encode(&mut rng)).unwrap() {
+                innovative += 1;
+            }
+        }
+        assert_eq!(innovative, 5);
+        assert_eq!(dec.recover().unwrap(), src);
+    }
+
+    #[test]
+    fn rejects_foreign_generation() {
+        let mut dec = Decoder::new(1, 2, 4);
+        let p = CodedPacket::new(2, vec![1, 0], Bytes::from(vec![0u8; 4]));
+        assert_eq!(
+            dec.push(p).unwrap_err(),
+            RlncError::GenerationMismatch { expected: 1, got: 2 }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_coefficient_length() {
+        let mut dec = Decoder::new(0, 3, 4);
+        let p = CodedPacket::new(0, vec![1, 0], Bytes::from(vec![0u8; 4]));
+        assert_eq!(
+            dec.push(p).unwrap_err(),
+            RlncError::CoefficientLengthMismatch { expected: 3, got: 2 }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_payload_length() {
+        let mut dec = Decoder::new(0, 2, 4);
+        let p = CodedPacket::new(0, vec![1, 0], Bytes::from(vec![0u8; 3]));
+        assert_eq!(
+            dec.push(p).unwrap_err(),
+            RlncError::PayloadLengthMismatch { expected: 4, got: 3 }
+        );
+    }
+
+    #[test]
+    fn vacuous_packet_not_innovative() {
+        let mut dec = Decoder::new(0, 2, 2);
+        let p = CodedPacket::new(0, vec![0, 0], Bytes::from(vec![0u8; 2]));
+        assert!(!dec.push(p).unwrap());
+        assert_eq!(dec.stats().redundant(), 1);
+    }
+
+    #[test]
+    fn would_be_innovative_does_not_mutate() {
+        let src = data(3, 4);
+        let enc = Encoder::new(0, src).unwrap();
+        let dec0 = Decoder::new(0, 3, 4);
+        let mut rng = StdRng::seed_from_u64(8);
+        let p = enc.encode(&mut rng);
+        assert!(dec0.would_be_innovative(&p).unwrap());
+        assert_eq!(dec0.rank(), 0, "probe must not change state");
+    }
+
+    #[test]
+    fn systematic_then_coded_mix_decodes() {
+        let src = data(4, 6);
+        let enc = Encoder::new(0, src.clone()).unwrap();
+        let mut dec = Decoder::new(0, 4, 6);
+        let mut rng = StdRng::seed_from_u64(3);
+        // Two systematic, then coded.
+        dec.push(enc.systematic(0)).unwrap();
+        dec.push(enc.systematic(2)).unwrap();
+        while !dec.is_complete() {
+            dec.push(enc.encode(&mut rng)).unwrap();
+        }
+        assert_eq!(dec.recover().unwrap(), src);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn random_transfer_always_recovers(seed: u64, g in 1usize..10, s in 1usize..32) {
+            let src = data(g, s);
+            let enc = Encoder::new(7, src.clone()).unwrap();
+            let mut dec = Decoder::new(7, g, s);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut sent = 0;
+            while !dec.is_complete() {
+                dec.push(enc.encode(&mut rng)).unwrap();
+                sent += 1;
+                prop_assert!(sent < 100 * g, "transfer did not converge");
+            }
+            prop_assert_eq!(dec.recover().unwrap(), src);
+        }
+    }
+}

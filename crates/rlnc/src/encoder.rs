@@ -1,0 +1,250 @@
+//! The source encoder: emits random linear combinations of a generation.
+
+use bytes::Bytes;
+use curtain_gf::{vec_ops, Field, Gf256};
+use rand::Rng;
+
+use crate::error::RlncError;
+use crate::generation::{Generation, GenerationId};
+use crate::packet::CodedPacket;
+
+/// Encoder for a single generation held at the source (the server).
+///
+/// The server in the curtain overlay emits `k` streams; each stream is a
+/// sequence of packets produced by [`Encoder::encode`] — independent random
+/// combinations of the generation, so any `g` of them (from any mix of
+/// streams) decode with high probability.
+///
+/// # Example
+///
+/// ```
+/// use curtain_rlnc::{Decoder, Encoder};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(9);
+/// let data = vec![vec![1u8; 16], vec![2u8; 16], vec![3u8; 16]];
+/// let enc = Encoder::new(0, data.clone()).unwrap();
+/// let mut dec = Decoder::new(0, 3, 16);
+/// while !dec.is_complete() {
+///     dec.push(enc.encode(&mut rng)).unwrap();
+/// }
+/// assert_eq!(dec.recover().unwrap(), data);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    id: GenerationId,
+    packets: Vec<Vec<u8>>,
+    symbol_len: usize,
+}
+
+impl Encoder {
+    /// Creates an encoder over the given source packets.
+    ///
+    /// # Errors
+    ///
+    /// * [`RlncError::EmptyGeneration`] if `packets` is empty.
+    /// * [`RlncError::InconsistentSourceLengths`] if lengths differ.
+    pub fn new(id: GenerationId, packets: Vec<Vec<u8>>) -> Result<Self, RlncError> {
+        let generation = Generation::new(id, packets)?;
+        let symbol_len = generation.symbol_len();
+        Ok(Encoder { id, packets: generation.into_packets(), symbol_len })
+    }
+
+    /// Creates an encoder directly from a [`Generation`].
+    #[must_use]
+    pub fn from_generation(generation: Generation) -> Self {
+        let id = generation.id();
+        let symbol_len = generation.symbol_len();
+        Encoder { id, packets: generation.into_packets(), symbol_len }
+    }
+
+    /// Generation id served by this encoder.
+    #[must_use]
+    pub fn generation(&self) -> GenerationId {
+        self.id
+    }
+
+    /// Generation size `g`.
+    #[must_use]
+    pub fn generation_size(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Payload length `s` in bytes.
+    #[must_use]
+    pub fn symbol_len(&self) -> usize {
+        self.symbol_len
+    }
+
+    /// The source packets (crate-internal: the compact wire format mixes
+    /// them directly).
+    pub(crate) fn source_packets(&self) -> &[Vec<u8>] {
+        &self.packets
+    }
+
+    /// Emits a fresh random linear combination of the generation.
+    ///
+    /// The coefficient vector is sampled uniformly; the all-zero draw is
+    /// re-rolled so the packet always carries information.
+    #[must_use]
+    pub fn encode<R: Rng + ?Sized>(&self, rng: &mut R) -> CodedPacket {
+        let g = self.packets.len();
+        let mut coeffs = vec![0u8; g];
+        loop {
+            for c in coeffs.iter_mut() {
+                *c = Gf256::random(rng).value();
+            }
+            if coeffs.iter().any(|&c| c != 0) {
+                break;
+            }
+        }
+        let mut payload = vec![0u8; self.symbol_len];
+        for (c, src) in coeffs.iter().zip(&self.packets) {
+            vec_ops::axpy(&mut payload, *c, src);
+        }
+        CodedPacket::new(self.id, coeffs, Bytes::from(payload))
+    }
+
+    /// Emits a *sparse* random combination: each coefficient is non-zero
+    /// with probability `density` (re-rolled if the draw is all-zero).
+    ///
+    /// Sparse coding cuts the mixing cost from `g` axpy passes to
+    /// `≈ density·g` at the price of a higher chance of non-innovative
+    /// packets — the ablation experiment E09 quantifies the trade-off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `density` is not in `(0, 1]`.
+    #[must_use]
+    pub fn encode_sparse<R: Rng + ?Sized>(&self, rng: &mut R, density: f64) -> CodedPacket {
+        use rand::RngExt as _;
+        assert!(density > 0.0 && density <= 1.0, "density must be in (0, 1]");
+        let g = self.packets.len();
+        let mut coeffs = vec![0u8; g];
+        loop {
+            for c in coeffs.iter_mut() {
+                *c = if rng.random_bool(density) {
+                    Gf256::random_nonzero(rng).value()
+                } else {
+                    0
+                };
+            }
+            if coeffs.iter().any(|&c| c != 0) {
+                break;
+            }
+        }
+        let mut payload = vec![0u8; self.symbol_len];
+        for (c, src) in coeffs.iter().zip(&self.packets) {
+            vec_ops::axpy(&mut payload, *c, src);
+        }
+        CodedPacket::new(self.id, coeffs, Bytes::from(payload))
+    }
+
+    /// Emits the `i`-th *systematic* packet: coefficient vector `e_i`,
+    /// payload = source packet `i`. Sending one systematic round first is
+    /// the classic latency optimization of practical network coding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.generation_size()`.
+    #[must_use]
+    pub fn systematic(&self, i: usize) -> CodedPacket {
+        assert!(i < self.packets.len(), "systematic index out of range");
+        let mut coeffs = vec![0u8; self.packets.len()];
+        coeffs[i] = 1;
+        CodedPacket::new(self.id, coeffs, Bytes::from(self.packets[i].clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn encoder(g: usize, s: usize) -> Encoder {
+        let data: Vec<Vec<u8>> = (0..g).map(|i| vec![i as u8; s]).collect();
+        Encoder::new(3, data).unwrap()
+    }
+
+    #[test]
+    fn encode_never_vacuous() {
+        let enc = encoder(4, 8);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..500 {
+            assert!(!enc.encode(&mut rng).is_vacuous());
+        }
+    }
+
+    #[test]
+    fn encoded_packet_is_declared_combination() {
+        let enc = encoder(3, 5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let p = enc.encode(&mut rng);
+            let mut expect = vec![0u8; 5];
+            for (i, c) in p.coefficients().iter().enumerate() {
+                curtain_gf::vec_ops::axpy(&mut expect, *c, &vec![i as u8; 5]);
+            }
+            assert_eq!(p.payload(), &expect[..]);
+        }
+    }
+
+    #[test]
+    fn systematic_packets_reproduce_sources() {
+        let enc = encoder(3, 4);
+        for i in 0..3 {
+            let p = enc.systematic(i);
+            assert_eq!(p.payload(), &vec![i as u8; 4][..]);
+            assert_eq!(p.degree(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "systematic index out of range")]
+    fn systematic_out_of_range_panics() {
+        let _ = encoder(2, 2).systematic(2);
+    }
+
+    #[test]
+    fn sparse_encode_respects_density_and_decodes() {
+        use crate::decoder::Decoder;
+        let enc = encoder(16, 8);
+        let mut rng = StdRng::seed_from_u64(9);
+        // Density statistics.
+        let mut nonzero = 0usize;
+        for _ in 0..500 {
+            nonzero += enc.encode_sparse(&mut rng, 0.25).degree();
+        }
+        let rate = nonzero as f64 / (500.0 * 16.0);
+        assert!((rate - 0.25).abs() < 0.05, "observed density {rate}");
+        // Sparse packets still decode (just need more of them).
+        let mut dec = Decoder::new(3, 16, 8);
+        let mut sent = 0;
+        while !dec.is_complete() {
+            dec.push(enc.encode_sparse(&mut rng, 0.25)).unwrap();
+            sent += 1;
+            assert!(sent < 2000, "sparse transfer did not converge");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "density must be in (0, 1]")]
+    fn sparse_density_validated() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = encoder(4, 4).encode_sparse(&mut rng, 0.0);
+    }
+
+    #[test]
+    fn empty_generation_rejected() {
+        assert_eq!(Encoder::new(0, vec![]).unwrap_err(), RlncError::EmptyGeneration);
+    }
+
+    #[test]
+    fn ragged_generation_rejected() {
+        assert_eq!(
+            Encoder::new(0, vec![vec![0], vec![0, 1]]).unwrap_err(),
+            RlncError::InconsistentSourceLengths
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type shared across the RLNC codec.
+
+use std::fmt;
+
+use crate::generation::GenerationId;
+
+/// Errors produced by the RLNC codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RlncError {
+    /// A packet was offered to a component configured for a different
+    /// generation.
+    GenerationMismatch {
+        /// Generation the component handles.
+        expected: GenerationId,
+        /// Generation carried by the packet.
+        got: GenerationId,
+    },
+    /// A packet's coefficient-vector length disagrees with the generation
+    /// size.
+    CoefficientLengthMismatch {
+        /// Expected vector length (the generation size `g`).
+        expected: usize,
+        /// Length found in the packet.
+        got: usize,
+    },
+    /// A packet's payload length disagrees with the configured symbol count.
+    PayloadLengthMismatch {
+        /// Expected payload length in bytes.
+        expected: usize,
+        /// Length found in the packet.
+        got: usize,
+    },
+    /// Construction was attempted with an empty generation.
+    EmptyGeneration,
+    /// Source packets with inconsistent lengths were supplied.
+    InconsistentSourceLengths,
+    /// A wire buffer could not be parsed as a [`crate::CodedPacket`].
+    MalformedWirePacket(&'static str),
+}
+
+impl fmt::Display for RlncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RlncError::GenerationMismatch { expected, got } => {
+                write!(f, "packet for generation {got} offered to generation {expected}")
+            }
+            RlncError::CoefficientLengthMismatch { expected, got } => {
+                write!(f, "coefficient vector length {got}, expected {expected}")
+            }
+            RlncError::PayloadLengthMismatch { expected, got } => {
+                write!(f, "payload length {got}, expected {expected}")
+            }
+            RlncError::EmptyGeneration => write!(f, "generation has no packets"),
+            RlncError::InconsistentSourceLengths => {
+                write!(f, "source packets have inconsistent lengths")
+            }
+            RlncError::MalformedWirePacket(what) => write!(f, "malformed wire packet: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RlncError {}

@@ -1,0 +1,244 @@
+//! Content segmentation into generations of fixed-size packets.
+
+use crate::error::RlncError;
+
+/// Identifies one generation of a transfer. Generations are numbered from 0.
+pub type GenerationId = u32;
+
+/// One generation: `g` source packets of `s` bytes each (last one padded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Generation {
+    id: GenerationId,
+    packets: Vec<Vec<u8>>,
+    symbol_len: usize,
+}
+
+impl Generation {
+    /// Creates a generation from pre-cut source packets.
+    ///
+    /// # Errors
+    ///
+    /// * [`RlncError::EmptyGeneration`] if `packets` is empty.
+    /// * [`RlncError::InconsistentSourceLengths`] if packet lengths differ.
+    pub fn new(id: GenerationId, packets: Vec<Vec<u8>>) -> Result<Self, RlncError> {
+        if packets.is_empty() {
+            return Err(RlncError::EmptyGeneration);
+        }
+        let symbol_len = packets[0].len();
+        if packets.iter().any(|p| p.len() != symbol_len) {
+            return Err(RlncError::InconsistentSourceLengths);
+        }
+        Ok(Generation { id, packets, symbol_len })
+    }
+
+    /// Generation id.
+    #[must_use]
+    pub fn id(&self) -> GenerationId {
+        self.id
+    }
+
+    /// Number of source packets `g` in this generation.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Packet payload length `s` in bytes.
+    #[must_use]
+    pub fn symbol_len(&self) -> usize {
+        self.symbol_len
+    }
+
+    /// The source packets.
+    #[must_use]
+    pub fn packets(&self) -> &[Vec<u8>] {
+        &self.packets
+    }
+
+    /// Consumes the generation, returning its packets.
+    #[must_use]
+    pub fn into_packets(self) -> Vec<Vec<u8>> {
+        self.packets
+    }
+}
+
+/// A whole object (file, stream segment…) cut into generations.
+///
+/// The split is the standard [CWJ03] layout: consecutive runs of
+/// `generation_size` packets of `packet_len` bytes; the tail is zero-padded
+/// and the original length retained for exact reassembly.
+///
+/// # Example
+///
+/// ```
+/// use curtain_rlnc::Content;
+///
+/// let content = Content::split(b"hello world, this is a broadcast", 4, 8);
+/// assert!(content.generations().len() >= 1);
+/// let rejoined = content.clone().reassemble(
+///     content.generations().iter().map(|g| g.packets().to_vec()).collect(),
+/// );
+/// assert_eq!(rejoined, b"hello world, this is a broadcast");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Content {
+    generations: Vec<Generation>,
+    original_len: usize,
+    generation_size: usize,
+    packet_len: usize,
+}
+
+impl Content {
+    /// Splits `data` into generations of `generation_size` packets of
+    /// `packet_len` bytes, zero-padding the tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `generation_size == 0`, `generation_size > 65535` (the wire
+    /// format carries `g` as `u16`), or `packet_len == 0`.
+    #[must_use]
+    pub fn split(data: &[u8], generation_size: usize, packet_len: usize) -> Self {
+        assert!(generation_size > 0, "generation_size must be positive");
+        assert!(generation_size <= u16::MAX as usize, "generation_size exceeds wire format");
+        assert!(packet_len > 0, "packet_len must be positive");
+        let gen_bytes = generation_size * packet_len;
+        let n_gens = data.len().div_ceil(gen_bytes).max(1);
+        let mut generations = Vec::with_capacity(n_gens);
+        for gi in 0..n_gens {
+            let mut packets = Vec::with_capacity(generation_size);
+            for pi in 0..generation_size {
+                let start = gi * gen_bytes + pi * packet_len;
+                let mut pkt = vec![0u8; packet_len];
+                if start < data.len() {
+                    let end = (start + packet_len).min(data.len());
+                    pkt[..end - start].copy_from_slice(&data[start..end]);
+                }
+                packets.push(pkt);
+            }
+            generations.push(
+                Generation::new(gi as GenerationId, packets)
+                    .expect("split produces non-empty, equal-length packets"),
+            );
+        }
+        Content {
+            generations,
+            original_len: data.len(),
+            generation_size,
+            packet_len,
+        }
+    }
+
+    /// The generations of this object, in order.
+    #[must_use]
+    pub fn generations(&self) -> &[Generation] {
+        &self.generations
+    }
+
+    /// Original (unpadded) object length in bytes.
+    #[must_use]
+    pub fn original_len(&self) -> usize {
+        self.original_len
+    }
+
+    /// Packets per generation.
+    #[must_use]
+    pub fn generation_size(&self) -> usize {
+        self.generation_size
+    }
+
+    /// Bytes per packet.
+    #[must_use]
+    pub fn packet_len(&self) -> usize {
+        self.packet_len
+    }
+
+    /// Reassembles the original bytes from per-generation decoded packets
+    /// (as returned by [`crate::Decoder::recover`]), trimming the padding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of generations or their shapes disagree with the
+    /// split parameters.
+    #[must_use]
+    pub fn reassemble(self, decoded: Vec<Vec<Vec<u8>>>) -> Vec<u8> {
+        assert_eq!(decoded.len(), self.generations.len(), "generation count mismatch");
+        let mut out = Vec::with_capacity(self.original_len);
+        for gen_packets in &decoded {
+            assert_eq!(gen_packets.len(), self.generation_size, "generation size mismatch");
+            for p in gen_packets {
+                assert_eq!(p.len(), self.packet_len, "packet length mismatch");
+                out.extend_from_slice(p);
+            }
+        }
+        out.truncate(self.original_len);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_generation_rejected() {
+        assert_eq!(Generation::new(0, vec![]).unwrap_err(), RlncError::EmptyGeneration);
+    }
+
+    #[test]
+    fn ragged_generation_rejected() {
+        assert_eq!(
+            Generation::new(0, vec![vec![1, 2], vec![3]]).unwrap_err(),
+            RlncError::InconsistentSourceLengths
+        );
+    }
+
+    #[test]
+    fn split_shapes() {
+        let c = Content::split(&[7u8; 100], 4, 16); // 64 bytes per generation
+        assert_eq!(c.generations().len(), 2);
+        for g in c.generations() {
+            assert_eq!(g.size(), 4);
+            assert_eq!(g.symbol_len(), 16);
+        }
+        assert_eq!(c.original_len(), 100);
+    }
+
+    #[test]
+    fn split_empty_data_still_one_generation() {
+        let c = Content::split(&[], 2, 4);
+        assert_eq!(c.generations().len(), 1);
+        assert_eq!(c.clone().reassemble(vec![c.generations()[0].packets().to_vec()]), b"");
+    }
+
+    proptest! {
+        #[test]
+        fn split_reassemble_round_trip(
+            data in proptest::collection::vec(any::<u8>(), 0..500),
+            g in 1usize..6,
+            s in 1usize..20,
+        ) {
+            let c = Content::split(&data, g, s);
+            let decoded: Vec<Vec<Vec<u8>>> =
+                c.generations().iter().map(|gen| gen.packets().to_vec()).collect();
+            prop_assert_eq!(c.reassemble(decoded), data);
+        }
+
+        #[test]
+        fn padding_is_zero(data in proptest::collection::vec(1u8.., 1..64)) {
+            let c = Content::split(&data, 4, 8);
+            let total: usize = 4 * 8 * c.generations().len();
+            let flat: Vec<u8> = c
+                .generations()
+                .iter()
+                .flat_map(|g| g.packets().iter().flatten().copied())
+                .collect();
+            prop_assert_eq!(flat.len(), total);
+            for (i, &b) in flat.iter().enumerate() {
+                if i >= data.len() {
+                    prop_assert_eq!(b, 0, "padding byte {} non-zero", i);
+                }
+            }
+        }
+    }
+}

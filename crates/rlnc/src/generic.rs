@@ -1,0 +1,219 @@
+//! Field-generic encoder/decoder for codec ablation experiments.
+//!
+//! The production path ([`crate::Encoder`]/[`crate::Decoder`]) is hard-wired
+//! to GF(2⁸) byte buffers for speed. This module provides the same algebra
+//! over any [`Field`] so experiment E09 can compare GF(2⁸) against GF(2¹⁶):
+//! larger fields reduce the probability of non-innovative combinations at
+//! the cost of per-symbol table pressure and doubled coefficient overhead.
+
+use curtain_gf::{Field, Matrix};
+use rand::Rng;
+
+/// A coded packet over an arbitrary field: coefficients + symbol payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenericPacket<F: Field> {
+    /// Coefficient vector (length = generation size).
+    pub coefficients: Vec<F>,
+    /// Payload symbols.
+    pub payload: Vec<F>,
+}
+
+/// Source encoder over field `F`.
+#[derive(Debug, Clone)]
+pub struct GenericEncoder<F: Field> {
+    packets: Vec<Vec<F>>,
+}
+
+impl<F: Field> GenericEncoder<F> {
+    /// Creates an encoder over equal-length source symbol vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packets` is empty or ragged.
+    #[must_use]
+    pub fn new(packets: Vec<Vec<F>>) -> Self {
+        assert!(!packets.is_empty(), "empty generation");
+        let len = packets[0].len();
+        assert!(packets.iter().all(|p| p.len() == len), "ragged generation");
+        GenericEncoder { packets }
+    }
+
+    /// Generation size.
+    #[must_use]
+    pub fn generation_size(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Emits a random combination (re-rolling the all-zero draw).
+    pub fn encode<R: Rng + ?Sized>(&self, rng: &mut R) -> GenericPacket<F> {
+        let g = self.packets.len();
+        let s = self.packets[0].len();
+        let mut coefficients = vec![F::ZERO; g];
+        loop {
+            for c in coefficients.iter_mut() {
+                *c = F::random(rng);
+            }
+            if coefficients.iter().any(|c| !c.is_zero()) {
+                break;
+            }
+        }
+        let mut payload = vec![F::ZERO; s];
+        for (c, src) in coefficients.iter().zip(&self.packets) {
+            if c.is_zero() {
+                continue;
+            }
+            for (p, x) in payload.iter_mut().zip(src) {
+                *p = p.add(c.mul(*x));
+            }
+        }
+        GenericPacket { coefficients, payload }
+    }
+}
+
+/// Progressive decoder over field `F`, built on [`Matrix`] elimination.
+#[derive(Debug, Clone)]
+pub struct GenericDecoder<F: Field> {
+    g: usize,
+    symbol_len: usize,
+    /// Augmented matrix [coeffs | payload], re-reduced on each push.
+    rows: Matrix<F>,
+    rank: usize,
+}
+
+impl<F: Field> GenericDecoder<F> {
+    /// Creates a decoder for `g` packets of `symbol_len` symbols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g == 0`.
+    #[must_use]
+    pub fn new(g: usize, symbol_len: usize) -> Self {
+        assert!(g > 0, "generation size must be positive");
+        GenericDecoder { g, symbol_len, rows: Matrix::zero(0, g + symbol_len), rank: 0 }
+    }
+
+    /// Current rank.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// True iff decodable.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.rank == self.g
+    }
+
+    /// Offers a packet; returns `true` iff innovative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet shape disagrees with the decoder configuration.
+    pub fn push(&mut self, packet: &GenericPacket<F>) -> bool {
+        assert_eq!(packet.coefficients.len(), self.g, "coefficient length");
+        assert_eq!(packet.payload.len(), self.symbol_len, "payload length");
+        let mut row = Vec::with_capacity(self.g + self.symbol_len);
+        row.extend_from_slice(&packet.coefficients);
+        row.extend_from_slice(&packet.payload);
+        self.rows.push_row(&row);
+        let (total_rank, pivots) = self.rows.rref();
+        // A pivot beyond the coefficient columns means a row reduced to zero
+        // coefficients but non-zero payload — impossible for honestly coded
+        // packets, only corrupt ones. Only coefficient pivots count as rank.
+        let rank_in_coeffs = pivots.iter().filter(|&&p| p < self.g).count();
+        let grew = rank_in_coeffs > self.rank;
+        self.rank = rank_in_coeffs;
+        // Drop all-zero rows so the matrix stays small.
+        if total_rank < self.rows.rows() {
+            let keep: Vec<Vec<F>> = (0..total_rank).map(|r| self.rows.row(r).to_vec()).collect();
+            self.rows = if keep.is_empty() {
+                Matrix::zero(0, self.g + self.symbol_len)
+            } else {
+                Matrix::from_rows(&keep)
+            };
+        }
+        grew
+    }
+
+    /// Recovers the source symbol vectors once complete.
+    #[must_use]
+    pub fn recover(&self) -> Option<Vec<Vec<F>>> {
+        if !self.is_complete() {
+            return None;
+        }
+        Some(
+            (0..self.g)
+                .map(|r| self.rows.row(r)[self.g..].to_vec())
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use curtain_gf::{Gf256, Gf2p16};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_transfer<F: Field>(seed: u64) -> (usize, usize) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = 8;
+        let s = 16;
+        let src: Vec<Vec<F>> = (0..g)
+            .map(|_| (0..s).map(|_| F::random(&mut rng)).collect())
+            .collect();
+        let enc = GenericEncoder::new(src.clone());
+        let mut dec = GenericDecoder::new(g, s);
+        let mut sent = 0;
+        while !dec.is_complete() {
+            dec.push(&enc.encode(&mut rng));
+            sent += 1;
+            assert!(sent < 1000, "did not converge");
+        }
+        assert_eq!(dec.recover().unwrap(), src);
+        (sent, g)
+    }
+
+    #[test]
+    fn gf256_transfer_completes() {
+        let (sent, g) = run_transfer::<Gf256>(1);
+        assert!(sent >= g);
+    }
+
+    #[test]
+    fn gf2p16_transfer_completes() {
+        let (sent, g) = run_transfer::<Gf2p16>(2);
+        assert!(sent >= g);
+    }
+
+    #[test]
+    fn rank_monotone_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let src: Vec<Vec<Gf256>> = (0..4)
+            .map(|i| vec![Gf256::new(i as u8 + 1); 4])
+            .collect();
+        let enc = GenericEncoder::new(src);
+        let mut dec = GenericDecoder::new(4, 4);
+        let mut last = 0;
+        for _ in 0..50 {
+            dec.push(&enc.encode(&mut rng));
+            assert!(dec.rank() >= last);
+            assert!(dec.rank() <= 4);
+            last = dec.rank();
+        }
+        assert!(dec.is_complete());
+    }
+
+    #[test]
+    fn duplicate_packet_not_innovative() {
+        let src: Vec<Vec<Gf2p16>> = vec![vec![Gf2p16::new(5); 2], vec![Gf2p16::new(9); 2]];
+        let enc = GenericEncoder::new(src);
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = enc.encode(&mut rng);
+        let mut dec = GenericDecoder::new(2, 2);
+        assert!(dec.push(&p));
+        assert!(!dec.push(&p));
+        assert_eq!(dec.rank(), 1);
+    }
+}

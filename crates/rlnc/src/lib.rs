@@ -1,0 +1,71 @@
+//! Practical random linear network coding (RLNC).
+//!
+//! Implements the scheme of Chou, Wu & Jain, *"Practical network coding"*
+//! (Allerton 2003), which the PODC 2005 overlay paper uses as its data plane:
+//!
+//! * Content is split into **generations** of `g` packets of `s` bytes
+//!   ([`Content`], [`Generation`]).
+//! * The **source** emits random linear combinations of a generation's
+//!   packets over GF(2⁸) ([`Encoder`]).
+//! * Every **intermediate node** buffers the (innovative) packets it has
+//!   received and forwards fresh random combinations of them ([`Recoder`]) —
+//!   this is the "mixing at each clip" of the curtain overlay.
+//! * Each coded packet carries its **coefficient vector** in the header
+//!   ([`CodedPacket`]), so packets remain decodable under arbitrary topology
+//!   churn — no receiver needs to know what the network did.
+//! * A **receiver** performs progressive Gaussian elimination and recovers
+//!   the generation once it has `g` linearly independent packets
+//!   ([`Decoder`]).
+//!
+//! Multi-generation transfer of whole objects is handled by
+//! [`ObjectEncoder`]/[`ObjectDecoder`] in [`pipeline`].
+//!
+//! The production code path is specialized to GF(2⁸) byte buffers (one table
+//! lookup + XOR per byte); a field-generic variant for GF(2¹⁶) experiments
+//! lives in [`generic`].
+//!
+//! # Example: source → recoder → sink
+//!
+//! ```
+//! use curtain_rlnc::{Decoder, Encoder, Recoder};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let data: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8; 8]).collect();
+//! let enc = Encoder::new(0, data.clone()).unwrap();
+//! let mut mid = Recoder::new(0, 4, 8);
+//! let mut sink = Decoder::new(0, 4, 8);
+//!
+//! while !sink.is_complete() {
+//!     mid.push(enc.encode(&mut rng)).unwrap();
+//!     if let Some(p) = mid.recode(&mut rng) {
+//!         sink.push(p).unwrap();
+//!     }
+//! }
+//! assert_eq!(sink.recover().unwrap(), data);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compact;
+mod decoder;
+mod encoder;
+mod error;
+mod generation;
+pub mod generic;
+mod packet;
+pub mod pipeline;
+mod recoder;
+mod rowspace;
+mod stats;
+
+pub use decoder::Decoder;
+pub use encoder::Encoder;
+pub use error::RlncError;
+pub use generation::{Content, Generation, GenerationId};
+pub use packet::CodedPacket;
+pub use pipeline::{ObjectDecoder, ObjectEncoder};
+pub use recoder::Recoder;
+pub use compact::WirePacket;
+pub use stats::CodingStats;

@@ -1,0 +1,173 @@
+//! The coded packet: coefficient vector + payload, with a wire format.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::RlncError;
+use crate::generation::GenerationId;
+
+/// A network-coded packet.
+///
+/// Carries the generation it belongs to, the GF(2⁸) coefficient vector that
+/// expresses its payload as a linear combination of the generation's source
+/// packets, and the (equally combined) payload itself. Because the
+/// coefficients travel inside the packet, any node can decode or recode
+/// without knowledge of the network topology — the property the overlay
+/// paper relies on to tolerate churn (its §1, citing [CWJ03]).
+///
+/// # Example
+///
+/// ```
+/// use curtain_rlnc::CodedPacket;
+///
+/// let p = CodedPacket::new(7, vec![1, 0, 0], vec![0xde, 0xad].into());
+/// let wire = p.to_wire();
+/// assert_eq!(CodedPacket::from_wire(&wire).unwrap(), p);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodedPacket {
+    generation: GenerationId,
+    coefficients: Vec<u8>,
+    payload: Bytes,
+}
+
+impl CodedPacket {
+    /// Assembles a packet from parts.
+    #[must_use]
+    pub fn new(generation: GenerationId, coefficients: Vec<u8>, payload: Bytes) -> Self {
+        CodedPacket { generation, coefficients, payload }
+    }
+
+    /// The generation this packet belongs to.
+    #[must_use]
+    pub fn generation(&self) -> GenerationId {
+        self.generation
+    }
+
+    /// The GF(2⁸) coefficient vector (length = generation size `g`).
+    #[must_use]
+    pub fn coefficients(&self) -> &[u8] {
+        &self.coefficients
+    }
+
+    /// The coded payload.
+    #[must_use]
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Payload as shared bytes (cheap clone).
+    #[must_use]
+    pub fn payload_bytes(&self) -> Bytes {
+        self.payload.clone()
+    }
+
+    /// True iff the coefficient vector is all-zero (a vacuous packet that
+    /// carries no information; entropy-destruction attackers love these).
+    #[must_use]
+    pub fn is_vacuous(&self) -> bool {
+        self.coefficients.iter().all(|&c| c == 0)
+    }
+
+    /// Number of non-zero coefficients (mixing degree).
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.coefficients.iter().filter(|&&c| c != 0).count()
+    }
+
+    /// Total size on the wire in bytes, including the header overhead that
+    /// the coefficient vector costs — the quantity traded off against
+    /// generation size in experiment E09.
+    #[must_use]
+    pub fn wire_len(&self) -> usize {
+        4 + 2 + 4 + self.coefficients.len() + self.payload.len()
+    }
+
+    /// Serializes to the wire format:
+    /// `[generation: u32 LE][g: u16 LE][payload_len: u32 LE][coeffs][payload]`.
+    #[must_use]
+    pub fn to_wire(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.wire_len());
+        buf.put_u32_le(self.generation);
+        buf.put_u16_le(self.coefficients.len() as u16);
+        buf.put_u32_le(self.payload.len() as u32);
+        buf.put_slice(&self.coefficients);
+        buf.put_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Parses a packet from its wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlncError::MalformedWirePacket`] if the buffer is truncated
+    /// or the lengths are inconsistent.
+    pub fn from_wire(mut buf: &[u8]) -> Result<Self, RlncError> {
+        if buf.len() < 10 {
+            return Err(RlncError::MalformedWirePacket("header truncated"));
+        }
+        let generation = buf.get_u32_le();
+        let g = buf.get_u16_le() as usize;
+        let payload_len = buf.get_u32_le() as usize;
+        if buf.len() != g + payload_len {
+            return Err(RlncError::MalformedWirePacket("body length mismatch"));
+        }
+        let coefficients = buf[..g].to_vec();
+        let payload = Bytes::copy_from_slice(&buf[g..]);
+        Ok(CodedPacket { generation, coefficients, payload })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn vacuous_and_degree() {
+        let p = CodedPacket::new(0, vec![0, 0, 0], Bytes::from_static(b"xyz"));
+        assert!(p.is_vacuous());
+        assert_eq!(p.degree(), 0);
+        let q = CodedPacket::new(0, vec![0, 5, 9], Bytes::from_static(b"xyz"));
+        assert!(!q.is_vacuous());
+        assert_eq!(q.degree(), 2);
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let p = CodedPacket::new(42, vec![1, 2, 3, 4], Bytes::from(vec![9u8; 100]));
+        let wire = p.to_wire();
+        assert_eq!(wire.len(), p.wire_len());
+        assert_eq!(CodedPacket::from_wire(&wire).unwrap(), p);
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        assert_eq!(
+            CodedPacket::from_wire(&[0u8; 5]).unwrap_err(),
+            RlncError::MalformedWirePacket("header truncated")
+        );
+    }
+
+    #[test]
+    fn inconsistent_body_rejected() {
+        let p = CodedPacket::new(1, vec![1, 2], Bytes::from_static(b"abc"));
+        let mut wire = p.to_wire().to_vec();
+        wire.pop();
+        assert_eq!(
+            CodedPacket::from_wire(&wire).unwrap_err(),
+            RlncError::MalformedWirePacket("body length mismatch")
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn wire_round_trip_random(
+            generation: u32,
+            coeffs in proptest::collection::vec(any::<u8>(), 0..32),
+            payload in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            let p = CodedPacket::new(generation, coeffs, payload.into());
+            prop_assert_eq!(CodedPacket::from_wire(&p.to_wire()).unwrap(), p);
+        }
+    }
+}

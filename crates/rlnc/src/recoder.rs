@@ -1,0 +1,206 @@
+//! The intermediate node: buffer received packets, forward fresh mixtures.
+
+use bytes::Bytes;
+use rand::Rng;
+
+use crate::error::RlncError;
+use crate::generation::GenerationId;
+use crate::packet::CodedPacket;
+use crate::rowspace::RowSpace;
+use crate::stats::CodingStats;
+
+/// Recoder state for one generation at an intermediate overlay node.
+///
+/// This is the "clip" of the curtain metaphor: packets from the node's `d`
+/// parent streams are pushed in; each outgoing stream pulls fresh random
+/// combinations out. Only innovative packets are buffered (the basis of the
+/// received span), so memory is bounded by `g · symbol_len` regardless of
+/// how much traffic passes through.
+///
+/// # Example
+///
+/// ```
+/// use curtain_rlnc::{Encoder, Recoder};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let enc = Encoder::new(0, vec![vec![1u8; 4], vec![2u8; 4]]).unwrap();
+/// let mut rec = Recoder::new(0, 2, 4);
+/// rec.push(enc.encode(&mut rng)).unwrap();
+/// let out = rec.recode(&mut rng).unwrap();
+/// assert!(!out.is_vacuous());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Recoder {
+    id: GenerationId,
+    space: RowSpace,
+    stats: CodingStats,
+}
+
+impl Recoder {
+    /// Creates a recoder for generation `id` with `g` packets of
+    /// `symbol_len` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g == 0`.
+    #[must_use]
+    pub fn new(id: GenerationId, g: usize, symbol_len: usize) -> Self {
+        Recoder { id, space: RowSpace::new(g, symbol_len), stats: CodingStats::default() }
+    }
+
+    /// Generation id this recoder handles.
+    #[must_use]
+    pub fn generation(&self) -> GenerationId {
+        self.id
+    }
+
+    /// Rank of the buffered span — the most this node can pass on.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.space.rank()
+    }
+
+    /// True iff the node has the full generation (can act as a secondary
+    /// source).
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.space.is_complete()
+    }
+
+    /// Counters of innovative / redundant packets seen so far.
+    #[must_use]
+    pub fn stats(&self) -> &CodingStats {
+        &self.stats
+    }
+
+    /// Offers a received packet. Returns `true` iff it was innovative.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`crate::Decoder::push`].
+    pub fn push(&mut self, packet: CodedPacket) -> Result<bool, RlncError> {
+        if packet.generation() != self.id {
+            return Err(RlncError::GenerationMismatch { expected: self.id, got: packet.generation() });
+        }
+        if packet.coefficients().len() != self.space.generation_size() {
+            return Err(RlncError::CoefficientLengthMismatch {
+                expected: self.space.generation_size(),
+                got: packet.coefficients().len(),
+            });
+        }
+        if packet.payload().len() != self.space.symbol_len() {
+            return Err(RlncError::PayloadLengthMismatch {
+                expected: self.space.symbol_len(),
+                got: packet.payload().len(),
+            });
+        }
+        let innovative = self
+            .space
+            .insert(packet.coefficients().to_vec(), packet.payload().to_vec());
+        self.stats.record(innovative);
+        Ok(innovative)
+    }
+
+    /// Emits a fresh random combination of everything received so far, or
+    /// `None` if nothing has been received yet.
+    #[must_use]
+    pub fn recode<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<CodedPacket> {
+        let (coeffs, payload) = self.space.random_combination(rng)?;
+        Some(CodedPacket::new(self.id, coeffs, Bytes::from(payload)))
+    }
+
+    /// Once complete, recovers the source packets (a complete recoder is
+    /// also a decoder).
+    #[must_use]
+    pub fn recover(&self) -> Option<Vec<Vec<u8>>> {
+        self.space.recover()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::Decoder;
+    use crate::encoder::Encoder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn data(g: usize, s: usize) -> Vec<Vec<u8>> {
+        (0..g).map(|i| (0..s).map(|j| (i * 7 + j * 3) as u8).collect()).collect()
+    }
+
+    #[test]
+    fn recode_before_any_input_is_none() {
+        let rec = Recoder::new(0, 3, 4);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(rec.recode(&mut rng).is_none());
+    }
+
+    #[test]
+    fn chain_of_recoders_preserves_decodability() {
+        // source -> r1 -> r2 -> r3 -> sink, one packet at a time.
+        let src = data(4, 10);
+        let enc = Encoder::new(0, src.clone()).unwrap();
+        let mut chain = [Recoder::new(0, 4, 10), Recoder::new(0, 4, 10), Recoder::new(0, 4, 10)];
+        let mut sink = Decoder::new(0, 4, 10);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut rounds = 0;
+        while !sink.is_complete() {
+            chain[0].push(enc.encode(&mut rng)).unwrap();
+            for i in 1..chain.len() {
+                if let Some(p) = chain[i - 1].recode(&mut rng) {
+                    chain[i].push(p).unwrap();
+                }
+            }
+            if let Some(p) = chain.last().unwrap().recode(&mut rng) {
+                sink.push(p).unwrap();
+            }
+            rounds += 1;
+            assert!(rounds < 500, "chain transfer did not converge");
+        }
+        assert_eq!(sink.recover().unwrap(), src);
+    }
+
+    #[test]
+    fn recoder_rank_never_exceeds_input_rank() {
+        let src = data(6, 4);
+        let enc = Encoder::new(0, src).unwrap();
+        let mut rec = Recoder::new(0, 6, 4);
+        let mut rng = StdRng::seed_from_u64(6);
+        // Feed only 3 innovative packets.
+        let mut fed = 0;
+        while fed < 3 {
+            if rec.push(enc.encode(&mut rng)).unwrap() {
+                fed += 1;
+            }
+        }
+        assert_eq!(rec.rank(), 3);
+        // A downstream decoder can never learn more than rank 3 from us.
+        let mut dec = Decoder::new(0, 6, 4);
+        for _ in 0..200 {
+            dec.push(rec.recode(&mut rng).unwrap()).unwrap();
+        }
+        assert_eq!(dec.rank(), 3);
+        assert!(!dec.is_complete());
+    }
+
+    #[test]
+    fn complete_recoder_can_recover() {
+        let src = data(3, 4);
+        let enc = Encoder::new(0, src.clone()).unwrap();
+        let mut rec = Recoder::new(0, 3, 4);
+        let mut rng = StdRng::seed_from_u64(7);
+        while !rec.is_complete() {
+            rec.push(enc.encode(&mut rng)).unwrap();
+        }
+        assert_eq!(rec.recover().unwrap(), src);
+    }
+
+    #[test]
+    fn validation_mirrors_decoder() {
+        let mut rec = Recoder::new(1, 2, 4);
+        let p = CodedPacket::new(9, vec![1, 0], Bytes::from(vec![0u8; 4]));
+        assert!(matches!(rec.push(p), Err(RlncError::GenerationMismatch { .. })));
+    }
+}

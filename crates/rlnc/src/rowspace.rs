@@ -1,0 +1,255 @@
+//! Progressive Gaussian elimination over GF(2⁸) byte rows.
+//!
+//! `RowSpace` is the shared engine behind [`crate::Decoder`] (which needs
+//! full recovery) and [`crate::Recoder`] (which only needs a basis of the
+//! received span to mix from). Rows are kept in *reduced row-echelon form*
+//! at all times: each accepted row has a pivot column, a unit pivot entry,
+//! and zeros in every other row's pivot column, so completion means the
+//! payload rows literally are the source packets.
+
+use curtain_gf::vec_ops;
+use curtain_gf::{Field, Gf256};
+
+/// One reduced row: coefficient vector + the identically-transformed payload.
+#[derive(Debug, Clone)]
+pub(crate) struct Row {
+    pub coeffs: Vec<u8>,
+    pub payload: Vec<u8>,
+    pub pivot: usize,
+}
+
+/// An incrementally maintained row space (rref basis) of coded packets.
+#[derive(Debug, Clone)]
+pub(crate) struct RowSpace {
+    g: usize,
+    symbol_len: usize,
+    /// Rows sorted by pivot column, in rref.
+    rows: Vec<Row>,
+}
+
+impl RowSpace {
+    pub(crate) fn new(g: usize, symbol_len: usize) -> Self {
+        assert!(g > 0, "generation size must be positive");
+        RowSpace { g, symbol_len, rows: Vec::with_capacity(g) }
+    }
+
+    pub(crate) fn generation_size(&self) -> usize {
+        self.g
+    }
+
+    pub(crate) fn symbol_len(&self) -> usize {
+        self.symbol_len
+    }
+
+    pub(crate) fn rank(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub(crate) fn is_complete(&self) -> bool {
+        self.rows.len() == self.g
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Reduces `(coeffs, payload)` against the basis and inserts it if
+    /// innovative. Returns `true` iff the rank grew.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths disagree with the space's configuration
+    /// (callers validate first and return typed errors).
+    pub(crate) fn insert(&mut self, mut coeffs: Vec<u8>, mut payload: Vec<u8>) -> bool {
+        assert_eq!(coeffs.len(), self.g, "coefficient length");
+        assert_eq!(payload.len(), self.symbol_len, "payload length");
+        // Forward-eliminate against existing pivots.
+        for row in &self.rows {
+            let c = coeffs[row.pivot];
+            if c != 0 {
+                vec_ops::axpy(&mut coeffs, c, &row.coeffs);
+                vec_ops::axpy(&mut payload, c, &row.payload);
+            }
+        }
+        // Find the new pivot.
+        let Some(pivot) = coeffs.iter().position(|&c| c != 0) else {
+            return false; // linearly dependent
+        };
+        // Normalize to a unit pivot.
+        let inv = Gf256::new(coeffs[pivot]).inv().value();
+        vec_ops::scale_assign(&mut coeffs, inv);
+        vec_ops::scale_assign(&mut payload, inv);
+        // Back-eliminate the new pivot column from existing rows.
+        for row in &mut self.rows {
+            let c = row.coeffs[pivot];
+            if c != 0 {
+                vec_ops::axpy(&mut row.coeffs, c, &coeffs);
+                vec_ops::axpy(&mut row.payload, c, &payload);
+            }
+        }
+        // Insert keeping rows sorted by pivot.
+        let at = self.rows.partition_point(|r| r.pivot < pivot);
+        self.rows.insert(at, Row { coeffs, payload, pivot });
+        true
+    }
+
+    /// If complete, returns the decoded source packets in order.
+    pub(crate) fn recover(&self) -> Option<Vec<Vec<u8>>> {
+        if !self.is_complete() {
+            return None;
+        }
+        // In rref with full rank, row i has pivot i and unit coefficient
+        // vector e_i, so its payload is source packet i.
+        debug_assert!(self.rows.iter().enumerate().all(|(i, r)| r.pivot == i));
+        Some(self.rows.iter().map(|r| r.payload.clone()).collect())
+    }
+
+    /// Emits a random linear combination of the basis rows:
+    /// the recoding operation. Returns `None` if the space is empty.
+    pub(crate) fn random_combination<R: rand::Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> Option<(Vec<u8>, Vec<u8>)> {
+        if self.rows.is_empty() {
+            return None;
+        }
+        let mut coeffs = vec![0u8; self.g];
+        let mut payload = vec![0u8; self.symbol_len];
+        let mut any = false;
+        for row in &self.rows {
+            let c = Gf256::random(rng).value();
+            if c != 0 {
+                any = true;
+                vec_ops::axpy(&mut coeffs, c, &row.coeffs);
+                vec_ops::axpy(&mut payload, c, &row.payload);
+            }
+        }
+        if !any {
+            // All-zero draw (probability 256^-rank); force a copy of an
+            // arbitrary basis row rather than emit a vacuous packet.
+            let row = &self.rows[0];
+            coeffs.copy_from_slice(&row.coeffs);
+            payload.copy_from_slice(&row.payload);
+        }
+        Some((coeffs, payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt as _, SeedableRng};
+
+    fn unit(g: usize, i: usize) -> Vec<u8> {
+        let mut v = vec![0u8; g];
+        v[i] = 1;
+        v
+    }
+
+    #[test]
+    fn inserts_unit_vectors_and_recovers() {
+        let mut rs = RowSpace::new(3, 4);
+        let payloads = [vec![1u8; 4], vec![2u8; 4], vec![3u8; 4]];
+        for i in [2usize, 0, 1] {
+            assert!(rs.insert(unit(3, i), payloads[i].clone()));
+        }
+        assert_eq!(rs.recover().unwrap(), payloads.to_vec());
+    }
+
+    #[test]
+    fn duplicate_row_is_not_innovative() {
+        let mut rs = RowSpace::new(2, 2);
+        assert!(rs.insert(vec![1, 1], vec![5, 5]));
+        assert!(!rs.insert(vec![1, 1], vec![5, 5]));
+        assert_eq!(rs.rank(), 1);
+    }
+
+    #[test]
+    fn scaled_row_is_not_innovative() {
+        let mut rs = RowSpace::new(2, 2);
+        assert!(rs.insert(vec![3, 7], vec![5, 5]));
+        // 2 * (3,7) in GF(2^8) is (6,14); payload scaled the same way.
+        let two = Gf256::new(2);
+        let coeffs = vec![
+            two.mul(Gf256::new(3)).value(),
+            two.mul(Gf256::new(7)).value(),
+        ];
+        let payload = vec![two.mul(Gf256::new(5)).value(); 2];
+        assert!(!rs.insert(coeffs, payload));
+    }
+
+    #[test]
+    fn zero_vector_rejected() {
+        let mut rs = RowSpace::new(3, 1);
+        assert!(!rs.insert(vec![0, 0, 0], vec![9]));
+        assert_eq!(rs.rank(), 0);
+    }
+
+    #[test]
+    fn random_combination_spans_inserted_space() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = 4;
+        let src: Vec<Vec<u8>> = (0..g).map(|i| vec![i as u8 + 1; 8]).collect();
+        let mut rs = RowSpace::new(g, 8);
+        for (i, p) in src.iter().enumerate() {
+            rs.insert(unit(g, i), p.clone());
+        }
+        // Any recoded packet must decode consistently: feed a fresh space.
+        let mut sink = RowSpace::new(g, 8);
+        let mut guard = 0;
+        while !sink.is_complete() {
+            let (c, p) = rs.random_combination(&mut rng).unwrap();
+            sink.insert(c, p);
+            guard += 1;
+            assert!(guard < 100, "failed to complete from recoded packets");
+        }
+        assert_eq!(sink.recover().unwrap(), src);
+    }
+
+    #[test]
+    fn random_combination_of_empty_space_is_none() {
+        let rs = RowSpace::new(2, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(rs.random_combination(&mut rng).is_none());
+    }
+
+    #[test]
+    fn partial_rank_recover_is_none() {
+        let mut rs = RowSpace::new(3, 2);
+        rs.insert(unit(3, 0), vec![1, 1]);
+        assert!(rs.recover().is_none());
+    }
+
+    #[test]
+    fn handles_random_dense_rows() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for trial in 0..20 {
+            let g = 6;
+            let mut rs = RowSpace::new(g, 4);
+            let mut inserted = 0;
+            let mut rounds = 0;
+            while !rs.is_complete() && rounds < 200 {
+                let coeffs: Vec<u8> = (0..g).map(|_| rng.random()).collect();
+                let payload: Vec<u8> = (0..4).map(|_| rng.random()).collect();
+                if rs.insert(coeffs, payload) {
+                    inserted += 1;
+                }
+                rounds += 1;
+            }
+            assert!(rs.is_complete(), "trial {trial} never completed");
+            assert_eq!(inserted, g);
+            // rref invariant: pivots are exactly 0..g and unit columns.
+            for (i, row) in rs.rows().iter().enumerate() {
+                assert_eq!(row.pivot, i);
+                assert_eq!(row.coeffs[i], 1);
+                for other in rs.rows() {
+                    if other.pivot != i {
+                        assert_eq!(other.coeffs[i], 0, "column {i} not eliminated");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Counters for coding efficiency measurements.
+
+/// Running totals of packets seen by a decoder or recoder.
+///
+/// The *overhead* of a network-coded transfer — redundant packets divided by
+/// innovative ones — is one of the quantities experiment E09 reports; for
+/// GF(2⁸) it should hover near the theoretical `1/255` per reception
+/// opportunity at full rank.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CodingStats {
+    innovative: u64,
+    redundant: u64,
+}
+
+impl CodingStats {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one packet reception.
+    pub fn record(&mut self, innovative: bool) {
+        if innovative {
+            self.innovative += 1;
+        } else {
+            self.redundant += 1;
+        }
+    }
+
+    /// Packets that increased the rank.
+    #[must_use]
+    pub fn innovative(&self) -> u64 {
+        self.innovative
+    }
+
+    /// Packets that were linearly dependent on earlier ones.
+    #[must_use]
+    pub fn redundant(&self) -> u64 {
+        self.redundant
+    }
+
+    /// Total packets seen.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.innovative + self.redundant
+    }
+
+    /// Fraction of received packets that were redundant (0.0 if none seen).
+    #[must_use]
+    pub fn overhead(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.redundant as f64 / self.total() as f64
+        }
+    }
+
+    /// Merges another set of counters into this one.
+    pub fn merge(&mut self, other: &CodingStats) {
+        self.innovative += other.innovative;
+        self.redundant += other.redundant;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_ratios() {
+        let mut s = CodingStats::new();
+        assert_eq!(s.overhead(), 0.0);
+        s.record(true);
+        s.record(true);
+        s.record(false);
+        assert_eq!(s.innovative(), 2);
+        assert_eq!(s.redundant(), 1);
+        assert_eq!(s.total(), 3);
+        assert!((s.overhead() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = CodingStats::new();
+        a.record(true);
+        let mut b = CodingStats::new();
+        b.record(false);
+        b.record(false);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.redundant(), 2);
+    }
+}

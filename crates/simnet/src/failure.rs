@@ -1,0 +1,182 @@
+//! Ergodic failure models: iid and bursty packet loss.
+//!
+//! §2 distinguishes *ergodic* failures — "a temporary, unannounced outage
+//! such as packet loss, network congestion, or other processes using the
+//! communication link" — from non-ergodic crashes. Links already support
+//! iid loss; this module adds the classic two-state **Gilbert–Elliott**
+//! bursty-loss channel and a plain Bernoulli process for host-level events,
+//! so experiments can model congestion episodes rather than memoryless
+//! drops.
+
+use rand::{Rng, RngExt as _};
+
+/// A memoryless per-event coin with probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Creates the process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        Bernoulli { p }
+    }
+
+    /// The event probability.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Samples one event.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        self.p > 0.0 && rng.random_bool(self.p)
+    }
+}
+
+/// The two-state Gilbert–Elliott loss channel.
+///
+/// In the *good* state packets are lost with probability `loss_good`; in
+/// the *bad* state (a congestion episode) with `loss_bad`. Transitions
+/// happen per packet with probabilities `p_good_to_bad` / `p_bad_to_good`.
+///
+/// # Example
+///
+/// ```
+/// use curtain_simnet::failure::GilbertElliott;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut ch = GilbertElliott::new(0.01, 0.5, 0.02, 0.2);
+/// let losses = (0..1000).filter(|_| ch.sample_loss(&mut rng)).count();
+/// assert!(losses > 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GilbertElliott {
+    loss_good: f64,
+    loss_bad: f64,
+    p_good_to_bad: f64,
+    p_bad_to_good: f64,
+    in_bad: bool,
+}
+
+impl GilbertElliott {
+    /// Creates the channel, starting in the good state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(loss_good: f64, loss_bad: f64, p_good_to_bad: f64, p_bad_to_good: f64) -> Self {
+        for (name, p) in [
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} out of range");
+        }
+        GilbertElliott { loss_good, loss_bad, p_good_to_bad, p_bad_to_good, in_bad: false }
+    }
+
+    /// True iff currently in the bad (bursty) state.
+    #[must_use]
+    pub fn in_bad_state(&self) -> bool {
+        self.in_bad
+    }
+
+    /// Steps the channel for one packet: transitions state, then samples
+    /// whether the packet is lost.
+    pub fn sample_loss<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        let flip = if self.in_bad { self.p_bad_to_good } else { self.p_good_to_bad };
+        if flip > 0.0 && rng.random_bool(flip) {
+            self.in_bad = !self.in_bad;
+        }
+        let p = if self.in_bad { self.loss_bad } else { self.loss_good };
+        p > 0.0 && rng.random_bool(p)
+    }
+
+    /// Long-run stationary loss probability.
+    #[must_use]
+    pub fn stationary_loss(&self) -> f64 {
+        let denom = self.p_good_to_bad + self.p_bad_to_good;
+        if denom == 0.0 {
+            return self.loss_good; // never leaves the initial state
+        }
+        let pi_bad = self.p_good_to_bad / denom;
+        (1.0 - pi_bad) * self.loss_good + pi_bad * self.loss_bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bernoulli_rates() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let b = Bernoulli::new(0.25);
+        let hits = (0..20_000).filter(|_| b.sample(&mut rng)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+        assert!(!Bernoulli::new(0.0).sample(&mut rng));
+        assert!(Bernoulli::new(1.0).sample(&mut rng));
+    }
+
+    #[test]
+    fn gilbert_elliott_matches_stationary_loss() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ch = GilbertElliott::new(0.01, 0.5, 0.05, 0.2);
+        let n = 200_000;
+        let losses = (0..n).filter(|_| ch.sample_loss(&mut rng)).count();
+        let rate = losses as f64 / n as f64;
+        let expect = ch.stationary_loss();
+        assert!(
+            (rate - expect).abs() < 0.02,
+            "observed {rate:.4}, stationary {expect:.4}"
+        );
+    }
+
+    #[test]
+    fn gilbert_elliott_bursts_are_correlated() {
+        // Consecutive-loss probability should exceed the square of the
+        // marginal rate (positive correlation), unlike iid loss.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ch = GilbertElliott::new(0.0, 0.9, 0.02, 0.1);
+        let n = 200_000;
+        let samples: Vec<bool> = (0..n).map(|_| ch.sample_loss(&mut rng)).collect();
+        let marginal = samples.iter().filter(|&&l| l).count() as f64 / n as f64;
+        let pairs = samples.windows(2).filter(|w| w[0] && w[1]).count() as f64 / (n - 1) as f64;
+        assert!(
+            pairs > 1.5 * marginal * marginal,
+            "no burstiness: pairs {pairs:.5} vs iid {:.5}",
+            marginal * marginal
+        );
+    }
+
+    #[test]
+    fn stationary_loss_degenerate_chain() {
+        let ch = GilbertElliott::new(0.1, 0.9, 0.0, 0.0);
+        assert!((ch.stationary_loss() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn bernoulli_rejects_bad_p() {
+        let _ = Bernoulli::new(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss_bad out of range")]
+    fn gilbert_rejects_bad_p() {
+        let _ = GilbertElliott::new(0.0, 1.5, 0.0, 0.0);
+    }
+}

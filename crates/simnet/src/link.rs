@@ -1,0 +1,216 @@
+//! Unidirectional links: bandwidth, latency, loss.
+
+use rand::{Rng, RngExt as _};
+
+use crate::time::SimTime;
+
+/// Identifies a link within a [`crate::World`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub u32);
+
+/// Static link parameters.
+///
+/// A unit-bandwidth overlay thread maps to `capacity_per_tick = 1`; the
+/// paper's ergodic failures (packet loss, congestion) map to `loss > 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// Delivery delay in ticks (≥ 1 to keep causality strict).
+    pub latency: u64,
+    /// Packets accepted per tick; further sends in the same tick are
+    /// dropped (tail-drop, counted separately from loss).
+    pub capacity_per_tick: u32,
+    /// Probability that an accepted packet is lost in flight.
+    pub loss: f64,
+    /// Maximum extra delivery delay; each packet gets a uniform extra
+    /// `0..=jitter` ticks (queueing-delay variation).
+    pub jitter: u64,
+}
+
+impl LinkConfig {
+    /// A loss-free link with unit capacity and the given latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency == 0`.
+    #[must_use]
+    pub fn reliable(latency: u64) -> Self {
+        assert!(latency > 0, "latency must be at least one tick");
+        LinkConfig { latency, capacity_per_tick: 1, loss: 0.0, jitter: 0 }
+    }
+
+    /// Sets the maximum jitter (uniform extra delay in `0..=jitter`).
+    #[must_use]
+    pub fn with_jitter(mut self, jitter: u64) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Sets the loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is outside `[0, 1)`.
+    #[must_use]
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        assert!((0.0..1.0).contains(&loss), "loss must be in [0, 1)");
+        self.loss = loss;
+        self
+    }
+
+    /// Sets the per-tick capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: u32) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        self.capacity_per_tick = capacity;
+        self
+    }
+}
+
+/// What happened to an offered packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// Accepted; will arrive at the given time.
+    Scheduled(SimTime),
+    /// Accepted by the link but lost in flight.
+    Lost,
+    /// Rejected: the link already carried `capacity_per_tick` packets this
+    /// tick.
+    CapacityExceeded,
+}
+
+/// Runtime state of a link.
+#[derive(Debug, Clone)]
+pub struct Link {
+    config: LinkConfig,
+    from: u32,
+    to: u32,
+    /// Tick of the last accepted send and how many were accepted in it.
+    window: (SimTime, u32),
+}
+
+impl Link {
+    pub(crate) fn new(from: u32, to: u32, config: LinkConfig) -> Self {
+        Link { config, from, to, window: (SimTime::ZERO, 0) }
+    }
+
+    /// Sending endpoint (host index).
+    #[must_use]
+    pub fn from(&self) -> u32 {
+        self.from
+    }
+
+    /// Receiving endpoint (host index).
+    #[must_use]
+    pub fn to(&self) -> u32 {
+        self.to
+    }
+
+    /// The static configuration.
+    #[must_use]
+    pub fn config(&self) -> LinkConfig {
+        self.config
+    }
+
+    /// Offers a packet at time `now`; consumes capacity and samples loss.
+    pub fn offer<R: Rng + ?Sized>(&mut self, now: SimTime, rng: &mut R) -> SendOutcome {
+        if self.window.0 == now {
+            if self.window.1 >= self.config.capacity_per_tick {
+                return SendOutcome::CapacityExceeded;
+            }
+            self.window.1 += 1;
+        } else {
+            self.window = (now, 1);
+        }
+        if self.config.loss > 0.0 && rng.random_bool(self.config.loss) {
+            return SendOutcome::Lost;
+        }
+        let extra = if self.config.jitter > 0 {
+            rng.random_range(0..=self.config.jitter)
+        } else {
+            0
+        };
+        SendOutcome::Scheduled(now + self.config.latency + extra)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn capacity_enforced_per_tick() {
+        let mut link = Link::new(0, 1, LinkConfig::reliable(2).with_capacity(2));
+        let mut rng = StdRng::seed_from_u64(1);
+        let now = SimTime::from_ticks(10);
+        assert_eq!(link.offer(now, &mut rng), SendOutcome::Scheduled(now + 2));
+        assert_eq!(link.offer(now, &mut rng), SendOutcome::Scheduled(now + 2));
+        assert_eq!(link.offer(now, &mut rng), SendOutcome::CapacityExceeded);
+        // Capacity refreshes next tick.
+        let later = now.next();
+        assert_eq!(link.offer(later, &mut rng), SendOutcome::Scheduled(later + 2));
+    }
+
+    #[test]
+    fn loss_rate_is_sampled() {
+        let mut link = Link::new(0, 1, LinkConfig::reliable(1).with_loss(0.3).with_capacity(u32::MAX));
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut lost = 0;
+        let trials = 10_000;
+        for i in 0..trials {
+            match link.offer(SimTime::from_ticks(i), &mut rng) {
+                SendOutcome::Lost => lost += 1,
+                SendOutcome::Scheduled(_) => {}
+                SendOutcome::CapacityExceeded => panic!("capacity unlimited"),
+            }
+        }
+        let rate = lost as f64 / trials as f64;
+        assert!((rate - 0.3).abs() < 0.03, "observed loss {rate}");
+    }
+
+    #[test]
+    fn reliable_link_never_loses() {
+        let mut link = Link::new(0, 1, LinkConfig::reliable(3));
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in 0..100 {
+            let t = SimTime::from_ticks(i * 2);
+            assert_eq!(link.offer(t, &mut rng), SendOutcome::Scheduled(t + 3));
+        }
+    }
+
+    #[test]
+    fn jitter_spreads_delivery_times() {
+        let mut link = Link::new(0, 1, LinkConfig::reliable(2).with_jitter(4).with_capacity(u32::MAX));
+        let mut rng = StdRng::seed_from_u64(9);
+        let now = SimTime::from_ticks(100);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            match link.offer(now, &mut rng) {
+                SendOutcome::Scheduled(at) => {
+                    let delay = at - now;
+                    assert!((2..=6).contains(&delay), "delay {delay} out of range");
+                    seen.insert(delay);
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        assert_eq!(seen.len(), 5, "all jitter values should occur");
+    }
+
+    #[test]
+    #[should_panic(expected = "latency must be at least one tick")]
+    fn zero_latency_rejected() {
+        let _ = LinkConfig::reliable(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be in [0, 1)")]
+    fn invalid_loss_rejected() {
+        let _ = LinkConfig::reliable(1).with_loss(1.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Simulated time: integer ticks.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in ticks since the simulation epoch.
+///
+/// One tick is the unit-bandwidth quantum: a unit-bandwidth thread carries
+/// (at most) one packet per tick. All scheduling is integer, so runs are
+/// exactly reproducible.
+///
+/// # Example
+///
+/// ```
+/// use curtain_simnet::SimTime;
+///
+/// let t = SimTime::ZERO + 5;
+/// assert_eq!(t.ticks(), 5);
+/// assert_eq!(t - SimTime::ZERO, 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from raw ticks.
+    #[must_use]
+    pub const fn from_ticks(t: u64) -> Self {
+        SimTime(t)
+    }
+
+    /// Ticks since the epoch.
+    #[must_use]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// The immediately following tick.
+    #[must_use]
+    pub const fn next(self) -> Self {
+        SimTime(self.0 + 1)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = u64;
+
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0
+            .checked_sub(rhs.0)
+            .expect("SimTime subtraction underflow")
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_ticks(10);
+        assert_eq!(t + 5, SimTime::from_ticks(15));
+        assert_eq!(t.next(), SimTime::from_ticks(11));
+        assert_eq!(SimTime::from_ticks(15) - t, 5);
+        let mut u = t;
+        u += 3;
+        assert_eq!(u.ticks(), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = SimTime::ZERO - SimTime::from_ticks(1);
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(SimTime::ZERO < SimTime::from_ticks(1));
+        assert_eq!(SimTime::from_ticks(7).to_string(), "t7");
+    }
+}

@@ -1,0 +1,60 @@
+//! # coded-curtain
+//!
+//! A full reproduction of *"Building Scalable and Robust Peer-to-Peer Overlay
+//! Networks for Broadcasting using Network Coding"* (Jain, Lovász, Chou —
+//! PODC 2005) as a production-quality Rust workspace.
+//!
+//! The paper proposes the **curtain overlay**: a server hangs `k`
+//! unit-bandwidth *threads*; every joining peer clips `d` random threads
+//! together, receives the streams from the previous holders, recodes them
+//! with random linear network coding, and passes them on. A tiny central
+//! matrix `M` mirrors the topology and drives hello / good-bye / repair
+//! protocols. The paper proves that failures are *locally contained* (a
+//! node's expected connectivity loss stays ≈ `p·d`, Theorem 4) until the
+//! network has grown exponentially in `k/d³` (Theorem 5).
+//!
+//! This facade crate re-exports the workspace layers:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`gf`] | `curtain-gf` | GF(2⁸)/GF(2¹⁶), matrices, Reed–Solomon |
+//! | [`rlnc`] | `curtain-rlnc` | practical network coding codec |
+//! | [`overlay`] | `curtain-overlay` | the paper's curtain protocol + analysis hooks |
+//! | [`simnet`] | `curtain-simnet` | deterministic discrete-event network simulator |
+//! | [`broadcast`] | `curtain-broadcast` | end-to-end sessions, strategies, attacks |
+//! | [`analysis`] | `curtain-analysis` | closed-form drift/bounds from the paper |
+//! | [`net`] | `curtain-net` | the protocol over real TCP sockets (coordinator, source, peers) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use coded_curtain::overlay::{CurtainNetwork, OverlayConfig};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // A curtain with k = 32 threads, each node clipping d = 4.
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let mut net = CurtainNetwork::new(OverlayConfig::new(32, 4)).expect("valid config");
+//! for _ in 0..100 {
+//!     net.join(&mut rng);
+//! }
+//! // Every working node has full connectivity d from the server.
+//! let worst = (0..net.len())
+//!     .filter_map(|i| net.connectivity_of_index(i))
+//!     .min()
+//!     .unwrap();
+//! assert_eq!(worst, 4);
+//! ```
+//!
+//! See `examples/` for realistic scenarios and `crates/bench/src/bin/` for
+//! the experiment harnesses reproducing every claim of the paper
+//! (documented in `EXPERIMENTS.md`).
+
+#![forbid(unsafe_code)]
+
+pub use curtain_analysis as analysis;
+pub use curtain_broadcast as broadcast;
+pub use curtain_gf as gf;
+pub use curtain_net as net;
+pub use curtain_overlay as overlay;
+pub use curtain_rlnc as rlnc;
+pub use curtain_simnet as simnet;

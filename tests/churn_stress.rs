@@ -1,0 +1,157 @@
+//! Long-running churn: the overlay invariants and connectivity guarantees
+//! must survive thousands of interleaved joins, leaves, failures, repairs,
+//! and congestion events.
+
+use coded_curtain::overlay::churn::{ChurnConfig, ChurnDriver};
+use coded_curtain::overlay::{CurtainNetwork, InsertPolicy, NodeStatus, OverlayConfig, OverlayError};
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+
+#[test]
+fn heavy_churn_preserves_matrix_invariants() {
+    for policy in [InsertPolicy::Append, InsertPolicy::RandomPosition] {
+        let cfg = OverlayConfig::new(16, 3).with_insert_policy(policy);
+        let mut net = CurtainNetwork::new(cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut driver = ChurnDriver::new(ChurnConfig {
+            join_prob: 0.7,
+            leave_prob: 0.3,
+            fail_prob: 0.1,
+            repair_delay: 7,
+        });
+        driver.run(&mut net, 2_000, &mut rng);
+        net.matrix().assert_invariants();
+        assert!(driver.stats().joins > 1000);
+        assert!(driver.stats().repairs > 0);
+    }
+}
+
+#[test]
+fn connectivity_always_full_after_repair_drain() {
+    let mut net = CurtainNetwork::new(OverlayConfig::new(12, 2)).unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut driver = ChurnDriver::new(ChurnConfig {
+        join_prob: 0.9,
+        leave_prob: 0.2,
+        fail_prob: 0.2,
+        repair_delay: 5,
+    });
+    for round in 0..20 {
+        driver.run(&mut net, 50, &mut rng);
+        // Drain all outstanding failures, then everyone must be back at d.
+        net.repair_all();
+        assert_eq!(
+            net.min_working_connectivity(),
+            Some(2),
+            "round {round}: repair did not restore connectivity"
+        );
+    }
+}
+
+#[test]
+fn working_connectivity_loss_stays_near_pd_under_steady_churn() {
+    // A protocol-level cousin of Theorem 4: with failures repaired after a
+    // fixed interval, the standing fraction of failed rows is small and the
+    // mean connectivity loss of working nodes stays bounded.
+    let mut net = CurtainNetwork::new(OverlayConfig::new(24, 3)).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    // Build up.
+    for _ in 0..300 {
+        net.join(&mut rng);
+    }
+    let mut driver = ChurnDriver::new(ChurnConfig {
+        join_prob: 0.3,
+        leave_prob: 0.3,
+        fail_prob: 0.05,
+        repair_delay: 20,
+    });
+    let mut losses = Vec::new();
+    for _ in 0..40 {
+        driver.run(&mut net, 25, &mut rng);
+        losses.push(net.mean_working_connectivity_loss().unwrap());
+    }
+    let mean_loss = losses.iter().sum::<f64>() / losses.len() as f64;
+    // Standing failed fraction ≈ fail_prob * repair_delay / N ≈ 1/300 each
+    // step... empirically tiny; the point is it must not grow over time.
+    let early = losses[..10].iter().sum::<f64>() / 10.0;
+    let late = losses[30..].iter().sum::<f64>() / 10.0;
+    assert!(mean_loss < 0.5, "mean loss {mean_loss} too large");
+    assert!(
+        late < early + 0.25,
+        "loss grew over time: early {early:.3} late {late:.3}"
+    );
+}
+
+#[test]
+fn congestion_drop_restore_cycles_are_stable() {
+    let mut net = CurtainNetwork::new(OverlayConfig::new(16, 4)).unwrap();
+    let mut rng = StdRng::seed_from_u64(4);
+    let ids: Vec<_> = (0..50).map(|_| net.join(&mut rng)).collect();
+    // Random congestion events: drop a thread, later restore one.
+    let mut dropped: Vec<_> = Vec::new();
+    for step in 0..500 {
+        let id = ids[rng.random_range(0..ids.len())];
+        if step % 2 == 0 {
+            if net.server_mut().drop_thread(id, &mut rng).is_ok() {
+                dropped.push(id);
+            }
+        } else if let Some(id) = dropped.pop() {
+            let _ = net.server_mut().restore_thread(id, &mut rng);
+        }
+        if step % 100 == 0 {
+            net.matrix().assert_invariants();
+        }
+    }
+    net.matrix().assert_invariants();
+    // Connectivity of each node equals its current thread count (no
+    // failures present).
+    let graph = net.graph();
+    for (pos, row) in net.matrix().rows().iter().enumerate() {
+        assert_eq!(
+            graph.connectivity_of_position(pos),
+            row.threads().len(),
+            "node at {pos}"
+        );
+    }
+}
+
+#[test]
+fn error_paths_are_stable_under_churn() {
+    let mut net = CurtainNetwork::new(OverlayConfig::new(8, 2)).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let a = net.join(&mut rng);
+    let b = net.join(&mut rng);
+    net.fail(a).unwrap();
+    // Failed node cannot leave gracefully.
+    assert_eq!(net.leave(a), Err(OverlayError::NodeFailed(a)));
+    // Working node cannot be repaired.
+    assert_eq!(net.repair(b), Err(OverlayError::NodeNotFailed(b)));
+    // Double-fail rejected.
+    assert_eq!(net.fail(a), Err(OverlayError::NodeFailed(a)));
+    net.repair(a).unwrap();
+    // After repair the node is gone entirely.
+    assert_eq!(net.fail(a), Err(OverlayError::UnknownNode(a)));
+    assert_eq!(net.matrix().status_of(b), Some(NodeStatus::Working));
+}
+
+#[test]
+fn massive_network_smoke() {
+    // 5000 joins with interleaved leaves: the bookkeeping must stay exact.
+    let mut net = CurtainNetwork::new(OverlayConfig::new(64, 4)).unwrap();
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut members = Vec::new();
+    for i in 0..5000 {
+        members.push(net.join(&mut rng));
+        if i % 3 == 2 {
+            let idx = rng.random_range(0..members.len());
+            let id = members.swap_remove(idx);
+            net.leave(id).unwrap();
+        }
+    }
+    assert_eq!(net.len(), members.len());
+    net.matrix().assert_invariants();
+    // Spot-check connectivity of a few nodes.
+    for &id in members.iter().step_by(members.len() / 7) {
+        assert_eq!(net.connectivity_of(id), Some(4));
+    }
+}

@@ -1,0 +1,161 @@
+//! End-to-end integration: overlay growth → simulated broadcast → decode,
+//! across every strategy and both topology families.
+
+use coded_curtain::broadcast::{Session, SessionConfig, Strategy, TopologySpec};
+use coded_curtain::overlay::random_graph::RandomGraphOverlay;
+use coded_curtain::overlay::{CurtainNetwork, OverlayConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn curtain(k: usize, d: usize, n: usize, seed: u64) -> CurtainNetwork {
+    let mut net = CurtainNetwork::new(OverlayConfig::new(k, d)).expect("valid config");
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..n {
+        net.join(&mut rng);
+    }
+    net
+}
+
+#[test]
+fn all_strategies_complete_on_healthy_curtain() {
+    let net = curtain(12, 3, 60, 1);
+    let topo = TopologySpec::from_curtain(&net);
+    for strategy in [Strategy::Rlnc, Strategy::Routing, Strategy::SourceErasure] {
+        let cfg = SessionConfig::new(strategy, 24, 64).with_max_ticks(6000);
+        let report = Session::run(&topo, &cfg, 2);
+        assert_eq!(
+            report.completion_fraction(),
+            1.0,
+            "{strategy:?} failed to complete"
+        );
+        assert_eq!(report.corruption_fraction(), 0.0, "{strategy:?} corrupted data");
+    }
+}
+
+#[test]
+fn rlnc_works_on_random_graph_topology() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut rg = RandomGraphOverlay::new(12, 3);
+    for _ in 0..60 {
+        rg.join(&mut rng);
+    }
+    let topo = TopologySpec::from_random_graph(&rg);
+    let cfg = SessionConfig::new(Strategy::Rlnc, 24, 64).with_max_ticks(6000);
+    let report = Session::run(&topo, &cfg, 4);
+    assert_eq!(report.completion_fraction(), 1.0);
+}
+
+#[test]
+fn random_graph_completes_faster_than_equally_sized_curtain() {
+    // §6: logarithmic vs linear delay. Compare p95 completion on a deep
+    // curtain (small k forces depth) vs a random graph insertion overlay.
+    let n = 120;
+    let net = curtain(6, 2, n, 5);
+    let curtain_topo = TopologySpec::from_curtain(&net);
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut rg = RandomGraphOverlay::new(6, 2);
+    for _ in 0..n {
+        rg.join(&mut rng);
+    }
+    let rg_topo = TopologySpec::from_random_graph(&rg);
+
+    let cfg = SessionConfig::new(Strategy::Rlnc, 12, 32).with_max_ticks(8000);
+    let t_curtain = Session::run(&curtain_topo, &cfg, 7)
+        .completion_percentile(95.0)
+        .expect("curtain completes");
+    let t_rg = Session::run(&rg_topo, &cfg, 7)
+        .completion_percentile(95.0)
+        .expect("random graph completes");
+    assert!(
+        t_rg < t_curtain,
+        "random-graph p95 {t_rg} should beat curtain p95 {t_curtain}"
+    );
+}
+
+#[test]
+fn repair_restores_broadcast_after_failures() {
+    let mut net = curtain(10, 3, 50, 8);
+    let ids = net.node_ids();
+    // Fail a handful of early nodes.
+    for &id in &ids[2..6] {
+        net.fail(id).unwrap();
+    }
+    let degraded = {
+        let topo = TopologySpec::from_curtain(&net);
+        Session::run(
+            &topo,
+            &SessionConfig::new(Strategy::Rlnc, 16, 32).with_max_ticks(2000),
+            9,
+        )
+    };
+    // Repair everyone and re-run: everything must be back to perfect.
+    net.repair_all();
+    let healed = {
+        let topo = TopologySpec::from_curtain(&net);
+        Session::run(
+            &topo,
+            &SessionConfig::new(Strategy::Rlnc, 16, 32).with_max_ticks(2000),
+            9,
+        )
+    };
+    assert_eq!(healed.completion_fraction(), 1.0);
+    assert!(healed.completion_fraction() >= degraded.completion_fraction());
+    assert_eq!(net.min_working_connectivity(), Some(3));
+}
+
+#[test]
+fn graceful_leaves_never_hurt_broadcast() {
+    let mut net = curtain(10, 2, 60, 10);
+    let ids = net.node_ids();
+    for &id in ids.iter().step_by(4) {
+        net.leave(id).unwrap();
+    }
+    let topo = TopologySpec::from_curtain(&net);
+    let report = Session::run(
+        &topo,
+        &SessionConfig::new(Strategy::Rlnc, 16, 32).with_max_ticks(2000),
+        11,
+    );
+    assert_eq!(report.completion_fraction(), 1.0);
+}
+
+#[test]
+fn wire_format_round_trips_through_a_session_sized_packet() {
+    // The on-the-wire representation survives realistic sizes.
+    use coded_curtain::rlnc::{CodedPacket, Encoder};
+    let data: Vec<Vec<u8>> = (0..128).map(|i| vec![i as u8; 1400]).collect();
+    let enc = Encoder::new(0, data).unwrap();
+    let mut rng = StdRng::seed_from_u64(12);
+    let p = enc.encode(&mut rng);
+    let wire = p.to_wire();
+    assert_eq!(wire.len(), 10 + 128 + 1400);
+    assert_eq!(CodedPacket::from_wire(&wire).unwrap(), p);
+}
+
+#[test]
+fn full_pipeline_object_transfer_matches_bytes() {
+    // Content -> generations -> encode -> recode -> decode -> reassemble.
+    use coded_curtain::rlnc::{Content, ObjectDecoder, ObjectEncoder, Recoder};
+    let mut rng = StdRng::seed_from_u64(13);
+    let original: Vec<u8> = (0..10_000).map(|i| (i % 251) as u8).collect();
+    let content = Content::split(&original, 16, 256);
+    let mut enc = ObjectEncoder::new(content.clone());
+    let mut relay: Vec<Recoder> = content
+        .generations()
+        .iter()
+        .map(|g| Recoder::new(g.id(), g.size(), g.symbol_len()))
+        .collect();
+    let mut dec = ObjectDecoder::new(&content);
+    let mut guard = 0;
+    while !dec.is_complete() {
+        let p = enc.next_packet(&mut rng);
+        let gen = p.generation() as usize;
+        relay[gen].push(p).unwrap();
+        if let Some(out) = relay[gen].recode(&mut rng) {
+            dec.push(out).unwrap();
+        }
+        guard += 1;
+        assert!(guard < 100_000, "transfer did not converge");
+    }
+    assert_eq!(dec.reassemble().unwrap(), original);
+}

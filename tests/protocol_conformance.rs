@@ -1,0 +1,186 @@
+//! Protocol-level conformance with the paper's §3 semantics, including a
+//! statistical check of Lemma 1 (graceful leaves preserve the distribution
+//! of `M`).
+
+use coded_curtain::overlay::{
+    CurtainNetwork, CurtainServer, Holder, InsertPolicy, NodeStatus, OverlayConfig,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+
+#[test]
+fn join_grant_lists_actual_stream_sources() {
+    let mut server = CurtainServer::new(OverlayConfig::new(8, 3)).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..30 {
+        let grant = server.hello(&mut rng);
+        // The grant's parents must be exactly the bottom holders of the
+        // chosen threads *before* this row (i.e., its in-edges now).
+        let pos = server.matrix().position_of(grant.node).unwrap();
+        assert_eq!(server.matrix().parents_of_position(pos), grant.parents);
+        assert_eq!(grant.parents.len(), 3);
+    }
+}
+
+#[test]
+fn splice_redirects_parents_to_children_exactly() {
+    let mut server = CurtainServer::new(OverlayConfig::new(6, 2)).unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+    let ids: Vec<_> = (0..20).map(|_| server.hello(&mut rng).node).collect();
+    let victim = ids[8];
+    let pos = server.matrix().position_of(victim).unwrap();
+    let parents_before = server.matrix().parents_of_position(pos);
+    let children_before = server.matrix().children_of_position(pos);
+    let plan = server.goodbye(victim).unwrap();
+    // Redirects pair each thread's parent with its child.
+    for ((redirect, (t_p, parent)), (t_c, child)) in
+        plan.redirects.iter().zip(parents_before).zip(children_before)
+    {
+        assert_eq!(redirect.thread, t_p);
+        assert_eq!(redirect.thread, t_c);
+        assert_eq!(redirect.new_parent, parent);
+        assert_eq!(redirect.child, child);
+    }
+    // After the splice, each former child's parent on that thread is the
+    // victim's former parent on that thread.
+    for r in &plan.redirects {
+        let Some(child) = r.child else { continue };
+        let cpos = server.matrix().position_of(child).unwrap();
+        let cparents = server.matrix().parents_of_position(cpos);
+        let (_, new_parent) = cparents
+            .into_iter()
+            .find(|(t, _)| *t == r.thread)
+            .expect("child still holds the thread");
+        assert_eq!(new_parent, r.new_parent, "thread {}", r.thread);
+    }
+}
+
+#[test]
+fn hanging_threads_equal_k_in_expectation_terms() {
+    // Structural: the bottom holders always form a complete k-vector (the
+    // "pool of slots" never shrinks or grows).
+    let mut net = CurtainNetwork::new(OverlayConfig::new(10, 2)).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..50 {
+        net.join(&mut rng);
+    }
+    assert_eq!(net.matrix().bottom_holders().len(), 10);
+    let ids = net.node_ids();
+    for &id in ids.iter().take(10) {
+        net.leave(id).unwrap();
+    }
+    assert_eq!(net.matrix().bottom_holders().len(), 10);
+}
+
+/// Lemma 1: after a graceful leave, `M` is distributed as if the node had
+/// never joined. We verify a consequence: grow to N+1 then remove a
+/// uniformly random member vs grow to N directly — the per-thread
+/// bottom-holder *depth* distribution must match statistically.
+#[test]
+fn lemma1_graceful_leave_preserves_distribution() {
+    let k = 8;
+    let d = 2;
+    let n = 30;
+    let trials = 3000;
+    let mut rng = StdRng::seed_from_u64(4);
+
+    // Statistic: number of distinct bottom holders (server counts once).
+    let stat = |net: &CurtainNetwork| -> usize {
+        let mut holders: Vec<_> = net
+            .matrix()
+            .bottom_holders()
+            .into_iter()
+            .filter_map(Holder::node)
+            .collect();
+        holders.sort_unstable();
+        holders.dedup();
+        holders.len()
+    };
+
+    let mut sum_direct = 0usize;
+    let mut sum_leave = 0usize;
+    for _ in 0..trials {
+        // Direct growth to n.
+        let mut a = CurtainNetwork::new(OverlayConfig::new(k, d)).unwrap();
+        for _ in 0..n {
+            a.join(&mut rng);
+        }
+        sum_direct += stat(&a);
+        // Growth to n+1, then a uniformly random graceful leave.
+        let mut b = CurtainNetwork::new(OverlayConfig::new(k, d)).unwrap();
+        let ids: Vec<_> = (0..=n).map(|_| b.join(&mut rng)).collect();
+        let leaver = ids[rng.random_range(0..ids.len())];
+        b.leave(leaver).unwrap();
+        sum_leave += stat(&b);
+    }
+    let mean_direct = sum_direct as f64 / trials as f64;
+    let mean_leave = sum_leave as f64 / trials as f64;
+    let rel = (mean_direct - mean_leave).abs() / mean_direct;
+    assert!(
+        rel < 0.03,
+        "Lemma 1 violated? direct {mean_direct:.3} vs leave {mean_leave:.3} ({rel:.3} rel)"
+    );
+}
+
+#[test]
+fn message_counts_match_protocol_shape() {
+    let mut server = CurtainServer::new(OverlayConfig::new(8, 3)).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let a = server.hello(&mut rng).node;
+    let m1 = server.metrics();
+    // Hello: 1 in, 1 grant + d parent notifications out.
+    assert_eq!(m1.messages_in, 1);
+    assert_eq!(m1.messages_out, 1 + 3);
+    server.goodbye(a).unwrap();
+    let m2 = server.metrics();
+    // Good-bye: 1 in, d redirects out.
+    assert_eq!(m2.messages_in, 2);
+    assert_eq!(m2.messages_out, 1 + 3 + 3);
+}
+
+#[test]
+fn failure_complaints_come_from_children_only() {
+    let mut server = CurtainServer::new(OverlayConfig::new(4, 2)).unwrap();
+    let mut rng = StdRng::seed_from_u64(6);
+    let ids: Vec<_> = (0..12).map(|_| server.hello(&mut rng).node).collect();
+    // The last node has no children; failing it yields zero complaints.
+    let last = *ids.last().unwrap();
+    let complaints = server.report_failure(last).unwrap();
+    assert_eq!(complaints, 0);
+    // An early node in a k=4 curtain almost surely has children.
+    let first = ids[0];
+    let complaints = server.report_failure(first).unwrap();
+    let pos = server.matrix().position_of(first).unwrap();
+    let distinct_children: std::collections::HashSet<_> = server
+        .matrix()
+        .children_of_position(pos)
+        .into_iter()
+        .filter_map(|(_, c)| c)
+        .collect();
+    assert_eq!(complaints, distinct_children.len());
+}
+
+#[test]
+fn random_position_inserts_are_uniform() {
+    // Chi-squared-ish sanity: inserting 2000 rows at random positions into
+    // a 100-row matrix should hit all quartiles roughly equally.
+    let cfg = OverlayConfig::new(8, 2).with_insert_policy(InsertPolicy::RandomPosition);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut quartiles = [0u32; 4];
+    let mut server = CurtainServer::new(cfg).unwrap();
+    for _ in 0..100 {
+        server.admit(&mut rng, NodeStatus::Working);
+    }
+    for _ in 0..2000 {
+        let len_before = server.matrix().len();
+        let grant = server.admit(&mut rng, NodeStatus::Working);
+        let q = (grant.position * 4 / (len_before + 1)).min(3);
+        quartiles[q] += 1;
+    }
+    for (q, &c) in quartiles.iter().enumerate() {
+        assert!(
+            (c as f64 - 500.0).abs() < 120.0,
+            "quartile {q} count {c} far from uniform"
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Small-scale checks that the measured system obeys the paper's theorems
+//! (the full parameter sweeps live in the experiment binaries; these are
+//! the fast, always-on versions).
+
+use coded_curtain::analysis::drift::DriftParams;
+use coded_curtain::overlay::churn::grow_with_failures;
+use coded_curtain::overlay::{defect, CurtainNetwork, NodeStatus, OverlayConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Theorem 4 (shape): the steady-state defect fraction is O(p·d) — within
+/// a small constant of the analytic root a₁, and far below collapse.
+#[test]
+fn theorem4_steady_state_defect_is_near_pd() {
+    let (k, d, p) = (24usize, 2usize, 0.02f64);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut net = CurtainNetwork::new(OverlayConfig::new(k, d)).unwrap();
+    grow_with_failures(&mut net, 400, p, &mut rng);
+    // Average the defect over several measurement points as the process
+    // continues.
+    let mut acc = 0.0;
+    let points = 10;
+    for _ in 0..points {
+        grow_with_failures(&mut net, 40, p, &mut rng);
+        let est = defect::sample(net.matrix(), d, 400, &mut rng);
+        acc += est.total_defect_fraction();
+    }
+    let measured = acc / points as f64;
+    let params = DriftParams::new(p, d, k);
+    let a1 = params.theorem4_bound().expect("stable regime");
+    // Shape check: same order of magnitude as p·d, nowhere near collapse.
+    assert!(
+        measured < 6.0 * a1.max(p * d as f64),
+        "defect {measured:.4} far above theory a1 {a1:.4}"
+    );
+    assert!(measured < 0.3, "defect {measured:.4} drifting toward collapse");
+}
+
+/// Lemma 6: one arrival changes the *exact* total defect by at most
+/// (d²/k)·A.
+#[test]
+fn lemma6_single_step_bound_holds_exactly() {
+    let (k, d) = (10usize, 2usize);
+    let a = defect::binomial(k as u64, d as u64) as i64;
+    let cap = ((d * d) as f64 / k as f64 * a as f64).ceil() as i64;
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut net = CurtainNetwork::new(OverlayConfig::new(k, d)).unwrap();
+    let mut before = defect::exact(net.matrix(), d).total_defect() as i64;
+    for i in 0..120 {
+        net.join_with_failure_prob(0.3, &mut rng);
+        let after = defect::exact(net.matrix(), d).total_defect() as i64;
+        assert!(
+            (after - before).abs() <= cap,
+            "step {i}: |ΔB| = {} > {cap}",
+            (after - before).abs()
+        );
+        before = after;
+    }
+}
+
+/// Lemma 7 (direction): conditioned on a working arrival, the exact defect
+/// never increases.
+#[test]
+fn lemma7_working_arrivals_never_increase_defect() {
+    let (k, d) = (8usize, 2usize);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut net = CurtainNetwork::new(OverlayConfig::new(k, d)).unwrap();
+    // Seed some defect with failed arrivals.
+    for _ in 0..6 {
+        net.join_failed(&mut rng);
+    }
+    let mut before = defect::exact(net.matrix(), d).total_defect();
+    for _ in 0..60 {
+        net.join(&mut rng); // working arrival
+        let after = defect::exact(net.matrix(), d).total_defect();
+        assert!(after <= before, "working arrival increased B: {before} -> {after}");
+        before = after;
+    }
+}
+
+/// The network-coding connection: a node's achievable rate equals its
+/// max-flow connectivity, and the defect of its tuple equals d − flow.
+#[test]
+fn tuple_connectivity_equals_arrival_connectivity() {
+    let (k, d) = (12usize, 3usize);
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut net = CurtainNetwork::new(OverlayConfig::new(k, d)).unwrap();
+    grow_with_failures(&mut net, 60, 0.1, &mut rng);
+    for _ in 0..20 {
+        // Probe: what a virtual arrival would get...
+        let tuple = net.matrix().sample_threads(d, &mut rng);
+        let graph = net.graph();
+        let predicted = graph.tuple_connectivity(&tuple);
+        // ...must equal what an actual arrival on those threads gets:
+        // append the row to a copy of M and recompute.
+        let mut m = net.matrix().clone();
+        let position = m.len();
+        m.insert(
+            position,
+            coded_curtain::overlay::NodeId(u64::MAX - 1),
+            tuple.clone(),
+            NodeStatus::Working,
+        );
+        let actual = coded_curtain::overlay::OverlayGraph::from_matrix(&m)
+            .connectivity_of_position(position);
+        assert_eq!(predicted, actual, "tuple {tuple:?}");
+    }
+}
