@@ -4,15 +4,30 @@
 //! Protocol: run the §4 arrival process (each arrival failed w.p. `p`) and
 //! Monte-Carlo-estimate the defect fraction at several checkpoints; compare
 //! with `p·d` and with the exact drift root `a₁` from `curtain-analysis`.
+//!
+//! With `--trace <path>`, every checkpoint also emits a `DefectSample`
+//! telemetry event (timestamped by cumulative arrivals) to a JSONL file —
+//! `curtain_bench::trace::replay_defect` rebuilds the curve offline.
 
 use curtain_analysis::drift::DriftParams;
-use curtain_bench::{runtime, stats, table::Table};
+use curtain_bench::{runtime, stats, table::Table, trace::Trace};
 use curtain_overlay::churn::grow_with_failures;
 use curtain_overlay::{defect, CurtainNetwork, OverlayConfig};
+use curtain_telemetry::{Event, SharedRecorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn measure(k: usize, d: usize, p: f64, n: usize, seed: u64, samples: u64) -> f64 {
+#[allow(clippy::too_many_arguments)]
+fn measure(
+    k: usize,
+    d: usize,
+    p: f64,
+    n: usize,
+    seed: u64,
+    samples: u64,
+    trace: &SharedRecorder,
+    clock: &mut u64,
+) -> f64 {
     // The defect is a drifting random process: average over independent
     // instances and several checkpoints per instance.
     let trials = 6;
@@ -21,10 +36,20 @@ fn measure(k: usize, d: usize, p: f64, n: usize, seed: u64, samples: u64) -> f64
         let mut rng = StdRng::seed_from_u64(seed + 1000 * t);
         let mut net = CurtainNetwork::new(OverlayConfig::new(k, d)).expect("valid config");
         grow_with_failures(&mut net, n, p, &mut rng);
+        *clock += n as u64;
         for _ in 0..4 {
-            grow_with_failures(&mut net, n / 20 + 1, p, &mut rng);
+            let step = n / 20 + 1;
+            grow_with_failures(&mut net, step, p, &mut rng);
+            *clock += step as u64;
             let est = defect::sample(net.matrix(), d, samples, &mut rng);
             acc.push(est.total_defect_fraction());
+            // Timestamp = cumulative arrivals, so the trace's defect curve
+            // is a function of the paper's "time" (arrival count).
+            trace.set_time(*clock);
+            trace.record(&Event::DefectSample {
+                defect: est.total_defect(),
+                tuples: est.inspected,
+            });
         }
     }
     stats::mean(&acc)
@@ -37,6 +62,9 @@ fn main() {
     );
     let scale = runtime::scale();
     let samples = 300 * scale;
+    let trace = Trace::from_args();
+    let recorder = trace.recorder();
+    let mut clock = 0u64;
 
     println!("-- defect vs p and d (k = 8*d^2, N = 600) --");
     let t = Table::new(&["d", "k", "p", "p*d", "a1 (theory)", "measured B/A", "ratio/pd"]);
@@ -44,7 +72,7 @@ fn main() {
     for &d in &[2usize, 3, 4] {
         let k = 8 * d * d;
         for &p in &[0.005f64, 0.01, 0.02, 0.04] {
-            let measured = measure(k, d, p, 600, 42 + d as u64, samples);
+            let measured = measure(k, d, p, 600, 42 + d as u64, samples, &recorder, &mut clock);
             let a1 = DriftParams::new(p, d, k)
                 .theorem4_bound()
                 .map_or("-".to_string(), |a| format!("{a:.4}"));
@@ -65,7 +93,7 @@ fn main() {
     let t = Table::new(&["N", "measured B/A", "p*d"]);
     t.header();
     for &n in &[150usize, 300, 600, 1200, 2400] {
-        let measured = measure(32, 2, 0.02, n, 7, samples);
+        let measured = measure(32, 2, 0.02, n, 7, samples, &recorder, &mut clock);
         t.row(&[
             n.to_string(),
             format!("{measured:.4}"),

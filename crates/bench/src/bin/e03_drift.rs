@@ -5,10 +5,14 @@
 //! range of defect levels; record `(b, ΔB)` transitions; report measured
 //! conditional drift per `b`-bin against the analytic bound `f(b)`, and the
 //! worst observed `|ΔB|` against Lemma 6's cap `(d²/k)·A`.
+//!
+//! With `--trace <path>`, the exact defect after every arrival is emitted
+//! as a `DefectSample` telemetry event to a JSONL file.
 
 use curtain_analysis::drift::DriftParams;
-use curtain_bench::{runtime, stats, table::Table};
+use curtain_bench::{runtime, stats, table::Table, trace::Trace};
 use curtain_overlay::{defect, CurtainNetwork, OverlayConfig};
+use curtain_telemetry::Event;
 use rand::rngs::StdRng;
 use rand::{RngExt as _, SeedableRng};
 
@@ -22,6 +26,8 @@ fn main() {
     let arrivals = 4000 * scale as usize;
     let a = defect::binomial(k as u64, d as u64) as f64;
     let params = DriftParams::new(p, d, k);
+    let trace = Trace::from_args();
+    let recorder = trace.recorder();
 
     let mut rng = StdRng::seed_from_u64(3);
     let mut net = CurtainNetwork::new(OverlayConfig::new(k, d)).expect("valid config");
@@ -30,10 +36,13 @@ fn main() {
     let mut max_step: f64 = 0.0;
     let mut before = defect::exact(net.matrix(), d).total_defect() as f64;
 
-    for _ in 0..arrivals {
+    for arrival in 0..arrivals {
         let b = before / a;
         net.join_with_failure_prob(p, &mut rng);
         let after = defect::exact(net.matrix(), d).total_defect() as f64;
+        // The exact per-arrival defect series, for offline replay.
+        recorder.set_time(arrival as u64 + 1);
+        recorder.record(&Event::DefectSample { defect: after as u64, tuples: a as u64 });
         let delta = after - before;
         max_step = max_step.max(delta.abs());
         let bin = ((b * bins as f64) as usize).min(bins - 1);

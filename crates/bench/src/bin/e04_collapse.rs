@@ -8,11 +8,16 @@
 //!    Thread liveness is one BFS over the live DAG per checkpoint.
 //! 2. The **scalar bound chain** (`curtain-analysis::defect_chain`), which
 //!    extends the sweep to `k` values the full process cannot reach.
+//!
+//! With `--trace <path>`, the first trial of each `k` emits exact
+//! `DefectSample` events at every 8-arrival checkpoint — the raw material
+//! for `curtain_bench::trace::replay_defect`'s defect-over-time curve.
 
 use curtain_analysis::defect_chain::{DefectChain, StepModel};
 use curtain_analysis::drift::DriftParams;
-use curtain_bench::{runtime, stats, table::Table};
-use curtain_overlay::{CurtainNetwork, OverlayConfig, OverlayGraph};
+use curtain_bench::{runtime, stats, table::Table, trace::Trace};
+use curtain_overlay::{defect, CurtainNetwork, OverlayConfig, OverlayGraph};
+use curtain_telemetry::{Event, SharedRecorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -27,17 +32,40 @@ fn all_threads_dead(net: &CurtainNetwork) -> bool {
     })
 }
 
-/// Arrivals until full collapse (capped).
-fn overlay_collapse_time(k: usize, d: usize, p: f64, cap: usize, seed: u64) -> Option<usize> {
+/// Arrivals until full collapse (capped). When `trace` is enabled, every
+/// 8-arrival checkpoint emits an exact `DefectSample` (timestamped by
+/// `clock` + local arrivals, so stitched trials stay monotone).
+fn overlay_collapse_time(
+    k: usize,
+    d: usize,
+    p: f64,
+    cap: usize,
+    seed: u64,
+    trace: &SharedRecorder,
+    clock: &mut u64,
+) -> Option<usize> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut net = CurtainNetwork::new(OverlayConfig::new(k, d)).expect("valid config");
+    let mut outcome = None;
     for t in 1..=cap {
         net.join_with_failure_prob(p, &mut rng);
-        if t % 8 == 0 && all_threads_dead(&net) {
-            return Some(t);
+        if t % 8 == 0 {
+            if trace.is_enabled() {
+                let counts = defect::exact(net.matrix(), d);
+                trace.set_time(*clock + t as u64);
+                trace.record(&Event::DefectSample {
+                    defect: counts.total_defect(),
+                    tuples: counts.inspected,
+                });
+            }
+            if all_threads_dead(&net) {
+                outcome = Some(t);
+                break;
+            }
         }
     }
-    None
+    *clock += outcome.unwrap_or(cap) as u64;
+    outcome
 }
 
 /// Least-squares slope of y on x.
@@ -58,6 +86,12 @@ fn main() {
     let scale = runtime::scale();
     let trials = 12 * scale as usize;
     let (d, p) = (2usize, 0.36f64);
+    let trace = Trace::from_args();
+    // Tracing every trial would interleave independent collapse runs;
+    // trace only the first trial per k (timestamps stay monotone via the
+    // shared arrival clock).
+    let recorder = trace.recorder();
+    let mut clock = 0u64;
 
     println!("-- full overlay process (d = {d}, p = {p}) --");
     let t = Table::new(&["k", "k/d^3", "trials", "mean T", "ln(mean T)"]);
@@ -66,7 +100,10 @@ fn main() {
     let mut fit: Vec<(f64, f64)> = Vec::new();
     for &k in &[4usize, 6, 8, 10, 12] {
         let times: Vec<f64> = (0..trials)
-            .filter_map(|i| overlay_collapse_time(k, d, p, cap, 100 + i as u64))
+            .filter_map(|i| {
+                let tr = if i == 0 { recorder.clone() } else { SharedRecorder::null() };
+                overlay_collapse_time(k, d, p, cap, 100 + i as u64, &tr, &mut clock)
+            })
             .map(|t| t as f64)
             .collect();
         let (mean_t, ln_t) = if times.is_empty() {

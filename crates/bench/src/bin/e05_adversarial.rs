@@ -16,6 +16,9 @@ const K: usize = 24;
 const D: usize = 3;
 const N: usize = 400;
 
+/// Scenario label plus per-trial loss / affected / disconnected series.
+type ScenarioRow = (String, Vec<f64>, Vec<f64>, Vec<f64>);
+
 fn flash_crowd(policy: InsertPolicy, frac: f64, seed: u64) -> (CurtainNetwork, Vec<NodeId>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut net = CurtainNetwork::new(OverlayConfig::new(K, D).with_insert_policy(policy))
@@ -49,7 +52,7 @@ fn main() {
     ]);
     t.header();
     for &frac in &[0.05f64, 0.10, 0.20] {
-        let mut rows: Vec<(String, Vec<f64>, Vec<f64>, Vec<f64>)> = vec![
+        let mut rows: Vec<ScenarioRow> = vec![
             ("flash+append".into(), vec![], vec![], vec![]),
             ("flash+rand-insert".into(), vec![], vec![], vec![]),
             ("iid random".into(), vec![], vec![], vec![]),

@@ -48,7 +48,9 @@ fn main() {
             // Long enough that steady-state relaying dominates startup.
             let cfg = SessionConfig::new(Strategy::Rlnc, 32, 64).with_max_ticks(400);
             let report = Session::run(&topo, &cfg, seed ^ 0x19);
-            ratios_all.extend(report.upload_ratios());
+            // Zero-download victims report an infinite ratio; they carry no
+            // information about repayment, so keep means/medians finite.
+            ratios_all.extend(report.upload_ratios().into_iter().filter(|r| r.is_finite()));
             fair.push(report.fair_fraction(0.9));
         }
         t.row(&[

@@ -4,8 +4,13 @@
 //! ```text
 //! cargo run --release -p curtain-bench --bin run_all
 //! CURTAIN_SCALE=5 cargo run --release -p curtain-bench --bin run_all
+//! cargo run --release -p curtain-bench --bin run_all -- --trace traces/
 //! ```
+//!
+//! With `--trace <dir>`, each experiment that supports event tracing gets
+//! `--trace <dir>/<experiment>.jsonl` appended to its invocation.
 
+use std::path::PathBuf;
 use std::process::Command;
 use std::time::Instant;
 
@@ -31,15 +36,39 @@ const EXPERIMENTS: &[&str] = &[
     "e19_fairness",
 ];
 
+/// Experiments accepting a `--trace <path>` flag.
+const TRACEABLE: &[&str] = &["e01_theorem4", "e03_drift", "e04_collapse"];
+
+/// Parses `--trace <dir>` from our own arguments and ensures the
+/// directory exists.
+fn trace_dir() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            let dir = PathBuf::from(args.next().expect("--trace requires a directory"));
+            std::fs::create_dir_all(&dir).expect("create trace directory");
+            return Some(dir);
+        }
+    }
+    None
+}
+
 fn main() {
     let self_path = std::env::current_exe().expect("own path");
     let bin_dir = self_path.parent().expect("bin dir");
+    let trace_dir = trace_dir();
     let total = Instant::now();
     let mut failed = Vec::new();
     for (i, exp) in EXPERIMENTS.iter().enumerate() {
         println!("\n################ [{}/{}] {exp} ################", i + 1, EXPERIMENTS.len());
         let start = Instant::now();
-        let status = Command::new(bin_dir.join(exp)).status();
+        let mut cmd = Command::new(bin_dir.join(exp));
+        if let Some(dir) = trace_dir.as_ref().filter(|_| TRACEABLE.contains(exp)) {
+            let path = dir.join(format!("{exp}.jsonl"));
+            println!("(tracing to {})", path.display());
+            cmd.arg("--trace").arg(path);
+        }
+        let status = cmd.status();
         match status {
             Ok(s) if s.success() => {
                 println!("---------------- {exp} finished in {:.1?}", start.elapsed());

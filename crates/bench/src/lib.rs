@@ -8,7 +8,11 @@
 //! * [`stats`] — means, standard deviations and percentiles;
 //! * [`runtime`] — the `CURTAIN_SCALE` environment knob: `1` (default)
 //!   finishes each experiment in seconds; larger values multiply sample
-//!   counts for tighter error bars.
+//!   counts for tighter error bars;
+//! * [`trace`] — the `--trace <path>` flag: experiments that support it
+//!   stream `curtain-telemetry` events to a JSONL file, and
+//!   [`trace::replay_defect`] reconstructs the defect-over-time curve from
+//!   such a file for offline cross-checks against `curtain-analysis`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -124,6 +128,144 @@ pub mod runtime {
     }
 }
 
+/// The `--trace <path>` flag and offline trace replay.
+pub mod trace {
+    use std::fs::File;
+    use std::io::{self, BufReader};
+    use std::path::Path;
+
+    use curtain_telemetry::replay::{read_trace, TracedEvent};
+    use curtain_telemetry::{Event, JsonlSink, SharedRecorder};
+
+    /// The experiment's trace handle: an enabled [`SharedRecorder`]
+    /// streaming JSONL to the `--trace` path, or a null recorder when the
+    /// flag is absent. Dropping the handle flushes the file.
+    #[derive(Debug, Default)]
+    pub struct Trace {
+        recorder: SharedRecorder,
+    }
+
+    impl Trace {
+        /// Parses `--trace <path>` from the process arguments. Returns a
+        /// null (zero-cost) handle when the flag is absent.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `--trace` is present without a path, or the file
+        /// cannot be created — an experiment invocation error, reported
+        /// loudly rather than silently untraced.
+        #[must_use]
+        pub fn from_args() -> Self {
+            let mut args = std::env::args().skip(1);
+            while let Some(arg) = args.next() {
+                if arg == "--trace" {
+                    let path = args.next().expect("--trace requires a file path");
+                    return Self::to_path(&path).expect("create trace file");
+                }
+            }
+            Trace::default()
+        }
+
+        /// A handle writing to `path` unconditionally.
+        ///
+        /// # Errors
+        ///
+        /// Propagates file-creation errors.
+        pub fn to_path(path: impl AsRef<Path>) -> io::Result<Self> {
+            let sink = JsonlSink::buffered(File::create(path)?);
+            Ok(Trace { recorder: SharedRecorder::new(sink) })
+        }
+
+        /// A clone of the underlying recorder, for threading into
+        /// simulations.
+        #[must_use]
+        pub fn recorder(&self) -> SharedRecorder {
+            self.recorder.clone()
+        }
+
+        /// True when `--trace` was given.
+        #[must_use]
+        pub fn is_enabled(&self) -> bool {
+            self.recorder.is_enabled()
+        }
+    }
+
+    impl Drop for Trace {
+        fn drop(&mut self) {
+            if let Err(e) = self.recorder.flush() {
+                eprintln!("warning: trace flush failed: {e}");
+            }
+        }
+    }
+
+    /// Reads a JSONL trace file written via `--trace`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and parse errors as human-readable strings.
+    pub fn read_trace_file(path: impl AsRef<Path>) -> Result<Vec<TracedEvent>, String> {
+        let file = File::open(path.as_ref())
+            .map_err(|e| format!("open {}: {e}", path.as_ref().display()))?;
+        read_trace(BufReader::new(file))
+    }
+
+    /// Reconstructs the defect-over-time curve `(t, B/A)` from a trace's
+    /// `DefectSample` events — the checkpoints experiments emit while the
+    /// arrival process runs.
+    #[must_use]
+    pub fn replay_defect(events: &[TracedEvent]) -> Vec<(u64, f64)> {
+        events
+            .iter()
+            .filter_map(|te| match te.event {
+                Event::DefectSample { defect, tuples } if tuples > 0 => {
+                    Some((te.at, defect as f64 / tuples as f64))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Reconstructs the *cumulative* defect from `ThreadDefect` deltas —
+    /// the per-repair accounting the overlay server emits. Returns the
+    /// running total after each delta, clamped at zero (a trace may begin
+    /// mid-run, after some defect already existed).
+    #[must_use]
+    pub fn replay_thread_defect(events: &[TracedEvent]) -> Vec<(u64, i64)> {
+        let mut total = 0i64;
+        events
+            .iter()
+            .filter_map(|te| match te.event {
+                Event::ThreadDefect { delta, .. } => {
+                    total = (total + delta).max(0);
+                    Some((te.at, total))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Mean of the curve's values after discarding the first
+    /// `burn_in_fraction` of points (the transient before the drift
+    /// equilibrium). Returns `None` for an empty tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burn_in_fraction` is outside `[0, 1]`.
+    #[must_use]
+    pub fn steady_state_mean(curve: &[(u64, f64)], burn_in_fraction: f64) -> Option<f64> {
+        assert!(
+            (0.0..=1.0).contains(&burn_in_fraction),
+            "burn-in fraction out of range"
+        );
+        let skip = (curve.len() as f64 * burn_in_fraction) as usize;
+        let tail = &curve[skip.min(curve.len())..];
+        if tail.is_empty() {
+            return None;
+        }
+        Some(tail.iter().map(|(_, b)| b).sum::<f64>() / tail.len() as f64)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +299,57 @@ mod tests {
     fn table_rejects_ragged_rows() {
         let t = table::Table::new(&["a", "b"]);
         t.row(&["only one".into()]);
+    }
+
+    #[test]
+    fn replay_reconstructs_defect_curve() {
+        use curtain_telemetry::replay::parse_trace;
+        use curtain_telemetry::{Event, JsonlSink, SharedRecorder};
+
+        let sink = JsonlSink::new(Vec::new());
+        let r = SharedRecorder::new(sink.clone());
+        for (t, defect) in [(1u64, 0u64), (2, 3), (3, 6), (4, 6)] {
+            r.set_time(t);
+            r.record(&Event::DefectSample { defect, tuples: 12 });
+        }
+        r.record(&Event::ThreadDefect { thread: 0, delta: 2 });
+        r.record(&Event::ThreadDefect { thread: 1, delta: -2 });
+        r.flush().unwrap();
+
+        let events = parse_trace(&String::from_utf8(sink.bytes()).unwrap()).unwrap();
+        let curve = trace::replay_defect(&events);
+        assert_eq!(curve.len(), 4);
+        assert_eq!(curve[0], (1, 0.0));
+        assert!((curve[2].1 - 0.5).abs() < 1e-12);
+        // Burn-in of 50% keeps the last two points: (6 + 6) / 12 / 2.
+        let mean = trace::steady_state_mean(&curve, 0.5).unwrap();
+        assert!((mean - 0.5).abs() < 1e-12);
+        assert_eq!(trace::steady_state_mean(&[], 0.0), None);
+        // The ThreadDefect running total clamps at zero and cancels.
+        assert_eq!(trace::replay_thread_defect(&events), vec![(4, 2), (4, 0)]);
+    }
+
+    #[test]
+    fn trace_file_roundtrip() {
+        let dir = std::env::temp_dir().join("curtain_bench_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.jsonl");
+        {
+            let t = trace::Trace::to_path(&path).unwrap();
+            assert!(t.is_enabled());
+            let r = t.recorder();
+            r.set_time(9);
+            r.record(&curtain_telemetry::Event::DefectSample { defect: 4, tuples: 8 });
+        } // drop flushes
+        let events = trace::read_trace_file(&path).unwrap();
+        assert_eq!(trace::replay_defect(&events), vec![(9, 0.5)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn default_trace_is_null() {
+        let t = trace::Trace::default();
+        assert!(!t.is_enabled());
+        t.recorder().record(&curtain_telemetry::Event::GoodBye { node: 0 });
     }
 }

@@ -1,0 +1,88 @@
+//! End-to-end check of the `--trace` pipeline: an arrival process streams
+//! `DefectSample` events to a JSONL file, and the offline replay must
+//! reconstruct a defect-over-time curve whose steady-state mean agrees
+//! with the `curtain-analysis` drift prediction (Theorem 4).
+
+use curtain_analysis::drift::DriftParams;
+use curtain_bench::trace::{self, Trace};
+use curtain_overlay::{defect, CurtainNetwork, OverlayConfig};
+use curtain_telemetry::Event;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn replayed_defect_curve_matches_drift_prediction() {
+    // e01's N-sweep configuration — comfortably inside the stable regime,
+    // so `theorem4_bound()` exists.
+    let (k, d, p) = (32usize, 2usize, 0.02f64);
+    let arrivals = 500u64;
+    let dir = std::env::temp_dir().join("curtain_trace_replay_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("drift.jsonl");
+
+    // Write: the §4 arrival process, one exact defect checkpoint per
+    // arrival — the same emission path `e01`/`e03`/`e04 --trace` use.
+    {
+        let t = Trace::to_path(&path).unwrap();
+        let r = t.recorder();
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut net = CurtainNetwork::new(OverlayConfig::new(k, d)).unwrap();
+        for arrival in 1..=arrivals {
+            net.join_with_failure_prob(p, &mut rng);
+            let counts = defect::exact(net.matrix(), d);
+            r.set_time(arrival);
+            r.record(&Event::DefectSample {
+                defect: counts.total_defect(),
+                tuples: counts.inspected,
+            });
+        }
+    } // drop flushes the file
+
+    // Read back and replay.
+    let events = trace::read_trace_file(&path).unwrap();
+    assert_eq!(events.len(), arrivals as usize);
+    assert!(events.windows(2).all(|w| w[0].at < w[1].at), "timestamps not monotone");
+    let curve = trace::replay_defect(&events);
+    assert_eq!(curve.len(), arrivals as usize);
+    // B/A is bounded by d (every tuple fully defective).
+    assert!(curve.iter().all(|&(_, b)| (0.0..=d as f64).contains(&b)));
+
+    // Cross-check: after burn-in, the mean defect fraction must sit near
+    // the drift equilibrium a₁ ≈ (1+ε)·p·d. The process is a random walk
+    // around that root, so the bracket is deliberately generous.
+    let steady = trace::steady_state_mean(&curve, 0.4).expect("non-empty tail");
+    let bound = DriftParams::new(p, d, k).theorem4_bound().expect("subcritical parameters");
+    assert!(
+        steady <= 2.5 * bound + 0.05,
+        "steady-state defect {steady:.4} far above drift bound {bound:.4}"
+    );
+    assert!(
+        steady >= 0.05 * bound,
+        "steady-state defect {steady:.4} implausibly below drift bound {bound:.4}"
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// Full-binary check of `e04_collapse --trace` (slow: run with
+/// `cargo test --release -p curtain-bench -- --ignored`).
+#[test]
+#[ignore = "runs the full e04 binary; minutes in debug builds"]
+fn e04_collapse_trace_flag_produces_replayable_jsonl() {
+    let dir = std::env::temp_dir().join("curtain_trace_replay_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("e04.jsonl");
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_e04_collapse"))
+        .args(["--trace", path.to_str().unwrap()])
+        .status()
+        .expect("launch e04_collapse");
+    assert!(status.success());
+    let events = trace::read_trace_file(&path).unwrap();
+    let curve = trace::replay_defect(&events);
+    assert!(!curve.is_empty(), "no DefectSample events in the e04 trace");
+    assert!(curve.windows(2).all(|w| w[0].0 <= w[1].0), "timestamps not monotone");
+    // At stress level p = 0.36 the traced trials end at (or near) full
+    // collapse: the curve must actually visit high-defect territory.
+    let peak = curve.iter().map(|&(_, b)| b).fold(0.0f64, f64::max);
+    assert!(peak > 0.5, "collapse trace never exceeded defect {peak:.3}");
+    std::fs::remove_file(&path).unwrap();
+}

@@ -18,7 +18,13 @@ pub struct SessionReport {
     pub corrupted: Vec<bool>,
     /// True for dead or adversarial clients (excluded from aggregates).
     pub excluded: Vec<bool>,
-    /// Link-level traffic counters.
+    /// Link-level traffic counters: aggregate offered/delivered/dropped
+    /// packets and bytes, plus a per-link breakdown
+    /// ([`curtain_simnet::LinkStats`], indexed by link creation order —
+    /// the same order as the topology's edge list). Byte counters are
+    /// maintained by the session's message sizer, so `net.bytes_offered /
+    /// net.bytes_delivered` measures real wire overhead, and
+    /// `net.per_link` localizes hot or lossy threads.
     pub net: NetStats,
     /// Ticks actually simulated.
     pub ticks_run: u64,
@@ -123,12 +129,23 @@ impl SessionReport {
     /// Per-victim upload/download ratios — §7's incentive measure: "each
     /// node is required to reliably transmit as many bytes as it consumes".
     /// A ratio ≥ 1 means the node repaid its download.
+    ///
+    /// A victim that downloaded nothing has no meaningful ratio: it gets
+    /// [`f64::INFINITY`] if it nevertheless uploaded (pure contributor)
+    /// and `0.0` if it moved no traffic at all. Aggregations should filter
+    /// on `is_finite()` (see `fair_fraction`, which treats `∞ ≥ bar` as
+    /// fair but callers computing means must drop it).
     #[must_use]
     pub fn upload_ratios(&self) -> Vec<f64> {
         self.victims()
             .map(|i| {
-                let down = self.received_packets[i].max(1) as f64;
-                self.sent_packets[i] as f64 / down
+                let down = self.received_packets[i];
+                let up = self.sent_packets[i];
+                if down == 0 {
+                    if up == 0 { 0.0 } else { f64::INFINITY }
+                } else {
+                    up as f64 / down as f64
+                }
             })
             .collect()
     }
@@ -211,6 +228,24 @@ mod tests {
         assert!((ratios[0] - 1.0).abs() < 1e-12);
         assert!((r.fair_fraction(0.9) - 0.75).abs() < 1e-12);
         assert!((r.fair_fraction(1.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_download_victims_do_not_fake_fairness() {
+        let mut r = report();
+        // Victim 2: uploaded 10 packets but downloaded none — previously
+        // reported as sent/1 = 10.0; now explicitly infinite.
+        r.received_packets[2] = 0;
+        let ratios = r.upload_ratios();
+        assert!(ratios[2].is_infinite() && ratios[2] > 0.0);
+        // Victim 1: moved no traffic at all — ratio 0, not fair.
+        r.received_packets[1] = 0;
+        r.sent_packets[1] = 0;
+        let ratios = r.upload_ratios();
+        assert_eq!(ratios[1], 0.0);
+        // fair_fraction: victims 0 (1.0), 2 (∞), and 3 (1.0) clear the
+        // bar of 1.0; only victim 1 (0.0) misses it.
+        assert!((r.fair_fraction(1.0) - 0.75).abs() < 1e-12);
     }
 
     #[test]

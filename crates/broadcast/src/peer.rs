@@ -25,6 +25,21 @@ pub(crate) enum Msg {
     },
 }
 
+impl Msg {
+    /// Approximate on-the-wire size in bytes (payload + minimal headers),
+    /// used as the simulator's message sizer for byte-level accounting.
+    pub(crate) fn wire_size(&self) -> usize {
+        match self {
+            // generation id + coefficient vector + payload
+            Msg::Coded(p) => 4 + p.coefficients().len() + p.payload().len(),
+            // chunk index + payload
+            Msg::Chunk { data, .. } => 4 + data.len(),
+            // stripe index + column + payload
+            Msg::Share { data, .. } => 4 + 2 + data.len(),
+        }
+    }
+}
+
 /// An outgoing stream: the link plus (for curtains) its thread/column.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct OutLink {

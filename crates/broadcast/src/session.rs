@@ -4,6 +4,7 @@ use bytes::Bytes;
 use curtain_gf::ReedSolomon;
 use curtain_rlnc::{Encoder, Recoder};
 use curtain_simnet::{HostId, LinkConfig, World};
+use curtain_telemetry::SharedRecorder;
 use rand::rngs::StdRng;
 use rand::{RngExt as _, SeedableRng};
 
@@ -155,6 +156,27 @@ impl Session {
     /// without thread labels, or stripe size not dividing `total_chunks`).
     #[must_use]
     pub fn run(topo: &TopologySpec, cfg: &SessionConfig, seed: u64) -> SessionReport {
+        Self::run_traced(topo, cfg, seed, SharedRecorder::null())
+    }
+
+    /// Like [`Session::run`], with a telemetry recorder: the world stamps
+    /// it with sim-ticks and emits link drops; RLNC clients emit
+    /// per-packet innovative/redundant events labelled by host index
+    /// (server = 0, client `i` = `i + 1`).
+    ///
+    /// Tracing does not perturb the run: identical `(topo, cfg, seed)`
+    /// produce identical reports with or without a live recorder.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Session::run`].
+    #[must_use]
+    pub fn run_traced(
+        topo: &TopologySpec,
+        cfg: &SessionConfig,
+        seed: u64,
+        recorder: SharedRecorder,
+    ) -> SessionReport {
         topo.assert_invariants();
         // Deterministic content, distinct from the world RNG stream.
         let mut content_rng = StdRng::seed_from_u64(seed ^ 0x5eed_c0de_u64);
@@ -198,6 +220,8 @@ impl Session {
 
         // Build the world: host 0 = server, host i+1 = client i.
         let mut world: World<Peer, Msg> = World::new(seed);
+        world.set_recorder(recorder.clone());
+        world.set_message_sizer(Msg::wire_size);
         let server_role = match cfg.strategy {
             Strategy::Rlnc => Role::Server(ServerRole::Rlnc {
                 encoder: Encoder::new(0, content.clone()).expect("non-empty content"),
@@ -224,10 +248,13 @@ impl Session {
         let in_degrees = topo.in_degrees();
         for i in 0..topo.nodes {
             let role = match cfg.strategy {
-                Strategy::Rlnc => Role::Client(ClientRole::Rlnc {
-                    recoder: Recoder::new(0, cfg.total_chunks, cfg.packet_len),
-                    pinned: None,
-                }),
+                Strategy::Rlnc => {
+                    let mut recoder = Recoder::new(0, cfg.total_chunks, cfg.packet_len);
+                    if recorder.is_enabled() {
+                        recoder.set_telemetry(recorder.clone(), i as u64 + 1);
+                    }
+                    Role::Client(ClientRole::Rlnc { recoder, pinned: None })
+                }
                 Strategy::Routing => Role::Client(ClientRole::Routing {
                     chunks: vec![None; cfg.total_chunks],
                     have: 0,
@@ -428,12 +455,12 @@ mod tests {
         assert_eq!(rlnc.completion_fraction(), 1.0);
         // Coupon-collector: routing needs strictly more time on average.
         let t_rlnc = rlnc.mean_completion_tick().unwrap();
-        match routing.mean_completion_tick() {
-            Some(t_routing) => assert!(
+        // `None` (routing never finished) also counts as "slower".
+        if let Some(t_routing) = routing.mean_completion_tick() {
+            assert!(
                 t_routing > t_rlnc,
                 "routing {t_routing} should be slower than rlnc {t_rlnc}"
-            ),
-            None => {} // didn't even finish: also "slower"
+            );
         }
     }
 
@@ -497,6 +524,54 @@ mod tests {
         let b = Session::run(&topo, &cfg, 11);
         assert_eq!(a.completed_at, b.completed_at);
         assert_eq!(a.net, b.net);
+    }
+
+    #[test]
+    fn tracing_captures_events_without_perturbing_the_run() {
+        use curtain_telemetry::{Event, MemorySink, SharedRecorder};
+
+        let topo = curtain(8, 2, 15, 10);
+        let cfg = SessionConfig::new(Strategy::Rlnc, 8, 16).with_loss(0.1);
+        let untraced = Session::run(&topo, &cfg, 11);
+        let sink = MemorySink::new();
+        let traced = Session::run_traced(&topo, &cfg, 11, SharedRecorder::new(sink.clone()));
+        assert_eq!(untraced.completed_at, traced.completed_at);
+        assert_eq!(untraced.net, traced.net);
+
+        let events = sink.events();
+        let innovative = events
+            .iter()
+            .filter(|(_, e)| matches!(e, Event::PacketInnovative { .. }))
+            .count() as u64;
+        let drops = events
+            .iter()
+            .filter(|(_, e)| matches!(e, Event::LinkDrop { .. }))
+            .count() as u64;
+        // Innovative receptions = total rank accumulated across clients;
+        // with a full run that is g per client. Every drop is traced.
+        if traced.completion_fraction() == 1.0 {
+            assert_eq!(innovative, 8 * 15);
+        } else {
+            assert!(innovative > 0);
+        }
+        assert_eq!(drops, traced.net.lost + traced.net.capacity_drops);
+        assert!(drops > 0, "a 10% loss run should trace some drops");
+        // Timestamps are sim-ticks, monotone over the event stream.
+        assert!(events.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(events.last().unwrap().0 <= traced.ticks_run);
+    }
+
+    #[test]
+    fn byte_counters_reflect_wire_sizes() {
+        let topo = curtain(8, 2, 10, 24);
+        let cfg = SessionConfig::new(Strategy::Rlnc, 4, 16).with_max_ticks(1000);
+        let report = Session::run(&topo, &cfg, 25);
+        // Every RLNC message is 4 + g + packet_len = 24 bytes on the wire.
+        assert_eq!(report.net.bytes_offered, report.net.offered * 24);
+        assert_eq!(report.net.bytes_delivered, report.net.delivered * 24);
+        assert_eq!(report.net.per_link.len(), topo.edges.len());
+        let per_link_offered: u64 = report.net.per_link.iter().map(|l| l.offered).sum();
+        assert_eq!(per_link_offered, report.net.offered);
     }
 
     #[test]

@@ -266,11 +266,11 @@ impl<F: Field> Matrix<F> {
         assert_eq!(b.len(), self.rows, "rhs length mismatch");
         let n = self.rows;
         let mut aug = Matrix::zero(n, n + 1);
-        for i in 0..n {
+        for (i, &rhs) in b.iter().enumerate() {
             for j in 0..n {
                 aug.set(i, j, self.get(i, j));
             }
-            aug.set(i, n, b[i]);
+            aug.set(i, n, rhs);
         }
         let (rank, pivots) = aug.rref();
         if rank < n || pivots.iter().any(|&p| p >= n) {

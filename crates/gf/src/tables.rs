@@ -159,9 +159,9 @@ mod tests {
 
     #[test]
     fn mul_table_zero_row_and_column() {
-        for i in 0..256 {
+        for (i, row) in GF256_MUL.iter().enumerate() {
             assert_eq!(GF256_MUL[0][i], 0);
-            assert_eq!(GF256_MUL[i][0], 0);
+            assert_eq!(row[0], 0);
         }
     }
 
@@ -176,15 +176,11 @@ mod tests {
 
     #[test]
     fn gf2p16_generator_has_full_order() {
-        // 2 must not hit 1 before exponent 65535.
-        for i in 1..16usize {
-            // Check a few proper divisors of 65535 = 3*5*17*257.
-            let divisors = [3usize, 5, 17, 257, 65535 / 3, 65535 / 5, 65535 / 17, 65535 / 257];
-            let _ = i;
-            for d in divisors {
-                assert_ne!(GF2P16.exp[d], 1, "generator order divides {d}");
-            }
-            break;
+        // 2 must not hit 1 before exponent 65535: check a few proper
+        // divisors of 65535 = 3*5*17*257.
+        let divisors = [3usize, 5, 17, 257, 65535 / 3, 65535 / 5, 65535 / 17, 65535 / 257];
+        for d in divisors {
+            assert_ne!(GF2P16.exp[d], 1, "generator order divides {d}");
         }
         assert_eq!(GF2P16.exp[0], 1);
     }

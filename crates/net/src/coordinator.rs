@@ -9,6 +9,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use curtain_overlay::{CurtainServer, Holder, NodeId, OverlayConfig, ThreadId};
+use curtain_telemetry::{Event, SharedRecorder};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -30,6 +31,7 @@ struct State {
     addrs: HashMap<NodeId, SocketAddr>,
     source: Option<SourceInfo>,
     completed: HashSet<NodeId>,
+    recorder: SharedRecorder,
 }
 
 impl State {
@@ -82,6 +84,8 @@ impl State {
                 };
                 let grant = self.server.hello(&mut self.rng);
                 self.addrs.insert(grant.node, data_addr);
+                self.recorder.record(&Event::PeerConnect { peer: grant.node.0 });
+                self.recorder.gauge("coordinator_members", self.server.matrix().len() as f64);
                 let mut parents = Vec::with_capacity(grant.parents.len());
                 for (thread, holder) in grant.parents {
                     match self.parent_addr(holder) {
@@ -105,6 +109,8 @@ impl State {
             Request::Goodbye { node } => match self.server.goodbye(node) {
                 Ok(_) => {
                     self.addrs.remove(&node);
+                    self.recorder.record(&Event::PeerDisconnect { peer: node.0 });
+                    self.recorder.gauge("coordinator_members", self.server.matrix().len() as f64);
                     Response::Ok
                 }
                 Err(e) => Response::Error { reason: e.to_string() },
@@ -121,6 +127,9 @@ impl State {
                         let _ = self.server.repair(failed);
                         self.addrs.remove(&failed);
                         self.completed.remove(&failed);
+                        self.recorder.record(&Event::PeerDisconnect { peer: failed.0 });
+                        self.recorder
+                            .gauge("coordinator_members", self.server.matrix().len() as f64);
                     }
                 }
                 match self.current_parent(child, thread) {
@@ -170,7 +179,27 @@ impl Coordinator {
     ///
     /// Propagates bind errors and configuration errors.
     pub fn start_seeded(config: OverlayConfig, seed: u64) -> io::Result<Self> {
-        let server = CurtainServer::new(config).map_err(io::Error::other)?;
+        Self::start_traced(config, seed, SharedRecorder::null())
+    }
+
+    /// Like [`Coordinator::start_seeded`] with a telemetry recorder
+    /// (typically [`SharedRecorder::wall_clock`] — timestamps are unix
+    /// milliseconds out here, not sim-ticks). The recorder sees the full
+    /// protocol lifecycle: `Hello`/`GoodBye`/`Complain`/`Splice`/
+    /// `RepairComplete`/`ThreadDefect` from the embedded
+    /// [`CurtainServer`], plus `PeerConnect`/`PeerDisconnect` and a
+    /// `coordinator_members` gauge from the connection handlers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors and configuration errors.
+    pub fn start_traced(
+        config: OverlayConfig,
+        seed: u64,
+        recorder: SharedRecorder,
+    ) -> io::Result<Self> {
+        let mut server = CurtainServer::new(config).map_err(io::Error::other)?;
+        server.set_recorder(recorder.clone());
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -181,6 +210,7 @@ impl Coordinator {
             addrs: HashMap::new(),
             source: None,
             completed: HashSet::new(),
+            recorder,
         }));
         let handle = {
             let stop = Arc::clone(&stop);
@@ -390,6 +420,50 @@ mod tests {
         } else {
             assert!(matches!(new_parent, ParentAddr::Source(_)));
         }
+    }
+
+    #[test]
+    fn traced_coordinator_records_connection_lifecycle() {
+        use curtain_telemetry::MemorySink;
+
+        let sink = MemorySink::new();
+        let c = Coordinator::start_traced(
+            OverlayConfig::new(4, 2),
+            11,
+            SharedRecorder::wall_clock(sink.clone()),
+        )
+        .unwrap();
+        proto::call(
+            c.addr(),
+            &Request::RegisterSource {
+                data_addr: "127.0.0.1:9200".parse().unwrap(),
+                generations: 1,
+                generation_size: 4,
+                packet_len: 16,
+                content_len: 64,
+            },
+            T,
+        )
+        .unwrap();
+        let resp = proto::call(
+            c.addr(),
+            &Request::Hello { data_addr: "127.0.0.1:9201".parse().unwrap() },
+            T,
+        )
+        .unwrap();
+        let Response::Welcome { node, .. } = resp else { panic!() };
+        proto::call(c.addr(), &Request::Goodbye { node }, T).unwrap();
+
+        let events = sink.events();
+        // Overlay-level Hello/GoodBye plus net-level connect/disconnect,
+        // all wall-stamped (after 2020-01-01 in unix-ms terms).
+        assert!(events.iter().all(|(at, _)| *at > 1_577_836_800_000));
+        let kinds: Vec<&str> = events.iter().map(|(_, e)| e.kind()).collect();
+        assert!(kinds.contains(&"hello"));
+        assert!(kinds.contains(&"peer_connect"));
+        assert!(kinds.contains(&"good_bye"));
+        assert!(kinds.contains(&"peer_disconnect"));
+        assert_eq!(sink.metrics().snapshot().gauges["coordinator_members"], 0.0);
     }
 
     #[test]

@@ -65,9 +65,8 @@ pub fn write_frame(stream: &mut impl Write, packet: &CodedPacket) -> io::Result<
 /// Propagates socket errors; corrupt frames map to `InvalidData`.
 pub fn read_frame(stream: &mut impl Read) -> io::Result<Option<CodedPacket>> {
     let mut len_buf = [0u8; 4];
-    match read_exact_or_eof(stream, &mut len_buf)? {
-        false => return Ok(None),
-        true => {}
+    if !read_exact_or_eof(stream, &mut len_buf)? {
+        return Ok(None);
     }
     let len = u32::from_le_bytes(len_buf);
     if len == 0 || len > MAX_FRAME {

@@ -10,6 +10,7 @@ use std::time::{Duration, Instant};
 
 use curtain_overlay::NodeId;
 use curtain_rlnc::Recoder;
+use curtain_telemetry::{Event, SharedRecorder};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -90,6 +91,8 @@ struct Shared {
     completion_reported: AtomicBool,
     stop: AtomicBool,
     coordinator: SocketAddr,
+    recorder: SharedRecorder,
+    disconnect_noted: AtomicBool,
 }
 
 impl Shared {
@@ -138,6 +141,24 @@ impl Peer {
     ///
     /// Propagates socket errors and protocol rejections.
     pub fn join_paced(coordinator: SocketAddr, pace: Duration) -> io::Result<Self> {
+        Self::join_traced(coordinator, pace, SharedRecorder::null())
+    }
+
+    /// Like [`Peer::join_paced`] with a telemetry recorder (typically
+    /// [`SharedRecorder::wall_clock`]). The peer records `PeerConnect` /
+    /// `PeerDisconnect` for its own lifecycle, `PacketInnovative` /
+    /// `PacketRedundant` per upstream packet, a `repair_latency_ms`
+    /// histogram around each successful complaint round-trip, and a
+    /// `repairs` counter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and protocol rejections.
+    pub fn join_traced(
+        coordinator: SocketAddr,
+        pace: Duration,
+        recorder: SharedRecorder,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let data_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -156,7 +177,17 @@ impl Peer {
             completion_reported: AtomicBool::new(false),
             stop: AtomicBool::new(false),
             coordinator,
+            recorder,
+            disconnect_noted: AtomicBool::new(false),
         });
+        shared.recorder.record(&Event::PeerConnect { peer: node.0 });
+        if shared.recorder.is_enabled() {
+            // Label per-packet innovation events with this peer's id.
+            let mut state = shared.state.lock();
+            for recoder in &mut state.recoders {
+                recoder.set_telemetry(shared.recorder.clone(), node.0);
+            }
+        }
 
         let mut handles = Vec::new();
         // Child-serving accept loop.
@@ -266,6 +297,10 @@ impl Peer {
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
+        if !self.shared.disconnect_noted.swap(true, Ordering::SeqCst) {
+            self.shared.recorder.record(&Event::PeerDisconnect { peer: self.node.0 });
+            let _ = self.shared.recorder.flush();
+        }
     }
 }
 
@@ -371,6 +406,9 @@ fn complain(shared: &Shared, thread: u16, parent: &mut ParentAddr) -> bool {
     if shared.stop.load(Ordering::SeqCst) {
         return false;
     }
+    // Repair latency as the child experiences it: backoff + complaint
+    // round-trip until a replacement parent is in hand.
+    let started = Instant::now();
     std::thread::sleep(Duration::from_millis(20)); // brief backoff
     let resp = proto::call(
         shared.coordinator,
@@ -384,6 +422,10 @@ fn complain(shared: &Shared, thread: u16, parent: &mut ParentAddr) -> bool {
     match resp {
         Ok(Response::Redirect { new_parent, .. }) => {
             *parent = new_parent;
+            shared.recorder.counter("repairs", 1);
+            shared
+                .recorder
+                .histogram("repair_latency_ms", started.elapsed().as_secs_f64() * 1e3);
             true
         }
         _ => false,

@@ -5,6 +5,7 @@ use std::time::Duration;
 
 use curtain_net::{Coordinator, Peer, Source};
 use curtain_overlay::OverlayConfig;
+use curtain_telemetry::{MemorySink, SharedRecorder};
 
 const PACE: Duration = Duration::from_micros(150);
 const DECODE_TIMEOUT: Duration = Duration::from_secs(20);
@@ -183,6 +184,65 @@ fn rolling_churn_swarm_still_decodes() {
     let checkpoint = coordinator.checkpoint_json().unwrap();
     let restored = curtain_overlay::CurtainServer::from_json(&checkpoint).unwrap();
     restored.matrix().assert_invariants();
+}
+
+#[test]
+fn traced_crash_recovery_records_repair_latency() {
+    // Wall-clock telemetry across the real-TCP stack: the coordinator's
+    // recorder sees the protocol lifecycle, the surviving peer's recorder
+    // sees packet innovation plus the complaint round-trip latency.
+    let coord_sink = MemorySink::new();
+    let coordinator = Coordinator::start_traced(
+        OverlayConfig::new(4, 2),
+        0xC0DE,
+        SharedRecorder::wall_clock(coord_sink.clone()),
+    )
+    .unwrap();
+    let data = content(4096);
+    let _source = Source::start(coordinator.addr(), &data, 16, PACE).unwrap();
+    let first = Peer::join(coordinator.addr()).unwrap();
+    let peer_sink = MemorySink::new();
+    let survivor = Peer::join_traced(
+        coordinator.addr(),
+        PACE,
+        SharedRecorder::wall_clock(peer_sink.clone()),
+    )
+    .unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+    first.crash();
+    assert!(survivor.wait_complete(DECODE_TIMEOUT), "survivor stuck at rank {}", survivor.rank());
+    assert_eq!(survivor.decoded_content().unwrap(), data);
+    let survivor_id = survivor.node_id();
+    survivor.leave();
+
+    // Peer-side: connect + disconnect frame the session; decoding 16
+    // packets means at least 16 innovative pushes.
+    let kinds: Vec<&'static str> =
+        peer_sink.events().iter().map(|(_, e)| e.kind()).collect();
+    assert_eq!(kinds.first(), Some(&"peer_connect"));
+    assert_eq!(kinds.last(), Some(&"peer_disconnect"));
+    assert!(kinds.iter().filter(|k| **k == "packet_innovative").count() >= 16);
+    // If the survivor hung below the crashed peer it ran the complaint
+    // protocol; the latency histogram then carries one entry per repair.
+    let metrics = peer_sink.metrics().snapshot();
+    if let Some(h) = metrics.histograms.get("repair_latency_ms") {
+        assert_eq!(Some(h.count), metrics.counters.get("repairs").copied());
+        assert!(h.min >= 20.0, "repair can't beat the 20ms backoff: {}", h.min);
+    }
+    // Coordinator-side: the survivor's whole lifecycle was observed.
+    let coord_kinds: Vec<(u64, &'static str, Option<u64>)> = coord_sink
+        .events()
+        .iter()
+        .map(|(at, e)| (*at, e.kind(), e.node()))
+        .collect();
+    for want in ["hello", "peer_connect", "good_bye", "peer_disconnect"] {
+        assert!(
+            coord_kinds
+                .iter()
+                .any(|(_, k, n)| *k == want && *n == Some(survivor_id.0)),
+            "coordinator trace missing {want} for survivor"
+        );
+    }
 }
 
 #[test]

@@ -463,8 +463,8 @@ mod tests {
         m.set_status(NodeId(1), NodeStatus::Failed);
         let g = OverlayGraph::from_matrix(&m);
         let all = g.all_connectivities();
-        for p in 0..3 {
-            assert_eq!(all[p], g.connectivity_of_position(p));
+        for (p, &conn) in all.iter().enumerate().take(3) {
+            assert_eq!(conn, g.connectivity_of_position(p));
         }
     }
 

@@ -61,6 +61,18 @@ impl CurtainNetwork {
         &mut self.server
     }
 
+    /// Installs a telemetry recorder on the underlying server (see
+    /// [`CurtainServer::set_recorder`]).
+    pub fn set_recorder(&mut self, recorder: curtain_telemetry::SharedRecorder) {
+        self.server.set_recorder(recorder);
+    }
+
+    /// The server's telemetry handle (null unless installed).
+    #[must_use]
+    pub fn recorder(&self) -> &curtain_telemetry::SharedRecorder {
+        self.server.recorder()
+    }
+
     /// Read access to the matrix `M`.
     #[must_use]
     pub fn matrix(&self) -> &ThreadMatrix {

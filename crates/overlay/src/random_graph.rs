@@ -183,7 +183,7 @@ mod tests {
         let mut net = RandomGraphOverlay::new(10, 3);
         for _ in 0..300 {
             net.join(&mut rng);
-            if net.len() % 50 == 0 {
+            if net.len().is_multiple_of(50) {
                 net.assert_invariants();
             }
         }

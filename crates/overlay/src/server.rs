@@ -10,6 +10,7 @@
 //! what), and the server tallies per-operation message counts so experiment
 //! E10 can report the coordination load.
 
+use curtain_telemetry::{Event, SharedRecorder, SpliceCause};
 use rand::{Rng, RngExt as _};
 
 use crate::error::OverlayError;
@@ -106,6 +107,7 @@ pub struct CurtainServer {
     matrix: ThreadMatrix,
     next_id: u64,
     metrics: ServerMetrics,
+    recorder: SharedRecorder,
 }
 
 impl CurtainServer {
@@ -121,7 +123,21 @@ impl CurtainServer {
             matrix: ThreadMatrix::new(config.k),
             next_id: 0,
             metrics: ServerMetrics::default(),
+            recorder: SharedRecorder::null(),
         })
+    }
+
+    /// Installs a telemetry recorder; every protocol operation then emits
+    /// [`Event`]s (hello, good-bye, complaints, splices, repair completions,
+    /// per-thread defect deltas) through it.
+    pub fn set_recorder(&mut self, recorder: SharedRecorder) {
+        self.recorder = recorder;
+    }
+
+    /// The telemetry handle (null unless installed).
+    #[must_use]
+    pub fn recorder(&self) -> &SharedRecorder {
+        &self.recorder
     }
 
     /// The configuration.
@@ -156,7 +172,8 @@ impl CurtainServer {
         next_id: u64,
         metrics: ServerMetrics,
     ) -> Self {
-        CurtainServer { config, matrix, next_id, metrics }
+        // Snapshots do not carry a recorder; re-install one after restore.
+        CurtainServer { config, matrix, next_id, metrics, recorder: SharedRecorder::null() }
     }
 
     /// Builds the overlay graph for the current state (convenience).
@@ -226,6 +243,21 @@ impl CurtainServer {
             InsertPolicy::Append => self.matrix.len(),
             InsertPolicy::RandomPosition => rng.random_range(0..=self.matrix.len()),
         };
+        let degree = threads.len();
+        if self.recorder.is_enabled() {
+            self.recorder.record(&Event::Hello {
+                node: node.0,
+                position: position as u64,
+                degree: degree as u32,
+            });
+            if status == NodeStatus::Failed {
+                // A node that joins already failed defects every thread it
+                // holds from the moment of insertion.
+                for &t in &threads {
+                    self.recorder.record(&Event::ThreadDefect { thread: u32::from(t), delta: 1 });
+                }
+            }
+        }
         self.matrix.insert(position, node, threads, status);
         let parents = self.matrix.parents_of_position(position);
         // 1 hello in; 1 grant + one notification per parent out.
@@ -253,6 +285,14 @@ impl CurtainServer {
         self.metrics.graceful_leaves += 1;
         self.metrics.messages_in += 1;
         self.metrics.messages_out += plan.redirects.len() as u64;
+        if self.recorder.is_enabled() {
+            self.recorder.record(&Event::GoodBye { node: node.0 });
+            self.recorder.record(&Event::Splice {
+                node: node.0,
+                redirects: plan.redirects.len() as u32,
+                cause: SpliceCause::Leave,
+            });
+        }
         Ok(plan)
     }
 
@@ -281,6 +321,13 @@ impl CurtainServer {
         self.matrix.set_status(node, NodeStatus::Failed);
         self.metrics.failures_reported += 1;
         self.metrics.messages_in += children.len() as u64;
+        if self.recorder.is_enabled() {
+            self.recorder
+                .record(&Event::Complain { node: node.0, complaints: children.len() as u32 });
+            for &t in self.matrix.row(position).threads() {
+                self.recorder.record(&Event::ThreadDefect { thread: u32::from(t), delta: 1 });
+            }
+        }
         Ok(children.len())
     }
 
@@ -297,9 +344,26 @@ impl CurtainServer {
             Some(NodeStatus::Working) => return Err(OverlayError::NodeNotFailed(node)),
             Some(NodeStatus::Failed) => {}
         }
+        let held: Vec<ThreadId> = if self.recorder.is_enabled() {
+            let position = self.matrix.position_of(node).expect("checked membership");
+            self.matrix.row(position).threads().to_vec()
+        } else {
+            Vec::new()
+        };
         let plan = self.splice_out(node);
         self.metrics.repairs += 1;
         self.metrics.messages_out += plan.redirects.len() as u64;
+        if self.recorder.is_enabled() {
+            self.recorder.record(&Event::Splice {
+                node: node.0,
+                redirects: plan.redirects.len() as u32,
+                cause: SpliceCause::Repair,
+            });
+            for &t in &held {
+                self.recorder.record(&Event::ThreadDefect { thread: u32::from(t), delta: -1 });
+            }
+            self.recorder.record(&Event::RepairComplete { node: node.0 });
+        }
         Ok(plan)
     }
 
@@ -537,6 +601,67 @@ mod tests {
         assert_eq!(m.failures_reported, 1);
         assert_eq!(m.repairs, 1);
         assert!(m.messages_out >= 2 * (1 + 2) + 2 + 2);
+    }
+
+    #[test]
+    fn protocol_events_trace_lifecycle_and_defect_deltas() {
+        use curtain_telemetry::{Event, MemorySink, SharedRecorder, SpliceCause};
+
+        let mut s = server(8, 2);
+        let sink = MemorySink::new();
+        s.set_recorder(SharedRecorder::new(sink.clone()));
+        let mut rng = StdRng::seed_from_u64(21);
+        let a = s.hello(&mut rng).node;
+        let b = s.hello(&mut rng).node;
+        s.goodbye(a).unwrap();
+        s.report_failure(b).unwrap();
+        s.repair(b).unwrap();
+
+        let events: Vec<Event> = sink.events().into_iter().map(|(_, e)| e).collect();
+        // Two hellos, then good-bye + leave-splice, then complaint + d
+        // defect increments, then repair-splice + d decrements + completion.
+        assert!(matches!(events[0], Event::Hello { node, degree: 2, .. } if node == a.0));
+        assert!(matches!(events[1], Event::Hello { node, degree: 2, .. } if node == b.0));
+        assert_eq!(events[2], Event::GoodBye { node: a.0 });
+        assert!(matches!(
+            events[3],
+            Event::Splice { node, cause: SpliceCause::Leave, .. } if node == a.0
+        ));
+        assert!(matches!(events[4], Event::Complain { node, .. } if node == b.0));
+        assert!(matches!(
+            events[events.len() - 1],
+            Event::RepairComplete { node } if node == b.0
+        ));
+        // Per-thread defect deltas must cancel once the repair completes.
+        let mut net_delta = 0i64;
+        let mut increments = 0;
+        for e in &events {
+            if let Event::ThreadDefect { delta, .. } = e {
+                net_delta += delta;
+                if *delta > 0 {
+                    increments += 1;
+                }
+            }
+        }
+        assert_eq!(increments, 2, "one increment per thread held by b");
+        assert_eq!(net_delta, 0);
+    }
+
+    #[test]
+    fn failed_join_defects_its_threads_immediately() {
+        use curtain_telemetry::{Event, MemorySink, SharedRecorder};
+
+        let mut s = server(8, 3);
+        let sink = MemorySink::new();
+        s.set_recorder(SharedRecorder::new(sink.clone()));
+        let mut rng = StdRng::seed_from_u64(22);
+        s.admit(&mut rng, NodeStatus::Failed);
+        let increments = sink
+            .events()
+            .iter()
+            .filter(|(_, e)| matches!(e, Event::ThreadDefect { delta: 1, .. }))
+            .count();
+        assert_eq!(increments, 3);
     }
 
     #[test]

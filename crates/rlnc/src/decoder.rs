@@ -1,5 +1,7 @@
 //! The receiver: progressive Gaussian elimination and recovery.
 
+use curtain_telemetry::{Event, SharedRecorder};
+
 use crate::error::RlncError;
 use crate::generation::GenerationId;
 use crate::packet::CodedPacket;
@@ -34,6 +36,9 @@ pub struct Decoder {
     id: GenerationId,
     space: RowSpace,
     stats: CodingStats,
+    /// Optional `(recorder, node label)` emitting per-packet
+    /// innovative/redundant events; `None` costs one branch in `push`.
+    telemetry: Option<(SharedRecorder, u64)>,
 }
 
 impl Decoder {
@@ -45,7 +50,19 @@ impl Decoder {
     /// Panics if `g == 0`.
     #[must_use]
     pub fn new(id: GenerationId, g: usize, symbol_len: usize) -> Self {
-        Decoder { id, space: RowSpace::new(g, symbol_len), stats: CodingStats::default() }
+        Decoder {
+            id,
+            space: RowSpace::new(g, symbol_len),
+            stats: CodingStats::default(),
+            telemetry: None,
+        }
+    }
+
+    /// Attaches a telemetry recorder; [`Decoder::push`] then emits a
+    /// `PacketInnovative` / `PacketRedundant` event per packet, labelled
+    /// with `node` (the receiving host's id).
+    pub fn set_telemetry(&mut self, recorder: SharedRecorder, node: u64) {
+        self.telemetry = Some((recorder, node));
     }
 
     /// Generation id this decoder accepts.
@@ -91,6 +108,17 @@ impl Decoder {
             .space
             .insert(packet.coefficients().to_vec(), packet.payload().to_vec());
         self.stats.record(innovative);
+        if let Some((recorder, node)) = &self.telemetry {
+            recorder.record(&if innovative {
+                Event::PacketInnovative {
+                    node: *node,
+                    generation: self.id,
+                    rank: self.space.rank() as u32,
+                }
+            } else {
+                Event::PacketRedundant { node: *node, generation: self.id }
+            });
+        }
         Ok(innovative)
     }
 
@@ -208,6 +236,42 @@ mod tests {
         let p = enc.encode(&mut rng);
         assert!(dec0.would_be_innovative(&p).unwrap());
         assert_eq!(dec0.rank(), 0, "probe must not change state");
+    }
+
+    #[test]
+    fn telemetry_labels_innovative_and_redundant_packets() {
+        use curtain_telemetry::{Event, MemorySink, SharedRecorder};
+
+        let src = data(2, 4);
+        let enc = Encoder::new(0, src).unwrap();
+        let mut dec = Decoder::new(0, 2, 4);
+        let sink = MemorySink::new();
+        dec.set_telemetry(SharedRecorder::new(sink.clone()), 42);
+        let mut rng = StdRng::seed_from_u64(13);
+        while !dec.is_complete() {
+            dec.push(enc.encode(&mut rng)).unwrap();
+        }
+        // A full decode plus one guaranteed-redundant extra.
+        dec.push(enc.encode(&mut rng)).unwrap();
+        let events = sink.events();
+        let innovative = events
+            .iter()
+            .filter(|(_, e)| matches!(e, Event::PacketInnovative { node: 42, .. }))
+            .count();
+        let redundant = events
+            .iter()
+            .filter(|(_, e)| matches!(e, Event::PacketRedundant { node: 42, .. }))
+            .count();
+        assert_eq!(innovative, 2);
+        assert_eq!(innovative as u64, dec.stats().innovative());
+        assert_eq!(redundant as u64, dec.stats().redundant());
+        assert!(redundant >= 1);
+        // The final innovative event carries the full rank.
+        let last_rank = events.iter().rev().find_map(|(_, e)| match e {
+            Event::PacketInnovative { rank, .. } => Some(*rank),
+            _ => None,
+        });
+        assert_eq!(last_rank, Some(2));
     }
 
     #[test]

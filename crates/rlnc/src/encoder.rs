@@ -184,7 +184,7 @@ mod tests {
             let p = enc.encode(&mut rng);
             let mut expect = vec![0u8; 5];
             for (i, c) in p.coefficients().iter().enumerate() {
-                curtain_gf::vec_ops::axpy(&mut expect, *c, &vec![i as u8; 5]);
+                curtain_gf::vec_ops::axpy(&mut expect, *c, &[i as u8; 5]);
             }
             assert_eq!(p.payload(), &expect[..]);
         }

@@ -1,6 +1,7 @@
 //! The intermediate node: buffer received packets, forward fresh mixtures.
 
 use bytes::Bytes;
+use curtain_telemetry::{Event, SharedRecorder};
 use rand::Rng;
 
 use crate::error::RlncError;
@@ -35,6 +36,9 @@ pub struct Recoder {
     id: GenerationId,
     space: RowSpace,
     stats: CodingStats,
+    /// Optional `(recorder, node label)` emitting per-packet
+    /// innovative/redundant events; `None` costs one branch in `push`.
+    telemetry: Option<(SharedRecorder, u64)>,
 }
 
 impl Recoder {
@@ -46,7 +50,19 @@ impl Recoder {
     /// Panics if `g == 0`.
     #[must_use]
     pub fn new(id: GenerationId, g: usize, symbol_len: usize) -> Self {
-        Recoder { id, space: RowSpace::new(g, symbol_len), stats: CodingStats::default() }
+        Recoder {
+            id,
+            space: RowSpace::new(g, symbol_len),
+            stats: CodingStats::default(),
+            telemetry: None,
+        }
+    }
+
+    /// Attaches a telemetry recorder; [`Recoder::push`] then emits a
+    /// `PacketInnovative` / `PacketRedundant` event per packet, labelled
+    /// with `node` (the forwarding host's id).
+    pub fn set_telemetry(&mut self, recorder: SharedRecorder, node: u64) {
+        self.telemetry = Some((recorder, node));
     }
 
     /// Generation id this recoder handles.
@@ -99,6 +115,17 @@ impl Recoder {
             .space
             .insert(packet.coefficients().to_vec(), packet.payload().to_vec());
         self.stats.record(innovative);
+        if let Some((recorder, node)) = &self.telemetry {
+            recorder.record(&if innovative {
+                Event::PacketInnovative {
+                    node: *node,
+                    generation: self.id,
+                    rank: self.space.rank() as u32,
+                }
+            } else {
+                Event::PacketRedundant { node: *node, generation: self.id }
+            });
+        }
         Ok(innovative)
     }
 

@@ -61,4 +61,4 @@ mod world;
 pub use event::EventQueue;
 pub use link::{Link, LinkConfig, LinkId};
 pub use time::SimTime;
-pub use world::{Actor, Context, HostId, NetStats, World};
+pub use world::{Actor, Context, HostId, LinkStats, NetStats, World};

@@ -1,5 +1,6 @@
 //! The simulation driver: hosts, links, and the tick loop.
 
+use curtain_telemetry::{DropReason, Event, SharedRecorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -11,8 +12,38 @@ use crate::time::SimTime;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct HostId(pub u32);
 
-/// Aggregate traffic counters.
+/// Traffic counters for a single link.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Sending host index.
+    pub from: u32,
+    /// Receiving host index.
+    pub to: u32,
+    /// Packets offered on this link.
+    pub offered: u64,
+    /// Packets delivered over this link.
+    pub delivered: u64,
+    /// Packets lost in flight on this link.
+    pub lost: u64,
+    /// Packets tail-dropped at this link's capacity limit.
+    pub capacity_drops: u64,
+    /// Bytes offered on this link (0 unless a message sizer is installed
+    /// via [`World::set_message_sizer`]).
+    pub bytes_offered: u64,
+    /// Bytes actually delivered over this link.
+    pub bytes_delivered: u64,
+}
+
+impl LinkStats {
+    /// Packets dropped on this link for any reason (loss + capacity).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.lost + self.capacity_drops
+    }
+}
+
+/// Aggregate traffic counters, plus a per-link breakdown.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NetStats {
     /// Packets offered to links.
     pub offered: u64,
@@ -22,6 +53,21 @@ pub struct NetStats {
     pub lost: u64,
     /// Packets rejected because the link was at capacity this tick.
     pub capacity_drops: u64,
+    /// Bytes offered to links (0 unless a message sizer is installed via
+    /// [`World::set_message_sizer`]).
+    pub bytes_offered: u64,
+    /// Bytes delivered to destination actors.
+    pub bytes_delivered: u64,
+    /// Per-link counters, indexed by [`LinkId`] in creation order.
+    pub per_link: Vec<LinkStats>,
+}
+
+impl NetStats {
+    /// Packets dropped for any reason (in-flight loss + capacity tail-drop).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.lost + self.capacity_drops
+    }
 }
 
 /// Per-host behaviour. The world calls [`Actor::on_tick`] once per tick and
@@ -42,6 +88,8 @@ pub struct Context<'a, M> {
     queue: &'a mut EventQueue<Delivery<M>>,
     rng: &'a mut StdRng,
     stats: &'a mut NetStats,
+    recorder: &'a SharedRecorder,
+    sizer: Option<fn(&M) -> usize>,
 }
 
 impl<M> Context<'_, M> {
@@ -74,22 +122,49 @@ impl<M> Context<'_, M> {
             link,
             l.from()
         );
+        let size = self.sizer.map_or(0, |f| f(&msg) as u64);
         self.stats.offered += 1;
+        self.stats.bytes_offered += size;
+        let per_link = &mut self.stats.per_link[link.0 as usize];
+        per_link.offered += 1;
+        per_link.bytes_offered += size;
         match l.offer(self.now, self.rng) {
             SendOutcome::Scheduled(at) => {
-                let delivery = Delivery { to: HostId(l.to()), from: self.self_id, msg };
+                let delivery =
+                    Delivery { to: HostId(l.to()), from: self.self_id, link: Some(link), size, msg };
                 self.queue.push(at, delivery);
                 true
             }
             SendOutcome::Lost => {
                 self.stats.lost += 1;
+                per_link.lost += 1;
+                self.recorder.record(&Event::LinkDrop {
+                    link: link.0,
+                    from: l.from(),
+                    to: l.to(),
+                    reason: DropReason::Loss,
+                });
                 true
             }
             SendOutcome::CapacityExceeded => {
                 self.stats.capacity_drops += 1;
+                per_link.capacity_drops += 1;
+                self.recorder.record(&Event::LinkDrop {
+                    link: link.0,
+                    from: l.from(),
+                    to: l.to(),
+                    reason: DropReason::Capacity,
+                });
                 false
             }
         }
+    }
+
+    /// The telemetry handle (null unless installed on the world); actors
+    /// can record their own protocol events through it.
+    #[must_use]
+    pub fn recorder(&self) -> &SharedRecorder {
+        self.recorder
     }
 
     /// The world's RNG (for randomized actor decisions; deterministic under
@@ -102,6 +177,10 @@ impl<M> Context<'_, M> {
 struct Delivery<M> {
     to: HostId,
     from: HostId,
+    /// Link the packet travelled on (`None` for [`World::inject`]).
+    link: Option<LinkId>,
+    /// Byte size under the world's sizer at send time.
+    size: u64,
     msg: M,
 }
 
@@ -117,6 +196,8 @@ pub struct World<A, M> {
     queue: EventQueue<Delivery<M>>,
     rng: StdRng,
     stats: NetStats,
+    recorder: SharedRecorder,
+    sizer: Option<fn(&M) -> usize>,
 }
 
 impl<A: Actor<M>, M> World<A, M> {
@@ -130,7 +211,31 @@ impl<A: Actor<M>, M> World<A, M> {
             queue: EventQueue::new(),
             rng: StdRng::seed_from_u64(seed),
             stats: NetStats::default(),
+            recorder: SharedRecorder::null(),
+            sizer: None,
         }
+    }
+
+    /// Installs a telemetry recorder. [`World::tick`] drives the recorder's
+    /// manual clock with the simulated time, so every event recorded through
+    /// it — by the world (link drops) or by actors via
+    /// [`Context::recorder`] — is stamped in sim-ticks.
+    pub fn set_recorder(&mut self, recorder: SharedRecorder) {
+        recorder.set_time(self.time.ticks());
+        self.recorder = recorder;
+    }
+
+    /// The world's telemetry handle (null unless installed).
+    #[must_use]
+    pub fn recorder(&self) -> &SharedRecorder {
+        &self.recorder
+    }
+
+    /// Installs a message sizer used to maintain the byte counters in
+    /// [`NetStats`]. Without one, byte counters stay 0 (the message type
+    /// `M` is opaque to the world).
+    pub fn set_message_sizer(&mut self, sizer: fn(&M) -> usize) {
+        self.sizer = Some(sizer);
     }
 
     /// Current simulated time.
@@ -139,10 +244,10 @@ impl<A: Actor<M>, M> World<A, M> {
         self.time
     }
 
-    /// Traffic counters so far.
+    /// Traffic counters so far (aggregate + per-link breakdown).
     #[must_use]
     pub fn stats(&self) -> NetStats {
-        self.stats
+        self.stats.clone()
     }
 
     /// Number of hosts.
@@ -166,6 +271,7 @@ impl<A: Actor<M>, M> World<A, M> {
         assert!((from.0 as usize) < self.actors.len(), "unknown sender");
         assert!((to.0 as usize) < self.actors.len(), "unknown receiver");
         self.links.push(Link::new(from.0, to.0, config));
+        self.stats.per_link.push(LinkStats { from: from.0, to: to.0, ..LinkStats::default() });
         LinkId(self.links.len() as u32 - 1)
     }
 
@@ -201,11 +307,13 @@ impl<A: Actor<M>, M> World<A, M> {
     /// Injects a message directly into a host's mailbox at the current time
     /// (bypassing links) — bootstrap and fault-injection hook.
     pub fn inject(&mut self, to: HostId, from: HostId, msg: M) {
-        self.queue.push(self.time, Delivery { to, from, msg });
+        self.queue.push(self.time, Delivery { to, from, link: None, size: 0, msg });
     }
 
     /// Runs one tick: deliveries due now, then `on_tick` for every host.
     pub fn tick(&mut self) {
+        // Keep trace timestamps in lockstep with the simulation.
+        self.recorder.set_time(self.time.ticks());
         // Phase 1: deliver everything due at or before now.
         while let Some((_, d)) = self.queue.pop_due(self.time) {
             let idx = d.to.0 as usize;
@@ -213,6 +321,12 @@ impl<A: Actor<M>, M> World<A, M> {
                 continue; // host removed mid-flight; drop silently
             };
             self.stats.delivered += 1;
+            self.stats.bytes_delivered += d.size;
+            if let Some(link) = d.link {
+                let per_link = &mut self.stats.per_link[link.0 as usize];
+                per_link.delivered += 1;
+                per_link.bytes_delivered += d.size;
+            }
             let mut ctx = Context {
                 now: self.time,
                 self_id: d.to,
@@ -220,6 +334,8 @@ impl<A: Actor<M>, M> World<A, M> {
                 queue: &mut self.queue,
                 rng: &mut self.rng,
                 stats: &mut self.stats,
+                recorder: &self.recorder,
+                sizer: self.sizer,
             };
             actor.on_message(&mut ctx, d.from, d.msg);
             self.actors[idx] = Some(actor);
@@ -236,6 +352,8 @@ impl<A: Actor<M>, M> World<A, M> {
                 queue: &mut self.queue,
                 rng: &mut self.rng,
                 stats: &mut self.stats,
+                recorder: &self.recorder,
+                sizer: self.sizer,
             };
             actor.on_tick(&mut ctx);
             self.actors[idx] = Some(actor);
@@ -403,6 +521,70 @@ mod tests {
         let met = w.run_until(100, |w| w.now().ticks() >= 5);
         assert!(met);
         assert_eq!(w.now().ticks(), 5);
+    }
+
+    #[test]
+    fn per_link_and_byte_counters_track_traffic() {
+        let mut w: World<Echo, u64> = World::new(11);
+        let a = w.add_actor(Echo::new());
+        let b = w.add_actor(Echo::new());
+        let c = w.add_actor(Echo::new());
+        let ab = w.add_link(a, b, LinkConfig::reliable(1));
+        let ac = w.add_link(a, c, LinkConfig::reliable(2));
+        w.set_message_sizer(|_| 8);
+        w.actor_mut(a).out.push(ab);
+        w.actor_mut(a).out.push(ac);
+        w.inject(a, a, 0);
+        w.run_ticks(5);
+        let stats = w.stats();
+        assert_eq!(stats.offered, 2);
+        assert_eq!(stats.delivered, 3); // inject + two forwards
+        assert_eq!(stats.bytes_offered, 16);
+        assert_eq!(stats.bytes_delivered, 16); // inject carries no bytes
+        assert_eq!(stats.per_link.len(), 2);
+        assert_eq!(stats.per_link[ab.0 as usize].delivered, 1);
+        assert_eq!(stats.per_link[ab.0 as usize].bytes_delivered, 8);
+        assert_eq!(stats.per_link[ac.0 as usize].from, a.0);
+        assert_eq!(stats.per_link[ac.0 as usize].to, c.0);
+        assert_eq!(stats.dropped(), 0);
+    }
+
+    #[test]
+    fn recorder_sees_link_drops_with_sim_timestamps() {
+        use curtain_telemetry::{DropReason, Event, MemorySink, SharedRecorder};
+
+        struct Spammer {
+            link: Option<LinkId>,
+        }
+        impl Actor<u64> for Spammer {
+            fn on_message(&mut self, _: &mut Context<'_, u64>, _: HostId, _: u64) {}
+            fn on_tick(&mut self, ctx: &mut Context<'_, u64>) {
+                if let Some(l) = self.link {
+                    ctx.send(l, 1);
+                    ctx.send(l, 2); // over capacity 1 → drop
+                }
+            }
+        }
+        let mut w: World<Spammer, u64> = World::new(12);
+        let a = w.add_actor(Spammer { link: None });
+        let b = w.add_actor(Spammer { link: None });
+        let l = w.add_link(a, b, LinkConfig::reliable(1));
+        w.actor_mut(a).link = Some(l);
+        let sink = MemorySink::new();
+        w.set_recorder(SharedRecorder::new(sink.clone()));
+        w.run_ticks(3);
+        let events = sink.events();
+        assert_eq!(events.len(), 3, "one capacity drop per tick");
+        for (tick, (at, event)) in events.into_iter().enumerate() {
+            assert_eq!(at, tick as u64);
+            assert_eq!(event, Event::LinkDrop {
+                link: l.0,
+                from: a.0,
+                to: b.0,
+                reason: DropReason::Capacity,
+            });
+        }
+        assert_eq!(w.stats().per_link[l.0 as usize].capacity_drops, 3);
     }
 
     #[test]

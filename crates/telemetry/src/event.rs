@@ -1,0 +1,417 @@
+//! The structured protocol-lifecycle event and its JSONL schema.
+
+use crate::json::{self, JsonValue};
+
+/// Why the simulated link layer dropped a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Ergodic in-flight loss (iid or Gilbert–Elliott).
+    Loss,
+    /// The link was at its per-tick capacity when the packet was offered.
+    Capacity,
+}
+
+impl DropReason {
+    fn as_str(self) -> &'static str {
+        match self {
+            DropReason::Loss => "loss",
+            DropReason::Capacity => "capacity",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "loss" => Some(DropReason::Loss),
+            "capacity" => Some(DropReason::Capacity),
+            _ => None,
+        }
+    }
+}
+
+/// Which protocol removed the spliced row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpliceCause {
+    /// The good-bye protocol (graceful leave).
+    Leave,
+    /// The repair protocol (failure splice-out).
+    Repair,
+}
+
+impl SpliceCause {
+    fn as_str(self) -> &'static str {
+        match self {
+            SpliceCause::Leave => "leave",
+            SpliceCause::Repair => "repair",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "leave" => Some(SpliceCause::Leave),
+            "repair" => Some(SpliceCause::Repair),
+            _ => None,
+        }
+    }
+}
+
+/// One protocol-lifecycle event.
+///
+/// Timestamps are *not* part of the event; the [`crate::SharedRecorder`]
+/// stamps each record with its clock (sim-ticks in the simulator,
+/// wall-clock milliseconds over real sockets) when it is recorded.
+///
+/// The JSONL wire form is one flat object per line:
+/// `{"t":<stamp>,"ev":"<kind>",...fields}` — see [`Event::write_jsonl`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A node completed the hello protocol and was inserted into `M`.
+    Hello {
+        /// The new node's id.
+        node: u64,
+        /// Row position assigned in the matrix.
+        position: u64,
+        /// Number of threads the node clipped (its in-degree `d`).
+        degree: u32,
+    },
+    /// A node ran the good-bye protocol (graceful leave).
+    GoodBye {
+        /// The departing node.
+        node: u64,
+    },
+    /// Children complained about a dead parent; the server tagged the row.
+    Complain {
+        /// The node reported as failed.
+        node: u64,
+        /// Distinct complaining children.
+        complaints: u32,
+    },
+    /// A row was spliced out of the matrix (leave or repair), redirecting
+    /// each parent to the corresponding child.
+    Splice {
+        /// The node spliced out.
+        node: u64,
+        /// Number of per-thread redirections in the plan.
+        redirects: u32,
+        /// Which protocol caused the splice.
+        cause: SpliceCause,
+    },
+    /// The repair protocol finished for a previously failed node.
+    RepairComplete {
+        /// The repaired (now removed) node.
+        node: u64,
+    },
+    /// The number of *failed* holders of one thread changed.
+    ///
+    /// Accumulating the deltas per thread replays the failed-holder count
+    /// over time — the event-sourced face of the §4 defect process (a
+    /// thread with failed holders is exactly what makes tuples defective).
+    ThreadDefect {
+        /// The thread whose failed-holder count changed.
+        thread: u32,
+        /// `+1` when a holder fails (or joins failed), `-1` on repair.
+        delta: i64,
+    },
+    /// A measured sample of the paper's total defect `B` over `A` tuples.
+    ///
+    /// Emitted by experiments that compute `curtain-overlay`'s defect
+    /// exactly or by sampling; `defect / tuples` is the `E[B]/A` ratio of
+    /// Theorem 4.
+    DefectSample {
+        /// Total defect `B = Σ j·B_j` over the inspected tuples.
+        defect: u64,
+        /// Number of tuples inspected (`A = C(k,d)` when exact).
+        tuples: u64,
+    },
+    /// A received coded packet increased a decoder/recoder's rank.
+    PacketInnovative {
+        /// Label of the receiving node (host index or overlay id).
+        node: u64,
+        /// Generation the packet belongs to.
+        generation: u32,
+        /// Rank after insertion.
+        rank: u32,
+    },
+    /// A received coded packet was linearly dependent on earlier ones.
+    PacketRedundant {
+        /// Label of the receiving node (host index or overlay id).
+        node: u64,
+        /// Generation the packet belongs to.
+        generation: u32,
+    },
+    /// The simulated link layer dropped an offered packet.
+    LinkDrop {
+        /// Link id within the world.
+        link: u32,
+        /// Sending host.
+        from: u32,
+        /// Receiving host.
+        to: u32,
+        /// Loss or capacity.
+        reason: DropReason,
+    },
+    /// A peer connected (TCP data/control plane or session start).
+    PeerConnect {
+        /// The peer's id.
+        peer: u64,
+    },
+    /// A peer disconnected (leave, crash detection, or session end).
+    PeerDisconnect {
+        /// The peer's id.
+        peer: u64,
+    },
+}
+
+impl Event {
+    /// The snake_case kind tag used on the wire (`"ev"` field).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Hello { .. } => "hello",
+            Event::GoodBye { .. } => "good_bye",
+            Event::Complain { .. } => "complain",
+            Event::Splice { .. } => "splice",
+            Event::RepairComplete { .. } => "repair_complete",
+            Event::ThreadDefect { .. } => "thread_defect",
+            Event::DefectSample { .. } => "defect_sample",
+            Event::PacketInnovative { .. } => "packet_innovative",
+            Event::PacketRedundant { .. } => "packet_redundant",
+            Event::LinkDrop { .. } => "link_drop",
+            Event::PeerConnect { .. } => "peer_connect",
+            Event::PeerDisconnect { .. } => "peer_disconnect",
+        }
+    }
+
+    /// The overlay node (or peer) id this event is about, when it has
+    /// one — the correlation key for per-node trace queries like "show me
+    /// everything that happened to node 7".
+    #[must_use]
+    pub fn node(&self) -> Option<u64> {
+        match self {
+            Event::Hello { node, .. }
+            | Event::GoodBye { node }
+            | Event::Complain { node, .. }
+            | Event::Splice { node, .. }
+            | Event::RepairComplete { node }
+            | Event::PacketInnovative { node, .. }
+            | Event::PacketRedundant { node, .. } => Some(*node),
+            Event::PeerConnect { peer } | Event::PeerDisconnect { peer } => Some(*peer),
+            Event::ThreadDefect { .. } | Event::DefectSample { .. } | Event::LinkDrop { .. } => {
+                None
+            }
+        }
+    }
+
+    /// Appends the JSONL form `{"t":at,"ev":"kind",...}` (no trailing
+    /// newline) to `out`.
+    pub fn write_jsonl(&self, at: u64, out: &mut String) {
+        out.push_str("{\"t\":");
+        out.push_str(&at.to_string());
+        out.push_str(",\"ev\":\"");
+        out.push_str(self.kind());
+        out.push('"');
+        let mut field = |name: &str, value: &str| {
+            out.push_str(",\"");
+            out.push_str(name);
+            out.push_str("\":");
+            out.push_str(value);
+        };
+        match self {
+            Event::Hello { node, position, degree } => {
+                field("node", &node.to_string());
+                field("position", &position.to_string());
+                field("degree", &degree.to_string());
+            }
+            Event::GoodBye { node } => field("node", &node.to_string()),
+            Event::Complain { node, complaints } => {
+                field("node", &node.to_string());
+                field("complaints", &complaints.to_string());
+            }
+            Event::Splice { node, redirects, cause } => {
+                field("node", &node.to_string());
+                field("redirects", &redirects.to_string());
+                field("cause", &format!("\"{}\"", cause.as_str()));
+            }
+            Event::RepairComplete { node } => field("node", &node.to_string()),
+            Event::ThreadDefect { thread, delta } => {
+                field("thread", &thread.to_string());
+                field("delta", &delta.to_string());
+            }
+            Event::DefectSample { defect, tuples } => {
+                field("defect", &defect.to_string());
+                field("tuples", &tuples.to_string());
+            }
+            Event::PacketInnovative { node, generation, rank } => {
+                field("node", &node.to_string());
+                field("generation", &generation.to_string());
+                field("rank", &rank.to_string());
+            }
+            Event::PacketRedundant { node, generation } => {
+                field("node", &node.to_string());
+                field("generation", &generation.to_string());
+            }
+            Event::LinkDrop { link, from, to, reason } => {
+                field("link", &link.to_string());
+                field("from", &from.to_string());
+                field("to", &to.to_string());
+                field("reason", &format!("\"{}\"", reason.as_str()));
+            }
+            Event::PeerConnect { peer } => field("peer", &peer.to_string()),
+            Event::PeerDisconnect { peer } => field("peer", &peer.to_string()),
+        }
+        out.push('}');
+    }
+
+    /// Parses one JSONL line back into `(timestamp, Event)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed lines or unknown
+    /// event kinds (traces written by newer versions).
+    pub fn parse_jsonl(line: &str) -> Result<(u64, Event), String> {
+        let fields = json::parse_flat_object(line)?;
+        let at = fields.u64("t")?;
+        let kind = fields.str("ev")?;
+        let event = match kind {
+            "hello" => Event::Hello {
+                node: fields.u64("node")?,
+                position: fields.u64("position")?,
+                degree: fields.u32("degree")?,
+            },
+            "good_bye" => Event::GoodBye { node: fields.u64("node")? },
+            "complain" => Event::Complain {
+                node: fields.u64("node")?,
+                complaints: fields.u32("complaints")?,
+            },
+            "splice" => Event::Splice {
+                node: fields.u64("node")?,
+                redirects: fields.u32("redirects")?,
+                cause: SpliceCause::parse(fields.str("cause")?)
+                    .ok_or_else(|| format!("unknown splice cause in {line:?}"))?,
+            },
+            "repair_complete" => Event::RepairComplete { node: fields.u64("node")? },
+            "thread_defect" => Event::ThreadDefect {
+                thread: fields.u32("thread")?,
+                delta: fields.i64("delta")?,
+            },
+            "defect_sample" => Event::DefectSample {
+                defect: fields.u64("defect")?,
+                tuples: fields.u64("tuples")?,
+            },
+            "packet_innovative" => Event::PacketInnovative {
+                node: fields.u64("node")?,
+                generation: fields.u32("generation")?,
+                rank: fields.u32("rank")?,
+            },
+            "packet_redundant" => Event::PacketRedundant {
+                node: fields.u64("node")?,
+                generation: fields.u32("generation")?,
+            },
+            "link_drop" => Event::LinkDrop {
+                link: fields.u32("link")?,
+                from: fields.u32("from")?,
+                to: fields.u32("to")?,
+                reason: DropReason::parse(fields.str("reason")?)
+                    .ok_or_else(|| format!("unknown drop reason in {line:?}"))?,
+            },
+            "peer_connect" => Event::PeerConnect { peer: fields.u64("peer")? },
+            "peer_disconnect" => Event::PeerDisconnect { peer: fields.u64("peer")? },
+            other => return Err(format!("unknown event kind {other:?}")),
+        };
+        Ok((at, event))
+    }
+}
+
+/// Typed field access over a parsed flat object.
+impl json::FlatObject {
+    fn get(&self, key: &str) -> Result<&JsonValue, String> {
+        self.fields
+            .get(key)
+            .ok_or_else(|| format!("missing field {key:?}"))
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, String> {
+        match self.get(key)? {
+            JsonValue::Int(i) if *i >= 0 => Ok(*i as u64),
+            v => Err(format!("field {key:?} is not a u64: {v:?}")),
+        }
+    }
+
+    fn u32(&self, key: &str) -> Result<u32, String> {
+        u32::try_from(self.u64(key)?).map_err(|_| format!("field {key:?} overflows u32"))
+    }
+
+    fn i64(&self, key: &str) -> Result<i64, String> {
+        match self.get(key)? {
+            JsonValue::Int(i) => Ok(*i),
+            v => Err(format!("field {key:?} is not an i64: {v:?}")),
+        }
+    }
+
+    fn str(&self, key: &str) -> Result<&str, String> {
+        match self.get(key)? {
+            JsonValue::Str(s) => Ok(s),
+            v => Err(format!("field {key:?} is not a string: {v:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_events() -> Vec<Event> {
+        vec![
+            Event::Hello { node: 1, position: 0, degree: 2 },
+            Event::GoodBye { node: 2 },
+            Event::Complain { node: 3, complaints: 2 },
+            Event::Splice { node: 3, redirects: 2, cause: SpliceCause::Repair },
+            Event::Splice { node: 4, redirects: 3, cause: SpliceCause::Leave },
+            Event::RepairComplete { node: 3 },
+            Event::ThreadDefect { thread: 5, delta: -1 },
+            Event::DefectSample { defect: 12, tuples: 66 },
+            Event::PacketInnovative { node: 9, generation: 1, rank: 4 },
+            Event::PacketRedundant { node: 9, generation: 1 },
+            Event::LinkDrop { link: 7, from: 0, to: 4, reason: DropReason::Loss },
+            Event::LinkDrop { link: 8, from: 1, to: 5, reason: DropReason::Capacity },
+            Event::PeerConnect { peer: 11 },
+            Event::PeerDisconnect { peer: 11 },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_variant() {
+        for (i, event) in all_events().into_iter().enumerate() {
+            let mut line = String::new();
+            event.write_jsonl(i as u64 * 10, &mut line);
+            let (at, back) = Event::parse_jsonl(&line).expect(&line);
+            assert_eq!(at, i as u64 * 10);
+            assert_eq!(back, event, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn wire_form_is_stable() {
+        let mut line = String::new();
+        Event::Hello { node: 7, position: 3, degree: 2 }.write_jsonl(42, &mut line);
+        assert_eq!(line, r#"{"t":42,"ev":"hello","node":7,"position":3,"degree":2}"#);
+        let mut line = String::new();
+        Event::ThreadDefect { thread: 1, delta: -1 }.write_jsonl(9, &mut line);
+        assert_eq!(line, r#"{"t":9,"ev":"thread_defect","thread":1,"delta":-1}"#);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Event::parse_jsonl("not json").is_err());
+        assert!(Event::parse_jsonl(r#"{"t":1,"ev":"wat"}"#).is_err());
+        assert!(Event::parse_jsonl(r#"{"t":1,"ev":"hello"}"#).is_err(), "missing fields");
+        assert!(Event::parse_jsonl(r#"{"ev":"good_bye","node":1}"#).is_err(), "missing t");
+    }
+
+    #[test]
+    fn negative_delta_round_trips() {
+        let mut line = String::new();
+        Event::ThreadDefect { thread: 0, delta: -123 }.write_jsonl(0, &mut line);
+        let (_, e) = Event::parse_jsonl(&line).unwrap();
+        assert_eq!(e, Event::ThreadDefect { thread: 0, delta: -123 });
+    }
+}

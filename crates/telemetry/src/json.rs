@@ -1,0 +1,278 @@
+//! A deliberately tiny JSON subset: flat objects of ints, floats, strings
+//! and bools — exactly what the trace schema and metrics snapshots use.
+//!
+//! Hand-rolled so the telemetry crate stays dependency-free; this is *not*
+//! a general JSON parser (no nesting, no arrays) and is only promised to
+//! round-trip what this crate itself writes.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON scalar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// An integer (no fraction or exponent in the source text).
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// `true` or `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+/// A parsed flat JSON object (string keys, scalar values).
+#[derive(Debug, Clone, Default)]
+pub struct FlatObject {
+    /// Field map; insertion order is irrelevant to the schema.
+    pub fields: BTreeMap<String, JsonValue>,
+}
+
+/// Appends `s` as a JSON string literal (with quotes) to `out`.
+pub fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends an `f64` in JSON form (`null` for non-finite values).
+pub fn write_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        let s = format!("{v}");
+        out.push_str(&s);
+        // `{}` prints integral floats without a dot; keep them floats on
+        // the wire so round-tripping preserves the type.
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Parses one flat JSON object, e.g. `{"t":3,"ev":"hello","node":1}`.
+///
+/// # Errors
+///
+/// Returns a human-readable message on any syntax error, nesting, or
+/// trailing garbage.
+pub fn parse_flat_object(input: &str) -> Result<FlatObject, String> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut fields = BTreeMap::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.parse_string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.parse_value()?;
+            fields.insert(key, value);
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(FlatObject { fields })
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!("expected {:?}, got {other:?}", want as char)),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.next().ok_or("truncated \\u escape")?;
+                            code = code * 16
+                                + (d as char).to_digit(16).ok_or("bad \\u escape")?;
+                        }
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Re-decode the UTF-8 sequence starting at b.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let end = (start + len).min(self.bytes.len());
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| "bad utf-8 in string")?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", JsonValue::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad keyword at byte {}", self.pos))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if float {
+            text.parse::<f64>()
+                .map(JsonValue::Float)
+                .map_err(|e| format!("bad number {text:?}: {e}"))
+        } else {
+            text.parse::<i64>()
+                .map(JsonValue::Int)
+                .map_err(|e| format!("bad number {text:?}: {e}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_mixed_flat_object() {
+        let obj =
+            parse_flat_object(r#"{"a":1,"b":-2,"c":"hi","d":true,"e":1.5,"f":null}"#).unwrap();
+        assert_eq!(obj.fields["a"], JsonValue::Int(1));
+        assert_eq!(obj.fields["b"], JsonValue::Int(-2));
+        assert_eq!(obj.fields["c"], JsonValue::Str("hi".into()));
+        assert_eq!(obj.fields["d"], JsonValue::Bool(true));
+        assert_eq!(obj.fields["e"], JsonValue::Float(1.5));
+        assert_eq!(obj.fields["f"], JsonValue::Null);
+    }
+
+    #[test]
+    fn parses_empty_object_and_whitespace() {
+        assert!(parse_flat_object("{}").unwrap().fields.is_empty());
+        let obj = parse_flat_object(" { \"k\" : 7 } ").unwrap();
+        assert_eq!(obj.fields["k"], JsonValue::Int(7));
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        let nasty = "a\"b\\c\nd\te\u{1}f→g";
+        let mut line = String::from("{");
+        write_escaped("k", &mut line);
+        line.push(':');
+        write_escaped(nasty, &mut line);
+        line.push('}');
+        let obj = parse_flat_object(&line).unwrap();
+        assert_eq!(obj.fields["k"], JsonValue::Str(nasty.into()));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_nesting() {
+        assert!(parse_flat_object(r#"{"a":1}x"#).is_err());
+        assert!(parse_flat_object(r#"{"a":{"b":1}}"#).is_err());
+        assert!(parse_flat_object(r#"{"a":[1]}"#).is_err());
+        assert!(parse_flat_object("").is_err());
+    }
+
+    #[test]
+    fn float_writer_marks_integral_floats() {
+        let mut s = String::new();
+        write_f64(3.0, &mut s);
+        assert_eq!(s, "3.0");
+        let mut s = String::new();
+        write_f64(f64::NAN, &mut s);
+        assert_eq!(s, "null");
+    }
+}

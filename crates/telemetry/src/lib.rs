@@ -1,0 +1,68 @@
+//! Observability for the curtain protocol: event traces and metrics.
+//!
+//! The paper's central claims (Theorem 4's defect drift, Theorem 5's
+//! collapse time, Lemma 1's splice invariance) are statements about *event
+//! sequences* — joins, leaves, failures, complaints, splices — not about
+//! end-of-run aggregates. This crate makes those sequences first-class:
+//!
+//! * [`Event`] — a structured protocol-lifecycle event (hello, good-bye,
+//!   complaint, splice, repair completion, per-thread defect deltas,
+//!   innovative/redundant packet receptions, link drops, TCP peer
+//!   connect/disconnect);
+//! * [`Recorder`] — the sink trait: events plus counter / gauge / histogram
+//!   primitives;
+//! * [`SharedRecorder`] — the cloneable handle every instrumented crate
+//!   threads through its types. It carries the trace clock: sim-ticks for
+//!   the simulator (driven by `World::tick`), wall-clock milliseconds for
+//!   the real-TCP layer;
+//! * [`JsonlSink`] — streams events as one JSON object per line to any
+//!   `Write`r (a file for the experiment binaries' `--trace` flag, a
+//!   `Vec<u8>` for tests) behind a single cheap mutex;
+//! * [`MemorySink`] — buffers events in memory for assertions;
+//! * [`MetricsRegistry`] — counters, gauges and log₂-bucket histograms,
+//!   snapshottable as JSON;
+//! * [`NullRecorder`] / [`SharedRecorder::null`] — the disabled state:
+//!   instrumented code pays one `Option`/flag check and nothing else;
+//! * [`replay`] — parses a JSONL trace back into `(timestamp, Event)`
+//!   pairs so experiments can be replayed and cross-checked offline.
+//!
+//! The crate is deliberately **dependency-free** (std only): JSON emission
+//! and parsing are small hand-rolled routines covering exactly the schema
+//! this crate writes, so instrumentation never drags serde or tokio into
+//! `curtain-gf`'s neighborhood.
+//!
+//! # Example
+//!
+//! ```
+//! use curtain_telemetry::{Event, JsonlSink, SharedRecorder, replay};
+//!
+//! let sink = JsonlSink::new(Vec::new());
+//! let recorder = SharedRecorder::new(sink.clone());
+//! recorder.set_time(42);
+//! recorder.record(&Event::Hello { node: 7, position: 0, degree: 2 });
+//! recorder.counter("joins", 1);
+//! recorder.flush().unwrap();
+//!
+//! let bytes = sink.bytes();
+//! let events = replay::read_trace(&bytes[..]).unwrap();
+//! assert_eq!(events.len(), 1);
+//! assert_eq!(events[0].at, 42);
+//! assert_eq!(events[0].event, Event::Hello { node: 7, position: 0, degree: 2 });
+//! assert_eq!(sink.metrics_snapshot().counters["joins"], 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod json;
+mod metrics;
+mod recorder;
+pub mod replay;
+mod sink;
+
+pub use event::{DropReason, Event, SpliceCause};
+pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use recorder::{NullRecorder, Recorder, SharedRecorder};
+pub use replay::TracedEvent;
+pub use sink::{JsonlSink, MemorySink};

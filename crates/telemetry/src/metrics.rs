@@ -1,0 +1,304 @@
+//! Counters, gauges and log₂-bucket histograms, snapshottable as JSON.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::json;
+
+const BUCKETS: usize = 64;
+
+#[derive(Debug)]
+struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    /// Bucket `i` counts values in `[2^(i-1), 2^i)`; bucket 0 is `< 1`.
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { count: 0, sum: 0.0, min: 0.0, max: 0.0, buckets: [0; BUCKETS] }
+    }
+}
+
+impl Histogram {
+    fn record(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+        self.buckets[bucket_index(value)] += 1;
+    }
+}
+
+fn bucket_index(value: f64) -> usize {
+    if value.is_nan() || value < 1.0 {
+        // Negative, NaN and sub-unit values all land in bucket 0.
+        0
+    } else {
+        let exp = value.log2().floor();
+        if exp >= (BUCKETS - 2) as f64 { BUCKETS - 1 } else { exp as usize + 1 }
+    }
+}
+
+/// Inclusive upper edge of bucket `i` (`1.0` for bucket 0, `2^i` above).
+fn bucket_upper_edge(i: usize) -> f64 {
+    if i == 0 { 1.0 } else { (i as f64).exp2() }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A thread-safe registry of named counters, gauges and histograms.
+///
+/// Cloning is cheap (an `Arc` bump) and clones share state, so a registry
+/// can live inside a sink while the experiment harness keeps a handle for
+/// the final snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named monotonic counter.
+    pub fn counter(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.counters.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                inner.counters.insert(name.to_owned(), delta);
+            }
+        }
+    }
+
+    /// Sets the named gauge to `value` (last write wins).
+    pub fn gauge(&self, name: &str, value: f64) {
+        self.inner.lock().unwrap().gauges.insert(name.to_owned(), value);
+    }
+
+    /// Records one observation into the named log₂-bucket histogram.
+    pub fn histogram(&self, name: &str, value: f64) {
+        self.inner
+            .lock()
+            .unwrap()
+            .histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(value);
+    }
+
+    /// Takes a consistent point-in-time snapshot of every metric.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().unwrap();
+        MetricsSnapshot {
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(name, h)| {
+                    (name.clone(), HistogramSnapshot {
+                        count: h.count,
+                        sum: h.sum,
+                        min: h.min,
+                        max: h.max,
+                        buckets: h.buckets.to_vec(),
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Frozen histogram state: totals plus the log₂ bucket counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation (0 if empty).
+    pub min: f64,
+    /// Largest observation (0 if empty).
+    pub max: f64,
+    /// `buckets[0]` counts values `< 1`; `buckets[i]` counts `[2^(i-1), 2^i)`.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, or 0 for an empty histogram.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 { 0.0 } else { self.sum / self.count as f64 }
+    }
+
+    /// Approximate `q`-quantile (`0.0..=1.0`) using bucket upper edges —
+    /// accurate to within the 2× bucket resolution, which is enough for
+    /// "p99 repair latency" style summaries.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_upper_edge(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+}
+
+/// A frozen view of a [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as a single JSON object, e.g.
+    /// `{"counters":{...},"gauges":{...},"histograms":{"x":{"count":3,...}}}`.
+    ///
+    /// Histogram buckets are emitted sparsely as `"b<i>":count` pairs to
+    /// keep empty histograms small.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_escaped(name, &mut out);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_escaped(name, &mut out);
+            out.push(':');
+            json::write_f64(*v, &mut out);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_escaped(name, &mut out);
+            out.push_str(":{\"count\":");
+            out.push_str(&h.count.to_string());
+            out.push_str(",\"sum\":");
+            json::write_f64(h.sum, &mut out);
+            out.push_str(",\"min\":");
+            json::write_f64(h.min, &mut out);
+            out.push_str(",\"max\":");
+            json::write_f64(h.max, &mut out);
+            for (b, &n) in h.buckets.iter().enumerate() {
+                if n > 0 {
+                    out.push_str(&format!(",\"b{b}\":{n}"));
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let m = MetricsRegistry::new();
+        m.counter("packets", 3);
+        m.counter("packets", 4);
+        m.gauge("rank", 1.0);
+        m.gauge("rank", 5.0);
+        let snap = m.snapshot();
+        assert_eq!(snap.counters["packets"], 7);
+        assert_eq!(snap.gauges["rank"], 5.0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = MetricsRegistry::new();
+        let m2 = m.clone();
+        m2.counter("x", 1);
+        assert_eq!(m.snapshot().counters["x"], 1);
+    }
+
+    #[test]
+    fn histogram_tracks_totals_and_quantiles() {
+        let m = MetricsRegistry::new();
+        for v in [0.5, 2.0, 3.0, 100.0] {
+            m.histogram("latency", v);
+        }
+        let snap = m.snapshot();
+        let h = &snap.histograms["latency"];
+        assert_eq!(h.count, 4);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 100.0);
+        assert!((h.mean() - 26.375).abs() < 1e-9);
+        // p50 lands in the [2,4) bucket → upper edge 4.
+        assert_eq!(h.quantile(0.5), 4.0);
+        assert_eq!(h.quantile(1.0), 100.0);
+        assert_eq!(HistogramSnapshot {
+            count: 0, sum: 0.0, min: 0.0, max: 0.0, buckets: vec![]
+        }.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn extreme_values_stay_in_range() {
+        assert_eq!(bucket_index(-5.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(f64::INFINITY), BUCKETS - 1);
+        assert_eq!(bucket_index(1e300), BUCKETS - 1);
+        assert_eq!(bucket_index(0.99), 0);
+        assert_eq!(bucket_index(1.0), 1);
+        assert_eq!(bucket_index(2.0), 2);
+    }
+
+    #[test]
+    fn snapshot_json_is_parseable_shape() {
+        let m = MetricsRegistry::new();
+        m.counter("a", 1);
+        m.gauge("g", 2.5);
+        m.histogram("h", 3.0);
+        let js = m.snapshot().to_json();
+        assert!(js.starts_with("{\"counters\":{"), "{js}");
+        assert!(js.contains("\"a\":1"), "{js}");
+        assert!(js.contains("\"g\":2.5"), "{js}");
+        assert!(js.contains("\"count\":1"), "{js}");
+        assert!(js.contains("\"b2\":1"), "{js}");
+    }
+}

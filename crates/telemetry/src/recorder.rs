@@ -1,0 +1,283 @@
+//! The [`Recorder`] trait, the zero-cost [`NullRecorder`], and the
+//! cloneable, clock-carrying [`SharedRecorder`] handle that instrumented
+//! crates thread through their types.
+
+use std::io;
+use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::event::Event;
+
+/// A sink for telemetry: structured events plus metric primitives.
+///
+/// Implementations must be cheap to call and internally synchronized —
+/// the real-TCP layer records from many threads at once. Every metric
+/// method has a no-op default so pure event sinks stay one method long.
+pub trait Recorder: Send + Sync {
+    /// Records one protocol event stamped at `at` (sim-ticks or unix ms,
+    /// depending on the [`SharedRecorder`]'s clock mode).
+    fn record(&self, at: u64, event: &Event);
+
+    /// Adds `delta` to a named monotonic counter.
+    fn counter(&self, name: &str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Sets a named gauge (last write wins).
+    fn gauge(&self, name: &str, value: f64) {
+        let _ = (name, value);
+    }
+
+    /// Records one observation into a named histogram.
+    fn histogram(&self, name: &str, value: f64) {
+        let _ = (name, value);
+    }
+
+    /// Flushes any buffered output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying writer's I/O error, if any.
+    fn flush(&self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A recorder that drops everything: the disabled state.
+///
+/// [`SharedRecorder::null`] does not even allocate this — it stores no
+/// recorder at all, so the disabled cost is a single `Option` check —
+/// but `NullRecorder` exists for code that wants a `&dyn Recorder`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn record(&self, _at: u64, _event: &Event) {}
+}
+
+/// How [`SharedRecorder::now`] produces timestamps.
+#[derive(Debug)]
+enum Clock {
+    /// Driven explicitly via [`SharedRecorder::set_time`] /
+    /// [`SharedRecorder::advance`] — the simulator sets this to its tick.
+    Manual(AtomicU64),
+    /// Milliseconds since the unix epoch, sampled at record time — used
+    /// by the real-TCP `curtain-net` layer.
+    Wall,
+}
+
+impl Clock {
+    fn now(&self) -> u64 {
+        match self {
+            Clock::Manual(t) => t.load(Ordering::Relaxed),
+            Clock::Wall => SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0),
+        }
+    }
+}
+
+/// The cloneable telemetry handle instrumented code holds.
+///
+/// A `SharedRecorder` is either *enabled* (wrapping an `Arc<dyn Recorder>`
+/// plus a clock) or *null* (the default): the null state stores nothing,
+/// so every `record`/`counter`/… call short-circuits on one `Option`
+/// check. Clones share the recorder and the clock, which is what lets the
+/// simulator stamp sim-ticks once in `World::tick` and have every actor's
+/// events carry them.
+#[derive(Debug, Clone, Default)]
+pub struct SharedRecorder {
+    inner: Option<Arc<Inner>>,
+}
+
+struct Inner {
+    recorder: Arc<dyn Recorder>,
+    clock: Clock,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner").field("clock", &self.clock).finish_non_exhaustive()
+    }
+}
+
+impl SharedRecorder {
+    /// Wraps `recorder` with a manual (sim-tick) clock starting at 0.
+    pub fn new(recorder: impl Recorder + 'static) -> Self {
+        Self::from_arc(Arc::new(recorder))
+    }
+
+    /// Wraps an already-shared recorder with a manual (sim-tick) clock.
+    #[must_use]
+    pub fn from_arc(recorder: Arc<dyn Recorder>) -> Self {
+        SharedRecorder {
+            inner: Some(Arc::new(Inner { recorder, clock: Clock::Manual(AtomicU64::new(0)) })),
+        }
+    }
+
+    /// Wraps `recorder` with a wall clock (unix milliseconds at record
+    /// time) — for the real-TCP layer, where there is no simulated tick.
+    pub fn wall_clock(recorder: impl Recorder + 'static) -> Self {
+        SharedRecorder {
+            inner: Some(Arc::new(Inner {
+                recorder: Arc::new(recorder),
+                clock: Clock::Wall,
+            })),
+        }
+    }
+
+    /// The disabled handle: records nothing, costs one `Option` check.
+    #[must_use]
+    pub fn null() -> Self {
+        SharedRecorder { inner: None }
+    }
+
+    /// `true` when a recorder is attached. Instrumented code can use this
+    /// to skip *constructing* expensive event payloads, not just sending
+    /// them.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Sets the manual clock to `t`. No-op when null or wall-clocked.
+    pub fn set_time(&self, t: u64) {
+        if let Some(inner) = &self.inner {
+            if let Clock::Manual(ticks) = &inner.clock {
+                ticks.store(t, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Advances the manual clock by `dt`. No-op when null or wall-clocked.
+    pub fn advance(&self, dt: u64) {
+        if let Some(inner) = &self.inner {
+            if let Clock::Manual(ticks) = &inner.clock {
+                ticks.fetch_add(dt, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Current timestamp under this handle's clock (0 when null).
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.clock.now())
+    }
+
+    /// Records `event` stamped with the current clock.
+    pub fn record(&self, event: &Event) {
+        if let Some(inner) = &self.inner {
+            inner.recorder.record(inner.clock.now(), event);
+        }
+    }
+
+    /// Records `event` with an explicit timestamp, bypassing the clock —
+    /// for replaying or backfilling.
+    pub fn record_at(&self, at: u64, event: &Event) {
+        if let Some(inner) = &self.inner {
+            inner.recorder.record(at, event);
+        }
+    }
+
+    /// Adds `delta` to a named counter.
+    pub fn counter(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            inner.recorder.counter(name, delta);
+        }
+    }
+
+    /// Sets a named gauge.
+    pub fn gauge(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.recorder.gauge(name, value);
+        }
+    }
+
+    /// Records one observation into a named histogram.
+    pub fn histogram(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.recorder.histogram(name, value);
+        }
+    }
+
+    /// Flushes the underlying recorder.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the recorder's I/O error, if any.
+    pub fn flush(&self) -> io::Result<()> {
+        match &self.inner {
+            Some(inner) => inner.recorder.flush(),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+
+    #[test]
+    fn null_handle_is_inert() {
+        let r = SharedRecorder::null();
+        assert!(!r.is_enabled());
+        r.set_time(99);
+        assert_eq!(r.now(), 0);
+        r.record(&Event::GoodBye { node: 1 });
+        r.counter("x", 1);
+        r.flush().unwrap();
+    }
+
+    #[test]
+    fn default_is_null() {
+        assert!(!SharedRecorder::default().is_enabled());
+    }
+
+    #[test]
+    fn manual_clock_stamps_events() {
+        let sink = MemorySink::new();
+        let r = SharedRecorder::new(sink.clone());
+        assert!(r.is_enabled());
+        r.record(&Event::PeerConnect { peer: 1 });
+        r.set_time(10);
+        r.advance(5);
+        r.record(&Event::PeerDisconnect { peer: 1 });
+        let events = sink.events();
+        assert_eq!(events[0], (0, Event::PeerConnect { peer: 1 }));
+        assert_eq!(events[1], (15, Event::PeerDisconnect { peer: 1 }));
+    }
+
+    #[test]
+    fn clones_share_the_clock() {
+        let sink = MemorySink::new();
+        let r = SharedRecorder::new(sink.clone());
+        let r2 = r.clone();
+        r.set_time(7);
+        r2.record(&Event::GoodBye { node: 2 });
+        assert_eq!(sink.events(), vec![(7, Event::GoodBye { node: 2 })]);
+    }
+
+    #[test]
+    fn record_at_bypasses_clock() {
+        let sink = MemorySink::new();
+        let r = SharedRecorder::new(sink.clone());
+        r.set_time(100);
+        r.record_at(3, &Event::GoodBye { node: 9 });
+        assert_eq!(sink.events(), vec![(3, Event::GoodBye { node: 9 })]);
+    }
+
+    #[test]
+    fn wall_clock_produces_nonzero_recent_stamp() {
+        let sink = MemorySink::new();
+        let r = SharedRecorder::wall_clock(sink.clone());
+        r.record(&Event::PeerConnect { peer: 4 });
+        let (at, _) = sink.events()[0];
+        // After 2020-01-01 in unix-ms terms.
+        assert!(at > 1_577_836_800_000, "wall stamp {at}");
+        // set_time must not panic on a wall clock.
+        r.set_time(0);
+    }
+}

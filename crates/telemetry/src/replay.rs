@@ -1,0 +1,76 @@
+//! Reading JSONL traces back into structured events.
+//!
+//! The experiment binaries write traces with `--trace <path>`; this module
+//! is the other half — `trace → Vec<TracedEvent>` — used by the bench
+//! layer's replay cross-checks and by offline analysis.
+
+use std::io::BufRead;
+
+use crate::event::Event;
+
+/// One parsed trace line: the recorder's timestamp plus the event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracedEvent {
+    /// Timestamp: sim-ticks (simulator traces) or unix ms (real-TCP).
+    pub at: u64,
+    /// The decoded event.
+    pub event: Event,
+}
+
+/// Parses a JSONL trace. Blank lines are skipped; any malformed line
+/// aborts with a message naming its line number.
+///
+/// # Errors
+///
+/// Returns a human-readable message on I/O failure or a malformed line.
+pub fn read_trace(reader: impl BufRead) -> Result<Vec<TracedEvent>, String> {
+    let mut events = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: read error: {e}", lineno + 1))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (at, event) =
+            Event::parse_jsonl(&line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        events.push(TracedEvent { at, event });
+    }
+    Ok(events)
+}
+
+/// Parses a trace already held in memory.
+///
+/// # Errors
+///
+/// Same conditions as [`read_trace`].
+pub fn parse_trace(text: &str) -> Result<Vec<TracedEvent>, String> {
+    read_trace(text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_lines_and_skips_blanks() {
+        let text = "\
+{\"t\":1,\"ev\":\"hello\",\"node\":0,\"position\":0,\"degree\":2}\n\
+\n\
+{\"t\":5,\"ev\":\"defect_sample\",\"defect\":3,\"tuples\":10}\n";
+        let events = parse_trace(text).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].at, 1);
+        assert_eq!(events[1].event, Event::DefectSample { defect: 3, tuples: 10 });
+    }
+
+    #[test]
+    fn names_the_bad_line() {
+        let text = "{\"t\":1,\"ev\":\"good_bye\",\"node\":0}\nnope\n";
+        let err = parse_trace(text).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn empty_trace_is_ok() {
+        assert!(parse_trace("").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,224 @@
+//! Concrete [`Recorder`] sinks: JSONL streaming and in-memory buffering.
+
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+
+use crate::event::Event;
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::recorder::Recorder;
+
+/// Streams events as one JSON object per line to any [`Write`]r, and
+/// routes metric calls into an embedded [`MetricsRegistry`].
+///
+/// The writer sits behind a single mutex; each event is formatted into a
+/// thread-local-ish scratch `String` *outside* the lock, so the critical
+/// section is one buffered `write_all`. Cloning is cheap and clones share
+/// the writer, which lets a test keep a handle to a `Vec<u8>` sink while
+/// the recorder owns another.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: Arc<Mutex<W>>,
+    metrics: MetricsRegistry,
+}
+
+impl<W: Write> Clone for JsonlSink<W> {
+    fn clone(&self) -> Self {
+        JsonlSink { writer: Arc::clone(&self.writer), metrics: self.metrics.clone() }
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps `writer`. For files, pass a `BufWriter` — each event is one
+    /// `write_all` call on this writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer: Arc::new(Mutex::new(writer)), metrics: MetricsRegistry::new() }
+    }
+
+    /// The embedded metrics registry (shared with all clones).
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Snapshots the embedded metrics.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Runs `f` with exclusive access to the underlying writer.
+    pub fn with_writer<T>(&self, f: impl FnOnce(&mut W) -> T) -> T {
+        f(&mut self.writer.lock().unwrap())
+    }
+}
+
+impl JsonlSink<Vec<u8>> {
+    /// Copies out the bytes written so far (for `Vec<u8>`-backed sinks).
+    #[must_use]
+    pub fn bytes(&self) -> Vec<u8> {
+        self.writer.lock().unwrap().clone()
+    }
+}
+
+impl<W: Write> JsonlSink<io::BufWriter<W>> {
+    /// Opens a buffered JSONL sink over `raw` (convenience for files).
+    pub fn buffered(raw: W) -> Self {
+        JsonlSink::new(io::BufWriter::new(raw))
+    }
+}
+
+impl<W: Write + Send> Recorder for JsonlSink<W> {
+    fn record(&self, at: u64, event: &Event) {
+        let mut line = String::with_capacity(96);
+        event.write_jsonl(at, &mut line);
+        line.push('\n');
+        let mut w = self.writer.lock().unwrap();
+        // Trace loss is preferable to killing a protocol thread mid-run;
+        // a later flush() surfaces the error to the harness.
+        let _ = w.write_all(line.as_bytes());
+    }
+
+    fn counter(&self, name: &str, delta: u64) {
+        self.metrics.counter(name, delta);
+    }
+
+    fn gauge(&self, name: &str, value: f64) {
+        self.metrics.gauge(name, value);
+    }
+
+    fn histogram(&self, name: &str, value: f64) {
+        self.metrics.histogram(name, value);
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        self.writer.lock().unwrap().flush()
+    }
+}
+
+/// Buffers `(timestamp, Event)` pairs in memory — the assertion sink for
+/// integration tests. Metric calls go to an embedded registry too.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    events: Arc<Mutex<Vec<(u64, Event)>>>,
+    metrics: MetricsRegistry,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies out the events recorded so far, in record order.
+    #[must_use]
+    pub fn events(&self) -> Vec<(u64, Event)> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// Drains and returns the recorded events.
+    #[must_use]
+    pub fn take(&self) -> Vec<(u64, Event)> {
+        std::mem::take(&mut self.events.lock().unwrap())
+    }
+
+    /// Number of events recorded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// `true` when no events have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The embedded metrics registry (shared with all clones).
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+}
+
+impl Recorder for MemorySink {
+    fn record(&self, at: u64, event: &Event) {
+        self.events.lock().unwrap().push((at, event.clone()));
+    }
+
+    fn counter(&self, name: &str, delta: u64) {
+        self.metrics.counter(name, delta);
+    }
+
+    fn gauge(&self, name: &str, value: f64) {
+        self.metrics.gauge(name, value);
+    }
+
+    fn histogram(&self, name: &str, value: f64) {
+        self.metrics.histogram(name, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::SharedRecorder;
+    use crate::replay;
+
+    #[test]
+    fn jsonl_sink_streams_lines() {
+        let sink = JsonlSink::new(Vec::new());
+        let r = SharedRecorder::new(sink.clone());
+        r.set_time(1);
+        r.record(&Event::Hello { node: 3, position: 0, degree: 2 });
+        r.set_time(2);
+        r.record(&Event::GoodBye { node: 3 });
+        r.flush().unwrap();
+
+        let bytes = sink.bytes();
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let events = replay::read_trace(&bytes[..]).unwrap();
+        assert_eq!(events[0].at, 1);
+        assert_eq!(events[1].event, Event::GoodBye { node: 3 });
+    }
+
+    #[test]
+    fn jsonl_sink_routes_metrics() {
+        let sink = JsonlSink::new(Vec::new());
+        let r = SharedRecorder::new(sink.clone());
+        r.counter("joins", 2);
+        r.gauge("defect", 0.25);
+        r.histogram("latency", 8.0);
+        let snap = sink.metrics_snapshot();
+        assert_eq!(snap.counters["joins"], 2);
+        assert_eq!(snap.gauges["defect"], 0.25);
+        assert_eq!(snap.histograms["latency"].count, 1);
+        // Metrics never hit the event stream.
+        assert!(sink.bytes().is_empty());
+    }
+
+    #[test]
+    fn memory_sink_collects_in_order() {
+        let sink = MemorySink::new();
+        let r = SharedRecorder::new(sink.clone());
+        for node in 0..5 {
+            r.set_time(node);
+            r.record(&Event::GoodBye { node });
+        }
+        assert_eq!(sink.len(), 5);
+        let events = sink.take();
+        assert_eq!(events[4], (4, Event::GoodBye { node: 4 }));
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn buffered_constructor_flushes_through() {
+        let sink = JsonlSink::buffered(Vec::new());
+        let r = SharedRecorder::new(sink.clone());
+        r.record(&Event::PeerConnect { peer: 1 });
+        r.flush().unwrap();
+        let n = sink.with_writer(|w| w.get_ref().len());
+        assert!(n > 0);
+    }
+}

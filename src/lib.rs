@@ -24,6 +24,7 @@
 //! | [`broadcast`] | `curtain-broadcast` | end-to-end sessions, strategies, attacks |
 //! | [`analysis`] | `curtain-analysis` | closed-form drift/bounds from the paper |
 //! | [`net`] | `curtain-net` | the protocol over real TCP sockets (coordinator, source, peers) |
+//! | [`telemetry`] | `curtain-telemetry` | event traces, metrics, JSONL sinks, replay |
 //!
 //! # Quickstart
 //!
@@ -58,3 +59,4 @@ pub use curtain_net as net;
 pub use curtain_overlay as overlay;
 pub use curtain_rlnc as rlnc;
 pub use curtain_simnet as simnet;
+pub use curtain_telemetry as telemetry;

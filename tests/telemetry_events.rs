@@ -1,0 +1,90 @@
+//! The telemetry layer must tell the repair story in protocol order: a
+//! failed node is complained about, then spliced out, then reported
+//! repaired — and the thread-defect deltas it caused must cancel once the
+//! repair lands.
+
+use coded_curtain::overlay::churn::{ChurnConfig, ChurnDriver};
+use coded_curtain::overlay::{CurtainNetwork, OverlayConfig};
+use coded_curtain::telemetry::{Event, MemorySink, SharedRecorder, SpliceCause};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs a seeded churn workload with a memory recorder attached and
+/// returns the event stream (in record order) plus the drained network.
+fn churned_trace(seed: u64, steps: u64) -> Vec<Event> {
+    let sink = MemorySink::new();
+    let mut net = CurtainNetwork::new(OverlayConfig::new(12, 2)).unwrap();
+    net.set_recorder(SharedRecorder::new(sink.clone()));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut driver = ChurnDriver::new(ChurnConfig {
+        join_prob: 0.6,
+        leave_prob: 0.2,
+        fail_prob: 0.15,
+        repair_delay: 5,
+    });
+    driver.run(&mut net, steps, &mut rng);
+    assert!(driver.stats().repairs > 0, "churn run produced no repairs");
+    // Drain outstanding failures so every complaint has its repair.
+    net.repair_all();
+    net.matrix().assert_invariants();
+    sink.events().into_iter().map(|(_, e)| e).collect()
+}
+
+#[test]
+fn complain_precedes_splice_precedes_repair_complete() {
+    let events = churned_trace(0xCAFE, 600);
+
+    // For every failed node, the three repair-path events must appear in
+    // protocol order.
+    let mut checked = 0;
+    for (i, event) in events.iter().enumerate() {
+        let Event::Complain { node, .. } = event else { continue };
+        let splice_at = events
+            .iter()
+            .position(|e| {
+                matches!(e, Event::Splice { node: n, cause: SpliceCause::Repair, .. } if n == node)
+            })
+            .unwrap_or_else(|| panic!("no repair splice for complained-about node {node}"));
+        let complete_at = events
+            .iter()
+            .position(|e| matches!(e, Event::RepairComplete { node: n } if n == node))
+            .unwrap_or_else(|| panic!("no repair_complete for complained-about node {node}"));
+        assert!(
+            i < splice_at && splice_at < complete_at,
+            "node {node}: complain@{i}, splice@{splice_at}, complete@{complete_at}"
+        );
+        checked += 1;
+    }
+    assert!(checked > 0, "no complaints in a churn run with repairs");
+}
+
+#[test]
+fn thread_defect_deltas_cancel_after_full_drain() {
+    let events = churned_trace(0xBEEF, 600);
+    let net_delta: i64 = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::ThreadDefect { delta, .. } => Some(*delta),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(net_delta, 0, "unmatched thread-defect deltas after repair_all");
+}
+
+#[test]
+fn lifecycle_events_balance_membership() {
+    let sink = MemorySink::new();
+    let mut net = CurtainNetwork::new(OverlayConfig::new(8, 2)).unwrap();
+    net.set_recorder(SharedRecorder::new(sink.clone()));
+    let mut rng = StdRng::seed_from_u64(7);
+    let ids: Vec<_> = (0..20).map(|_| net.join(&mut rng)).collect();
+    for id in &ids[..5] {
+        net.leave(*id).unwrap();
+    }
+    let events = sink.events();
+    let hellos = events.iter().filter(|(_, e)| matches!(e, Event::Hello { .. })).count();
+    let byes = events.iter().filter(|(_, e)| matches!(e, Event::GoodBye { .. })).count();
+    assert_eq!(hellos, 20);
+    assert_eq!(byes, 5);
+    assert_eq!(net.len(), hellos - byes);
+}
