@@ -1,0 +1,160 @@
+//! Shared command-line parsing for the experiment binaries.
+//!
+//! Every `e*` binary accepts the same small flag set; parsing it in one
+//! place means a new flag (like `--seed` or `--scale`) lands everywhere at
+//! once instead of growing another hand-rolled `while let` loop per
+//! binary. Misuse prints a usage message and exits with status 2 — an
+//! invocation error, not a panic.
+
+use std::path::PathBuf;
+
+use crate::runtime;
+use crate::trace::Trace;
+
+/// The flags shared by the experiment binaries.
+///
+/// | Flag | Meaning |
+/// |------|---------|
+/// | `--trace <path>` | stream telemetry events to a JSONL file |
+/// | `--seed <u64>` | override the experiment's base RNG seed |
+/// | `--scale <n≥1>` | override the `CURTAIN_SCALE` environment knob |
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExpArgs {
+    /// `--trace <path>`, if given.
+    pub trace_path: Option<PathBuf>,
+    /// `--seed <u64>`, if given.
+    pub seed: Option<u64>,
+    /// `--scale <u64>`, if given (≥ 1).
+    pub scale: Option<u64>,
+}
+
+impl ExpArgs {
+    /// Parses the process arguments; on misuse prints the error and usage
+    /// to stderr and exits with status 2.
+    #[must_use]
+    pub fn parse() -> Self {
+        match Self::try_parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(e) => {
+                eprintln!("error: {e}\n\n{}", Self::usage());
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an explicit argument list (testable form of
+    /// [`ExpArgs::parse`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending flag on a missing value, an
+    /// unparsable value, or an unknown flag.
+    pub fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut parsed = ExpArgs::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--trace" => {
+                    let path = args.next().ok_or("--trace requires a file path")?;
+                    parsed.trace_path = Some(PathBuf::from(path));
+                }
+                "--seed" => {
+                    let v = args.next().ok_or("--seed requires an integer")?;
+                    parsed.seed =
+                        Some(v.parse().map_err(|_| format!("--seed: not an integer: {v:?}"))?);
+                }
+                "--scale" => {
+                    let v = args.next().ok_or("--scale requires an integer >= 1")?;
+                    let scale: u64 =
+                        v.parse().map_err(|_| format!("--scale: not an integer: {v:?}"))?;
+                    if scale < 1 {
+                        return Err("--scale must be >= 1".into());
+                    }
+                    parsed.scale = Some(scale);
+                }
+                other => return Err(format!("unknown argument {other:?}")),
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// The usage text printed on misuse.
+    #[must_use]
+    pub fn usage() -> &'static str {
+        "usage: <experiment> [--trace <path>] [--seed <u64>] [--scale <n>]\n\
+         \n\
+         --trace <path>   stream telemetry events to a JSONL file\n\
+         --seed <u64>     override the experiment's base RNG seed\n\
+         --scale <n>      sample-count multiplier (overrides CURTAIN_SCALE)"
+    }
+
+    /// The effective scale: the `--scale` flag if given, else the
+    /// `CURTAIN_SCALE` environment knob (default 1).
+    #[must_use]
+    pub fn scale(&self) -> u64 {
+        self.scale.unwrap_or_else(runtime::scale)
+    }
+
+    /// The effective base seed: the `--seed` flag if given, else
+    /// `default`.
+    #[must_use]
+    pub fn seed_or(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+
+    /// Opens the trace handle: enabled when `--trace` was given, null
+    /// otherwise. On file-creation failure prints the error and exits
+    /// with status 2 (an invocation error, like an unwritable path).
+    #[must_use]
+    pub fn trace(&self) -> Trace {
+        match &self.trace_path {
+            None => Trace::default(),
+            Some(path) => match Trace::to_path(path) {
+                Ok(trace) => trace,
+                Err(e) => {
+                    eprintln!("error: cannot create trace file {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = ExpArgs::try_parse(strings(&[
+            "--trace", "out.jsonl", "--seed", "7", "--scale", "3",
+        ]))
+        .unwrap();
+        assert_eq!(a.trace_path, Some(PathBuf::from("out.jsonl")));
+        assert_eq!(a.seed_or(42), 7);
+        assert_eq!(a.scale(), 3);
+    }
+
+    #[test]
+    fn defaults_fall_through() {
+        let a = ExpArgs::try_parse(strings(&[])).unwrap();
+        assert_eq!(a.trace_path, None);
+        assert_eq!(a.seed_or(42), 42);
+        // Scale falls back to the environment knob (1 unless set).
+        if std::env::var("CURTAIN_SCALE").is_err() {
+            assert_eq!(a.scale(), 1);
+        }
+    }
+
+    #[test]
+    fn rejects_misuse_with_messages() {
+        assert!(ExpArgs::try_parse(strings(&["--trace"])).unwrap_err().contains("--trace"));
+        assert!(ExpArgs::try_parse(strings(&["--seed", "x"])).unwrap_err().contains("--seed"));
+        assert!(ExpArgs::try_parse(strings(&["--scale", "0"])).unwrap_err().contains("--scale"));
+        assert!(ExpArgs::try_parse(strings(&["--wat"])).unwrap_err().contains("--wat"));
+    }
+}

@@ -1,68 +1,28 @@
 //! E01 — Theorem 4: the steady-state total defect fraction `E[B]/A` stays
 //! at `(1+ε)·p·d`, independent of the network size.
 //!
-//! Protocol: run the §4 arrival process (each arrival failed w.p. `p`) and
-//! Monte-Carlo-estimate the defect fraction at several checkpoints; compare
-//! with `p·d` and with the exact drift root `a₁` from `curtain-analysis`.
+//! The measurement core lives in `curtain_bench::exp::e01` (shared with
+//! `curtain-lab`'s parallel sweeps); this binary iterates the printed
+//! tables of `EXPERIMENTS.md` over it.
 //!
 //! With `--trace <path>`, every checkpoint also emits a `DefectSample`
 //! telemetry event (timestamped by cumulative arrivals) to a JSONL file —
 //! `curtain_bench::trace::replay_defect` rebuilds the curve offline.
 
 use curtain_analysis::drift::DriftParams;
-use curtain_bench::{runtime, stats, table::Table, trace::Trace};
-use curtain_overlay::churn::grow_with_failures;
-use curtain_overlay::{defect, CurtainNetwork, OverlayConfig};
-use curtain_telemetry::{Event, SharedRecorder};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-#[allow(clippy::too_many_arguments)]
-fn measure(
-    k: usize,
-    d: usize,
-    p: f64,
-    n: usize,
-    seed: u64,
-    samples: u64,
-    trace: &SharedRecorder,
-    clock: &mut u64,
-) -> f64 {
-    // The defect is a drifting random process: average over independent
-    // instances and several checkpoints per instance.
-    let trials = 6;
-    let mut acc = Vec::new();
-    for t in 0..trials {
-        let mut rng = StdRng::seed_from_u64(seed + 1000 * t);
-        let mut net = CurtainNetwork::new(OverlayConfig::new(k, d)).expect("valid config");
-        grow_with_failures(&mut net, n, p, &mut rng);
-        *clock += n as u64;
-        for _ in 0..4 {
-            let step = n / 20 + 1;
-            grow_with_failures(&mut net, step, p, &mut rng);
-            *clock += step as u64;
-            let est = defect::sample(net.matrix(), d, samples, &mut rng);
-            acc.push(est.total_defect_fraction());
-            // Timestamp = cumulative arrivals, so the trace's defect curve
-            // is a function of the paper's "time" (arrival count).
-            trace.set_time(*clock);
-            trace.record(&Event::DefectSample {
-                defect: est.total_defect(),
-                tuples: est.inspected,
-            });
-        }
-    }
-    stats::mean(&acc)
-}
+use curtain_bench::args::ExpArgs;
+use curtain_bench::exp::e01;
+use curtain_bench::{runtime, table::Table};
 
 fn main() {
     runtime::banner(
         "E01 / Theorem 4",
         "steady-state defect E[B]/A <= (1+eps)*p*d, independent of N",
     );
-    let scale = runtime::scale();
+    let args = ExpArgs::parse();
+    let scale = args.scale();
     let samples = 300 * scale;
-    let trace = Trace::from_args();
+    let trace = args.trace();
     let recorder = trace.recorder();
     let mut clock = 0u64;
 
@@ -72,7 +32,9 @@ fn main() {
     for &d in &[2usize, 3, 4] {
         let k = 8 * d * d;
         for &p in &[0.005f64, 0.01, 0.02, 0.04] {
-            let measured = measure(k, d, p, 600, 42 + d as u64, samples, &recorder, &mut clock);
+            let params = e01::Params { k, d, p, n: 600, samples, trials: 6 };
+            let seed = args.seed_or(42) + d as u64;
+            let measured = e01::measure(&params, seed, &recorder, &mut clock);
             let a1 = DriftParams::new(p, d, k)
                 .theorem4_bound()
                 .map_or("-".to_string(), |a| format!("{a:.4}"));
@@ -93,7 +55,8 @@ fn main() {
     let t = Table::new(&["N", "measured B/A", "p*d"]);
     t.header();
     for &n in &[150usize, 300, 600, 1200, 2400] {
-        let measured = measure(32, 2, 0.02, n, 7, samples, &recorder, &mut clock);
+        let params = e01::Params { k: 32, d: 2, p: 0.02, n, samples, trials: 6 };
+        let measured = e01::measure(&params, args.seed_or(7), &recorder, &mut clock);
         t.row(&[
             n.to_string(),
             format!("{measured:.4}"),

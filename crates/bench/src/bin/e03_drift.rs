@@ -1,74 +1,42 @@
 //! E03 — Lemmas 6 & 7: the one-step defect drift.
 //!
-//! Protocol: small `k` so the defect `B` can be computed *exactly* over all
-//! `C(k,d)` tuples. Run the arrival process at a `p` high enough to visit a
-//! range of defect levels; record `(b, ΔB)` transitions; report measured
-//! conditional drift per `b`-bin against the analytic bound `f(b)`, and the
-//! worst observed `|ΔB|` against Lemma 6's cap `(d²/k)·A`.
+//! The measurement core lives in `curtain_bench::exp::e03` (shared with
+//! `curtain-lab`'s parallel sweeps); this binary reports the measured
+//! conditional drift per `b`-bin against the analytic bound `f(b)`, and
+//! the worst observed `|ΔB|` against Lemma 6's cap `(d²/k)·A`.
 //!
 //! With `--trace <path>`, the exact defect after every arrival is emitted
 //! as a `DefectSample` telemetry event to a JSONL file.
 
 use curtain_analysis::drift::DriftParams;
-use curtain_bench::{runtime, stats, table::Table, trace::Trace};
-use curtain_overlay::{defect, CurtainNetwork, OverlayConfig};
-use curtain_telemetry::Event;
-use rand::rngs::StdRng;
-use rand::{RngExt as _, SeedableRng};
+use curtain_bench::args::ExpArgs;
+use curtain_bench::exp::e03;
+use curtain_bench::{runtime, stats, table::Table};
 
 fn main() {
     runtime::banner(
         "E03 / Lemmas 6-7",
         "E[B'] - B <= f(B/A) per arrival; |B' - B| <= (d^2/k)*A always",
     );
-    let scale = runtime::scale();
+    let args = ExpArgs::parse();
+    let scale = args.scale();
     let (k, d, p) = (12usize, 2usize, 0.25f64);
-    let arrivals = 4000 * scale as usize;
-    let a = defect::binomial(k as u64, d as u64) as f64;
-    let params = DriftParams::new(p, d, k);
-    let trace = Trace::from_args();
-    let recorder = trace.recorder();
+    let params = e03::Params { k, d, p, arrivals: 4000 * scale as usize, bins: 10 };
+    let drift = DriftParams::new(p, d, k);
+    let trace = args.trace();
 
-    let mut rng = StdRng::seed_from_u64(3);
-    let mut net = CurtainNetwork::new(OverlayConfig::new(k, d)).expect("valid config");
-    let bins = 10usize;
-    let mut deltas: Vec<Vec<f64>> = vec![Vec::new(); bins];
-    let mut max_step: f64 = 0.0;
-    let mut before = defect::exact(net.matrix(), d).total_defect() as f64;
-
-    for arrival in 0..arrivals {
-        let b = before / a;
-        net.join_with_failure_prob(p, &mut rng);
-        let after = defect::exact(net.matrix(), d).total_defect() as f64;
-        // The exact per-arrival defect series, for offline replay.
-        recorder.set_time(arrival as u64 + 1);
-        recorder.record(&Event::DefectSample { defect: after as u64, tuples: a as u64 });
-        let delta = after - before;
-        max_step = max_step.max(delta.abs());
-        let bin = ((b * bins as f64) as usize).min(bins - 1);
-        deltas[bin].push(delta / a);
-        before = after;
-        // Restart when the process nears collapse so we keep sampling the
-        // interesting range (and the graph stays small).
-        if b > 0.85 || net.len() > 1500 {
-            net = CurtainNetwork::new(OverlayConfig::new(k, d)).expect("valid config");
-            // Re-seed some defect so mid-range bins fill quickly.
-            for _ in 0..rng.random_range(0..5) {
-                net.join_failed(&mut rng);
-            }
-            before = defect::exact(net.matrix(), d).total_defect() as f64;
-        }
-    }
+    let run = e03::run(&params, args.seed_or(3), &trace.recorder());
+    let a = run.tuples;
 
     let t = Table::new(&["b bin", "samples", "measured E[db]", "theory f(b)", "bound holds"]);
     t.header();
-    for (i, bin) in deltas.iter().enumerate() {
+    for (i, bin) in run.deltas.iter().enumerate() {
         if bin.is_empty() {
             continue;
         }
-        let b_mid = (i as f64 + 0.5) / bins as f64;
+        let b_mid = (i as f64 + 0.5) / params.bins as f64;
         let measured = stats::mean(bin);
-        let theory = params.f(b_mid);
+        let theory = drift.f(b_mid);
         // Statistical slack: the bound is on the expectation.
         let sem = stats::std_dev(bin) / (bin.len() as f64).sqrt();
         let holds = measured <= theory + 3.0 * sem + 1e-9;
@@ -83,9 +51,9 @@ fn main() {
     println!();
     println!(
         "Lemma 6 cap: max observed |dB| = {:.1}, bound (d^2/k)*A = {:.1}  ({})",
-        max_step,
+        run.max_step,
         d as f64 * d as f64 / k as f64 * a,
-        if max_step <= d as f64 * d as f64 / k as f64 * a + 1e-9 { "holds" } else { "VIOLATED" },
+        if run.max_step <= d as f64 * d as f64 / k as f64 * a + 1e-9 { "holds" } else { "VIOLATED" },
     );
     println!();
     println!("expected shape: measured drift is below f(b) everywhere; it is positive");

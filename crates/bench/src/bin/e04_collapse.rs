@@ -1,92 +1,34 @@
 //! E04 — Theorem 5: the time before collapse grows exponentially in `k/d³`.
 //!
-//! Two processes are measured:
+//! The measurement cores (`overlay_collapse_time`, `chain_collapse_time`)
+//! live in `curtain_bench::exp::e04`, shared with `curtain-lab`'s
+//! parallel sweeps; this binary runs the two printed sweeps:
 //!
-//! 1. The **full overlay process** at stress-level `p`: arrivals until all
-//!    `k` hanging threads are simultaneously dead (no newcomer can ever
-//!    receive anything — the paper's "no thread survives" absorbing state).
-//!    Thread liveness is one BFS over the live DAG per checkpoint.
-//! 2. The **scalar bound chain** (`curtain-analysis::defect_chain`), which
-//!    extends the sweep to `k` values the full process cannot reach.
+//! 1. the **full overlay process** at stress-level `p`, and
+//! 2. the **scalar bound chain**, which extends the sweep to `k` values
+//!    the full process cannot reach.
 //!
 //! With `--trace <path>`, the first trial of each `k` emits exact
 //! `DefectSample` events at every 8-arrival checkpoint — the raw material
 //! for `curtain_bench::trace::replay_defect`'s defect-over-time curve.
 
-use curtain_analysis::defect_chain::{DefectChain, StepModel};
-use curtain_analysis::drift::DriftParams;
-use curtain_bench::{runtime, stats, table::Table, trace::Trace};
-use curtain_overlay::{defect, CurtainNetwork, OverlayConfig, OverlayGraph};
-use curtain_telemetry::{Event, SharedRecorder};
+use curtain_bench::args::ExpArgs;
+use curtain_bench::exp::e04;
+use curtain_bench::{runtime, stats, table::Table};
+use curtain_telemetry::SharedRecorder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-
-/// True iff every hanging thread's bottom holder is unreachable from the
-/// server through working nodes.
-fn all_threads_dead(net: &CurtainNetwork) -> bool {
-    let graph = net.graph();
-    let depths = graph.depths();
-    (0..net.config().k).all(|t| {
-        let bottom = graph.bottom_of(t as u16);
-        bottom != OverlayGraph::SERVER && depths[bottom].is_none()
-    })
-}
-
-/// Arrivals until full collapse (capped). When `trace` is enabled, every
-/// 8-arrival checkpoint emits an exact `DefectSample` (timestamped by
-/// `clock` + local arrivals, so stitched trials stay monotone).
-fn overlay_collapse_time(
-    k: usize,
-    d: usize,
-    p: f64,
-    cap: usize,
-    seed: u64,
-    trace: &SharedRecorder,
-    clock: &mut u64,
-) -> Option<usize> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut net = CurtainNetwork::new(OverlayConfig::new(k, d)).expect("valid config");
-    let mut outcome = None;
-    for t in 1..=cap {
-        net.join_with_failure_prob(p, &mut rng);
-        if t % 8 == 0 {
-            if trace.is_enabled() {
-                let counts = defect::exact(net.matrix(), d);
-                trace.set_time(*clock + t as u64);
-                trace.record(&Event::DefectSample {
-                    defect: counts.total_defect(),
-                    tuples: counts.inspected,
-                });
-            }
-            if all_threads_dead(&net) {
-                outcome = Some(t);
-                break;
-            }
-        }
-    }
-    *clock += outcome.unwrap_or(cap) as u64;
-    outcome
-}
-
-/// Least-squares slope of y on x.
-fn slope(points: &[(f64, f64)]) -> f64 {
-    let n = points.len() as f64;
-    let sx: f64 = points.iter().map(|p| p.0).sum();
-    let sy: f64 = points.iter().map(|p| p.1).sum();
-    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
-    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
-    (n * sxy - sx * sy) / (n * sxx - sx * sx)
-}
 
 fn main() {
     runtime::banner(
         "E04 / Theorem 5",
         "expected arrivals before collapse >= (1/xi1)*exp(xi2*k/d^3)",
     );
-    let scale = runtime::scale();
+    let args = ExpArgs::parse();
+    let scale = args.scale();
     let trials = 12 * scale as usize;
     let (d, p) = (2usize, 0.36f64);
-    let trace = Trace::from_args();
+    let trace = args.trace();
     // Tracing every trial would interleave independent collapse runs;
     // trace only the first trial per k (timestamps stay monotone via the
     // shared arrival clock).
@@ -102,7 +44,8 @@ fn main() {
         let times: Vec<f64> = (0..trials)
             .filter_map(|i| {
                 let tr = if i == 0 { recorder.clone() } else { SharedRecorder::null() };
-                overlay_collapse_time(k, d, p, cap, 100 + i as u64, &tr, &mut clock)
+                let seed = args.seed_or(100) + i as u64;
+                e04::overlay_collapse_time(k, d, p, cap, seed, &tr, &mut clock)
             })
             .map(|t| t as f64)
             .collect();
@@ -125,7 +68,7 @@ fn main() {
     }
     println!(
         "least-squares slope of ln(T) vs k/d^3: {:.2} (positive => exponential growth)",
-        slope(&fit)
+        stats::slope(&fit)
     );
 
     println!();
@@ -135,15 +78,11 @@ fn main() {
     let chain_trials = 20 * scale as usize;
     let mut fit: Vec<(f64, f64)> = Vec::new();
     for &k in &[6usize, 12, 24, 48, 96] {
-        let params = DriftParams { p: 0.15, d, k };
-        let mut rng = StdRng::seed_from_u64(k as u64);
+        let params =
+            e04::ChainParams { k, d, p: 0.15, threshold: 0.7, max_steps: 200_000_000 };
+        let mut rng = StdRng::seed_from_u64(args.seed_or(k as u64));
         let times: Vec<f64> = (0..chain_trials)
-            .filter_map(|_| {
-                let mut chain = DefectChain::new(params, StepModel::Pessimistic);
-                chain
-                    .run_to_collapse(0.7, 200_000_000, &mut rng)
-                    .map(|t| t as f64)
-            })
+            .filter_map(|_| e04::chain_collapse_time(&params, &mut rng).map(|t| t as f64))
             .collect();
         let m = stats::mean(&times);
         t.row(&[
@@ -156,7 +95,7 @@ fn main() {
     }
     println!(
         "least-squares slope of ln(T) vs k/d^3: {:.2}",
-        slope(&fit)
+        stats::slope(&fit)
     );
     println!();
     println!("expected shape: ln(mean T) grows ~linearly in k/d^3 in both tables");

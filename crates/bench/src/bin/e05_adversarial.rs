@@ -1,47 +1,28 @@
 //! E05 — §5: coordinated adversarial failures vs iid random failures, and
 //! the random-row-insertion defense.
 //!
-//! Protocol: 40%-grown network, a flash crowd of colluders joins
-//! consecutively, the network keeps growing, then the colluders all fail at
-//! once. Compare survivor damage under append vs random-position insertion
-//! against the iid-random baseline, across adversary fractions.
+//! The measurement core lives in `curtain_bench::exp::e05` (shared with
+//! `curtain-lab`'s parallel sweeps): 40%-grown network, a flash crowd of
+//! colluders joins consecutively, the network keeps growing, then the
+//! colluders all fail at once. This binary compares survivor damage under
+//! append vs random-position insertion against the iid-random baseline,
+//! across adversary fractions.
 
+use curtain_bench::args::ExpArgs;
+use curtain_bench::exp::e05::{self, Scenario};
 use curtain_bench::{runtime, stats, table::Table};
-use curtain_overlay::adversary::{strike, Cohort};
-use curtain_overlay::{CurtainNetwork, InsertPolicy, NodeId, OverlayConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 const K: usize = 24;
 const D: usize = 3;
 const N: usize = 400;
-
-/// Scenario label plus per-trial loss / affected / disconnected series.
-type ScenarioRow = (String, Vec<f64>, Vec<f64>, Vec<f64>);
-
-fn flash_crowd(policy: InsertPolicy, frac: f64, seed: u64) -> (CurtainNetwork, Vec<NodeId>) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut net = CurtainNetwork::new(OverlayConfig::new(K, D).with_insert_policy(policy))
-        .expect("valid config");
-    let adversaries = (N as f64 * frac).round() as usize;
-    let before = (N - adversaries) / 2;
-    for _ in 0..before {
-        net.join(&mut rng);
-    }
-    let colluders: Vec<NodeId> = (0..adversaries).map(|_| net.join(&mut rng)).collect();
-    for _ in 0..(N - before - adversaries) {
-        net.join(&mut rng);
-    }
-    (net, colluders)
-}
 
 fn main() {
     runtime::banner(
         "E05 / adversarial failures",
         "with random row insertion, coordinated strikes == iid random failures",
     );
-    let scale = runtime::scale();
-    let trials = 10 * scale;
+    let args = ExpArgs::parse();
+    let trials = 10 * args.scale();
 
     let t = Table::new(&[
         "fraction",
@@ -52,41 +33,24 @@ fn main() {
     ]);
     t.header();
     for &frac in &[0.05f64, 0.10, 0.20] {
-        let mut rows: Vec<ScenarioRow> = vec![
-            ("flash+append".into(), vec![], vec![], vec![]),
-            ("flash+rand-insert".into(), vec![], vec![], vec![]),
-            ("iid random".into(), vec![], vec![], vec![]),
-        ];
-        for trial in 0..trials {
-            let seed = 1000 + trial;
-            // Scenario 0: append policy, colluders adjacent.
-            let (mut net, colluders) = flash_crowd(InsertPolicy::Append, frac, seed);
-            let r = strike(&mut net, &colluders);
-            rows[0].1.push(r.mean_loss);
-            rows[0].2.push(r.affected_fraction);
-            rows[0].3.push(r.disconnected_fraction);
-            // Scenario 1: random insertion scatters them.
-            let (mut net, colluders) = flash_crowd(InsertPolicy::RandomPosition, frac, seed);
-            let r = strike(&mut net, &colluders);
-            rows[1].1.push(r.mean_loss);
-            rows[1].2.push(r.affected_fraction);
-            rows[1].3.push(r.disconnected_fraction);
-            // Scenario 2: iid random cohort of the same size.
-            let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
-            let mut net = CurtainNetwork::new(OverlayConfig::new(K, D)).expect("valid config");
-            for _ in 0..N {
-                net.join(&mut rng);
+        let params = e05::Params { k: K, d: D, n: N, frac };
+        for scenario in Scenario::ALL {
+            let (mut loss, mut affected, mut disc) = (Vec::new(), Vec::new(), Vec::new());
+            for trial in 0..trials {
+                let seed = args.seed_or(1000) + trial;
+                let r = e05::strike_outcome(scenario, &params, seed);
+                loss.push(r.mean_loss);
+                affected.push(r.affected_fraction);
+                disc.push(r.disconnected_fraction);
             }
-            let cohort = Cohort::RandomFraction(frac).select(&net, &mut rng);
-            let r = strike(&mut net, &cohort);
-            rows[2].1.push(r.mean_loss);
-            rows[2].2.push(r.affected_fraction);
-            rows[2].3.push(r.disconnected_fraction);
-        }
-        for (name, loss, affected, disc) in rows {
+            let name = match scenario {
+                Scenario::FlashAppend => "flash+append",
+                Scenario::FlashRandomInsert => "flash+rand-insert",
+                Scenario::IidRandom => "iid random",
+            };
             t.row(&[
                 format!("{frac:.2}"),
-                name,
+                name.into(),
                 format!("{:.3} ± {:.3}", stats::mean(&loss), stats::std_dev(&loss)),
                 format!("{:.1}%", 100.0 * stats::mean(&affected)),
                 format!("{:.2}%", 100.0 * stats::mean(&disc)),

@@ -1,0 +1,65 @@
+//! E01 measurement core — Theorem 4's steady-state defect fraction.
+//!
+//! Runs the §4 arrival process (each arrival failed w.p. `p`) and
+//! Monte-Carlo-estimates the steady-state total defect fraction `E[B]/A`
+//! at several checkpoints across several independent instances.
+
+use curtain_overlay::churn::grow_with_failures;
+use curtain_overlay::{defect, CurtainNetwork, OverlayConfig};
+use curtain_telemetry::{Event, SharedRecorder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::stats;
+
+/// One E01 measurement cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Params {
+    /// Server threads.
+    pub k: usize,
+    /// Per-node degree.
+    pub d: usize,
+    /// Failure probability per arrival.
+    pub p: f64,
+    /// Arrivals before the first checkpoint (the network size).
+    pub n: usize,
+    /// Tuples sampled per defect estimate.
+    pub samples: u64,
+    /// Independent network instances averaged per cell.
+    pub trials: u64,
+}
+
+/// Mean total defect fraction `B/A` over `trials` independent instances
+/// and several checkpoints per instance.
+///
+/// Deterministic in `(params, seed)`. When `trace` is enabled, every
+/// checkpoint emits a `DefectSample` event timestamped by cumulative
+/// arrivals via `clock`, so stitched cells stay monotone in trace time.
+#[must_use]
+pub fn measure(params: &Params, seed: u64, trace: &SharedRecorder, clock: &mut u64) -> f64 {
+    let &Params { k, d, p, n, samples, trials } = params;
+    // The defect is a drifting random process: average over independent
+    // instances and several checkpoints per instance.
+    let mut acc = Vec::new();
+    for t in 0..trials {
+        let mut rng = StdRng::seed_from_u64(seed + 1000 * t);
+        let mut net = CurtainNetwork::new(OverlayConfig::new(k, d)).expect("valid config");
+        grow_with_failures(&mut net, n, p, &mut rng);
+        *clock += n as u64;
+        for _ in 0..4 {
+            let step = n / 20 + 1;
+            grow_with_failures(&mut net, step, p, &mut rng);
+            *clock += step as u64;
+            let est = defect::sample(net.matrix(), d, samples, &mut rng);
+            acc.push(est.total_defect_fraction());
+            // Timestamp = cumulative arrivals, so the trace's defect curve
+            // is a function of the paper's "time" (arrival count).
+            trace.set_time(*clock);
+            trace.record(&Event::DefectSample {
+                defect: est.total_defect(),
+                tuples: est.inspected,
+            });
+        }
+    }
+    stats::mean(&acc)
+}

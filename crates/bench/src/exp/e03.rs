@@ -1,0 +1,79 @@
+//! E03 measurement core — Lemmas 6 & 7's one-step defect drift.
+//!
+//! Small `k` so the defect `B` is computed *exactly* over all `C(k,d)`
+//! tuples. Runs the arrival process at a `p` high enough to visit a range
+//! of defect levels and records `(b, ΔB)` transitions binned by `b`.
+
+use curtain_overlay::{defect, CurtainNetwork, OverlayConfig};
+use curtain_telemetry::{Event, SharedRecorder};
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+
+/// One E03 measurement cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Params {
+    /// Server threads (small: the defect is computed exactly).
+    pub k: usize,
+    /// Per-node degree.
+    pub d: usize,
+    /// Failure probability per arrival (high: visit many defect levels).
+    pub p: f64,
+    /// Arrivals to record.
+    pub arrivals: usize,
+    /// Number of equal-width `b`-bins for the conditional drift.
+    pub bins: usize,
+}
+
+/// The recorded drift transitions of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftRun {
+    /// Per-`b`-bin observed one-step changes `ΔB/A` (bin `i` covers
+    /// `b ∈ [i/bins, (i+1)/bins)`).
+    pub deltas: Vec<Vec<f64>>,
+    /// Largest observed `|ΔB|` (unnormalized), for the Lemma 6 cap.
+    pub max_step: f64,
+    /// The tuple count `A = C(k, d)`.
+    pub tuples: f64,
+}
+
+/// Runs the arrival process and returns the binned drift observations.
+///
+/// Deterministic in `(params, seed)`. When `recorder` is enabled, the
+/// exact defect after every arrival is emitted as a `DefectSample` event
+/// timestamped by arrival count.
+#[must_use]
+pub fn run(params: &Params, seed: u64, recorder: &SharedRecorder) -> DriftRun {
+    let &Params { k, d, p, arrivals, bins } = params;
+    let a = defect::binomial(k as u64, d as u64) as f64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = CurtainNetwork::new(OverlayConfig::new(k, d)).expect("valid config");
+    let mut deltas: Vec<Vec<f64>> = vec![Vec::new(); bins];
+    let mut max_step: f64 = 0.0;
+    let mut before = defect::exact(net.matrix(), d).total_defect() as f64;
+
+    for arrival in 0..arrivals {
+        let b = before / a;
+        net.join_with_failure_prob(p, &mut rng);
+        let after = defect::exact(net.matrix(), d).total_defect() as f64;
+        // The exact per-arrival defect series, for offline replay.
+        recorder.set_time(arrival as u64 + 1);
+        recorder.record(&Event::DefectSample { defect: after as u64, tuples: a as u64 });
+        let delta = after - before;
+        max_step = max_step.max(delta.abs());
+        let bin = ((b * bins as f64) as usize).min(bins - 1);
+        deltas[bin].push(delta / a);
+        before = after;
+        // Restart when the process nears collapse so we keep sampling the
+        // interesting range (and the graph stays small).
+        if b > 0.85 || net.len() > 1500 {
+            net = CurtainNetwork::new(OverlayConfig::new(k, d)).expect("valid config");
+            // Re-seed some defect so mid-range bins fill quickly.
+            for _ in 0..rng.random_range(0..5) {
+                net.join_failed(&mut rng);
+            }
+            before = defect::exact(net.matrix(), d).total_defect() as f64;
+        }
+    }
+
+    DriftRun { deltas, max_step, tuples: a }
+}

@@ -1,0 +1,90 @@
+//! E04 measurement core — Theorem 5's time before collapse.
+//!
+//! Two processes:
+//!
+//! 1. the **full overlay process**: arrivals until all `k` hanging
+//!    threads are simultaneously dead (the paper's "no thread survives"
+//!    absorbing state), liveness checked by one BFS per checkpoint;
+//! 2. the **scalar bound chain** (`curtain-analysis::defect_chain`),
+//!    which extends the sweep to `k` values the full process cannot reach.
+
+use curtain_analysis::defect_chain::{DefectChain, StepModel};
+use curtain_analysis::drift::DriftParams;
+use curtain_overlay::{defect, CurtainNetwork, OverlayConfig, OverlayGraph};
+use curtain_telemetry::{Event, SharedRecorder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// True iff every hanging thread's bottom holder is unreachable from the
+/// server through working nodes.
+#[must_use]
+pub fn all_threads_dead(net: &CurtainNetwork) -> bool {
+    let graph = net.graph();
+    let depths = graph.depths();
+    (0..net.config().k).all(|t| {
+        let bottom = graph.bottom_of(t as u16);
+        bottom != OverlayGraph::SERVER && depths[bottom].is_none()
+    })
+}
+
+/// Arrivals until full collapse of the overlay process (`None` when
+/// censored at `cap`). When `trace` is enabled, every 8-arrival
+/// checkpoint emits an exact `DefectSample` (timestamped by `clock` +
+/// local arrivals, so stitched trials stay monotone).
+#[must_use]
+pub fn overlay_collapse_time(
+    k: usize,
+    d: usize,
+    p: f64,
+    cap: usize,
+    seed: u64,
+    trace: &SharedRecorder,
+    clock: &mut u64,
+) -> Option<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = CurtainNetwork::new(OverlayConfig::new(k, d)).expect("valid config");
+    let mut outcome = None;
+    for t in 1..=cap {
+        net.join_with_failure_prob(p, &mut rng);
+        if t % 8 == 0 {
+            if trace.is_enabled() {
+                let counts = defect::exact(net.matrix(), d);
+                trace.set_time(*clock + t as u64);
+                trace.record(&Event::DefectSample {
+                    defect: counts.total_defect(),
+                    tuples: counts.inspected,
+                });
+            }
+            if all_threads_dead(&net) {
+                outcome = Some(t);
+                break;
+            }
+        }
+    }
+    *clock += outcome.unwrap_or(cap) as u64;
+    outcome
+}
+
+/// One scalar bound-chain cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChainParams {
+    /// Server threads.
+    pub k: usize,
+    /// Per-node degree.
+    pub d: usize,
+    /// Failure probability per arrival.
+    pub p: f64,
+    /// Defect fraction counting as collapse.
+    pub threshold: f64,
+    /// Step cap (`None` result when the chain never crosses it).
+    pub max_steps: u64,
+}
+
+/// Steps until the scalar defect chain crosses `threshold` (`None` when
+/// censored at `max_steps`).
+#[must_use]
+pub fn chain_collapse_time<R: Rng + ?Sized>(params: &ChainParams, rng: &mut R) -> Option<u64> {
+    let drift = DriftParams { p: params.p, d: params.d, k: params.k };
+    let mut chain = DefectChain::new(drift, StepModel::Pessimistic);
+    chain.run_to_collapse(params.threshold, params.max_steps, rng)
+}

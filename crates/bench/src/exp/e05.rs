@@ -1,0 +1,119 @@
+//! E05 measurement core — §5's coordinated adversarial failures.
+//!
+//! A 40%-grown network, a flash crowd of colluders joining consecutively,
+//! further growth, then a simultaneous strike — compared under append vs
+//! random-position insertion, against an iid-random cohort baseline.
+
+use curtain_overlay::adversary::{strike, Cohort};
+use curtain_overlay::{CurtainNetwork, InsertPolicy, NodeId, OverlayConfig};
+pub use curtain_overlay::adversary::StrikeReport;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One E05 measurement cell (scenario aside).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Params {
+    /// Server threads.
+    pub k: usize,
+    /// Per-node degree.
+    pub d: usize,
+    /// Total arrivals.
+    pub n: usize,
+    /// Fraction of the network that colludes.
+    pub frac: f64,
+}
+
+/// Which failure scenario strikes the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Append insertion: the flash crowd sits adjacently (worst case).
+    FlashAppend,
+    /// Random-position insertion scatters the flash crowd (§5's fix).
+    FlashRandomInsert,
+    /// An iid random cohort of the same size (the baseline).
+    IidRandom,
+}
+
+impl Scenario {
+    /// All scenarios, in the tables' display order.
+    pub const ALL: [Scenario; 3] =
+        [Scenario::FlashAppend, Scenario::FlashRandomInsert, Scenario::IidRandom];
+
+    /// A stable snake_case label (used as a sweep parameter value).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Scenario::FlashAppend => "flash_append",
+            Scenario::FlashRandomInsert => "flash_rand_insert",
+            Scenario::IidRandom => "iid_random",
+        }
+    }
+
+    /// Parses a [`Scenario::label`] back.
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Self> {
+        Scenario::ALL.into_iter().find(|s| s.label() == label)
+    }
+}
+
+/// Grows a network with a consecutive flash crowd of colluders in the
+/// middle; returns the network and the colluding cohort.
+fn flash_crowd(
+    params: &Params,
+    policy: InsertPolicy,
+    seed: u64,
+) -> (CurtainNetwork, Vec<NodeId>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net =
+        CurtainNetwork::new(OverlayConfig::new(params.k, params.d).with_insert_policy(policy))
+            .expect("valid config");
+    let adversaries = (params.n as f64 * params.frac).round() as usize;
+    let before = (params.n - adversaries) / 2;
+    for _ in 0..before {
+        net.join(&mut rng);
+    }
+    let colluders: Vec<NodeId> = (0..adversaries).map(|_| net.join(&mut rng)).collect();
+    for _ in 0..(params.n - before - adversaries) {
+        net.join(&mut rng);
+    }
+    (net, colluders)
+}
+
+/// Builds the scenario's network, strikes the cohort, and reports the
+/// survivor damage. Deterministic in `(scenario, params, seed)`.
+#[must_use]
+pub fn strike_outcome(scenario: Scenario, params: &Params, seed: u64) -> StrikeReport {
+    match scenario {
+        Scenario::FlashAppend => {
+            let (mut net, colluders) = flash_crowd(params, InsertPolicy::Append, seed);
+            strike(&mut net, &colluders)
+        }
+        Scenario::FlashRandomInsert => {
+            let (mut net, colluders) = flash_crowd(params, InsertPolicy::RandomPosition, seed);
+            strike(&mut net, &colluders)
+        }
+        Scenario::IidRandom => {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+            let mut net = CurtainNetwork::new(OverlayConfig::new(params.k, params.d))
+                .expect("valid config");
+            for _ in 0..params.n {
+                net.join(&mut rng);
+            }
+            let cohort = Cohort::RandomFraction(params.frac).select(&net, &mut rng);
+            strike(&mut net, &cohort)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_labels_round_trip() {
+        for s in Scenario::ALL {
+            assert_eq!(Scenario::from_label(s.label()), Some(s));
+        }
+        assert_eq!(Scenario::from_label("wat"), None);
+    }
+}

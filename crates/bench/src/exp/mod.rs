@@ -1,0 +1,20 @@
+//! Measurement cores of the experiment binaries, hoisted to library level.
+//!
+//! Each submodule holds the typed parameters and the per-run measurement
+//! function of one experiment, so the same code is called from two places:
+//!
+//! * the thin `src/bin/e*.rs` binaries, which iterate a hard-coded grid
+//!   and print the plain-text tables of `EXPERIMENTS.md`;
+//! * `curtain-lab`, which sweeps the (parameter × seed) cell matrix in
+//!   parallel, caches per-cell results, and regression-checks the paper's
+//!   claims against the aggregated curves.
+//!
+//! Everything here is deterministic in its `seed` argument: a cell's
+//! result depends only on its parameters and seed, never on global state
+//! or scheduling — the property `curtain-lab` relies on for byte-identical
+//! reports at any `--jobs` count.
+
+pub mod e01;
+pub mod e03;
+pub mod e04;
+pub mod e05;

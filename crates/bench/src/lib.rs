@@ -9,13 +9,21 @@
 //! * [`runtime`] — the `CURTAIN_SCALE` environment knob: `1` (default)
 //!   finishes each experiment in seconds; larger values multiply sample
 //!   counts for tighter error bars;
-//! * [`trace`] — the `--trace <path>` flag: experiments that support it
-//!   stream `curtain-telemetry` events to a JSONL file, and
+//! * [`args`] — the shared `--trace` / `--seed` / `--scale` flag parser
+//!   (one place to add a flag for every binary at once);
+//! * [`trace`] — the `--trace <path>` flag's handle: experiments that
+//!   support it stream `curtain-telemetry` events to a JSONL file, and
 //!   [`trace::replay_defect`] reconstructs the defect-over-time curve from
-//!   such a file for offline cross-checks against `curtain-analysis`.
+//!   such a file for offline cross-checks against `curtain-analysis`;
+//! * [`exp`] — the hoisted measurement cores of e01/e03/e04/e05, called
+//!   both by the thin binaries and by `curtain-lab`'s parallel,
+//!   regression-gated sweeps.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod args;
+pub mod exp;
 
 /// Aligned plain-text tables.
 pub mod table {
@@ -104,6 +112,17 @@ pub mod stats {
         v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
         let rank = ((pct / 100.0) * (v.len() - 1) as f64).round() as usize;
         v[rank]
+    }
+
+    /// Least-squares slope of `y` on `x` (NaN for degenerate input).
+    #[must_use]
+    pub fn slope(points: &[(f64, f64)]) -> f64 {
+        let n = points.len() as f64;
+        let sx: f64 = points.iter().map(|p| p.0).sum();
+        let sy: f64 = points.iter().map(|p| p.1).sum();
+        let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+        (n * sxy - sx * sy) / (n * sxx - sx * sx)
     }
 }
 
@@ -284,6 +303,12 @@ mod tests {
     fn stats_edge_cases() {
         assert_eq!(stats::mean(&[]), 0.0);
         assert_eq!(stats::std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn slope_recovers_a_line() {
+        let pts: Vec<(f64, f64)> = (0..5).map(|i| (i as f64, 3.0 * i as f64 + 1.0)).collect();
+        assert!((stats::slope(&pts) - 3.0).abs() < 1e-12);
     }
 
     #[test]

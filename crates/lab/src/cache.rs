@@ -1,0 +1,159 @@
+//! Content-addressed on-disk result cache.
+//!
+//! Each cell's measurement lives in its own JSON file at
+//! `<root>/<exp>/<hex-cache-key>.json`, where the key hashes the full
+//! cell identity plus the experiment's code-salt (see
+//! [`Cell::cache_key`]). Interrupted or repeated sweeps therefore resume
+//! with hits for every cell already measured, and a code-salt bump
+//! orphans stale entries without touching other experiments.
+//!
+//! Writes go through a temp file + rename so a crash mid-write never
+//! leaves a half-entry that a resume would trust.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use curtain_telemetry::json::{parse_document, JsonValue};
+
+use crate::cell::{Cell, Measurement};
+use crate::grid::Params;
+
+/// A directory of per-cell measurement files.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    root: PathBuf,
+}
+
+impl Cache {
+    /// Opens (creating if needed) the cache rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(Cache { root })
+    }
+
+    /// The cache's root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn entry_path(&self, cell: &Cell, code_salt: &str) -> PathBuf {
+        self.root.join(&cell.exp).join(format!("{}.json", cell.cache_stem(code_salt)))
+    }
+
+    /// Loads the cached measurement for `cell`, if present and valid.
+    ///
+    /// The stored identity (experiment, seed, params, salt) is verified
+    /// against the cell before the entry is trusted, so a hash collision
+    /// or a hand-edited file degrades to a miss, never a wrong result.
+    #[must_use]
+    pub fn load(&self, cell: &Cell, code_salt: &str) -> Option<Measurement> {
+        let text = fs::read_to_string(self.entry_path(cell, code_salt)).ok()?;
+        let doc = parse_document(&text).ok()?;
+        let matches_identity = doc.get("exp").and_then(JsonValue::as_str) == Some(cell.exp.as_str())
+            && doc.get("salt").and_then(JsonValue::as_str) == Some(code_salt)
+            && doc.get("seed").and_then(JsonValue::as_u64) == Some(cell.seed)
+            && doc.get("params").and_then(Params::from_json).as_ref() == Some(&cell.params);
+        if !matches_identity {
+            return None;
+        }
+        doc.get("values").and_then(Measurement::from_json)
+    }
+
+    /// Stores `measurement` for `cell`, atomically.
+    pub fn store(
+        &self,
+        cell: &Cell,
+        code_salt: &str,
+        measurement: &Measurement,
+        wall_ms: f64,
+    ) -> std::io::Result<()> {
+        let path = self.entry_path(cell, code_salt);
+        let dir = path.parent().expect("entry path has a parent");
+        fs::create_dir_all(dir)?;
+
+        let mut entry = std::collections::BTreeMap::new();
+        entry.insert("exp".to_owned(), JsonValue::Str(cell.exp.clone()));
+        entry.insert("salt".to_owned(), JsonValue::Str(code_salt.to_owned()));
+        entry.insert("seed".to_owned(), JsonValue::Int(cell.seed as i64));
+        entry.insert("params".to_owned(), cell.params.to_json());
+        entry.insert("values".to_owned(), measurement.to_json());
+        entry.insert("wall_ms".to_owned(), JsonValue::Float(wall_ms));
+        let body = JsonValue::Object(entry).render_pretty();
+
+        // Unique temp name per (key, thread) so concurrent workers — which
+        // only ever race on *identical* content — can't corrupt each other.
+        let tmp = dir.join(format!(
+            ".{}.{:?}.tmp",
+            path.file_stem().and_then(|s| s.to_str()).unwrap_or("entry"),
+            std::thread::current().id(),
+        ));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(body.as_bytes())?;
+            f.write_all(b"\n")?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("curtain-lab-cache-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn cell() -> Cell {
+        Cell {
+            exp: "e01".into(),
+            params: Params::new().with("k", 32i64).with("p", 0.02),
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let root = scratch("round-trip");
+        let cache = Cache::open(&root).unwrap();
+        let m = Measurement::new().with("defect_fraction", 0.031);
+        assert_eq!(cache.load(&cell(), "v1"), None, "cold cache misses");
+        cache.store(&cell(), "v1", &m, 12.5).unwrap();
+        assert_eq!(cache.load(&cell(), "v1"), Some(m));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn salt_bump_and_identity_mismatch_are_misses() {
+        let root = scratch("salt");
+        let cache = Cache::open(&root).unwrap();
+        let m = Measurement::new().with("x", 1.0);
+        cache.store(&cell(), "v1", &m, 0.0).unwrap();
+        assert_eq!(cache.load(&cell(), "v2"), None, "new salt hashes elsewhere");
+
+        // Forge a collision: copy the v1 entry to where v2 would look.
+        let src = cache.entry_path(&cell(), "v1");
+        let dst = cache.entry_path(&cell(), "v2");
+        fs::copy(&src, &dst).unwrap();
+        assert_eq!(cache.load(&cell(), "v2"), None, "stored salt is verified");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_entries_degrade_to_misses() {
+        let root = scratch("corrupt");
+        let cache = Cache::open(&root).unwrap();
+        let path = cache.entry_path(&cell(), "v1");
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, "{not json").unwrap();
+        assert_eq!(cache.load(&cell(), "v1"), None);
+        let _ = fs::remove_dir_all(&root);
+    }
+}

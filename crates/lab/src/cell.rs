@@ -1,0 +1,182 @@
+//! Cells — the unit of execution, caching, and resumption.
+//!
+//! A [`Cell`] is one (experiment, parameter point, seed) triple; a
+//! [`Measurement`] is the named scalar metrics its run produced. The
+//! cell's identity hash (with the experiment's code-salt mixed in) is the
+//! content address of its cache entry.
+
+use std::collections::BTreeMap;
+
+use curtain_telemetry::json::JsonValue;
+
+use crate::grid::Params;
+
+/// One schedulable unit: a parameter point at one seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// The experiment id (`"e01"`).
+    pub exp: String,
+    /// The parameter point.
+    pub params: Params,
+    /// The cell's RNG seed.
+    pub seed: u64,
+}
+
+impl Cell {
+    /// The content address of this cell's cache entry: an FNV-1a hash of
+    /// the experiment id, the canonical parameter rendering, the seed,
+    /// and the experiment's code-salt. Any of the four changing moves the
+    /// cell to a different address, so stale entries are never *read* —
+    /// they are simply orphaned.
+    #[must_use]
+    pub fn cache_key(&self, code_salt: &str) -> u64 {
+        let mut h = Fnv1a::new();
+        h.update(self.exp.as_bytes());
+        h.update(&[0]);
+        h.update(self.params.canonical().as_bytes());
+        h.update(&[0]);
+        h.update(&self.seed.to_le_bytes());
+        h.update(&[0]);
+        h.update(code_salt.as_bytes());
+        h.finish()
+    }
+
+    /// The cache key as a fixed-width hex file stem.
+    #[must_use]
+    pub fn cache_stem(&self, code_salt: &str) -> String {
+        format!("{:016x}", self.cache_key(code_salt))
+    }
+}
+
+/// 64-bit FNV-1a — tiny, dependency-free, and stable across platforms;
+/// collisions are harmless because cache entries embed (and are verified
+/// against) the full cell identity on load.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Named scalar metrics produced by one cell run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Measurement {
+    values: BTreeMap<String, f64>,
+}
+
+impl Measurement {
+    /// An empty measurement.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style insertion.
+    #[must_use]
+    pub fn with(mut self, metric: &str, value: f64) -> Self {
+        self.values.insert(metric.to_owned(), value);
+        self
+    }
+
+    /// Inserts or replaces a metric.
+    pub fn set(&mut self, metric: &str, value: f64) {
+        self.values.insert(metric.to_owned(), value);
+    }
+
+    /// Looks up a metric.
+    #[must_use]
+    pub fn get(&self, metric: &str) -> Option<f64> {
+        self.values.get(metric).copied()
+    }
+
+    /// Iterates `(metric, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// The metric names, in order.
+    pub fn metrics(&self) -> impl Iterator<Item = &str> {
+        self.values.keys().map(String::as_str)
+    }
+
+    /// The JSON object form.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(
+            self.values.iter().map(|(k, v)| (k.clone(), JsonValue::Float(*v))).collect(),
+        )
+    }
+
+    /// Parses the JSON object form back (accepting ints as floats).
+    #[must_use]
+    pub fn from_json(value: &JsonValue) -> Option<Self> {
+        let fields = value.as_object()?;
+        let mut m = Measurement::new();
+        for (name, v) in fields {
+            m.values.insert(name.clone(), v.as_f64()?);
+        }
+        Some(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(seed: u64) -> Cell {
+        Cell {
+            exp: "e01".into(),
+            params: Params::new().with("k", 32i64).with("p", 0.02),
+            seed,
+        }
+    }
+
+    #[test]
+    fn cache_key_separates_every_identity_component() {
+        let base = cell(1).cache_key("v1");
+        assert_eq!(cell(1).cache_key("v1"), base, "stable");
+        assert_ne!(cell(2).cache_key("v1"), base, "seed");
+        assert_ne!(cell(1).cache_key("v2"), base, "code salt");
+        let mut other = cell(1);
+        other.exp = "e03".into();
+        assert_ne!(other.cache_key("v1"), base, "experiment");
+        let mut other = cell(1);
+        other.params.set("p", 0.04);
+        assert_ne!(other.cache_key("v1"), base, "params");
+    }
+
+    #[test]
+    fn cache_stem_is_fixed_width_hex() {
+        let stem = cell(7).cache_stem("v1");
+        assert_eq!(stem.len(), 16);
+        assert!(stem.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn measurement_json_round_trip() {
+        let m = Measurement::new().with("defect_fraction", 0.041).with("pd", 0.04);
+        let back = Measurement::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.get("pd"), Some(0.04));
+        assert_eq!(back.get("absent"), None);
+        assert_eq!(m.metrics().collect::<Vec<_>>(), vec!["defect_fraction", "pd"]);
+    }
+
+    #[test]
+    fn measurement_rejects_non_numeric_json() {
+        let bad = curtain_telemetry::json::parse_document(r#"{"x":"nope"}"#).unwrap();
+        assert_eq!(Measurement::from_json(&bad), None);
+    }
+}

@@ -1,0 +1,300 @@
+//! Claim checks — the regression gate of `lab check`.
+//!
+//! A [`Claim`] inspects the aggregated per-point curves of one sweep and
+//! passes or fails with a deterministic explanation. The stock
+//! combinators cover the paper's claim shapes:
+//!
+//! * [`UpperBound`] — a per-point analytic ceiling (Theorem 4's
+//!   `(1+ε)·p·d` defect bound, Lemma 6's `d²/k` step cap);
+//! * [`MonotoneAlong`] — a curve must not decrease along one axis
+//!   (Theorem 5: collapse time grows with `k`);
+//! * [`Predicate`] — an arbitrary deterministic check over the whole
+//!   summary (e05's policy-ordering claims).
+
+use curtain_telemetry::json::JsonValue;
+
+use crate::grid::Params;
+use crate::report::PointSummary;
+
+/// The result of one claim check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClaimOutcome {
+    /// The claim's name (`"T4-defect-bound"`).
+    pub name: String,
+    /// Whether the claim held.
+    pub passed: bool,
+    /// A deterministic one-line explanation (worst margin, failing point…).
+    pub details: String,
+}
+
+impl ClaimOutcome {
+    /// A passing outcome.
+    #[must_use]
+    pub fn pass(name: &str, details: impl Into<String>) -> Self {
+        ClaimOutcome { name: name.to_owned(), passed: true, details: details.into() }
+    }
+
+    /// A failing outcome.
+    #[must_use]
+    pub fn fail(name: &str, details: impl Into<String>) -> Self {
+        ClaimOutcome { name: name.to_owned(), passed: false, details: details.into() }
+    }
+
+    /// The JSON form embedded in `BENCH_<exp>.json`.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let mut fields = std::collections::BTreeMap::new();
+        fields.insert("name".to_owned(), JsonValue::Str(self.name.clone()));
+        fields.insert("passed".to_owned(), JsonValue::Bool(self.passed));
+        fields.insert("details".to_owned(), JsonValue::Str(self.details.clone()));
+        JsonValue::Object(fields)
+    }
+}
+
+/// One check over a sweep's aggregated curves.
+pub trait Claim: Send + Sync {
+    /// Stable claim name, used in reports and `lab check` output.
+    fn name(&self) -> &str;
+
+    /// Checks the claim against the per-point summaries (grid order).
+    fn check(&self, points: &[PointSummary]) -> ClaimOutcome;
+}
+
+/// Per-point ceiling function for [`UpperBound`]; `None` skips the point.
+pub type BoundFn = Box<dyn Fn(&Params) -> Option<f64> + Send + Sync>;
+
+/// `mean(metric) ≤ bound(params) · (1 + slack)` at every point where
+/// `bound` yields a ceiling.
+///
+/// `slack` absorbs finite-sample noise around an asymptotic bound: the
+/// e01 grids run hundreds (not millions) of trials per cell, so the
+/// measured mean can legitimately hover above the exact `(1+ε)·p·d`
+/// ceiling by a sampling-noise margin.
+pub struct UpperBound {
+    /// Claim name.
+    pub name: &'static str,
+    /// The metric under the ceiling.
+    pub metric: &'static str,
+    /// Relative slack (`0.5` ⇒ the mean may exceed the bound by 50%).
+    pub slack: f64,
+    /// The per-point ceiling; `None` skips the point.
+    pub bound: BoundFn,
+}
+
+impl Claim for UpperBound {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn check(&self, points: &[PointSummary]) -> ClaimOutcome {
+        let mut checked = 0usize;
+        let mut worst: Option<(f64, String)> = None;
+        for point in points {
+            let (Some(bound), Some(mean)) = ((self.bound)(&point.params), point.mean(self.metric))
+            else {
+                continue;
+            };
+            if bound <= 0.0 {
+                continue;
+            }
+            checked += 1;
+            let ratio = mean / bound;
+            if worst.as_ref().is_none_or(|(w, _)| ratio > *w) {
+                worst = Some((
+                    ratio,
+                    format!(
+                        "{}: {}={:.6} vs bound {:.6} (ratio {:.3})",
+                        point.params, self.metric, mean, bound, ratio
+                    ),
+                ));
+            }
+        }
+        match worst {
+            None => ClaimOutcome::pass(self.name, format!("no points expose {}", self.metric)),
+            Some((ratio, at)) if ratio <= 1.0 + self.slack => ClaimOutcome::pass(
+                self.name,
+                format!("{checked} points under bound; worst {at}"),
+            ),
+            Some((_, at)) => ClaimOutcome::fail(
+                self.name,
+                format!("exceeds bound (+{:.0}% slack) at {at}", self.slack * 100.0),
+            ),
+        }
+    }
+}
+
+/// `mean(metric)` must be non-decreasing along `axis`, within every group
+/// of points that agree on all other parameters.
+///
+/// `tolerance` is relative: a successor may dip below its predecessor by
+/// at most that fraction before the claim fails. Points are compared in
+/// grid order, which is ascending along every `cartesian` axis.
+pub struct MonotoneAlong {
+    /// Claim name.
+    pub name: &'static str,
+    /// The metric whose curve must rise.
+    pub metric: &'static str,
+    /// The axis the curve runs along.
+    pub axis: &'static str,
+    /// Allowed relative dip (`0.1` ⇒ successor ≥ 90% of predecessor).
+    pub tolerance: f64,
+}
+
+impl Claim for MonotoneAlong {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn check(&self, points: &[PointSummary]) -> ClaimOutcome {
+        // Group by "all params but the axis", preserving grid order.
+        let mut groups: Vec<(String, Vec<&PointSummary>)> = Vec::new();
+        for point in points {
+            if point.params.get(self.axis).is_none() {
+                continue;
+            }
+            let key = point.params.without(self.axis).canonical();
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, members)) => members.push(point),
+                None => groups.push((key, vec![point])),
+            }
+        }
+        if groups.is_empty() {
+            return ClaimOutcome::pass(self.name, format!("no points carry axis {}", self.axis));
+        }
+
+        let mut steps = 0usize;
+        for (_, members) in &groups {
+            let mut prev: Option<(&PointSummary, f64)> = None;
+            for point in members {
+                let Some(mean) = point.mean(self.metric) else { continue };
+                if let Some((prev_point, prev_mean)) = prev {
+                    steps += 1;
+                    if mean < prev_mean * (1.0 - self.tolerance) {
+                        return ClaimOutcome::fail(
+                            self.name,
+                            format!(
+                                "{} drops along {}: {:.4} at [{}] -> {:.4} at [{}]",
+                                self.metric, self.axis, prev_mean, prev_point.params, mean,
+                                point.params
+                            ),
+                        );
+                    }
+                }
+                prev = Some((point, mean));
+            }
+        }
+        ClaimOutcome::pass(
+            self.name,
+            format!(
+                "{} non-decreasing along {} ({} steps, {} groups)",
+                self.metric,
+                self.axis,
+                steps,
+                groups.len()
+            ),
+        )
+    }
+}
+
+/// Check body for [`Predicate`]: `Ok(details)` passes, `Err(details)` fails.
+pub type PredicateFn = Box<dyn Fn(&[PointSummary]) -> Result<String, String> + Send + Sync>;
+
+/// An arbitrary deterministic check: `Ok(details)` passes, `Err(details)`
+/// fails.
+pub struct Predicate {
+    /// Claim name.
+    pub name: &'static str,
+    /// The check body.
+    pub check: PredicateFn,
+}
+
+impl Claim for Predicate {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn check(&self, points: &[PointSummary]) -> ClaimOutcome {
+        match (self.check)(points) {
+            Ok(details) => ClaimOutcome::pass(self.name, details),
+            Err(details) => ClaimOutcome::fail(self.name, details),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::MetricStats;
+
+    fn point(k: i64, d: i64, y: f64) -> PointSummary {
+        let mut metrics = std::collections::BTreeMap::new();
+        metrics.insert("y".to_owned(), MetricStats::from_values(&[y]));
+        PointSummary { params: Params::new().with("k", k).with("d", d), metrics }
+    }
+
+    #[test]
+    fn upper_bound_passes_within_slack_and_fails_beyond() {
+        let claim = UpperBound {
+            name: "bound",
+            metric: "y",
+            slack: 0.5,
+            bound: Box::new(|p| Some(p.float("k"))),
+        };
+        // y = 1.2·k everywhere: ratio 1.2 ≤ 1.5 → pass.
+        let ok = claim.check(&[point(10, 2, 12.0), point(20, 2, 24.0)]);
+        assert!(ok.passed, "{}", ok.details);
+        assert!(ok.details.contains("2 points"), "{}", ok.details);
+        // One point at ratio 2.0 → fail, naming the point.
+        let bad = claim.check(&[point(10, 2, 12.0), point(20, 2, 40.0)]);
+        assert!(!bad.passed);
+        assert!(bad.details.contains("k=20"), "{}", bad.details);
+    }
+
+    #[test]
+    fn upper_bound_skips_unbounded_points() {
+        let claim = UpperBound {
+            name: "bound",
+            metric: "y",
+            slack: 0.0,
+            bound: Box::new(|_| None),
+        };
+        let out = claim.check(&[point(10, 2, 1e9)]);
+        assert!(out.passed);
+        assert!(out.details.contains("no points"), "{}", out.details);
+    }
+
+    #[test]
+    fn monotone_groups_by_other_axes() {
+        let claim = MonotoneAlong { name: "mono", metric: "y", axis: "k", tolerance: 0.1 };
+        // Two d-groups, each rising in k; the dip across groups is fine.
+        let ok = claim.check(&[
+            point(10, 2, 5.0),
+            point(20, 2, 9.0),
+            point(10, 3, 1.0),
+            point(20, 3, 2.0),
+        ]);
+        assert!(ok.passed, "{}", ok.details);
+        assert!(ok.details.contains("2 groups"), "{}", ok.details);
+        // A >10% dip inside a group fails, naming both points.
+        let bad = claim.check(&[point(10, 2, 5.0), point(20, 2, 4.0)]);
+        assert!(!bad.passed);
+        assert!(bad.details.contains("drops along k"), "{}", bad.details);
+        // Small dips inside the tolerance pass.
+        let slack = claim.check(&[point(10, 2, 5.0), point(20, 2, 4.6)]);
+        assert!(slack.passed, "{}", slack.details);
+    }
+
+    #[test]
+    fn predicate_maps_result_to_outcome() {
+        let claim = Predicate {
+            name: "pred",
+            check: Box::new(|points| {
+                if points.is_empty() { Err("empty sweep".into()) } else { Ok("fine".into()) }
+            }),
+        };
+        assert!(!claim.check(&[]).passed);
+        assert!(claim.check(&[point(1, 1, 0.0)]).passed);
+        let json = claim.check(&[]).to_json().render();
+        assert!(json.contains("\"passed\":false"), "{json}");
+    }
+}

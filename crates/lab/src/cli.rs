@@ -1,0 +1,363 @@
+//! The `lab` command line: `run`, `check`, `list`.
+//!
+//! `lab run` executes the selected sweeps and writes `BENCH_<exp>.json`
+//! (+ the `.timing.json` sidecar); `lab check` does the same and then
+//! exits non-zero if any claim fails — the CI regression gate; `lab list`
+//! prints the registry without executing anything.
+//!
+//! [`run_sweeps`] is the testable core: the binary is a thin wrapper
+//! around `parse` + `registry()` + `run_sweeps`.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use curtain_telemetry::MetricsRegistry;
+
+use crate::cache::Cache;
+use crate::cell::Cell;
+use crate::pool::run_cells;
+use crate::report::{write_timing_sidecar, SweepReport};
+use crate::{default_seeds, Profile, Sweep};
+
+/// What the invocation should do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Execute sweeps and write reports.
+    Run,
+    /// Execute sweeps, write reports, and gate on claims.
+    Check,
+    /// Print the registry.
+    List,
+}
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliOptions {
+    /// The subcommand.
+    pub mode: Mode,
+    /// `--exp` substring filters (empty = every sweep).
+    pub only: Vec<String>,
+    /// `--jobs` worker count (0 = one per available core).
+    pub jobs: usize,
+    /// `--seeds` count override (None = the sweep's default).
+    pub seeds: Option<u64>,
+    /// `--scale` sample-count multiplier.
+    pub scale: u64,
+    /// `--quick` smoke-grid flag.
+    pub quick: bool,
+    /// `--fresh`: ignore cached results (still writes them back).
+    pub fresh: bool,
+    /// `--cache-dir` (default `.lab-cache`).
+    pub cache_dir: PathBuf,
+    /// `--out-dir` for `BENCH_*.json` (default `.`).
+    pub out_dir: PathBuf,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions {
+            mode: Mode::Run,
+            only: Vec::new(),
+            jobs: 0,
+            seeds: None,
+            scale: 1,
+            quick: false,
+            fresh: false,
+            cache_dir: PathBuf::from(".lab-cache"),
+            out_dir: PathBuf::from("."),
+        }
+    }
+}
+
+/// The usage text printed on `2`-exits and `--help`.
+#[must_use]
+pub fn usage() -> &'static str {
+    "usage: lab <run|check|list> [options]\n\
+     \n\
+     subcommands:\n\
+     \x20 run    execute sweeps, write BENCH_<exp>.json (+ .timing.json sidecar)\n\
+     \x20 check  run, then exit 1 if any paper claim fails (CI gate)\n\
+     \x20 list   print the experiment registry\n\
+     \n\
+     options:\n\
+     \x20 --exp <substr>     select experiments by id substring (repeatable)\n\
+     \x20 --jobs <n>         worker threads (default: one per core)\n\
+     \x20 --seeds <n>        seeds per parameter point (default: per sweep)\n\
+     \x20 --scale <n>        sample-count multiplier (default 1)\n\
+     \x20 --quick            use the scaled-down smoke grids\n\
+     \x20 --fresh            re-execute every cell, ignoring cached results\n\
+     \x20 --cache-dir <dir>  result cache location (default .lab-cache)\n\
+     \x20 --out-dir <dir>    where BENCH_*.json goes (default .)\n"
+}
+
+/// Parses `args` (without the program name).
+pub fn parse(args: impl IntoIterator<Item = String>) -> Result<CliOptions, String> {
+    let mut args = args.into_iter();
+    let mode = match args.next().as_deref() {
+        Some("run") => Mode::Run,
+        Some("check") => Mode::Check,
+        Some("list") => Mode::List,
+        Some("--help" | "-h") => return Err(String::new()),
+        Some(other) => return Err(format!("unknown subcommand {other:?}")),
+        None => return Err("missing subcommand".to_owned()),
+    };
+    let mut opts = CliOptions { mode, ..CliOptions::default() };
+
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--exp" => opts.only.push(value("--exp")?),
+            "--jobs" => {
+                opts.jobs = value("--jobs")?
+                    .parse::<usize>()
+                    .map_err(|_| "--jobs needs a non-negative integer".to_owned())?;
+            }
+            "--seeds" => {
+                let n = value("--seeds")?
+                    .parse::<u64>()
+                    .map_err(|_| "--seeds needs a positive integer".to_owned())?;
+                if n == 0 {
+                    return Err("--seeds must be at least 1".to_owned());
+                }
+                opts.seeds = Some(n);
+            }
+            "--scale" => {
+                let n = value("--scale")?
+                    .parse::<u64>()
+                    .map_err(|_| "--scale needs a positive integer".to_owned())?;
+                if n == 0 {
+                    return Err("--scale must be at least 1".to_owned());
+                }
+                opts.scale = n;
+            }
+            "--quick" => opts.quick = true,
+            "--fresh" => opts.fresh = true,
+            "--cache-dir" => opts.cache_dir = PathBuf::from(value("--cache-dir")?),
+            "--out-dir" => opts.out_dir = PathBuf::from(value("--out-dir")?),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Runs the selected sweeps; the process exit code.
+///
+/// Exit 0 on success, 1 when `check` finds a failed claim (or any sweep
+/// cannot write its artifacts), 2 on an empty selection.
+pub fn run_sweeps(sweeps: &[Box<dyn Sweep>], opts: &CliOptions) -> i32 {
+    let selected: Vec<&dyn Sweep> = sweeps
+        .iter()
+        .map(AsRef::as_ref)
+        .filter(|s| opts.only.is_empty() || opts.only.iter().any(|f| s.id().contains(f.as_str())))
+        .collect();
+    if selected.is_empty() {
+        let known: Vec<&str> = sweeps.iter().map(|s| s.id()).collect();
+        eprintln!(
+            "lab: no experiment matches {:?}; known: {}",
+            opts.only,
+            known.join(", ")
+        );
+        return 2;
+    }
+
+    let profile = Profile { scale: opts.scale, quick: opts.quick };
+    if opts.mode == Mode::List {
+        for sweep in &selected {
+            let grid = sweep.grid(profile);
+            let seeds = seed_count(*sweep, opts, profile);
+            println!(
+                "{:<6} {:<60} {:>3} points x {} seeds, {} claims",
+                sweep.id(),
+                sweep.title(),
+                grid.len(),
+                seeds,
+                sweep.claims().len()
+            );
+        }
+        return 0;
+    }
+
+    let jobs = if opts.jobs == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        opts.jobs
+    };
+    let cache = match Cache::open(&opts.cache_dir) {
+        Ok(cache) => cache,
+        Err(err) => {
+            eprintln!("lab: cannot open cache {}: {err}", opts.cache_dir.display());
+            return 1;
+        }
+    };
+
+    let mut failed_claims = 0usize;
+    let mut errors = 0usize;
+    for sweep in &selected {
+        let grid = sweep.grid(profile);
+        let seeds = match opts.seeds {
+            Some(n) => default_seeds(n),
+            None => sweep.seeds(profile),
+        };
+        let mut cells = Vec::with_capacity(grid.len() * seeds.len());
+        for point in grid.points() {
+            for &seed in &seeds {
+                cells.push(Cell { exp: sweep.id().to_owned(), params: point.clone(), seed });
+            }
+        }
+        println!(
+            "[{}] {} — {} points x {} seeds = {} cells on {} workers",
+            sweep.id(),
+            sweep.title(),
+            grid.len(),
+            seeds.len(),
+            cells.len(),
+            jobs
+        );
+
+        let metrics = MetricsRegistry::new();
+        let started = Instant::now();
+        let (measurements, stats) =
+            run_cells(*sweep, &cells, jobs, Some(&cache), opts.fresh, &metrics);
+        let wall_s = started.elapsed().as_secs_f64();
+
+        let mut report = SweepReport::aggregate(
+            sweep.id(),
+            sweep.title(),
+            sweep.code_salt(),
+            grid.points(),
+            &seeds,
+            &measurements,
+        );
+        for claim in sweep.claims() {
+            let outcome = claim.check(&report.points);
+            let tag = if outcome.passed { "PASS" } else { "FAIL" };
+            println!("  claim {tag} {} — {}", outcome.name, outcome.details);
+            if !outcome.passed {
+                failed_claims += 1;
+            }
+            report.claims.push(outcome);
+        }
+
+        match report.write(&opts.out_dir) {
+            Ok(path) => println!(
+                "  wrote {} ({:.1}s wall, cache: {} hits / {} misses = {:.1}% hit)",
+                path.display(),
+                wall_s,
+                stats.hits,
+                stats.misses,
+                stats.hit_percent()
+            ),
+            Err(err) => {
+                eprintln!("lab: cannot write report for {}: {err}", sweep.id());
+                errors += 1;
+            }
+        }
+        if let Err(err) = write_timing_sidecar(
+            &opts.out_dir,
+            sweep.id(),
+            jobs,
+            stats,
+            wall_s,
+            &metrics.snapshot(),
+        ) {
+            eprintln!("lab: cannot write timing sidecar for {}: {err}", sweep.id());
+            errors += 1;
+        }
+    }
+
+    if errors > 0 {
+        return 1;
+    }
+    if opts.mode == Mode::Check && failed_claims > 0 {
+        eprintln!("lab check: {failed_claims} claim(s) FAILED");
+        return 1;
+    }
+    if opts.mode == Mode::Check {
+        println!("lab check: all claims pass");
+    }
+    0
+}
+
+fn seed_count(sweep: &dyn Sweep, opts: &CliOptions, profile: Profile) -> usize {
+    match opts.seeds {
+        Some(n) => n as usize,
+        None => sweep.seeds(profile).len(),
+    }
+}
+
+/// The binary's whole logic: parse, pick the registry, run.
+pub fn main_entry(args: impl IntoIterator<Item = String>) -> i32 {
+    match parse(args) {
+        Ok(opts) => run_sweeps(&crate::experiments::registry(), &opts),
+        Err(message) => {
+            if message.is_empty() {
+                // --help
+                print!("{}", usage());
+                0
+            } else {
+                eprintln!("lab: {message}");
+                eprint!("{}", usage());
+                2
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(args: &[&str]) -> CliOptions {
+        parse(args.iter().map(|s| (*s).to_owned())).unwrap()
+    }
+
+    #[test]
+    fn parses_subcommands_and_flags() {
+        let opts = parse_ok(&[
+            "check", "--exp", "e01", "--exp", "e03", "--jobs", "4", "--seeds", "2", "--scale",
+            "3", "--quick", "--fresh", "--cache-dir", "/tmp/c", "--out-dir", "/tmp/o",
+        ]);
+        assert_eq!(opts.mode, Mode::Check);
+        assert_eq!(opts.only, vec!["e01", "e03"]);
+        assert_eq!(opts.jobs, 4);
+        assert_eq!(opts.seeds, Some(2));
+        assert_eq!(opts.scale, 3);
+        assert!(opts.quick && opts.fresh);
+        assert_eq!(opts.cache_dir, PathBuf::from("/tmp/c"));
+        assert_eq!(opts.out_dir, PathBuf::from("/tmp/o"));
+        assert_eq!(parse_ok(&["run"]), CliOptions::default());
+        assert_eq!(parse_ok(&["list"]).mode, Mode::List);
+    }
+
+    #[test]
+    fn rejects_bad_invocations() {
+        let cases: &[&[&str]] = &[
+            &[],
+            &["bogus"],
+            &["run", "--jobs"],
+            &["run", "--jobs", "many"],
+            &["run", "--seeds", "0"],
+            &["run", "--scale", "0"],
+            &["run", "--frobnicate"],
+        ];
+        for case in cases {
+            let result = parse(case.iter().map(|s| (*s).to_owned()));
+            assert!(result.is_err(), "{case:?}");
+            assert!(!result.unwrap_err().is_empty(), "{case:?} should carry a message");
+        }
+        // --help is the empty-message Err, mapped to exit 0 by main_entry.
+        assert_eq!(parse(["--help".to_owned()].into_iter()).unwrap_err(), "");
+    }
+
+    #[test]
+    fn empty_selection_exits_with_usage_error() {
+        let opts = CliOptions {
+            only: vec!["zzz".to_owned()],
+            ..CliOptions::default()
+        };
+        assert_eq!(run_sweeps(&crate::experiments::registry(), &opts), 2);
+    }
+}

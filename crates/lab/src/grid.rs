@@ -1,0 +1,370 @@
+//! Typed parameter points and grids.
+//!
+//! A [`Params`] is a named, ordered map of scalar values — the identity
+//! of one measurement cell (together with its seed). Its canonical JSON
+//! rendering is the cache key's content and the report's grouping key, so
+//! everything here is `BTreeMap`-ordered and renders deterministically.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use curtain_telemetry::json::JsonValue;
+
+/// One scalar parameter value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    /// An integer parameter (sizes, counts, degrees).
+    Int(i64),
+    /// A real parameter (probabilities, fractions).
+    Float(f64),
+    /// A categorical parameter (scenario or model labels).
+    Str(String),
+}
+
+impl ParamValue {
+    /// The integer value, if this is an `Int`.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            ParamValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The numeric value (`Int` widened), if numeric.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            ParamValue::Float(f) => Some(*f),
+            ParamValue::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The label, if this is a `Str`.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            ParamValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The JSON form (used in cache entries and reports).
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        match self {
+            ParamValue::Int(i) => JsonValue::Int(*i),
+            ParamValue::Float(f) => JsonValue::Float(*f),
+            ParamValue::Str(s) => JsonValue::Str(s.clone()),
+        }
+    }
+
+    /// Parses the JSON form back.
+    #[must_use]
+    pub fn from_json(value: &JsonValue) -> Option<Self> {
+        match value {
+            JsonValue::Int(i) => Some(ParamValue::Int(*i)),
+            JsonValue::Float(f) => Some(ParamValue::Float(*f)),
+            JsonValue::Str(s) => Some(ParamValue::Str(s.clone())),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamValue::Int(i) => write!(f, "{i}"),
+            ParamValue::Float(v) => write!(f, "{v}"),
+            ParamValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for ParamValue {
+    fn from(v: i64) -> Self {
+        ParamValue::Int(v)
+    }
+}
+
+impl From<usize> for ParamValue {
+    fn from(v: usize) -> Self {
+        ParamValue::Int(v as i64)
+    }
+}
+
+impl From<f64> for ParamValue {
+    fn from(v: f64) -> Self {
+        ParamValue::Float(v)
+    }
+}
+
+impl From<&str> for ParamValue {
+    fn from(v: &str) -> Self {
+        ParamValue::Str(v.to_owned())
+    }
+}
+
+/// One parameter point: named scalar values, key-ordered.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Params {
+    fields: BTreeMap<String, ParamValue>,
+}
+
+impl Params {
+    /// An empty point.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style insertion.
+    #[must_use]
+    pub fn with(mut self, name: &str, value: impl Into<ParamValue>) -> Self {
+        self.fields.insert(name.to_owned(), value.into());
+        self
+    }
+
+    /// Inserts or replaces a value.
+    pub fn set(&mut self, name: &str, value: impl Into<ParamValue>) {
+        self.fields.insert(name.to_owned(), value.into());
+    }
+
+    /// Looks up a value.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&ParamValue> {
+        self.fields.get(name)
+    }
+
+    /// The integer parameter `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when absent or non-integer — a sweep wiring bug: the grid
+    /// and the cell function disagree about the parameter schema.
+    #[must_use]
+    pub fn int(&self, name: &str) -> i64 {
+        self.get(name)
+            .and_then(ParamValue::as_i64)
+            .unwrap_or_else(|| panic!("missing integer param {name:?} in {self}"))
+    }
+
+    /// The integer parameter `name` as a `usize`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when absent, non-integer, or negative (see [`Params::int`]).
+    #[must_use]
+    pub fn usize(&self, name: &str) -> usize {
+        usize::try_from(self.int(name))
+            .unwrap_or_else(|_| panic!("param {name:?} is negative in {self}"))
+    }
+
+    /// The numeric parameter `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when absent or non-numeric (see [`Params::int`]).
+    #[must_use]
+    pub fn float(&self, name: &str) -> f64 {
+        self.get(name)
+            .and_then(ParamValue::as_f64)
+            .unwrap_or_else(|| panic!("missing numeric param {name:?} in {self}"))
+    }
+
+    /// The categorical parameter `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when absent or non-string (see [`Params::int`]).
+    #[must_use]
+    pub fn str(&self, name: &str) -> &str {
+        self.get(name)
+            .and_then(ParamValue::as_str)
+            .unwrap_or_else(|| panic!("missing string param {name:?} in {self}"))
+    }
+
+    /// Iterates `(name, value)` in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ParamValue)> {
+        self.fields.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// The JSON object form.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(self.fields.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+
+    /// Parses the JSON object form back.
+    #[must_use]
+    pub fn from_json(value: &JsonValue) -> Option<Self> {
+        let fields = value.as_object()?;
+        let mut params = Params::new();
+        for (name, v) in fields {
+            params.fields.insert(name.clone(), ParamValue::from_json(v)?);
+        }
+        Some(params)
+    }
+
+    /// The canonical single-line rendering — the content half of a cell's
+    /// cache key, and the grouping key claims use. Same point ⇒ same
+    /// string, always.
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// The point with `name` removed — the grouping key "all parameters
+    /// but this axis" used by monotonicity claims.
+    #[must_use]
+    pub fn without(&self, name: &str) -> Params {
+        let mut out = self.clone();
+        out.fields.remove(name);
+        out
+    }
+}
+
+impl fmt::Display for Params {
+    /// Human form: `d=2 k=32 p=0.02`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (name, value)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{name}={value}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered list of parameter points.
+///
+/// Usually built as a cartesian product of axes, but arbitrary point
+/// lists compose via [`ParamGrid::from_points`] and [`ParamGrid::merge`]
+/// (e.g. e01's d×p table plus its N sweep). Point order is meaningful
+/// and preserved into reports.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParamGrid {
+    points: Vec<Params>,
+}
+
+impl ParamGrid {
+    /// The cartesian product of `axes`, later axes varying fastest.
+    #[must_use]
+    pub fn cartesian(axes: &[(&str, Vec<ParamValue>)]) -> Self {
+        let mut points = vec![Params::new()];
+        for (name, values) in axes {
+            let mut next = Vec::with_capacity(points.len() * values.len());
+            for point in &points {
+                for value in values {
+                    next.push(point.clone().with(name, value.clone()));
+                }
+            }
+            points = next;
+        }
+        ParamGrid { points }
+    }
+
+    /// A grid from explicit points.
+    #[must_use]
+    pub fn from_points(points: Vec<Params>) -> Self {
+        ParamGrid { points }
+    }
+
+    /// Appends another grid's points after this one's.
+    #[must_use]
+    pub fn merge(mut self, other: ParamGrid) -> Self {
+        self.points.extend(other.points);
+        self
+    }
+
+    /// The points, in sweep order.
+    #[must_use]
+    pub fn points(&self) -> &[Params] {
+        &self.points
+    }
+
+    /// Number of points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the grid has no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// Shorthand for an integer axis.
+#[must_use]
+pub fn ints(values: &[i64]) -> Vec<ParamValue> {
+    values.iter().map(|&v| ParamValue::Int(v)).collect()
+}
+
+/// Shorthand for a float axis.
+#[must_use]
+pub fn floats(values: &[f64]) -> Vec<ParamValue> {
+    values.iter().map(|&v| ParamValue::Float(v)).collect()
+}
+
+/// Shorthand for a categorical axis.
+#[must_use]
+pub fn labels(values: &[&str]) -> Vec<ParamValue> {
+    values.iter().map(|&v| ParamValue::Str(v.to_owned())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cartesian_orders_later_axes_fastest() {
+        let grid = ParamGrid::cartesian(&[("d", ints(&[2, 3])), ("p", floats(&[0.1, 0.2]))]);
+        assert_eq!(grid.len(), 4);
+        let canon: Vec<String> = grid.points().iter().map(Params::canonical).collect();
+        assert_eq!(canon[0], r#"{"d":2,"p":0.1}"#);
+        assert_eq!(canon[1], r#"{"d":2,"p":0.2}"#);
+        assert_eq!(canon[2], r#"{"d":3,"p":0.1}"#);
+        assert_eq!(canon[3], r#"{"d":3,"p":0.2}"#);
+    }
+
+    #[test]
+    fn canonical_is_key_sorted_and_stable() {
+        let a = Params::new().with("z", 1i64).with("a", 0.5).with("m", "x");
+        let b = Params::new().with("a", 0.5).with("m", "x").with("z", 1i64);
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(a.canonical(), r#"{"a":0.5,"m":"x","z":1}"#);
+        assert_eq!(a.to_string(), "a=0.5 m=x z=1");
+    }
+
+    #[test]
+    fn params_json_round_trip() {
+        let p = Params::new().with("k", 32usize).with("p", 0.02).with("model", "chain");
+        let back = Params::from_json(&p.to_json()).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.usize("k"), 32);
+        assert_eq!(back.float("p"), 0.02);
+        assert_eq!(back.str("model"), "chain");
+        // Ints widen to floats on demand.
+        assert_eq!(back.float("k"), 32.0);
+    }
+
+    #[test]
+    fn merge_preserves_order_and_without_drops_axis() {
+        let g = ParamGrid::cartesian(&[("k", ints(&[6, 12]))])
+            .merge(ParamGrid::from_points(vec![Params::new().with("k", 24i64)]));
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.points()[2].int("k"), 24);
+        let p = Params::new().with("k", 6i64).with("d", 2i64);
+        assert_eq!(p.without("k").canonical(), r#"{"d":2}"#);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing integer param")]
+    fn typed_access_panics_on_schema_mismatch() {
+        let _ = Params::new().with("p", 0.5).int("k");
+    }
+}

@@ -1,0 +1,5 @@
+//! The `lab` binary: `lab run | check | list` (see `curtain_lab::cli`).
+
+fn main() {
+    std::process::exit(curtain_lab::cli::main_entry(std::env::args().skip(1)));
+}

@@ -1,0 +1,327 @@
+//! Sweep summaries and the `BENCH_<exp>.json` artifact.
+//!
+//! A [`SweepReport`] aggregates the cell matrix per parameter point
+//! (mean / CI95 / min / max across seeds, per metric) and renders to a
+//! **deterministic** JSON document: key-sorted objects, points in grid
+//! order, floats through the canonical writer. The same grid and seeds
+//! produce the same bytes at any `--jobs` count.
+//!
+//! Wall-clock data — the per-cell run-time histogram, job count, cache
+//! traffic — is written separately by [`write_timing_sidecar`] as
+//! `BENCH_<exp>.timing.json`, the one artifact allowed to differ between
+//! runs.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use curtain_bench::stats;
+use curtain_telemetry::json::JsonValue;
+use curtain_telemetry::MetricsSnapshot;
+
+use crate::cell::Measurement;
+use crate::claims::ClaimOutcome;
+use crate::grid::Params;
+use crate::pool::RunStats;
+
+/// Seed-aggregated statistics of one metric at one parameter point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricStats {
+    /// Number of seeds aggregated.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Normal-approximation 95% confidence half-width.
+    pub ci95: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl MetricStats {
+    /// Aggregates one metric's per-seed values.
+    #[must_use]
+    pub fn from_values(values: &[f64]) -> Self {
+        let n = values.len();
+        let mean = stats::mean(values);
+        let std_dev = stats::std_dev(values);
+        let ci95 = if n > 1 { 1.96 * std_dev / (n as f64).sqrt() } else { 0.0 };
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if n == 0 {
+            min = 0.0;
+            max = 0.0;
+        }
+        MetricStats { n, mean, std_dev, ci95, min, max }
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let mut fields = BTreeMap::new();
+        fields.insert("ci95".to_owned(), JsonValue::Float(self.ci95));
+        fields.insert("max".to_owned(), JsonValue::Float(self.max));
+        fields.insert("mean".to_owned(), JsonValue::Float(self.mean));
+        fields.insert("min".to_owned(), JsonValue::Float(self.min));
+        fields.insert("n".to_owned(), JsonValue::Int(self.n as i64));
+        fields.insert("std_dev".to_owned(), JsonValue::Float(self.std_dev));
+        JsonValue::Object(fields)
+    }
+}
+
+/// One parameter point with its aggregated metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointSummary {
+    /// The parameter point.
+    pub params: Params,
+    /// Per-metric statistics, metric-name-ordered.
+    pub metrics: BTreeMap<String, MetricStats>,
+}
+
+impl PointSummary {
+    /// The mean of `metric` at this point, if measured.
+    #[must_use]
+    pub fn mean(&self, metric: &str) -> Option<f64> {
+        self.metrics.get(metric).map(|s| s.mean)
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let mut fields = BTreeMap::new();
+        fields.insert("params".to_owned(), self.params.to_json());
+        fields.insert(
+            "metrics".to_owned(),
+            JsonValue::Object(
+                self.metrics.iter().map(|(k, v)| (k.clone(), v.to_json())).collect(),
+            ),
+        );
+        JsonValue::Object(fields)
+    }
+}
+
+/// The deterministic summary of one sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// The experiment id (`"e01"`).
+    pub exp: String,
+    /// The experiment title.
+    pub title: String,
+    /// The code-salt the cells were measured under.
+    pub code_salt: String,
+    /// The seeds every point was measured at.
+    pub seeds: Vec<u64>,
+    /// Per-point summaries, in grid order.
+    pub points: Vec<PointSummary>,
+    /// Claim outcomes, in registry order (empty until checked).
+    pub claims: Vec<ClaimOutcome>,
+}
+
+impl SweepReport {
+    /// Aggregates the cell matrix: `measurements` must be in cell order,
+    /// seeds varying fastest within each point (the layout
+    /// [`crate::cli`] builds and [`crate::pool::run_cells`] preserves).
+    #[must_use]
+    pub fn aggregate(
+        exp: &str,
+        title: &str,
+        code_salt: &str,
+        grid_points: &[Params],
+        seeds: &[u64],
+        measurements: &[Measurement],
+    ) -> Self {
+        assert_eq!(
+            measurements.len(),
+            grid_points.len() * seeds.len(),
+            "cell matrix shape mismatch"
+        );
+        let points = grid_points
+            .iter()
+            .enumerate()
+            .map(|(i, params)| {
+                let rows = &measurements[i * seeds.len()..(i + 1) * seeds.len()];
+                let mut names: Vec<&str> = Vec::new();
+                for row in rows {
+                    for name in row.metrics() {
+                        if !names.contains(&name) {
+                            names.push(name);
+                        }
+                    }
+                }
+                let metrics = names
+                    .into_iter()
+                    .map(|name| {
+                        let values: Vec<f64> =
+                            rows.iter().filter_map(|r| r.get(name)).collect();
+                        (name.to_owned(), MetricStats::from_values(&values))
+                    })
+                    .collect();
+                PointSummary { params: params.clone(), metrics }
+            })
+            .collect();
+        SweepReport {
+            exp: exp.to_owned(),
+            title: title.to_owned(),
+            code_salt: code_salt.to_owned(),
+            seeds: seeds.to_vec(),
+            points,
+            claims: Vec::new(),
+        }
+    }
+
+    /// The full JSON document (schema 1).
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let mut fields = BTreeMap::new();
+        fields.insert("schema".to_owned(), JsonValue::Int(1));
+        fields.insert("exp".to_owned(), JsonValue::Str(self.exp.clone()));
+        fields.insert("title".to_owned(), JsonValue::Str(self.title.clone()));
+        fields.insert("code_salt".to_owned(), JsonValue::Str(self.code_salt.clone()));
+        fields.insert(
+            "seeds".to_owned(),
+            JsonValue::Array(self.seeds.iter().map(|&s| JsonValue::Int(s as i64)).collect()),
+        );
+        fields.insert(
+            "points".to_owned(),
+            JsonValue::Array(self.points.iter().map(PointSummary::to_json).collect()),
+        );
+        fields.insert(
+            "claims".to_owned(),
+            JsonValue::Array(self.claims.iter().map(ClaimOutcome::to_json).collect()),
+        );
+        JsonValue::Object(fields)
+    }
+
+    /// The deterministic byte rendering written to disk.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = self.to_json().render_pretty();
+        out.push('\n');
+        out
+    }
+
+    /// The report's file name (`BENCH_e01.json`).
+    #[must_use]
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.exp)
+    }
+
+    /// Writes `BENCH_<exp>.json` under `out_dir`, returning its path.
+    pub fn write(&self, out_dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(out_dir)?;
+        let path = out_dir.join(self.file_name());
+        std::fs::write(&path, self.render())?;
+        Ok(path)
+    }
+}
+
+/// Writes the `BENCH_<exp>.timing.json` sidecar: jobs, cache traffic and
+/// the wall-clock metrics snapshot. Deliberately separate — this is the
+/// only artifact allowed to differ run-to-run.
+pub fn write_timing_sidecar(
+    out_dir: &Path,
+    exp: &str,
+    jobs: usize,
+    stats: RunStats,
+    wall_s: f64,
+    metrics: &MetricsSnapshot,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(out_dir)?;
+    let path = out_dir.join(format!("BENCH_{exp}.timing.json"));
+    let mut out = String::from("{\"jobs\":");
+    out.push_str(&jobs.to_string());
+    out.push_str(",\"cache_hits\":");
+    out.push_str(&stats.hits.to_string());
+    out.push_str(",\"cache_misses\":");
+    out.push_str(&stats.misses.to_string());
+    out.push_str(",\"wall_s\":");
+    curtain_telemetry::json::write_f64(wall_s, &mut out);
+    out.push_str(",\"metrics\":");
+    out.push_str(&metrics.to_json());
+    out.push_str("}\n");
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> SweepReport {
+        let points = vec![
+            Params::new().with("k", 6i64),
+            Params::new().with("k", 12i64),
+        ];
+        let seeds = [1u64, 2];
+        let cells = vec![
+            Measurement::new().with("y", 10.0),
+            Measurement::new().with("y", 14.0),
+            Measurement::new().with("y", 30.0),
+            Measurement::new().with("y", 30.0),
+        ];
+        SweepReport::aggregate("toy", "toy sweep", "v1", &points, &seeds, &cells)
+    }
+
+    #[test]
+    fn aggregate_groups_by_point_and_computes_stats() {
+        let report = sample_report();
+        assert_eq!(report.points.len(), 2);
+        let first = &report.points[0].metrics["y"];
+        assert_eq!(first.n, 2);
+        assert!((first.mean - 12.0).abs() < 1e-12);
+        assert!((first.min - 10.0).abs() < 1e-12);
+        assert!((first.max - 14.0).abs() < 1e-12);
+        assert!(first.ci95 > 0.0);
+        let second = &report.points[1].metrics["y"];
+        assert_eq!(second.std_dev, 0.0);
+        assert_eq!(second.ci95, 0.0);
+        assert_eq!(report.points[1].mean("y"), Some(30.0));
+        assert_eq!(report.points[1].mean("absent"), None);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_parseable() {
+        let a = sample_report().render();
+        let b = sample_report().render();
+        assert_eq!(a, b);
+        let doc = curtain_telemetry::json::parse_document(&a).unwrap();
+        assert_eq!(doc.get("schema").and_then(JsonValue::as_i64), Some(1));
+        assert_eq!(doc.get("exp").and_then(JsonValue::as_str), Some("toy"));
+        assert_eq!(doc.get("points").and_then(JsonValue::as_array).map(|a| a.len()), Some(2));
+    }
+
+    #[test]
+    fn write_emits_named_files() {
+        let dir = std::env::temp_dir()
+            .join(format!("curtain-lab-report-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let report = sample_report();
+        let path = report.write(&dir).unwrap();
+        assert!(path.ends_with("BENCH_toy.json"));
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), report.render());
+
+        let metrics = curtain_telemetry::MetricsRegistry::new();
+        metrics.histogram("cell_wall_ms", 2.0);
+        let sidecar = write_timing_sidecar(
+            &dir,
+            "toy",
+            4,
+            RunStats { hits: 1, misses: 3 },
+            0.25,
+            &metrics.snapshot(),
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&sidecar).unwrap();
+        assert!(text.contains("\"jobs\":4"), "{text}");
+        assert!(text.contains("\"cache_hits\":1"), "{text}");
+        assert!(text.contains("cell_wall_ms"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn aggregate_rejects_ragged_matrices() {
+        let _ = SweepReport::aggregate("toy", "t", "v", &[Params::new()], &[1, 2], &[]);
+    }
+}

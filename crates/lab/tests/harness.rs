@@ -1,0 +1,190 @@
+//! End-to-end tests of the lab harness on synthetic sweeps: report
+//! determinism across job counts, cache resumption, and the `check`
+//! mode's claim-failure exit path.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use curtain_lab::cell::Measurement;
+use curtain_lab::claims::{Claim, Predicate, UpperBound};
+use curtain_lab::cli::{run_sweeps, CliOptions, Mode};
+use curtain_lab::grid::{ints, ParamGrid, Params};
+use curtain_lab::{Profile, Sweep};
+use curtain_telemetry::json::{parse_document, JsonValue};
+
+/// A deterministic synthetic sweep: y = x² + seed, bounded by 2·x².
+struct Synthetic {
+    /// When true, the claim is made impossible to satisfy.
+    poisoned: bool,
+}
+
+impl Sweep for Synthetic {
+    fn id(&self) -> &'static str {
+        "synth"
+    }
+
+    fn title(&self) -> &'static str {
+        "synthetic quadratic sweep"
+    }
+
+    fn code_salt(&self) -> &'static str {
+        "synth-v1"
+    }
+
+    fn grid(&self, _profile: Profile) -> ParamGrid {
+        ParamGrid::cartesian(&[("x", ints(&[1, 2, 3, 4]))])
+    }
+
+    fn seeds(&self, _profile: Profile) -> Vec<u64> {
+        vec![1, 2, 3]
+    }
+
+    fn run(&self, params: &Params, seed: u64) -> Measurement {
+        let x = params.float("x");
+        Measurement::new().with("y", x * x + seed as f64)
+    }
+
+    fn claims(&self) -> Vec<Box<dyn Claim>> {
+        // Mean y over seeds {1,2,3} is x² + 2, so x² + 4 holds everywhere;
+        // the poisoned ceiling cannot.
+        let poisoned = self.poisoned;
+        vec![
+            Box::new(UpperBound {
+                name: "y-under-x2-plus-4",
+                metric: "y",
+                slack: 0.0,
+                bound: Box::new(move |p: &Params| {
+                    let x = p.float("x");
+                    Some(if poisoned { 0.001 } else { x * x + 4.0 })
+                }),
+            }),
+            Box::new(Predicate {
+                name: "four-points",
+                check: Box::new(|points| {
+                    if points.len() == 4 {
+                        Ok("all points present".into())
+                    } else {
+                        Err(format!("expected 4 points, got {}", points.len()))
+                    }
+                }),
+            }),
+        ]
+    }
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("curtain-lab-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts(root: &Path, mode: Mode, jobs: usize) -> CliOptions {
+    CliOptions {
+        mode,
+        jobs,
+        cache_dir: root.join("cache"),
+        out_dir: root.join("out"),
+        ..CliOptions::default()
+    }
+}
+
+fn timing_counts(root: &Path) -> (u64, u64) {
+    let text = fs::read_to_string(root.join("out/BENCH_synth.timing.json")).unwrap();
+    let doc = parse_document(&text).unwrap();
+    (
+        doc.get("cache_hits").and_then(JsonValue::as_u64).unwrap(),
+        doc.get("cache_misses").and_then(JsonValue::as_u64).unwrap(),
+    )
+}
+
+#[test]
+fn reports_are_byte_identical_across_job_counts() {
+    let sweeps: Vec<Box<dyn Sweep>> = vec![Box::new(Synthetic { poisoned: false })];
+    let mut renders = Vec::new();
+    for jobs in [1usize, 4] {
+        let root = scratch(&format!("jobs{jobs}"));
+        assert_eq!(run_sweeps(&sweeps, &opts(&root, Mode::Run, jobs)), 0);
+        renders.push(fs::read_to_string(root.join("out/BENCH_synth.json")).unwrap());
+        let _ = fs::remove_dir_all(&root);
+    }
+    assert_eq!(renders[0], renders[1], "jobs=1 and jobs=4 must render the same bytes");
+
+    // And the report is well-formed: claims recorded, points aggregated.
+    let doc = parse_document(&renders[0]).unwrap();
+    assert_eq!(doc.get("exp").and_then(JsonValue::as_str), Some("synth"));
+    let points = doc.get("points").and_then(JsonValue::as_array).unwrap();
+    assert_eq!(points.len(), 4);
+    let claims = doc.get("claims").and_then(JsonValue::as_array).unwrap();
+    assert_eq!(claims.len(), 2);
+    for claim in claims {
+        assert_eq!(claim.get("passed").and_then(JsonValue::as_bool), Some(true));
+    }
+    // Point 0: x=1, seeds 1..3 → y ∈ {2,3,4}, mean 3.
+    let mean = points[0]
+        .get("metrics")
+        .and_then(|m| m.get("y"))
+        .and_then(|y| y.get("mean"))
+        .and_then(JsonValue::as_f64)
+        .unwrap();
+    assert!((mean - 3.0).abs() < 1e-12, "{mean}");
+}
+
+#[test]
+fn second_run_resumes_fully_from_cache() {
+    let sweeps: Vec<Box<dyn Sweep>> = vec![Box::new(Synthetic { poisoned: false })];
+    let root = scratch("resume");
+
+    assert_eq!(run_sweeps(&sweeps, &opts(&root, Mode::Run, 2)), 0);
+    assert_eq!(timing_counts(&root), (0, 12), "cold run misses all 12 cells");
+    let first = fs::read_to_string(root.join("out/BENCH_synth.json")).unwrap();
+
+    assert_eq!(run_sweeps(&sweeps, &opts(&root, Mode::Run, 2)), 0);
+    assert_eq!(timing_counts(&root), (12, 0), "warm run is 100% hits");
+    let second = fs::read_to_string(root.join("out/BENCH_synth.json")).unwrap();
+    assert_eq!(second, first, "cached results reproduce the report exactly");
+
+    // --fresh re-executes everything despite the warm cache.
+    let fresh = CliOptions { fresh: true, ..opts(&root, Mode::Run, 2) };
+    assert_eq!(run_sweeps(&sweeps, &fresh), 0);
+    assert_eq!(timing_counts(&root), (0, 12));
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn check_mode_gates_on_claims() {
+    let root = scratch("gate");
+    let healthy: Vec<Box<dyn Sweep>> = vec![Box::new(Synthetic { poisoned: false })];
+    assert_eq!(run_sweeps(&healthy, &opts(&root, Mode::Check, 2)), 0);
+
+    let poisoned: Vec<Box<dyn Sweep>> = vec![Box::new(Synthetic { poisoned: true })];
+    assert_eq!(
+        run_sweeps(&poisoned, &opts(&root, Mode::Check, 2)),
+        1,
+        "a failed claim must fail `lab check`"
+    );
+    // ...but plain `run` records the failure without gating.
+    assert_eq!(run_sweeps(&poisoned, &opts(&root, Mode::Run, 2)), 0);
+    let text = fs::read_to_string(root.join("out/BENCH_synth.json")).unwrap();
+    let doc = parse_document(&text).unwrap();
+    let claims = doc.get("claims").and_then(JsonValue::as_array).unwrap();
+    assert_eq!(claims[0].get("passed").and_then(JsonValue::as_bool), Some(false));
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn substring_selection_and_listing_work() {
+    let sweeps: Vec<Box<dyn Sweep>> = vec![Box::new(Synthetic { poisoned: false })];
+    let root = scratch("select");
+    let selected = CliOptions {
+        only: vec!["syn".to_owned()],
+        ..opts(&root, Mode::Run, 1)
+    };
+    assert_eq!(run_sweeps(&sweeps, &selected), 0);
+    let missed = CliOptions {
+        only: vec!["e99".to_owned()],
+        ..opts(&root, Mode::Run, 1)
+    };
+    assert_eq!(run_sweeps(&sweeps, &missed), 2, "no match is a usage error");
+    assert_eq!(run_sweeps(&sweeps, &opts(&root, Mode::List, 1)), 0);
+    let _ = fs::remove_dir_all(&root);
+}

@@ -1,13 +1,31 @@
-//! A deliberately tiny JSON subset: flat objects of ints, floats, strings
-//! and bools — exactly what the trace schema and metrics snapshots use.
+//! A deliberately small hand-rolled JSON layer, kept dependency-free.
 //!
-//! Hand-rolled so the telemetry crate stays dependency-free; this is *not*
-//! a general JSON parser (no nesting, no arrays) and is only promised to
-//! round-trip what this crate itself writes.
+//! Two tiers share one tokenizer:
+//!
+//! * [`parse_flat_object`] — the trace schema's strict subset: one flat
+//!   object of scalars, no nesting, no arrays. The JSONL wire format is
+//!   *promised* to stay in this subset, so replay never needs more.
+//! * [`parse_document`] — full nested values (objects, arrays, scalars),
+//!   for consumers whose artifacts outgrow flat lines: `curtain-lab`'s
+//!   result cache and `BENCH_*.json` reports parse with this.
+//!
+//! Writing is compositional: [`write_escaped`] / [`write_f64`] for callers
+//! that hand-build lines (the hot trace path allocates nothing per field),
+//! and [`JsonValue::write`] / [`JsonValue::render`] for tree-shaped
+//! documents. Object keys are `BTreeMap`-ordered, so rendering the same
+//! tree always yields the same bytes — the property `curtain-lab` leans on
+//! for byte-identical reports.
 
 use std::collections::BTreeMap;
 
-/// A parsed JSON scalar.
+/// Maximum nesting depth [`parse_document`] accepts; deeper input is a
+/// parse error rather than a stack overflow.
+const MAX_DEPTH: usize = 128;
+
+/// A parsed JSON value.
+///
+/// The flat tier ([`parse_flat_object`]) only ever produces the scalar
+/// variants; `Array` and `Object` appear in [`parse_document`] trees.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JsonValue {
     /// An integer (no fraction or exponent in the source text).
@@ -20,6 +38,175 @@ pub enum JsonValue {
     Bool(bool),
     /// `null`.
     Null,
+    /// An ordered sequence of values.
+    Array(Vec<JsonValue>),
+    /// A key-sorted object (duplicate keys: last wins).
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// The integer value, if this is an `Int`.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The non-negative integer value, if this is a non-negative `Int`.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// The numeric value: `Float`s as-is, `Int`s widened.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Float(f) => Some(*f),
+            JsonValue::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a `Str`.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a `Bool`.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an `Array`.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The field map, if this is an `Object`.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key`, if this is an `Object`.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.as_object().and_then(|fields| fields.get(key))
+    }
+
+    /// Appends this value's canonical JSON form to `out`: object keys in
+    /// `BTreeMap` order, floats via [`write_f64`], no whitespace. The same
+    /// tree always renders to the same bytes.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Int(i) => out.push_str(&i.to_string()),
+            JsonValue::Float(f) => write_f64(*f, out),
+            JsonValue::Str(s) => write_escaped(s, out),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// The canonical single-line JSON text (see [`JsonValue::write`]).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Multi-line JSON with two-space indentation — same canonical
+    /// ordering as [`JsonValue::write`], for artifacts meant to be read
+    /// by humans (reports, CI uploads). Still deterministic.
+    #[must_use]
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(0, &mut out);
+        out
+    }
+
+    fn write_pretty(&self, indent: usize, out: &mut String) {
+        match self {
+            JsonValue::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(indent + 1, out);
+                    item.write_pretty(indent + 1, out);
+                }
+                out.push('\n');
+                push_indent(indent, out);
+                out.push(']');
+            }
+            JsonValue::Object(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(indent + 1, out);
+                    write_escaped(key, out);
+                    out.push_str(": ");
+                    value.write_pretty(indent + 1, out);
+                }
+                out.push('\n');
+                push_indent(indent, out);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+}
+
+fn push_indent(levels: usize, out: &mut String) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
 }
 
 /// A parsed flat JSON object (string keys, scalar values).
@@ -61,6 +248,25 @@ pub fn write_f64(v: f64, out: &mut String) {
     } else {
         out.push_str("null");
     }
+}
+
+/// Parses one complete JSON document of any shape (nested objects,
+/// arrays, scalars), e.g. a `curtain-lab` cache entry or `BENCH_*.json`
+/// report.
+///
+/// # Errors
+///
+/// Returns a human-readable message on any syntax error, trailing
+/// garbage, or nesting deeper than an internal sanity cap.
+pub fn parse_document(input: &str) -> Result<JsonValue, String> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.parse_tree_value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(value)
 }
 
 /// Parses one flat JSON object, e.g. `{"t":3,"ev":"hello","node":1}`.
@@ -174,6 +380,8 @@ impl Parser<'_> {
         }
     }
 
+    /// Scalar values only — the flat tier. `{` and `[` are errors here,
+    /// which is what keeps [`parse_flat_object`] rejecting nesting.
     fn parse_value(&mut self) -> Result<JsonValue, String> {
         match self.peek() {
             Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
@@ -182,6 +390,60 @@ impl Parser<'_> {
             Some(b'n') => self.parse_keyword("null", JsonValue::Null),
             Some(b'-' | b'0'..=b'9') => self.parse_number(),
             other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
+
+    /// Any value, recursing into objects and arrays — the
+    /// [`parse_document`] tier.
+    fn parse_tree_value(&mut self, depth: usize) -> Result<JsonValue, String> {
+        if depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH}"));
+        }
+        match self.peek() {
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = BTreeMap::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let value = self.parse_tree_value(depth + 1)?;
+                    fields.insert(key, value);
+                    self.skip_ws();
+                    match self.next() {
+                        Some(b',') => continue,
+                        Some(b'}') => return Ok(JsonValue::Object(fields)),
+                        other => return Err(format!("expected ',' or '}}', got {other:?}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.parse_tree_value(depth + 1)?);
+                    self.skip_ws();
+                    match self.next() {
+                        Some(b',') => continue,
+                        Some(b']') => return Ok(JsonValue::Array(items)),
+                        other => return Err(format!("expected ',' or ']', got {other:?}")),
+                    }
+                }
+            }
+            _ => self.parse_value(),
         }
     }
 
@@ -264,6 +526,51 @@ mod tests {
         assert!(parse_flat_object(r#"{"a":{"b":1}}"#).is_err());
         assert!(parse_flat_object(r#"{"a":[1]}"#).is_err());
         assert!(parse_flat_object("").is_err());
+    }
+
+    #[test]
+    fn document_parses_nested_values() {
+        let doc = parse_document(
+            r#"{"exp":"e01","points":[{"params":{"d":2,"p":0.02},"mean":0.041}],"ok":true}"#,
+        )
+        .unwrap();
+        assert_eq!(doc.get("exp").and_then(JsonValue::as_str), Some("e01"));
+        let points = doc.get("points").and_then(JsonValue::as_array).unwrap();
+        let params = points[0].get("params").unwrap();
+        assert_eq!(params.get("d").and_then(JsonValue::as_i64), Some(2));
+        assert_eq!(params.get("p").and_then(JsonValue::as_f64), Some(0.02));
+        assert_eq!(points[0].get("mean").and_then(JsonValue::as_f64), Some(0.041));
+        assert_eq!(doc.get("ok").and_then(JsonValue::as_bool), Some(true));
+    }
+
+    #[test]
+    fn document_render_round_trips_canonically() {
+        let doc = parse_document(r#" { "b" : [ 1 , 2.5 , "x" ] , "a" : null } "#).unwrap();
+        // Canonical: key-sorted, no whitespace, floats kept floats.
+        assert_eq!(doc.render(), r#"{"a":null,"b":[1,2.5,"x"]}"#);
+        // Rendering is a fixed point.
+        assert_eq!(parse_document(&doc.render()).unwrap().render(), doc.render());
+        // Pretty form parses back to the same tree.
+        assert_eq!(parse_document(&doc.render_pretty()).unwrap(), doc);
+    }
+
+    #[test]
+    fn document_rejects_garbage_and_absurd_nesting() {
+        assert!(parse_document("").is_err());
+        assert!(parse_document("[1,]").is_err());
+        assert!(parse_document(r#"{"a":1}x"#).is_err());
+        let deep = format!("{}1{}", "[".repeat(200), "]".repeat(200));
+        assert!(parse_document(&deep).unwrap_err().contains("nesting"));
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(JsonValue::Int(-3).as_i64(), Some(-3));
+        assert_eq!(JsonValue::Int(-3).as_u64(), None);
+        assert_eq!(JsonValue::Int(3).as_u64(), Some(3));
+        assert_eq!(JsonValue::Int(3).as_f64(), Some(3.0));
+        assert_eq!(JsonValue::Str("s".into()).as_f64(), None);
+        assert_eq!(JsonValue::Null.get("k"), None);
     }
 
     #[test]

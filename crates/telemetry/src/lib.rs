@@ -29,7 +29,10 @@
 //! The crate is deliberately **dependency-free** (std only): JSON emission
 //! and parsing are small hand-rolled routines covering exactly the schema
 //! this crate writes, so instrumentation never drags serde or tokio into
-//! `curtain-gf`'s neighborhood.
+//! `curtain-gf`'s neighborhood. The [`json`] module is public: the trace
+//! wire format stays flat, but consumers with tree-shaped artifacts
+//! (`curtain-lab`'s result cache and `BENCH_*.json` reports) reuse the
+//! same writer/parser via [`json::JsonValue`] and [`json::parse_document`].
 //!
 //! # Example
 //!
@@ -55,7 +58,7 @@
 #![warn(missing_docs)]
 
 mod event;
-mod json;
+pub mod json;
 mod metrics;
 mod recorder;
 pub mod replay;
