@@ -249,8 +249,8 @@ impl Coordinator {
     /// # Errors
     ///
     /// Propagates serialization errors.
-    pub fn checkpoint_json(&self) -> Result<String, serde_json::Error> {
-        self.state.lock().server.to_json()
+    pub fn checkpoint_json(&self) -> io::Result<String> {
+        self.state.lock().server.to_json().map_err(io::Error::other)
     }
 
     /// Stops the accept loop and joins the thread.
@@ -420,6 +420,81 @@ mod tests {
         } else {
             assert!(matches!(new_parent, ParentAddr::Source(_)));
         }
+    }
+
+    #[test]
+    fn duplicate_complaint_returns_current_parent() {
+        let c = Coordinator::start_seeded(OverlayConfig::new(4, 2), 3).unwrap();
+        proto::call(
+            c.addr(),
+            &Request::RegisterSource {
+                data_addr: "127.0.0.1:9300".parse().unwrap(),
+                generations: 1,
+                generation_size: 4,
+                packet_len: 16,
+                content_len: 64,
+            },
+            T,
+        )
+        .unwrap();
+        let mut nodes = Vec::new();
+        for port in 9301u16..9307 {
+            let resp = proto::call(
+                c.addr(),
+                &Request::Hello {
+                    data_addr: format!("127.0.0.1:{port}").parse().unwrap(),
+                },
+                T,
+            )
+            .unwrap();
+            let Response::Welcome { node, .. } = resp else { panic!() };
+            nodes.push(node);
+        }
+        // Find a (child, thread, parent) relation where the parent is a
+        // node (straight from the in-process matrix — no checkpoint).
+        let (child, thread, failed) = {
+            let st = c.state.lock();
+            let mut found = None;
+            'outer: for &n in &nodes {
+                let pos = st.server.matrix().position_of(n).unwrap();
+                for (t, holder) in st.server.matrix().parents_of_position(pos) {
+                    if let Holder::Node(p) = holder {
+                        found = Some((n, t, p));
+                        break 'outer;
+                    }
+                }
+            }
+            found.expect("with six members some thread has a node parent")
+        };
+        let resp = proto::call(
+            c.addr(),
+            &Request::Complaint { child, failed_parent: Some(failed), thread },
+            T,
+        )
+        .unwrap();
+        let Response::Redirect { new_parent: first, .. } = resp else {
+            panic!("expected redirect, got {resp:?}");
+        };
+        assert_ne!(first.node(), Some(failed));
+        assert_eq!(c.repairs(), 1);
+        // A duplicate complaint against the already-spliced parent (e.g.
+        // from a retrying child whose first response was lost) must not
+        // trigger a second repair, and must name the child's *current*
+        // parent on that thread.
+        let resp = proto::call(
+            c.addr(),
+            &Request::Complaint { child, failed_parent: Some(failed), thread },
+            T,
+        )
+        .unwrap();
+        let Response::Redirect { thread: t2, new_parent: second } = resp else {
+            panic!("expected redirect, got {resp:?}");
+        };
+        assert_eq!(t2, thread);
+        assert_eq!(c.repairs(), 1, "duplicate complaint must not re-repair");
+        assert_ne!(second.node(), Some(failed));
+        let expected = c.state.lock().current_parent(child, thread).unwrap();
+        assert_eq!(second, expected);
     }
 
     #[test]

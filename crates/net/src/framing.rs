@@ -3,22 +3,54 @@
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 use curtain_overlay::{NodeId, ThreadId};
 use curtain_rlnc::CodedPacket;
-use serde::{Deserialize, Serialize};
+use curtain_telemetry::json::{self, JsonValue};
 
 /// Upper bound on a frame (coefficients + payload); guards against
 /// corrupted length prefixes.
 pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
 
+/// Upper bound on the subscribe line; anything longer is garbage.
+const MAX_SUBSCRIBE_LINE: usize = 512;
+
 /// The one-line handshake a subscriber sends after connecting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Subscribe {
     /// The subscribing peer (for the publisher's bookkeeping/logging).
     pub node: NodeId,
     /// The overlay thread this subscription carries.
     pub thread: ThreadId,
+}
+
+impl Subscribe {
+    fn to_json_line(self) -> String {
+        let mut out = String::from("{\"node\":");
+        out.push_str(&self.node.0.to_string());
+        out.push_str(",\"thread\":");
+        out.push_str(&self.thread.to_string());
+        out.push('}');
+        out
+    }
+
+    fn parse_json_line(line: &str) -> Result<Self, String> {
+        let obj = json::parse_flat_object(line.trim())?;
+        let node = obj
+            .fields
+            .get("node")
+            .and_then(JsonValue::as_u64)
+            .ok_or("missing or bad node")?;
+        let thread = obj
+            .fields
+            .get("thread")
+            .and_then(JsonValue::as_u64)
+            .and_then(|t| ThreadId::try_from(t).ok())
+            .ok_or("missing or bad thread")?;
+        Ok(Subscribe { node: NodeId(node), thread })
+    }
 }
 
 /// Writes the subscribe line.
@@ -27,13 +59,15 @@ pub struct Subscribe {
 ///
 /// Propagates socket errors.
 pub fn write_subscribe(mut stream: &TcpStream, sub: &Subscribe) -> io::Result<()> {
-    let mut line = serde_json::to_string(sub).map_err(io::Error::other)?;
+    let mut line = sub.to_json_line();
     line.push('\n');
     stream.write_all(line.as_bytes())?;
     stream.flush()
 }
 
-/// Reads the subscribe line from a freshly accepted data connection.
+/// Reads the subscribe line from a freshly accepted data connection,
+/// blocking until a full line arrives (respecting the stream's read
+/// timeout, if any).
 ///
 /// # Errors
 ///
@@ -42,7 +76,70 @@ pub fn read_subscribe(stream: &TcpStream) -> io::Result<Subscribe> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut buf = String::new();
     reader.read_line(&mut buf)?;
-    serde_json::from_str(&buf).map_err(io::Error::other)
+    Subscribe::parse_json_line(&buf)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Reads the subscribe line without ever blocking longer than ~100 ms at a
+/// time, so a serving thread stays responsive to `stop` (and can be
+/// joined promptly) even when a client connects and then stalls.
+///
+/// Tolerates the line arriving in arbitrarily small pieces — each read
+/// timeout just re-checks `stop` and the deadline, keeping whatever bytes
+/// already arrived.
+///
+/// # Errors
+///
+/// `TimedOut` when `deadline` passes or `stop` is raised before a full
+/// line arrives; otherwise propagates socket and parse errors.
+pub fn read_subscribe_deadline(
+    stream: &TcpStream,
+    stop: &AtomicBool,
+    deadline: Duration,
+) -> io::Result<Subscribe> {
+    let until = Instant::now() + deadline;
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut reader = stream.try_clone()?;
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        if stop.load(Ordering::SeqCst) || Instant::now() >= until {
+            return Err(io::Error::new(io::ErrorKind::TimedOut, "no subscribe line"));
+        }
+        // One byte at a time: the line is short and sent once, and this
+        // guarantees we never consume bytes past the newline (the frame
+        // channel runs the other way, but keep the invariant anyway).
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "closed before subscribe",
+                ))
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    let text = std::str::from_utf8(&line)
+                        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad utf-8"))?;
+                    return Subscribe::parse_json_line(text)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e));
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_SUBSCRIBE_LINE {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "subscribe line too long",
+                    ));
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 /// Writes one length-prefixed packet frame.
@@ -102,6 +199,7 @@ fn read_exact_or_eof(stream: &mut impl Read, buf: &mut [u8]) -> io::Result<bool>
 mod tests {
     use super::*;
     use bytes::Bytes;
+    use std::net::TcpListener;
 
     #[test]
     fn frame_round_trip_in_memory() {
@@ -151,5 +249,109 @@ mod tests {
             count += 1;
         }
         assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn subscribe_line_round_trips() {
+        let sub = Subscribe { node: NodeId(42), thread: 7 };
+        let back = Subscribe::parse_json_line(&sub.to_json_line()).unwrap();
+        assert_eq!(back, sub);
+        assert!(Subscribe::parse_json_line("{}").is_err());
+        assert!(Subscribe::parse_json_line("junk").is_err());
+    }
+
+    /// A connected localhost socket pair.
+    fn tcp_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn partial_write_then_close_mid_frame_is_an_error() {
+        // The fault a truncating proxy (or a crash mid-write) produces:
+        // the length prefix promises more bytes than ever arrive.
+        let (client, mut server) = tcp_pair();
+        let p = CodedPacket::new(0, vec![1, 2], Bytes::from(vec![3u8; 256]));
+        let wire = p.to_wire();
+        {
+            let mut w = &client;
+            w.write_all(&(wire.len() as u32).to_le_bytes()).unwrap();
+            w.write_all(&wire[..wire.len() / 2]).unwrap();
+            w.flush().unwrap();
+        }
+        drop(client); // hard close mid-frame
+        let err = read_frame(&mut server).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "{err}");
+    }
+
+    #[test]
+    fn close_mid_length_prefix_is_an_error() {
+        let (client, mut server) = tcp_pair();
+        {
+            let mut w = &client;
+            w.write_all(&[7u8, 0]).unwrap(); // half a length prefix
+            w.flush().unwrap();
+        }
+        drop(client);
+        let err = read_frame(&mut server).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "{err}");
+    }
+
+    #[test]
+    fn subscribe_line_longer_than_one_read_still_parses() {
+        // The line trickles in over several writes with pauses; the
+        // deadline reader must assemble it across its internal timeouts.
+        let (client, server) = tcp_pair();
+        let stop = AtomicBool::new(false);
+        let writer = std::thread::spawn(move || {
+            let line = Subscribe { node: NodeId(9), thread: 3 }.to_json_line() + "\n";
+            let bytes = line.as_bytes();
+            let mut w = &client;
+            for chunk in bytes.chunks(4) {
+                w.write_all(chunk).unwrap();
+                w.flush().unwrap();
+                std::thread::sleep(Duration::from_millis(30));
+            }
+            client
+        });
+        let sub = read_subscribe_deadline(&server, &stop, Duration::from_secs(5)).unwrap();
+        assert_eq!(sub, Subscribe { node: NodeId(9), thread: 3 });
+        drop(writer.join().unwrap());
+    }
+
+    #[test]
+    fn subscribe_deadline_honors_stop_flag() {
+        use std::sync::Arc;
+        let (_client, server) = tcp_pair(); // client never writes
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let t = std::thread::spawn(move || {
+            read_subscribe_deadline(&server, &stop2, Duration::from_secs(30))
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        stop.store(true, Ordering::SeqCst);
+        let started = Instant::now();
+        let err = t.join().unwrap().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        // The reader noticed the flag within its ~100 ms poll interval,
+        // not the 30 s deadline.
+        assert!(started.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn oversized_subscribe_line_rejected() {
+        let (client, server) = tcp_pair();
+        let stop = AtomicBool::new(false);
+        {
+            let mut w = &client;
+            w.write_all(&vec![b'x'; MAX_SUBSCRIBE_LINE + 10]).unwrap();
+            w.flush().unwrap();
+        }
+        let err =
+            read_subscribe_deadline(&server, &stop, Duration::from_secs(5)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 }

@@ -18,10 +18,22 @@
 //!   writes one subscribe line, then reads frames forever. Every packet
 //!   carries its coefficient vector, so reconnection needs no state
 //!   recovery whatsoever — the property the paper builds on.
-//! * **Failures** — crash = sockets drop. Children notice EOF, complain,
-//!   and are redirected; the coordinator marks the node failed and splices
-//!   it out (graceful leaves reuse the same path — the leaver just closes
-//!   everything and says good-bye first).
+//! * **Failures** — crash = sockets drop. Children notice EOF (or a
+//!   stalled-but-connected link), complain, and are redirected; the
+//!   coordinator marks the node failed and splices it out (graceful leaves
+//!   reuse the same path — the leaver just closes everything and says
+//!   good-bye first).
+//! * **Repair robustness** — complaints run under a [`RepairPolicy`]:
+//!   jittered exponential backoff between attempts, retries until a
+//!   per-episode deadline (a transient coordinator timeout is NOT fatal),
+//!   and a sliding-window episode budget instead of a lifetime cap, so a
+//!   long-lived peer repairs indefinitely unless it is genuinely
+//!   thrashing. Give-ups are loud: a `RepairGaveUp` telemetry event and a
+//!   `repair_gave_up` counter, never a silent thread death.
+//! * **Fault injection** — [`FaultProxy`] is a TCP proxy for tests and
+//!   soaks: it can refuse, blackhole, delay, truncate mid-frame, or hard-
+//!   close connections on command (see `tests/churn_soak.rs` at the
+//!   workspace root).
 //!
 //! # Example
 //!
@@ -45,11 +57,15 @@
 #![warn(missing_docs)]
 
 mod coordinator;
+pub mod faults;
 pub mod framing;
 mod peer;
 pub mod proto;
+pub mod repair;
 mod source;
 
 pub use coordinator::Coordinator;
-pub use peer::Peer;
+pub use faults::{Fault, FaultProxy};
+pub use peer::{Peer, PeerConfig};
+pub use repair::{RepairBudget, RepairPolicy};
 pub use source::Source;

@@ -1,14 +1,21 @@
 //! Control-plane messages: one JSON line per request and response.
+//!
+//! The wire codec is hand-rolled over [`curtain_telemetry::json`] — the
+//! same dependency-free JSON layer the trace format uses — so the control
+//! plane carries no serialization dependency and its wire form is
+//! explicit: every message is a flat-ish tagged object, e.g.
+//! `{"req":"complaint","child":4,"failed_parent":1,"thread":7}`.
 
+use std::collections::BTreeMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 use curtain_overlay::{NodeId, ThreadId};
-use serde::{Deserialize, Serialize};
+use curtain_telemetry::json::{self, JsonValue};
 
 /// Where a stream comes from: the source host or a peer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ParentAddr {
     /// The source's data listener.
     Source(SocketAddr),
@@ -33,10 +40,35 @@ impl ParentAddr {
             ParentAddr::Node(n, _) => Some(*n),
         }
     }
+
+    fn to_json(self) -> JsonValue {
+        let mut fields = BTreeMap::new();
+        match self {
+            ParentAddr::Source(a) => {
+                fields.insert("kind".into(), JsonValue::Str("source".into()));
+                fields.insert("addr".into(), JsonValue::Str(a.to_string()));
+            }
+            ParentAddr::Node(n, a) => {
+                fields.insert("kind".into(), JsonValue::Str("node".into()));
+                fields.insert("node".into(), JsonValue::Int(n.0 as i64));
+                fields.insert("addr".into(), JsonValue::Str(a.to_string()));
+            }
+        }
+        JsonValue::Object(fields)
+    }
+
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        let addr = parse_addr_field(v, "addr")?;
+        match v.get("kind").and_then(JsonValue::as_str) {
+            Some("source") => Ok(ParentAddr::Source(addr)),
+            Some("node") => Ok(ParentAddr::Node(NodeId(field_u64(v, "node")?), addr)),
+            other => Err(format!("bad parent kind {other:?}")),
+        }
+    }
 }
 
 /// Requests a client may send to the coordinator.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     /// The source announces itself and the content shape.
     RegisterSource {
@@ -80,8 +112,99 @@ pub enum Request {
     Stats,
 }
 
+impl Request {
+    /// The single-line JSON wire form (no trailing newline).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut fields = BTreeMap::new();
+        let tag = |fields: &mut BTreeMap<String, JsonValue>, t: &str| {
+            fields.insert("req".into(), JsonValue::Str(t.into()));
+        };
+        match self {
+            Request::RegisterSource {
+                data_addr,
+                generations,
+                generation_size,
+                packet_len,
+                content_len,
+            } => {
+                tag(&mut fields, "register_source");
+                fields.insert("data_addr".into(), JsonValue::Str(data_addr.to_string()));
+                fields.insert("generations".into(), JsonValue::Int(*generations as i64));
+                fields
+                    .insert("generation_size".into(), JsonValue::Int(*generation_size as i64));
+                fields.insert("packet_len".into(), JsonValue::Int(*packet_len as i64));
+                fields.insert("content_len".into(), JsonValue::Int(*content_len as i64));
+            }
+            Request::Hello { data_addr } => {
+                tag(&mut fields, "hello");
+                fields.insert("data_addr".into(), JsonValue::Str(data_addr.to_string()));
+            }
+            Request::Goodbye { node } => {
+                tag(&mut fields, "goodbye");
+                fields.insert("node".into(), JsonValue::Int(node.0 as i64));
+            }
+            Request::Complaint { child, failed_parent, thread } => {
+                tag(&mut fields, "complaint");
+                fields.insert("child".into(), JsonValue::Int(child.0 as i64));
+                fields.insert(
+                    "failed_parent".into(),
+                    match failed_parent {
+                        Some(n) => JsonValue::Int(n.0 as i64),
+                        None => JsonValue::Null,
+                    },
+                );
+                fields.insert("thread".into(), JsonValue::Int(i64::from(*thread)));
+            }
+            Request::Completed { node } => {
+                tag(&mut fields, "completed");
+                fields.insert("node".into(), JsonValue::Int(node.0 as i64));
+            }
+            Request::Stats => tag(&mut fields, "stats"),
+        }
+        JsonValue::Object(fields).render()
+    }
+
+    /// Parses one wire line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed lines.
+    pub fn parse_json_line(line: &str) -> Result<Self, String> {
+        let v = json::parse_document(line.trim())?;
+        let req = match v.get("req").and_then(JsonValue::as_str) {
+            Some(t) => t,
+            None => return Err("missing \"req\" tag".into()),
+        };
+        match req {
+            "register_source" => Ok(Request::RegisterSource {
+                data_addr: parse_addr_field(&v, "data_addr")?,
+                generations: field_usize(&v, "generations")?,
+                generation_size: field_usize(&v, "generation_size")?,
+                packet_len: field_usize(&v, "packet_len")?,
+                content_len: field_usize(&v, "content_len")?,
+            }),
+            "hello" => Ok(Request::Hello { data_addr: parse_addr_field(&v, "data_addr")? }),
+            "goodbye" => Ok(Request::Goodbye { node: NodeId(field_u64(&v, "node")?) }),
+            "complaint" => Ok(Request::Complaint {
+                child: NodeId(field_u64(&v, "child")?),
+                failed_parent: match v.get("failed_parent") {
+                    Some(JsonValue::Null) | None => None,
+                    Some(x) => Some(NodeId(
+                        x.as_u64().ok_or("bad failed_parent")?,
+                    )),
+                },
+                thread: field_thread(&v)?,
+            }),
+            "completed" => Ok(Request::Completed { node: NodeId(field_u64(&v, "node")?) }),
+            "stats" => Ok(Request::Stats),
+            other => Err(format!("unknown request {other:?}")),
+        }
+    }
+}
+
 /// Responses from the coordinator.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
     /// Join granted.
     Welcome {
@@ -123,6 +246,153 @@ pub enum Response {
     },
 }
 
+impl Response {
+    /// The single-line JSON wire form (no trailing newline).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut fields = BTreeMap::new();
+        let tag = |fields: &mut BTreeMap<String, JsonValue>, t: &str| {
+            fields.insert("resp".into(), JsonValue::Str(t.into()));
+        };
+        match self {
+            Response::Welcome {
+                node,
+                generations,
+                generation_size,
+                packet_len,
+                content_len,
+                parents,
+            } => {
+                tag(&mut fields, "welcome");
+                fields.insert("node".into(), JsonValue::Int(node.0 as i64));
+                fields.insert("generations".into(), JsonValue::Int(*generations as i64));
+                fields
+                    .insert("generation_size".into(), JsonValue::Int(*generation_size as i64));
+                fields.insert("packet_len".into(), JsonValue::Int(*packet_len as i64));
+                fields.insert("content_len".into(), JsonValue::Int(*content_len as i64));
+                fields.insert(
+                    "parents".into(),
+                    JsonValue::Array(
+                        parents
+                            .iter()
+                            .map(|(t, p)| {
+                                JsonValue::Array(vec![
+                                    JsonValue::Int(i64::from(*t)),
+                                    p.to_json(),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                );
+            }
+            Response::Redirect { thread, new_parent } => {
+                tag(&mut fields, "redirect");
+                fields.insert("thread".into(), JsonValue::Int(i64::from(*thread)));
+                fields.insert("new_parent".into(), new_parent.to_json());
+            }
+            Response::Stats { members, completed, repairs } => {
+                tag(&mut fields, "stats");
+                fields.insert("members".into(), JsonValue::Int(*members as i64));
+                fields.insert("completed".into(), JsonValue::Int(*completed as i64));
+                fields.insert("repairs".into(), JsonValue::Int(*repairs as i64));
+            }
+            Response::Ok => tag(&mut fields, "ok"),
+            Response::Error { reason } => {
+                tag(&mut fields, "error");
+                fields.insert("reason".into(), JsonValue::Str(reason.clone()));
+            }
+        }
+        JsonValue::Object(fields).render()
+    }
+
+    /// Parses one wire line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed lines.
+    pub fn parse_json_line(line: &str) -> Result<Self, String> {
+        let v = json::parse_document(line.trim())?;
+        let resp = match v.get("resp").and_then(JsonValue::as_str) {
+            Some(t) => t,
+            None => return Err("missing \"resp\" tag".into()),
+        };
+        match resp {
+            "welcome" => {
+                let parents_json = v
+                    .get("parents")
+                    .and_then(JsonValue::as_array)
+                    .ok_or("missing parents array")?;
+                let mut parents = Vec::with_capacity(parents_json.len());
+                for pair in parents_json {
+                    let items = pair.as_array().ok_or("bad parent pair")?;
+                    let [t, p] = items else {
+                        return Err("parent pair is not 2-element".into());
+                    };
+                    let thread = t
+                        .as_u64()
+                        .and_then(|x| ThreadId::try_from(x).ok())
+                        .ok_or("bad thread id")?;
+                    parents.push((thread, ParentAddr::from_json(p)?));
+                }
+                Ok(Response::Welcome {
+                    node: NodeId(field_u64(&v, "node")?),
+                    generations: field_usize(&v, "generations")?,
+                    generation_size: field_usize(&v, "generation_size")?,
+                    packet_len: field_usize(&v, "packet_len")?,
+                    content_len: field_usize(&v, "content_len")?,
+                    parents,
+                })
+            }
+            "redirect" => Ok(Response::Redirect {
+                thread: field_thread(&v)?,
+                new_parent: ParentAddr::from_json(
+                    v.get("new_parent").ok_or("missing new_parent")?,
+                )?,
+            }),
+            "stats" => Ok(Response::Stats {
+                members: field_usize(&v, "members")?,
+                completed: field_usize(&v, "completed")?,
+                repairs: field_u64(&v, "repairs")?,
+            }),
+            "ok" => Ok(Response::Ok),
+            "error" => Ok(Response::Error {
+                reason: v
+                    .get("reason")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("missing reason")?
+                    .to_string(),
+            }),
+            other => Err(format!("unknown response {other:?}")),
+        }
+    }
+}
+
+fn field_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+}
+
+fn field_usize(v: &JsonValue, key: &str) -> Result<usize, String> {
+    usize::try_from(field_u64(v, key)?).map_err(|_| format!("field {key:?} overflows usize"))
+}
+
+fn field_thread(v: &JsonValue) -> Result<ThreadId, String> {
+    ThreadId::try_from(field_u64(v, "thread")?).map_err(|_| "thread overflows u16".to_string())
+}
+
+fn parse_addr_field(v: &JsonValue, key: &str) -> Result<SocketAddr, String> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("missing addr field {key:?}"))?
+        .parse()
+        .map_err(|e| format!("bad socket address in {key:?}: {e}"))
+}
+
+fn invalid(e: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e)
+}
+
 /// Sends one request and reads one response over a fresh connection.
 ///
 /// # Errors
@@ -134,14 +404,17 @@ pub fn call(coordinator: SocketAddr, request: &Request, timeout: Duration) -> io
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
     let mut writer = stream.try_clone()?;
-    let mut line = serde_json::to_string(request).map_err(io::Error::other)?;
+    let mut line = request.to_json_line();
     line.push('\n');
     writer.write_all(line.as_bytes())?;
     writer.flush()?;
     let mut reader = BufReader::new(stream);
     let mut buf = String::new();
     reader.read_line(&mut buf)?;
-    serde_json::from_str(&buf).map_err(io::Error::other)
+    if buf.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "empty response"));
+    }
+    Response::parse_json_line(&buf).map_err(invalid)
 }
 
 /// Reads one request line from an accepted control connection.
@@ -153,7 +426,7 @@ pub fn read_request(stream: &TcpStream) -> io::Result<Request> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut buf = String::new();
     reader.read_line(&mut buf)?;
-    serde_json::from_str(&buf).map_err(io::Error::other)
+    Request::parse_json_line(&buf).map_err(invalid)
 }
 
 /// Writes one response line to an accepted control connection.
@@ -162,7 +435,7 @@ pub fn read_request(stream: &TcpStream) -> io::Result<Request> {
 ///
 /// Propagates socket and serialization errors.
 pub fn write_response(mut stream: &TcpStream, response: &Response) -> io::Result<()> {
-    let mut line = serde_json::to_string(response).map_err(io::Error::other)?;
+    let mut line = response.to_json_line();
     line.push('\n');
     stream.write_all(line.as_bytes())?;
     stream.flush()
@@ -175,6 +448,13 @@ mod tests {
     #[test]
     fn round_trip_json() {
         let reqs = vec![
+            Request::RegisterSource {
+                data_addr: "127.0.0.1:9000".parse().unwrap(),
+                generations: 3,
+                generation_size: 16,
+                packet_len: 1024,
+                content_len: 40_000,
+            },
             Request::Hello { data_addr: "127.0.0.1:1234".parse().unwrap() },
             Request::Goodbye { node: NodeId(3) },
             Request::Complaint { child: NodeId(4), failed_parent: Some(NodeId(1)), thread: 7 },
@@ -183,20 +463,54 @@ mod tests {
             Request::Stats,
         ];
         for r in reqs {
-            let s = serde_json::to_string(&r).unwrap();
-            let back: Request = serde_json::from_str(&s).unwrap();
-            assert_eq!(back, r);
+            let s = r.to_json_line();
+            let back = Request::parse_json_line(&s).expect(&s);
+            assert_eq!(back, r, "line: {s}");
         }
-        let resp = Response::Welcome {
-            node: NodeId(1),
-            generations: 3,
-            generation_size: 16,
-            packet_len: 1024,
-            content_len: 40_000,
-            parents: vec![(0, ParentAddr::Source("127.0.0.1:9".parse().unwrap()))],
-        };
-        let s = serde_json::to_string(&resp).unwrap();
-        assert_eq!(serde_json::from_str::<Response>(&s).unwrap(), resp);
+        let resps = vec![
+            Response::Welcome {
+                node: NodeId(1),
+                generations: 3,
+                generation_size: 16,
+                packet_len: 1024,
+                content_len: 40_000,
+                parents: vec![
+                    (0, ParentAddr::Source("127.0.0.1:9".parse().unwrap())),
+                    (5, ParentAddr::Node(NodeId(2), "127.0.0.1:10".parse().unwrap())),
+                ],
+            },
+            Response::Redirect {
+                thread: 7,
+                new_parent: ParentAddr::Node(NodeId(8), "127.0.0.1:11".parse().unwrap()),
+            },
+            Response::Stats { members: 4, completed: 2, repairs: 9 },
+            Response::Ok,
+            Response::Error { reason: "no \"source\" yet\n".into() },
+        ];
+        for r in resps {
+            let s = r.to_json_line();
+            let back = Response::parse_json_line(&s).expect(&s);
+            assert_eq!(back, r, "line: {s}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Request::parse_json_line("not json").is_err());
+        assert!(Request::parse_json_line(r#"{"req":"wat"}"#).is_err());
+        assert!(Request::parse_json_line(r#"{"node":1}"#).is_err(), "missing tag");
+        assert!(Request::parse_json_line(r#"{"req":"goodbye"}"#).is_err(), "missing node");
+        assert!(Response::parse_json_line(r#"{"resp":"redirect","thread":1}"#).is_err());
+        assert!(
+            Request::parse_json_line(r#"{"req":"hello","data_addr":"nonsense"}"#).is_err(),
+            "bad addr"
+        );
+    }
+
+    #[test]
+    fn ipv6_addresses_round_trip() {
+        let r = Request::Hello { data_addr: "[::1]:8080".parse().unwrap() };
+        assert_eq!(Request::parse_json_line(&r.to_json_line()).unwrap(), r);
     }
 
     #[test]

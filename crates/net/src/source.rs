@@ -8,6 +8,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use parking_lot::Mutex;
+
 use curtain_rlnc::pipeline::{ObjectEncoder, Schedule};
 use curtain_rlnc::Content;
 use rand::rngs::StdRng;
@@ -27,6 +29,7 @@ pub struct Source {
     data_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_handle: Option<JoinHandle<()>>,
+    subscribers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     generations: usize,
     generation_size: usize,
     packet_len: usize,
@@ -100,20 +103,25 @@ impl Source {
             return Err(io::Error::other(format!("registration rejected: {resp:?}")));
         }
 
+        let subscribers = Arc::new(Mutex::new(Vec::new()));
         let accept_handle = {
             let stop = Arc::clone(&stop);
             let encoder = Arc::clone(&encoder);
+            let subscribers = Arc::clone(&subscribers);
             let seed = Arc::new(AtomicU64::new(0x50u64));
             std::thread::spawn(move || {
                 while !stop.load(Ordering::SeqCst) {
                     match listener.accept() {
                         Ok((stream, _)) => {
-                            let stop = Arc::clone(&stop);
+                            let worker_stop = Arc::clone(&stop);
                             let encoder = Arc::clone(&encoder);
                             let s = seed.fetch_add(1, Ordering::SeqCst);
-                            std::thread::spawn(move || {
-                                let _ = serve_subscriber(&stream, &encoder, &stop, pace, s);
+                            let handle = std::thread::spawn(move || {
+                                let _ = serve_subscriber(&stream, &encoder, &worker_stop, pace, s);
                             });
+                            let mut subs = subscribers.lock();
+                            subs.retain(|h: &JoinHandle<()>| !h.is_finished());
+                            subs.push(handle);
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(2));
@@ -127,6 +135,7 @@ impl Source {
             data_addr,
             stop,
             accept_handle: Some(accept_handle),
+            subscribers,
             generations,
             generation_size,
             packet_len,
@@ -168,6 +177,12 @@ impl Source {
         if let Some(h) = self.accept_handle.take() {
             let _ = h.join();
         }
+        // Accept loop is joined, so the subscriber list is final; join
+        // every serving thread so shutdown really quiesces the source.
+        let subs: Vec<_> = self.subscribers.lock().drain(..).collect();
+        for h in subs {
+            let _ = h.join();
+        }
     }
 }
 
@@ -193,12 +208,12 @@ fn serve_subscriber(
     pace: Duration,
     seed: u64,
 ) -> io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    let _sub = framing::read_subscribe(stream)?;
+    let _sub = framing::read_subscribe_deadline(stream, stop, Duration::from_secs(5))?;
     let mut rng = StdRng::seed_from_u64(seed);
     // Each subscriber cycles the generations independently.
     let mut encoder = encoder.clone();
     let mut out = stream.try_clone()?;
+    out.set_write_timeout(Some(Duration::from_secs(2)))?;
     while !stop.load(Ordering::SeqCst) {
         let packet = encoder.next_packet(&mut rng);
         if framing::write_frame(&mut out, &packet).is_err() {

@@ -227,7 +227,12 @@ fn traced_crash_recovery_records_repair_latency() {
     let metrics = peer_sink.metrics().snapshot();
     if let Some(h) = metrics.histograms.get("repair_latency_ms") {
         assert_eq!(Some(h.count), metrics.counters.get("repairs").copied());
-        assert!(h.min >= 20.0, "repair can't beat the 20ms backoff: {}", h.min);
+        // Default policy: 10ms initial backoff, ±25% jitter ⇒ ≥ 7.5ms.
+        assert!(h.min >= 7.0, "repair can't beat the jittered backoff: {}", h.min);
+        // Each successful episode also logs its attempt count.
+        let attempts = &metrics.histograms["repair_attempts"];
+        assert_eq!(attempts.count, h.count);
+        assert!(attempts.min >= 1.0);
     }
     // Coordinator-side: the survivor's whole lifecycle was observed.
     let coord_kinds: Vec<(u64, &'static str, Option<u64>)> = coord_sink

@@ -159,6 +159,29 @@ pub enum Event {
         /// The peer's id.
         peer: u64,
     },
+    /// A peer's upstream thread sent (or retried) a complaint after its
+    /// parent stopped serving. `attempt` counts from 1 within one repair
+    /// episode; episodes that succeed on the first try emit exactly one.
+    RepairAttempt {
+        /// The complaining peer.
+        peer: u64,
+        /// The overlay thread whose stream broke.
+        thread: u32,
+        /// 1-based attempt number within this repair episode.
+        attempt: u32,
+    },
+    /// A peer's upstream thread exhausted its repair policy (deadline or
+    /// sliding-window budget) and abandoned the thread — the observable
+    /// face of a *permanent* defect. A healthy deployment has zero.
+    RepairGaveUp {
+        /// The peer that gave up.
+        peer: u64,
+        /// The abandoned thread.
+        thread: u32,
+        /// Complaint attempts made in the final episode (0 when the
+        /// window budget denied the episode outright).
+        attempts: u32,
+    },
 }
 
 impl Event {
@@ -178,6 +201,8 @@ impl Event {
             Event::LinkDrop { .. } => "link_drop",
             Event::PeerConnect { .. } => "peer_connect",
             Event::PeerDisconnect { .. } => "peer_disconnect",
+            Event::RepairAttempt { .. } => "repair_attempt",
+            Event::RepairGaveUp { .. } => "repair_gave_up",
         }
     }
 
@@ -194,7 +219,10 @@ impl Event {
             | Event::RepairComplete { node }
             | Event::PacketInnovative { node, .. }
             | Event::PacketRedundant { node, .. } => Some(*node),
-            Event::PeerConnect { peer } | Event::PeerDisconnect { peer } => Some(*peer),
+            Event::PeerConnect { peer }
+            | Event::PeerDisconnect { peer }
+            | Event::RepairAttempt { peer, .. }
+            | Event::RepairGaveUp { peer, .. } => Some(*peer),
             Event::ThreadDefect { .. } | Event::DefectSample { .. } | Event::LinkDrop { .. } => {
                 None
             }
@@ -257,6 +285,16 @@ impl Event {
             }
             Event::PeerConnect { peer } => field("peer", &peer.to_string()),
             Event::PeerDisconnect { peer } => field("peer", &peer.to_string()),
+            Event::RepairAttempt { peer, thread, attempt } => {
+                field("peer", &peer.to_string());
+                field("thread", &thread.to_string());
+                field("attempt", &attempt.to_string());
+            }
+            Event::RepairGaveUp { peer, thread, attempts } => {
+                field("peer", &peer.to_string());
+                field("thread", &thread.to_string());
+                field("attempts", &attempts.to_string());
+            }
         }
         out.push('}');
     }
@@ -315,6 +353,16 @@ impl Event {
             },
             "peer_connect" => Event::PeerConnect { peer: fields.u64("peer")? },
             "peer_disconnect" => Event::PeerDisconnect { peer: fields.u64("peer")? },
+            "repair_attempt" => Event::RepairAttempt {
+                peer: fields.u64("peer")?,
+                thread: fields.u32("thread")?,
+                attempt: fields.u32("attempt")?,
+            },
+            "repair_gave_up" => Event::RepairGaveUp {
+                peer: fields.u64("peer")?,
+                thread: fields.u32("thread")?,
+                attempts: fields.u32("attempts")?,
+            },
             other => return Err(format!("unknown event kind {other:?}")),
         };
         Ok((at, event))
@@ -375,6 +423,8 @@ mod tests {
             Event::LinkDrop { link: 8, from: 1, to: 5, reason: DropReason::Capacity },
             Event::PeerConnect { peer: 11 },
             Event::PeerDisconnect { peer: 11 },
+            Event::RepairAttempt { peer: 11, thread: 3, attempt: 2 },
+            Event::RepairGaveUp { peer: 11, thread: 3, attempts: 5 },
         ]
     }
 
