@@ -1,20 +1,27 @@
 //! CLI: run a curtain coordinator.
 //!
 //! ```text
-//! curtain_coordinator <k> <d> [--checkpoint <path>] [--stats-every <secs>]
+//! curtain_coordinator <k> <d> [--wal <path>] [--checkpoint <path>] [--stats-every <secs>]
 //! ```
 //!
-//! Prints the control address; peers and the source point at it. The
-//! optional checkpoint file is rewritten after every stats interval so a
-//! replacement coordinator can be restarted from it.
+//! Prints the control address; peers and the source point at it. With
+//! `--wal`, every matrix mutation is logged durably and a restart with
+//! the same path *recovers* the previous matrix instead of starting
+//! empty (an existing non-empty log is replayed; a missing or empty one
+//! starts fresh). The optional checkpoint file is rewritten after every
+//! stats interval so operators can inspect the live matrix.
 
 use std::time::Duration;
 
-use curtain_net::Coordinator;
+use curtain_net::{Coordinator, WalOptions};
 use curtain_overlay::OverlayConfig;
+use curtain_telemetry::SharedRecorder;
 
 fn usage() -> ! {
-    eprintln!("usage: curtain_coordinator <k> <d> [--checkpoint <path>] [--stats-every <secs>]");
+    eprintln!(
+        "usage: curtain_coordinator <k> <d> [--wal <path>] [--checkpoint <path>] \
+         [--stats-every <secs>]"
+    );
     std::process::exit(2);
 }
 
@@ -25,11 +32,16 @@ fn main() {
     }
     let k: usize = args[0].parse().unwrap_or_else(|_| usage());
     let d: usize = args[1].parse().unwrap_or_else(|_| usage());
+    let mut wal: Option<String> = None;
     let mut checkpoint: Option<String> = None;
     let mut stats_every = 5u64;
     let mut i = 2;
     while i < args.len() {
         match args[i].as_str() {
+            "--wal" if i + 1 < args.len() => {
+                wal = Some(args[i + 1].clone());
+                i += 2;
+            }
             "--checkpoint" if i + 1 < args.len() => {
                 checkpoint = Some(args[i + 1].clone());
                 i += 2;
@@ -42,7 +54,26 @@ fn main() {
         }
     }
 
-    let coordinator = match Coordinator::start(OverlayConfig::new(k, d)) {
+    let config = OverlayConfig::new(k, d);
+    let started = match &wal {
+        Some(path) => {
+            let existing =
+                std::fs::metadata(path).map(|m| m.len() > 0).unwrap_or(false);
+            if existing {
+                println!("recovering from WAL {path}");
+                Coordinator::recover(path, config)
+            } else {
+                Coordinator::start_durable(
+                    config,
+                    0xC0DE,
+                    SharedRecorder::null(),
+                    &WalOptions::new(path),
+                )
+            }
+        }
+        None => Coordinator::start(config),
+    };
+    let coordinator = match started {
         Ok(c) => c,
         Err(e) => {
             eprintln!("failed to start: {e}");

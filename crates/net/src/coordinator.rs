@@ -1,37 +1,41 @@
 //! The coordinator: the paper's server-side matrix behind a TCP port.
+//!
+//! The matrix `M` is durable when the coordinator is started with a
+//! [`WalOptions`]: every mutation (source registration, hello, good-bye,
+//! splice, completion, resync) is appended to a write-ahead log before the
+//! response leaves, and [`Coordinator::recover`] replays checkpoint + WAL
+//! to resurrect the exact state after a crash. When the WAL itself is
+//! lost, the resync protocol rebuilds `M` from the peers: an "unknown
+//! child" complaint response makes the peer send [`Request::Resync`] with
+//! its thread→parent view, and the coordinator re-inserts the row.
 
 use std::collections::{HashMap, HashSet};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
-use curtain_overlay::{CurtainServer, Holder, NodeId, OverlayConfig, ThreadId};
+use curtain_overlay::snapshot::RowSnapshot;
+use curtain_overlay::{CurtainServer, Holder, NodeId, NodeStatus, OverlayConfig, ThreadId};
 use curtain_telemetry::{Event, SharedRecorder};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::proto::{self, ParentAddr, Request, Response};
-
-#[derive(Clone, Copy)]
-struct SourceInfo {
-    addr: SocketAddr,
-    generations: usize,
-    generation_size: usize,
-    packet_len: usize,
-    content_len: usize,
-}
+use crate::wal::{Wal, WalOptions, WalRecord, WalSourceInfo};
 
 struct State {
     server: CurtainServer,
     rng: StdRng,
     addrs: HashMap<NodeId, SocketAddr>,
-    source: Option<SourceInfo>,
+    source: Option<WalSourceInfo>,
     completed: HashSet<NodeId>,
     recorder: SharedRecorder,
+    wal: Option<Wal>,
 }
 
 impl State {
@@ -40,6 +44,50 @@ impl State {
             Holder::Server => self.source.map(|s| ParentAddr::Source(s.addr)),
             Holder::Node(n) => self.addrs.get(&n).map(|a| ParentAddr::Node(n, *a)),
         }
+    }
+
+    /// Makes one mutation durable: append + fsync (the batch is one
+    /// request — control traffic is rare), then compact if the log
+    /// outgrew its threshold. WAL I/O failures must not take the control
+    /// plane down mid-broadcast, so they surface as a `wal_errors`
+    /// counter instead of an error response: the coordinator keeps
+    /// serving from memory and recovery degrades to the resync path.
+    fn log(&mut self, record: &WalRecord) {
+        if self.wal.is_none() {
+            return;
+        }
+        let mut failed = false;
+        if let Some(wal) = self.wal.as_mut() {
+            failed = wal.append(record).and_then(|()| wal.sync()).is_err();
+        }
+        if self.wal.as_ref().is_some_and(Wal::needs_compaction) {
+            match self.checkpoint_record() {
+                Ok(ck) => {
+                    if let Some(wal) = self.wal.as_mut() {
+                        failed |= wal.compact(&ck).is_err();
+                    }
+                }
+                Err(_) => failed = true,
+            }
+        }
+        if failed {
+            self.recorder.counter("wal_errors", 1);
+        }
+        if let Some(wal) = self.wal.as_ref() {
+            self.recorder.gauge("wal_bytes", wal.bytes() as f64);
+            self.recorder.gauge("wal_records", wal.records() as f64);
+        }
+    }
+
+    /// The full state as one WAL record (the compaction payload).
+    fn checkpoint_record(&self) -> Result<WalRecord, String> {
+        let server = self.server.to_json().map_err(|e| e.to_string())?;
+        let mut addrs: Vec<(u64, SocketAddr)> =
+            self.addrs.iter().map(|(n, a)| (n.0, *a)).collect();
+        addrs.sort_unstable_by_key(|(n, _)| *n);
+        let mut completed: Vec<u64> = self.completed.iter().map(|n| n.0).collect();
+        completed.sort_unstable();
+        Ok(WalRecord::Checkpoint { server, addrs, source: self.source, completed })
     }
 
     /// The child's current parent on `thread`, after any necessary repair.
@@ -69,13 +117,31 @@ impl State {
                 packet_len,
                 content_len,
             } => {
-                self.source = Some(SourceInfo {
+                // A second registration at a *different* address while a
+                // session is live is a hijack, not a restart — refuse it.
+                // (Same-address re-registration is the restart case and
+                // stays idempotent.)
+                if let Some(existing) = self.source {
+                    if existing.addr != data_addr {
+                        self.recorder.record(&Event::SourceRegisterRejected);
+                        self.recorder.counter("source_register_rejected", 1);
+                        return Response::Error {
+                            reason: format!(
+                                "source already registered at {}",
+                                existing.addr
+                            ),
+                        };
+                    }
+                }
+                let info = WalSourceInfo {
                     addr: data_addr,
                     generations,
                     generation_size,
                     packet_len,
                     content_len,
-                });
+                };
+                self.source = Some(info);
+                self.log(&WalRecord::RegisterSource(info));
                 Response::Ok
             }
             Request::Hello { data_addr } => {
@@ -84,6 +150,12 @@ impl State {
                 };
                 let grant = self.server.hello(&mut self.rng);
                 self.addrs.insert(grant.node, data_addr);
+                self.log(&WalRecord::Hello {
+                    node: grant.node.0,
+                    position: grant.position as u64,
+                    threads: grant.parents.iter().map(|(t, _)| *t).collect(),
+                    data_addr,
+                });
                 self.recorder.record(&Event::PeerConnect { peer: grant.node.0 });
                 self.recorder.gauge("coordinator_members", self.server.matrix().len() as f64);
                 let mut parents = Vec::with_capacity(grant.parents.len());
@@ -109,6 +181,7 @@ impl State {
             Request::Goodbye { node } => match self.server.goodbye(node) {
                 Ok(_) => {
                     self.addrs.remove(&node);
+                    self.log(&WalRecord::Goodbye { node: node.0 });
                     self.recorder.record(&Event::PeerDisconnect { peer: node.0 });
                     self.recorder.gauge("coordinator_members", self.server.matrix().len() as f64);
                     Response::Ok
@@ -127,6 +200,7 @@ impl State {
                         let _ = self.server.repair(failed);
                         self.addrs.remove(&failed);
                         self.completed.remove(&failed);
+                        self.log(&WalRecord::Splice { node: failed.0 });
                         self.recorder.record(&Event::PeerDisconnect { peer: failed.0 });
                         self.recorder
                             .gauge("coordinator_members", self.server.matrix().len() as f64);
@@ -138,8 +212,40 @@ impl State {
                 }
             }
             Request::Completed { node } => {
-                self.completed.insert(node);
+                if self.completed.insert(node) {
+                    self.log(&WalRecord::Completed { node: node.0 });
+                }
                 Response::Ok
+            }
+            Request::Resync { node, data_addr, parents } => {
+                if self.server.matrix().position_of(node).is_some() {
+                    // Already known — a duplicate resync (the first Ok was
+                    // lost), or the WAL had the row all along. Refresh the
+                    // address and move on.
+                    self.addrs.insert(node, data_addr);
+                    return Response::Ok;
+                }
+                let mut threads: Vec<ThreadId> = parents.iter().map(|(t, _)| *t).collect();
+                threads.sort_unstable();
+                match self.server.readmit(node, threads.clone(), NodeStatus::Working) {
+                    Ok(_) => {
+                        self.addrs.insert(node, data_addr);
+                        self.log(&WalRecord::Resync {
+                            node: node.0,
+                            threads: threads.clone(),
+                            data_addr,
+                        });
+                        self.recorder.record(&Event::PeerResync {
+                            peer: node.0,
+                            threads: threads.len() as u32,
+                        });
+                        self.recorder.counter("resynced_rows", 1);
+                        self.recorder
+                            .gauge("coordinator_members", self.server.matrix().len() as f64);
+                        Response::Ok
+                    }
+                    Err(e) => Response::Error { reason: e.to_string() },
+                }
             }
             Request::Stats => Response::Stats {
                 members: self.server.matrix().len(),
@@ -200,18 +306,134 @@ impl Coordinator {
     ) -> io::Result<Self> {
         let mut server = CurtainServer::new(config).map_err(io::Error::other)?;
         server.set_recorder(recorder.clone());
-        let listener = TcpListener::bind("127.0.0.1:0")?;
-        let addr = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let state = Arc::new(Mutex::new(State {
+        let state = State {
             server,
             rng: StdRng::seed_from_u64(seed),
             addrs: HashMap::new(),
             source: None,
             completed: HashSet::new(),
             recorder,
-        }));
+            wal: None,
+        };
+        Self::serve(TcpListener::bind("127.0.0.1:0")?, state)
+    }
+
+    /// Like [`Coordinator::start_traced`], but every matrix mutation is
+    /// made durable in a write-ahead log first (see [`crate::wal`]) so a
+    /// crashed coordinator can be resurrected with
+    /// [`Coordinator::recover`]. A fresh start truncates any existing log
+    /// at `wal.path` — use `recover` to continue one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind, configuration, and WAL-creation errors.
+    pub fn start_durable(
+        config: OverlayConfig,
+        seed: u64,
+        recorder: SharedRecorder,
+        wal: &WalOptions,
+    ) -> io::Result<Self> {
+        let mut server = CurtainServer::new(config).map_err(io::Error::other)?;
+        server.set_recorder(recorder.clone());
+        let state = State {
+            server,
+            rng: StdRng::seed_from_u64(seed),
+            addrs: HashMap::new(),
+            source: None,
+            completed: HashSet::new(),
+            recorder,
+            wal: Some(Wal::create(&wal.path, wal.compact_threshold)?),
+        };
+        Self::serve(TcpListener::bind("127.0.0.1:0")?, state)
+    }
+
+    /// Replays the WAL at `path` (checkpoint + tail) and serves the
+    /// rebuilt matrix from a fresh port. The rebuilt `M` is asserted
+    /// before serving: every row carries exactly `config.d` distinct
+    /// threads, node ids are unique, and every member has a data-plane
+    /// address (so every holder a redirect can name is dialable).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors, and reports corrupt-state errors
+    /// (`InvalidData`) when the replayed state violates the invariants.
+    pub fn recover(path: impl AsRef<Path>, config: OverlayConfig) -> io::Result<Self> {
+        Self::recover_traced(
+            WalOptions::new(path.as_ref()),
+            config,
+            0xC0DE,
+            SharedRecorder::null(),
+        )
+    }
+
+    /// [`Coordinator::recover`] with explicit seed and telemetry; emits
+    /// `CoordinatorRecovered{replayed, resynced}` once serving resumes.
+    ///
+    /// # Errors
+    ///
+    /// See [`Coordinator::recover`].
+    pub fn recover_traced(
+        wal: WalOptions,
+        config: OverlayConfig,
+        seed: u64,
+        recorder: SharedRecorder,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        Self::recover_on(listener, wal, config, seed, recorder)
+    }
+
+    /// Recovers *at a fixed address* — the kill-and-restart case, where
+    /// surviving peers keep complaining at the old coordinator address
+    /// and must find the recovered one there. Binding retries briefly:
+    /// control connections closed by the dying server can linger in
+    /// TIME_WAIT on the listening port.
+    ///
+    /// # Errors
+    ///
+    /// See [`Coordinator::recover`]; also fails if `addr` stays
+    /// unbindable for ~5 s.
+    pub fn recover_at(
+        addr: SocketAddr,
+        wal: WalOptions,
+        config: OverlayConfig,
+        seed: u64,
+        recorder: SharedRecorder,
+    ) -> io::Result<Self> {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let listener = loop {
+            match TcpListener::bind(addr) {
+                Ok(l) => break l,
+                Err(e) if e.kind() == io::ErrorKind::AddrInUse && Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        Self::recover_on(listener, wal, config, seed, recorder)
+    }
+
+    fn recover_on(
+        listener: TcpListener,
+        wal: WalOptions,
+        config: OverlayConfig,
+        seed: u64,
+        recorder: SharedRecorder,
+    ) -> io::Result<Self> {
+        let (state, replayed, resynced) = replay_wal(wal, config, seed, recorder.clone())?;
+        recorder.record(&Event::CoordinatorRecovered { replayed, resynced });
+        recorder.gauge("coordinator_members", state.server.matrix().len() as f64);
+        if let Some(w) = state.wal.as_ref() {
+            recorder.gauge("wal_bytes", w.bytes() as f64);
+            recorder.gauge("wal_records", w.records() as f64);
+        }
+        Self::serve(listener, state)
+    }
+
+    fn serve(listener: TcpListener, state: State) -> io::Result<Self> {
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let state = Arc::new(Mutex::new(state));
         let handle = {
             let stop = Arc::clone(&stop);
             let state = Arc::clone(&state);
@@ -244,6 +466,20 @@ impl Coordinator {
         self.state.lock().server.metrics().repairs
     }
 
+    /// The matrix rows — `(node id, threads)` in matrix order — a
+    /// serde-free view of `M` for assertions and operator tooling.
+    #[must_use]
+    pub fn matrix_rows(&self) -> Vec<(u64, Vec<ThreadId>)> {
+        self.state
+            .lock()
+            .server
+            .matrix()
+            .rows()
+            .iter()
+            .map(|r| (r.node().0, r.threads().to_vec()))
+            .collect()
+    }
+
     /// Checkpoint of the coordinator's overlay state as JSON.
     ///
     /// # Errors
@@ -253,8 +489,25 @@ impl Coordinator {
         self.state.lock().server.to_json().map_err(io::Error::other)
     }
 
-    /// Stops the accept loop and joins the thread.
+    /// Stops the accept loop and joins the thread; a durable coordinator
+    /// additionally collapses its WAL to a single checkpoint record (so
+    /// the next [`Coordinator::recover`] replays O(1) records).
     pub fn shutdown(mut self) {
+        self.stop_now();
+        let mut st = self.state.lock();
+        if st.wal.is_some() {
+            if let Ok(ck) = st.checkpoint_record() {
+                if let Some(wal) = st.wal.as_mut() {
+                    let _ = wal.compact(&ck);
+                }
+            }
+        }
+    }
+
+    /// Kills the coordinator abruptly — the crash under test: the accept
+    /// loop stops and the WAL is left exactly as the last fsync left it
+    /// (no final checkpoint, possibly mid-epoch). Recovery must cope.
+    pub fn kill(mut self) {
         self.stop_now();
     }
 
@@ -262,8 +515,151 @@ impl Coordinator {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
+            let st = self.state.lock();
+            st.recorder.record(&Event::CoordinatorDown {
+                members: st.server.matrix().len() as u64,
+            });
+            let _ = st.recorder.flush();
         }
     }
+}
+
+/// Rebuilds coordinator state from the WAL at `wal.path`, returning the
+/// state plus `(records replayed, resync records among them)`.
+///
+/// Replay is pure data manipulation over a [`curtain_overlay::snapshot`]:
+/// a checkpoint record resets the fold, each mutation record edits the
+/// snapshot's row list, and the final snapshot goes through the public
+/// `CurtainServer::restore` round trip — no RNG, no insert policy, no
+/// re-derivation of decisions the dead coordinator already made.
+fn replay_wal(
+    wal: WalOptions,
+    config: OverlayConfig,
+    seed: u64,
+    recorder: SharedRecorder,
+) -> io::Result<(State, u64, u64)> {
+    let corrupt = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let (records, wal) = Wal::open(&wal.path, wal.compact_threshold)?;
+    let replayed = records.len() as u64;
+    let mut resynced = 0u64;
+
+    let empty = CurtainServer::new(config).map_err(io::Error::other)?;
+    let mut snap = empty.snapshot();
+    let mut addrs: HashMap<NodeId, SocketAddr> = HashMap::new();
+    let mut source: Option<WalSourceInfo> = None;
+    let mut completed: HashSet<NodeId> = HashSet::new();
+
+    for record in records {
+        match record {
+            WalRecord::Checkpoint { server, addrs: a, source: s, completed: c } => {
+                let restored = CurtainServer::from_json(&server)
+                    .map_err(|e| corrupt(format!("bad checkpoint: {e}")))?;
+                let ck = restored.config();
+                if ck.k != config.k || ck.d != config.d {
+                    return Err(corrupt(format!(
+                        "checkpoint is for k={}, d={}, not k={}, d={}",
+                        ck.k, ck.d, config.k, config.d
+                    )));
+                }
+                snap = restored.snapshot();
+                addrs = a.into_iter().map(|(n, ad)| (NodeId(n), ad)).collect();
+                source = s;
+                completed = c.into_iter().map(NodeId).collect();
+            }
+            WalRecord::RegisterSource(info) => source = Some(info),
+            WalRecord::Hello { node, position, threads, data_addr } => {
+                let pos = usize::try_from(position).map_err(io::Error::other)?;
+                if pos > snap.matrix.rows.len() {
+                    return Err(corrupt(format!(
+                        "hello for node {node} at position {pos} of {}",
+                        snap.matrix.rows.len()
+                    )));
+                }
+                snap.matrix.rows.insert(
+                    pos,
+                    RowSnapshot { node: NodeId(node), threads, status: NodeStatus::Working },
+                );
+                snap.next_id = snap.next_id.max(node + 1);
+                addrs.insert(NodeId(node), data_addr);
+            }
+            WalRecord::Resync { node, threads, data_addr } => {
+                resynced += 1;
+                snap.matrix.rows.push(RowSnapshot {
+                    node: NodeId(node),
+                    threads,
+                    status: NodeStatus::Working,
+                });
+                snap.next_id = snap.next_id.max(node + 1);
+                addrs.insert(NodeId(node), data_addr);
+            }
+            WalRecord::Goodbye { node } | WalRecord::Splice { node } => {
+                let node = NodeId(node);
+                snap.matrix.rows.retain(|r| r.node != node);
+                addrs.remove(&node);
+                completed.remove(&node);
+            }
+            WalRecord::Completed { node } => {
+                completed.insert(NodeId(node));
+            }
+        }
+    }
+
+    // A lost WAL (zero records) means every id the dead incarnation ever
+    // granted is unknown — if allocation restarted at 0, fresh grants
+    // would collide with survivors' old ids and poison the resync
+    // protocol (readmit would reject the rightful owner as "already a
+    // member"). Restart allocation in a fresh epoch instead: unix
+    // milliseconds dominates any plausible grant count.
+    if replayed == 0 {
+        let epoch = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(1 << 40, |d| u64::try_from(d.as_millis()).unwrap_or(1 << 40));
+        snap.next_id = snap.next_id.max(epoch);
+    }
+
+    // Assert the rebuilt M *before* restore (whose internal inserts would
+    // panic on violations): unique ids, exactly-d distinct in-range
+    // threads per row, and a dialable address per member.
+    let mut seen = HashSet::new();
+    for row in &snap.matrix.rows {
+        if !seen.insert(row.node) {
+            return Err(corrupt(format!("duplicate row for node {}", row.node)));
+        }
+        let mut threads = row.threads.clone();
+        threads.sort_unstable();
+        threads.dedup();
+        if threads.len() != config.d || threads.iter().any(|&t| (t as usize) >= config.k) {
+            return Err(corrupt(format!(
+                "row for node {} does not hold exactly d={} distinct threads",
+                row.node, config.d
+            )));
+        }
+        if !addrs.contains_key(&row.node) {
+            return Err(corrupt(format!("member {} has no data address", row.node)));
+        }
+        if row.node.0 >= snap.next_id {
+            return Err(corrupt(format!("node {} at or above next_id", row.node)));
+        }
+    }
+    let mut server = CurtainServer::restore(snap).map_err(io::Error::other)?;
+    server.matrix().assert_invariants();
+    server.set_recorder(recorder.clone());
+    addrs.retain(|n, _| server.matrix().position_of(*n).is_some());
+    completed.retain(|n| server.matrix().position_of(*n).is_some());
+
+    Ok((
+        State {
+            server,
+            rng: StdRng::seed_from_u64(seed),
+            addrs,
+            source,
+            completed,
+            recorder,
+            wal: Some(wal),
+        },
+        replayed,
+        resynced,
+    ))
 }
 
 impl Drop for Coordinator {
@@ -539,6 +935,180 @@ mod tests {
         assert!(kinds.contains(&"good_bye"));
         assert!(kinds.contains(&"peer_disconnect"));
         assert_eq!(sink.metrics().snapshot().gauges["coordinator_members"], 0.0);
+    }
+
+    fn register(addr: SocketAddr, source_port: u16) -> Response {
+        proto::call(
+            addr,
+            &Request::RegisterSource {
+                data_addr: format!("127.0.0.1:{source_port}").parse().unwrap(),
+                generations: 1,
+                generation_size: 4,
+                packet_len: 16,
+                content_len: 64,
+            },
+            T,
+        )
+        .unwrap()
+    }
+
+    fn hello(addr: SocketAddr, data_port: u16) -> (curtain_overlay::NodeId, Vec<(u16, ParentAddr)>) {
+        let resp = proto::call(
+            addr,
+            &Request::Hello { data_addr: format!("127.0.0.1:{data_port}").parse().unwrap() },
+            T,
+        )
+        .unwrap();
+        let Response::Welcome { node, parents, .. } = resp else {
+            panic!("expected welcome, got {resp:?}");
+        };
+        (node, parents)
+    }
+
+    #[test]
+    fn second_source_at_other_addr_is_rejected() {
+        use curtain_telemetry::MemorySink;
+
+        let sink = MemorySink::new();
+        let c = Coordinator::start_traced(
+            OverlayConfig::new(4, 2),
+            5,
+            SharedRecorder::wall_clock(sink.clone()),
+        )
+        .unwrap();
+        assert_eq!(register(c.addr(), 9400), Response::Ok);
+        // Same address again: the restart case, idempotent.
+        assert_eq!(register(c.addr(), 9400), Response::Ok);
+        // Different address while the first is live: refused loudly.
+        let resp = register(c.addr(), 9401);
+        let Response::Error { reason } = resp else {
+            panic!("expected rejection, got {resp:?}");
+        };
+        assert!(reason.contains("already registered"), "{reason}");
+        let kinds: Vec<String> =
+            sink.events().iter().map(|(_, e)| e.kind().to_string()).collect();
+        assert!(kinds.contains(&"source_register_rejected".to_string()));
+        assert_eq!(sink.metrics().snapshot().counters["source_register_rejected"], 1);
+        // The original registration still stands.
+        let (_, parents) = hello(c.addr(), 9402);
+        assert!(parents
+            .iter()
+            .all(|(_, p)| matches!(p, ParentAddr::Source(a) if a.port() == 9400)));
+    }
+
+    #[test]
+    fn resync_readmits_forgotten_peer() {
+        let c = Coordinator::start_seeded(OverlayConfig::new(4, 2), 9).unwrap();
+        assert_eq!(register(c.addr(), 9500), Response::Ok);
+        let (node, parents) = hello(c.addr(), 9501);
+        // Simulate total amnesia: goodbye wipes the row, then the peer
+        // resyncs its old id and thread set back in.
+        proto::call(c.addr(), &Request::Goodbye { node }, T).unwrap();
+        assert_eq!(c.members(), 0);
+        let view: Vec<(u16, Option<NodeId>)> =
+            parents.iter().map(|(t, p)| (*t, p.node())).collect();
+        let resp = proto::call(
+            c.addr(),
+            &Request::Resync {
+                node,
+                data_addr: "127.0.0.1:9501".parse().unwrap(),
+                parents: view.clone(),
+            },
+            T,
+        )
+        .unwrap();
+        assert_eq!(resp, Response::Ok);
+        assert_eq!(c.members(), 1);
+        // Idempotent: a duplicate resync refreshes, never duplicates.
+        let resp = proto::call(
+            c.addr(),
+            &Request::Resync {
+                node,
+                data_addr: "127.0.0.1:9501".parse().unwrap(),
+                parents: view,
+            },
+            T,
+        )
+        .unwrap();
+        assert_eq!(resp, Response::Ok);
+        assert_eq!(c.members(), 1);
+        // The readmitted row answers complaints again.
+        let (t, _) = parents[0];
+        let resp = proto::call(
+            c.addr(),
+            &Request::Complaint { child: node, failed_parent: None, thread: t },
+            T,
+        )
+        .unwrap();
+        assert!(matches!(resp, Response::Redirect { .. }), "{resp:?}");
+        // New ids never collide with the resynced one.
+        let (fresh, _) = hello(c.addr(), 9502);
+        assert!(fresh.0 > node.0);
+    }
+
+    #[test]
+    fn recover_replays_wal_to_identical_state() {
+        let dir = std::env::temp_dir().join(format!("curtain-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("recover_replays.wal");
+        let wal = WalOptions::new(&path);
+
+        let c = Coordinator::start_durable(
+            OverlayConfig::new(4, 2),
+            21,
+            SharedRecorder::null(),
+            &wal,
+        )
+        .unwrap();
+        assert_eq!(register(c.addr(), 9600), Response::Ok);
+        let mut nodes = Vec::new();
+        for port in 9601u16..9606 {
+            nodes.push(hello(c.addr(), port).0);
+        }
+        proto::call(c.addr(), &Request::Goodbye { node: nodes[1] }, T).unwrap();
+        proto::call(c.addr(), &Request::Completed { node: nodes[2] }, T).unwrap();
+        let before = c.matrix_rows();
+        let (members, completed) = (c.members(), c.completed());
+        c.kill();
+
+        let r = Coordinator::recover(&path, OverlayConfig::new(4, 2)).unwrap();
+        assert_eq!(r.members(), members);
+        assert_eq!(r.completed(), completed);
+        // The rebuilt matrix is *identical* — same rows in the same order
+        // (so every holder relation is preserved too). Cumulative metrics
+        // are not replayed; only `M` is load-bearing.
+        assert_eq!(r.matrix_rows(), before);
+        // The recovered coordinator keeps serving: a new hello works and
+        // the id is strictly fresher than every pre-crash id.
+        let (fresh, _) = hello(r.addr(), 9609);
+        assert!(nodes.iter().all(|n| fresh.0 > n.0));
+        // Tidy shutdown compacts; a second recovery replays one record.
+        r.shutdown();
+        let (records, _) = Wal::open(&path, u64::MAX).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(matches!(records[0], WalRecord::Checkpoint { .. }));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn recover_rejects_mismatched_config() {
+        let dir = std::env::temp_dir().join(format!("curtain-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("recover_mismatch.wal");
+        let c = Coordinator::start_durable(
+            OverlayConfig::new(4, 2),
+            1,
+            SharedRecorder::null(),
+            &WalOptions::new(&path),
+        )
+        .unwrap();
+        assert_eq!(register(c.addr(), 9700), Response::Ok);
+        let _ = hello(c.addr(), 9701);
+        // Force a checkpoint record into the log.
+        c.shutdown();
+        let err = Coordinator::recover(&path, OverlayConfig::new(8, 3)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

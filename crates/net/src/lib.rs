@@ -34,6 +34,13 @@
 //!   soaks: it can refuse, blackhole, delay, truncate mid-frame, or hard-
 //!   close connections on command (see `tests/churn_soak.rs` at the
 //!   workspace root).
+//! * **Durability** — a coordinator started with [`WalOptions`] appends
+//!   every matrix mutation to a checksummed write-ahead log ([`wal`]) and
+//!   can be resurrected with [`Coordinator::recover`] after a crash. When
+//!   the log itself is lost, peers rebuild `M` through the resync
+//!   protocol: an "unknown child" complaint answer makes the peer upload
+//!   its thread→parent view and the coordinator re-inserts the row (see
+//!   `tests/coordinator_crash_soak.rs` at the workspace root).
 //!
 //! # Example
 //!
@@ -63,9 +70,11 @@ mod peer;
 pub mod proto;
 pub mod repair;
 mod source;
+pub mod wal;
 
 pub use coordinator::Coordinator;
 pub use faults::{Fault, FaultProxy};
 pub use peer::{Peer, PeerConfig};
 pub use repair::{RepairBudget, RepairPolicy};
-pub use source::Source;
+pub use source::{PendingSource, Source};
+pub use wal::{Wal, WalOptions, WalRecord, WalSourceInfo};

@@ -119,6 +119,7 @@ impl ObjectState {
 
 struct Shared {
     node: NodeId,
+    data_addr: SocketAddr,
     state: Mutex<ObjectState>,
     complete: AtomicBool,
     completion_reported: AtomicBool,
@@ -127,6 +128,10 @@ struct Shared {
     recorder: SharedRecorder,
     disconnect_noted: AtomicBool,
     policy: RepairPolicy,
+    /// This peer's current thread→parent view, kept fresh by the upstream
+    /// loops so a [`Request::Resync`] can hand an amnesiac coordinator the
+    /// whole row at once.
+    parents: Mutex<Vec<(u16, ParentAddr)>>,
     /// Per-child serving threads, tracked so `stop_threads` can join them
     /// (a detached child could outlive `crash()` and race the recorder
     /// flush — or keep serving a socket the peer thinks is closed).
@@ -150,6 +155,23 @@ impl Shared {
             );
             self.complete.store(true, Ordering::SeqCst);
         }
+    }
+
+    /// Uploads this peer's full thread→parent view to the coordinator —
+    /// the amnesia protocol. A coordinator that lost its matrix (crash
+    /// with no WAL) answers complaints with "unknown child"; the row it
+    /// forgot lives here, so we hand it back and the coordinator
+    /// re-inserts it. Best-effort: failures just mean the next complaint
+    /// retries the whole dance.
+    fn resync(&self) {
+        let parents: Vec<(u16, Option<NodeId>)> =
+            self.parents.lock().iter().map(|(t, p)| (*t, p.node())).collect();
+        self.recorder.counter("peer_resyncs", 1);
+        let _ = proto::call(
+            self.coordinator,
+            &Request::Resync { node: self.node, data_addr: self.data_addr, parents },
+            CALL_TIMEOUT,
+        );
     }
 
     /// Sleeps in short slices so `stop` interrupts a backoff promptly.
@@ -239,6 +261,7 @@ impl Peer {
 
         let shared = Arc::new(Shared {
             node,
+            data_addr,
             state: Mutex::new(ObjectState::new(generations, generation_size, packet_len)),
             complete: AtomicBool::new(false),
             completion_reported: AtomicBool::new(false),
@@ -247,6 +270,7 @@ impl Peer {
             recorder,
             disconnect_noted: AtomicBool::new(false),
             policy: repair,
+            parents: Mutex::new(parents.clone()),
             children: Mutex::new(Vec::new()),
         });
         shared.recorder.record(&Event::PeerConnect { peer: node.0 });
@@ -547,12 +571,28 @@ fn repair_episode(
         match resp {
             Ok(Response::Redirect { new_parent, .. }) => {
                 *parent = new_parent;
+                let mut view = shared.parents.lock();
+                if let Some(entry) = view.iter_mut().find(|(t, _)| *t == thread) {
+                    entry.1 = *parent;
+                }
+                drop(view);
                 shared.recorder.counter("repairs", 1);
                 shared
                     .recorder
                     .histogram("repair_latency_ms", started.elapsed().as_secs_f64() * 1e3);
                 shared.recorder.histogram("repair_attempts", f64::from(attempt));
                 return true;
+            }
+            // "Unknown child" means the coordinator lost its matrix (a
+            // crash-restart without the WAL): upload our row via the
+            // resync protocol, then retry the complaint — the coordinator
+            // now knows us again and can redirect.
+            Ok(Response::Error { ref reason }) if reason.contains("unknown child") => {
+                shared.resync();
+                if Instant::now() >= deadline {
+                    give_up(shared, thread, attempt);
+                    return false;
+                }
             }
             // Anything else — a coordinator call timeout, a transient
             // Error response, a protocol hiccup — is retried until the

@@ -108,6 +108,19 @@ pub enum Request {
         /// The peer.
         node: NodeId,
     },
+    /// A peer answers an "unknown child" rejection with its full
+    /// thread→parent view so an amnesiac coordinator (restarted without
+    /// its WAL) can re-insert the row instead of stranding the peer.
+    Resync {
+        /// The peer re-introducing itself (keeps its old id).
+        node: NodeId,
+        /// The peer's data-plane listener.
+        data_addr: SocketAddr,
+        /// `(thread, last-known parent)` per upstream thread (`None` =
+        /// the source). The threads are the row; the parents are a hint
+        /// the coordinator may audit but does not need.
+        parents: Vec<(ThreadId, Option<NodeId>)>,
+    },
     /// Asks for progress counters (used by tests and operators).
     Stats,
 }
@@ -160,6 +173,28 @@ impl Request {
                 tag(&mut fields, "completed");
                 fields.insert("node".into(), JsonValue::Int(node.0 as i64));
             }
+            Request::Resync { node, data_addr, parents } => {
+                tag(&mut fields, "resync");
+                fields.insert("node".into(), JsonValue::Int(node.0 as i64));
+                fields.insert("data_addr".into(), JsonValue::Str(data_addr.to_string()));
+                fields.insert(
+                    "parents".into(),
+                    JsonValue::Array(
+                        parents
+                            .iter()
+                            .map(|(t, p)| {
+                                JsonValue::Array(vec![
+                                    JsonValue::Int(i64::from(*t)),
+                                    match p {
+                                        Some(n) => JsonValue::Int(n.0 as i64),
+                                        None => JsonValue::Null,
+                                    },
+                                ])
+                            })
+                            .collect(),
+                    ),
+                );
+            }
             Request::Stats => tag(&mut fields, "stats"),
         }
         JsonValue::Object(fields).render()
@@ -197,6 +232,32 @@ impl Request {
                 thread: field_thread(&v)?,
             }),
             "completed" => Ok(Request::Completed { node: NodeId(field_u64(&v, "node")?) }),
+            "resync" => {
+                let parents_json = v
+                    .get("parents")
+                    .and_then(JsonValue::as_array)
+                    .ok_or("missing parents array")?;
+                let mut parents = Vec::with_capacity(parents_json.len());
+                for pair in parents_json {
+                    let [t, p] = pair.as_array().ok_or("bad parent pair")? else {
+                        return Err("parent pair is not 2-element".into());
+                    };
+                    let thread = t
+                        .as_u64()
+                        .and_then(|x| ThreadId::try_from(x).ok())
+                        .ok_or("bad thread id")?;
+                    let parent = match p {
+                        JsonValue::Null => None,
+                        x => Some(NodeId(x.as_u64().ok_or("bad parent id")?)),
+                    };
+                    parents.push((thread, parent));
+                }
+                Ok(Request::Resync {
+                    node: NodeId(field_u64(&v, "node")?),
+                    data_addr: parse_addr_field(&v, "data_addr")?,
+                    parents,
+                })
+            }
             "stats" => Ok(Request::Stats),
             other => Err(format!("unknown request {other:?}")),
         }
@@ -460,6 +521,16 @@ mod tests {
             Request::Complaint { child: NodeId(4), failed_parent: Some(NodeId(1)), thread: 7 },
             Request::Complaint { child: NodeId(4), failed_parent: None, thread: 0 },
             Request::Completed { node: NodeId(9) },
+            Request::Resync {
+                node: NodeId(17),
+                data_addr: "127.0.0.1:4444".parse().unwrap(),
+                parents: vec![(0, Some(NodeId(2))), (3, None)],
+            },
+            Request::Resync {
+                node: NodeId(0),
+                data_addr: "127.0.0.1:4445".parse().unwrap(),
+                parents: vec![],
+            },
             Request::Stats,
         ];
         for r in reqs {

@@ -213,6 +213,60 @@ mod tests {
     }
 
     #[test]
+    fn admission_exactly_at_the_window_edge() {
+        // `expire` evicts entries aged *exactly* `window` (`>=`, not `>`):
+        // an episode admitted at t0 must free its slot at precisely
+        // t0 + window, while one instant earlier still counts against the
+        // budget. Off-by-one here silently halves or doubles the
+        // effective rate at the boundary.
+        let policy = RepairPolicy {
+            window: Duration::from_secs(10),
+            window_budget: 1,
+            ..RepairPolicy::default()
+        };
+        let mut budget = RepairBudget::new(&policy);
+        let t0 = Instant::now();
+        assert!(budget.admit(t0));
+        // One nanosecond before the edge: the t0 episode still occupies
+        // the only slot.
+        let just_inside = t0 + Duration::from_secs(10) - Duration::from_nanos(1);
+        assert!(!budget.admit(just_inside));
+        assert_eq!(budget.in_window(just_inside), 1);
+        // Exactly at the edge: the t0 episode has aged out.
+        let edge = t0 + Duration::from_secs(10);
+        assert_eq!(budget.in_window(edge), 0);
+        assert!(budget.admit(edge));
+        // And the new admission occupies the window from the edge onward.
+        assert!(!budget.admit(edge + Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn budget_fully_resets_after_a_quiet_window() {
+        // Exhaust the budget, go quiet for one full window, and the
+        // tracker must be back at full capacity — no residue from the
+        // burst (the property that makes the budget a rate limiter, not a
+        // decaying lifetime cap).
+        let policy = RepairPolicy {
+            window: Duration::from_secs(10),
+            window_budget: 3,
+            ..RepairPolicy::default()
+        };
+        let mut budget = RepairBudget::new(&policy);
+        let t0 = Instant::now();
+        for i in 0..3u64 {
+            assert!(budget.admit(t0 + Duration::from_millis(100 * i)));
+        }
+        assert!(!budget.admit(t0 + Duration::from_secs(1)));
+        // Quiet until every burst entry is a full window old.
+        let after = t0 + Duration::from_secs(10) + Duration::from_millis(300);
+        assert_eq!(budget.in_window(after), 0);
+        for i in 0..3u64 {
+            assert!(budget.admit(after + Duration::from_millis(100 * i)), "slot {i} not freed");
+        }
+        assert!(!budget.admit(after + Duration::from_secs(1)));
+    }
+
+    #[test]
     fn zero_budget_denies_everything() {
         let policy = RepairPolicy { window_budget: 0, ..RepairPolicy::default() };
         let mut budget = RepairBudget::new(&policy);

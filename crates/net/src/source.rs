@@ -18,59 +18,55 @@ use rand::SeedableRng;
 use crate::framing;
 use crate::proto::{self, Request, Response};
 
-/// A running source (the content origin).
+/// A source that has bound its data port but not yet registered with a
+/// coordinator.
 ///
-/// Registers with the coordinator, then serves an unbounded stream of
-/// fresh random combinations to every child that subscribes — the server
-/// side of the curtain's `k` threads. Content is split into generations
-/// ([CWJ03]) so decoding cost stays bounded for arbitrarily large objects;
-/// each subscriber receives round-robin coded packets across generations.
-pub struct Source {
+/// Splitting the lifecycle lets tests interpose a [`crate::FaultProxy`]
+/// between the registration and the data plane: bind first, learn
+/// [`PendingSource::data_addr`], start a proxy in front of it, then
+/// [`PendingSource::register_as`] the *proxy's* address. The coordinator
+/// rejects re-registration at a different address (a hijack guard), so the
+/// advertised address must be chosen before the first registration.
+pub struct PendingSource {
+    listener: TcpListener,
     data_addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    accept_handle: Option<JoinHandle<()>>,
-    subscribers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    encoder: Arc<ObjectEncoder>,
     generations: usize,
     generation_size: usize,
     packet_len: usize,
+    content_len: usize,
+    pace: Duration,
 }
 
-impl Source {
-    /// Starts a source for `content`, cut into one generation of
+impl PendingSource {
+    /// Binds a data port for `content`, cut into one generation of
     /// `generation_size` packets (convenience for small objects).
     ///
     /// # Errors
     ///
-    /// Propagates bind/registration failures.
+    /// Propagates bind failures.
     ///
     /// # Panics
     ///
     /// Panics if `content` is empty or `generation_size == 0`.
-    pub fn start(
-        coordinator: SocketAddr,
-        content: &[u8],
-        generation_size: usize,
-        pace: Duration,
-    ) -> io::Result<Self> {
+    pub fn bind(content: &[u8], generation_size: usize, pace: Duration) -> io::Result<Self> {
         assert!(!content.is_empty(), "content must be non-empty");
         assert!(generation_size > 0, "generation size must be positive");
         let packet_len = content.len().div_ceil(generation_size);
-        Self::start_with_shape(coordinator, content, generation_size, packet_len, pace)
+        Self::bind_with_shape(content, generation_size, packet_len, pace)
     }
 
-    /// Starts a source with an explicit `(generation_size, packet_len)`
-    /// shape; the object becomes `ceil(len / (g·s))` generations — the
-    /// production path for large files.
+    /// Binds a data port with an explicit `(generation_size, packet_len)`
+    /// shape; the object becomes `ceil(len / (g·s))` generations.
     ///
     /// # Errors
     ///
-    /// Propagates bind/registration failures.
+    /// Propagates bind failures.
     ///
     /// # Panics
     ///
     /// Panics on empty content or zero shape parameters.
-    pub fn start_with_shape(
-        coordinator: SocketAddr,
+    pub fn bind_with_shape(
         content: &[u8],
         generation_size: usize,
         packet_len: usize,
@@ -81,33 +77,69 @@ impl Source {
         let generations = split.generations().len();
         let content_len = content.len();
         let encoder = Arc::new(ObjectEncoder::new(split).with_schedule(Schedule::RoundRobin));
-
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let data_addr = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
-        let stop = Arc::new(AtomicBool::new(false));
+        Ok(PendingSource {
+            listener,
+            data_addr,
+            encoder,
+            generations,
+            generation_size,
+            packet_len,
+            content_len,
+            pace,
+        })
+    }
 
+    /// The bound data-plane address (children dial this — or a proxy in
+    /// front of it).
+    #[must_use]
+    pub fn data_addr(&self) -> SocketAddr {
+        self.data_addr
+    }
+
+    /// Registers the bound address with the coordinator and starts
+    /// serving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates registration failures.
+    pub fn register(self, coordinator: SocketAddr) -> io::Result<Source> {
+        let advertised = self.data_addr;
+        self.register_as(coordinator, advertised)
+    }
+
+    /// Registers `advertised` (e.g. a fault-proxy front) as this source's
+    /// address with the coordinator, then starts serving on the bound
+    /// port.
+    ///
+    /// # Errors
+    ///
+    /// Propagates registration failures (including the coordinator's
+    /// duplicate-source rejection).
+    pub fn register_as(self, coordinator: SocketAddr, advertised: SocketAddr) -> io::Result<Source> {
         // Register before serving so the first Hello already has us.
-        let resp = proto::call(
-            coordinator,
-            &Request::RegisterSource {
-                data_addr,
-                generations,
-                generation_size,
-                packet_len,
-                content_len,
-            },
-            Duration::from_secs(5),
-        )?;
+        let request = Request::RegisterSource {
+            data_addr: advertised,
+            generations: self.generations,
+            generation_size: self.generation_size,
+            packet_len: self.packet_len,
+            content_len: self.content_len,
+        };
+        let resp = proto::call(coordinator, &request, Duration::from_secs(5))?;
         if resp != Response::Ok {
             return Err(io::Error::other(format!("registration rejected: {resp:?}")));
         }
 
+        self.listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
         let subscribers = Arc::new(Mutex::new(Vec::new()));
         let accept_handle = {
+            let listener = self.listener;
             let stop = Arc::clone(&stop);
-            let encoder = Arc::clone(&encoder);
+            let encoder = Arc::clone(&self.encoder);
             let subscribers = Arc::clone(&subscribers);
+            let pace = self.pace;
             let seed = Arc::new(AtomicU64::new(0x50u64));
             std::thread::spawn(move || {
                 while !stop.load(Ordering::SeqCst) {
@@ -132,20 +164,128 @@ impl Source {
             })
         };
         Ok(Source {
-            data_addr,
+            coordinator,
+            advertised,
+            data_addr: self.data_addr,
             stop,
             accept_handle: Some(accept_handle),
             subscribers,
-            generations,
-            generation_size,
-            packet_len,
+            generations: self.generations,
+            generation_size: self.generation_size,
+            packet_len: self.packet_len,
+            content_len: self.content_len,
         })
+    }
+}
+
+impl std::fmt::Debug for PendingSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingSource")
+            .field("data_addr", &self.data_addr)
+            .field("generation_size", &self.generation_size)
+            .finish()
+    }
+}
+
+/// A running source (the content origin).
+///
+/// Registers with the coordinator, then serves an unbounded stream of
+/// fresh random combinations to every child that subscribes — the server
+/// side of the curtain's `k` threads. Content is split into generations
+/// ([CWJ03]) so decoding cost stays bounded for arbitrarily large objects;
+/// each subscriber receives round-robin coded packets across generations.
+pub struct Source {
+    coordinator: SocketAddr,
+    advertised: SocketAddr,
+    data_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    subscribers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    generations: usize,
+    generation_size: usize,
+    packet_len: usize,
+    content_len: usize,
+}
+
+impl Source {
+    /// Starts a source for `content`, cut into one generation of
+    /// `generation_size` packets (convenience for small objects).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/registration failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `content` is empty or `generation_size == 0`.
+    pub fn start(
+        coordinator: SocketAddr,
+        content: &[u8],
+        generation_size: usize,
+        pace: Duration,
+    ) -> io::Result<Self> {
+        PendingSource::bind(content, generation_size, pace)?.register(coordinator)
+    }
+
+    /// Starts a source with an explicit `(generation_size, packet_len)`
+    /// shape; the object becomes `ceil(len / (g·s))` generations — the
+    /// production path for large files.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/registration failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty content or zero shape parameters.
+    pub fn start_with_shape(
+        coordinator: SocketAddr,
+        content: &[u8],
+        generation_size: usize,
+        packet_len: usize,
+        pace: Duration,
+    ) -> io::Result<Self> {
+        PendingSource::bind_with_shape(content, generation_size, packet_len, pace)?
+            .register(coordinator)
+    }
+
+    /// Re-sends the original registration — for a coordinator that was
+    /// restarted *without* its WAL and therefore forgot the source. The
+    /// same advertised address is used, so a coordinator that still knows
+    /// it treats this as an idempotent restart.
+    ///
+    /// # Errors
+    ///
+    /// Propagates call failures and coordinator rejections.
+    pub fn reregister(&self) -> io::Result<()> {
+        let resp = proto::call(
+            self.coordinator,
+            &Request::RegisterSource {
+                data_addr: self.advertised,
+                generations: self.generations,
+                generation_size: self.generation_size,
+                packet_len: self.packet_len,
+                content_len: self.content_len,
+            },
+            Duration::from_secs(5),
+        )?;
+        if resp != Response::Ok {
+            return Err(io::Error::other(format!("re-registration rejected: {resp:?}")));
+        }
+        Ok(())
     }
 
     /// The data-plane address children dial.
     #[must_use]
     pub fn data_addr(&self) -> SocketAddr {
         self.data_addr
+    }
+
+    /// The address the coordinator hands to children (differs from
+    /// [`Source::data_addr`] when a proxy fronts the source).
+    #[must_use]
+    pub fn advertised_addr(&self) -> SocketAddr {
+        self.advertised
     }
 
     /// Number of generations.

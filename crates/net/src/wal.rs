@@ -1,0 +1,733 @@
+//! Write-ahead log for the coordinator's matrix state.
+//!
+//! Losing the matrix `M` strands every stream: the paper's repair story
+//! (Theorems 4–5) assumes the server can always splice a failed node out,
+//! and a coordinator that forgets `M` turns every complaint into a fatal
+//! "unknown child". This module makes the mutations durable.
+//!
+//! ## Format
+//!
+//! The log is a flat sequence of length-prefixed, checksummed records:
+//!
+//! ```text
+//! [u32 LE payload length][u64 LE FNV-1a of payload][payload]
+//! ```
+//!
+//! where the payload is one [`WalRecord`] rendered as a single JSON object
+//! via [`curtain_telemetry::json`] — the same dependency-free JSON layer
+//! the wire protocol uses, so the WAL adds no serialization dependency.
+//!
+//! ## Durability semantics
+//!
+//! [`Wal::append`] buffers in the OS; [`Wal::sync`] fsyncs. The
+//! coordinator appends and syncs once per handled mutation (its batches
+//! are one request long — control traffic is rare next to data traffic).
+//! A torn tail — a record cut mid-write by a crash — is expected and
+//! tolerated: [`Wal::open`] replays the longest valid prefix, truncates
+//! the garbage, and resumes appending after it.
+//!
+//! ## Compaction
+//!
+//! Every mutation appends forever, so once the log passes
+//! [`Wal::compact_threshold`] the coordinator rewrites it as a single
+//! [`WalRecord::Checkpoint`] (the full state, including the overlay
+//! snapshot JSON from `CurtainServer::to_json`). The rewrite goes to a
+//! temp file, is fsync'd, and is renamed over the log — a crash at any
+//! point leaves either the old log or the new one, never neither.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+
+use curtain_telemetry::json::{self, JsonValue};
+
+/// Refuse absurd length prefixes (a torn header can claim anything).
+const MAX_RECORD: u32 = 16 * 1024 * 1024;
+/// Bytes of framing per record (length prefix + checksum).
+const HEADER_LEN: usize = 4 + 8;
+
+/// 64-bit FNV-1a over the payload bytes.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The source registration carried by [`WalRecord::RegisterSource`] and
+/// inside checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalSourceInfo {
+    /// Source data-plane listener (as advertised to peers).
+    pub addr: SocketAddr,
+    /// Number of generations.
+    pub generations: usize,
+    /// Packets per generation.
+    pub generation_size: usize,
+    /// Bytes per packet.
+    pub packet_len: usize,
+    /// Original (unpadded) object length.
+    pub content_len: usize,
+}
+
+impl WalSourceInfo {
+    fn to_json(self) -> JsonValue {
+        let mut f = BTreeMap::new();
+        f.insert("addr".into(), JsonValue::Str(self.addr.to_string()));
+        f.insert("generations".into(), JsonValue::Int(self.generations as i64));
+        f.insert("generation_size".into(), JsonValue::Int(self.generation_size as i64));
+        f.insert("packet_len".into(), JsonValue::Int(self.packet_len as i64));
+        f.insert("content_len".into(), JsonValue::Int(self.content_len as i64));
+        JsonValue::Object(f)
+    }
+
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        Ok(WalSourceInfo {
+            addr: addr_field(v, "addr")?,
+            generations: usize_field(v, "generations")?,
+            generation_size: usize_field(v, "generation_size")?,
+            packet_len: usize_field(v, "packet_len")?,
+            content_len: usize_field(v, "content_len")?,
+        })
+    }
+}
+
+/// One durable matrix mutation (or a full-state checkpoint).
+///
+/// Hello/Resync records carry the *outcome* of the mutation (the assigned
+/// id, position, and thread set), not the request — replay is pure data
+/// manipulation, independent of the RNG and insert policy that produced
+/// the grant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A full-state snapshot; every record before it is superseded.
+    Checkpoint {
+        /// The overlay state (`CurtainServer::to_json` JSON, opaque here).
+        server: String,
+        /// Data-plane address per member node.
+        addrs: Vec<(u64, SocketAddr)>,
+        /// The registered source, if any.
+        source: Option<WalSourceInfo>,
+        /// Nodes that reported full decode.
+        completed: Vec<u64>,
+    },
+    /// The source registered (or re-registered at the same address).
+    RegisterSource(WalSourceInfo),
+    /// A hello was granted: the row as inserted.
+    Hello {
+        /// Assigned node id.
+        node: u64,
+        /// Matrix position the row was inserted at.
+        position: u64,
+        /// The row's thread set (sorted).
+        threads: Vec<u16>,
+        /// The peer's data-plane listener.
+        data_addr: SocketAddr,
+    },
+    /// An amnesiac coordinator re-admitted a row from a peer's resync
+    /// report (appended at the bottom of `M`).
+    Resync {
+        /// The reclaimed node id.
+        node: u64,
+        /// The row's thread set (sorted).
+        threads: Vec<u16>,
+        /// The peer's data-plane listener.
+        data_addr: SocketAddr,
+    },
+    /// A graceful leave removed the row.
+    Goodbye {
+        /// The departed node.
+        node: u64,
+    },
+    /// A complaint-driven repair spliced the row out.
+    Splice {
+        /// The failed node.
+        node: u64,
+    },
+    /// A peer reported full decode.
+    Completed {
+        /// The peer.
+        node: u64,
+    },
+}
+
+impl WalRecord {
+    /// The JSON payload (single line, no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut f = BTreeMap::new();
+        let tag = |f: &mut BTreeMap<String, JsonValue>, t: &str| {
+            f.insert("rec".into(), JsonValue::Str(t.into()));
+        };
+        match self {
+            WalRecord::Checkpoint { server, addrs, source, completed } => {
+                tag(&mut f, "checkpoint");
+                f.insert("server".into(), JsonValue::Str(server.clone()));
+                f.insert(
+                    "addrs".into(),
+                    JsonValue::Array(
+                        addrs
+                            .iter()
+                            .map(|(n, a)| {
+                                JsonValue::Array(vec![
+                                    JsonValue::Int(*n as i64),
+                                    JsonValue::Str(a.to_string()),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                );
+                f.insert(
+                    "source".into(),
+                    source.map_or(JsonValue::Null, WalSourceInfo::to_json),
+                );
+                f.insert(
+                    "completed".into(),
+                    JsonValue::Array(
+                        completed.iter().map(|n| JsonValue::Int(*n as i64)).collect(),
+                    ),
+                );
+            }
+            WalRecord::RegisterSource(info) => {
+                tag(&mut f, "register_source");
+                f.insert("source".into(), info.to_json());
+            }
+            WalRecord::Hello { node, position, threads, data_addr } => {
+                tag(&mut f, "hello");
+                f.insert("node".into(), JsonValue::Int(*node as i64));
+                f.insert("position".into(), JsonValue::Int(*position as i64));
+                f.insert("threads".into(), threads_json(threads));
+                f.insert("data_addr".into(), JsonValue::Str(data_addr.to_string()));
+            }
+            WalRecord::Resync { node, threads, data_addr } => {
+                tag(&mut f, "resync");
+                f.insert("node".into(), JsonValue::Int(*node as i64));
+                f.insert("threads".into(), threads_json(threads));
+                f.insert("data_addr".into(), JsonValue::Str(data_addr.to_string()));
+            }
+            WalRecord::Goodbye { node } => {
+                tag(&mut f, "goodbye");
+                f.insert("node".into(), JsonValue::Int(*node as i64));
+            }
+            WalRecord::Splice { node } => {
+                tag(&mut f, "splice");
+                f.insert("node".into(), JsonValue::Int(*node as i64));
+            }
+            WalRecord::Completed { node } => {
+                tag(&mut f, "completed");
+                f.insert("node".into(), JsonValue::Int(*node as i64));
+            }
+        }
+        JsonValue::Object(f).render()
+    }
+
+    /// Parses one payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed payloads.
+    pub fn parse_json(payload: &str) -> Result<Self, String> {
+        let v = json::parse_document(payload.trim())?;
+        let rec = v
+            .get("rec")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing \"rec\" tag")?;
+        match rec {
+            "checkpoint" => {
+                let addrs_json = v
+                    .get("addrs")
+                    .and_then(JsonValue::as_array)
+                    .ok_or("missing addrs array")?;
+                let mut addrs = Vec::with_capacity(addrs_json.len());
+                for pair in addrs_json {
+                    let [n, a] = pair.as_array().ok_or("bad addr pair")? else {
+                        return Err("addr pair is not 2-element".into());
+                    };
+                    addrs.push((
+                        n.as_u64().ok_or("bad addr pair node")?,
+                        a.as_str()
+                            .ok_or("bad addr pair address")?
+                            .parse()
+                            .map_err(|e| format!("bad address: {e}"))?,
+                    ));
+                }
+                let source = match v.get("source") {
+                    Some(JsonValue::Null) | None => None,
+                    Some(s) => Some(WalSourceInfo::from_json(s)?),
+                };
+                let completed = v
+                    .get("completed")
+                    .and_then(JsonValue::as_array)
+                    .ok_or("missing completed array")?
+                    .iter()
+                    .map(|n| n.as_u64().ok_or("bad completed id"))
+                    .collect::<Result<_, _>>()?;
+                Ok(WalRecord::Checkpoint {
+                    server: v
+                        .get("server")
+                        .and_then(JsonValue::as_str)
+                        .ok_or("missing server snapshot")?
+                        .to_string(),
+                    addrs,
+                    source,
+                    completed,
+                })
+            }
+            "register_source" => Ok(WalRecord::RegisterSource(WalSourceInfo::from_json(
+                v.get("source").ok_or("missing source")?,
+            )?)),
+            "hello" => Ok(WalRecord::Hello {
+                node: u64_field(&v, "node")?,
+                position: u64_field(&v, "position")?,
+                threads: parse_threads(&v)?,
+                data_addr: addr_field(&v, "data_addr")?,
+            }),
+            "resync" => Ok(WalRecord::Resync {
+                node: u64_field(&v, "node")?,
+                threads: parse_threads(&v)?,
+                data_addr: addr_field(&v, "data_addr")?,
+            }),
+            "goodbye" => Ok(WalRecord::Goodbye { node: u64_field(&v, "node")? }),
+            "splice" => Ok(WalRecord::Splice { node: u64_field(&v, "node")? }),
+            "completed" => Ok(WalRecord::Completed { node: u64_field(&v, "node")? }),
+            other => Err(format!("unknown record {other:?}")),
+        }
+    }
+}
+
+fn threads_json(threads: &[u16]) -> JsonValue {
+    JsonValue::Array(threads.iter().map(|t| JsonValue::Int(i64::from(*t))).collect())
+}
+
+fn parse_threads(v: &JsonValue) -> Result<Vec<u16>, String> {
+    v.get("threads")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing threads array")?
+        .iter()
+        .map(|t| {
+            t.as_u64()
+                .and_then(|x| u16::try_from(x).ok())
+                .ok_or_else(|| "bad thread id".to_string())
+        })
+        .collect()
+}
+
+fn u64_field(v: &JsonValue, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+}
+
+fn usize_field(v: &JsonValue, key: &str) -> Result<usize, String> {
+    usize::try_from(u64_field(v, key)?).map_err(|_| format!("field {key:?} overflows usize"))
+}
+
+fn addr_field(v: &JsonValue, key: &str) -> Result<SocketAddr, String> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("missing addr field {key:?}"))?
+        .parse()
+        .map_err(|e| format!("bad socket address in {key:?}: {e}"))
+}
+
+/// Where a coordinator's WAL lives and when it compacts.
+#[derive(Debug, Clone)]
+pub struct WalOptions {
+    /// Log file path (created if absent).
+    pub path: PathBuf,
+    /// Compaction trigger in bytes (see [`Wal::compact`]).
+    pub compact_threshold: u64,
+}
+
+impl WalOptions {
+    /// Options for `path` with the default compaction threshold.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        WalOptions { path: path.into(), compact_threshold: Wal::DEFAULT_COMPACT_THRESHOLD }
+    }
+
+    /// Overrides the compaction threshold (tests use tiny ones to force
+    /// compaction quickly).
+    #[must_use]
+    pub fn with_compact_threshold(mut self, bytes: u64) -> Self {
+        self.compact_threshold = bytes;
+        self
+    }
+}
+
+/// An open write-ahead log positioned for appending.
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+    bytes: u64,
+    records: u64,
+    compact_threshold: u64,
+}
+
+impl Wal {
+    /// Default [`Wal::compact_threshold`]: 512 KiB.
+    pub const DEFAULT_COMPACT_THRESHOLD: u64 = 512 * 1024;
+
+    /// Opens (creating if absent) the log at `path`, replaying every valid
+    /// record and truncating any torn tail. Returns the replayed records
+    /// and the log positioned for appending after them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors. A corrupt *tail* is not an error
+    /// (it is the expected crash artifact); corruption is only surfaced by
+    /// the shorter-than-expected record list.
+    pub fn open(path: impl AsRef<Path>, compact_threshold: u64) -> io::Result<(Vec<WalRecord>, Self)> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut raw = Vec::new();
+        file.read_to_end(&mut raw)?;
+        let (records, valid_len) = decode_all(&raw);
+        if (valid_len as u64) < raw.len() as u64 {
+            file.set_len(valid_len as u64)?;
+        }
+        file.seek(SeekFrom::Start(valid_len as u64))?;
+        Ok((
+            records,
+            Wal {
+                path,
+                file,
+                bytes: valid_len as u64,
+                records: 0,
+                compact_threshold,
+            },
+        ))
+    }
+
+    /// Creates a fresh, empty log at `path` (truncating any existing one).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn create(path: impl AsRef<Path>, compact_threshold: u64) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(Wal { path, file, bytes: 0, records: 0, compact_threshold })
+    }
+
+    /// Appends one record (unsynced — call [`Wal::sync`] to make the batch
+    /// durable).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn append(&mut self, record: &WalRecord) -> io::Result<()> {
+        let payload = record.to_json();
+        let frame = encode(payload.as_bytes());
+        self.file.write_all(&frame)?;
+        self.bytes += frame.len() as u64;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Fsyncs everything appended so far.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fsync errors.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    /// Bytes currently in the log.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Records appended through this handle (excludes replayed history).
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The compaction trigger: once [`Wal::bytes`] exceeds this, the owner
+    /// should call [`Wal::compact`] with a fresh checkpoint.
+    #[must_use]
+    pub fn compact_threshold(&self) -> u64 {
+        self.compact_threshold
+    }
+
+    /// Whether the log has outgrown its threshold.
+    #[must_use]
+    pub fn needs_compaction(&self) -> bool {
+        self.bytes > self.compact_threshold
+    }
+
+    /// Rewrites the log as the single `checkpoint` record, atomically
+    /// (temp file + fsync + rename), and repositions for appending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors; on error the old log is untouched.
+    pub fn compact(&mut self, checkpoint: &WalRecord) -> io::Result<()> {
+        let tmp_path = self.path.with_extension("wal.tmp");
+        let mut tmp = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp_path)?;
+        let frame = encode(checkpoint.to_json().as_bytes());
+        tmp.write_all(&frame)?;
+        tmp.sync_all()?;
+        std::fs::rename(&tmp_path, &self.path)?;
+        self.file = tmp;
+        self.bytes = frame.len() as u64;
+        self.records += 1;
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("path", &self.path)
+            .field("bytes", &self.bytes)
+            .finish()
+    }
+}
+
+fn encode(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+    frame.extend_from_slice(&u32::try_from(payload.len()).expect("record size").to_le_bytes());
+    frame.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Decodes the longest valid record prefix; returns the records and the
+/// byte offset where validity ends (torn-tail truncation point).
+fn decode_all(raw: &[u8]) -> (Vec<WalRecord>, usize) {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    while raw.len() - offset >= HEADER_LEN {
+        let len = u32::from_le_bytes(raw[offset..offset + 4].try_into().expect("4 bytes"));
+        if len > MAX_RECORD {
+            break;
+        }
+        let sum = u64::from_le_bytes(raw[offset + 4..offset + 12].try_into().expect("8 bytes"));
+        let start = offset + HEADER_LEN;
+        let Some(end) = start.checked_add(len as usize).filter(|e| *e <= raw.len()) else {
+            break; // torn mid-payload
+        };
+        let payload = &raw[start..end];
+        if fnv1a64(payload) != sum {
+            break;
+        }
+        let Ok(text) = std::str::from_utf8(payload) else {
+            break;
+        };
+        let Ok(record) = WalRecord::parse_json(text) else {
+            break;
+        };
+        records.push(record);
+        offset = end;
+    }
+    (records, offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(port: u16) -> SocketAddr {
+        format!("127.0.0.1:{port}").parse().unwrap()
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::RegisterSource(WalSourceInfo {
+                addr: addr(9000),
+                generations: 4,
+                generation_size: 32,
+                packet_len: 256,
+                content_len: 32_768,
+            }),
+            WalRecord::Hello {
+                node: 0,
+                position: 0,
+                threads: vec![1, 3],
+                data_addr: addr(9001),
+            },
+            WalRecord::Hello {
+                node: 1,
+                position: 1,
+                threads: vec![0, 2],
+                data_addr: addr(9002),
+            },
+            WalRecord::Resync { node: 7, threads: vec![0, 1], data_addr: addr(9007) },
+            WalRecord::Completed { node: 1 },
+            WalRecord::Goodbye { node: 1 },
+            WalRecord::Splice { node: 0 },
+            WalRecord::Checkpoint {
+                server: r#"{"k":4}"#.into(),
+                addrs: vec![(7, addr(9007))],
+                source: Some(WalSourceInfo {
+                    addr: addr(9000),
+                    generations: 4,
+                    generation_size: 32,
+                    packet_len: 256,
+                    content_len: 32_768,
+                }),
+                completed: vec![1],
+            },
+            WalRecord::Checkpoint {
+                server: "{}".into(),
+                addrs: vec![],
+                source: None,
+                completed: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn record_json_round_trips() {
+        for r in sample_records() {
+            let s = r.to_json();
+            assert_eq!(WalRecord::parse_json(&s).expect(&s), r, "payload: {s}");
+        }
+    }
+
+    #[test]
+    fn append_sync_reopen_replays_everything() {
+        let dir = std::env::temp_dir().join(format!("curtain-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("replay.wal");
+        let records = sample_records();
+        {
+            let mut wal = Wal::create(&path, 1 << 20).unwrap();
+            for r in &records {
+                wal.append(r).unwrap();
+            }
+            wal.sync().unwrap();
+            assert_eq!(wal.records(), records.len() as u64);
+        }
+        let (replayed, wal) = Wal::open(&path, 1 << 20).unwrap();
+        assert_eq!(replayed, records);
+        assert!(wal.bytes() > 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let dir = std::env::temp_dir().join(format!("curtain-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.wal");
+        {
+            let mut wal = Wal::create(&path, 1 << 20).unwrap();
+            wal.append(&WalRecord::Goodbye { node: 1 }).unwrap();
+            wal.append(&WalRecord::Goodbye { node: 2 }).unwrap();
+            wal.sync().unwrap();
+        }
+        // Simulate a crash mid-write: chop the last record in half, then
+        // smear garbage over the cut.
+        let full = std::fs::read(&path).unwrap();
+        let cut = full.len() - 7;
+        let mut torn = full[..cut].to_vec();
+        torn.extend_from_slice(&[0xFF; 3]);
+        std::fs::write(&path, &torn).unwrap();
+
+        let (replayed, mut wal) = Wal::open(&path, 1 << 20).unwrap();
+        assert_eq!(replayed, vec![WalRecord::Goodbye { node: 1 }]);
+        // Appending after the truncation yields a clean log again.
+        wal.append(&WalRecord::Goodbye { node: 3 }).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (replayed, _) = Wal::open(&path, 1 << 20).unwrap();
+        assert_eq!(
+            replayed,
+            vec![WalRecord::Goodbye { node: 1 }, WalRecord::Goodbye { node: 3 }]
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checksum_mismatch_stops_replay() {
+        let dir = std::env::temp_dir().join(format!("curtain-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.wal");
+        {
+            let mut wal = Wal::create(&path, 1 << 20).unwrap();
+            wal.append(&WalRecord::Goodbye { node: 1 }).unwrap();
+            wal.append(&WalRecord::Goodbye { node: 2 }).unwrap();
+            wal.sync().unwrap();
+        }
+        // Flip one payload byte of the second record.
+        let mut raw = std::fs::read(&path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x55;
+        std::fs::write(&path, &raw).unwrap();
+        let (replayed, _) = Wal::open(&path, 1 << 20).unwrap();
+        assert_eq!(replayed, vec![WalRecord::Goodbye { node: 1 }]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compaction_rewrites_to_one_checkpoint() {
+        let dir = std::env::temp_dir().join(format!("curtain-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("compact.wal");
+        let mut wal = Wal::create(&path, 64).unwrap(); // tiny threshold
+        for node in 0..20 {
+            wal.append(&WalRecord::Goodbye { node }).unwrap();
+        }
+        wal.sync().unwrap();
+        assert!(wal.needs_compaction());
+        let checkpoint = WalRecord::Checkpoint {
+            server: r#"{"k":4,"rows":[]}"#.into(),
+            addrs: vec![(3, addr(9100))],
+            source: None,
+            completed: vec![3],
+        };
+        let before = wal.bytes();
+        wal.compact(&checkpoint).unwrap();
+        assert!(wal.bytes() < before, "compaction must shrink the log");
+        // Appends continue after the checkpoint.
+        wal.append(&WalRecord::Goodbye { node: 99 }).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (replayed, _) = Wal::open(&path, 64).unwrap();
+        assert_eq!(replayed, vec![checkpoint, WalRecord::Goodbye { node: 99 }]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_and_missing_logs_open_clean() {
+        let dir = std::env::temp_dir().join(format!("curtain-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fresh.wal");
+        let _ = std::fs::remove_file(&path);
+        let (replayed, wal) = Wal::open(&path, 1 << 20).unwrap();
+        assert!(replayed.is_empty());
+        assert_eq!(wal.bytes(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

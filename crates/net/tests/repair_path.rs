@@ -7,35 +7,26 @@ use std::time::Duration;
 
 use curtain_net::faults::{Fault, FaultProxy};
 use curtain_net::framing::{self, Subscribe};
-use curtain_net::proto::{self, Request, Response};
 use curtain_net::repair::RepairPolicy;
-use curtain_net::{Coordinator, Peer, PeerConfig, Source};
+use curtain_net::{Coordinator, Peer, PeerConfig, PendingSource, Source};
 use curtain_overlay::{NodeId, OverlayConfig};
 use curtain_telemetry::{MemorySink, SharedRecorder};
 
 const PACE: Duration = Duration::from_micros(150);
-const T: Duration = Duration::from_secs(2);
 
 fn content(len: usize) -> Vec<u8> {
     (0..len).map(|i| (i * 31 % 251) as u8).collect()
 }
 
-/// Re-register the source behind `proxy` so every future Hello/Redirect
-/// hands out the proxy address instead of the source's real one.
-fn front_source(coordinator: &Coordinator, source: &Source, proxy: &FaultProxy, content_len: usize) {
-    let resp = proto::call(
-        coordinator.addr(),
-        &Request::RegisterSource {
-            data_addr: proxy.addr(),
-            generations: source.generations(),
-            generation_size: source.generation_size(),
-            packet_len: source.packet_len(),
-            content_len,
-        },
-        T,
-    )
-    .unwrap();
-    assert_eq!(resp, Response::Ok);
+/// Bind the source, put a fault proxy in front of its data port, and
+/// register the *proxy* address, so every Hello/Redirect hands out the
+/// proxied path. (The coordinator rejects re-registration at a different
+/// address, so the proxy must be the advertised address from the start.)
+fn proxied_source(coordinator: &Coordinator, data: &[u8], generation_size: usize) -> (Source, FaultProxy) {
+    let pending = PendingSource::bind(data, generation_size, PACE).unwrap();
+    let proxy = FaultProxy::start(pending.data_addr()).unwrap();
+    let source = pending.register_as(coordinator.addr(), proxy.addr()).unwrap();
+    (source, proxy)
 }
 
 fn quick_policy() -> RepairPolicy {
@@ -59,9 +50,7 @@ fn complaint_retries_through_coordinator_outage() {
     let coordinator = Coordinator::start_seeded(OverlayConfig::new(4, 2), 21).unwrap();
     let coord_proxy = FaultProxy::start(coordinator.addr()).unwrap();
     let data = content(4096);
-    let source = Source::start(coordinator.addr(), &data, 16, PACE).unwrap();
-    let source_proxy = FaultProxy::start(source.data_addr()).unwrap();
-    front_source(&coordinator, &source, &source_proxy, data.len());
+    let (_source, source_proxy) = proxied_source(&coordinator, &data, 16);
 
     let sink = MemorySink::new();
     let peer = Peer::join_with(
@@ -127,9 +116,7 @@ fn complaint_retries_through_coordinator_outage() {
 fn truncated_mid_frame_connection_repairs_cleanly() {
     let coordinator = Coordinator::start_seeded(OverlayConfig::new(4, 2), 22).unwrap();
     let data = content(4096);
-    let source = Source::start(coordinator.addr(), &data, 16, PACE).unwrap();
-    let proxy = FaultProxy::start(source.data_addr()).unwrap();
-    front_source(&coordinator, &source, &proxy, data.len());
+    let (_source, proxy) = proxied_source(&coordinator, &data, 16);
 
     let sink = MemorySink::new();
     let peer = Peer::join_with(
@@ -216,9 +203,7 @@ fn crash_joins_child_serving_threads() {
 fn stalled_but_connected_parent_triggers_repair() {
     let coordinator = Coordinator::start_seeded(OverlayConfig::new(4, 2), 24).unwrap();
     let data = content(4096);
-    let source = Source::start(coordinator.addr(), &data, 16, PACE).unwrap();
-    let proxy = FaultProxy::start(source.data_addr()).unwrap();
-    front_source(&coordinator, &source, &proxy, data.len());
+    let (_source, proxy) = proxied_source(&coordinator, &data, 16);
 
     // Silence the link before the peer ever connects: sockets open fine
     // but no byte moves — a partition, not a close. The old loop treated

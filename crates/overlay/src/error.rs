@@ -28,6 +28,12 @@ pub enum OverlayError {
     /// A congestion restore was requested but the node already holds all
     /// `k` threads.
     NoThreadToRestore(NodeId),
+    /// A re-admission (resync) was requested for a node that is already a
+    /// member.
+    AlreadyMember(NodeId),
+    /// A re-admission carried an unusable thread set (empty, duplicated,
+    /// or out of range).
+    InvalidThreads(NodeId),
 }
 
 impl fmt::Display for OverlayError {
@@ -42,6 +48,10 @@ impl fmt::Display for OverlayError {
             OverlayError::NoThreadToDrop(n) => write!(f, "node {n} has no thread to drop"),
             OverlayError::NoThreadToRestore(n) => {
                 write!(f, "node {n} already holds every thread")
+            }
+            OverlayError::AlreadyMember(n) => write!(f, "node {n} is already a member"),
+            OverlayError::InvalidThreads(n) => {
+                write!(f, "node {n} reported an unusable thread set")
             }
         }
     }

@@ -267,6 +267,54 @@ impl CurtainServer {
         JoinGrant { node, position, parents }
     }
 
+    /// Re-admits a node under its *existing* id — the amnesiac-recovery
+    /// step of the resync protocol: a coordinator that lost its matrix
+    /// learns a row back from the peer itself (its thread set), appends it
+    /// at the bottom of `M`, and bumps `next_id` past the reclaimed id so
+    /// future hellos never collide with survivors of the old epoch.
+    ///
+    /// The row's matrix position is not preserved (the old ordering died
+    /// with the old coordinator); appended rows may disagree with the live
+    /// stream topology until the complaint path reconciles them.
+    ///
+    /// # Errors
+    ///
+    /// * [`OverlayError::AlreadyMember`] if the id is already present.
+    /// * [`OverlayError::InvalidThreads`] if `threads` is empty, has
+    ///   duplicates, or references a thread `>= k`.
+    pub fn readmit(
+        &mut self,
+        node: NodeId,
+        mut threads: Vec<ThreadId>,
+        status: NodeStatus,
+    ) -> Result<usize, OverlayError> {
+        if self.matrix.position_of(node).is_some() {
+            return Err(OverlayError::AlreadyMember(node));
+        }
+        threads.sort_unstable();
+        let valid = !threads.is_empty()
+            && threads.windows(2).all(|w| w[0] != w[1])
+            && (threads[threads.len() - 1] as usize) < self.config.k;
+        if !valid {
+            return Err(OverlayError::InvalidThreads(node));
+        }
+        let position = self.matrix.len();
+        let degree = threads.len();
+        if self.recorder.is_enabled() {
+            self.recorder.record(&Event::Hello {
+                node: node.0,
+                position: position as u64,
+                degree: degree as u32,
+            });
+        }
+        self.matrix.insert(position, node, threads, status);
+        self.next_id = self.next_id.max(node.0 + 1);
+        self.metrics.joins += 1;
+        self.metrics.messages_in += 1;
+        self.metrics.messages_out += 1;
+        Ok(position)
+    }
+
     /// Good-bye protocol: gracefully removes a working node, returning the
     /// splice plan (each parent redirected to the corresponding child).
     ///
@@ -678,6 +726,39 @@ mod tests {
         }
         assert!(seen_non_tail, "random insertion never hit the interior");
         s.matrix().assert_invariants();
+    }
+
+    #[test]
+    fn readmit_restores_row_and_bumps_next_id() {
+        let mut s = server(8, 2);
+        let mut rng = StdRng::seed_from_u64(30);
+        s.hello(&mut rng); // node 0 occupies the top
+        // A survivor of a previous epoch resyncs with id 17.
+        let pos = s.readmit(NodeId(17), vec![5, 1], NodeStatus::Working).unwrap();
+        assert_eq!(pos, 1, "resynced rows append at the bottom");
+        assert_eq!(s.matrix().row(pos).threads(), &[1, 5], "threads sorted on insert");
+        assert_eq!(s.next_node_id(), 18, "next_id jumps past the reclaimed id");
+        let fresh = s.hello(&mut rng).node;
+        assert_eq!(fresh, NodeId(18), "no id reuse after resync");
+        s.matrix().assert_invariants();
+    }
+
+    #[test]
+    fn readmit_rejects_members_and_bad_threads() {
+        let mut s = server(4, 2);
+        let mut rng = StdRng::seed_from_u64(31);
+        let a = s.hello(&mut rng).node;
+        assert_eq!(
+            s.readmit(a, vec![0, 1], NodeStatus::Working).unwrap_err(),
+            OverlayError::AlreadyMember(a)
+        );
+        for bad in [vec![], vec![2, 2], vec![0, 4]] {
+            assert_eq!(
+                s.readmit(NodeId(9), bad, NodeStatus::Working).unwrap_err(),
+                OverlayError::InvalidThreads(NodeId(9))
+            );
+        }
+        assert_eq!(s.matrix().len(), 1, "rejected resyncs leave M untouched");
     }
 
     #[test]

@@ -240,6 +240,37 @@ mod tests {
         restored.matrix().assert_invariants();
     }
 
+    /// Recovery-parity check: the JSON checkpoint a `curtain-net`
+    /// coordinator writes must rebuild a matrix *identical* to the
+    /// original — same rows in the same order, the same parent holder for
+    /// every (position, thread), and the same exact defect — because
+    /// `Coordinator::recover` trusts this round trip to resurrect `M`.
+    #[test]
+    fn checkpoint_round_trip_preserves_rows_holders_and_defect() {
+        let s = busy_server();
+        let restored = CurtainServer::from_json(&s.to_json().unwrap()).unwrap();
+
+        let (m0, m1) = (s.matrix(), restored.matrix());
+        assert_eq!(m0.rows().len(), m1.rows().len());
+        for (a, b) in m0.rows().iter().zip(m1.rows()) {
+            assert_eq!(a.node(), b.node());
+            assert_eq!(a.threads(), b.threads());
+            assert_eq!(a.status(), b.status());
+        }
+        for pos in 0..m0.len() {
+            assert_eq!(
+                m0.parents_of_position(pos),
+                m1.parents_of_position(pos),
+                "holder mismatch at position {pos}"
+            );
+        }
+        let d = s.config().d;
+        let (d0, d1) = (crate::defect::exact(m0, d), crate::defect::exact(m1, d));
+        assert_eq!(d0.total_defect(), d1.total_defect());
+        assert_eq!(d0.defective_fraction(), d1.defective_fraction());
+        m1.assert_invariants();
+    }
+
     #[test]
     fn malformed_json_rejected() {
         assert!(CurtainServer::from_json("{not json").is_err());

@@ -182,6 +182,33 @@ pub enum Event {
         /// window budget denied the episode outright).
         attempts: u32,
     },
+    /// The coordinator stopped serving (graceful shutdown or kill).
+    CoordinatorDown {
+        /// Members in the matrix at the moment it went down.
+        members: u64,
+    },
+    /// A coordinator finished recovering its matrix state.
+    CoordinatorRecovered {
+        /// WAL records replayed to rebuild `M` (0 when the WAL was lost).
+        replayed: u64,
+        /// Rows re-inserted via `Resync` records replayed from the WAL
+        /// (post-recovery live resyncs are counted by the
+        /// `resynced_rows` counter instead, since they arrive after this
+        /// event is emitted).
+        resynced: u64,
+    },
+    /// An amnesiac coordinator re-inserted a row from a peer's resync
+    /// report (its thread→parent view), instead of bouncing the peer with
+    /// "unknown child" forever.
+    PeerResync {
+        /// The re-admitted peer.
+        peer: u64,
+        /// How many threads the resynced row holds.
+        threads: u32,
+    },
+    /// A second source tried to register at a different address while a
+    /// session was live; the coordinator refused the hijack.
+    SourceRegisterRejected,
 }
 
 impl Event {
@@ -203,6 +230,10 @@ impl Event {
             Event::PeerDisconnect { .. } => "peer_disconnect",
             Event::RepairAttempt { .. } => "repair_attempt",
             Event::RepairGaveUp { .. } => "repair_gave_up",
+            Event::CoordinatorDown { .. } => "coordinator_down",
+            Event::CoordinatorRecovered { .. } => "coordinator_recovered",
+            Event::PeerResync { .. } => "peer_resync",
+            Event::SourceRegisterRejected => "source_register_rejected",
         }
     }
 
@@ -222,10 +253,14 @@ impl Event {
             Event::PeerConnect { peer }
             | Event::PeerDisconnect { peer }
             | Event::RepairAttempt { peer, .. }
-            | Event::RepairGaveUp { peer, .. } => Some(*peer),
-            Event::ThreadDefect { .. } | Event::DefectSample { .. } | Event::LinkDrop { .. } => {
-                None
-            }
+            | Event::RepairGaveUp { peer, .. }
+            | Event::PeerResync { peer, .. } => Some(*peer),
+            Event::ThreadDefect { .. }
+            | Event::DefectSample { .. }
+            | Event::LinkDrop { .. }
+            | Event::CoordinatorDown { .. }
+            | Event::CoordinatorRecovered { .. }
+            | Event::SourceRegisterRejected => None,
         }
     }
 
@@ -295,6 +330,16 @@ impl Event {
                 field("thread", &thread.to_string());
                 field("attempts", &attempts.to_string());
             }
+            Event::CoordinatorDown { members } => field("members", &members.to_string()),
+            Event::CoordinatorRecovered { replayed, resynced } => {
+                field("replayed", &replayed.to_string());
+                field("resynced", &resynced.to_string());
+            }
+            Event::PeerResync { peer, threads } => {
+                field("peer", &peer.to_string());
+                field("threads", &threads.to_string());
+            }
+            Event::SourceRegisterRejected => {}
         }
         out.push('}');
     }
@@ -363,6 +408,16 @@ impl Event {
                 thread: fields.u32("thread")?,
                 attempts: fields.u32("attempts")?,
             },
+            "coordinator_down" => Event::CoordinatorDown { members: fields.u64("members")? },
+            "coordinator_recovered" => Event::CoordinatorRecovered {
+                replayed: fields.u64("replayed")?,
+                resynced: fields.u64("resynced")?,
+            },
+            "peer_resync" => Event::PeerResync {
+                peer: fields.u64("peer")?,
+                threads: fields.u32("threads")?,
+            },
+            "source_register_rejected" => Event::SourceRegisterRejected,
             other => return Err(format!("unknown event kind {other:?}")),
         };
         Ok((at, event))
@@ -425,6 +480,10 @@ mod tests {
             Event::PeerDisconnect { peer: 11 },
             Event::RepairAttempt { peer: 11, thread: 3, attempt: 2 },
             Event::RepairGaveUp { peer: 11, thread: 3, attempts: 5 },
+            Event::CoordinatorDown { members: 12 },
+            Event::CoordinatorRecovered { replayed: 40, resynced: 3 },
+            Event::PeerResync { peer: 6, threads: 2 },
+            Event::SourceRegisterRejected,
         ]
     }
 

@@ -19,9 +19,8 @@ use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 use curtain_net::faults::{Fault, FaultProxy};
-use curtain_net::proto::{self, Request, Response};
 use curtain_net::repair::RepairPolicy;
-use curtain_net::{Coordinator, Peer, PeerConfig, Source};
+use curtain_net::{Coordinator, Peer, PeerConfig, PendingSource, Source};
 use curtain_overlay::OverlayConfig;
 use curtain_telemetry::{MemorySink, SharedRecorder};
 
@@ -47,22 +46,20 @@ fn soak_policy() -> RepairPolicy {
     }
 }
 
-/// Put a fault proxy in front of the source: re-register with the proxy
-/// address so every Hello/Redirect hands out the proxied path.
-fn front_source(coordinator: &Coordinator, source: &Source, proxy: &FaultProxy, content_len: usize) {
-    let resp = proto::call(
-        coordinator.addr(),
-        &Request::RegisterSource {
-            data_addr: proxy.addr(),
-            generations: source.generations(),
-            generation_size: source.generation_size(),
-            packet_len: source.packet_len(),
-            content_len,
-        },
-        Duration::from_secs(2),
-    )
-    .unwrap();
-    assert_eq!(resp, Response::Ok);
+/// Bind the source, front its data port with a fault proxy, and register
+/// the *proxy* address, so every Hello/Redirect hands out the proxied
+/// path. (The coordinator rejects re-registration at a different
+/// address, so the proxy must be advertised from the start.)
+fn proxied_source(
+    coordinator: &Coordinator,
+    data: &[u8],
+    generation_size: usize,
+    packet_len: usize,
+) -> (Source, FaultProxy) {
+    let pending = PendingSource::bind_with_shape(data, generation_size, packet_len, PACE).unwrap();
+    let proxy = FaultProxy::start(pending.data_addr()).unwrap();
+    let source = pending.register_as(coordinator.addr(), proxy.addr()).unwrap();
+    (source, proxy)
 }
 
 fn join(coordinator: &Coordinator, sink: &MemorySink) -> Peer {
@@ -107,9 +104,7 @@ fn churn_soak_survivors_complete_with_zero_gave_ups() {
     )
     .unwrap();
     let data = content(32 * 1024);
-    let source = Source::start_with_shape(coordinator.addr(), &data, 32, 256, PACE).unwrap();
-    let proxy = FaultProxy::start(source.data_addr()).unwrap();
-    front_source(&coordinator, &source, &proxy, data.len());
+    let (_source, proxy) = proxied_source(&coordinator, &data, 32, 256);
 
     let mut peers: Vec<Peer> = (0..initial_peers).map(|_| join(&coordinator, &sink)).collect();
     let mut crashed = 0usize;
@@ -199,9 +194,8 @@ fn peer_survives_more_than_32_lifetime_repairs() {
     let sink = MemorySink::new();
     let coordinator = Coordinator::start_seeded(OverlayConfig::new(4, 2), 0x33).unwrap();
     let data = content(8 * 1024);
-    let source = Source::start(coordinator.addr(), &data, 16, PACE).unwrap();
-    let proxy = FaultProxy::start(source.data_addr()).unwrap();
-    front_source(&coordinator, &source, &proxy, data.len());
+    let packet_len = data.len().div_ceil(16);
+    let (_source, proxy) = proxied_source(&coordinator, &data, 16, packet_len);
 
     let policy = RepairPolicy {
         initial_backoff: Duration::from_millis(2),
