@@ -1,0 +1,238 @@
+//! E06-dataplane measurement core — single-node data-plane throughput.
+//!
+//! Three families of numbers, all wall-clock:
+//!
+//! * **Kernel throughput** — MiB/s of the `dst ^= c·src` axpy for each
+//!   compiled-in [`GfBackend`], the quantity the SIMD dispatch exists to
+//!   improve ([`axpy_throughput`]).
+//! * **Codec throughput** — packets/s for encode, decode (progressive
+//!   elimination per ingest), and recode at a `(g, symbol_len)` grid point
+//!   ([`codec_throughput`]).
+//! * **Recode-path comparison** — the new `Arc`-snapshot emit path against
+//!   a faithful reconstruction of the pre-refactor one (deep-copy the
+//!   basis rows per emitted packet, as `Peer::snapshot_next()`'s
+//!   `Recoder::clone()` used to), so `BENCH_e06.json` records the
+//!   refactor's speedup, not just its absolute numbers.
+//!
+//! Unlike every other experiment core, the measurements here are *timings*
+//! and therefore not deterministic in `(params, seed)`: the seed pins the
+//! data and the coefficient streams, but the reported rates track the
+//! machine they ran on. The lab's caching still makes re-reports
+//! byte-stable; cross-machine comparisons should use the recorded ratios
+//! (`simd_speedup`, `recode_speedup`), which are what the claims gate.
+
+use std::time::Instant;
+
+use curtain_gf::kernels::{self, GfBackend};
+use curtain_gf::vec_ops;
+use curtain_rlnc::{BufPool, CodedPacket, Decoder, Encoder, Recoder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sizing of one kernel-throughput measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelParams {
+    /// Buffer length in bytes (a typical coded-symbol length).
+    pub len: usize,
+    /// Axpy passes over the buffer (total traffic = `len * passes`).
+    pub passes: usize,
+}
+
+/// Backends compiled in *and* usable on this CPU, fastest-preference
+/// first, always ending in `Scalar`.
+#[must_use]
+pub fn available_backends() -> Vec<GfBackend> {
+    kernels::available_backends()
+}
+
+/// Measures axpy throughput (MiB/s) for `backend`. Coefficients rotate
+/// through 2..=255 so the `c ∈ {0, 1}` fast paths never fire.
+#[must_use]
+pub fn axpy_throughput(backend: GfBackend, params: &KernelParams, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut src = vec![0u8; params.len];
+    rng.fill(&mut src[..]);
+    let mut dst = vec![0u8; params.len];
+    rng.fill(&mut dst[..]);
+    // Warm the tables/caches outside the timed window.
+    kernels::axpy_on(backend, &mut dst, 29, &src);
+    let mut c: u8 = 2;
+    let start = Instant::now();
+    for _ in 0..params.passes {
+        kernels::axpy_on(backend, &mut dst, c, &src);
+        c = if c == 255 { 2 } else { c + 1 };
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    // `dst` feeds back into the next pass, so the loop cannot be hoisted.
+    std::hint::black_box(&dst);
+    (params.len * params.passes) as f64 / secs / (1024.0 * 1024.0)
+}
+
+/// Sizing of one codec-throughput measurement cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodecParams {
+    /// Generation size `g` (packets per generation).
+    pub g: usize,
+    /// Symbol length `s` in bytes.
+    pub symbol_len: usize,
+    /// Packets to push through each timed loop.
+    pub packets: usize,
+}
+
+/// Wall-clock packets/s for each stage of the data plane at one grid
+/// point, plus the pre-refactor recode baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodecThroughput {
+    /// Source-side `Encoder::encode` rate.
+    pub encode_pps: f64,
+    /// Receiver-side `Decoder::push` rate (progressive elimination,
+    /// redundant packets included — their reduction work is real).
+    pub decode_pps: f64,
+    /// The new emit path: cached `Arc` snapshot + pool-backed recode.
+    pub recode_pps: f64,
+    /// The pre-refactor emit path: deep-copy the basis rows per packet
+    /// (what cloning a `Vec<u8>`-rowed `Recoder` under the lock cost),
+    /// then mix from the copy with the same kernels.
+    pub recode_clone_pps: f64,
+}
+
+impl CodecThroughput {
+    /// `recode_pps / recode_clone_pps` — the refactor's speedup on the
+    /// serving path.
+    #[must_use]
+    pub fn recode_speedup(&self) -> f64 {
+        self.recode_pps / self.recode_clone_pps.max(1e-9)
+    }
+}
+
+/// Random source data for one generation.
+fn generation_data(g: usize, symbol_len: usize, rng: &mut StdRng) -> Vec<Vec<u8>> {
+    (0..g)
+        .map(|_| {
+            let mut p = vec![0u8; symbol_len];
+            rng.fill(&mut p[..]);
+            p
+        })
+        .collect()
+}
+
+/// Mixes one random combination from deep-copied rows — the inner loop of
+/// the pre-refactor baseline. Uses the same dispatched kernels as the
+/// real path so the measured difference is the copy + allocation traffic,
+/// not a kernel handicap.
+fn mix_rows(rows: &[(Vec<u8>, Vec<u8>)], g: usize, symbol_len: usize, rng: &mut StdRng) -> CodedPacket {
+    let mut coeffs = vec![0u8; g];
+    let mut payload = vec![0u8; symbol_len];
+    loop {
+        let mut any = false;
+        for (rc, rp) in rows {
+            let weight: u8 = rng.random();
+            if weight == 0 {
+                continue;
+            }
+            any = true;
+            vec_ops::axpy(&mut coeffs, weight, rc);
+            vec_ops::axpy(&mut payload, weight, rp);
+        }
+        if any {
+            break;
+        }
+    }
+    CodedPacket::new(0, coeffs, payload)
+}
+
+/// Measures the full codec grid point. Deterministic *data* in `seed`;
+/// the rates are wall-clock (see the module docs).
+#[must_use]
+pub fn codec_throughput(params: &CodecParams, seed: u64) -> CodecThroughput {
+    let CodecParams { g, symbol_len, packets } = *params;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let enc = Encoder::new(0, generation_data(g, symbol_len, &mut rng)).expect("non-empty");
+
+    // Encode rate (also produces the decode workload).
+    let start = Instant::now();
+    let coded: Vec<CodedPacket> = (0..packets).map(|_| enc.encode(&mut rng)).collect();
+    let encode_pps = packets as f64 / start.elapsed().as_secs_f64().max(1e-9);
+
+    // Decode rate: one pooled decoder ingesting the whole stream.
+    let pool = BufPool::default();
+    let mut dec = Decoder::with_pool(0, g, symbol_len, pool.clone());
+    let start = Instant::now();
+    for p in coded.iter().cloned() {
+        let _ = dec.push(p);
+    }
+    let decode_pps = packets as f64 / start.elapsed().as_secs_f64().max(1e-9);
+    assert!(dec.is_complete(), "decode workload must complete the generation");
+
+    // A full recoder to serve from.
+    let mut rec = Recoder::with_pool(0, g, symbol_len, pool);
+    while !rec.is_complete() {
+        let _ = rec.push(enc.encode(&mut rng));
+    }
+
+    // New path: cached Arc snapshot per packet (what `snapshot_next` now
+    // does under the lock), recode from shared rows.
+    let start = Instant::now();
+    for _ in 0..packets {
+        let snap = rec.snapshot();
+        std::hint::black_box(snap.recode(&mut rng));
+    }
+    let recode_pps = packets as f64 / start.elapsed().as_secs_f64().max(1e-9);
+
+    // Pre-refactor path: deep-copy the basis per packet, mix from the
+    // copy. This is what `Recoder::clone()` under the lock used to cost
+    // when rows were plain `Vec<u8>`s.
+    let basis: Vec<(Vec<u8>, Vec<u8>)> = rec
+        .snapshot()
+        .rows()
+        .map(|(c, p)| (c.to_vec(), p.to_vec()))
+        .collect();
+    let start = Instant::now();
+    for _ in 0..packets {
+        let copy = basis.clone();
+        std::hint::black_box(mix_rows(&copy, g, symbol_len, &mut rng));
+    }
+    let recode_clone_pps = packets as f64 / start.elapsed().as_secs_f64().max(1e-9);
+
+    CodecThroughput { encode_pps, decode_pps, recode_pps, recode_clone_pps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_available_backend_reports_positive_throughput() {
+        let params = KernelParams { len: 4096, passes: 64 };
+        for backend in available_backends() {
+            let mibs = axpy_throughput(backend, &params, 7);
+            assert!(mibs > 0.0, "{backend:?} reported {mibs}");
+        }
+    }
+
+    #[test]
+    fn scalar_is_always_among_available() {
+        assert!(available_backends().contains(&GfBackend::Scalar));
+    }
+
+    #[test]
+    fn codec_throughput_is_positive_and_decodes() {
+        let t = codec_throughput(&CodecParams { g: 8, symbol_len: 128, packets: 64 }, 3);
+        assert!(t.encode_pps > 0.0);
+        assert!(t.decode_pps > 0.0);
+        assert!(t.recode_pps > 0.0);
+        assert!(t.recode_clone_pps > 0.0);
+        assert!(t.recode_speedup() > 0.0);
+    }
+
+    #[test]
+    fn baseline_mix_produces_valid_packets() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let rows: Vec<(Vec<u8>, Vec<u8>)> =
+            (0..4).map(|i| (vec![i as u8 + 1; 4], vec![i as u8; 16])).collect();
+        let p = mix_rows(&rows, 4, 16, &mut rng);
+        assert_eq!(p.coefficients().len(), 4);
+        assert_eq!(p.payload().len(), 16);
+        assert!(!p.is_vacuous());
+    }
+}

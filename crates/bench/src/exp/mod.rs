@@ -12,9 +12,13 @@
 //! Everything here is deterministic in its `seed` argument: a cell's
 //! result depends only on its parameters and seed, never on global state
 //! or scheduling — the property `curtain-lab` relies on for byte-identical
-//! reports at any `--jobs` count.
+//! reports at any `--jobs` count. The one exemption is [`e06`], whose
+//! measurements are wall-clock throughputs: the seed pins the data, but
+//! the rates depend on the machine (its claims gate machine-independent
+//! ratios, not absolute rates).
 
 pub mod e01;
 pub mod e03;
 pub mod e04;
 pub mod e05;
+pub mod e06;

@@ -2,7 +2,7 @@
 
 use bytes::Bytes;
 use curtain_gf::ReedSolomon;
-use curtain_rlnc::{Encoder, Recoder};
+use curtain_rlnc::{BufPool, Encoder, Recoder};
 use curtain_simnet::{HostId, LinkConfig, World};
 use curtain_telemetry::SharedRecorder;
 use rand::rngs::StdRng;
@@ -249,7 +249,14 @@ impl Session {
         for i in 0..topo.nodes {
             let role = match cfg.strategy {
                 Strategy::Rlnc => {
-                    let mut recoder = Recoder::new(0, cfg.total_chunks, cfg.packet_len);
+                    // Per-client pool: recoder row traffic recycles
+                    // instead of allocating per packet.
+                    let mut recoder = Recoder::with_pool(
+                        0,
+                        cfg.total_chunks,
+                        cfg.packet_len,
+                        BufPool::default(),
+                    );
                     if recorder.is_enabled() {
                         recoder.set_telemetry(recorder.clone(), i as u64 + 1);
                     }

@@ -15,7 +15,7 @@
 
 use std::collections::HashMap;
 
-use curtain_rlnc::{CodedPacket, Encoder, GenerationId, Recoder};
+use curtain_rlnc::{BufPool, CodedPacket, Encoder, GenerationId, Recoder};
 use curtain_simnet::{Actor, Context, HostId, LinkConfig, World};
 use rand::rngs::StdRng;
 use rand::{RngExt as _, SeedableRng};
@@ -175,6 +175,9 @@ struct StreamPeer {
     /// Tick each generation completed, by generation index.
     completed: Vec<Option<u64>>,
     cfg: StreamShape,
+    /// Shared packet-buffer pool: every generation's recoder rows recycle
+    /// through here, so the sliding window allocates only while warming up.
+    pool: BufPool,
 }
 
 #[derive(Clone, Copy)]
@@ -204,7 +207,12 @@ impl Actor<CodedPacket> for StreamPeer {
             return;
         }
         let recoder = recoders.entry(generation).or_insert_with(|| {
-            Recoder::new(generation, self.cfg.generation_size, self.cfg.packet_len)
+            Recoder::with_pool(
+                generation,
+                self.cfg.generation_size,
+                self.cfg.packet_len,
+                self.pool.clone(),
+            )
         });
         if recoder.push(msg).unwrap_or(false)
             && recoder.is_complete()
@@ -298,6 +306,7 @@ impl StreamSession {
             outs: Vec::new(),
             completed: vec![None; cfg.generations],
             cfg: shape,
+            pool: BufPool::default(),
         });
         for i in 0..topo.nodes {
             world.add_actor(StreamPeer {
@@ -306,6 +315,7 @@ impl StreamSession {
                 outs: Vec::new(),
                 completed: vec![None; cfg.generations],
                 cfg: shape,
+                pool: BufPool::default(),
             });
         }
         let link_cfg = LinkConfig::reliable(cfg.latency).with_loss(cfg.loss);

@@ -97,6 +97,45 @@ pub trait Field: Copy + Clone + Eq + PartialEq + Debug + Hash + Default + Send +
     /// Converts to the canonical integer index in `0..Self::ORDER`.
     fn to_index(self) -> usize;
 
+    /// `dst[i] = dst[i] + c · src[i]` over slices of field elements.
+    ///
+    /// The default walks element-wise; implementations backed by byte-level
+    /// kernels (GF(2⁸)) override this to dispatch into
+    /// [`crate::kernels`], which is what makes [`crate::Matrix`] elimination
+    /// fast without the matrix code knowing about SIMD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    fn axpy_slice(dst: &mut [Self], c: Self, src: &[Self]) {
+        assert_eq!(dst.len(), src.len(), "vector length mismatch");
+        if c.is_zero() {
+            return;
+        }
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = d.add(c.mul(*s));
+        }
+    }
+
+    /// `dst[i] = c · dst[i]` over a slice of field elements.
+    fn scale_slice(dst: &mut [Self], c: Self) {
+        for d in dst.iter_mut() {
+            *d = c.mul(*d);
+        }
+    }
+
+    /// `dst[i] = dst[i] + src[i]` over slices of field elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    fn add_slice(dst: &mut [Self], src: &[Self]) {
+        assert_eq!(dst.len(), src.len(), "vector length mismatch");
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = d.add(*s);
+        }
+    }
+
     /// Samples a uniformly random field element (zero included).
     fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
         Self::from_index(rng.random_range(0..Self::ORDER))

@@ -20,6 +20,7 @@ use crate::tables::{GF256, GF256_MUL};
 /// assert_eq!(a.mul(a.inv()), Gf256::ONE);
 /// ```
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct Gf256(pub u8);
 
 impl Gf256 {
@@ -75,6 +76,24 @@ impl Field for Gf256 {
     #[inline]
     fn to_index(self) -> usize {
         self.0 as usize
+    }
+
+    fn axpy_slice(dst: &mut [Self], c: Self, src: &[Self]) {
+        assert_eq!(dst.len(), src.len(), "vector length mismatch");
+        crate::kernels::axpy(
+            crate::kernels::gf256_as_bytes_mut(dst),
+            c.0,
+            crate::kernels::gf256_as_bytes(src),
+        );
+    }
+
+    fn scale_slice(dst: &mut [Self], c: Self) {
+        crate::kernels::scale_assign(crate::kernels::gf256_as_bytes_mut(dst), c.0);
+    }
+
+    fn add_slice(dst: &mut [Self], src: &[Self]) {
+        assert_eq!(dst.len(), src.len(), "vector length mismatch");
+        crate::kernels::add_assign(crate::kernels::gf256_as_bytes_mut(dst), crate::kernels::gf256_as_bytes(src));
     }
 }
 
@@ -147,6 +166,33 @@ mod tests {
             prop_assert_eq!(a.add(Gf256::ZERO), a);
             prop_assert_eq!(a.mul(Gf256::ONE), a);
             prop_assert_eq!(a.mul(Gf256::ZERO), Gf256::ZERO);
+        }
+    }
+
+    proptest! {
+        /// The kernel-backed slice overrides must agree with the trait's
+        /// element-wise defaults (exercised here by hand).
+        #[test]
+        fn slice_ops_match_elementwise(c: u8, pairs in proptest::collection::vec(any::<(u8, u8)>(), 0..70)) {
+            let c = Gf256(c);
+            let src: Vec<Gf256> = pairs.iter().map(|p| Gf256(p.0)).collect();
+            let orig: Vec<Gf256> = pairs.iter().map(|p| Gf256(p.1)).collect();
+
+            let mut got = orig.clone();
+            Gf256::axpy_slice(&mut got, c, &src);
+            let want: Vec<Gf256> =
+                orig.iter().zip(&src).map(|(&d, &s)| d.add(c.mul(s))).collect();
+            prop_assert_eq!(got, want);
+
+            let mut got = orig.clone();
+            Gf256::scale_slice(&mut got, c);
+            let want: Vec<Gf256> = orig.iter().map(|&d| c.mul(d)).collect();
+            prop_assert_eq!(got, want);
+
+            let mut got = orig.clone();
+            Gf256::add_slice(&mut got, &src);
+            let want: Vec<Gf256> = orig.iter().zip(&src).map(|(&d, &s)| d.add(s)).collect();
+            prop_assert_eq!(got, want);
         }
     }
 

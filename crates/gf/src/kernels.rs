@@ -1,0 +1,794 @@
+//! Runtime-dispatched GF(2⁸) vector kernels: SIMD where the CPU has it,
+//! table-lookup scalar everywhere.
+//!
+//! The RLNC hot path spends nearly all of its time in three bulk operations
+//! over byte buffers (`dst ^= c·src`, `dst = c·dst`, `dst ^= src`). This
+//! module provides one implementation per instruction-set *backend* and picks
+//! the fastest available one once, at first use:
+//!
+//! | backend  | targets              | technique                              |
+//! |----------|----------------------|----------------------------------------|
+//! | `avx2`   | x86_64 with AVX2     | 32-byte split-nibble `vpshufb`         |
+//! | `ssse3`  | x86/x86_64 w/ SSSE3  | 16-byte split-nibble `pshufb`          |
+//! | `neon`   | aarch64              | 16-byte split-nibble `tbl`             |
+//! | `scalar` | everywhere           | 64 KiB multiplication-table row walk   |
+//!
+//! The SIMD kernels all use the same split-nibble trick (Plank et al.,
+//! "Screaming Fast Galois Field Arithmetic"; also the shape used by ISA-L and
+//! raptor-style CDN codecs): for a fixed coefficient `c`, the products of `c`
+//! with all 16 low nibbles and all 16 high-nibble multiples are precomputed
+//! into two 16-byte tables ([`crate::tables`]'s `GF256_NIB`), and a byte
+//! shuffle instruction evaluates 16/32 products per cycle as
+//! `NIB_LO[b & 0xf] ^ NIB_HI[b >> 4]`.
+//!
+//! # Backend selection
+//!
+//! [`active()`] resolves the backend exactly once per process. The
+//! environment variable `CURTAIN_GF_BACKEND` (values `scalar`, `ssse3`,
+//! `avx2`, `neon`) overrides auto-detection when the requested backend is
+//! available on the running CPU; an unknown or unavailable request falls back
+//! to auto-detection rather than aborting, so a config written for one
+//! machine stays runnable on another. Explicit-backend entry points
+//! ([`axpy_on`] etc.) exist for differential tests and benchmarks; they panic
+//! if the requested backend is not available.
+//!
+//! # Safety
+//!
+//! This is the only module in the crate allowed to use `unsafe` (the crate
+//! root carries `#![deny(unsafe_code)]`, relaxed here by an explicit
+//! `allow`). Every `unsafe` block wraps a `#[target_feature]` function whose
+//! required CPU feature has been verified by [`GfBackend::is_available`]
+//! before dispatch, and all memory access goes through slice-derived pointers
+//! within bounds established by the surrounding safe code.
+
+use std::sync::OnceLock;
+
+use crate::tables::GF256_MUL;
+use crate::Gf256;
+
+/// Reinterprets a slice of [`Gf256`] as raw bytes.
+///
+/// Sound because `Gf256` is `#[repr(transparent)]` over `u8`.
+#[must_use]
+pub(crate) fn gf256_as_bytes(s: &[Gf256]) -> &[u8] {
+    // SAFETY: Gf256 is repr(transparent) over u8, so layout and validity
+    // invariants are identical; lifetime and length are preserved.
+    unsafe { std::slice::from_raw_parts(s.as_ptr().cast(), s.len()) }
+}
+
+/// Reinterprets a mutable slice of [`Gf256`] as raw bytes.
+///
+/// Sound because `Gf256` is `#[repr(transparent)]` over `u8` and every byte
+/// value is a valid `Gf256`.
+#[must_use]
+pub(crate) fn gf256_as_bytes_mut(s: &mut [Gf256]) -> &mut [u8] {
+    // SAFETY: as above; exclusive borrow is carried through.
+    unsafe { std::slice::from_raw_parts_mut(s.as_mut_ptr().cast(), s.len()) }
+}
+
+/// A GF(2⁸) kernel implementation selected at runtime.
+///
+/// Obtain the process-wide choice with [`active()`], or enumerate what this
+/// CPU supports with [`available_backends()`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GfBackend {
+    /// Portable table-lookup reference implementation.
+    Scalar,
+    /// SSSE3 `pshufb` split-nibble kernel (x86/x86_64).
+    Ssse3,
+    /// AVX2 `vpshufb` split-nibble kernel, 32 bytes per step (x86_64).
+    Avx2,
+    /// NEON `tbl` split-nibble kernel (aarch64).
+    Neon,
+}
+
+/// All backends, in preference order (fastest first).
+const PREFERENCE: [GfBackend; 4] =
+    [GfBackend::Avx2, GfBackend::Ssse3, GfBackend::Neon, GfBackend::Scalar];
+
+impl GfBackend {
+    /// Stable lowercase name, matching the `CURTAIN_GF_BACKEND` values.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            GfBackend::Scalar => "scalar",
+            GfBackend::Ssse3 => "ssse3",
+            GfBackend::Avx2 => "avx2",
+            GfBackend::Neon => "neon",
+        }
+    }
+
+    /// Parses a backend name as used by `CURTAIN_GF_BACKEND`.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(GfBackend::Scalar),
+            "ssse3" => Some(GfBackend::Ssse3),
+            "avx2" => Some(GfBackend::Avx2),
+            "neon" => Some(GfBackend::Neon),
+            _ => None,
+        }
+    }
+
+    /// Whether this backend can run on the current CPU.
+    #[must_use]
+    pub fn is_available(self) -> bool {
+        match self {
+            GfBackend::Scalar => true,
+            GfBackend::Ssse3 => {
+                #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+                {
+                    std::arch::is_x86_feature_detected!("ssse3")
+                }
+                #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+                {
+                    false
+                }
+            }
+            GfBackend::Avx2 => {
+                #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+                {
+                    std::arch::is_x86_feature_detected!("avx2")
+                }
+                #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+                {
+                    false
+                }
+            }
+            GfBackend::Neon => cfg!(target_arch = "aarch64"),
+        }
+    }
+}
+
+impl std::fmt::Display for GfBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Every backend that can run on this CPU, fastest first. Always ends with
+/// [`GfBackend::Scalar`].
+#[must_use]
+pub fn available_backends() -> Vec<GfBackend> {
+    PREFERENCE.iter().copied().filter(|b| b.is_available()).collect()
+}
+
+/// Pure selection logic: an explicit request wins when it names an available
+/// backend; otherwise the fastest available backend is used.
+fn choose(request: Option<&str>) -> GfBackend {
+    if let Some(name) = request {
+        if let Some(b) = GfBackend::from_name(name) {
+            if b.is_available() {
+                return b;
+            }
+        }
+    }
+    *available_backends().first().expect("scalar backend is always available")
+}
+
+static ACTIVE: OnceLock<GfBackend> = OnceLock::new();
+
+/// The process-wide backend, resolved on first call (honoring
+/// `CURTAIN_GF_BACKEND`) and fixed thereafter.
+#[must_use]
+pub fn active() -> GfBackend {
+    *ACTIVE.get_or_init(|| choose(std::env::var("CURTAIN_GF_BACKEND").ok().as_deref()))
+}
+
+// ---------------------------------------------------------------------------
+// Dispatched entry points (process-wide active backend).
+// ---------------------------------------------------------------------------
+
+/// `dst[i] ^= c * src[i]` on the active backend.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn axpy(dst: &mut [u8], c: u8, src: &[u8]) {
+    axpy_on(active(), dst, c, src);
+}
+
+/// `dst[i] = c * dst[i]` on the active backend.
+#[inline]
+pub fn scale_assign(dst: &mut [u8], c: u8) {
+    scale_assign_on(active(), dst, c);
+}
+
+/// `dst[i] ^= src[i]` on the active backend.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn add_assign(dst: &mut [u8], src: &[u8]) {
+    add_assign_on(active(), dst, src);
+}
+
+// ---------------------------------------------------------------------------
+// Explicit-backend entry points (tests, benchmarks).
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn require_available(backend: GfBackend) {
+    assert!(
+        backend.is_available(),
+        "GF backend `{}` is not available on this CPU",
+        backend.name()
+    );
+}
+
+/// `dst[i] ^= c * src[i]` on an explicit backend.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or the backend is unavailable.
+pub fn axpy_on(backend: GfBackend, dst: &mut [u8], c: u8, src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "vector length mismatch");
+    match c {
+        0 => {}
+        1 => add_assign_on(backend, dst, src),
+        _ => {
+            require_available(backend);
+            axpy_impl(backend, dst, c, src);
+        }
+    }
+}
+
+/// `dst[i] = c * dst[i]` on an explicit backend.
+///
+/// # Panics
+///
+/// Panics if the backend is unavailable.
+pub fn scale_assign_on(backend: GfBackend, dst: &mut [u8], c: u8) {
+    match c {
+        0 => dst.fill(0),
+        1 => {}
+        _ => {
+            require_available(backend);
+            scale_impl(backend, dst, c);
+        }
+    }
+}
+
+/// `dst[i] ^= src[i]` on an explicit backend.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or the backend is unavailable.
+pub fn add_assign_on(backend: GfBackend, dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "vector length mismatch");
+    require_available(backend);
+    add_impl(backend, dst, src);
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels (also the tail handler for the SIMD paths).
+// ---------------------------------------------------------------------------
+
+fn axpy_scalar(dst: &mut [u8], c: u8, src: &[u8]) {
+    let row = &GF256_MUL[c as usize];
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= row[*s as usize];
+    }
+}
+
+fn scale_scalar(dst: &mut [u8], c: u8) {
+    let row = &GF256_MUL[c as usize];
+    for d in dst.iter_mut() {
+        *d = row[*d as usize];
+    }
+}
+
+fn add_scalar(dst: &mut [u8], src: &[u8]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= s;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-architecture dispatch. Exactly one `*_impl` set compiles per target.
+// The `is_available` check in the public entry points is what makes the
+// `unsafe` calls here sound: a backend is only dispatched to when its
+// required CPU feature has been detected at runtime.
+// ---------------------------------------------------------------------------
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+fn axpy_impl(backend: GfBackend, dst: &mut [u8], c: u8, src: &[u8]) {
+    match backend {
+        GfBackend::Scalar => axpy_scalar(dst, c, src),
+        // SAFETY: availability verified by the caller (`require_available`).
+        GfBackend::Ssse3 => unsafe { x86::axpy_ssse3(dst, c, src) },
+        // SAFETY: as above.
+        GfBackend::Avx2 => unsafe { x86::axpy_avx2(dst, c, src) },
+        GfBackend::Neon => unreachable!("neon is never available on x86"),
+    }
+}
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+fn scale_impl(backend: GfBackend, dst: &mut [u8], c: u8) {
+    match backend {
+        GfBackend::Scalar => scale_scalar(dst, c),
+        // SAFETY: availability verified by the caller (`require_available`).
+        GfBackend::Ssse3 => unsafe { x86::scale_ssse3(dst, c) },
+        // SAFETY: as above.
+        GfBackend::Avx2 => unsafe { x86::scale_avx2(dst, c) },
+        GfBackend::Neon => unreachable!("neon is never available on x86"),
+    }
+}
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+fn add_impl(backend: GfBackend, dst: &mut [u8], src: &[u8]) {
+    match backend {
+        GfBackend::Scalar => add_scalar(dst, src),
+        // SAFETY: availability verified by the caller (`require_available`).
+        GfBackend::Ssse3 => unsafe { x86::add_ssse3(dst, src) },
+        // SAFETY: as above.
+        GfBackend::Avx2 => unsafe { x86::add_avx2(dst, src) },
+        GfBackend::Neon => unreachable!("neon is never available on x86"),
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+fn axpy_impl(backend: GfBackend, dst: &mut [u8], c: u8, src: &[u8]) {
+    match backend {
+        GfBackend::Scalar => axpy_scalar(dst, c, src),
+        // SAFETY: availability verified by the caller (`require_available`).
+        GfBackend::Neon => unsafe { neon::axpy_neon(dst, c, src) },
+        _ => unreachable!("x86 backends are never available on aarch64"),
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+fn scale_impl(backend: GfBackend, dst: &mut [u8], c: u8) {
+    match backend {
+        GfBackend::Scalar => scale_scalar(dst, c),
+        // SAFETY: availability verified by the caller (`require_available`).
+        GfBackend::Neon => unsafe { neon::scale_neon(dst, c) },
+        _ => unreachable!("x86 backends are never available on aarch64"),
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+fn add_impl(backend: GfBackend, dst: &mut [u8], src: &[u8]) {
+    match backend {
+        GfBackend::Scalar => add_scalar(dst, src),
+        // SAFETY: availability verified by the caller (`require_available`).
+        GfBackend::Neon => unsafe { neon::add_neon(dst, src) },
+        _ => unreachable!("x86 backends are never available on aarch64"),
+    }
+}
+
+#[cfg(not(any(target_arch = "x86", target_arch = "x86_64", target_arch = "aarch64")))]
+fn axpy_impl(backend: GfBackend, dst: &mut [u8], c: u8, src: &[u8]) {
+    match backend {
+        GfBackend::Scalar => axpy_scalar(dst, c, src),
+        _ => unreachable!("only the scalar backend is available on this target"),
+    }
+}
+
+#[cfg(not(any(target_arch = "x86", target_arch = "x86_64", target_arch = "aarch64")))]
+fn scale_impl(backend: GfBackend, dst: &mut [u8], c: u8) {
+    match backend {
+        GfBackend::Scalar => scale_scalar(dst, c),
+        _ => unreachable!("only the scalar backend is available on this target"),
+    }
+}
+
+#[cfg(not(any(target_arch = "x86", target_arch = "x86_64", target_arch = "aarch64")))]
+fn add_impl(backend: GfBackend, dst: &mut [u8], src: &[u8]) {
+    match backend {
+        GfBackend::Scalar => add_scalar(dst, src),
+        _ => unreachable!("only the scalar backend is available on this target"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// x86/x86_64 SSSE3 + AVX2 kernels.
+// ---------------------------------------------------------------------------
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+mod x86 {
+    #[cfg(target_arch = "x86")]
+    use std::arch::x86::*;
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    use crate::tables::GF256_NIB;
+
+    /// # Safety
+    ///
+    /// Requires SSSE3.
+    #[target_feature(enable = "ssse3")]
+    pub(super) unsafe fn axpy_ssse3(dst: &mut [u8], c: u8, src: &[u8]) {
+        debug_assert_eq!(dst.len(), src.len());
+        let lo = _mm_loadu_si128(GF256_NIB.0[c as usize].as_ptr().cast());
+        let hi = _mm_loadu_si128(GF256_NIB.1[c as usize].as_ptr().cast());
+        let mask = _mm_set1_epi8(0x0f);
+        let n = dst.len() & !15;
+        let dp = dst.as_mut_ptr();
+        let sp = src.as_ptr();
+        let mut i = 0;
+        while i < n {
+            let s = _mm_loadu_si128(sp.add(i).cast());
+            let d = _mm_loadu_si128(dp.add(i).cast());
+            let sl = _mm_and_si128(s, mask);
+            let sh = _mm_and_si128(_mm_srli_epi64::<4>(s), mask);
+            let prod = _mm_xor_si128(_mm_shuffle_epi8(lo, sl), _mm_shuffle_epi8(hi, sh));
+            _mm_storeu_si128(dp.add(i).cast(), _mm_xor_si128(d, prod));
+            i += 16;
+        }
+        super::axpy_scalar(&mut dst[n..], c, &src[n..]);
+    }
+
+    /// # Safety
+    ///
+    /// Requires SSSE3.
+    #[target_feature(enable = "ssse3")]
+    pub(super) unsafe fn scale_ssse3(dst: &mut [u8], c: u8) {
+        let lo = _mm_loadu_si128(GF256_NIB.0[c as usize].as_ptr().cast());
+        let hi = _mm_loadu_si128(GF256_NIB.1[c as usize].as_ptr().cast());
+        let mask = _mm_set1_epi8(0x0f);
+        let n = dst.len() & !15;
+        let dp = dst.as_mut_ptr();
+        let mut i = 0;
+        while i < n {
+            let d = _mm_loadu_si128(dp.add(i).cast());
+            let dl = _mm_and_si128(d, mask);
+            let dh = _mm_and_si128(_mm_srli_epi64::<4>(d), mask);
+            let prod = _mm_xor_si128(_mm_shuffle_epi8(lo, dl), _mm_shuffle_epi8(hi, dh));
+            _mm_storeu_si128(dp.add(i).cast(), prod);
+            i += 16;
+        }
+        super::scale_scalar(&mut dst[n..], c);
+    }
+
+    /// # Safety
+    ///
+    /// Requires SSSE3 (only SSE2 instructions are used, but keeping one
+    /// feature gate per backend keeps dispatch honest).
+    #[target_feature(enable = "ssse3")]
+    pub(super) unsafe fn add_ssse3(dst: &mut [u8], src: &[u8]) {
+        debug_assert_eq!(dst.len(), src.len());
+        let n = dst.len() & !15;
+        let dp = dst.as_mut_ptr();
+        let sp = src.as_ptr();
+        let mut i = 0;
+        while i < n {
+            let s = _mm_loadu_si128(sp.add(i).cast());
+            let d = _mm_loadu_si128(dp.add(i).cast());
+            _mm_storeu_si128(dp.add(i).cast(), _mm_xor_si128(d, s));
+            i += 16;
+        }
+        super::add_scalar(&mut dst[n..], &src[n..]);
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn axpy_avx2(dst: &mut [u8], c: u8, src: &[u8]) {
+        debug_assert_eq!(dst.len(), src.len());
+        let lo =
+            _mm256_broadcastsi128_si256(_mm_loadu_si128(GF256_NIB.0[c as usize].as_ptr().cast()));
+        let hi =
+            _mm256_broadcastsi128_si256(_mm_loadu_si128(GF256_NIB.1[c as usize].as_ptr().cast()));
+        let mask = _mm256_set1_epi8(0x0f);
+        let n = dst.len() & !31;
+        let dp = dst.as_mut_ptr();
+        let sp = src.as_ptr();
+        let mut i = 0;
+        while i < n {
+            let s = _mm256_loadu_si256(sp.add(i).cast());
+            let d = _mm256_loadu_si256(dp.add(i).cast());
+            let sl = _mm256_and_si256(s, mask);
+            let sh = _mm256_and_si256(_mm256_srli_epi64::<4>(s), mask);
+            let prod =
+                _mm256_xor_si256(_mm256_shuffle_epi8(lo, sl), _mm256_shuffle_epi8(hi, sh));
+            _mm256_storeu_si256(dp.add(i).cast(), _mm256_xor_si256(d, prod));
+            i += 32;
+        }
+        super::axpy_scalar(&mut dst[n..], c, &src[n..]);
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn scale_avx2(dst: &mut [u8], c: u8) {
+        let lo =
+            _mm256_broadcastsi128_si256(_mm_loadu_si128(GF256_NIB.0[c as usize].as_ptr().cast()));
+        let hi =
+            _mm256_broadcastsi128_si256(_mm_loadu_si128(GF256_NIB.1[c as usize].as_ptr().cast()));
+        let mask = _mm256_set1_epi8(0x0f);
+        let n = dst.len() & !31;
+        let dp = dst.as_mut_ptr();
+        let mut i = 0;
+        while i < n {
+            let d = _mm256_loadu_si256(dp.add(i).cast());
+            let dl = _mm256_and_si256(d, mask);
+            let dh = _mm256_and_si256(_mm256_srli_epi64::<4>(d), mask);
+            let prod =
+                _mm256_xor_si256(_mm256_shuffle_epi8(lo, dl), _mm256_shuffle_epi8(hi, dh));
+            _mm256_storeu_si256(dp.add(i).cast(), prod);
+            i += 32;
+        }
+        super::scale_scalar(&mut dst[n..], c);
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn add_avx2(dst: &mut [u8], src: &[u8]) {
+        debug_assert_eq!(dst.len(), src.len());
+        let n = dst.len() & !31;
+        let dp = dst.as_mut_ptr();
+        let sp = src.as_ptr();
+        let mut i = 0;
+        while i < n {
+            let s = _mm256_loadu_si256(sp.add(i).cast());
+            let d = _mm256_loadu_si256(dp.add(i).cast());
+            _mm256_storeu_si256(dp.add(i).cast(), _mm256_xor_si256(d, s));
+            i += 32;
+        }
+        super::add_scalar(&mut dst[n..], &src[n..]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// aarch64 NEON kernels.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use std::arch::aarch64::*;
+
+    use crate::tables::GF256_NIB;
+
+    /// # Safety
+    ///
+    /// Requires NEON (mandatory on aarch64, gated anyway for symmetry).
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn axpy_neon(dst: &mut [u8], c: u8, src: &[u8]) {
+        debug_assert_eq!(dst.len(), src.len());
+        let lo = vld1q_u8(GF256_NIB.0[c as usize].as_ptr());
+        let hi = vld1q_u8(GF256_NIB.1[c as usize].as_ptr());
+        let mask = vdupq_n_u8(0x0f);
+        let n = dst.len() & !15;
+        let dp = dst.as_mut_ptr();
+        let sp = src.as_ptr();
+        let mut i = 0;
+        while i < n {
+            let s = vld1q_u8(sp.add(i));
+            let d = vld1q_u8(dp.add(i));
+            let sl = vandq_u8(s, mask);
+            let sh = vshrq_n_u8::<4>(s);
+            let prod = veorq_u8(vqtbl1q_u8(lo, sl), vqtbl1q_u8(hi, sh));
+            vst1q_u8(dp.add(i), veorq_u8(d, prod));
+            i += 16;
+        }
+        super::axpy_scalar(&mut dst[n..], c, &src[n..]);
+    }
+
+    /// # Safety
+    ///
+    /// Requires NEON.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn scale_neon(dst: &mut [u8], c: u8) {
+        let lo = vld1q_u8(GF256_NIB.0[c as usize].as_ptr());
+        let hi = vld1q_u8(GF256_NIB.1[c as usize].as_ptr());
+        let mask = vdupq_n_u8(0x0f);
+        let n = dst.len() & !15;
+        let dp = dst.as_mut_ptr();
+        let mut i = 0;
+        while i < n {
+            let d = vld1q_u8(dp.add(i));
+            let dl = vandq_u8(d, mask);
+            let dh = vshrq_n_u8::<4>(d);
+            let prod = veorq_u8(vqtbl1q_u8(lo, dl), vqtbl1q_u8(hi, dh));
+            vst1q_u8(dp.add(i), prod);
+            i += 16;
+        }
+        super::scale_scalar(&mut dst[n..], c);
+    }
+
+    /// # Safety
+    ///
+    /// Requires NEON.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn add_neon(dst: &mut [u8], src: &[u8]) {
+        debug_assert_eq!(dst.len(), src.len());
+        let n = dst.len() & !15;
+        let dp = dst.as_mut_ptr();
+        let sp = src.as_ptr();
+        let mut i = 0;
+        while i < n {
+            let s = vld1q_u8(sp.add(i));
+            let d = vld1q_u8(dp.add(i));
+            vst1q_u8(dp.add(i), veorq_u8(d, s));
+            i += 16;
+        }
+        super::add_scalar(&mut dst[n..], &src[n..]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift so the differential tests need no RNG crate.
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn next_u8(&mut self) -> u8 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            (x >> 24) as u8
+        }
+
+        fn bytes(&mut self, n: usize) -> Vec<u8> {
+            (0..n).map(|_| self.next_u8()).collect()
+        }
+    }
+
+    /// Lengths chosen to hit the empty case, sub-vector tails, exact vector
+    /// multiples, and multi-vector bodies with odd tails for both 16- and
+    /// 32-byte kernels.
+    const LENGTHS: [usize; 18] = [0, 1, 2, 3, 7, 15, 16, 17, 31, 32, 33, 48, 63, 64, 65, 100, 255, 4096];
+
+    #[test]
+    fn scalar_is_always_available() {
+        assert!(GfBackend::Scalar.is_available());
+        let avail = available_backends();
+        assert_eq!(avail.last(), Some(&GfBackend::Scalar));
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for b in PREFERENCE {
+            assert_eq!(GfBackend::from_name(b.name()), Some(b));
+            assert_eq!(GfBackend::from_name(&b.name().to_uppercase()), Some(b));
+        }
+        assert_eq!(GfBackend::from_name("sse9"), None);
+    }
+
+    #[test]
+    fn choose_honors_available_request_and_falls_back() {
+        assert_eq!(choose(Some("scalar")), GfBackend::Scalar);
+        let best = choose(None);
+        assert!(best.is_available());
+        // Unknown and unavailable requests fall back to auto-detection.
+        assert_eq!(choose(Some("bogus")), best);
+        if !GfBackend::Neon.is_available() {
+            assert_eq!(choose(Some("neon")), best);
+        }
+    }
+
+    #[test]
+    fn active_backend_is_available() {
+        assert!(active().is_available());
+        // Must be sticky.
+        assert_eq!(active(), active());
+    }
+
+    #[test]
+    fn differential_axpy_all_backends_random() {
+        let mut rng = XorShift(0x5EED_0001);
+        for backend in available_backends() {
+            for &len in &LENGTHS {
+                for round in 0..4 {
+                    let c = match round {
+                        0 => 0,
+                        1 => 1,
+                        _ => rng.next_u8().max(2),
+                    };
+                    let src = rng.bytes(len);
+                    let dst0 = rng.bytes(len);
+                    let mut want = dst0.clone();
+                    axpy_scalar(&mut want, c, &src);
+                    if c == 0 {
+                        want = dst0.clone();
+                    }
+                    let mut got = dst0.clone();
+                    axpy_on(backend, &mut got, c, &src);
+                    assert_eq!(got, want, "axpy backend={backend} len={len} c={c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn differential_axpy_all_coefficients() {
+        let mut rng = XorShift(0x5EED_0002);
+        let src = rng.bytes(37);
+        let dst0 = rng.bytes(37);
+        for backend in available_backends() {
+            for c in 0..=255u8 {
+                let mut want = dst0.clone();
+                axpy_on(GfBackend::Scalar, &mut want, c, &src);
+                let mut got = dst0.clone();
+                axpy_on(backend, &mut got, c, &src);
+                assert_eq!(got, want, "axpy backend={backend} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn differential_axpy_unaligned_slices() {
+        let mut rng = XorShift(0x5EED_0003);
+        // Deliberately mis-align both source and destination starts relative
+        // to the allocation: the kernels use unaligned loads, and this test
+        // proves tail handling is offset-independent.
+        for backend in available_backends() {
+            for s_off in 0..4usize {
+                for d_off in 0..4usize {
+                    let src_buf = rng.bytes(97 + s_off);
+                    let dst_buf = rng.bytes(97 + d_off);
+                    let c = rng.next_u8().max(2);
+                    let src = &src_buf[s_off..];
+                    let mut want = dst_buf[d_off..].to_vec();
+                    axpy_scalar(&mut want, c, src);
+                    let mut got_buf = dst_buf.clone();
+                    axpy_on(backend, &mut got_buf[d_off..], c, src);
+                    assert_eq!(
+                        &got_buf[d_off..],
+                        want.as_slice(),
+                        "axpy backend={backend} s_off={s_off} d_off={d_off}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn differential_scale_all_backends() {
+        let mut rng = XorShift(0x5EED_0004);
+        for backend in available_backends() {
+            for &len in &LENGTHS {
+                for c in [0u8, 1, 2, 0x1d, rng.next_u8().max(2), 255] {
+                    let dst0 = rng.bytes(len);
+                    let mut want = dst0.clone();
+                    scale_assign_on(GfBackend::Scalar, &mut want, c);
+                    let mut got = dst0.clone();
+                    scale_assign_on(backend, &mut got, c);
+                    assert_eq!(got, want, "scale backend={backend} len={len} c={c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn differential_add_all_backends() {
+        let mut rng = XorShift(0x5EED_0005);
+        for backend in available_backends() {
+            for &len in &LENGTHS {
+                let src = rng.bytes(len);
+                let dst0 = rng.bytes(len);
+                let mut want = dst0.clone();
+                add_scalar(&mut want, &src);
+                let mut got = dst0.clone();
+                add_assign_on(backend, &mut got, &src);
+                assert_eq!(got, want, "add backend={backend} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn axpy_on_length_mismatch_panics() {
+        let mut d = [0u8; 3];
+        axpy_on(GfBackend::Scalar, &mut d, 2, &[0u8; 4]);
+    }
+
+    #[cfg(not(target_arch = "aarch64"))]
+    #[test]
+    #[should_panic(expected = "not available")]
+    fn unavailable_backend_panics() {
+        let mut d = [0u8; 16];
+        axpy_on(GfBackend::Neon, &mut d, 2, &[1u8; 16]);
+    }
+}

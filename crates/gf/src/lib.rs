@@ -9,8 +9,11 @@
 //!   generations without coefficient-vector collisions.
 //! * [`Field`] — the trait abstracting both, so encoders/decoders are
 //!   field-generic.
+//! * [`kernels`] — runtime-dispatched GF(2⁸) bulk kernels (SSSE3/AVX2/NEON
+//!   split-nibble shuffle with a table-lookup scalar fallback) behind the
+//!   [`GfBackend`] handle.
 //! * [`vec_ops`] — bulk symbol-vector kernels (`axpy`, scaling, XOR add)
-//!   specialized for GF(2⁸) payload mixing.
+//!   specialized for GF(2⁸) payload mixing; thin wrappers over [`kernels`].
 //! * [`Matrix`] — dense matrices over any [`Field`] with reduced row-echelon
 //!   elimination, rank, inversion and solving; the decoder's engine.
 //! * [`ReedSolomon`] — a systematic Reed–Solomon (MDS) code used by the
@@ -30,18 +33,23 @@
 //! assert_eq!(a.add(b).add(b), a);
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod field;
 mod gf256;
 mod gf2p16;
+// The SIMD kernels are the one place `unsafe` is permitted: every block wraps
+// a `#[target_feature]` intrinsic call guarded by runtime CPU detection.
+#[allow(unsafe_code)]
+pub mod kernels;
 mod matrix;
 mod rs;
 pub(crate) mod tables;
 pub mod vec_ops;
 
 pub use field::Field;
+pub use kernels::GfBackend;
 pub use gf256::Gf256;
 pub use gf2p16::Gf2p16;
 pub use matrix::Matrix;

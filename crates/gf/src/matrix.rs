@@ -170,13 +170,27 @@ impl<F: Field> Matrix<F> {
                 if a.is_zero() {
                     continue;
                 }
-                for j in 0..rhs.cols {
-                    let cur = out.get(i, j);
-                    out.set(i, j, cur.add(a.mul(rhs.get(kk, j))));
-                }
+                F::axpy_slice(out.row_mut(i), a, rhs.row(kk));
             }
         }
         out
+    }
+
+    /// Borrows row `w` mutably and row `r` immutably at the same time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w == r` or either index is out of bounds.
+    fn two_rows_mut(&mut self, w: usize, r: usize) -> (&mut [F], &[F]) {
+        assert_ne!(w, r, "two_rows_mut requires distinct rows");
+        let cols = self.cols;
+        if w < r {
+            let (head, tail) = self.data.split_at_mut(r * cols);
+            (&mut head[w * cols..(w + 1) * cols], &tail[..cols])
+        } else {
+            let (head, tail) = self.data.split_at_mut(w * cols);
+            (&mut tail[..cols], &head[r * cols..(r + 1) * cols])
+        }
     }
 
     /// In-place reduction to *reduced row-echelon form*; returns the rank and
@@ -195,11 +209,9 @@ impl<F: Field> Matrix<F> {
             self.swap_rows(pivot_row, src);
             // Normalize the pivot row.
             let inv = self.get(pivot_row, col).inv();
-            for j in col..self.cols {
-                let v = self.get(pivot_row, j).mul(inv);
-                self.set(pivot_row, j, v);
-            }
-            // Eliminate the column everywhere else.
+            F::scale_slice(&mut self.row_mut(pivot_row)[col..], inv);
+            // Eliminate the column everywhere else. In characteristic 2,
+            // add == sub, so a single axpy cancels the column entry.
             for r in 0..self.rows {
                 if r == pivot_row {
                     continue;
@@ -208,10 +220,8 @@ impl<F: Field> Matrix<F> {
                 if factor.is_zero() {
                     continue;
                 }
-                for j in col..self.cols {
-                    let v = self.get(r, j).add(factor.mul(self.get(pivot_row, j)));
-                    self.set(r, j, v);
-                }
+                let (target, pivot) = self.two_rows_mut(r, pivot_row);
+                F::axpy_slice(&mut target[col..], factor, &pivot[col..]);
             }
             pivots.push(col);
             pivot_row += 1;
@@ -398,6 +408,78 @@ mod tests {
         assert_eq!(pivots, pivots2);
         assert_eq!(a, b, "rref must be idempotent");
         assert_eq!(m.rank(), rank1);
+    }
+
+    /// Element-wise rref, the pre-kernel reference implementation. Kept in
+    /// tests to prove the slice-op-routed `rref` is byte-identical.
+    fn rref_reference<F: Field>(m: &mut Matrix<F>) -> (usize, Vec<usize>) {
+        let mut pivots = Vec::new();
+        let mut pivot_row = 0;
+        for col in 0..m.cols() {
+            if pivot_row == m.rows() {
+                break;
+            }
+            let Some(src) = (pivot_row..m.rows()).find(|&r| !m.get(r, col).is_zero()) else {
+                continue;
+            };
+            m.swap_rows(pivot_row, src);
+            let inv = m.get(pivot_row, col).inv();
+            for j in col..m.cols() {
+                let v = m.get(pivot_row, j).mul(inv);
+                m.set(pivot_row, j, v);
+            }
+            for r in 0..m.rows() {
+                if r == pivot_row {
+                    continue;
+                }
+                let factor = m.get(r, col);
+                if factor.is_zero() {
+                    continue;
+                }
+                for j in col..m.cols() {
+                    let v = m.get(r, j).add(factor.mul(m.get(pivot_row, j)));
+                    m.set(r, j, v);
+                }
+            }
+            pivots.push(col);
+            pivot_row += 1;
+        }
+        (pivot_row, pivots)
+    }
+
+    #[test]
+    fn rref_matches_elementwise_reference() {
+        for seed in 0..30u64 {
+            let n = 1 + (seed as usize % 7);
+            let m = 1 + ((seed as usize * 3) % 9);
+            let orig = random_matrix(n, m, seed);
+            let mut fast = orig.clone();
+            let mut slow = orig.clone();
+            let got = fast.rref();
+            let want = rref_reference(&mut slow);
+            assert_eq!(got, want, "rank/pivots diverge at seed {seed}");
+            assert_eq!(fast, slow, "rref data diverges at seed {seed}");
+        }
+    }
+
+    #[test]
+    fn mul_mat_matches_elementwise_reference() {
+        for seed in 0..10u64 {
+            let a = random_matrix(4, 6, seed);
+            let b = random_matrix(6, 5, seed.wrapping_add(99));
+            let fast = a.mul_mat(&b);
+            let mut slow = Matrix::zero(4, 5);
+            for i in 0..4 {
+                for j in 0..5 {
+                    let mut acc = Gf256::ZERO;
+                    for k in 0..6 {
+                        acc = acc.add(a.get(i, k).mul(b.get(k, j)));
+                    }
+                    slow.set(i, j, acc);
+                }
+            }
+            assert_eq!(fast, slow, "mul_mat diverges at seed {seed}");
+        }
     }
 
     #[test]

@@ -75,6 +75,33 @@ const fn build_gf256_mul() -> [[u8; 256]; 256] {
     m
 }
 
+/// Split-nibble product tables for GF(2⁸), the lookup shape SIMD shuffle
+/// instructions want: `GF256_NIB.0[c][x] = c·x` for `x < 16` (low nibble)
+/// and `GF256_NIB.1[c][x] = c·(x << 4)` (high nibble), so
+/// `c·b = NIB_LO[c][b & 0xf] ^ NIB_HI[c][b >> 4]`.
+///
+/// 2 × 256 × 16 = 8 KiB total — both tables for one coefficient fit in a
+/// pair of vector registers, which is what makes the shuffle kernels in
+/// [`crate::kernels`] fast.
+pub(crate) static GF256_NIB: ([[u8; 16]; 256], [[u8; 16]; 256]) = build_gf256_nibbles();
+
+const fn build_gf256_nibbles() -> ([[u8; 16]; 256], [[u8; 16]; 256]) {
+    let m = build_gf256_mul();
+    let mut lo = [[0u8; 16]; 256];
+    let mut hi = [[0u8; 16]; 256];
+    let mut c = 0usize;
+    while c < 256 {
+        let mut x = 0usize;
+        while x < 16 {
+            lo[c][x] = m[c][x];
+            hi[c][x] = m[c][x << 4];
+            x += 1;
+        }
+        c += 1;
+    }
+    (lo, hi)
+}
+
 /// Log/exp tables for GF(2¹⁶). Boxed statics would be nicer for cache
 /// pressure, but `const` evaluation into `static` keeps things simple and the
 /// tables are only touched by the GF(2¹⁶) code paths.

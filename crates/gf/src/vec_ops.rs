@@ -1,9 +1,11 @@
 //! Bulk symbol-vector kernels over GF(2⁸) byte buffers.
 //!
 //! The RLNC hot path is `dst += c · src` over packet payloads (hundreds to
-//! thousands of bytes). These kernels operate directly on `[u8]`, using the
-//! compile-time 64 KiB multiplication table so each output byte costs one
-//! load and one XOR.
+//! thousands of bytes). These functions are the crate's stable bulk-op API;
+//! since the data-plane refactor they are thin wrappers over the
+//! runtime-dispatched [`crate::kernels`] (SIMD split-nibble shuffle where the
+//! CPU has it, the 64 KiB-table scalar walk everywhere else), so existing
+//! callers get the fast path with no signature churn.
 
 use crate::tables::GF256_MUL;
 
@@ -12,25 +14,16 @@ use crate::tables::GF256_MUL;
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
+#[inline]
 pub fn add_assign(dst: &mut [u8], src: &[u8]) {
     assert_eq!(dst.len(), src.len(), "vector length mismatch");
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d ^= s;
-    }
+    crate::kernels::add_assign(dst, src);
 }
 
 /// `dst[i] = c * dst[i]` — in-place scaling of a symbol vector.
+#[inline]
 pub fn scale_assign(dst: &mut [u8], c: u8) {
-    match c {
-        0 => dst.fill(0),
-        1 => {}
-        _ => {
-            let row = &GF256_MUL[c as usize];
-            for d in dst.iter_mut() {
-                *d = row[*d as usize];
-            }
-        }
-    }
+    crate::kernels::scale_assign(dst, c);
 }
 
 /// `dst[i] ^= c * src[i]` — the axpy kernel at the heart of mixing and
@@ -39,18 +32,10 @@ pub fn scale_assign(dst: &mut [u8], c: u8) {
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
+#[inline]
 pub fn axpy(dst: &mut [u8], c: u8, src: &[u8]) {
     assert_eq!(dst.len(), src.len(), "vector length mismatch");
-    match c {
-        0 => {}
-        1 => add_assign(dst, src),
-        _ => {
-            let row = &GF256_MUL[c as usize];
-            for (d, s) in dst.iter_mut().zip(src) {
-                *d ^= row[*s as usize];
-            }
-        }
-    }
+    crate::kernels::axpy(dst, c, src);
 }
 
 /// Dot product of two symbol vectors in GF(2⁸).

@@ -11,14 +11,18 @@
 //! * **e04** — Theorem 5: collapse time of the scalar bound chain is
 //!   monotone-increasing in `k`;
 //! * **e05** — §5: with random-position insertion a coordinated flash
-//!   crowd does no more damage than iid random failures.
+//!   crowd does no more damage than iid random failures;
+//! * **e06** — data-plane throughput: the SIMD GF(256) axpy kernels are
+//!   no slower than scalar, and the snapshot recode path is no slower
+//!   than the pre-refactor deep-copy path (absolute rates are recorded
+//!   in `BENCH_e06.json` for the machine at hand).
 //!
 //! Profile knobs: `--scale` multiplies sample counts (and is part of the
 //! cache key, as it should be — more samples is a different measurement);
 //! `--quick` swaps in the small smoke grids CI runs.
 
 use curtain_analysis::drift::DriftParams;
-use curtain_bench::exp::{e01, e03, e04, e05};
+use curtain_bench::exp::{e01, e03, e04, e05, e06};
 use curtain_bench::stats;
 use curtain_telemetry::SharedRecorder;
 use rand::rngs::StdRng;
@@ -38,6 +42,7 @@ pub fn registry() -> Vec<Box<dyn Sweep>> {
         Box::new(E03Drift),
         Box::new(E04Collapse),
         Box::new(E05Adversarial),
+        Box::new(E06Dataplane),
     ]
 }
 
@@ -424,6 +429,119 @@ impl Sweep for E05Adversarial {
     }
 }
 
+/// e06 — data-plane throughput: SIMD kernels and the snapshot recode path.
+///
+/// The odd one out in the registry: its metrics are wall-clock rates, so a
+/// cell's *values* depend on the machine, not only on `(params, seed)`.
+/// The cache still makes re-reports byte-stable on one machine, and the
+/// claims gate only machine-independent ratios (`simd_speedup`,
+/// `recode_speedup`), never absolute rates. On machines whose best
+/// available backend *is* scalar, `simd_speedup` is exactly 1.0 by
+/// definition (same kernel), so the gate cannot flake on non-SIMD runners.
+struct E06Dataplane;
+
+impl Sweep for E06Dataplane {
+    fn id(&self) -> &'static str {
+        "e06"
+    }
+
+    fn title(&self) -> &'static str {
+        "Data plane: SIMD axpy >= scalar, snapshot recode >= deep-copy recode"
+    }
+
+    fn code_salt(&self) -> &'static str {
+        "e06-v1"
+    }
+
+    fn grid(&self, profile: Profile) -> ParamGrid {
+        if profile.quick {
+            return ParamGrid::from_points(vec![Params::new()
+                .with("g", 8usize)
+                .with("s", 128usize)
+                .with("packets", 64usize)]);
+        }
+        let packets = 256 * profile.scale as usize;
+        let mut points = Vec::new();
+        for &g in &[16usize, 64] {
+            for &s in &[256usize, 2048] {
+                points.push(Params::new().with("g", g).with("s", s).with("packets", packets));
+            }
+        }
+        ParamGrid::from_points(points)
+    }
+
+    fn run(&self, params: &Params, seed: u64) -> Measurement {
+        let s = params.usize("s");
+        // Enough axpy passes for a stable rate, scaled so every symbol
+        // length moves a similar number of bytes.
+        let kernel = e06::KernelParams { len: s, passes: ((4 << 20) / s).max(64) };
+        let scalar = e06::axpy_throughput(curtain_gf::GfBackend::Scalar, &kernel, seed);
+        let best = e06::available_backends()[0];
+        let (simd, simd_speedup) = if best == curtain_gf::GfBackend::Scalar {
+            (scalar, 1.0)
+        } else {
+            let simd = e06::axpy_throughput(best, &kernel, seed);
+            (simd, simd / scalar.max(1e-9))
+        };
+
+        let codec = e06::codec_throughput(
+            &e06::CodecParams {
+                g: params.usize("g"),
+                symbol_len: s,
+                packets: params.usize("packets"),
+            },
+            seed,
+        );
+        Measurement::new()
+            .with("axpy_scalar_mib_s", scalar)
+            .with("axpy_simd_mib_s", simd)
+            .with("simd_speedup", simd_speedup)
+            .with("encode_pps", codec.encode_pps)
+            .with("decode_pps", codec.decode_pps)
+            .with("recode_pps", codec.recode_pps)
+            .with("recode_clone_pps", codec.recode_clone_pps)
+            .with("recode_speedup", codec.recode_speedup())
+    }
+
+    fn claims(&self) -> Vec<Box<dyn Claim>> {
+        vec![
+            Box::new(Predicate {
+                name: "E06-simd-axpy-geq-scalar",
+                check: Box::new(|points: &[PointSummary]| {
+                    for pt in points {
+                        let Some(speedup) = pt.mean("simd_speedup") else { continue };
+                        if speedup < 1.0 {
+                            return Err(format!(
+                                "SIMD axpy slower than scalar ({speedup:.2}x) at [{}]",
+                                pt.params
+                            ));
+                        }
+                    }
+                    Ok(format!(
+                        "best backend '{}' at least matches scalar at every point",
+                        curtain_gf::kernels::active().name()
+                    ))
+                }),
+            }),
+            Box::new(Predicate {
+                name: "E06-snapshot-recode-geq-clone",
+                check: Box::new(|points: &[PointSummary]| {
+                    for pt in points {
+                        let Some(speedup) = pt.mean("recode_speedup") else { continue };
+                        if speedup < 1.0 {
+                            return Err(format!(
+                                "snapshot recode slower than deep-copy path ({speedup:.2}x) at [{}]",
+                                pt.params
+                            ));
+                        }
+                    }
+                    Ok("snapshot recode path beats the deep-copy path everywhere".to_owned())
+                }),
+            }),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -432,7 +550,7 @@ mod tests {
     fn registry_ids_are_unique_and_salted() {
         let sweeps = registry();
         let ids: Vec<&str> = sweeps.iter().map(|s| s.id()).collect();
-        assert_eq!(ids, vec!["e01", "e03", "e04", "e05"]);
+        assert_eq!(ids, vec!["e01", "e03", "e04", "e05", "e06"]);
         for sweep in &sweeps {
             assert!(
                 sweep.code_salt().starts_with(sweep.id()),

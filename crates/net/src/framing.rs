@@ -7,7 +7,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use curtain_overlay::{NodeId, ThreadId};
-use curtain_rlnc::CodedPacket;
+use curtain_rlnc::{BufPool, CodedPacket};
 use curtain_telemetry::json::{self, JsonValue};
 
 /// Upper bound on a frame (coefficients + payload); guards against
@@ -148,10 +148,25 @@ pub fn read_subscribe_deadline(
 ///
 /// Propagates socket errors.
 pub fn write_frame(stream: &mut impl Write, packet: &CodedPacket) -> io::Result<()> {
-    let wire = packet.to_wire();
-    let len = wire.len() as u32;
-    stream.write_all(&len.to_le_bytes())?;
-    stream.write_all(&wire)?;
+    let mut scratch = Vec::new();
+    write_frame_into(stream, packet, &mut scratch)
+}
+
+/// Like [`write_frame`], assembling the frame in a caller-owned scratch
+/// buffer so a serving loop allocates nothing per packet.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_frame_into(
+    stream: &mut impl Write,
+    packet: &CodedPacket,
+    scratch: &mut Vec<u8>,
+) -> io::Result<()> {
+    scratch.clear();
+    scratch.extend_from_slice(&(packet.wire_len() as u32).to_le_bytes());
+    packet.to_wire_into(scratch);
+    stream.write_all(scratch)?;
     stream.flush()
 }
 
@@ -161,19 +176,50 @@ pub fn write_frame(stream: &mut impl Write, packet: &CodedPacket) -> io::Result<
 ///
 /// Propagates socket errors; corrupt frames map to `InvalidData`.
 pub fn read_frame(stream: &mut impl Read) -> io::Result<Option<CodedPacket>> {
+    let mut body = Vec::new();
+    match read_frame_body(stream, &mut body)? {
+        false => Ok(None),
+        true => CodedPacket::from_wire(&body)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+    }
+}
+
+/// Like [`read_frame`], reusing a caller-owned scratch buffer for the frame
+/// body and parsing the packet into pool-recycled buffers — the upstream
+/// receive loop allocates nothing at steady state.
+///
+/// # Errors
+///
+/// Propagates socket errors; corrupt frames map to `InvalidData`.
+pub fn read_frame_pooled(
+    stream: &mut impl Read,
+    pool: &BufPool,
+    scratch: &mut Vec<u8>,
+) -> io::Result<Option<CodedPacket>> {
+    match read_frame_body(stream, scratch)? {
+        false => Ok(None),
+        true => CodedPacket::from_wire_pooled(scratch, pool)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+    }
+}
+
+/// Reads one length prefix + body into `body` (resized in place). Returns
+/// `false` on clean EOF at a frame boundary.
+fn read_frame_body(stream: &mut impl Read, body: &mut Vec<u8>) -> io::Result<bool> {
     let mut len_buf = [0u8; 4];
     if !read_exact_or_eof(stream, &mut len_buf)? {
-        return Ok(None);
+        return Ok(false);
     }
     let len = u32::from_le_bytes(len_buf);
     if len == 0 || len > MAX_FRAME {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "bad frame length"));
     }
-    let mut body = vec![0u8; len as usize];
-    stream.read_exact(&mut body)?;
-    CodedPacket::from_wire(&body)
-        .map(Some)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    body.clear();
+    body.resize(len as usize, 0);
+    stream.read_exact(body)?;
+    Ok(true)
 }
 
 /// Reads exactly `buf.len()` bytes; returns `false` on EOF *before the
@@ -211,6 +257,36 @@ mod tests {
         assert_eq!(got, p);
         // Clean EOF after the frame.
         assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn pooled_frame_round_trip_reuses_buffers() {
+        let pool = BufPool::default();
+        let mut scratch = Vec::new();
+        let mut wire_scratch = Vec::new();
+        let mut buf = Vec::new();
+        let p = CodedPacket::new(1, vec![4, 5, 6], vec![7u8; 48]);
+        write_frame_into(&mut buf, &p, &mut wire_scratch).unwrap();
+        write_frame_into(&mut buf, &p, &mut wire_scratch).unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        let first = read_frame_pooled(&mut cursor, &pool, &mut scratch).unwrap().unwrap();
+        assert_eq!(first, p);
+        drop(first);
+        let second = read_frame_pooled(&mut cursor, &pool, &mut scratch).unwrap().unwrap();
+        assert_eq!(second, p);
+        assert!(pool.stats().hits >= 1, "second frame reuses the first frame's buffers");
+        assert!(read_frame_pooled(&mut cursor, &pool, &mut scratch).unwrap().is_none());
+    }
+
+    #[test]
+    fn write_frame_into_matches_write_frame() {
+        let p = CodedPacket::new(2, vec![9, 9], vec![1u8; 32]);
+        let mut plain = Vec::new();
+        write_frame(&mut plain, &p).unwrap();
+        let mut reused = Vec::new();
+        let mut scratch = vec![0xFF; 512]; // dirty scratch must not leak
+        write_frame_into(&mut reused, &p, &mut scratch).unwrap();
+        assert_eq!(plain, reused);
     }
 
     #[test]

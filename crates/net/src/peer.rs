@@ -18,7 +18,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use curtain_overlay::NodeId;
-use curtain_rlnc::Recoder;
+use curtain_rlnc::{BufPool, RecodeSnapshot, Recoder};
 use curtain_telemetry::{Event, SharedRecorder};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -63,9 +63,20 @@ struct ObjectState {
 
 impl ObjectState {
     fn new(generations: usize, generation_size: usize, packet_len: usize) -> Self {
+        Self::with_pool(generations, generation_size, packet_len, BufPool::default())
+    }
+
+    /// All generations draw row storage from one shared pool, so ingest
+    /// and recode traffic is allocation-free at steady state.
+    fn with_pool(
+        generations: usize,
+        generation_size: usize,
+        packet_len: usize,
+        pool: BufPool,
+    ) -> Self {
         ObjectState {
             recoders: (0..generations)
-                .map(|g| Recoder::new(g as u32, generation_size, packet_len))
+                .map(|g| Recoder::with_pool(g as u32, generation_size, packet_len, pool.clone()))
                 .collect(),
             complete_count: 0,
             serve_cursor: 0,
@@ -96,17 +107,19 @@ impl ObjectState {
 
     /// A snapshot of the next generation with data, rotating so children
     /// receive all generations. The caller recodes from the snapshot
-    /// *outside* the state lock: the basis copy is a straight memcpy,
-    /// orders of magnitude cheaper than the GF multiply-accumulate a
-    /// recode performs, so the lock is never held across GF math and the
-    /// upstream `push` path cannot stall behind a slow child.
-    fn snapshot_next(&mut self) -> Option<Recoder> {
+    /// *outside* the state lock. Unlike the old full-`Recoder` clone, the
+    /// snapshot is an `Arc` over the generation's current basis rows
+    /// (cached inside the recoder until the next innovative packet), so
+    /// the critical section is an O(1) refcount bump: no row memcpy, no
+    /// GF math, and the upstream `push` path cannot stall behind a slow
+    /// child. Later inserts copy-on-write around outstanding snapshots.
+    fn snapshot_next(&mut self) -> Option<Arc<RecodeSnapshot>> {
         let n = self.recoders.len();
         for probe in 0..n {
             let g = (self.serve_cursor + probe) % n;
             if self.recoders[g].rank() > 0 {
                 self.serve_cursor = (g + 1) % n;
-                return Some(self.recoders[g].clone());
+                return Some(self.recoders[g].snapshot());
             }
         }
         None
@@ -121,6 +134,9 @@ struct Shared {
     node: NodeId,
     data_addr: SocketAddr,
     state: Mutex<ObjectState>,
+    /// Packet-buffer pool shared by every generation's row space and the
+    /// upstream receive path; ingest recycles through here.
+    pool: BufPool,
     complete: AtomicBool,
     completion_reported: AtomicBool,
     stop: AtomicBool,
@@ -259,10 +275,17 @@ impl Peer {
             return Err(io::Error::other(format!("join rejected: {resp:?}")));
         };
 
+        let pool = BufPool::default();
         let shared = Arc::new(Shared {
             node,
             data_addr,
-            state: Mutex::new(ObjectState::new(generations, generation_size, packet_len)),
+            state: Mutex::new(ObjectState::with_pool(
+                generations,
+                generation_size,
+                packet_len,
+                pool.clone(),
+            )),
+            pool,
             complete: AtomicBool::new(false),
             completion_reported: AtomicBool::new(false),
             stop: AtomicBool::new(false),
@@ -275,6 +298,12 @@ impl Peer {
         });
         shared.recorder.record(&Event::PeerConnect { peer: node.0 });
         if shared.recorder.is_enabled() {
+            // Stamp the trace with the GF(256) kernel backend so later
+            // analysis can attribute recode/decode timings to it.
+            shared.recorder.record(&Event::RunInfo {
+                key: "gf_backend".to_string(),
+                value: curtain_gf::kernels::active().name().to_string(),
+            });
             // Label per-packet innovation events with this peer's id.
             let mut state = shared.state.lock();
             for recoder in &mut state.recoders {
@@ -438,14 +467,21 @@ fn serve_child(stream: &TcpStream, shared: &Shared, pace: Duration, seed: u64) -
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = stream.try_clone()?;
     out.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let traced = shared.recorder.is_enabled();
+    let mut scratch = Vec::new();
     while !shared.stop.load(Ordering::SeqCst) {
-        // Lock held only for the basis snapshot; the GF recode below runs
-        // on the clone, so concurrent children and the upstream push path
-        // never wait on each other's math.
+        // Lock held only for an O(1) Arc clone of the generation's basis
+        // snapshot; the GF recode below runs against the shared immutable
+        // rows, so concurrent children and the upstream push path never
+        // wait on each other's math (and nothing is copied under the lock).
         let snapshot = shared.state.lock().snapshot_next();
-        match snapshot.and_then(|r| r.recode(&mut rng)) {
+        let timer = if traced { Some(Instant::now()) } else { None };
+        match snapshot.and_then(|s| s.recode(&mut rng)) {
             Some(p) => {
-                if framing::write_frame(&mut out, &p).is_err() {
+                if let Some(t) = timer {
+                    shared.recorder.histogram("recode_ns", t.elapsed().as_nanos() as f64);
+                }
+                if framing::write_frame_into(&mut out, &p, &mut scratch).is_err() {
                     break; // child went away
                 }
                 std::thread::sleep(pace);
@@ -481,11 +517,12 @@ fn upstream_loop(shared: &Shared, thread: u16, mut parent: ParentAddr) {
         }
         let mut reader = stream;
         let mut last_data = Instant::now();
+        let mut scratch = Vec::new();
         loop {
             if shared.stop.load(Ordering::SeqCst) {
                 return;
             }
-            match framing::read_frame(&mut reader) {
+            match framing::read_frame_pooled(&mut reader, &shared.pool, &mut scratch) {
                 Ok(Some(packet)) => {
                     last_data = Instant::now();
                     if shared.state.lock().push(packet) {
@@ -719,5 +756,23 @@ mod tests {
     fn snapshot_on_empty_state_is_none() {
         let mut state = ObjectState::new(2, 4, 32);
         assert!(state.snapshot_next().is_none());
+    }
+
+    /// The lock-held cost of `snapshot_next` is an `Arc` clone, not a
+    /// `Recoder` clone: with a stable basis, consecutive snapshots of the
+    /// same generation are pointer-identical, and only an innovative push
+    /// produces a fresh one.
+    #[test]
+    fn snapshot_next_shares_until_innovation() {
+        let (mut state, mut encoder, mut rng) = filled_state(1, 8, 64, 4);
+        let a = state.snapshot_next().expect("rank > 0");
+        let b = state.snapshot_next().expect("rank > 0");
+        assert!(Arc::ptr_eq(&a, &b), "stable basis must re-share the cached snapshot");
+        // Push until the rank grows; the next snapshot must be new.
+        let before = a.epoch();
+        while !state.push(encoder.next_packet(&mut rng)) {}
+        let c = state.snapshot_next().expect("rank > 0");
+        assert!(!Arc::ptr_eq(&a, &c), "innovation must invalidate the cached snapshot");
+        assert!(c.epoch() > before);
     }
 }

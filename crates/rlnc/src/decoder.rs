@@ -2,6 +2,7 @@
 
 use curtain_telemetry::{Event, SharedRecorder};
 
+use crate::buffer::BufPool;
 use crate::error::RlncError;
 use crate::generation::GenerationId;
 use crate::packet::CodedPacket;
@@ -58,6 +59,23 @@ impl Decoder {
         }
     }
 
+    /// Like [`Decoder::new`], drawing row storage from a shared [`BufPool`]
+    /// (one pool per peer keeps all generations allocation-free at steady
+    /// state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g == 0`.
+    #[must_use]
+    pub fn with_pool(id: GenerationId, g: usize, symbol_len: usize, pool: BufPool) -> Self {
+        Decoder {
+            id,
+            space: RowSpace::with_pool(g, symbol_len, pool),
+            stats: CodingStats::default(),
+            telemetry: None,
+        }
+    }
+
     /// Attaches a telemetry recorder; [`Decoder::push`] then emits a
     /// `PacketInnovative` / `PacketRedundant` event per packet, labelled
     /// with `node` (the receiving host's id).
@@ -104,11 +122,16 @@ impl Decoder {
     ///   on malformed packets.
     pub fn push(&mut self, packet: CodedPacket) -> Result<bool, RlncError> {
         self.validate(&packet)?;
-        let innovative = self
-            .space
-            .insert(packet.coefficients().to_vec(), packet.payload().to_vec());
+        // Zero-copy ingest: take the packet's buffers; a uniquely-owned
+        // packet (the wire path) is eliminated in place.
+        let timer = self.telemetry.as_ref().map(|_| std::time::Instant::now());
+        let (_, coeffs, payload) = packet.into_parts();
+        let innovative = self.space.insert(coeffs, payload);
         self.stats.record(innovative);
         if let Some((recorder, node)) = &self.telemetry {
+            if let Some(t) = timer {
+                recorder.histogram("decode_ns", t.elapsed().as_nanos() as f64);
+            }
             recorder.record(&if innovative {
                 Event::PacketInnovative {
                     node: *node,
@@ -125,13 +148,16 @@ impl Decoder {
     /// Returns `true` iff pushing `packet` would be innovative, without
     /// consuming it (used by forwarding policies to avoid wasted sends).
     ///
+    /// Rank growth depends only on the coefficient vector, so this probes
+    /// by eliminating a `g`-byte scratch row against the basis — it no
+    /// longer clones the whole row space.
+    ///
     /// # Errors
     ///
     /// Same validation as [`Decoder::push`].
     pub fn would_be_innovative(&self, packet: &CodedPacket) -> Result<bool, RlncError> {
         self.validate(packet)?;
-        let mut probe = self.space.clone();
-        Ok(probe.insert(packet.coefficients().to_vec(), packet.payload().to_vec()))
+        Ok(self.space.would_accept(packet.coefficients()))
     }
 
     /// Recovers the source packets once complete; `None` before that.

@@ -1,6 +1,5 @@
 //! The source encoder: emits random linear combinations of a generation.
 
-use bytes::Bytes;
 use curtain_gf::{vec_ops, Field, Gf256};
 use rand::Rng;
 
@@ -102,7 +101,7 @@ impl Encoder {
         for (c, src) in coeffs.iter().zip(&self.packets) {
             vec_ops::axpy(&mut payload, *c, src);
         }
-        CodedPacket::new(self.id, coeffs, Bytes::from(payload))
+        CodedPacket::new(self.id, coeffs, payload)
     }
 
     /// Emits a *sparse* random combination: each coefficient is non-zero
@@ -137,7 +136,7 @@ impl Encoder {
         for (c, src) in coeffs.iter().zip(&self.packets) {
             vec_ops::axpy(&mut payload, *c, src);
         }
-        CodedPacket::new(self.id, coeffs, Bytes::from(payload))
+        CodedPacket::new(self.id, coeffs, payload)
     }
 
     /// Emits the `i`-th *systematic* packet: coefficient vector `e_i`,
@@ -152,7 +151,7 @@ impl Encoder {
         assert!(i < self.packets.len(), "systematic index out of range");
         let mut coeffs = vec![0u8; self.packets.len()];
         coeffs[i] = 1;
-        CodedPacket::new(self.id, coeffs, Bytes::from(self.packets[i].clone()))
+        CodedPacket::new(self.id, coeffs, self.packets[i].clone())
     }
 }
 

@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod buffer;
 pub mod compact;
 mod decoder;
 mod encoder;
@@ -60,12 +61,13 @@ mod recoder;
 mod rowspace;
 mod stats;
 
+pub use buffer::{BufPool, PacketBuf, PacketBufMut, PoolStats};
 pub use decoder::Decoder;
 pub use encoder::Encoder;
 pub use error::RlncError;
 pub use generation::{Content, Generation, GenerationId};
 pub use packet::CodedPacket;
 pub use pipeline::{ObjectDecoder, ObjectEncoder};
-pub use recoder::Recoder;
+pub use recoder::{RecodeSnapshot, Recoder};
 pub use compact::WirePacket;
 pub use stats::CodingStats;

@@ -2,6 +2,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use crate::buffer::{BufPool, PacketBuf};
 use crate::error::RlncError;
 use crate::generation::GenerationId;
 
@@ -14,27 +15,41 @@ use crate::generation::GenerationId;
 /// without knowledge of the network topology — the property the overlay
 /// paper relies on to tolerate churn (its §1, citing [CWJ03]).
 ///
+/// Both parts are [`PacketBuf`]s: cloning a packet bumps refcounts instead
+/// of copying, and ingest paths can take the buffers without `to_vec()`.
+///
 /// # Example
 ///
 /// ```
 /// use curtain_rlnc::CodedPacket;
 ///
-/// let p = CodedPacket::new(7, vec![1, 0, 0], vec![0xde, 0xad].into());
+/// let p = CodedPacket::new(7, vec![1, 0, 0], vec![0xde, 0xad]);
 /// let wire = p.to_wire();
 /// assert_eq!(CodedPacket::from_wire(&wire).unwrap(), p);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CodedPacket {
     generation: GenerationId,
-    coefficients: Vec<u8>,
-    payload: Bytes,
+    coefficients: PacketBuf,
+    payload: PacketBuf,
 }
 
 impl CodedPacket {
-    /// Assembles a packet from parts.
+    /// Assembles a packet from parts. Accepts anything convertible to a
+    /// [`PacketBuf`] (`Vec<u8>`, slices, `Bytes`, pooled buffers), so
+    /// existing call sites keep working while hot paths hand over buffers
+    /// without copying.
     #[must_use]
-    pub fn new(generation: GenerationId, coefficients: Vec<u8>, payload: Bytes) -> Self {
-        CodedPacket { generation, coefficients, payload }
+    pub fn new(
+        generation: GenerationId,
+        coefficients: impl Into<PacketBuf>,
+        payload: impl Into<PacketBuf>,
+    ) -> Self {
+        CodedPacket {
+            generation,
+            coefficients: coefficients.into(),
+            payload: payload.into(),
+        }
     }
 
     /// The generation this packet belongs to.
@@ -55,10 +70,11 @@ impl CodedPacket {
         &self.payload
     }
 
-    /// Payload as shared bytes (cheap clone).
+    /// Decomposes into `(generation, coefficients, payload)` without
+    /// copying — the ingest path of [`crate::Decoder`] / [`crate::Recoder`].
     #[must_use]
-    pub fn payload_bytes(&self) -> Bytes {
-        self.payload.clone()
+    pub fn into_parts(self) -> (GenerationId, PacketBuf, PacketBuf) {
+        (self.generation, self.coefficients, self.payload)
     }
 
     /// True iff the coefficient vector is all-zero (a vacuous packet that
@@ -95,13 +111,49 @@ impl CodedPacket {
         buf.freeze()
     }
 
+    /// Appends the wire format to `out` without any intermediate
+    /// allocation; senders reuse one `Vec` across packets.
+    pub fn to_wire_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.wire_len());
+        out.extend_from_slice(&self.generation.to_le_bytes());
+        out.extend_from_slice(&(self.coefficients.len() as u16).to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.coefficients);
+        out.extend_from_slice(&self.payload);
+    }
+
     /// Parses a packet from its wire format.
     ///
     /// # Errors
     ///
     /// Returns [`RlncError::MalformedWirePacket`] if the buffer is truncated
     /// or the lengths are inconsistent.
-    pub fn from_wire(mut buf: &[u8]) -> Result<Self, RlncError> {
+    pub fn from_wire(buf: &[u8]) -> Result<Self, RlncError> {
+        let (generation, g) = Self::parse_header(buf)?;
+        Ok(CodedPacket {
+            generation,
+            coefficients: PacketBuf::copy_from_slice(&buf[10..10 + g]),
+            payload: PacketBuf::copy_from_slice(&buf[10 + g..]),
+        })
+    }
+
+    /// Parses a packet from its wire format into pool-recycled buffers —
+    /// the receive path allocates nothing at steady state.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`CodedPacket::from_wire`].
+    pub fn from_wire_pooled(buf: &[u8], pool: &BufPool) -> Result<Self, RlncError> {
+        let (generation, g) = Self::parse_header(buf)?;
+        Ok(CodedPacket {
+            generation,
+            coefficients: pool.alloc_copy(&buf[10..10 + g]).freeze(),
+            payload: pool.alloc_copy(&buf[10 + g..]).freeze(),
+        })
+    }
+
+    /// Validates the header and body length; returns `(generation, g)`.
+    fn parse_header(mut buf: &[u8]) -> Result<(GenerationId, usize), RlncError> {
         if buf.len() < 10 {
             return Err(RlncError::MalformedWirePacket("header truncated"));
         }
@@ -111,9 +163,7 @@ impl CodedPacket {
         if buf.len() != g + payload_len {
             return Err(RlncError::MalformedWirePacket("body length mismatch"));
         }
-        let coefficients = buf[..g].to_vec();
-        let payload = Bytes::copy_from_slice(&buf[g..]);
-        Ok(CodedPacket { generation, coefficients, payload })
+        Ok((generation, g))
     }
 }
 
@@ -138,6 +188,34 @@ mod tests {
         let wire = p.to_wire();
         assert_eq!(wire.len(), p.wire_len());
         assert_eq!(CodedPacket::from_wire(&wire).unwrap(), p);
+    }
+
+    #[test]
+    fn to_wire_into_matches_to_wire_and_appends() {
+        let p = CodedPacket::new(3, vec![7, 0, 1], vec![4u8; 17]);
+        let mut out = vec![0xEE];
+        p.to_wire_into(&mut out);
+        assert_eq!(out[0], 0xEE, "must append, not overwrite");
+        assert_eq!(&out[1..], &p.to_wire()[..]);
+        // Reuse the same Vec for a second packet.
+        out.clear();
+        let q = CodedPacket::new(4, vec![1], vec![2u8; 3]);
+        q.to_wire_into(&mut out);
+        assert_eq!(CodedPacket::from_wire(&out).unwrap(), q);
+    }
+
+    #[test]
+    fn from_wire_pooled_round_trips_and_recycles() {
+        let pool = BufPool::default();
+        let p = CodedPacket::new(9, vec![5, 6], vec![1u8; 64]);
+        let wire = p.to_wire();
+        let parsed = CodedPacket::from_wire_pooled(&wire, &pool).unwrap();
+        assert_eq!(parsed, p);
+        drop(parsed);
+        assert_eq!(pool.idle(), 2, "coeff + payload buffers return to the pool");
+        let again = CodedPacket::from_wire_pooled(&wire, &pool).unwrap();
+        assert_eq!(again, p);
+        assert!(pool.stats().hits >= 1, "second parse reuses pooled storage");
     }
 
     #[test]
@@ -166,8 +244,27 @@ mod tests {
             coeffs in proptest::collection::vec(any::<u8>(), 0..32),
             payload in proptest::collection::vec(any::<u8>(), 0..256),
         ) {
-            let p = CodedPacket::new(generation, coeffs, payload.into());
+            let p = CodedPacket::new(generation, coeffs, payload);
             prop_assert_eq!(CodedPacket::from_wire(&p.to_wire()).unwrap(), p);
+        }
+
+        /// Round-trip through both parse paths plus truncation fuzzing: any
+        /// strict prefix of a valid frame must be rejected, never panic.
+        #[test]
+        fn wire_truncation_never_panics(
+            generation: u32,
+            coeffs in proptest::collection::vec(any::<u8>(), 0..16),
+            payload in proptest::collection::vec(any::<u8>(), 0..64),
+            cut in 0usize..80,
+        ) {
+            let pool = BufPool::default();
+            let p = CodedPacket::new(generation, coeffs, payload);
+            let wire = p.to_wire();
+            prop_assert_eq!(&CodedPacket::from_wire_pooled(&wire, &pool).unwrap(), &p);
+            let cut = cut.min(wire.len().saturating_sub(1));
+            let truncated = &wire[..cut];
+            prop_assert!(CodedPacket::from_wire(truncated).is_err());
+            prop_assert!(CodedPacket::from_wire_pooled(truncated, &pool).is_err());
         }
     }
 }

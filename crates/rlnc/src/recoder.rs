@@ -1,13 +1,15 @@
 //! The intermediate node: buffer received packets, forward fresh mixtures.
 
-use bytes::Bytes;
+use std::sync::Arc;
+
 use curtain_telemetry::{Event, SharedRecorder};
 use rand::Rng;
 
+use crate::buffer::{BufPool, PacketBuf};
 use crate::error::RlncError;
 use crate::generation::GenerationId;
 use crate::packet::CodedPacket;
-use crate::rowspace::RowSpace;
+use crate::rowspace::{random_combination_of, RowSpace};
 use crate::stats::CodingStats;
 
 /// Recoder state for one generation at an intermediate overlay node.
@@ -39,6 +41,9 @@ pub struct Recoder {
     /// Optional `(recorder, node label)` emitting per-packet
     /// innovative/redundant events; `None` costs one branch in `push`.
     telemetry: Option<(SharedRecorder, u64)>,
+    /// Cached [`RecodeSnapshot`], invalidated on innovation. Serving
+    /// threads clone the `Arc` under the lock (O(1)) and mix outside it.
+    snapshot_cache: Option<Arc<RecodeSnapshot>>,
 }
 
 impl Recoder {
@@ -55,6 +60,23 @@ impl Recoder {
             space: RowSpace::new(g, symbol_len),
             stats: CodingStats::default(),
             telemetry: None,
+            snapshot_cache: None,
+        }
+    }
+
+    /// Like [`Recoder::new`], drawing row storage from a shared [`BufPool`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g == 0`.
+    #[must_use]
+    pub fn with_pool(id: GenerationId, g: usize, symbol_len: usize, pool: BufPool) -> Self {
+        Recoder {
+            id,
+            space: RowSpace::with_pool(g, symbol_len, pool),
+            stats: CodingStats::default(),
+            telemetry: None,
+            snapshot_cache: None,
         }
     }
 
@@ -111,11 +133,20 @@ impl Recoder {
                 got: packet.payload().len(),
             });
         }
-        let innovative = self
-            .space
-            .insert(packet.coefficients().to_vec(), packet.payload().to_vec());
+        // Zero-copy ingest: take the packet's buffers; a uniquely-owned
+        // packet (the wire path) is eliminated in place.
+        let timer = self.telemetry.as_ref().map(|_| std::time::Instant::now());
+        let (_, coeffs, payload) = packet.into_parts();
+        let innovative = self.space.insert(coeffs, payload);
         self.stats.record(innovative);
+        if innovative {
+            // The basis changed: outstanding snapshots are stale.
+            self.snapshot_cache = None;
+        }
         if let Some((recorder, node)) = &self.telemetry {
+            if let Some(t) = timer {
+                recorder.histogram("decode_ns", t.elapsed().as_nanos() as f64);
+            }
             recorder.record(&if innovative {
                 Event::PacketInnovative {
                     node: *node,
@@ -133,8 +164,44 @@ impl Recoder {
     /// `None` if nothing has been received yet.
     #[must_use]
     pub fn recode<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<CodedPacket> {
+        let timer = self.telemetry.as_ref().map(|_| std::time::Instant::now());
         let (coeffs, payload) = self.space.random_combination(rng)?;
-        Some(CodedPacket::new(self.id, coeffs, Bytes::from(payload)))
+        if let (Some((recorder, _)), Some(t)) = (&self.telemetry, timer) {
+            recorder.histogram("recode_ns", t.elapsed().as_nanos() as f64);
+        }
+        Some(CodedPacket::new(self.id, coeffs, payload))
+    }
+
+    /// Epoch of the buffered basis: advances exactly when an innovative
+    /// packet lands. A [`RecodeSnapshot`] whose
+    /// [`epoch`](RecodeSnapshot::epoch) matches is current.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.space.epoch()
+    }
+
+    /// Shares the current basis as an immutable [`RecodeSnapshot`].
+    ///
+    /// The snapshot is cached and re-shared until the next innovative
+    /// packet, so the per-emit cost under a lock is one `Arc` clone —
+    /// O(1), no row copying, no `Recoder` clone. Mixing then happens
+    /// against the snapshot with no lock held; later inserts copy-on-write
+    /// around the shared rows.
+    #[must_use]
+    pub fn snapshot(&mut self) -> Arc<RecodeSnapshot> {
+        if let Some(s) = &self.snapshot_cache {
+            return Arc::clone(s);
+        }
+        let snap = Arc::new(RecodeSnapshot {
+            generation: self.id,
+            g: self.space.generation_size(),
+            symbol_len: self.space.symbol_len(),
+            epoch: self.space.epoch(),
+            rows: self.space.snapshot_rows(),
+            pool: self.space.pool().clone(),
+        });
+        self.snapshot_cache = Some(Arc::clone(&snap));
+        snap
     }
 
     /// Once complete, recovers the source packets (a complete recoder is
@@ -142,6 +209,73 @@ impl Recoder {
     #[must_use]
     pub fn recover(&self) -> Option<Vec<Vec<u8>>> {
         self.space.recover()
+    }
+}
+
+/// An immutable view of a [`Recoder`]'s basis at one epoch, for lock-free
+/// recoding.
+///
+/// The rows are refcounted [`PacketBuf`]s shared with the live row space:
+/// taking a snapshot copies no bytes, and the space's later mutations
+/// copy-on-write around it. A serving thread clones the `Arc` under its
+/// state lock, releases the lock, and mixes packets from the snapshot for
+/// as long as [`RecodeSnapshot::epoch`] matches the recoder's —
+/// the seqlock-style emit path of the peer pipeline.
+#[derive(Debug, Clone)]
+pub struct RecodeSnapshot {
+    generation: GenerationId,
+    g: usize,
+    symbol_len: usize,
+    epoch: u64,
+    rows: Vec<(PacketBuf, PacketBuf)>,
+    pool: BufPool,
+}
+
+impl RecodeSnapshot {
+    /// Generation the snapshot mixes.
+    #[must_use]
+    pub fn generation(&self) -> GenerationId {
+        self.generation
+    }
+
+    /// Rank of the snapshot (number of basis rows).
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff there is nothing to mix.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The row-space epoch this snapshot was taken at.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Iterates the basis rows as `(coefficients, payload)` slices, in
+    /// insertion order. For inspection and benchmarking; mixing should go
+    /// through [`RecodeSnapshot::recode`].
+    pub fn rows(&self) -> impl Iterator<Item = (&[u8], &[u8])> {
+        self.rows.iter().map(|(c, p)| (&c[..], &p[..]))
+    }
+
+    /// Emits a fresh random combination of the snapshot's rows, or `None`
+    /// if the snapshot is empty. Holds no locks and copies no rows; output
+    /// buffers come from the recoder's pool.
+    #[must_use]
+    pub fn recode<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<CodedPacket> {
+        let (coeffs, payload) = random_combination_of(
+            self.rows.iter().map(|(c, p)| (&c[..], &p[..])),
+            self.g,
+            self.symbol_len,
+            &self.pool,
+            rng,
+        )?;
+        Some(CodedPacket::new(self.generation, coeffs, payload))
     }
 }
 
@@ -227,7 +361,61 @@ mod tests {
     #[test]
     fn validation_mirrors_decoder() {
         let mut rec = Recoder::new(1, 2, 4);
-        let p = CodedPacket::new(9, vec![1, 0], Bytes::from(vec![0u8; 4]));
+        let p = CodedPacket::new(9, vec![1, 0], vec![0u8; 4]);
         assert!(matches!(rec.push(p), Err(RlncError::GenerationMismatch { .. })));
+    }
+
+    #[test]
+    fn snapshot_is_cached_until_innovation() {
+        let src = data(3, 8);
+        let enc = Encoder::new(0, src).unwrap();
+        let mut rec = Recoder::new(0, 3, 8);
+        let mut rng = StdRng::seed_from_u64(11);
+        rec.push(enc.encode(&mut rng)).unwrap();
+        let s1 = rec.snapshot();
+        let s2 = rec.snapshot();
+        assert!(Arc::ptr_eq(&s1, &s2), "unchanged basis re-shares the same snapshot");
+        assert_eq!(s1.rank(), 1);
+        assert_eq!(s1.epoch(), rec.epoch());
+        // Feed until the rank grows, then the cache must be invalidated.
+        while !rec.push(enc.encode(&mut rng)).unwrap() {}
+        let s3 = rec.snapshot();
+        assert!(!Arc::ptr_eq(&s1, &s3), "innovation invalidates the cached snapshot");
+        assert!(s3.epoch() > s1.epoch());
+        assert_eq!(s3.rank(), 2);
+        // The old snapshot still works and still mixes only its own rows.
+        let old = s1.recode(&mut rng).unwrap();
+        assert_eq!(old.coefficients().len(), 3);
+    }
+
+    #[test]
+    fn snapshot_recode_is_decodable() {
+        let src = data(4, 16);
+        let enc = Encoder::new(0, src.clone()).unwrap();
+        let mut rec = Recoder::new(0, 4, 16);
+        let mut rng = StdRng::seed_from_u64(21);
+        while !rec.is_complete() {
+            rec.push(enc.encode(&mut rng)).unwrap();
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.generation(), 0);
+        assert!(!snap.is_empty());
+        let mut dec = Decoder::new(0, 4, 16);
+        let mut guard = 0;
+        while !dec.is_complete() {
+            dec.push(snap.recode(&mut rng).unwrap()).unwrap();
+            guard += 1;
+            assert!(guard < 400, "snapshot transfer did not converge");
+        }
+        assert_eq!(dec.recover().unwrap(), src);
+    }
+
+    #[test]
+    fn empty_snapshot_recodes_none() {
+        let mut rec = Recoder::new(0, 2, 4);
+        let snap = rec.snapshot();
+        assert!(snap.is_empty());
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(snap.recode(&mut rng).is_none());
     }
 }

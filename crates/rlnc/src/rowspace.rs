@@ -6,15 +6,24 @@
 //! at all times: each accepted row has a pivot column, a unit pivot entry,
 //! and zeros in every other row's pivot column, so completion means the
 //! payload rows literally are the source packets.
+//!
+//! Since the data-plane refactor, rows live in pool-recycled
+//! [`PacketBuf`]s: ingest steals the packet's buffers instead of copying,
+//! elimination mutates rows in place (copy-on-write only when an outstanding
+//! [`snapshot`](RowSpace::snapshot_rows) still references the old bytes),
+//! and every accepted row bumps an **epoch** counter that lets lock-free
+//! emit paths detect staleness without holding any lock.
 
 use curtain_gf::vec_ops;
 use curtain_gf::{Field, Gf256};
 
+use crate::buffer::{BufPool, PacketBuf};
+
 /// One reduced row: coefficient vector + the identically-transformed payload.
 #[derive(Debug, Clone)]
 pub(crate) struct Row {
-    pub coeffs: Vec<u8>,
-    pub payload: Vec<u8>,
+    pub coeffs: PacketBuf,
+    pub payload: PacketBuf,
     pub pivot: usize,
 }
 
@@ -25,12 +34,21 @@ pub(crate) struct RowSpace {
     symbol_len: usize,
     /// Rows sorted by pivot column, in rref.
     rows: Vec<Row>,
+    /// Backing allocator for rows and scratch buffers.
+    pool: BufPool,
+    /// Incremented on every rank growth; snapshots are valid while their
+    /// epoch matches.
+    epoch: u64,
 }
 
 impl RowSpace {
     pub(crate) fn new(g: usize, symbol_len: usize) -> Self {
+        Self::with_pool(g, symbol_len, BufPool::default())
+    }
+
+    pub(crate) fn with_pool(g: usize, symbol_len: usize, pool: BufPool) -> Self {
         assert!(g > 0, "generation size must be positive");
-        RowSpace { g, symbol_len, rows: Vec::with_capacity(g) }
+        RowSpace { g, symbol_len, rows: Vec::with_capacity(g), pool, epoch: 0 }
     }
 
     pub(crate) fn generation_size(&self) -> usize {
@@ -49,6 +67,16 @@ impl RowSpace {
         self.rows.len() == self.g
     }
 
+    /// Current epoch: changes exactly when the row set changes.
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The buffer pool rows are drawn from (shared, cheap to clone).
+    pub(crate) fn pool(&self) -> &BufPool {
+        &self.pool
+    }
+
     #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn rows(&self) -> &[Row] {
         &self.rows
@@ -57,11 +85,20 @@ impl RowSpace {
     /// Reduces `(coeffs, payload)` against the basis and inserts it if
     /// innovative. Returns `true` iff the rank grew.
     ///
+    /// Accepts anything convertible to [`PacketBuf`]; a uniquely-owned
+    /// buffer (the common ingest case) is mutated in place with no copy.
+    ///
     /// # Panics
     ///
     /// Panics if the lengths disagree with the space's configuration
     /// (callers validate first and return typed errors).
-    pub(crate) fn insert(&mut self, mut coeffs: Vec<u8>, mut payload: Vec<u8>) -> bool {
+    pub(crate) fn insert(
+        &mut self,
+        coeffs: impl Into<PacketBuf>,
+        payload: impl Into<PacketBuf>,
+    ) -> bool {
+        let mut coeffs = coeffs.into().into_mut(&self.pool);
+        let mut payload = payload.into().into_mut(&self.pool);
         assert_eq!(coeffs.len(), self.g, "coefficient length");
         assert_eq!(payload.len(), self.symbol_len, "payload length");
         // Forward-eliminate against existing pivots.
@@ -80,18 +117,42 @@ impl RowSpace {
         let inv = Gf256::new(coeffs[pivot]).inv().value();
         vec_ops::scale_assign(&mut coeffs, inv);
         vec_ops::scale_assign(&mut payload, inv);
-        // Back-eliminate the new pivot column from existing rows.
+        // Back-eliminate the new pivot column from existing rows. Rows are
+        // shared with any outstanding snapshots; `make_mut` mutates in
+        // place when unshared and copies out otherwise, so snapshots keep
+        // reading a consistent basis.
         for row in &mut self.rows {
             let c = row.coeffs[pivot];
             if c != 0 {
-                vec_ops::axpy(&mut row.coeffs, c, &coeffs);
-                vec_ops::axpy(&mut row.payload, c, &payload);
+                vec_ops::axpy(row.coeffs.make_mut(&self.pool), c, &coeffs);
+                vec_ops::axpy(row.payload.make_mut(&self.pool), c, &payload);
             }
         }
         // Insert keeping rows sorted by pivot.
         let at = self.rows.partition_point(|r| r.pivot < pivot);
-        self.rows.insert(at, Row { coeffs, payload, pivot });
+        self.rows.insert(at, Row { coeffs: coeffs.freeze(), payload: payload.freeze(), pivot });
+        self.epoch += 1;
         true
+    }
+
+    /// Returns `true` iff inserting a row with these coefficients would
+    /// grow the rank — *without* touching the payload or cloning the space.
+    ///
+    /// Rank growth depends only on the coefficient vector: the probe
+    /// forward-eliminates a `g`-byte scratch copy against the pivots and
+    /// checks for a surviving non-zero entry. Cost is O(rank · g) bytes of
+    /// axpy versus the old full-space clone's O(rank · (g + s)) copy plus
+    /// the same elimination.
+    pub(crate) fn would_accept(&self, coeffs: &[u8]) -> bool {
+        assert_eq!(coeffs.len(), self.g, "coefficient length");
+        let mut scratch = self.pool.alloc_copy(coeffs);
+        for row in &self.rows {
+            let c = scratch[row.pivot];
+            if c != 0 {
+                vec_ops::axpy(&mut scratch, c, &row.coeffs);
+            }
+        }
+        scratch.iter().any(|&c| c != 0)
     }
 
     /// If complete, returns the decoded source packets in order.
@@ -102,7 +163,16 @@ impl RowSpace {
         // In rref with full rank, row i has pivot i and unit coefficient
         // vector e_i, so its payload is source packet i.
         debug_assert!(self.rows.iter().enumerate().all(|(i, r)| r.pivot == i));
-        Some(self.rows.iter().map(|r| r.payload.clone()).collect())
+        Some(self.rows.iter().map(|r| r.payload.to_vec()).collect())
+    }
+
+    /// Shares the current basis as refcounted buffers: O(rank) refcount
+    /// bumps, no byte copying. Paired with [`RowSpace::epoch`] this is the
+    /// building block of the lock-free recode path — a reader combines rows
+    /// from the snapshot with no lock held, and refreshes when the epoch
+    /// moves on.
+    pub(crate) fn snapshot_rows(&self) -> Vec<(PacketBuf, PacketBuf)> {
+        self.rows.iter().map(|r| (r.coeffs.clone(), r.payload.clone())).collect()
     }
 
     /// Emits a random linear combination of the basis rows:
@@ -110,30 +180,47 @@ impl RowSpace {
     pub(crate) fn random_combination<R: rand::Rng + ?Sized>(
         &self,
         rng: &mut R,
-    ) -> Option<(Vec<u8>, Vec<u8>)> {
-        if self.rows.is_empty() {
-            return None;
-        }
-        let mut coeffs = vec![0u8; self.g];
-        let mut payload = vec![0u8; self.symbol_len];
-        let mut any = false;
-        for row in &self.rows {
-            let c = Gf256::random(rng).value();
-            if c != 0 {
-                any = true;
-                vec_ops::axpy(&mut coeffs, c, &row.coeffs);
-                vec_ops::axpy(&mut payload, c, &row.payload);
-            }
-        }
-        if !any {
-            // All-zero draw (probability 256^-rank); force a copy of an
-            // arbitrary basis row rather than emit a vacuous packet.
-            let row = &self.rows[0];
-            coeffs.copy_from_slice(&row.coeffs);
-            payload.copy_from_slice(&row.payload);
-        }
-        Some((coeffs, payload))
+    ) -> Option<(PacketBuf, PacketBuf)> {
+        random_combination_of(
+            self.rows.iter().map(|r| (&r.coeffs[..], &r.payload[..])),
+            self.g,
+            self.symbol_len,
+            &self.pool,
+            rng,
+        )
     }
+}
+
+/// Mixes a random GF(2⁸) combination of `(coeffs, payload)` rows into
+/// pool-allocated output buffers. Shared by [`RowSpace::random_combination`]
+/// and the lock-free [`crate::RecodeSnapshot`] emit path so both draw
+/// coefficients identically.
+pub(crate) fn random_combination_of<'a, R: rand::Rng + ?Sized>(
+    rows: impl Iterator<Item = (&'a [u8], &'a [u8])> + Clone,
+    g: usize,
+    symbol_len: usize,
+    pool: &BufPool,
+    rng: &mut R,
+) -> Option<(PacketBuf, PacketBuf)> {
+    let first = rows.clone().next()?;
+    let mut coeffs = pool.alloc_zeroed(g);
+    let mut payload = pool.alloc_zeroed(symbol_len);
+    let mut any = false;
+    for (rc, rp) in rows {
+        let c = Gf256::random(rng).value();
+        if c != 0 {
+            any = true;
+            vec_ops::axpy(&mut coeffs, c, rc);
+            vec_ops::axpy(&mut payload, c, rp);
+        }
+    }
+    if !any {
+        // All-zero draw (probability 256^-rank); force a copy of an
+        // arbitrary basis row rather than emit a vacuous packet.
+        coeffs.as_mut_slice().copy_from_slice(first.0);
+        payload.as_mut_slice().copy_from_slice(first.1);
+    }
+    Some((coeffs.freeze(), payload.freeze()))
 }
 
 #[cfg(test)]
@@ -185,6 +272,74 @@ mod tests {
         let mut rs = RowSpace::new(3, 1);
         assert!(!rs.insert(vec![0, 0, 0], vec![9]));
         assert_eq!(rs.rank(), 0);
+    }
+
+    #[test]
+    fn epoch_tracks_rank_growth_only() {
+        let mut rs = RowSpace::new(2, 2);
+        assert_eq!(rs.epoch(), 0);
+        rs.insert(vec![1, 0], vec![1, 1]);
+        assert_eq!(rs.epoch(), 1);
+        rs.insert(vec![1, 0], vec![1, 1]); // redundant
+        assert_eq!(rs.epoch(), 1, "redundant packets must not move the epoch");
+        rs.insert(vec![0, 1], vec![2, 2]);
+        assert_eq!(rs.epoch(), 2);
+    }
+
+    #[test]
+    fn would_accept_agrees_with_insert() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let g = 5;
+        let mut rs = RowSpace::new(g, 3);
+        for _ in 0..200 {
+            let coeffs: Vec<u8> = (0..g).map(|_| rng.random()).collect();
+            let payload: Vec<u8> = (0..3).map(|_| rng.random()).collect();
+            let predicted = rs.would_accept(&coeffs);
+            let actual = rs.insert(coeffs, payload);
+            assert_eq!(predicted, actual, "probe must agree with insertion");
+            if rs.is_complete() {
+                break;
+            }
+        }
+        assert!(rs.is_complete());
+        // Against a full space, nothing is innovative.
+        assert!(!rs.would_accept(&unit(g, 0)));
+    }
+
+    #[test]
+    fn snapshot_is_immutable_under_later_inserts() {
+        let mut rs = RowSpace::new(3, 2);
+        rs.insert(vec![1, 2, 3], vec![7, 7]);
+        let snap = rs.snapshot_rows();
+        let frozen: Vec<(Vec<u8>, Vec<u8>)> =
+            snap.iter().map(|(c, p)| (c.to_vec(), p.to_vec())).collect();
+        let epoch = rs.epoch();
+        // These inserts back-eliminate into the existing row.
+        rs.insert(vec![0, 1, 0], vec![1, 1]);
+        rs.insert(vec![0, 0, 1], vec![2, 2]);
+        assert_ne!(rs.epoch(), epoch, "epoch must advance");
+        for ((c, p), (fc, fp)) in snap.iter().zip(&frozen) {
+            assert_eq!(&c.to_vec(), fc, "snapshot coefficients changed under CoW");
+            assert_eq!(&p.to_vec(), fp, "snapshot payload changed under CoW");
+        }
+    }
+
+    #[test]
+    fn pool_recycles_row_traffic() {
+        let pool = BufPool::default();
+        let mut rs = RowSpace::with_pool(2, 8, pool.clone());
+        // Pool-backed redundant inserts retire their buffers into the pool.
+        for _ in 0..3 {
+            rs.insert(
+                pool.alloc_copy(&[1, 1]).freeze(),
+                pool.alloc_copy(&[5u8; 8]).freeze(),
+            );
+        }
+        assert!(pool.stats().recycled > 0, "dependent rows must recycle");
+        // Probe scratch buffers recycle too.
+        let before = pool.stats().recycled;
+        assert!(rs.would_accept(&[0, 1]));
+        assert!(pool.stats().recycled > before, "probe scratch must recycle");
     }
 
     #[test]

@@ -209,6 +209,15 @@ pub enum Event {
     /// A second source tried to register at a different address while a
     /// session was live; the coordinator refused the hijack.
     SourceRegisterRejected,
+    /// A key/value fact about the run environment (e.g. `gf_backend` =
+    /// `"avx2"`), recorded once near the start of a trace so analysis can
+    /// attribute performance numbers to the data-plane configuration.
+    RunInfo {
+        /// What the fact describes (snake_case, e.g. `"gf_backend"`).
+        key: String,
+        /// Its value for this run.
+        value: String,
+    },
 }
 
 impl Event {
@@ -234,6 +243,7 @@ impl Event {
             Event::CoordinatorRecovered { .. } => "coordinator_recovered",
             Event::PeerResync { .. } => "peer_resync",
             Event::SourceRegisterRejected => "source_register_rejected",
+            Event::RunInfo { .. } => "run_info",
         }
     }
 
@@ -260,7 +270,8 @@ impl Event {
             | Event::LinkDrop { .. }
             | Event::CoordinatorDown { .. }
             | Event::CoordinatorRecovered { .. }
-            | Event::SourceRegisterRejected => None,
+            | Event::SourceRegisterRejected
+            | Event::RunInfo { .. } => None,
         }
     }
 
@@ -340,6 +351,14 @@ impl Event {
                 field("threads", &threads.to_string());
             }
             Event::SourceRegisterRejected => {}
+            Event::RunInfo { key, value } => {
+                let mut k = String::new();
+                json::write_escaped(key, &mut k);
+                field("key", &k);
+                let mut v = String::new();
+                json::write_escaped(value, &mut v);
+                field("value", &v);
+            }
         }
         out.push('}');
     }
@@ -418,6 +437,10 @@ impl Event {
                 threads: fields.u32("threads")?,
             },
             "source_register_rejected" => Event::SourceRegisterRejected,
+            "run_info" => Event::RunInfo {
+                key: fields.str("key")?.to_string(),
+                value: fields.str("value")?.to_string(),
+            },
             other => return Err(format!("unknown event kind {other:?}")),
         };
         Ok((at, event))
@@ -484,6 +507,8 @@ mod tests {
             Event::CoordinatorRecovered { replayed: 40, resynced: 3 },
             Event::PeerResync { peer: 6, threads: 2 },
             Event::SourceRegisterRejected,
+            Event::RunInfo { key: "gf_backend".into(), value: "avx2".into() },
+            Event::RunInfo { key: "quoted".into(), value: "a \"b\" \\ c".into() },
         ]
     }
 
