@@ -72,12 +72,13 @@ impl Default for CliOptions {
 /// The usage text printed on `2`-exits and `--help`.
 #[must_use]
 pub fn usage() -> &'static str {
-    "usage: lab <run|check|list> [options]\n\
+    "usage: lab <run|check|list|trace> [options]\n\
      \n\
      subcommands:\n\
      \x20 run    execute sweeps, write BENCH_<exp>.json (+ .timing.json sidecar)\n\
      \x20 check  run, then exit 1 if any paper claim fails (CI gate)\n\
      \x20 list   print the experiment registry\n\
+     \x20 trace  stitch JSONL traces into a causal report (lab trace --help)\n\
      \n\
      options:\n\
      \x20 --exp <substr>     select experiments by id substring (repeatable)\n\
@@ -289,7 +290,15 @@ fn seed_count(sweep: &dyn Sweep, opts: &CliOptions, profile: Profile) -> usize {
 }
 
 /// The binary's whole logic: parse, pick the registry, run.
+///
+/// `lab trace` has its own argument grammar (file operands) and is
+/// dispatched to [`crate::trace_cmd`] before sweep parsing.
 pub fn main_entry(args: impl IntoIterator<Item = String>) -> i32 {
+    let mut args = args.into_iter().peekable();
+    if args.peek().map(String::as_str) == Some("trace") {
+        args.next();
+        return crate::trace_cmd::main_entry(args);
+    }
     match parse(args) {
         Ok(opts) => run_sweeps(&crate::experiments::registry(), &opts),
         Err(message) => {
@@ -350,6 +359,14 @@ mod tests {
         }
         // --help is the empty-message Err, mapped to exit 0 by main_entry.
         assert_eq!(parse(["--help".to_owned()].into_iter()).unwrap_err(), "");
+    }
+
+    #[test]
+    fn trace_subcommand_is_dispatched_before_sweep_parsing() {
+        // `trace` with no files is the trace command's usage error (2),
+        // not "unknown subcommand"; `trace --help` prints usage and exits 0.
+        assert_eq!(main_entry(["trace".to_owned()].into_iter()), 2);
+        assert_eq!(main_entry(["trace".to_owned(), "--help".to_owned()].into_iter()), 0);
     }
 
     #[test]

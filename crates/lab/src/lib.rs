@@ -27,7 +27,8 @@
 //!   sidecar with the wall-clock histogram (via `curtain-telemetry`);
 //! * [`claims`] — bound/monotonicity/predicate checks over the summary,
 //!   the regression gate of `lab check`;
-//! * [`cli`] — the `lab run` / `lab check` / `lab list` command line;
+//! * [`cli`] — the `lab run` / `lab check` / `lab list` command line,
+//!   plus [`trace_cmd`]: `lab trace`, the cross-process trace stitcher;
 //! * [`experiments`] — the registry wiring e01/e03/e04/e05's hoisted
 //!   measurement cores (`curtain_bench::exp`) into sweeps.
 //!
@@ -53,6 +54,7 @@ pub mod experiments;
 pub mod grid;
 pub mod pool;
 pub mod report;
+pub mod trace_cmd;
 
 use cell::Measurement;
 use claims::Claim;

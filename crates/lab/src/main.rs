@@ -1,4 +1,4 @@
-//! The `lab` binary: `lab run | check | list` (see `curtain_lab::cli`).
+//! The `lab` binary: `lab run | check | list | trace` (see `curtain_lab::cli`).
 
 fn main() {
     std::process::exit(curtain_lab::cli::main_entry(std::env::args().skip(1)));

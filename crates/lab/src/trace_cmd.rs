@@ -1,0 +1,199 @@
+//! `lab trace` — stitch multi-process JSONL traces into one causal report.
+//!
+//! ```text
+//! lab trace <trace.jsonl>... [--out <report.json>] [--stacks <out.folded>]
+//! ```
+//!
+//! Each input file is one process's `--trace` output (coordinator, source,
+//! peers). The stitcher merges them by trace id and prints hop-chain
+//! completeness per generation, per-edge latency distributions, and
+//! repair-episode span trees ([`curtain_telemetry::stitch`]). `--out`
+//! additionally writes the full report as JSON; `--stacks` writes
+//! collapsed-stack lines (`a;b;c weight`) ready for a flamegraph tool.
+
+use std::path::PathBuf;
+
+use curtain_telemetry::replay::{self, TracedEvent};
+use curtain_telemetry::stitch;
+
+/// Usage text for the `trace` subcommand.
+#[must_use]
+pub fn usage() -> &'static str {
+    "usage: lab trace <trace.jsonl>... [--out <report.json>] [--stacks <out.folded>]\n\
+     \n\
+     Stitches per-process JSONL traces (from --trace flags on\n\
+     curtain_coordinator / curtain_source / curtain_peer, or any\n\
+     curtain-telemetry JsonlSink) into one cross-process causal report:\n\
+     hop-chain completeness per generation, per-edge latency quantiles,\n\
+     and repair-episode span trees.\n"
+}
+
+/// Parsed `lab trace` arguments.
+#[derive(Debug, Default, PartialEq)]
+struct TraceArgs {
+    inputs: Vec<PathBuf>,
+    out: Option<PathBuf>,
+    stacks: Option<PathBuf>,
+}
+
+fn parse(args: impl IntoIterator<Item = String>) -> Result<TraceArgs, String> {
+    let mut parsed = TraceArgs::default();
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                let v = args.next().ok_or("--out needs a value")?;
+                parsed.out = Some(PathBuf::from(v));
+            }
+            "--stacks" => {
+                let v = args.next().ok_or("--stacks needs a value")?;
+                parsed.stacks = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
+            file => parsed.inputs.push(PathBuf::from(file)),
+        }
+    }
+    if parsed.inputs.is_empty() {
+        return Err("no trace files given".to_owned());
+    }
+    Ok(parsed)
+}
+
+/// Runs `lab trace`; returns the process exit code.
+pub fn main_entry(args: impl IntoIterator<Item = String>) -> i32 {
+    let parsed = match parse(args) {
+        Ok(p) => p,
+        Err(message) => {
+            if message.is_empty() {
+                print!("{}", usage());
+                return 0;
+            }
+            eprintln!("lab trace: {message}");
+            eprint!("{}", usage());
+            return 2;
+        }
+    };
+
+    let mut events: Vec<TracedEvent> = Vec::new();
+    for path in &parsed.inputs {
+        let file = match std::fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("lab trace: cannot open {}: {e}", path.display());
+                return 1;
+            }
+        };
+        match replay::read_trace(std::io::BufReader::new(file)) {
+            Ok(mut trace) => {
+                println!("read {:>6} events from {}", trace.len(), path.display());
+                events.append(&mut trace);
+            }
+            Err(e) => {
+                eprintln!("lab trace: cannot parse {}: {e}", path.display());
+                return 1;
+            }
+        }
+    }
+
+    let report = stitch::stitch(&events);
+    print!("{}", report.render_text());
+
+    if let Some(path) = &parsed.out {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("lab trace: cannot write {}: {e}", path.display());
+            return 1;
+        }
+        println!("wrote {}", path.display());
+    }
+    if let Some(path) = &parsed.stacks {
+        if let Err(e) = std::fs::write(path, report.collapsed_stacks()) {
+            eprintln!("lab trace: cannot write {}: {e}", path.display());
+            return 1;
+        }
+        println!("wrote {}", path.display());
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(args: &[&str]) -> TraceArgs {
+        parse(args.iter().map(|s| (*s).to_owned())).unwrap()
+    }
+
+    #[test]
+    fn parses_inputs_and_flags() {
+        let parsed = parse_ok(&["a.jsonl", "b.jsonl", "--out", "r.json", "--stacks", "s.folded"]);
+        assert_eq!(parsed.inputs, vec![PathBuf::from("a.jsonl"), PathBuf::from("b.jsonl")]);
+        assert_eq!(parsed.out, Some(PathBuf::from("r.json")));
+        assert_eq!(parsed.stacks, Some(PathBuf::from("s.folded")));
+    }
+
+    #[test]
+    fn rejects_bad_invocations() {
+        for case in [&["--out"][..], &["--bogus", "x.jsonl"], &[]] {
+            let result = parse(case.iter().map(|s| (*s).to_owned()));
+            assert!(result.is_err(), "{case:?}");
+            assert!(!result.unwrap_err().is_empty(), "{case:?} should carry a message");
+        }
+        assert_eq!(parse(["--help".to_owned()].into_iter()).unwrap_err(), "");
+    }
+
+    #[test]
+    fn stitches_files_end_to_end() {
+        use curtain_telemetry::trace::{NO_PARENT, SOURCE_NODE};
+        use curtain_telemetry::{Event, JsonlSink, SharedRecorder};
+
+        let dir = std::env::temp_dir().join(format!("lab-trace-cmd-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Source process: one hop sent.
+        let source_sink = JsonlSink::new(Vec::new());
+        let r = SharedRecorder::wall_clock(source_sink.clone());
+        r.record(&Event::HopSend {
+            trace: 9,
+            span: 10,
+            parent: NO_PARENT,
+            node: SOURCE_NODE,
+            generation: 0,
+            t_us: 1_000,
+        });
+        let source_path = dir.join("source.jsonl");
+        std::fs::write(&source_path, source_sink.bytes()).unwrap();
+
+        // Peer process: the matching receive.
+        let peer_sink = JsonlSink::new(Vec::new());
+        let r = SharedRecorder::wall_clock(peer_sink.clone());
+        r.record(&Event::HopRecv { trace: 9, span: 10, node: 1, generation: 0, t_us: 1_400 });
+        let peer_path = dir.join("peer.jsonl");
+        std::fs::write(&peer_path, peer_sink.bytes()).unwrap();
+
+        let out = dir.join("report.json");
+        let stacks = dir.join("stacks.folded");
+        let code = main_entry(
+            [
+                source_path.display().to_string(),
+                peer_path.display().to_string(),
+                "--out".to_owned(),
+                out.display().to_string(),
+                "--stacks".to_owned(),
+                stacks.display().to_string(),
+            ],
+        );
+        assert_eq!(code, 0);
+        let report = std::fs::read_to_string(&out).unwrap();
+        assert!(report.contains("\"complete\""), "{report}");
+        let stacks = std::fs::read_to_string(&stacks).unwrap();
+        assert!(stacks.contains("path;source;n1"), "{stacks}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        let code = main_entry(["/definitely/not/here.jsonl".to_owned()]);
+        assert_eq!(code, 1);
+    }
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! curtain_coordinator <k> <d> [--wal <path>] [--checkpoint <path>] [--stats-every <secs>]
+//!                             [--trace <path>] [--metrics <addr>]
 //! ```
 //!
 //! Prints the control address; peers and the source point at it. With
@@ -10,17 +11,25 @@
 //! empty (an existing non-empty log is replayed; a missing or empty one
 //! starts fresh). The optional checkpoint file is rewritten after every
 //! stats interval so operators can inspect the live matrix.
+//!
+//! `--trace` streams the protocol event log (JSONL) to a file — feed it,
+//! together with peer/source traces, to `lab trace` for a stitched
+//! cross-process report. `--metrics` serves Prometheus-style `/metrics`
+//! and a JSON `/health` document on the given address (e.g.
+//! `127.0.0.1:9100`).
 
+use std::fs::File;
+use std::io::BufWriter;
 use std::time::Duration;
 
 use curtain_net::{Coordinator, WalOptions};
 use curtain_overlay::OverlayConfig;
-use curtain_telemetry::SharedRecorder;
+use curtain_telemetry::{ExposeServer, JsonlSink, SharedRecorder};
 
 fn usage() -> ! {
     eprintln!(
         "usage: curtain_coordinator <k> <d> [--wal <path>] [--checkpoint <path>] \
-         [--stats-every <secs>]"
+         [--stats-every <secs>] [--trace <path>] [--metrics <addr>]"
     );
     std::process::exit(2);
 }
@@ -35,6 +44,8 @@ fn main() {
     let mut wal: Option<String> = None;
     let mut checkpoint: Option<String> = None;
     let mut stats_every = 5u64;
+    let mut trace: Option<String> = None;
+    let mut metrics_addr: Option<String> = None;
     let mut i = 2;
     while i < args.len() {
         match args[i].as_str() {
@@ -50,9 +61,42 @@ fn main() {
                 stats_every = args[i + 1].parse().unwrap_or_else(|_| usage());
                 i += 2;
             }
+            "--trace" if i + 1 < args.len() => {
+                trace = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--metrics" if i + 1 < args.len() => {
+                metrics_addr = Some(args[i + 1].clone());
+                i += 2;
+            }
             _ => usage(),
         }
     }
+
+    // One sink backs both the JSONL event stream (when --trace is given)
+    // and the /metrics registry (when --metrics is given); without
+    // --trace the event lines go to a null writer and only the embedded
+    // metrics registry is live.
+    let observed = trace.is_some() || metrics_addr.is_some();
+    let (recorder, sink) = if observed {
+        let sink = match &trace {
+            Some(path) => match File::create(path) {
+                Ok(f) => JsonlSink::new(BufWriter::new(
+                    Box::new(f) as Box<dyn std::io::Write + Send>
+                )),
+                Err(e) => {
+                    eprintln!("cannot create trace file {path}: {e}");
+                    std::process::exit(1);
+                }
+            },
+            None => JsonlSink::new(BufWriter::new(
+                Box::new(std::io::sink()) as Box<dyn std::io::Write + Send>
+            )),
+        };
+        (SharedRecorder::wall_clock(sink.clone()), Some(sink))
+    } else {
+        (SharedRecorder::null(), None)
+    };
 
     let config = OverlayConfig::new(k, d);
     let started = match &wal {
@@ -61,17 +105,17 @@ fn main() {
                 std::fs::metadata(path).map(|m| m.len() > 0).unwrap_or(false);
             if existing {
                 println!("recovering from WAL {path}");
-                Coordinator::recover(path, config)
-            } else {
-                Coordinator::start_durable(
+                Coordinator::recover_traced(
+                    WalOptions::new(path),
                     config,
                     0xC0DE,
-                    SharedRecorder::null(),
-                    &WalOptions::new(path),
+                    recorder.clone(),
                 )
+            } else {
+                Coordinator::start_durable(config, 0xC0DE, recorder.clone(), &WalOptions::new(path))
             }
         }
-        None => Coordinator::start(config),
+        None => Coordinator::start_traced(config, 0xC0DE, recorder.clone()),
     };
     let coordinator = match started {
         Ok(c) => c,
@@ -80,6 +124,19 @@ fn main() {
             std::process::exit(1);
         }
     };
+    let _expose = metrics_addr.as_ref().map(|addr| {
+        let metrics = sink.as_ref().expect("observed implies sink").metrics().clone();
+        match ExposeServer::bind(addr.as_str(), metrics, coordinator.health_handle()) {
+            Ok(server) => {
+                println!("metrics/health on http://{}", server.addr());
+                server
+            }
+            Err(e) => {
+                eprintln!("cannot bind metrics listener {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    });
     println!("curtain coordinator listening on {}", coordinator.addr());
     println!("k = {k} threads, d = {d} per node");
     loop {
@@ -90,6 +147,7 @@ fn main() {
             coordinator.completed(),
             coordinator.repairs()
         );
+        let _ = recorder.flush();
         if let Some(path) = &checkpoint {
             match coordinator.checkpoint_json() {
                 Ok(json) => {

@@ -2,19 +2,29 @@
 //!
 //! ```text
 //! curtain_source <coordinator-addr> <file> [--generation <g>] [--packet-len <s>] [--pace-us <micros>]
+//!                                          [--trace <path>] [--metrics <addr>]
 //! ```
 //!
 //! With `--packet-len`, the file is cut into multiple generations of
 //! `g × s` bytes (the scalable path); otherwise a single generation.
+//!
+//! `--trace` streams the JSONL event log to a file *and* stamps every
+//! outgoing packet with a fresh causal trace context (the root of the
+//! hop chain stitched reports follow). `--metrics` serves `/metrics`
+//! and `/health` on the given address.
 
+use std::fs::File;
+use std::io::BufWriter;
 use std::net::SocketAddr;
 use std::time::Duration;
 
-use curtain_net::Source;
+use curtain_net::{PendingSource, Source};
+use curtain_telemetry::{ExposeServer, JsonlSink, SharedRecorder};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: curtain_source <coordinator-addr> <file> [--generation <g>] [--packet-len <s>] [--pace-us <micros>]"
+        "usage: curtain_source <coordinator-addr> <file> [--generation <g>] [--packet-len <s>] \
+         [--pace-us <micros>] [--trace <path>] [--metrics <addr>]"
     );
     std::process::exit(2);
 }
@@ -29,6 +39,8 @@ fn main() {
     let mut generation = 32usize;
     let mut packet_len: Option<usize> = None;
     let mut pace_us = 300u64;
+    let mut trace: Option<String> = None;
+    let mut metrics_addr: Option<String> = None;
     let mut i = 2;
     while i < args.len() {
         match args[i].as_str() {
@@ -42,6 +54,14 @@ fn main() {
             }
             "--pace-us" if i + 1 < args.len() => {
                 pace_us = args[i + 1].parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--trace" if i + 1 < args.len() => {
+                trace = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--metrics" if i + 1 < args.len() => {
+                metrics_addr = Some(args[i + 1].clone());
                 i += 2;
             }
             _ => usage(),
@@ -59,17 +79,62 @@ fn main() {
             std::process::exit(1);
         }
     };
+    let observed = trace.is_some() || metrics_addr.is_some();
+    let (recorder, sink) = if observed {
+        let sink = match &trace {
+            Some(p) => match File::create(p) {
+                Ok(f) => JsonlSink::new(BufWriter::new(
+                    Box::new(f) as Box<dyn std::io::Write + Send>
+                )),
+                Err(e) => {
+                    eprintln!("cannot create trace file {p}: {e}");
+                    std::process::exit(1);
+                }
+            },
+            None => JsonlSink::new(BufWriter::new(
+                Box::new(std::io::sink()) as Box<dyn std::io::Write + Send>
+            )),
+        };
+        (SharedRecorder::wall_clock(sink.clone()), Some(sink))
+    } else {
+        (SharedRecorder::null(), None)
+    };
+
     let pace = Duration::from_micros(pace_us);
-    let source = match match packet_len {
-        Some(s) => Source::start_with_shape(coordinator, &content, generation, s, pace),
-        None => Source::start(coordinator, &content, generation, pace),
+    let pending = match match packet_len {
+        Some(s) => PendingSource::bind_with_shape(&content, generation, s, pace),
+        None => PendingSource::bind(&content, generation, pace),
     } {
+        Ok(p) => p.observed(recorder.clone(), trace.is_some()),
+        Err(e) => {
+            eprintln!("failed to bind source: {e}");
+            std::process::exit(1);
+        }
+    };
+    let source: Source = match pending.register(coordinator) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("failed to start source: {e}");
             std::process::exit(1);
         }
     };
+    let _expose = metrics_addr.as_ref().map(|addr| {
+        let metrics = sink.as_ref().expect("observed implies sink").metrics().clone();
+        let generations = source.generations();
+        let health = move || {
+            format!(r#"{{"ok":true,"role":"source","generations":{generations}}}"#)
+        };
+        match ExposeServer::bind(addr.as_str(), metrics, health) {
+            Ok(server) => {
+                println!("metrics/health on http://{}", server.addr());
+                server
+            }
+            Err(e) => {
+                eprintln!("cannot bind metrics listener {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    });
     println!(
         "serving {} ({} bytes) as {} generation(s) of {} packets x {} bytes from {}",
         path,
@@ -82,5 +147,6 @@ fn main() {
     println!("press ctrl-c to stop");
     loop {
         std::thread::sleep(Duration::from_secs(60));
+        let _ = recorder.flush();
     }
 }

@@ -20,7 +20,8 @@ use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use curtain_overlay::snapshot::RowSnapshot;
 use curtain_overlay::{CurtainServer, Holder, NodeId, NodeStatus, OverlayConfig, ThreadId};
-use curtain_telemetry::{Event, SharedRecorder};
+use curtain_telemetry::trace::{COORDINATOR_NODE, fresh_id};
+use curtain_telemetry::{Event, SharedRecorder, TraceContext};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -88,6 +89,29 @@ impl State {
         let mut completed: Vec<u64> = self.completed.iter().map(|n| n.0).collect();
         completed.sort_unstable();
         Ok(WalRecord::Checkpoint { server, addrs, source: self.source, completed })
+    }
+
+    /// Opens a coordinator-side span hanging off a request's causal
+    /// context. Returns `None` (and records nothing) when the request was
+    /// untraced — span bookkeeping must stay free for old/untraced peers.
+    fn span_start(&self, ctx: Option<TraceContext>, name: &str) -> Option<TraceContext> {
+        let ctx = ctx?;
+        let child = TraceContext { trace: ctx.trace, span: fresh_id() };
+        self.recorder.record(&Event::SpanStart {
+            trace: child.trace,
+            span: child.span,
+            parent: ctx.span,
+            name: name.to_string(),
+            node: COORDINATOR_NODE,
+        });
+        Some(child)
+    }
+
+    /// Closes a span opened by [`State::span_start`] (no-op on `None`).
+    fn span_end(&self, span: Option<TraceContext>, ok: bool) {
+        if let Some(span) = span {
+            self.recorder.record(&Event::SpanEnd { trace: span.trace, span: span.span, ok });
+        }
     }
 
     /// The child's current parent on `thread`, after any necessary repair.
@@ -188,7 +212,7 @@ impl State {
                 }
                 Err(e) => Response::Error { reason: e.to_string() },
             },
-            Request::Complaint { child, failed_parent, thread } => {
+            Request::Complaint { child, failed_parent, thread, ctx } => {
                 // If the accused is still a member, mark it failed and
                 // splice it out (report + repair merged: the coordinator is
                 // the repair interval here). Duplicate complaints are fine:
@@ -196,6 +220,12 @@ impl State {
                 // current parent.
                 if let Some(failed) = failed_parent {
                     if self.server.matrix().position_of(failed).is_some() {
+                        // When the complaint carries a causal context, the
+                        // splice work becomes a child span of it — the
+                        // stitched repair-episode tree then shows the
+                        // coordinator-side step between complain and
+                        // repair-complete.
+                        let splice_span = self.span_start(ctx, "splice");
                         let _ = self.server.report_failure(failed);
                         let _ = self.server.repair(failed);
                         self.addrs.remove(&failed);
@@ -204,6 +234,7 @@ impl State {
                         self.recorder.record(&Event::PeerDisconnect { peer: failed.0 });
                         self.recorder
                             .gauge("coordinator_members", self.server.matrix().len() as f64);
+                        self.span_end(splice_span, true);
                     }
                 }
                 match self.current_parent(child, thread) {
@@ -217,7 +248,7 @@ impl State {
                 }
                 Response::Ok
             }
-            Request::Resync { node, data_addr, parents } => {
+            Request::Resync { node, data_addr, parents, ctx } => {
                 if self.server.matrix().position_of(node).is_some() {
                     // Already known — a duplicate resync (the first Ok was
                     // lost), or the WAL had the row all along. Refresh the
@@ -225,6 +256,7 @@ impl State {
                     self.addrs.insert(node, data_addr);
                     return Response::Ok;
                 }
+                let resync_span = self.span_start(ctx, "resync");
                 let mut threads: Vec<ThreadId> = parents.iter().map(|(t, _)| *t).collect();
                 threads.sort_unstable();
                 match self.server.readmit(node, threads.clone(), NodeStatus::Working) {
@@ -242,9 +274,13 @@ impl State {
                         self.recorder.counter("resynced_rows", 1);
                         self.recorder
                             .gauge("coordinator_members", self.server.matrix().len() as f64);
+                        self.span_end(resync_span, true);
                         Response::Ok
                     }
-                    Err(e) => Response::Error { reason: e.to_string() },
+                    Err(e) => {
+                        self.span_end(resync_span, false);
+                        Response::Error { reason: e.to_string() }
+                    }
                 }
             }
             Request::Stats => Response::Stats {
@@ -419,7 +455,24 @@ impl Coordinator {
         seed: u64,
         recorder: SharedRecorder,
     ) -> io::Result<Self> {
-        let (state, replayed, resynced) = replay_wal(wal, config, seed, recorder.clone())?;
+        // Replay is its own root span: nothing upstream caused it (the
+        // crash did), and stitched reports should show its duration next
+        // to the repair episodes it races against.
+        let replay_ctx = TraceContext::root();
+        recorder.record(&Event::SpanStart {
+            trace: replay_ctx.trace,
+            span: replay_ctx.span,
+            parent: curtain_telemetry::trace::NO_PARENT,
+            name: "wal_replay".to_string(),
+            node: COORDINATOR_NODE,
+        });
+        let replay = replay_wal(wal, config, seed, recorder.clone());
+        recorder.record(&Event::SpanEnd {
+            trace: replay_ctx.trace,
+            span: replay_ctx.span,
+            ok: replay.is_ok(),
+        });
+        let (state, replayed, resynced) = replay?;
         recorder.record(&Event::CoordinatorRecovered { replayed, resynced });
         recorder.gauge("coordinator_members", state.server.matrix().len() as f64);
         if let Some(w) = state.wal.as_ref() {
@@ -434,6 +487,13 @@ impl Coordinator {
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let state = Arc::new(Mutex::new(state));
+        {
+            // Publish the members gauge before the first connection so a
+            // scrape of a freshly started coordinator sees an explicit zero
+            // rather than an empty exposition.
+            let st = state.lock();
+            st.recorder.gauge("coordinator_members", st.server.matrix().len() as f64);
+        }
         let handle = {
             let stop = Arc::clone(&stop);
             let state = Arc::clone(&state);
@@ -480,6 +540,22 @@ impl Coordinator {
             .collect()
     }
 
+    /// One-line JSON health document for the `/health` endpoint: matrix
+    /// size, defect totals, completion and repair counts, and WAL
+    /// occupancy. Built with the telemetry crate's own writer so the
+    /// shape matches the rest of the observability surface.
+    #[must_use]
+    pub fn health_json(&self) -> String {
+        health_json_of(&self.state)
+    }
+
+    /// A `'static` closure producing [`Coordinator::health_json`] — the
+    /// callback shape [`curtain_telemetry::ExposeServer::bind`] wants.
+    pub fn health_handle(&self) -> impl Fn() -> String + Send + Sync + 'static {
+        let state = Arc::clone(&self.state);
+        move || health_json_of(&state)
+    }
+
     /// Checkpoint of the coordinator's overlay state as JSON.
     ///
     /// # Errors
@@ -522,6 +598,31 @@ impl Coordinator {
             let _ = st.recorder.flush();
         }
     }
+}
+
+/// Renders the coordinator's health document (shared by
+/// [`Coordinator::health_json`] and the `'static` handle the expose
+/// server holds).
+fn health_json_of(state: &Mutex<State>) -> String {
+    use curtain_telemetry::json::JsonValue;
+    use std::collections::BTreeMap;
+    let st = state.lock();
+    let metrics = st.server.metrics();
+    let mut doc = BTreeMap::new();
+    doc.insert("role".to_string(), JsonValue::Str("coordinator".to_string()));
+    doc.insert("ok".to_string(), JsonValue::Bool(true));
+    doc.insert("matrix_rows".to_string(), JsonValue::Int(st.server.matrix().len() as i64));
+    let defect = curtain_overlay::defect::exact(st.server.matrix(), st.server.config().d);
+    doc.insert("total_defect".to_string(), JsonValue::Int(defect.total_defect() as i64));
+    doc.insert("completed".to_string(), JsonValue::Int(st.completed.len() as i64));
+    doc.insert("repairs".to_string(), JsonValue::Int(metrics.repairs as i64));
+    doc.insert("source_registered".to_string(), JsonValue::Bool(st.source.is_some()));
+    doc.insert("wal_enabled".to_string(), JsonValue::Bool(st.wal.is_some()));
+    if let Some(wal) = st.wal.as_ref() {
+        doc.insert("wal_bytes".to_string(), JsonValue::Int(wal.bytes() as i64));
+        doc.insert("wal_records".to_string(), JsonValue::Int(wal.records() as i64));
+    }
+    JsonValue::Object(doc).render()
 }
 
 /// Rebuilds coordinator state from the WAL at `wal.path`, returning the
@@ -799,7 +900,7 @@ mod tests {
         };
         let resp = proto::call(
             c.addr(),
-            &Request::Complaint { child: nodes[1], failed_parent: failed, thread },
+            &Request::Complaint { child: nodes[1], failed_parent: failed, thread, ctx: None },
             T,
         )
         .unwrap();
@@ -864,7 +965,7 @@ mod tests {
         };
         let resp = proto::call(
             c.addr(),
-            &Request::Complaint { child, failed_parent: Some(failed), thread },
+            &Request::Complaint { child, failed_parent: Some(failed), thread, ctx: None },
             T,
         )
         .unwrap();
@@ -879,7 +980,7 @@ mod tests {
         // parent on that thread.
         let resp = proto::call(
             c.addr(),
-            &Request::Complaint { child, failed_parent: Some(failed), thread },
+            &Request::Complaint { child, failed_parent: Some(failed), thread, ctx: None },
             T,
         )
         .unwrap();
@@ -1013,6 +1114,7 @@ mod tests {
                 node,
                 data_addr: "127.0.0.1:9501".parse().unwrap(),
                 parents: view.clone(),
+                ctx: None,
             },
             T,
         )
@@ -1026,6 +1128,7 @@ mod tests {
                 node,
                 data_addr: "127.0.0.1:9501".parse().unwrap(),
                 parents: view,
+                ctx: None,
             },
             T,
         )
@@ -1036,7 +1139,7 @@ mod tests {
         let (t, _) = parents[0];
         let resp = proto::call(
             c.addr(),
-            &Request::Complaint { child: node, failed_parent: None, thread: t },
+            &Request::Complaint { child: node, failed_parent: None, thread: t, ctx: None },
             T,
         )
         .unwrap();

@@ -8,11 +8,23 @@ use std::time::{Duration, Instant};
 
 use curtain_overlay::{NodeId, ThreadId};
 use curtain_rlnc::{BufPool, CodedPacket};
+use curtain_telemetry::TraceContext;
 use curtain_telemetry::json::{self, JsonValue};
 
 /// Upper bound on a frame (coefficients + payload); guards against
 /// corrupted length prefixes.
 pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// High bit of the length prefix: the frame body starts with a 16-byte
+/// [`TraceContext`] before the packet bytes.
+///
+/// `MAX_FRAME` keeps real lengths far below this bit, so flagged and
+/// unflagged frames can never be confused. Untraced frames are written
+/// byte-identically to the pre-tracing format, and readers that predate
+/// the flag reject a flagged frame as a bad length instead of
+/// misparsing it — tracing is opt-in per sender, old receivers keep
+/// interoperating with untraced senders unchanged.
+pub const TRACE_FLAG: u32 = 1 << 31;
 
 /// Upper bound on the subscribe line; anything longer is garbage.
 const MAX_SUBSCRIBE_LINE: usize = 512;
@@ -170,6 +182,89 @@ pub fn write_frame_into(
     stream.flush()
 }
 
+/// Writes one frame carrying an optional trace context.
+///
+/// With `ctx: None` the output is byte-identical to [`write_frame`];
+/// with `Some`, the length prefix gains [`TRACE_FLAG`] and the body is
+/// `[16-byte context][packet wire bytes]`.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_frame_ctx(
+    stream: &mut impl Write,
+    packet: &CodedPacket,
+    ctx: Option<TraceContext>,
+) -> io::Result<()> {
+    let mut scratch = Vec::new();
+    write_frame_ctx_into(stream, packet, ctx, &mut scratch)
+}
+
+/// Like [`write_frame_ctx`], assembling the frame in a caller-owned
+/// scratch buffer so a serving loop allocates nothing per packet.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_frame_ctx_into(
+    stream: &mut impl Write,
+    packet: &CodedPacket,
+    ctx: Option<TraceContext>,
+    scratch: &mut Vec<u8>,
+) -> io::Result<()> {
+    let Some(ctx) = ctx else {
+        return write_frame_into(stream, packet, scratch);
+    };
+    scratch.clear();
+    let body_len = (packet.wire_len() + TraceContext::WIRE_LEN) as u32;
+    scratch.extend_from_slice(&(body_len | TRACE_FLAG).to_le_bytes());
+    scratch.extend_from_slice(&ctx.to_wire());
+    packet.to_wire_into(scratch);
+    stream.write_all(scratch)?;
+    stream.flush()
+}
+
+/// Reads one frame that may carry a trace context (see [`TRACE_FLAG`]),
+/// parsing the packet into pool-recycled buffers. `Ok(None)` signals
+/// clean EOF at a frame boundary; unflagged frames return `(packet,
+/// None)` exactly as [`read_frame_pooled`] would.
+///
+/// # Errors
+///
+/// Propagates socket errors; corrupt frames map to `InvalidData`.
+pub fn read_frame_ctx_pooled(
+    stream: &mut impl Read,
+    pool: &BufPool,
+    scratch: &mut Vec<u8>,
+) -> io::Result<Option<(CodedPacket, Option<TraceContext>)>> {
+    let mut len_buf = [0u8; 4];
+    if !read_exact_or_eof(stream, &mut len_buf)? {
+        return Ok(None);
+    }
+    let raw = u32::from_le_bytes(len_buf);
+    let traced = raw & TRACE_FLAG != 0;
+    let len = raw & !TRACE_FLAG;
+    if len == 0 || len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad frame length"));
+    }
+    if traced && len as usize <= TraceContext::WIRE_LEN {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "traced frame too short"));
+    }
+    scratch.clear();
+    scratch.resize(len as usize, 0);
+    stream.read_exact(scratch)?;
+    let (ctx, packet_bytes) = if traced {
+        let mut wire = [0u8; TraceContext::WIRE_LEN];
+        wire.copy_from_slice(&scratch[..TraceContext::WIRE_LEN]);
+        (Some(TraceContext::from_wire(&wire)), &scratch[TraceContext::WIRE_LEN..])
+    } else {
+        (None, &scratch[..])
+    };
+    CodedPacket::from_wire_pooled(packet_bytes, pool)
+        .map(|p| Some((p, ctx)))
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
 /// Reads one frame. `Ok(None)` signals clean EOF at a frame boundary.
 ///
 /// # Errors
@@ -325,6 +420,72 @@ mod tests {
             count += 1;
         }
         assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn ctx_frame_round_trips_and_plain_frames_interoperate() {
+        let pool = BufPool::default();
+        let mut scratch = Vec::new();
+        let p = CodedPacket::new(3, vec![1, 2, 3], Bytes::from(vec![8u8; 32]));
+        let ctx = TraceContext { trace: 0xAAAA_BBBB, span: 0x1111_2222 };
+
+        let mut buf = Vec::new();
+        write_frame_ctx(&mut buf, &p, Some(ctx)).unwrap();
+        write_frame_ctx(&mut buf, &p, None).unwrap();
+        write_frame(&mut buf, &p).unwrap();
+
+        let mut cursor = io::Cursor::new(buf);
+        let (got, got_ctx) = read_frame_ctx_pooled(&mut cursor, &pool, &mut scratch)
+            .unwrap()
+            .unwrap();
+        assert_eq!(got, p);
+        assert_eq!(got_ctx, Some(ctx));
+        // Untraced frame through the ctx-aware reader: packet, no ctx.
+        let (got, got_ctx) = read_frame_ctx_pooled(&mut cursor, &pool, &mut scratch)
+            .unwrap()
+            .unwrap();
+        assert_eq!(got, p);
+        assert_eq!(got_ctx, None);
+        // A frame written by the pre-tracing writer parses identically.
+        let (got, got_ctx) = read_frame_ctx_pooled(&mut cursor, &pool, &mut scratch)
+            .unwrap()
+            .unwrap();
+        assert_eq!(got, p);
+        assert_eq!(got_ctx, None);
+        assert!(read_frame_ctx_pooled(&mut cursor, &pool, &mut scratch).unwrap().is_none());
+    }
+
+    #[test]
+    fn untraced_ctx_frame_is_byte_identical_to_plain_frame() {
+        let p = CodedPacket::new(0, vec![5, 6], Bytes::from(vec![1u8; 16]));
+        let mut plain = Vec::new();
+        write_frame(&mut plain, &p).unwrap();
+        let mut via_ctx = Vec::new();
+        write_frame_ctx(&mut via_ctx, &p, None).unwrap();
+        assert_eq!(plain, via_ctx);
+    }
+
+    #[test]
+    fn pre_tracing_reader_rejects_flagged_frame_instead_of_misparsing() {
+        let p = CodedPacket::new(0, vec![5, 6], Bytes::from(vec![1u8; 16]));
+        let ctx = TraceContext { trace: 1, span: 2 };
+        let mut buf = Vec::new();
+        write_frame_ctx(&mut buf, &p, Some(ctx)).unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+    }
+
+    #[test]
+    fn traced_frame_shorter_than_its_context_rejected() {
+        // Flagged length of 8: claims a context but can't hold one.
+        let mut wire = ((8u32) | TRACE_FLAG).to_le_bytes().to_vec();
+        wire.extend_from_slice(&[0u8; 8]);
+        let pool = BufPool::default();
+        let mut scratch = Vec::new();
+        let mut cursor = io::Cursor::new(wire);
+        let err = read_frame_ctx_pooled(&mut cursor, &pool, &mut scratch).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
     }
 
     #[test]

@@ -34,6 +34,17 @@
 //!   soaks: it can refuse, blackhole, delay, truncate mid-frame, or hard-
 //!   close connections on command (see `tests/churn_soak.rs` at the
 //!   workspace root).
+//! * **Observability** — with tracing on ([`PeerConfig::trace`],
+//!   [`PendingSource::observed`]) every packet born at the source carries
+//!   a 16-byte causal [`curtain_telemetry::TraceContext`] as an optional
+//!   frame extension ([`framing::TRACE_FLAG`]); peers record
+//!   `HopRecv`/`HopSend` events and forward child spans on recoded
+//!   frames, and repair episodes emit complain → splice →
+//!   repair-complete span trees that `curtain-telemetry`'s stitcher
+//!   reassembles across process boundaries. Untraced senders emit frames
+//!   byte-identical to the pre-tracing format. [`Coordinator::health_json`]
+//!   and [`Peer::health_json`] feed the telemetry crate's `/health`
+//!   endpoint.
 //! * **Durability** — a coordinator started with [`WalOptions`] appends
 //!   every matrix mutation to a checksummed write-ahead log ([`wal`]) and
 //!   can be resurrected with [`Coordinator::recover`] after a crash. When

@@ -19,7 +19,8 @@ use std::time::{Duration, Instant};
 
 use curtain_overlay::NodeId;
 use curtain_rlnc::{BufPool, RecodeSnapshot, Recoder};
-use curtain_telemetry::{Event, SharedRecorder};
+use curtain_telemetry::trace::{wall_micros, NO_PARENT};
+use curtain_telemetry::{Event, SharedRecorder, TraceContext};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -42,6 +43,12 @@ pub struct PeerConfig {
     pub recorder: SharedRecorder,
     /// The complaint/repair policy for every upstream thread.
     pub repair: RepairPolicy,
+    /// Propagate causal trace contexts: forward incoming packet contexts
+    /// as child spans on recoded frames (`HopSend`/`HopRecv` events), and
+    /// wrap repair episodes in span trees. Requires an enabled `recorder`
+    /// to have any visible effect; off by default — untraced peers emit
+    /// frames byte-identical to the pre-tracing wire format.
+    pub trace: bool,
 }
 
 impl Default for PeerConfig {
@@ -50,6 +57,7 @@ impl Default for PeerConfig {
             pace: Duration::from_micros(300),
             recorder: SharedRecorder::null(),
             repair: RepairPolicy::default(),
+            trace: false,
         }
     }
 }
@@ -59,9 +67,16 @@ struct ObjectState {
     recoders: Vec<Recoder>,
     complete_count: usize,
     serve_cursor: usize,
+    /// Per generation: the causal context of the last *innovative* packet
+    /// received. A recoded outgoing packet is a linear mix of everything
+    /// in the generation's basis, so its causal parent is "the most recent
+    /// packet that actually changed that basis" — the best single
+    /// antecedent a linear code admits.
+    last_ctx: Vec<Option<TraceContext>>,
 }
 
 impl ObjectState {
+    #[cfg(test)]
     fn new(generations: usize, generation_size: usize, packet_len: usize) -> Self {
         Self::with_pool(generations, generation_size, packet_len, BufPool::default())
     }
@@ -80,11 +95,24 @@ impl ObjectState {
                 .collect(),
             complete_count: 0,
             serve_cursor: 0,
+            last_ctx: vec![None; generations],
         }
     }
 
     /// Returns true iff the push was innovative.
+    #[cfg(test)]
     fn push(&mut self, packet: curtain_rlnc::CodedPacket) -> bool {
+        self.push_ctx(packet, None)
+    }
+
+    /// [`ObjectState::push`] carrying the packet's causal context; an
+    /// innovative push makes it the generation's current context (see
+    /// [`ObjectState::last_ctx`]).
+    fn push_ctx(
+        &mut self,
+        packet: curtain_rlnc::CodedPacket,
+        ctx: Option<TraceContext>,
+    ) -> bool {
         let g = packet.generation() as usize;
         let Some(recoder) = self.recoders.get_mut(g) else {
             return false;
@@ -93,6 +121,9 @@ impl ObjectState {
         let innovative = recoder.push(packet).unwrap_or(false);
         if !was_complete && recoder.is_complete() {
             self.complete_count += 1;
+        }
+        if innovative && ctx.is_some() {
+            self.last_ctx[g] = ctx;
         }
         innovative
     }
@@ -113,13 +144,21 @@ impl ObjectState {
     /// the critical section is an O(1) refcount bump: no row memcpy, no
     /// GF math, and the upstream `push` path cannot stall behind a slow
     /// child. Later inserts copy-on-write around outstanding snapshots.
+    #[cfg(test)]
     fn snapshot_next(&mut self) -> Option<Arc<RecodeSnapshot>> {
+        self.snapshot_next_ctx().map(|(snap, _)| snap)
+    }
+
+    /// [`ObjectState::snapshot_next`] plus the generation's current causal
+    /// context (the last innovative packet's), so the serving path can
+    /// derive a child span for the recoded frame.
+    fn snapshot_next_ctx(&mut self) -> Option<(Arc<RecodeSnapshot>, Option<TraceContext>)> {
         let n = self.recoders.len();
         for probe in 0..n {
             let g = (self.serve_cursor + probe) % n;
             if self.recoders[g].rank() > 0 {
                 self.serve_cursor = (g + 1) % n;
-                return Some(self.recoders[g].snapshot());
+                return Some((self.recoders[g].snapshot(), self.last_ctx[g]));
             }
         }
         None
@@ -144,6 +183,10 @@ struct Shared {
     recorder: SharedRecorder,
     disconnect_noted: AtomicBool,
     policy: RepairPolicy,
+    /// Causal-context propagation on (see [`PeerConfig::trace`]).
+    trace: bool,
+    /// Repair episodes currently running (for `/health`).
+    active_repairs: AtomicU64,
     /// This peer's current thread→parent view, kept fresh by the upstream
     /// loops so a [`Request::Resync`] can hand an amnesiac coordinator the
     /// whole row at once.
@@ -155,6 +198,12 @@ struct Shared {
 }
 
 impl Shared {
+    /// True when this peer both wants causal propagation and has
+    /// somewhere to record it.
+    fn tracing(&self) -> bool {
+        self.trace && self.recorder.is_enabled()
+    }
+
     fn note_progress(&self) {
         if !self.state.lock().is_complete() {
             return;
@@ -179,13 +228,13 @@ impl Shared {
     /// forgot lives here, so we hand it back and the coordinator
     /// re-inserts it. Best-effort: failures just mean the next complaint
     /// retries the whole dance.
-    fn resync(&self) {
+    fn resync(&self, ctx: Option<TraceContext>) {
         let parents: Vec<(u16, Option<NodeId>)> =
             self.parents.lock().iter().map(|(t, p)| (*t, p.node())).collect();
         self.recorder.counter("peer_resyncs", 1);
         let _ = proto::call(
             self.coordinator,
-            &Request::Resync { node: self.node, data_addr: self.data_addr, parents },
+            &Request::Resync { node: self.node, data_addr: self.data_addr, parents, ctx },
             CALL_TIMEOUT,
         );
     }
@@ -263,7 +312,7 @@ impl Peer {
     ///
     /// Propagates socket errors and protocol rejections.
     pub fn join_with(coordinator: SocketAddr, config: PeerConfig) -> io::Result<Self> {
-        let PeerConfig { pace, recorder, repair } = config;
+        let PeerConfig { pace, recorder, repair, trace } = config;
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let data_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -293,6 +342,8 @@ impl Peer {
             recorder,
             disconnect_noted: AtomicBool::new(false),
             policy: repair,
+            trace,
+            active_repairs: AtomicU64::new(0),
             parents: Mutex::new(parents.clone()),
             children: Mutex::new(Vec::new()),
         });
@@ -379,6 +430,26 @@ impl Peer {
         self.shared.children.lock().iter().filter(|h| !h.is_finished()).count()
     }
 
+    /// Repair episodes currently in flight on this peer's upstream threads.
+    #[must_use]
+    pub fn active_repair_episodes(&self) -> u64 {
+        self.shared.active_repairs.load(Ordering::SeqCst)
+    }
+
+    /// One-line JSON health document for the `/health` endpoint: decode
+    /// rank per generation, buffer-pool occupancy, child/repair activity.
+    #[must_use]
+    pub fn health_json(&self) -> String {
+        health_json_of(&self.shared)
+    }
+
+    /// A `'static` closure producing [`Peer::health_json`] — the callback
+    /// shape [`curtain_telemetry::ExposeServer::bind`] wants.
+    pub fn health_handle(&self) -> impl Fn() -> String + Send + Sync + 'static {
+        let shared = Arc::clone(&self.shared);
+        move || health_json_of(&shared)
+    }
+
     /// Blocks (polling) until complete or `timeout`; returns success.
     #[must_use]
     pub fn wait_complete(&self, timeout: Duration) -> bool {
@@ -461,6 +532,49 @@ impl std::fmt::Debug for Peer {
     }
 }
 
+/// Renders the peer's health document (shared by [`Peer::health_json`]
+/// and the `'static` handle the expose server holds).
+fn health_json_of(shared: &Shared) -> String {
+    use curtain_telemetry::json::JsonValue;
+    use std::collections::BTreeMap;
+    let (ranks, total_rank, complete_generations) = {
+        let st = shared.state.lock();
+        let ranks: Vec<JsonValue> =
+            st.recoders.iter().map(|r| JsonValue::Int(r.rank() as i64)).collect();
+        (ranks, st.rank(), st.complete_count)
+    };
+    let active_children =
+        shared.children.lock().iter().filter(|h| !h.is_finished()).count();
+    let pool = shared.pool.stats();
+    let mut doc = BTreeMap::new();
+    doc.insert("role".to_string(), JsonValue::Str("peer".to_string()));
+    doc.insert("ok".to_string(), JsonValue::Bool(true));
+    doc.insert("node".to_string(), JsonValue::Int(shared.node.0 as i64));
+    doc.insert(
+        "complete".to_string(),
+        JsonValue::Bool(shared.complete.load(Ordering::SeqCst)),
+    );
+    doc.insert("rank".to_string(), JsonValue::Int(total_rank as i64));
+    doc.insert("generation_ranks".to_string(), JsonValue::Array(ranks));
+    doc.insert(
+        "complete_generations".to_string(),
+        JsonValue::Int(complete_generations as i64),
+    );
+    doc.insert("active_children".to_string(), JsonValue::Int(active_children as i64));
+    doc.insert(
+        "active_repair_episodes".to_string(),
+        JsonValue::Int(shared.active_repairs.load(Ordering::SeqCst) as i64),
+    );
+    let mut pool_doc = BTreeMap::new();
+    pool_doc.insert("hits".to_string(), JsonValue::Int(pool.hits as i64));
+    pool_doc.insert("misses".to_string(), JsonValue::Int(pool.misses as i64));
+    pool_doc.insert("recycled".to_string(), JsonValue::Int(pool.recycled as i64));
+    pool_doc.insert("discarded".to_string(), JsonValue::Int(pool.discarded as i64));
+    pool_doc.insert("idle".to_string(), JsonValue::Int(shared.pool.idle() as i64));
+    doc.insert("buf_pool".to_string(), JsonValue::Object(pool_doc));
+    JsonValue::Object(doc).render()
+}
+
 /// Serves one child subscription: recoded packets at the configured pace.
 fn serve_child(stream: &TcpStream, shared: &Shared, pace: Duration, seed: u64) -> io::Result<()> {
     let _sub = framing::read_subscribe_deadline(stream, &shared.stop, SUBSCRIBE_DEADLINE)?;
@@ -468,20 +582,42 @@ fn serve_child(stream: &TcpStream, shared: &Shared, pace: Duration, seed: u64) -
     let mut out = stream.try_clone()?;
     out.set_write_timeout(Some(Duration::from_secs(2)))?;
     let traced = shared.recorder.is_enabled();
+    let tracing = shared.tracing();
     let mut scratch = Vec::new();
     while !shared.stop.load(Ordering::SeqCst) {
         // Lock held only for an O(1) Arc clone of the generation's basis
         // snapshot; the GF recode below runs against the shared immutable
         // rows, so concurrent children and the upstream push path never
         // wait on each other's math (and nothing is copied under the lock).
-        let snapshot = shared.state.lock().snapshot_next();
+        let (snapshot, recv_ctx) = match shared.state.lock().snapshot_next_ctx() {
+            Some((s, c)) => (Some(s), c),
+            None => (None, None),
+        };
         let timer = if traced { Some(Instant::now()) } else { None };
         match snapshot.and_then(|s| s.recode(&mut rng)) {
             Some(p) => {
                 if let Some(t) = timer {
                     shared.recorder.histogram("recode_ns", t.elapsed().as_nanos() as f64);
                 }
-                if framing::write_frame_into(&mut out, &p, &mut scratch).is_err() {
+                // Forward causality: the outgoing recoded packet gets a
+                // child span of the context under which this generation
+                // last advanced; the HopSend records the parent link.
+                let out_ctx = match recv_ctx {
+                    Some(ctx) if tracing => {
+                        let child = ctx.child();
+                        shared.recorder.record(&Event::HopSend {
+                            trace: child.trace,
+                            span: child.span,
+                            parent: ctx.span,
+                            node: shared.node.0,
+                            generation: p.generation(),
+                            t_us: wall_micros(),
+                        });
+                        Some(child)
+                    }
+                    _ => None,
+                };
+                if framing::write_frame_ctx_into(&mut out, &p, out_ctx, &mut scratch).is_err() {
                     break; // child went away
                 }
                 std::thread::sleep(pace);
@@ -522,10 +658,20 @@ fn upstream_loop(shared: &Shared, thread: u16, mut parent: ParentAddr) {
             if shared.stop.load(Ordering::SeqCst) {
                 return;
             }
-            match framing::read_frame_pooled(&mut reader, &shared.pool, &mut scratch) {
-                Ok(Some(packet)) => {
+            match framing::read_frame_ctx_pooled(&mut reader, &shared.pool, &mut scratch) {
+                Ok(Some((packet, ctx))) => {
                     last_data = Instant::now();
-                    if shared.state.lock().push(packet) {
+                    let ctx = ctx.filter(|_| shared.tracing());
+                    if let Some(ctx) = ctx {
+                        shared.recorder.record(&Event::HopRecv {
+                            trace: ctx.trace,
+                            span: ctx.span,
+                            node: shared.node.0,
+                            generation: packet.generation(),
+                            t_us: wall_micros(),
+                        });
+                    }
+                    if shared.state.lock().push_ctx(packet, ctx) {
                         shared.note_progress();
                     }
                 }
@@ -579,8 +725,15 @@ fn repair_episode(
         return false;
     }
     let started = Instant::now();
+    // The whole episode is one span tree: a "repair" root at this peer,
+    // one "complain" child per attempt (whose context rides the Complaint
+    // so the coordinator's "splice" hangs underneath), and a
+    // "repair_complete" child marking the resubscribe hand-off. The
+    // stitched tree is the episode's critical path.
+    let episode = EpisodeSpans::open(shared);
     if !budget.admit(started) {
         give_up(shared, thread, 0);
+        episode.close(shared, false);
         return false;
     }
     let deadline = started + shared.policy.deadline;
@@ -588,6 +741,7 @@ fn repair_episode(
     loop {
         shared.sleep_interruptible(shared.policy.backoff(attempt, rng));
         if shared.stop.load(Ordering::SeqCst) {
+            episode.close(shared, false);
             return false;
         }
         attempt += 1;
@@ -596,17 +750,22 @@ fn repair_episode(
             thread: u32::from(thread),
             attempt,
         });
+        let complain = episode.child(shared, "complain");
         let resp = proto::call(
             shared.coordinator,
             &Request::Complaint {
                 child: shared.node,
                 failed_parent: parent.node(),
                 thread,
+                ctx: complain,
             },
             CALL_TIMEOUT,
         );
+        let redirected = matches!(resp, Ok(Response::Redirect { .. }));
+        EpisodeSpans::close_child(shared, complain, redirected);
         match resp {
             Ok(Response::Redirect { new_parent, .. }) => {
+                let done = episode.child(shared, "repair_complete");
                 *parent = new_parent;
                 let mut view = shared.parents.lock();
                 if let Some(entry) = view.iter_mut().find(|(t, _)| *t == thread) {
@@ -618,6 +777,8 @@ fn repair_episode(
                     .recorder
                     .histogram("repair_latency_ms", started.elapsed().as_secs_f64() * 1e3);
                 shared.recorder.histogram("repair_attempts", f64::from(attempt));
+                EpisodeSpans::close_child(shared, done, true);
+                episode.close(shared, true);
                 return true;
             }
             // "Unknown child" means the coordinator lost its matrix (a
@@ -625,9 +786,10 @@ fn repair_episode(
             // resync protocol, then retry the complaint — the coordinator
             // now knows us again and can redirect.
             Ok(Response::Error { ref reason }) if reason.contains("unknown child") => {
-                shared.resync();
+                shared.resync(episode.child_linkless());
                 if Instant::now() >= deadline {
                     give_up(shared, thread, attempt);
+                    episode.close(shared, false);
                     return false;
                 }
             }
@@ -638,9 +800,75 @@ fn repair_episode(
             Ok(_) | Err(_) => {
                 if Instant::now() >= deadline {
                     give_up(shared, thread, attempt);
+                    episode.close(shared, false);
                     return false;
                 }
             }
+        }
+    }
+}
+
+/// Span bookkeeping for one repair episode; every method is a no-op for
+/// an untraced peer (`ctx` stays `None`).
+struct EpisodeSpans {
+    ctx: Option<TraceContext>,
+}
+
+impl EpisodeSpans {
+    /// Opens the "repair" root span (and bumps the active-episode gauge).
+    fn open(shared: &Shared) -> Self {
+        let active = shared.active_repairs.fetch_add(1, Ordering::SeqCst) + 1;
+        shared.recorder.gauge("active_repair_episodes", active as f64);
+        let ctx = shared.tracing().then(TraceContext::root);
+        if let Some(ctx) = ctx {
+            shared.recorder.record(&Event::SpanStart {
+                trace: ctx.trace,
+                span: ctx.span,
+                parent: NO_PARENT,
+                name: "repair".to_string(),
+                node: shared.node.0,
+            });
+        }
+        EpisodeSpans { ctx }
+    }
+
+    /// Opens a child span under the episode root and returns its context
+    /// (to ride a request or be closed with `close_child`).
+    fn child(&self, shared: &Shared, name: &str) -> Option<TraceContext> {
+        let root = self.ctx?;
+        let child = root.child();
+        shared.recorder.record(&Event::SpanStart {
+            trace: child.trace,
+            span: child.span,
+            parent: root.span,
+            name: name.to_string(),
+            node: shared.node.0,
+        });
+        Some(child)
+    }
+
+    /// A child context for a request whose span the *server* opens (the
+    /// resync path): same trace, the root as parent — no local span.
+    fn child_linkless(&self) -> Option<TraceContext> {
+        self.ctx
+    }
+
+    fn close_child(shared: &Shared, child: Option<TraceContext>, ok: bool) {
+        if let Some(child) = child {
+            shared.recorder.record(&Event::SpanEnd {
+                trace: child.trace,
+                span: child.span,
+                ok,
+            });
+        }
+    }
+
+    /// Closes the root span (and drops the active-episode gauge).
+    fn close(&self, shared: &Shared, ok: bool) {
+        let active = shared.active_repairs.fetch_sub(1, Ordering::SeqCst).saturating_sub(1);
+        shared.recorder.gauge("active_repair_episodes", active as f64);
+        if let Some(ctx) = self.ctx {
+            shared.recorder.record(&Event::SpanEnd { trace: ctx.trace, span: ctx.span, ok });
         }
     }
 }

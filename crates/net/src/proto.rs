@@ -12,6 +12,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 use curtain_overlay::{NodeId, ThreadId};
+use curtain_telemetry::TraceContext;
 use curtain_telemetry::json::{self, JsonValue};
 
 /// Where a stream comes from: the source host or a peer.
@@ -102,6 +103,11 @@ pub enum Request {
         failed_parent: Option<NodeId>,
         /// The thread whose stream broke.
         thread: ThreadId,
+        /// Causal context of the repair episode's complain span, when
+        /// the child traces: the coordinator hangs its splice span off
+        /// it. Optional on the wire — untraced complainants omit the
+        /// fields and old coordinators ignore them.
+        ctx: Option<TraceContext>,
     },
     /// A peer announces it decoded the full generation.
     Completed {
@@ -120,6 +126,10 @@ pub enum Request {
         /// the source). The threads are the row; the parents are a hint
         /// the coordinator may audit but does not need.
         parents: Vec<(ThreadId, Option<NodeId>)>,
+        /// Causal context for the resync, when the peer traces; the
+        /// coordinator's readmit span becomes its child. Optional on the
+        /// wire for the same reasons as `Complaint::ctx`.
+        ctx: Option<TraceContext>,
     },
     /// Asks for progress counters (used by tests and operators).
     Stats,
@@ -157,7 +167,7 @@ impl Request {
                 tag(&mut fields, "goodbye");
                 fields.insert("node".into(), JsonValue::Int(node.0 as i64));
             }
-            Request::Complaint { child, failed_parent, thread } => {
+            Request::Complaint { child, failed_parent, thread, ctx } => {
                 tag(&mut fields, "complaint");
                 fields.insert("child".into(), JsonValue::Int(child.0 as i64));
                 fields.insert(
@@ -168,13 +178,15 @@ impl Request {
                     },
                 );
                 fields.insert("thread".into(), JsonValue::Int(i64::from(*thread)));
+                insert_ctx(&mut fields, *ctx);
             }
             Request::Completed { node } => {
                 tag(&mut fields, "completed");
                 fields.insert("node".into(), JsonValue::Int(node.0 as i64));
             }
-            Request::Resync { node, data_addr, parents } => {
+            Request::Resync { node, data_addr, parents, ctx } => {
                 tag(&mut fields, "resync");
+                insert_ctx(&mut fields, *ctx);
                 fields.insert("node".into(), JsonValue::Int(node.0 as i64));
                 fields.insert("data_addr".into(), JsonValue::Str(data_addr.to_string()));
                 fields.insert(
@@ -230,6 +242,7 @@ impl Request {
                     )),
                 },
                 thread: field_thread(&v)?,
+                ctx: parse_ctx(&v),
             }),
             "completed" => Ok(Request::Completed { node: NodeId(field_u64(&v, "node")?) }),
             "resync" => {
@@ -256,6 +269,7 @@ impl Request {
                     node: NodeId(field_u64(&v, "node")?),
                     data_addr: parse_addr_field(&v, "data_addr")?,
                     parents,
+                    ctx: parse_ctx(&v),
                 })
             }
             "stats" => Ok(Request::Stats),
@@ -428,6 +442,23 @@ impl Response {
     }
 }
 
+/// Adds the optional `"trace"`/`"span"` fields carrying a causal context.
+fn insert_ctx(fields: &mut BTreeMap<String, JsonValue>, ctx: Option<TraceContext>) {
+    if let Some(ctx) = ctx {
+        fields.insert("trace".into(), JsonValue::Int(ctx.trace as i64));
+        fields.insert("span".into(), JsonValue::Int(ctx.span as i64));
+    }
+}
+
+/// Reads the optional `"trace"`/`"span"` context fields. Absent or
+/// malformed fields read as "no context" — a request from an untraced
+/// (or older) sender must keep parsing.
+fn parse_ctx(v: &JsonValue) -> Option<TraceContext> {
+    let trace = v.get("trace").and_then(JsonValue::as_u64)?;
+    let span = v.get("span").and_then(JsonValue::as_u64)?;
+    Some(TraceContext { trace, span })
+}
+
 fn field_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
     v.get(key)
         .and_then(JsonValue::as_u64)
@@ -518,18 +549,30 @@ mod tests {
             },
             Request::Hello { data_addr: "127.0.0.1:1234".parse().unwrap() },
             Request::Goodbye { node: NodeId(3) },
-            Request::Complaint { child: NodeId(4), failed_parent: Some(NodeId(1)), thread: 7 },
-            Request::Complaint { child: NodeId(4), failed_parent: None, thread: 0 },
+            Request::Complaint {
+                child: NodeId(4),
+                failed_parent: Some(NodeId(1)),
+                thread: 7,
+                ctx: None,
+            },
+            Request::Complaint {
+                child: NodeId(4),
+                failed_parent: None,
+                thread: 0,
+                ctx: Some(TraceContext { trace: 0x1234_5678_9abc, span: 42 }),
+            },
             Request::Completed { node: NodeId(9) },
             Request::Resync {
                 node: NodeId(17),
                 data_addr: "127.0.0.1:4444".parse().unwrap(),
                 parents: vec![(0, Some(NodeId(2))), (3, None)],
+                ctx: Some(TraceContext { trace: 7, span: 9 }),
             },
             Request::Resync {
                 node: NodeId(0),
                 data_addr: "127.0.0.1:4445".parse().unwrap(),
                 parents: vec![],
+                ctx: None,
             },
             Request::Stats,
         ];
@@ -563,6 +606,33 @@ mod tests {
             let back = Response::parse_json_line(&s).expect(&s);
             assert_eq!(back, r, "line: {s}");
         }
+    }
+
+    #[test]
+    fn pre_tracing_lines_parse_with_no_context() {
+        // A complaint emitted by an older (or untraced) peer carries no
+        // trace/span fields; it must keep parsing, as "no context".
+        let line = r#"{"req":"complaint","child":4,"failed_parent":1,"thread":7}"#;
+        let parsed = Request::parse_json_line(line).unwrap();
+        assert_eq!(
+            parsed,
+            Request::Complaint {
+                child: NodeId(4),
+                failed_parent: Some(NodeId(1)),
+                thread: 7,
+                ctx: None,
+            }
+        );
+        // And a traced line round-trips its ids without loss.
+        let traced = Request::Complaint {
+            child: NodeId(4),
+            failed_parent: Some(NodeId(1)),
+            thread: 7,
+            ctx: Some(TraceContext { trace: u64::MAX >> 1, span: 3 }),
+        };
+        let s = traced.to_json_line();
+        assert!(s.contains("\"trace\""), "line: {s}");
+        assert_eq!(Request::parse_json_line(&s).unwrap(), traced);
     }
 
     #[test]

@@ -12,6 +12,8 @@ use parking_lot::Mutex;
 
 use curtain_rlnc::pipeline::{ObjectEncoder, Schedule};
 use curtain_rlnc::Content;
+use curtain_telemetry::trace::{wall_micros, NO_PARENT, SOURCE_NODE};
+use curtain_telemetry::{Event, SharedRecorder, TraceContext};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -36,6 +38,8 @@ pub struct PendingSource {
     packet_len: usize,
     content_len: usize,
     pace: Duration,
+    recorder: SharedRecorder,
+    trace: bool,
 }
 
 impl PendingSource {
@@ -88,7 +92,21 @@ impl PendingSource {
             packet_len,
             content_len,
             pace,
+            recorder: SharedRecorder::null(),
+            trace: false,
         })
+    }
+
+    /// Attaches a telemetry recorder and (optionally) turns on causal
+    /// tracing: every packet leaving the source is stamped with a fresh
+    /// root [`TraceContext`] carried as a frame extension, plus a
+    /// `HopSend` event labelled [`SOURCE_NODE`]. With `trace` off the
+    /// wire format is byte-identical to an unobserved source.
+    #[must_use]
+    pub fn observed(mut self, recorder: SharedRecorder, trace: bool) -> Self {
+        self.recorder = recorder;
+        self.trace = trace;
+        self
     }
 
     /// The bound data-plane address (children dial this — or a proxy in
@@ -141,6 +159,8 @@ impl PendingSource {
             let subscribers = Arc::clone(&subscribers);
             let pace = self.pace;
             let seed = Arc::new(AtomicU64::new(0x50u64));
+            let recorder = self.recorder.clone();
+            let trace = self.trace;
             std::thread::spawn(move || {
                 while !stop.load(Ordering::SeqCst) {
                     match listener.accept() {
@@ -148,8 +168,17 @@ impl PendingSource {
                             let worker_stop = Arc::clone(&stop);
                             let encoder = Arc::clone(&encoder);
                             let s = seed.fetch_add(1, Ordering::SeqCst);
+                            let recorder = recorder.clone();
                             let handle = std::thread::spawn(move || {
-                                let _ = serve_subscriber(&stream, &encoder, &worker_stop, pace, s);
+                                let _ = serve_subscriber(
+                                    &stream,
+                                    &encoder,
+                                    &worker_stop,
+                                    pace,
+                                    s,
+                                    &recorder,
+                                    trace,
+                                );
                             });
                             let mut subs = subscribers.lock();
                             subs.retain(|h: &JoinHandle<()>| !h.is_finished());
@@ -347,6 +376,8 @@ fn serve_subscriber(
     stop: &AtomicBool,
     pace: Duration,
     seed: u64,
+    recorder: &SharedRecorder,
+    trace: bool,
 ) -> io::Result<()> {
     let _sub = framing::read_subscribe_deadline(stream, stop, Duration::from_secs(5))?;
     let mut rng = StdRng::seed_from_u64(seed);
@@ -354,9 +385,28 @@ fn serve_subscriber(
     let mut encoder = encoder.clone();
     let mut out = stream.try_clone()?;
     out.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let tracing = trace && recorder.is_enabled();
+    let mut scratch = Vec::new();
     while !stop.load(Ordering::SeqCst) {
         let packet = encoder.next_packet(&mut rng);
-        if framing::write_frame(&mut out, &packet).is_err() {
+        // Packet birth: mint the root of a fresh causal chain. Stitching
+        // later declares a delivery chain complete exactly when its parent
+        // walk reaches one of these SOURCE_NODE hops.
+        let ctx = if tracing {
+            let ctx = TraceContext::root();
+            recorder.record(&Event::HopSend {
+                trace: ctx.trace,
+                span: ctx.span,
+                parent: NO_PARENT,
+                node: SOURCE_NODE,
+                generation: packet.generation(),
+                t_us: wall_micros(),
+            });
+            Some(ctx)
+        } else {
+            None
+        };
+        if framing::write_frame_ctx_into(&mut out, &packet, ctx, &mut scratch).is_err() {
             break; // subscriber went away
         }
         std::thread::sleep(pace);

@@ -59,6 +59,7 @@ fn complaint_retries_through_coordinator_outage() {
             pace: PACE,
             recorder: SharedRecorder::wall_clock(sink.clone()),
             repair: quick_policy(),
+            ..PeerConfig::default()
         },
     )
     .unwrap();
@@ -125,6 +126,7 @@ fn truncated_mid_frame_connection_repairs_cleanly() {
             pace: PACE,
             recorder: SharedRecorder::wall_clock(sink.clone()),
             repair: quick_policy(),
+            ..PeerConfig::default()
         },
     )
     .unwrap();
@@ -217,6 +219,7 @@ fn stalled_but_connected_parent_triggers_repair() {
             pace: PACE,
             recorder: SharedRecorder::wall_clock(sink.clone()),
             repair: quick_policy(),
+            ..PeerConfig::default()
         },
     )
     .unwrap();

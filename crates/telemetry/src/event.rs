@@ -218,6 +218,70 @@ pub enum Event {
         /// Its value for this run.
         value: String,
     },
+    /// A traced coded packet left a node (source or recoding peer).
+    ///
+    /// One `HopSend` plus the matching [`Event::HopRecv`] (same
+    /// trace/span, recorded by the receiver) is one *hop*; `parent` links
+    /// to the span under which this node received the packet it recoded,
+    /// so `telemetry::stitch` can walk hop chains back to the source
+    /// (whose hops carry [`crate::trace::SOURCE_NODE`] and parent 0).
+    HopSend {
+        /// Trace id — constant along the packet's whole path.
+        trace: u64,
+        /// Span id minted for this hop.
+        span: u64,
+        /// Span under which this node received the recoded-from packet
+        /// (0 at the source: a root hop).
+        parent: u64,
+        /// The sending node ([`crate::trace::SOURCE_NODE`] at the source).
+        node: u64,
+        /// Generation the packet belongs to.
+        generation: u32,
+        /// Send time, microseconds since the unix epoch — the recorder's
+        /// ms stamp rounds LAN hop latencies to zero.
+        t_us: u64,
+    },
+    /// A traced coded packet arrived at a node; pairs with the
+    /// [`Event::HopSend`] carrying the same trace/span.
+    HopRecv {
+        /// Trace id.
+        trace: u64,
+        /// Span id of the hop (matches the sender's `HopSend`).
+        span: u64,
+        /// The receiving node.
+        node: u64,
+        /// Generation the packet belongs to.
+        generation: u32,
+        /// Receive time, microseconds since the unix epoch.
+        t_us: u64,
+    },
+    /// A named causal span opened (repair episode, complaint round-trip,
+    /// coordinator splice, WAL replay, peer resync, …).
+    SpanStart {
+        /// Trace id grouping this span tree.
+        trace: u64,
+        /// This span's id.
+        span: u64,
+        /// Enclosing span's id (0 for a root span).
+        parent: u64,
+        /// What the span covers: `"repair"`, `"complain"`, `"splice"`,
+        /// `"repair_complete"`, `"resync"`, `"wal_replay"`.
+        name: String,
+        /// Node the span ran on ([`crate::trace::SOURCE_NODE`] for the
+        /// source, the coordinator uses its own label).
+        node: u64,
+    },
+    /// A span closed; pairs with the [`Event::SpanStart`] carrying the
+    /// same trace/span. Stitching calls a span tree *closed* when every
+    /// started span has its end.
+    SpanEnd {
+        /// Trace id.
+        trace: u64,
+        /// The closing span's id.
+        span: u64,
+        /// Whether the spanned work succeeded.
+        ok: bool,
+    },
 }
 
 impl Event {
@@ -244,6 +308,10 @@ impl Event {
             Event::PeerResync { .. } => "peer_resync",
             Event::SourceRegisterRejected => "source_register_rejected",
             Event::RunInfo { .. } => "run_info",
+            Event::HopSend { .. } => "hop_send",
+            Event::HopRecv { .. } => "hop_recv",
+            Event::SpanStart { .. } => "span_start",
+            Event::SpanEnd { .. } => "span_end",
         }
     }
 
@@ -265,7 +333,11 @@ impl Event {
             | Event::RepairAttempt { peer, .. }
             | Event::RepairGaveUp { peer, .. }
             | Event::PeerResync { peer, .. } => Some(*peer),
-            Event::ThreadDefect { .. }
+            Event::HopSend { node, .. }
+            | Event::HopRecv { node, .. }
+            | Event::SpanStart { node, .. } => Some(*node),
+            Event::SpanEnd { .. }
+            | Event::ThreadDefect { .. }
             | Event::DefectSample { .. }
             | Event::LinkDrop { .. }
             | Event::CoordinatorDown { .. }
@@ -359,6 +431,35 @@ impl Event {
                 json::write_escaped(value, &mut v);
                 field("value", &v);
             }
+            Event::HopSend { trace, span, parent, node, generation, t_us } => {
+                field("trace", &trace.to_string());
+                field("span", &span.to_string());
+                field("parent", &parent.to_string());
+                field("node", &node.to_string());
+                field("generation", &generation.to_string());
+                field("t_us", &t_us.to_string());
+            }
+            Event::HopRecv { trace, span, node, generation, t_us } => {
+                field("trace", &trace.to_string());
+                field("span", &span.to_string());
+                field("node", &node.to_string());
+                field("generation", &generation.to_string());
+                field("t_us", &t_us.to_string());
+            }
+            Event::SpanStart { trace, span, parent, name, node } => {
+                field("trace", &trace.to_string());
+                field("span", &span.to_string());
+                field("parent", &parent.to_string());
+                let mut n = String::new();
+                json::write_escaped(name, &mut n);
+                field("name", &n);
+                field("node", &node.to_string());
+            }
+            Event::SpanEnd { trace, span, ok } => {
+                field("trace", &trace.to_string());
+                field("span", &span.to_string());
+                field("ok", if *ok { "true" } else { "false" });
+            }
         }
         out.push('}');
     }
@@ -441,6 +542,33 @@ impl Event {
                 key: fields.str("key")?.to_string(),
                 value: fields.str("value")?.to_string(),
             },
+            "hop_send" => Event::HopSend {
+                trace: fields.u64("trace")?,
+                span: fields.u64("span")?,
+                parent: fields.u64("parent")?,
+                node: fields.u64("node")?,
+                generation: fields.u32("generation")?,
+                t_us: fields.u64("t_us")?,
+            },
+            "hop_recv" => Event::HopRecv {
+                trace: fields.u64("trace")?,
+                span: fields.u64("span")?,
+                node: fields.u64("node")?,
+                generation: fields.u32("generation")?,
+                t_us: fields.u64("t_us")?,
+            },
+            "span_start" => Event::SpanStart {
+                trace: fields.u64("trace")?,
+                span: fields.u64("span")?,
+                parent: fields.u64("parent")?,
+                name: fields.str("name")?.to_string(),
+                node: fields.u64("node")?,
+            },
+            "span_end" => Event::SpanEnd {
+                trace: fields.u64("trace")?,
+                span: fields.u64("span")?,
+                ok: fields.bool("ok")?,
+            },
             other => return Err(format!("unknown event kind {other:?}")),
         };
         Ok((at, event))
@@ -479,6 +607,84 @@ impl json::FlatObject {
             v => Err(format!("field {key:?} is not a string: {v:?}")),
         }
     }
+
+    fn bool(&self, key: &str) -> Result<bool, String> {
+        match self.get(key)? {
+            JsonValue::Bool(b) => Ok(*b),
+            v => Err(format!("field {key:?} is not a bool: {v:?}")),
+        }
+    }
+}
+
+/// One sample of **every** `Event` variant, for round-trip tests.
+///
+/// The closure at the end is an exhaustive match with no wildcard: adding
+/// a variant fails compilation here until a sample is added, which is
+/// what keeps the replay round-trip suite honest.
+#[cfg(test)]
+pub(crate) fn sample_of_every_variant() -> Vec<Event> {
+    let samples = vec![
+        Event::Hello { node: 1, position: 0, degree: 2 },
+        Event::GoodBye { node: 2 },
+        Event::Complain { node: 3, complaints: 2 },
+        Event::Splice { node: 3, redirects: 2, cause: SpliceCause::Repair },
+        Event::Splice { node: 4, redirects: 3, cause: SpliceCause::Leave },
+        Event::RepairComplete { node: 3 },
+        Event::ThreadDefect { thread: 5, delta: -1 },
+        Event::DefectSample { defect: 12, tuples: 66 },
+        Event::PacketInnovative { node: 9, generation: 1, rank: 4 },
+        Event::PacketRedundant { node: 9, generation: 1 },
+        Event::LinkDrop { link: 7, from: 0, to: 4, reason: DropReason::Loss },
+        Event::LinkDrop { link: 8, from: 1, to: 5, reason: DropReason::Capacity },
+        Event::PeerConnect { peer: 11 },
+        Event::PeerDisconnect { peer: 11 },
+        Event::RepairAttempt { peer: 11, thread: 3, attempt: 2 },
+        Event::RepairGaveUp { peer: 11, thread: 3, attempts: 5 },
+        Event::CoordinatorDown { members: 12 },
+        Event::CoordinatorRecovered { replayed: 40, resynced: 3 },
+        Event::PeerResync { peer: 6, threads: 2 },
+        Event::SourceRegisterRejected,
+        Event::RunInfo { key: "gf_backend".into(), value: "avx2".into() },
+        Event::RunInfo { key: "quoted".into(), value: "a \"b\" \\ c".into() },
+        Event::HopSend {
+            trace: u64::MAX >> 1,
+            span: 77,
+            parent: 0,
+            node: crate::trace::SOURCE_NODE,
+            generation: 3,
+            t_us: 1_700_000_000_123_456,
+        },
+        Event::HopRecv { trace: 42, span: 77, node: 5, generation: 3, t_us: 1_700_000_000_123_999 },
+        Event::SpanStart { trace: 42, span: 80, parent: 77, name: "repair".into(), node: 5 },
+        Event::SpanEnd { trace: 42, span: 80, ok: true },
+        Event::SpanEnd { trace: 42, span: 81, ok: false },
+    ];
+    let _covered = |e: &Event| match e {
+        Event::Hello { .. }
+        | Event::GoodBye { .. }
+        | Event::Complain { .. }
+        | Event::Splice { .. }
+        | Event::RepairComplete { .. }
+        | Event::ThreadDefect { .. }
+        | Event::DefectSample { .. }
+        | Event::PacketInnovative { .. }
+        | Event::PacketRedundant { .. }
+        | Event::LinkDrop { .. }
+        | Event::PeerConnect { .. }
+        | Event::PeerDisconnect { .. }
+        | Event::RepairAttempt { .. }
+        | Event::RepairGaveUp { .. }
+        | Event::CoordinatorDown { .. }
+        | Event::CoordinatorRecovered { .. }
+        | Event::PeerResync { .. }
+        | Event::SourceRegisterRejected
+        | Event::RunInfo { .. }
+        | Event::HopSend { .. }
+        | Event::HopRecv { .. }
+        | Event::SpanStart { .. }
+        | Event::SpanEnd { .. } => (),
+    };
+    samples
 }
 
 #[cfg(test)]
@@ -486,30 +692,7 @@ mod tests {
     use super::*;
 
     fn all_events() -> Vec<Event> {
-        vec![
-            Event::Hello { node: 1, position: 0, degree: 2 },
-            Event::GoodBye { node: 2 },
-            Event::Complain { node: 3, complaints: 2 },
-            Event::Splice { node: 3, redirects: 2, cause: SpliceCause::Repair },
-            Event::Splice { node: 4, redirects: 3, cause: SpliceCause::Leave },
-            Event::RepairComplete { node: 3 },
-            Event::ThreadDefect { thread: 5, delta: -1 },
-            Event::DefectSample { defect: 12, tuples: 66 },
-            Event::PacketInnovative { node: 9, generation: 1, rank: 4 },
-            Event::PacketRedundant { node: 9, generation: 1 },
-            Event::LinkDrop { link: 7, from: 0, to: 4, reason: DropReason::Loss },
-            Event::LinkDrop { link: 8, from: 1, to: 5, reason: DropReason::Capacity },
-            Event::PeerConnect { peer: 11 },
-            Event::PeerDisconnect { peer: 11 },
-            Event::RepairAttempt { peer: 11, thread: 3, attempt: 2 },
-            Event::RepairGaveUp { peer: 11, thread: 3, attempts: 5 },
-            Event::CoordinatorDown { members: 12 },
-            Event::CoordinatorRecovered { replayed: 40, resynced: 3 },
-            Event::PeerResync { peer: 6, threads: 2 },
-            Event::SourceRegisterRejected,
-            Event::RunInfo { key: "gf_backend".into(), value: "avx2".into() },
-            Event::RunInfo { key: "quoted".into(), value: "a \"b\" \\ c".into() },
-        ]
+        sample_of_every_variant()
     }
 
     #[test]
@@ -531,6 +714,16 @@ mod tests {
         let mut line = String::new();
         Event::ThreadDefect { thread: 1, delta: -1 }.write_jsonl(9, &mut line);
         assert_eq!(line, r#"{"t":9,"ev":"thread_defect","thread":1,"delta":-1}"#);
+        let mut line = String::new();
+        Event::HopSend { trace: 5, span: 6, parent: 0, node: 7, generation: 2, t_us: 99 }
+            .write_jsonl(1, &mut line);
+        assert_eq!(
+            line,
+            r#"{"t":1,"ev":"hop_send","trace":5,"span":6,"parent":0,"node":7,"generation":2,"t_us":99}"#
+        );
+        let mut line = String::new();
+        Event::SpanEnd { trace: 5, span: 6, ok: false }.write_jsonl(2, &mut line);
+        assert_eq!(line, r#"{"t":2,"ev":"span_end","trace":5,"span":6,"ok":false}"#);
     }
 
     #[test]

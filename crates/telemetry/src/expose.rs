@@ -1,0 +1,340 @@
+//! Live metrics/health exposition: a zero-dependency blocking HTTP
+//! listener serving Prometheus-style `/metrics` text and a `/health`
+//! JSON document.
+//!
+//! Each long-running process (coordinator, peer, source) can opt in with
+//! a `--metrics <addr>` flag: one background thread accepts scrape
+//! connections, renders the process's [`MetricsRegistry`] — counters,
+//! gauges, and histogram summaries with p50/p95/p99 quantiles — and a
+//! caller-supplied health callback. The listener speaks just enough
+//! HTTP/1.1 for `curl` and Prometheus: `GET`, `Connection: close`, one
+//! request per connection. That keeps the dependency budget at zero
+//! (this crate is std-only by design) while staying scrapable by real
+//! tooling.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::json;
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+
+/// How long a scraper may dawdle before its connection is dropped.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Largest request head (request line + headers) we will buffer.
+const MAX_REQUEST: usize = 8 * 1024;
+
+/// A running exposition endpoint; dropping it stops the listener.
+///
+/// Serves:
+///
+/// * `GET /metrics` — Prometheus text: counters, gauges, and histograms
+///   as summaries (`{quantile="0.5|0.95|0.99"}`, `_sum`, `_count`,
+///   `_min`, `_max`);
+/// * `GET /health` — the JSON document produced by the health callback;
+/// * `GET /` — a plain-text index of the above.
+pub struct ExposeServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ExposeServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExposeServer").field("addr", &self.addr).finish_non_exhaustive()
+    }
+}
+
+impl ExposeServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving `metrics`
+    /// snapshots and `health()` documents on a background thread.
+    ///
+    /// The health callback runs on the listener thread once per
+    /// `/health` request; it should return a complete JSON document and
+    /// must not block on locks the protocol hot path holds for long.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        metrics: MetricsRegistry,
+        health: impl Fn() -> String + Send + Sync + 'static,
+    ) -> io::Result<ExposeServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name(format!("expose-{}", addr.port()))
+            .spawn(move || accept_loop(&listener, &stop2, &metrics, &health))
+            .expect("spawn exposition thread");
+        Ok(ExposeServer { addr, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (resolves port 0 to the real port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener and joins its thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ExposeServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    stop: &AtomicBool,
+    metrics: &MetricsRegistry,
+    health: &(impl Fn() -> String + ?Sized),
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Scrapes are rare and tiny; serve inline with timeouts
+                // so a wedged client cannot hold the thread forever.
+                let _ = serve_one(stream, metrics, health);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn serve_one(
+    mut stream: TcpStream,
+    metrics: &MetricsRegistry,
+    health: &(impl Fn() -> String + ?Sized),
+) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+    stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
+    let request = read_request_head(&mut stream)?;
+    let (method, path) = parse_request_line(&request);
+    if method != "GET" {
+        return respond(&mut stream, "405 Method Not Allowed", "text/plain", "GET only\n");
+    }
+    match path {
+        "/metrics" => {
+            let body = render_prometheus(&metrics.snapshot());
+            respond(&mut stream, "200 OK", "text/plain; version=0.0.4", &body)
+        }
+        "/health" => {
+            let mut body = health();
+            if !body.ends_with('\n') {
+                body.push('\n');
+            }
+            respond(&mut stream, "200 OK", "application/json", &body)
+        }
+        "/" => respond(
+            &mut stream,
+            "200 OK",
+            "text/plain",
+            "curtain exposition endpoints:\n  /metrics\n  /health\n",
+        ),
+        _ => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
+    }
+}
+
+/// Reads bytes until the blank line ending the request head (we ignore
+/// bodies: every served route is a GET).
+fn read_request_head(stream: &mut TcpStream) -> io::Result<String> {
+    let mut buf = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while buf.len() < MAX_REQUEST {
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                buf.push(byte[0]);
+                if buf.ends_with(b"\r\n\r\n") || buf.ends_with(b"\n\n") {
+                    break;
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(String::from_utf8_lossy(&buf).into_owned())
+}
+
+fn parse_request_line(request: &str) -> (&str, &str) {
+    let line = request.lines().next().unwrap_or("");
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("/");
+    // Strip any query string: `/metrics?foo=1` scrapes `/metrics`.
+    (method, path.split('?').next().unwrap_or(path))
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Renders a snapshot in the Prometheus text exposition format.
+///
+/// Counters and gauges map directly; each histogram becomes a summary
+/// with p50/p95/p99 quantile samples plus `_sum`/`_count`/`_min`/`_max`.
+/// Metric names are sanitized to the `[a-zA-Z_:][a-zA-Z0-9_:]*` charset.
+#[must_use]
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(1024);
+    for (name, value) in &snapshot.counters {
+        let name = sanitize_metric_name(name);
+        out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+    }
+    for (name, value) in &snapshot.gauges {
+        let name = sanitize_metric_name(name);
+        let mut v = String::new();
+        json::write_f64(*value, &mut v);
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+    }
+    for (name, h) in &snapshot.histograms {
+        let name = sanitize_metric_name(name);
+        out.push_str(&format!("# TYPE {name} summary\n"));
+        for (label, q) in [("0.5", h.p50()), ("0.95", h.p95()), ("0.99", h.p99())] {
+            let mut v = String::new();
+            json::write_f64(q, &mut v);
+            out.push_str(&format!("{name}{{quantile=\"{label}\"}} {v}\n"));
+        }
+        let mut sum = String::new();
+        json::write_f64(h.sum, &mut sum);
+        out.push_str(&format!("{name}_sum {sum}\n{name}_count {}\n", h.count));
+        let mut lo = String::new();
+        json::write_f64(h.min, &mut lo);
+        let mut hi = String::new();
+        json::write_f64(h.max, &mut hi);
+        out.push_str(&format!("{name}_min {lo}\n{name}_max {hi}\n"));
+    }
+    out
+}
+
+fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic()
+            || c == '_'
+            || c == ':'
+            || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() { "_".into() } else { out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").expect("header/body split");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_health_index_and_404() {
+        let metrics = MetricsRegistry::new();
+        metrics.counter("packets_innovative", 41);
+        metrics.gauge("decode_rank", 7.0);
+        for v in [1.0, 2.0, 300.0] {
+            metrics.histogram("repair latency-ms", v);
+        }
+        let server =
+            ExposeServer::bind("127.0.0.1:0", metrics.clone(), || r#"{"ok":true}"#.to_string())
+                .unwrap();
+        let addr = server.addr();
+
+        let (head, body) = http_get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("packets_innovative 41"), "{body}");
+        assert!(body.contains("decode_rank 7"), "{body}");
+        // Name sanitized, summary quantiles present.
+        assert!(body.contains("repair_latency_ms{quantile=\"0.5\"}"), "{body}");
+        assert!(body.contains("repair_latency_ms_count 3"), "{body}");
+
+        // Metrics recorded after bind show up on the next scrape.
+        metrics.counter("packets_innovative", 1);
+        let (_, body) = http_get(addr, "/metrics?format=prometheus");
+        assert!(body.contains("packets_innovative 42"), "{body}");
+
+        let (head, body) = http_get(addr, "/health");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("application/json"), "{head}");
+        assert_eq!(body, "{\"ok\":true}\n");
+
+        let (head, body) = http_get(addr, "/");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("/metrics"), "{body}");
+
+        let (head, _) = http_get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn non_get_is_rejected_and_drop_stops_listener() {
+        let server = ExposeServer::bind("127.0.0.1:0", MetricsRegistry::new(), || "{}".into())
+            .unwrap();
+        let addr = server.addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"POST /metrics HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+        drop(server); // must not hang joining the accept loop
+    }
+
+    #[test]
+    fn sanitizes_awkward_names() {
+        assert_eq!(sanitize_metric_name("recode_ns"), "recode_ns");
+        assert_eq!(sanitize_metric_name("9lives"), "_lives");
+        assert_eq!(sanitize_metric_name("a b/c-d"), "a_b_c_d");
+        assert_eq!(sanitize_metric_name(""), "_");
+    }
+
+    #[test]
+    fn prometheus_rendering_shape() {
+        let m = MetricsRegistry::new();
+        m.counter("c", 1);
+        m.gauge("g", 2.5);
+        m.histogram("h", 8.0);
+        let text = render_prometheus(&m.snapshot());
+        assert!(text.contains("# TYPE c counter\nc 1\n"), "{text}");
+        assert!(text.contains("# TYPE g gauge\ng 2.5\n"), "{text}");
+        assert!(text.contains("# TYPE h summary\n"), "{text}");
+        assert!(text.contains("h_count 1\n"), "{text}");
+        assert!(text.contains("h_sum 8.0\n"), "{text}");
+    }
+}

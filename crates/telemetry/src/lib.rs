@@ -24,7 +24,16 @@
 //! * [`NullRecorder`] / [`SharedRecorder::null`] — the disabled state:
 //!   instrumented code pays one `Option`/flag check and nothing else;
 //! * [`replay`] — parses a JSONL trace back into `(timestamp, Event)`
-//!   pairs so experiments can be replayed and cross-checked offline.
+//!   pairs so experiments can be replayed and cross-checked offline;
+//! * [`trace`] — causal identity ([`TraceContext`]): trace/span ids
+//!   stamped at packet birth, forwarded hop by hop, carried as an
+//!   optional frame extension by `curtain-net`;
+//! * [`stitch`] — merges multi-process JSONL traces by trace id into
+//!   per-hop latency distributions, hop-chain completeness accounting,
+//!   and repair-episode span trees ([`StitchReport`]);
+//! * [`expose`] — a zero-dep blocking HTTP listener ([`ExposeServer`])
+//!   serving Prometheus-style `/metrics` (with p50/p95/p99 histogram
+//!   summaries) and a caller-defined `/health` JSON document.
 //!
 //! The crate is deliberately **dependency-free** (std only): JSON emission
 //! and parsing are small hand-rolled routines covering exactly the schema
@@ -58,14 +67,20 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod expose;
 pub mod json;
 mod metrics;
 mod recorder;
 pub mod replay;
 mod sink;
+pub mod stitch;
+pub mod trace;
 
 pub use event::{DropReason, Event, SpliceCause};
+pub use expose::ExposeServer;
 pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use recorder::{NullRecorder, Recorder, SharedRecorder};
 pub use replay::TracedEvent;
 pub use sink::{JsonlSink, MemorySink};
+pub use stitch::{StitchReport, stitch};
+pub use trace::TraceContext;

@@ -168,6 +168,24 @@ impl HistogramSnapshot {
         }
         self.max
     }
+
+    /// Median summary quantile (see [`HistogramSnapshot::quantile`]).
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile summary quantile.
+    #[must_use]
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile summary quantile.
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
 }
 
 /// A frozen view of a [`MetricsRegistry`].
@@ -221,6 +239,12 @@ impl MetricsSnapshot {
             json::write_f64(h.min, &mut out);
             out.push_str(",\"max\":");
             json::write_f64(h.max, &mut out);
+            out.push_str(",\"p50\":");
+            json::write_f64(h.p50(), &mut out);
+            out.push_str(",\"p95\":");
+            json::write_f64(h.p95(), &mut out);
+            out.push_str(",\"p99\":");
+            json::write_f64(h.p99(), &mut out);
             for (b, &n) in h.buckets.iter().enumerate() {
                 if n > 0 {
                     out.push_str(&format!(",\"b{b}\":{n}"));
@@ -286,6 +310,59 @@ mod tests {
         assert_eq!(bucket_index(0.99), 0);
         assert_eq!(bucket_index(1.0), 1);
         assert_eq!(bucket_index(2.0), 2);
+    }
+
+    #[test]
+    fn summary_quantiles_match_known_distributions() {
+        // Uniform 1..=1000: p50 ≈ 500, p95 ≈ 950, p99 ≈ 990. The log₂
+        // buckets resolve to their upper edge, so assert the edge the
+        // true quantile's bucket maps to (within 2× of the true value).
+        let m = MetricsRegistry::new();
+        for v in 1..=1000 {
+            m.histogram("uniform", v as f64);
+        }
+        let h = &m.snapshot().histograms["uniform"];
+        assert_eq!(h.p50(), 512.0); // 500 ∈ [256,512) → edge 512
+        assert_eq!(h.p95(), 1000.0); // 950 ∈ [512,1024) → edge 1024, clamped to max
+        assert_eq!(h.p99(), 1000.0);
+        assert!(h.p50() <= h.p95() && h.p95() <= h.p99());
+
+        // Heavily skewed: 99 fast observations and one slow outlier —
+        // p50 stays in the fast bucket, p99 reaches for the outlier.
+        let m = MetricsRegistry::new();
+        for _ in 0..99 {
+            m.histogram("skew", 2.0);
+        }
+        m.histogram("skew", 4096.0);
+        let h = &m.snapshot().histograms["skew"];
+        assert_eq!(h.p50(), 4.0); // 2.0 ∈ [2,4) → edge 4
+        assert_eq!(h.p95(), 4.0);
+        assert_eq!(h.p99(), 4.0); // 99th of 100 is still a fast one
+        assert_eq!(h.quantile(1.0), 4096.0);
+
+        // Constant distribution: every summary is (clamped to) the value.
+        let m = MetricsRegistry::new();
+        for _ in 0..10 {
+            m.histogram("const", 7.0);
+        }
+        let h = &m.snapshot().histograms["const"];
+        assert_eq!((h.p50(), h.p95(), h.p99()), (7.0, 7.0, 7.0));
+
+        // Empty histogram: all zeros, no panic.
+        let empty = HistogramSnapshot { count: 0, sum: 0.0, min: 0.0, max: 0.0, buckets: vec![] };
+        assert_eq!((empty.p50(), empty.p95(), empty.p99()), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn snapshot_json_carries_summary_quantiles() {
+        let m = MetricsRegistry::new();
+        for v in [1.0, 2.0, 3.0] {
+            m.histogram("h", v);
+        }
+        let js = m.snapshot().to_json();
+        assert!(js.contains("\"p50\":"), "{js}");
+        assert!(js.contains("\"p95\":"), "{js}");
+        assert!(js.contains("\"p99\":"), "{js}");
     }
 
     #[test]

@@ -73,4 +73,48 @@ mod tests {
     fn empty_trace_is_ok() {
         assert!(parse_trace("").unwrap().is_empty());
     }
+
+    #[test]
+    fn every_event_variant_round_trips_through_a_trace() {
+        // `sample_of_every_variant` is compile-time-forced to cover every
+        // `Event` variant, so a newly added event cannot silently skip
+        // the write→parse path: it either round-trips here or this fails.
+        let samples = crate::event::sample_of_every_variant();
+        let mut text = String::new();
+        for (i, event) in samples.iter().enumerate() {
+            event.write_jsonl(i as u64 * 3 + 1, &mut text);
+            text.push('\n');
+        }
+        let parsed = parse_trace(&text).expect("every variant parses back");
+        assert_eq!(parsed.len(), samples.len());
+        for (i, (traced, original)) in parsed.iter().zip(&samples).enumerate() {
+            assert_eq!(traced.at, i as u64 * 3 + 1);
+            assert_eq!(&traced.event, original, "variant {}", original.kind());
+        }
+        // Sanity: the sample list exercises more than one kind per tag
+        // only where intended; every kind tag is represented.
+        let kinds: std::collections::BTreeSet<_> = samples.iter().map(Event::kind).collect();
+        assert!(kinds.len() >= 23, "expected every variant kind, got {kinds:?}");
+    }
+
+    #[test]
+    fn full_sink_to_replay_loop_preserves_every_variant() {
+        use crate::recorder::SharedRecorder;
+        use crate::sink::JsonlSink;
+
+        let sink = JsonlSink::new(Vec::new());
+        let r = SharedRecorder::new(sink.clone());
+        let samples = crate::event::sample_of_every_variant();
+        for (i, event) in samples.iter().enumerate() {
+            r.set_time(100 + i as u64);
+            r.record(event);
+        }
+        r.flush().unwrap();
+        let bytes = sink.bytes();
+        let parsed = read_trace(&bytes[..]).unwrap();
+        assert_eq!(parsed.len(), samples.len());
+        for (traced, original) in parsed.iter().zip(&samples) {
+            assert_eq!(&traced.event, original);
+        }
+    }
 }

@@ -1,6 +1,8 @@
 //! Concrete [`Recorder`] sinks: JSONL streaming and in-memory buffering.
 
+use std::collections::VecDeque;
 use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::event::Event;
@@ -12,13 +14,25 @@ use crate::recorder::Recorder;
 ///
 /// The writer sits behind a single mutex; each event is formatted into a
 /// thread-local-ish scratch `String` *outside* the lock, so the critical
-/// section is one buffered `write_all`. Cloning is cheap and clones share
-/// the writer, which lets a test keep a handle to a `Vec<u8>` sink while
-/// the recorder owns another.
+/// section is one buffered `write_all` — concurrent recorders can never
+/// tear or merge lines. Cloning is cheap and clones share the writer,
+/// which lets a test keep a handle to a `Vec<u8>` sink while the recorder
+/// owns another. Dropping any clone flushes the writer, so traces from
+/// processes that exit without an explicit `flush()` are not truncated at
+/// the `BufWriter` boundary.
 #[derive(Debug)]
 pub struct JsonlSink<W: Write> {
     writer: Arc<Mutex<W>>,
     metrics: MetricsRegistry,
+}
+
+impl<W: Write> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        // Best-effort: a failed flush at drop has nowhere to report to.
+        if let Ok(mut w) = self.writer.lock() {
+            let _ = w.flush();
+        }
+    }
 }
 
 impl<W: Write> Clone for JsonlSink<W> {
@@ -97,29 +111,58 @@ impl<W: Write + Send> Recorder for JsonlSink<W> {
 
 /// Buffers `(timestamp, Event)` pairs in memory — the assertion sink for
 /// integration tests. Metric calls go to an embedded registry too.
+///
+/// By default the buffer is unbounded. [`MemorySink::bounded`] caps it as
+/// a ring: once full, each new event evicts the oldest and bumps the
+/// [`MemorySink::dropped`] counter, so long soaks keep the *tail* of the
+/// event stream without growing memory without bound.
 #[derive(Debug, Clone, Default)]
 pub struct MemorySink {
-    events: Arc<Mutex<Vec<(u64, Event)>>>,
+    events: Arc<Mutex<VecDeque<(u64, Event)>>>,
     metrics: MetricsRegistry,
+    cap: Option<usize>,
+    dropped: Arc<AtomicU64>,
 }
 
 impl MemorySink {
-    /// Creates an empty sink.
+    /// Creates an empty, unbounded sink.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates a ring-buffer sink keeping at most `cap` events.
+    ///
+    /// When full, recording evicts the oldest buffered event and counts
+    /// it in [`MemorySink::dropped`]. A `cap` of 0 buffers nothing (every
+    /// event is dropped-on-arrival but still counted).
+    #[must_use]
+    pub fn bounded(cap: usize) -> Self {
+        MemorySink { cap: Some(cap), ..Self::default() }
+    }
+
+    /// The configured capacity (`None` = unbounded).
+    #[must_use]
+    pub fn capacity(&self) -> Option<usize> {
+        self.cap
+    }
+
+    /// Events evicted (or refused, for `cap == 0`) since creation.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
     /// Copies out the events recorded so far, in record order.
     #[must_use]
     pub fn events(&self) -> Vec<(u64, Event)> {
-        self.events.lock().unwrap().clone()
+        self.events.lock().unwrap().iter().cloned().collect()
     }
 
     /// Drains and returns the recorded events.
     #[must_use]
     pub fn take(&self) -> Vec<(u64, Event)> {
-        std::mem::take(&mut self.events.lock().unwrap())
+        self.events.lock().unwrap().drain(..).collect()
     }
 
     /// Number of events recorded so far.
@@ -143,7 +186,18 @@ impl MemorySink {
 
 impl Recorder for MemorySink {
     fn record(&self, at: u64, event: &Event) {
-        self.events.lock().unwrap().push((at, event.clone()));
+        let mut events = self.events.lock().unwrap();
+        if let Some(cap) = self.cap {
+            if cap == 0 {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            if events.len() >= cap {
+                events.pop_front();
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        events.push_back((at, event.clone()));
     }
 
     fn counter(&self, name: &str, delta: u64) {
@@ -220,5 +274,122 @@ mod tests {
         r.flush().unwrap();
         let n = sink.with_writer(|w| w.get_ref().len());
         assert!(n > 0);
+    }
+
+    #[test]
+    fn concurrent_recorders_never_tear_lines() {
+        // 8 threads × 500 events through clones of one sink: every line
+        // of the output must parse back as exactly one event, and the
+        // per-thread event counts must all survive intact.
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 500;
+        let sink = JsonlSink::buffered(Vec::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|tid| {
+                let r = SharedRecorder::wall_clock(sink.clone());
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        // Long string payloads maximize the torn-write
+                        // window a non-atomic writer would expose.
+                        r.record(&Event::RunInfo {
+                            key: format!("thread_{tid}"),
+                            value: format!("payload {i} {}", "x".repeat(64)),
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        sink.flush().unwrap();
+        let bytes = sink.with_writer(|w| w.get_ref().clone());
+        let events = replay::read_trace(&bytes[..]).expect("no torn or merged lines");
+        assert_eq!(events.len(), (THREADS * PER_THREAD) as usize);
+        let mut per_thread = std::collections::BTreeMap::new();
+        for e in &events {
+            match &e.event {
+                Event::RunInfo { key, .. } => *per_thread.entry(key.clone()).or_insert(0u64) += 1,
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert_eq!(per_thread.len(), THREADS as usize);
+        assert!(per_thread.values().all(|&n| n == PER_THREAD), "{per_thread:?}");
+    }
+
+    #[test]
+    fn drop_flushes_buffered_writer() {
+        // Shared Vec underneath a BufWriter: without the Drop flush, a
+        // small trace would still be sitting in the BufWriter's buffer.
+        let shared: Arc<Mutex<Vec<u8>>> = Arc::default();
+
+        struct SharedVec(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedVec {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        {
+            let sink = JsonlSink::buffered(SharedVec(Arc::clone(&shared)));
+            let r = SharedRecorder::new(sink);
+            r.record(&Event::GoodBye { node: 1 });
+            assert!(shared.lock().unwrap().is_empty(), "still buffered");
+            // `r` (holding the only sink) drops here.
+        }
+        let bytes = shared.lock().unwrap().clone();
+        let events = replay::read_trace(&bytes[..]).unwrap();
+        assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn bounded_memory_sink_keeps_tail_and_counts_drops() {
+        let sink = MemorySink::bounded(3);
+        assert_eq!(sink.capacity(), Some(3));
+        let r = SharedRecorder::new(sink.clone());
+        for node in 0..10 {
+            r.set_time(node);
+            r.record(&Event::GoodBye { node });
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.dropped(), 7);
+        let events = sink.events();
+        assert_eq!(
+            events,
+            vec![
+                (7, Event::GoodBye { node: 7 }),
+                (8, Event::GoodBye { node: 8 }),
+                (9, Event::GoodBye { node: 9 }),
+            ]
+        );
+        // Metrics are unaffected by the ring.
+        r.counter("c", 1);
+        assert_eq!(sink.metrics().snapshot().counters["c"], 1);
+    }
+
+    #[test]
+    fn zero_capacity_sink_drops_everything() {
+        let sink = MemorySink::bounded(0);
+        let r = SharedRecorder::new(sink.clone());
+        r.record(&Event::GoodBye { node: 1 });
+        r.record(&Event::GoodBye { node: 2 });
+        assert!(sink.is_empty());
+        assert_eq!(sink.dropped(), 2);
+    }
+
+    #[test]
+    fn unbounded_sink_never_drops() {
+        let sink = MemorySink::new();
+        assert_eq!(sink.capacity(), None);
+        let r = SharedRecorder::new(sink.clone());
+        for node in 0..1000 {
+            r.record(&Event::GoodBye { node });
+        }
+        assert_eq!(sink.len(), 1000);
+        assert_eq!(sink.dropped(), 0);
     }
 }

@@ -1,0 +1,885 @@
+//! Cross-process trace stitching: merge multi-process JSONL traces by
+//! trace id, order spans causally, and reconstruct per-hop packet
+//! latencies and repair-episode critical paths.
+//!
+//! Input is any concatenation of [`crate::TracedEvent`] streams — one per
+//! process, in any order. Stitching keys everything off the ids minted by
+//! [`crate::trace`]:
+//!
+//! * a **hop** is a [`crate::Event::HopSend`] / [`crate::Event::HopRecv`]
+//!   pair sharing `(trace, span)`; the send side's `parent` links to the
+//!   span under which the sender *received* the packet it recoded, so
+//!   walking parents reconstructs the full source→peer path. A chain is
+//!   *complete* when the walk reaches a hop sent by
+//!   [`crate::trace::SOURCE_NODE`];
+//! * a **span tree** is a set of [`crate::Event::SpanStart`] /
+//!   [`crate::Event::SpanEnd`] pairs linked by `parent` — repair episodes
+//!   (`repair` → `complain` → `splice` → `repair_complete`), WAL replays,
+//!   resyncs. A tree is *closed* when every started span ended.
+//!
+//! The [`StitchReport`] renders three ways: a human text summary, a JSON
+//! document, and a flamegraph-compatible collapsed-stack listing
+//! (`a;b;c <weight>` lines — hop chains weighted by hop latency in µs,
+//! spans by self-time in the trace clock's ms).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use crate::event::Event;
+use crate::json::JsonValue;
+use crate::replay::TracedEvent;
+use crate::trace::{COORDINATOR_NODE, NO_PARENT, SOURCE_NODE};
+
+/// One reconstructed hop: a traced packet leaving one node and (if the
+/// matching receive was traced) arriving at another.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hop {
+    /// Trace id of the chain this hop belongs to.
+    pub trace: u64,
+    /// Span id naming this hop on both sides.
+    pub span: u64,
+    /// Span under which the sender received its causal input
+    /// ([`NO_PARENT`] for source hops), from the send side.
+    pub parent: u64,
+    /// Sending node ([`SOURCE_NODE`] for the origin).
+    pub from: u64,
+    /// Receiving node, when the receive side was observed.
+    pub to: Option<u64>,
+    /// Generation the packet belongs to.
+    pub generation: u32,
+    /// Send stamp, µs since the unix epoch (`None` if only the receive
+    /// side was observed — a partial trace).
+    pub send_us: Option<u64>,
+    /// Receive stamp, µs since the unix epoch.
+    pub recv_us: Option<u64>,
+}
+
+impl Hop {
+    /// Send→receive latency in µs when both sides were observed.
+    /// Clock skew that would make it negative clamps to 0.
+    #[must_use]
+    pub fn latency_us(&self) -> Option<u64> {
+        match (self.send_us, self.recv_us) {
+            (Some(s), Some(r)) => Some(r.saturating_sub(s)),
+            _ => None,
+        }
+    }
+}
+
+/// Order statistics over a set of µs (or ms) measurements — exact, not
+/// bucketed: stitching is offline and keeps every sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (nearest-rank).
+    pub p50: u64,
+    /// 95th percentile (nearest-rank).
+    pub p95: u64,
+    /// 99th percentile (nearest-rank).
+    pub p99: u64,
+}
+
+impl LatencySummary {
+    fn from_samples(mut samples: Vec<u64>) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_unstable();
+        let count = samples.len();
+        let sum: u128 = samples.iter().map(|&v| u128::from(v)).sum();
+        let rank = |q: f64| -> u64 {
+            let idx = ((q * count as f64).ceil() as usize).max(1) - 1;
+            samples[idx.min(count - 1)]
+        };
+        Some(LatencySummary {
+            count,
+            min: samples[0],
+            max: samples[count - 1],
+            mean: sum as f64 / count as f64,
+            p50: rank(0.50),
+            p95: rank(0.95),
+            p99: rank(0.99),
+        })
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let mut fields = BTreeMap::new();
+        fields.insert("count".into(), JsonValue::Int(self.count as i64));
+        fields.insert("min".into(), JsonValue::Int(self.min as i64));
+        fields.insert("max".into(), JsonValue::Int(self.max as i64));
+        fields.insert("mean".into(), JsonValue::Float(self.mean));
+        fields.insert("p50".into(), JsonValue::Int(self.p50 as i64));
+        fields.insert("p95".into(), JsonValue::Int(self.p95 as i64));
+        fields.insert("p99".into(), JsonValue::Int(self.p99 as i64));
+        JsonValue::Object(fields)
+    }
+}
+
+/// Chain accounting for one generation: how many traced arrivals were
+/// observed, and how many of them walk back to the source.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GenerationChains {
+    /// Traced packet arrivals (`HopRecv`) for this generation.
+    pub arrivals: usize,
+    /// Arrivals whose parent walk reaches a [`SOURCE_NODE`] hop with
+    /// every hop on the path matched on both sides.
+    pub complete: usize,
+    /// Longest complete chain, in hops.
+    pub max_depth: usize,
+    /// End-to-end (source send → final receive) latencies of complete
+    /// chains, µs.
+    pub end_to_end_us: Option<LatencySummary>,
+}
+
+/// One reconstructed span (episode step) with its resolved timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanInfo {
+    /// Trace id of the tree this span belongs to.
+    pub trace: u64,
+    /// This span's id.
+    pub span: u64,
+    /// Parent span id ([`NO_PARENT`] for roots).
+    pub parent: u64,
+    /// The span's name (`"repair"`, `"complain"`, `"splice"`, …).
+    pub name: String,
+    /// Node it ran on.
+    pub node: u64,
+    /// Start stamp (trace clock — unix ms over real sockets).
+    pub start_at: u64,
+    /// End stamp and success flag, when the span closed.
+    pub end: Option<(u64, bool)>,
+    /// Depth below its root (root = 0).
+    pub depth: usize,
+}
+
+impl SpanInfo {
+    /// Span duration in trace-clock units, when closed.
+    #[must_use]
+    pub fn duration(&self) -> Option<u64> {
+        self.end.map(|(at, _)| at.saturating_sub(self.start_at))
+    }
+}
+
+/// One root span and its whole tree, causally ordered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Episode {
+    /// Trace id of the episode.
+    pub trace: u64,
+    /// Root span id.
+    pub root: u64,
+    /// Root span name (`"repair"` for repair episodes).
+    pub name: String,
+    /// Node the root span ran on.
+    pub node: u64,
+    /// `true` when every span in the tree has a matching end.
+    pub closed: bool,
+    /// The root span's outcome, when it closed.
+    pub ok: Option<bool>,
+    /// Every span in the tree: parents before children, siblings by
+    /// start stamp — the causal order.
+    pub steps: Vec<SpanInfo>,
+    /// Names of the steps whose closure bounds the episode's wall time:
+    /// the root, then at each level the child that finished last.
+    pub critical_path: Vec<String>,
+}
+
+impl Episode {
+    /// Root span duration, when the root closed.
+    #[must_use]
+    pub fn duration(&self) -> Option<u64> {
+        self.steps.first().and_then(SpanInfo::duration)
+    }
+}
+
+/// The stitched view over every input trace.
+#[derive(Debug, Clone, Default)]
+pub struct StitchReport {
+    /// All reconstructed hops, ordered by (trace, span).
+    pub hops: Vec<Hop>,
+    /// Per-edge (`from` → `to`) hop latency distributions, µs.
+    pub edges: BTreeMap<(u64, u64), LatencySummary>,
+    /// Per-generation chain accounting.
+    pub generations: BTreeMap<u32, GenerationChains>,
+    /// Every span tree found, in (trace, root-span) order.
+    pub episodes: Vec<Episode>,
+    /// `SpanEnd` events with no matching start (partial traces).
+    pub orphan_span_ends: usize,
+}
+
+impl StitchReport {
+    /// `true` when every traced arrival in every generation walks back to
+    /// a source hop. Vacuously true with no traced arrivals.
+    #[must_use]
+    pub fn all_chains_complete(&self) -> bool {
+        self.generations.values().all(|g| g.complete == g.arrivals)
+    }
+
+    /// The episodes rooted at a `"repair"` span.
+    pub fn repair_episodes(&self) -> impl Iterator<Item = &Episode> {
+        self.episodes.iter().filter(|e| e.name == "repair")
+    }
+
+    /// `true` when every repair episode's span tree is closed.
+    #[must_use]
+    pub fn all_repair_episodes_closed(&self) -> bool {
+        self.repair_episodes().all(|e| e.closed)
+    }
+
+    /// Total traced arrivals across generations.
+    #[must_use]
+    pub fn total_arrivals(&self) -> usize {
+        self.generations.values().map(|g| g.arrivals).sum()
+    }
+
+    /// Total complete chains across generations.
+    #[must_use]
+    pub fn total_complete(&self) -> usize {
+        self.generations.values().map(|g| g.complete).sum()
+    }
+
+    /// Renders the report as one pretty-printed JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut root = BTreeMap::new();
+
+        let mut chains = BTreeMap::new();
+        for (generation, g) in &self.generations {
+            let mut fields = BTreeMap::new();
+            fields.insert("arrivals".into(), JsonValue::Int(g.arrivals as i64));
+            fields.insert("complete".into(), JsonValue::Int(g.complete as i64));
+            fields.insert("max_depth".into(), JsonValue::Int(g.max_depth as i64));
+            if let Some(s) = &g.end_to_end_us {
+                fields.insert("end_to_end_us".into(), s.to_json());
+            }
+            chains.insert(format!("g{generation}"), JsonValue::Object(fields));
+        }
+        root.insert("generations".into(), JsonValue::Object(chains));
+
+        let mut edges = BTreeMap::new();
+        for ((from, to), summary) in &self.edges {
+            edges.insert(format!("{}->{}", node_label(*from), node_label(*to)), summary.to_json());
+        }
+        root.insert("hop_latency_us".into(), JsonValue::Object(edges));
+
+        let episodes: Vec<JsonValue> = self
+            .episodes
+            .iter()
+            .map(|e| {
+                let mut fields = BTreeMap::new();
+                fields.insert("trace".into(), JsonValue::Int(e.trace as i64));
+                fields.insert("name".into(), JsonValue::Str(e.name.clone()));
+                fields.insert("node".into(), JsonValue::Str(node_label(e.node)));
+                fields.insert("closed".into(), JsonValue::Bool(e.closed));
+                match e.ok {
+                    Some(ok) => fields.insert("ok".into(), JsonValue::Bool(ok)),
+                    None => fields.insert("ok".into(), JsonValue::Null),
+                };
+                if let Some(d) = e.duration() {
+                    fields.insert("duration_ms".into(), JsonValue::Int(d as i64));
+                }
+                fields.insert(
+                    "critical_path".into(),
+                    JsonValue::Array(
+                        e.critical_path.iter().map(|s| JsonValue::Str(s.clone())).collect(),
+                    ),
+                );
+                fields.insert(
+                    "steps".into(),
+                    JsonValue::Array(
+                        e.steps
+                            .iter()
+                            .map(|s| {
+                                let mut step = BTreeMap::new();
+                                step.insert("name".into(), JsonValue::Str(s.name.clone()));
+                                step.insert("node".into(), JsonValue::Str(node_label(s.node)));
+                                step.insert("depth".into(), JsonValue::Int(s.depth as i64));
+                                step.insert("closed".into(), JsonValue::Bool(s.end.is_some()));
+                                if let Some(d) = s.duration() {
+                                    step.insert("duration_ms".into(), JsonValue::Int(d as i64));
+                                }
+                                JsonValue::Object(step)
+                            })
+                            .collect(),
+                    ),
+                );
+                JsonValue::Object(fields)
+            })
+            .collect();
+        root.insert("episodes".into(), JsonValue::Array(episodes));
+
+        let mut totals = BTreeMap::new();
+        totals.insert("arrivals".into(), JsonValue::Int(self.total_arrivals() as i64));
+        totals.insert("complete_chains".into(), JsonValue::Int(self.total_complete() as i64));
+        totals.insert(
+            "all_chains_complete".into(),
+            JsonValue::Bool(self.all_chains_complete()),
+        );
+        totals.insert(
+            "all_repair_episodes_closed".into(),
+            JsonValue::Bool(self.all_repair_episodes_closed()),
+        );
+        totals.insert(
+            "orphan_span_ends".into(),
+            JsonValue::Int(self.orphan_span_ends as i64),
+        );
+        root.insert("totals".into(), JsonValue::Object(totals));
+
+        JsonValue::Object(root).render_pretty()
+    }
+
+    /// Renders a human-readable text summary.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== stitched trace report ==\n");
+        out.push_str(&format!(
+            "chains: {}/{} traced arrivals walk back to the source ({})\n",
+            self.total_complete(),
+            self.total_arrivals(),
+            if self.all_chains_complete() { "complete" } else { "INCOMPLETE" },
+        ));
+        for (generation, g) in &self.generations {
+            out.push_str(&format!(
+                "  g{generation}: {}/{} complete, max depth {} hops",
+                g.complete, g.arrivals, g.max_depth
+            ));
+            if let Some(s) = &g.end_to_end_us {
+                out.push_str(&format!(
+                    ", end-to-end µs p50/p95/p99 = {}/{}/{}",
+                    s.p50, s.p95, s.p99
+                ));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("per-hop latency (µs), {} edges:\n", self.edges.len()));
+        for ((from, to), s) in &self.edges {
+            out.push_str(&format!(
+                "  {} -> {}: n={} min={} p50={} p95={} p99={} max={}\n",
+                node_label(*from),
+                node_label(*to),
+                s.count,
+                s.min,
+                s.p50,
+                s.p95,
+                s.p99,
+                s.max
+            ));
+        }
+        let repairs: Vec<&Episode> = self.repair_episodes().collect();
+        out.push_str(&format!(
+            "episodes: {} total, {} repair ({})\n",
+            self.episodes.len(),
+            repairs.len(),
+            if self.all_repair_episodes_closed() { "all closed" } else { "UNCLOSED present" },
+        ));
+        for e in &self.episodes {
+            out.push_str(&format!(
+                "  [{}] {} on {}: {}{}, path {}\n",
+                e.trace,
+                e.name,
+                node_label(e.node),
+                if e.closed { "closed" } else { "OPEN" },
+                e.duration().map(|d| format!(" in {d} ms")).unwrap_or_default(),
+                e.critical_path.join(" -> "),
+            ));
+        }
+        out
+    }
+
+    /// Renders flamegraph-compatible collapsed stacks: hop chains as
+    /// `path;source;n3;n7 <latency µs>` and span trees as
+    /// `repair;complain;splice <self-time ms>` lines.
+    #[must_use]
+    pub fn collapsed_stacks(&self) -> String {
+        let mut lines: Vec<String> = Vec::new();
+        let by_key: HashMap<(u64, u64), &Hop> =
+            self.hops.iter().map(|h| ((h.trace, h.span), h)).collect();
+        for hop in &self.hops {
+            // Emit one stack per *terminal* arrival (a hop nothing else
+            // extends would double-count its prefix otherwise) — cheap
+            // approximation: emit for every matched hop, weighting by
+            // that hop's own latency, with the stack being the node path
+            // up to it. Flamegraph semantics then show each edge's cost
+            // at its position in the path.
+            let Some(latency) = hop.latency_us() else { continue };
+            let Some(path) = chain_path(hop, &by_key) else { continue };
+            lines.push(format!("path;{} {}", path.join(";"), latency.max(1)));
+        }
+        for episode in &self.episodes {
+            let by_span: HashMap<u64, &SpanInfo> =
+                episode.steps.iter().map(|s| (s.span, s)).collect();
+            for step in &episode.steps {
+                let mut names = vec![step.name.clone()];
+                let mut cursor = step.parent;
+                while let Some(up) = by_span.get(&cursor) {
+                    names.push(up.name.clone());
+                    cursor = up.parent;
+                }
+                names.reverse();
+                let inclusive = step.duration().unwrap_or(0);
+                let children: u64 = episode
+                    .steps
+                    .iter()
+                    .filter(|s| s.parent == step.span)
+                    .filter_map(SpanInfo::duration)
+                    .sum();
+                let self_time = inclusive.saturating_sub(children);
+                lines.push(format!("{} {}", names.join(";"), self_time.max(1)));
+            }
+        }
+        lines.sort();
+        let mut out = lines.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Human-friendly node label: `source` / `coordinator` for the
+/// sentinels, `n<id>` else.
+fn node_label(node: u64) -> String {
+    if node == SOURCE_NODE {
+        "source".into()
+    } else if node == COORDINATOR_NODE {
+        "coordinator".into()
+    } else {
+        format!("n{node}")
+    }
+}
+
+/// Walks `hop`'s parents to the source, returning the node path
+/// `["source", "n3", …, "n<receiver>"]`, or `None` if the chain is
+/// incomplete (unmatched hop or missing parent).
+fn chain_path(hop: &Hop, by_key: &HashMap<(u64, u64), &Hop>) -> Option<Vec<String>> {
+    let mut rev = Vec::new();
+    rev.push(node_label(hop.to?));
+    let mut cursor = hop;
+    let mut guard = 0;
+    loop {
+        guard += 1;
+        if guard > 1024 {
+            return None; // cycle or absurd depth: treat as incomplete
+        }
+        cursor.send_us?;
+        rev.push(node_label(cursor.from));
+        if cursor.from == SOURCE_NODE {
+            break;
+        }
+        cursor = by_key.get(&(cursor.trace, cursor.parent))?;
+        cursor.recv_us?;
+    }
+    rev.reverse();
+    Some(rev)
+}
+
+/// Stitches merged multi-process trace events into one report.
+#[must_use]
+pub fn stitch(events: &[TracedEvent]) -> StitchReport {
+    // --- hops -----------------------------------------------------------
+    let mut hops: BTreeMap<(u64, u64), Hop> = BTreeMap::new();
+    for te in events {
+        match &te.event {
+            Event::HopSend { trace, span, parent, node, generation, t_us } => {
+                let hop = hops.entry((*trace, *span)).or_insert_with(|| Hop {
+                    trace: *trace,
+                    span: *span,
+                    parent: NO_PARENT,
+                    from: *node,
+                    to: None,
+                    generation: *generation,
+                    send_us: None,
+                    recv_us: None,
+                });
+                hop.parent = *parent;
+                hop.from = *node;
+                hop.generation = *generation;
+                hop.send_us = Some(*t_us);
+            }
+            Event::HopRecv { trace, span, node, generation, t_us } => {
+                let hop = hops.entry((*trace, *span)).or_insert_with(|| Hop {
+                    trace: *trace,
+                    span: *span,
+                    parent: NO_PARENT,
+                    from: 0,
+                    to: None,
+                    generation: *generation,
+                    send_us: None,
+                    recv_us: None,
+                });
+                hop.to = Some(*node);
+                hop.generation = *generation;
+                hop.recv_us = Some(*t_us);
+            }
+            _ => {}
+        }
+    }
+
+    // Per-edge latency distributions over matched hops.
+    let mut edge_samples: BTreeMap<(u64, u64), Vec<u64>> = BTreeMap::new();
+    for hop in hops.values() {
+        if let (Some(to), Some(latency), Some(_)) = (hop.to, hop.latency_us(), hop.send_us) {
+            edge_samples.entry((hop.from, to)).or_default().push(latency);
+        }
+    }
+    let edges: BTreeMap<(u64, u64), LatencySummary> = edge_samples
+        .into_iter()
+        .filter_map(|(k, v)| LatencySummary::from_samples(v).map(|s| (k, s)))
+        .collect();
+
+    // Chain walk per traced arrival.
+    let mut generations: BTreeMap<u32, GenerationChains> = BTreeMap::new();
+    let mut end_to_end: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+    for hop in hops.values() {
+        if hop.to.is_none() || hop.recv_us.is_none() {
+            continue; // not an arrival
+        }
+        let g = generations.entry(hop.generation).or_default();
+        g.arrivals += 1;
+        let mut depth = 0usize;
+        let mut cursor = hop;
+        let mut visited: HashSet<u64> = HashSet::new();
+        let complete = loop {
+            if cursor.send_us.is_none() || cursor.recv_us.is_none() {
+                break false; // one side of this hop never traced
+            }
+            if !visited.insert(cursor.span) {
+                break false; // defensive: parent cycle
+            }
+            depth += 1;
+            if cursor.from == SOURCE_NODE {
+                break true;
+            }
+            match hops.get(&(cursor.trace, cursor.parent)) {
+                Some(parent) => cursor = parent,
+                None => break false,
+            }
+        };
+        if complete {
+            g.complete += 1;
+            g.max_depth = g.max_depth.max(depth);
+            if let (Some(root_send), Some(final_recv)) = (cursor.send_us, hop.recv_us) {
+                end_to_end
+                    .entry(hop.generation)
+                    .or_default()
+                    .push(final_recv.saturating_sub(root_send));
+            }
+        }
+    }
+    for (generation, samples) in end_to_end {
+        if let Some(g) = generations.get_mut(&generation) {
+            g.end_to_end_us = LatencySummary::from_samples(samples);
+        }
+    }
+
+    // --- spans ----------------------------------------------------------
+    let mut spans: BTreeMap<(u64, u64), SpanInfo> = BTreeMap::new();
+    let mut pending_ends: Vec<(u64, u64, u64, bool)> = Vec::new();
+    for te in events {
+        match &te.event {
+            Event::SpanStart { trace, span, parent, name, node } => {
+                spans.insert((*trace, *span), SpanInfo {
+                    trace: *trace,
+                    span: *span,
+                    parent: *parent,
+                    name: name.clone(),
+                    node: *node,
+                    start_at: te.at,
+                    end: None,
+                    depth: 0,
+                });
+            }
+            Event::SpanEnd { trace, span, ok } => {
+                pending_ends.push((*trace, *span, te.at, *ok));
+            }
+            _ => {}
+        }
+    }
+    let mut orphan_span_ends = 0usize;
+    for (trace, span, at, ok) in pending_ends {
+        match spans.get_mut(&(trace, span)) {
+            Some(info) => info.end = Some((at, ok)),
+            None => orphan_span_ends += 1,
+        }
+    }
+
+    // Group spans into trees rooted at spans whose parent is NO_PARENT or
+    // absent from the trace (partial traces keep their fragments).
+    let span_keys: BTreeSet<(u64, u64)> = spans.keys().copied().collect();
+    let mut children: BTreeMap<(u64, u64), Vec<(u64, u64)>> = BTreeMap::new();
+    let mut roots: Vec<(u64, u64)> = Vec::new();
+    for (key, info) in &spans {
+        let parent_key = (info.trace, info.parent);
+        if info.parent != NO_PARENT && span_keys.contains(&parent_key) {
+            children.entry(parent_key).or_default().push(*key);
+        } else {
+            roots.push(*key);
+        }
+    }
+    for kids in children.values_mut() {
+        kids.sort_by_key(|k| (spans[k].start_at, k.1));
+    }
+
+    let mut episodes = Vec::new();
+    for root_key in roots {
+        let root = spans[&root_key].clone();
+        // Depth-first, parents before children, siblings by start stamp.
+        let mut steps: Vec<SpanInfo> = Vec::new();
+        let mut stack = vec![(root_key, 0usize)];
+        while let Some((key, depth)) = stack.pop() {
+            let mut info = spans[&key].clone();
+            info.depth = depth;
+            steps.push(info);
+            if let Some(kids) = children.get(&key) {
+                for kid in kids.iter().rev() {
+                    stack.push((*kid, depth + 1));
+                }
+            }
+        }
+        let closed = steps.iter().all(|s| s.end.is_some());
+        // Critical path: from the root, descend into the child that
+        // closed last (or started last if still open).
+        let mut critical_path = vec![root.name.clone()];
+        let mut cursor = root_key;
+        while let Some(kids) = children.get(&cursor) {
+            let Some(last) = kids
+                .iter()
+                .max_by_key(|k| spans[k].end.map_or((1, spans[k].start_at), |(at, _)| (0, at)))
+            else {
+                break;
+            };
+            critical_path.push(spans[last].name.clone());
+            cursor = *last;
+        }
+        episodes.push(Episode {
+            trace: root.trace,
+            root: root.span,
+            name: root.name.clone(),
+            node: root.node,
+            closed,
+            ok: root.end.map(|(_, ok)| ok),
+            steps,
+            critical_path,
+        });
+    }
+
+    StitchReport {
+        hops: hops.into_values().collect(),
+        edges,
+        generations,
+        episodes,
+        orphan_span_ends,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64, event: Event) -> TracedEvent {
+        TracedEvent { at, event }
+    }
+
+    /// source -(span 10)-> n1 -(span 11)-> n2, one generation.
+    fn two_hop_chain() -> Vec<TracedEvent> {
+        vec![
+            ev(1, Event::HopSend {
+                trace: 7,
+                span: 10,
+                parent: 0,
+                node: SOURCE_NODE,
+                generation: 0,
+                t_us: 1_000,
+            }),
+            ev(1, Event::HopRecv { trace: 7, span: 10, node: 1, generation: 0, t_us: 1_250 }),
+            ev(2, Event::HopSend {
+                trace: 7,
+                span: 11,
+                parent: 10,
+                node: 1,
+                generation: 0,
+                t_us: 2_000,
+            }),
+            ev(2, Event::HopRecv { trace: 7, span: 11, node: 2, generation: 0, t_us: 2_100 }),
+        ]
+    }
+
+    #[test]
+    fn stitches_complete_chain_and_edge_latencies() {
+        let report = stitch(&two_hop_chain());
+        assert!(report.all_chains_complete());
+        let g = &report.generations[&0];
+        assert_eq!(g.arrivals, 2); // n1's arrival and n2's arrival
+        assert_eq!(g.complete, 2);
+        assert_eq!(g.max_depth, 2);
+        let e2e = g.end_to_end_us.as_ref().unwrap();
+        // n1 chain: 1250-1000=250; n2 chain: 2100-1000=1100.
+        assert_eq!(e2e.count, 2);
+        assert_eq!(e2e.min, 250);
+        assert_eq!(e2e.max, 1100);
+
+        assert_eq!(report.edges[&(SOURCE_NODE, 1)].p50, 250);
+        assert_eq!(report.edges[&(1, 2)].p50, 100);
+        let text = report.render_text();
+        assert!(text.contains("source -> n1"), "{text}");
+        assert!(text.contains("2/2"), "{text}");
+    }
+
+    #[test]
+    fn detects_incomplete_chain() {
+        let mut events = two_hop_chain();
+        events.remove(0); // lose the source's HopSend
+        let report = stitch(&events);
+        assert!(!report.all_chains_complete());
+        let g = &report.generations[&0];
+        assert_eq!(g.arrivals, 2);
+        // n1's arrival can't prove its hop was source-sent; n2's walk
+        // dead-ends at the same unmatched hop.
+        assert_eq!(g.complete, 0);
+        let text = report.render_text();
+        assert!(text.contains("INCOMPLETE"), "{text}");
+    }
+
+    #[test]
+    fn unmatched_recv_does_not_count_as_edge() {
+        let events = vec![ev(
+            1,
+            Event::HopRecv { trace: 9, span: 1, node: 4, generation: 2, t_us: 10 },
+        )];
+        let report = stitch(&events);
+        assert!(report.edges.is_empty());
+        assert_eq!(report.generations[&2].arrivals, 1);
+        assert_eq!(report.generations[&2].complete, 0);
+    }
+
+    fn repair_tree(closed: bool) -> Vec<TracedEvent> {
+        let mut events = vec![
+            ev(100, Event::SpanStart {
+                trace: 50,
+                span: 1,
+                parent: 0,
+                name: "repair".into(),
+                node: 3,
+            }),
+            ev(101, Event::SpanStart {
+                trace: 50,
+                span: 2,
+                parent: 1,
+                name: "complain".into(),
+                node: 3,
+            }),
+            ev(102, Event::SpanStart {
+                trace: 50,
+                span: 3,
+                parent: 2,
+                name: "splice".into(),
+                node: 999,
+            }),
+            ev(103, Event::SpanStart {
+                trace: 50,
+                span: 4,
+                parent: 3,
+                name: "repair_complete".into(),
+                node: 999,
+            }),
+            ev(104, Event::SpanEnd { trace: 50, span: 4, ok: true }),
+            ev(105, Event::SpanEnd { trace: 50, span: 3, ok: true }),
+            ev(106, Event::SpanEnd { trace: 50, span: 2, ok: true }),
+        ];
+        if closed {
+            events.push(ev(110, Event::SpanEnd { trace: 50, span: 1, ok: true }));
+        }
+        events
+    }
+
+    #[test]
+    fn closed_repair_episode_with_critical_path() {
+        let report = stitch(&repair_tree(true));
+        assert_eq!(report.episodes.len(), 1);
+        assert!(report.all_repair_episodes_closed());
+        let e = &report.episodes[0];
+        assert_eq!(e.name, "repair");
+        assert_eq!(e.node, 3);
+        assert_eq!(e.ok, Some(true));
+        assert_eq!(e.duration(), Some(10));
+        assert_eq!(e.critical_path, vec!["repair", "complain", "splice", "repair_complete"]);
+        assert_eq!(e.steps.len(), 4);
+        assert_eq!(e.steps[0].depth, 0);
+        assert_eq!(e.steps[3].depth, 3);
+    }
+
+    #[test]
+    fn unclosed_episode_is_flagged() {
+        let report = stitch(&repair_tree(false));
+        assert!(!report.all_repair_episodes_closed());
+        assert!(!report.episodes[0].closed);
+        assert_eq!(report.episodes[0].ok, None);
+    }
+
+    #[test]
+    fn orphan_span_end_is_counted_not_fatal() {
+        let events = vec![ev(1, Event::SpanEnd { trace: 1, span: 99, ok: true })];
+        let report = stitch(&events);
+        assert_eq!(report.orphan_span_ends, 1);
+        assert!(report.episodes.is_empty());
+    }
+
+    #[test]
+    fn collapsed_stacks_cover_hops_and_spans() {
+        let mut events = two_hop_chain();
+        events.extend(repair_tree(true));
+        let stacks = stitch(&events).collapsed_stacks();
+        assert!(stacks.contains("path;source;n1 250\n"), "{stacks}");
+        assert!(stacks.contains("path;source;n1;n2 100\n"), "{stacks}");
+        assert!(stacks.contains("repair;complain;splice;repair_complete 1\n"), "{stacks}");
+        // repair self-time: 10 total - 5 in complain = 5.
+        assert!(stacks.lines().any(|l| l == "repair 5"), "{stacks}");
+    }
+
+    #[test]
+    fn report_json_is_parseable_and_flags_totals() {
+        let mut events = two_hop_chain();
+        events.extend(repair_tree(true));
+        let js = stitch(&events).to_json();
+        let doc = crate::json::parse_document(&js).expect(&js);
+        assert_eq!(
+            doc.get("totals").unwrap().get("all_chains_complete").unwrap().as_bool(),
+            Some(true)
+        );
+        assert_eq!(
+            doc.get("totals").unwrap().get("all_repair_episodes_closed").unwrap().as_bool(),
+            Some(true)
+        );
+        assert!(doc.get("hop_latency_us").unwrap().get("source->n1").is_some(), "{js}");
+        assert_eq!(
+            doc.get("generations").unwrap().get("g0").unwrap().get("complete").unwrap().as_i64(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn sentinel_nodes_get_readable_labels() {
+        assert_eq!(node_label(SOURCE_NODE), "source");
+        assert_eq!(node_label(COORDINATOR_NODE), "coordinator");
+        assert_eq!(node_label(7), "n7");
+    }
+
+    #[test]
+    fn latency_summary_nearest_rank() {
+        let s = LatencySummary::from_samples((1..=100).collect()).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p95, 95);
+        assert_eq!(s.p99, 99);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert!(LatencySummary::from_samples(vec![]).is_none());
+    }
+}

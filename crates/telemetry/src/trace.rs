@@ -1,0 +1,199 @@
+//! Causal trace identity: trace/span ids, child-span derivation, and the
+//! 16-byte wire form frames carry across process boundaries.
+//!
+//! A [`TraceContext`] names one causal chain (`trace`) and one link in it
+//! (`span`). The source mints a root context at packet birth; every peer
+//! that recodes-and-forwards derives a *child* span under the same trace
+//! id, so a packet's journey source → peer → … → peer is a chain of spans
+//! sharing a trace id and linked by parent pointers recorded in
+//! [`crate::Event::HopSend`]. Repair episodes reuse the same machinery:
+//! the complaining peer mints a root context for the episode and the
+//! complain/splice/repair-complete steps hang off it as child spans
+//! ([`crate::Event::SpanStart`] / [`crate::Event::SpanEnd`]).
+//!
+//! Ids are 63-bit (the high bit is always clear) so they survive the
+//! JSONL schema, whose integers are `i64`. They are minted from a
+//! per-process splitmix64 stream seeded with wall-clock nanoseconds and
+//! the process id, which makes collisions across the handful of processes
+//! in one broadcast run vanishingly unlikely without any coordination.
+
+use std::sync::OnceLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Sentinel node label the origin source uses in hop events.
+///
+/// Real overlay node ids are small coordinator-granted integers; the
+/// source is not a member of the matrix, so it labels its hop events with
+/// this reserved value. Stitching treats a chain as *complete* exactly
+/// when walking parent links reaches a hop sent by `SOURCE_NODE`.
+/// The value fits in an `i64`, which the JSONL schema requires.
+pub const SOURCE_NODE: u64 = u64::MAX >> 1;
+
+/// Sentinel node label the coordinator uses in span events.
+///
+/// Like [`SOURCE_NODE`], the coordinator is not a matrix member, so its
+/// splice/resync/WAL-replay spans carry this reserved label instead of a
+/// granted node id. One below [`SOURCE_NODE`], still `i64`-safe.
+pub const COORDINATOR_NODE: u64 = (u64::MAX >> 1) - 1;
+
+/// Parent-span value meaning "no parent" (a root span).
+pub const NO_PARENT: u64 = 0;
+
+/// A causal context: one trace id plus the current span within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// Identifies the whole causal chain (constant along a packet's path).
+    pub trace: u64,
+    /// Identifies this hop/step within the chain.
+    pub span: u64,
+}
+
+impl TraceContext {
+    /// Bytes of the wire form: `[trace u64 LE][span u64 LE]`.
+    pub const WIRE_LEN: usize = 16;
+
+    /// Mints a fresh root context (new trace id, new span id).
+    #[must_use]
+    pub fn root() -> Self {
+        TraceContext { trace: fresh_id(), span: fresh_id() }
+    }
+
+    /// Derives a child context: same trace, fresh span.
+    ///
+    /// The parent linkage is *not* stored here — the emitter records it in
+    /// the corresponding [`crate::Event::HopSend`] / `SpanStart` event, so
+    /// the wire form stays a fixed 16 bytes however deep the chain gets.
+    #[must_use]
+    pub fn child(&self) -> Self {
+        TraceContext { trace: self.trace, span: fresh_id() }
+    }
+
+    /// Encodes as `[trace u64 LE][span u64 LE]`.
+    #[must_use]
+    pub fn to_wire(&self) -> [u8; Self::WIRE_LEN] {
+        let mut out = [0u8; Self::WIRE_LEN];
+        out[..8].copy_from_slice(&self.trace.to_le_bytes());
+        out[8..].copy_from_slice(&self.span.to_le_bytes());
+        out
+    }
+
+    /// Decodes the wire form written by [`TraceContext::to_wire`].
+    #[must_use]
+    pub fn from_wire(bytes: &[u8; Self::WIRE_LEN]) -> Self {
+        let mut trace = [0u8; 8];
+        let mut span = [0u8; 8];
+        trace.copy_from_slice(&bytes[..8]);
+        span.copy_from_slice(&bytes[8..]);
+        TraceContext { trace: u64::from_le_bytes(trace), span: u64::from_le_bytes(span) }
+    }
+}
+
+/// Mints a process-unique 63-bit id (never 0, high bit always clear).
+///
+/// Splitmix64 over an atomic counter whose seed folds in wall-clock
+/// nanoseconds and the process id, so ids minted by different processes
+/// of one run do not collide in practice.
+#[must_use]
+pub fn fresh_id() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    static SEED: OnceLock<u64> = OnceLock::new();
+    let seed = *SEED.get_or_init(|| {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e37_79b9_7f4a_7c15);
+        nanos ^ (u64::from(std::process::id()).rotate_left(32))
+    });
+    loop {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let id = splitmix64(seed.wrapping_add(n.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+            & (u64::MAX >> 1);
+        if id != 0 {
+            return id;
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Microseconds since the unix epoch.
+///
+/// Hop events carry this alongside the recorder's millisecond stamp
+/// because per-hop latencies on a LAN are routinely sub-millisecond; the
+/// ms-resolution trace clock would round them all to 0.
+#[must_use]
+pub fn wall_micros() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_unique_nonzero_and_i64_safe() {
+        let mut seen = HashSet::new();
+        for _ in 0..10_000 {
+            let id = fresh_id();
+            assert_ne!(id, 0);
+            assert!(id <= u64::MAX >> 1, "id {id:#x} would overflow i64");
+            assert!(seen.insert(id), "duplicate id {id:#x}");
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_across_threads() {
+        let handles: Vec<_> = (0..4)
+            .map(|_| std::thread::spawn(|| (0..1000).map(|_| fresh_id()).collect::<Vec<_>>()))
+            .collect();
+        let mut seen = HashSet::new();
+        for h in handles {
+            for id in h.join().unwrap() {
+                assert!(seen.insert(id), "duplicate id across threads");
+            }
+        }
+    }
+
+    #[test]
+    fn child_keeps_trace_and_changes_span() {
+        let root = TraceContext::root();
+        let child = root.child();
+        assert_eq!(child.trace, root.trace);
+        assert_ne!(child.span, root.span);
+    }
+
+    #[test]
+    fn wire_round_trips() {
+        let ctx = TraceContext { trace: 0x0123_4567_89ab_cdef, span: 0x0fed_cba9_8765_4321 };
+        let wire = ctx.to_wire();
+        assert_eq!(wire.len(), TraceContext::WIRE_LEN);
+        assert_eq!(TraceContext::from_wire(&wire), ctx);
+        // Little-endian layout is part of the frame format.
+        assert_eq!(wire[0], 0xef);
+        assert_eq!(wire[8], 0x21);
+    }
+
+    #[test]
+    fn sentinel_nodes_fit_i64_and_are_distinct() {
+        assert!(i64::try_from(SOURCE_NODE).is_ok());
+        assert!(i64::try_from(COORDINATOR_NODE).is_ok());
+        assert_ne!(SOURCE_NODE, COORDINATOR_NODE);
+    }
+
+    #[test]
+    fn wall_micros_is_recent() {
+        // After 2020-01-01 in unix-µs terms.
+        assert!(wall_micros() > 1_577_836_800_000_000);
+    }
+}

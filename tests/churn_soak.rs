@@ -69,6 +69,7 @@ fn join(coordinator: &Coordinator, sink: &MemorySink) -> Peer {
             pace: PACE,
             recorder: SharedRecorder::wall_clock(sink.clone()),
             repair: soak_policy(),
+            ..PeerConfig::default()
         },
     )
     .expect("join")
@@ -212,6 +213,7 @@ fn peer_survives_more_than_32_lifetime_repairs() {
             pace: PACE,
             recorder: SharedRecorder::wall_clock(sink.clone()),
             repair: policy,
+            ..PeerConfig::default()
         },
     )
     .unwrap();

@@ -60,6 +60,7 @@ fn join(coordinator_addr: std::net::SocketAddr, sink: &MemorySink) -> Peer {
             pace: PACE,
             recorder: SharedRecorder::wall_clock(sink.clone()),
             repair: crash_policy(),
+            ..PeerConfig::default()
         },
     )
     .expect("join")
