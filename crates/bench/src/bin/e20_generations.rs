@@ -1,0 +1,90 @@
+//! E20 — codec backends: generation size, class overlap, and window
+//! tradeoffs (Li, Soljanin & Spasojević, arXiv:1011.3498).
+//!
+//! The measurement core lives in `curtain_bench::exp::e20` (shared with
+//! `curtain-lab`'s claim-gated sweep). Two tables:
+//!
+//! * completion overhead (packets sent per source packet, no feedback)
+//!   over a `backend × g × overlap × loss` grid — the coupon-collector
+//!   tail disjoint generations pay and overlapping classes cap;
+//! * p95 in-order delivery latency of the sliding-window backend as the
+//!   stream length grows 8× — flat, which is the point of windowing.
+//!
+//! All cells are deterministic in `--seed`; `--scale` multiplies trials.
+
+use curtain_bench::args::ExpArgs;
+use curtain_bench::exp::e20::{self, Backend, StreamParams, TransferParams};
+use curtain_bench::table::Table;
+use curtain_bench::{runtime, stats};
+
+fn main() {
+    runtime::banner(
+        "E20 / codec tradeoffs",
+        "overlap beats disjoint generations under loss; window p95 latency flat in stream length",
+    );
+    let args = ExpArgs::parse();
+    let trials = 6 * args.scale();
+    let seed0 = args.seed_or(2000);
+
+    println!("transfer: N generations x 16 packets x 32 B over an iid loss channel, no feedback");
+    println!();
+    let t = Table::new(&["backend", "gens", "overlap", "loss", "overhead", "net of loss"]);
+    t.header();
+    let g = 16usize;
+    for &generations in &[16usize, 32] {
+        for &loss in &[0.0f64, 0.1, 0.2] {
+            for (backend, overlap) in [
+                (Backend::Rlnc, 0),
+                (Backend::Overlap, g / 4),
+                (Backend::Overlap, g / 2),
+                (Backend::Window, 0),
+            ] {
+                let params =
+                    TransferParams { backend, generations, g, s: 32, overlap, loss };
+                let (mut sent, mut net) = (Vec::new(), Vec::new());
+                for trial in 0..trials {
+                    let out = e20::transfer(&params, seed0 + trial);
+                    assert!(out.matches, "{backend:?} corrupted the object");
+                    sent.push(out.overhead);
+                    net.push(out.delivered_overhead);
+                }
+                t.row(&[
+                    backend.label().into(),
+                    format!("{generations}"),
+                    format!("{overlap}"),
+                    format!("{loss:.2}"),
+                    format!("{:.3}±{:.3}", stats::mean(&sent), stats::std_dev(&sent)),
+                    format!("{:.3}", stats::mean(&net)),
+                ]);
+            }
+        }
+    }
+
+    println!();
+    println!(
+        "stream: sliding window of 32 packets, one packet released per tick, \
+         2 coded emissions per tick, 25% loss"
+    );
+    println!();
+    let t = Table::new(&["packets", "p95 latency (ticks)", "mean latency", "delivered"]);
+    t.header();
+    for &packets in &[64usize, 128, 256, 512] {
+        let params = StreamParams { packets, g: 8, s: 64, window: 32, rate: 2, loss: 0.25 };
+        let (mut p95, mut mean, mut frac) = (Vec::new(), Vec::new(), Vec::new());
+        for trial in 0..trials {
+            let out = e20::live_stream(&params, seed0 + trial);
+            p95.push(out.p95_latency);
+            mean.push(out.mean_latency);
+            frac.push(out.delivered_fraction);
+        }
+        t.row(&[
+            format!("{packets}"),
+            format!("{:.2}±{:.2}", stats::mean(&p95), stats::std_dev(&p95)),
+            format!("{:.2}", stats::mean(&mean)),
+            format!("{:.3}", stats::mean(&frac)),
+        ]);
+    }
+
+    println!();
+    println!("(claim gate: `cargo run -p curtain-lab -- check --exp e20` writes BENCH_e20.json)");
+}

@@ -1,0 +1,311 @@
+//! E20 measurement core — generation size, class overlap, and window
+//! tradeoffs across the codec backends.
+//!
+//! Two cell shapes, both deterministic in `(params, seed)`:
+//!
+//! * [`transfer`] — a source streams coded packets over an iid loss
+//!   channel to one sink until the whole object decodes, with **no
+//!   feedback** (the broadcast regime). The metric is completion
+//!   overhead: packets sent per source packet. Disjoint generations pay
+//!   a coupon-collector tail — the source keeps spraying generations
+//!   the sink already finished — which overlapping classes cap by
+//!   letting a neighbour's packets finish the last class (Silva, Zeng &
+//!   Kschischang, arXiv:0905.2796; tradeoff curves per Li, Soljanin &
+//!   Spasojević, arXiv:1011.3498).
+//! * [`live_stream`] — the sliding-window backend under a paced live
+//!   release (one source packet per tick, `rate` coded emissions per
+//!   tick, ack feedback each tick). The metric is in-order delivery
+//!   latency in ticks; a stationary stream keeps its p95 flat as the
+//!   stream grows, which is the whole point of windowed coding.
+//!
+//! Content is a fixed pattern (not seeded), so the decoded-bytes digest
+//! is comparable across backends *and* seeds — the byte-identical gate
+//! in `curtain-lab` relies on this.
+
+use curtain_codec::{CodecConfig, CodecKind};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Codec backend under test (stable labels for sweep parameters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Whole-object RLNC over disjoint generations.
+    Rlnc,
+    /// Overlapping classes with cross-class repair.
+    Overlap,
+    /// Sliding-window coding (window clamped to the object for
+    /// feedback-free transfers).
+    Window,
+}
+
+impl Backend {
+    /// All backends, in display order.
+    pub const ALL: [Backend; 3] = [Backend::Rlnc, Backend::Overlap, Backend::Window];
+
+    /// A stable snake_case label (used as a sweep parameter value).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Rlnc => "rlnc",
+            Backend::Overlap => "overlap",
+            Backend::Window => "window",
+        }
+    }
+
+    /// Parses a [`Backend::label`] back.
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Self> {
+        Backend::ALL.into_iter().find(|b| b.label() == label)
+    }
+}
+
+/// One feedback-free loss-channel transfer cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferParams {
+    /// Backend under test.
+    pub backend: Backend,
+    /// Nominal `g`-sized generations in the object.
+    pub generations: usize,
+    /// Generation (class) size in packets.
+    pub g: usize,
+    /// Packet payload length in bytes.
+    pub s: usize,
+    /// Packets shared between consecutive classes (Overlap only).
+    pub overlap: usize,
+    /// iid per-packet loss probability.
+    pub loss: f64,
+}
+
+/// What one [`transfer`] run measured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferOutcome {
+    /// Coded packets the source emitted.
+    pub sent: u64,
+    /// Packets that survived the loss channel.
+    pub delivered: u64,
+    /// `sent / source packets` — the completion overhead.
+    pub overhead: f64,
+    /// `delivered / source packets` — overhead net of channel loss.
+    pub delivered_overhead: f64,
+    /// Decoded bytes equal the original object.
+    pub matches: bool,
+    /// FNV-1a (32-bit) digest of the decoded bytes.
+    pub digest: u32,
+}
+
+/// One paced live-stream cell for the sliding-window backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamParams {
+    /// Stream length in source packets.
+    pub packets: usize,
+    /// Nominal segment size (sizes telemetry segments, not the window).
+    pub g: usize,
+    /// Packet payload length in bytes.
+    pub s: usize,
+    /// Window span in source packets.
+    pub window: usize,
+    /// Coded emissions per released source packet.
+    pub rate: usize,
+    /// iid per-packet loss probability.
+    pub loss: f64,
+}
+
+/// What one [`live_stream`] run measured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamOutcome {
+    /// p95 of per-packet delivery latency (ticks), over delivered packets.
+    pub p95_latency: f64,
+    /// Mean delivery latency in ticks.
+    pub mean_latency: f64,
+    /// Fraction of the stream delivered in order before the tick cap.
+    pub delivered_fraction: f64,
+}
+
+/// The fixed content pattern: depends only on `len`, never on the seed
+/// or backend, so decoded digests are comparable across every cell.
+#[must_use]
+pub fn content(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i.wrapping_mul(131).wrapping_add(7) % 256) as u8).collect()
+}
+
+/// FNV-1a, folded to 32 bits so the digest survives an `f64` metric slot
+/// exactly.
+#[must_use]
+pub fn digest32(bytes: &[u8]) -> u32 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    ((h >> 32) ^ (h & 0xffff_ffff)) as u32
+}
+
+fn config_for(p: &TransferParams) -> CodecConfig {
+    match p.backend {
+        Backend::Rlnc => CodecConfig::new(CodecKind::Rlnc, p.g, p.s),
+        Backend::Overlap => {
+            CodecConfig::new(CodecKind::Overlap, p.g, p.s).with_overlap(p.overlap)
+        }
+        // No feedback channel in a broadcast transfer, so the window must
+        // cover the whole object (the session layer makes the same call).
+        Backend::Window => {
+            CodecConfig::new(CodecKind::Window, p.g, p.s).with_window(p.generations * p.g)
+        }
+    }
+}
+
+/// iid packet drop, deterministic in the rng stream.
+fn lost(rng: &mut StdRng, loss: f64) -> bool {
+    // 53-bit uniform in [0, 1): bias-free for any printable loss rate.
+    let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    u < loss
+}
+
+/// Streams one object source → loss channel → sink until decode.
+/// Deterministic in `(params, seed)`.
+///
+/// # Panics
+///
+/// Panics if the transfer does not converge within `256 ×` the source
+/// packet count (a misbehaving backend, not a slow channel).
+#[must_use]
+pub fn transfer(params: &TransferParams, seed: u64) -> TransferOutcome {
+    let total = params.generations * params.g;
+    let data = content(total * params.s);
+    let cfg = config_for(params);
+    let mut src = cfg.source(&data);
+    let mut sink = cfg.sink(data.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (mut sent, mut delivered) = (0u64, 0u64);
+    let cap = 256 * total as u64;
+    while !sink.is_complete() {
+        let packet = src.encode(&mut rng).expect("source never runs dry");
+        sent += 1;
+        assert!(sent <= cap, "transfer did not converge ({params:?})");
+        if lost(&mut rng, params.loss) {
+            continue;
+        }
+        delivered += 1;
+        sink.ingest(packet).expect("source emits well-formed packets");
+    }
+    let decoded = sink.decoded().expect("complete sink decodes");
+    TransferOutcome {
+        sent,
+        delivered,
+        overhead: sent as f64 / total as f64,
+        delivered_overhead: delivered as f64 / total as f64,
+        matches: decoded == data,
+        digest: digest32(&decoded),
+    }
+}
+
+/// Runs the sliding-window backend under a paced live release and
+/// measures in-order delivery latency. Deterministic in `(params, seed)`.
+#[must_use]
+pub fn live_stream(params: &StreamParams, seed: u64) -> StreamOutcome {
+    let data = content(params.packets * params.s);
+    let cfg = CodecConfig::new(CodecKind::Window, params.g, params.s)
+        .with_window(params.window)
+        .with_live(true);
+    let mut src = cfg.source(&data);
+    let mut sink = cfg.sink(data.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut delivered_at: Vec<Option<u64>> = vec![None; params.packets];
+    let mut prev_delivered = 0usize;
+    // The release phase, then a bounded drain for the stream's tail.
+    let drain = 8 * params.window as u64 + 64;
+    for tick in 0..params.packets as u64 + drain {
+        src.advance_to((tick + 1).min(params.packets as u64));
+        for _ in 0..params.rate {
+            let Some(packet) = src.encode(&mut rng) else { continue };
+            if lost(&mut rng, params.loss) {
+                continue;
+            }
+            let _ = sink.ingest(packet);
+        }
+        let now = sink.progress().delivered_packets as usize;
+        for slot in &mut delivered_at[prev_delivered..now] {
+            *slot = Some(tick);
+        }
+        prev_delivered = now;
+        src.on_feedback(now as u64);
+        if now == params.packets {
+            break;
+        }
+    }
+    // Latency of packet i counts from its release tick (i).
+    let mut latencies: Vec<f64> = delivered_at
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| t.map(|t| t.saturating_sub(i as u64) as f64))
+        .collect();
+    latencies.sort_by(f64::total_cmp);
+    let delivered = latencies.len();
+    let p95 = if delivered == 0 {
+        f64::INFINITY
+    } else {
+        latencies[((delivered - 1) as f64 * 0.95).round() as usize]
+    };
+    let mean = if delivered == 0 {
+        f64::INFINITY
+    } else {
+        latencies.iter().sum::<f64>() / delivered as f64
+    };
+    StreamOutcome {
+        p95_latency: p95,
+        mean_latency: mean,
+        delivered_fraction: delivered as f64 / params.packets as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_labels_round_trip() {
+        for b in Backend::ALL {
+            assert_eq!(Backend::from_label(b.label()), Some(b));
+        }
+        assert_eq!(Backend::from_label("wat"), None);
+    }
+
+    #[test]
+    fn lossless_transfer_is_near_optimal_and_byte_identical() {
+        let mut digests = Vec::new();
+        for backend in Backend::ALL {
+            let params = TransferParams {
+                backend,
+                generations: 4,
+                g: 8,
+                s: 32,
+                overlap: 2,
+                loss: 0.0,
+            };
+            let out = transfer(&params, 11);
+            assert!(out.matches, "{backend:?} corrupted the object");
+            assert!(
+                out.overhead < 1.8,
+                "{backend:?} lossless overhead {:.2} is absurd",
+                out.overhead
+            );
+            digests.push(out.digest);
+        }
+        assert!(digests.windows(2).all(|w| w[0] == w[1]), "backends disagree on bytes");
+    }
+
+    #[test]
+    fn live_stream_delivers_with_bounded_latency() {
+        let params = StreamParams {
+            packets: 96,
+            g: 8,
+            s: 32,
+            window: 32,
+            rate: 2,
+            loss: 0.1,
+        };
+        let out = live_stream(&params, 7);
+        assert!(out.delivered_fraction > 0.99, "stream stalled: {out:?}");
+        assert!(out.p95_latency.is_finite() && out.p95_latency < params.window as f64 * 4.0);
+    }
+}

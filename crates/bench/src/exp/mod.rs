@@ -22,3 +22,4 @@ pub mod e03;
 pub mod e04;
 pub mod e05;
 pub mod e06;
+pub mod e20;

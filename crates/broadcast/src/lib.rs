@@ -21,6 +21,11 @@
 //! per node via [`attacks::AttackMode`]; §5 heterogeneity (mixed node
 //! degrees, priority-encoded layers) lives in [`heterogeneous`].
 //!
+//! The RLNC data plane is pluggable: [`SessionConfig::with_codec`] and
+//! [`StreamConfig::with_codec`] swap in any `curtain-codec` backend
+//! ([`CodecKind::Rlnc`], [`CodecKind::Overlap`], [`CodecKind::Window`])
+//! behind the same session and stream reports.
+//!
 //! # Example
 //!
 //! ```
@@ -51,6 +56,7 @@ mod session;
 pub mod stream;
 mod topology;
 
+pub use curtain_codec::{BroadcastCodec, CodecConfig, CodecKind, CodecProgress};
 pub use dynamic::{DynamicConfig, DynamicReport, DynamicSession};
 pub use metrics::SessionReport;
 pub use session::{Session, SessionConfig, Strategy};

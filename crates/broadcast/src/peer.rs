@@ -1,11 +1,21 @@
 //! The per-host actor: server and client behaviour for every strategy.
 
 use bytes::Bytes;
+use curtain_codec::BroadcastCodec;
 use curtain_rlnc::{CodedPacket, Encoder, Recoder};
 use curtain_simnet::{Actor, Context, HostId, LinkId};
 use rand::RngExt as _;
 
 use crate::attacks::AttackMode;
+
+/// A boxed codec endpoint with a `Debug` impl (trait objects have none).
+pub(crate) struct CodecBox(pub Box<dyn BroadcastCodec>);
+
+impl std::fmt::Debug for CodecBox {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("CodecBox").field(&self.0.kind()).finish()
+    }
+}
 
 /// Wire messages exchanged during a session.
 #[derive(Debug, Clone)]
@@ -53,6 +63,10 @@ pub(crate) enum ServerRole {
     Rlnc {
         encoder: Encoder,
     },
+    /// A pluggable `curtain-codec` backend drives the source.
+    Codec {
+        codec: CodecBox,
+    },
     Routing {
         chunks: Vec<Bytes>,
     },
@@ -69,6 +83,10 @@ pub(crate) enum ClientRole {
         recoder: Recoder,
         /// Entropy destroyer's pinned packet.
         pinned: Option<CodedPacket>,
+    },
+    /// A pluggable `curtain-codec` backend drives decode and recode.
+    Codec {
+        codec: CodecBox,
     },
     Routing {
         chunks: Vec<Option<Bytes>>,
@@ -117,6 +135,10 @@ impl Peer {
             Role::Client(ClientRole::Rlnc { recoder, .. }) => {
                 recoder.rank() as f64 / self.gen_size as f64
             }
+            Role::Client(ClientRole::Codec { codec }) => {
+                let p = codec.0.progress();
+                p.rank as f64 / p.total_packets.max(1) as f64
+            }
             Role::Client(ClientRole::Routing { have, .. }) => {
                 *have as f64 / self.gen_size as f64
             }
@@ -134,6 +156,7 @@ impl Peer {
         match &self.role {
             Role::Server(_) => true,
             Role::Client(ClientRole::Rlnc { recoder, .. }) => recoder.is_complete(),
+            Role::Client(ClientRole::Codec { codec }) => codec.0.is_complete(),
             Role::Client(ClientRole::Routing { have, .. }) => *have == self.gen_size,
             Role::Client(ClientRole::Erasure { shares, stripes_done, .. }) => {
                 *stripes_done == shares.len()
@@ -152,11 +175,17 @@ impl Peer {
             let out = self.outs[i];
             let cursor = self.cursors[i];
             self.cursors[i] += 1;
-            match &self.role {
+            match &mut self.role {
                 Role::Server(ServerRole::Rlnc { encoder }) => {
                     let p = encoder.encode(ctx.rng());
                     self.sent_packets += 1;
                     ctx.send(out.link, Msg::Coded(p));
+                }
+                Role::Server(ServerRole::Codec { codec }) => {
+                    if let Some(p) = codec.0.encode(ctx.rng()) {
+                        self.sent_packets += 1;
+                        ctx.send(out.link, Msg::Coded(p));
+                    }
                 }
                 Role::Server(ServerRole::Routing { chunks }) => {
                     // Stagger links so they cover different chunks first.
@@ -216,6 +245,12 @@ impl Peer {
             match &mut self.role {
                 Role::Client(ClientRole::Rlnc { recoder, .. }) => {
                     if let Some(p) = recoder.recode(ctx.rng()) {
+                        self.sent_packets += 1;
+                        ctx.send(out.link, Msg::Coded(p));
+                    }
+                }
+                Role::Client(ClientRole::Codec { codec }) => {
+                    if let Some(p) = codec.0.recode(ctx.rng()) {
                         self.sent_packets += 1;
                         ctx.send(out.link, Msg::Coded(p));
                     }
@@ -287,6 +322,12 @@ impl Actor<Msg> for Peer {
                     *pinned = Some(p.clone());
                 }
                 let _ = recoder.push(p); // malformed packets are dropped
+            }
+            (Role::Client(ClientRole::Codec { codec }), Msg::Coded(p)) => {
+                if self.attack == AttackMode::Jamming {
+                    return;
+                }
+                let _ = codec.0.ingest(p); // malformed packets are dropped
             }
             (Role::Client(ClientRole::Routing { chunks, have }), Msg::Chunk { index, data }) => {
                 let slot = &mut chunks[index as usize];

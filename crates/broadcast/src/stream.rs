@@ -15,6 +15,7 @@
 
 use std::collections::HashMap;
 
+use curtain_codec::{BroadcastCodec, CodecConfig, CodecKind};
 use curtain_rlnc::{BufPool, CodedPacket, Encoder, GenerationId, Recoder};
 use curtain_simnet::{Actor, Context, HostId, LinkConfig, World};
 use rand::rngs::StdRng;
@@ -40,6 +41,11 @@ pub struct StreamConfig {
     pub latency: u64,
     /// Per-packet loss.
     pub loss: f64,
+    /// Codec backend serving the stream. [`CodecKind::Rlnc`] keeps the
+    /// original per-generation pipeline; `Overlap`/`Window` route the
+    /// session through `curtain-codec`. Defaults to the `CURTAIN_CODEC`
+    /// environment selector.
+    pub codec: CodecKind,
 }
 
 impl StreamConfig {
@@ -62,7 +68,15 @@ impl StreamConfig {
             playout_slack: 3 * ticks,
             latency: 1,
             loss: 0.0,
+            codec: CodecKind::from_env(),
         }
+    }
+
+    /// Selects the codec backend for the session.
+    #[must_use]
+    pub fn with_codec(mut self, codec: CodecKind) -> Self {
+        self.codec = codec;
+        self
     }
 
     /// Sets the loss probability.
@@ -265,6 +279,66 @@ impl Actor<CodedPacket> for StreamPeer {
     }
 }
 
+/// Actor state when a `curtain-codec` backend drives the stream: one
+/// [`BroadcastCodec`] per peer replaces the per-generation encoder/recoder
+/// maps, and segment completion is read off the codec's in-order delivery
+/// progress (segment `i` is done once `(i+1)·g` packets are deliverable).
+struct CodecStreamPeer {
+    alive: bool,
+    is_server: bool,
+    codec: Box<dyn BroadcastCodec>,
+    outs: Vec<curtain_simnet::LinkId>,
+    completed: Vec<Option<u64>>,
+    cfg: StreamShape,
+}
+
+impl Actor<CodedPacket> for CodecStreamPeer {
+    fn on_message(&mut self, ctx: &mut Context<'_, CodedPacket>, _from: HostId, msg: CodedPacket) {
+        if !self.alive || self.is_server {
+            return;
+        }
+        // Malformed or stale packets are dropped, matching the legacy path.
+        let _ = self.codec.ingest(msg);
+        let now = ctx.now().ticks();
+        // Segments complete independently: a stalled segment must not mask
+        // later ones (viewers skip it and play on, as the legacy
+        // per-generation pipeline does).
+        let g = self.cfg.generation_size as u64;
+        for seg in 0..self.cfg.generations {
+            if self.completed[seg].is_none()
+                && self.codec.is_range_decoded(seg as u64 * g, (seg as u64 + 1) * g)
+            {
+                self.completed[seg] = Some(now);
+            }
+        }
+    }
+
+    fn on_tick(&mut self, ctx: &mut Context<'_, CodedPacket>) {
+        if !self.alive {
+            return;
+        }
+        let now = ctx.now().ticks();
+        if self.is_server {
+            // Release source packets at the play-out rate: during window w
+            // the first (w+1)·g packets are cut.
+            let window = ((now / self.cfg.ticks_per_generation) as usize)
+                .min(self.cfg.generations - 1);
+            self.codec.advance_to(((window + 1) * self.cfg.generation_size) as u64);
+            for i in 0..self.outs.len() {
+                if let Some(p) = self.codec.encode(ctx.rng()) {
+                    ctx.send(self.outs[i], p);
+                }
+            }
+        } else {
+            for i in 0..self.outs.len() {
+                if let Some(p) = self.codec.recode(ctx.rng()) {
+                    ctx.send(self.outs[i], p);
+                }
+            }
+        }
+    }
+}
+
 /// A live-streaming session over a static topology snapshot.
 #[derive(Debug)]
 pub struct StreamSession;
@@ -278,6 +352,9 @@ impl StreamSession {
     #[must_use]
     pub fn run(topo: &TopologySpec, cfg: &StreamConfig, seed: u64) -> StreamReport {
         topo.assert_invariants();
+        if cfg.codec != CodecKind::Rlnc {
+            return Self::run_codec(topo, cfg, seed);
+        }
         let shape = StreamShape {
             generations: cfg.generations,
             generation_size: cfg.generation_size,
@@ -331,6 +408,86 @@ impl StreamSession {
         world.run_ticks(cfg.total_ticks());
 
         // Harvest: deadlines are per-generation.
+        let deadline =
+            |g: usize| (g as u64 + 1) * cfg.ticks_per_generation + cfg.playout_slack;
+        let mut viewers = Vec::with_capacity(topo.nodes);
+        for i in 0..topo.nodes {
+            let peer = world.actor(HostId(i as u32 + 1));
+            let mut on_time = 0;
+            let mut decoded = 0;
+            for (g, done) in peer.completed.iter().enumerate() {
+                match done {
+                    Some(t) if *t <= deadline(g) => {
+                        on_time += 1;
+                        decoded += 1;
+                    }
+                    Some(_) => decoded += 1,
+                    None => {}
+                }
+            }
+            viewers.push(ViewerReport {
+                startup_tick: peer.completed[0],
+                on_time,
+                stalls: cfg.generations - on_time,
+                decoded,
+            });
+        }
+        StreamReport {
+            viewers,
+            generations: cfg.generations,
+            excluded: topo.dead.clone(),
+        }
+    }
+
+    /// Codec-backed variant of [`StreamSession::run`]: the same topology,
+    /// link model, deadlines, and harvest, but every peer speaks a
+    /// [`BroadcastCodec`] in live mode instead of the fixed per-generation
+    /// pipeline.
+    fn run_codec(topo: &TopologySpec, cfg: &StreamConfig, seed: u64) -> StreamReport {
+        let shape = StreamShape {
+            generations: cfg.generations,
+            generation_size: cfg.generation_size,
+            packet_len: cfg.packet_len,
+            ticks_per_generation: cfg.ticks_per_generation,
+        };
+        // Same deterministic content stream as the legacy path.
+        let mut content_rng = StdRng::seed_from_u64(seed ^ 0x57e4);
+        let mut data = vec![0u8; cfg.generations * cfg.generation_size * cfg.packet_len];
+        content_rng.fill(&mut data[..]);
+        let codec_cfg =
+            CodecConfig::new(cfg.codec, cfg.generation_size, cfg.packet_len).with_live(true);
+
+        let mut world: World<CodecStreamPeer, CodedPacket> = World::new(seed);
+        world.add_actor(CodecStreamPeer {
+            alive: true,
+            is_server: true,
+            codec: codec_cfg.source(&data),
+            outs: Vec::new(),
+            completed: vec![None; cfg.generations],
+            cfg: shape,
+        });
+        for i in 0..topo.nodes {
+            world.add_actor(CodecStreamPeer {
+                alive: !topo.dead[i],
+                is_server: false,
+                codec: codec_cfg.sink(data.len()),
+                outs: Vec::new(),
+                completed: vec![None; cfg.generations],
+                cfg: shape,
+            });
+        }
+        let link_cfg = LinkConfig::reliable(cfg.latency).with_loss(cfg.loss);
+        for e in &topo.edges {
+            let from = match e.from {
+                Endpoint::Server => HostId(0),
+                Endpoint::Node(u) => HostId(u as u32 + 1),
+            };
+            let to = HostId(e.to as u32 + 1);
+            let link = world.add_link(from, to, link_cfg);
+            world.actor_mut(from).outs.push(link);
+        }
+        world.run_ticks(cfg.total_ticks());
+
         let deadline =
             |g: usize| (g as u64 + 1) * cfg.ticks_per_generation + cfg.playout_slack;
         let mut viewers = Vec::with_capacity(topo.nodes);
@@ -425,6 +582,40 @@ mod tests {
         assert!(report.excluded[3] && report.excluded[4]);
         // Aggregates ignore them.
         assert!(report.continuity() > 0.0);
+    }
+
+    #[test]
+    fn overlap_codec_streams_without_stalls() {
+        let topo = curtain(12, 3, 30, 1);
+        let cfg = StreamConfig::new(6, 12, 64, 3).with_codec(CodecKind::Overlap);
+        let report = StreamSession::run(&topo, &cfg, 2);
+        assert_eq!(report.continuity(), 1.0, "flawless {}", report.flawless_fraction());
+        assert!(report.mean_startup().is_some());
+    }
+
+    #[test]
+    fn window_codec_streams_without_stalls() {
+        let topo = curtain(12, 3, 30, 1);
+        let cfg = StreamConfig::new(6, 12, 64, 3).with_codec(CodecKind::Window);
+        let report = StreamSession::run(&topo, &cfg, 2);
+        assert_eq!(report.continuity(), 1.0, "flawless {}", report.flawless_fraction());
+    }
+
+    #[test]
+    fn codec_streams_tolerate_loss_with_slack() {
+        let topo = curtain(10, 3, 24, 11);
+        for kind in [CodecKind::Overlap, CodecKind::Window] {
+            let cfg = StreamConfig::new(5, 8, 32, 3)
+                .with_loss(0.1)
+                .with_playout_slack(200)
+                .with_codec(kind);
+            let report = StreamSession::run(&topo, &cfg, 12);
+            assert!(
+                report.continuity() > 0.9,
+                "{kind} continuity {} too low under mild loss",
+                report.continuity()
+            );
+        }
     }
 
     #[test]

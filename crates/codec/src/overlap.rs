@@ -1,0 +1,551 @@
+//! Backend 2: overlapping classes with cross-class repair packets.
+
+use std::cell::Cell;
+
+use curtain_gf::{vec_ops, Field, Gf256};
+use curtain_rlnc::{ClassPlan, CodedPacket, Encoder, Recoder, RlncError};
+use curtain_telemetry::SharedRecorder;
+use rand::{RngCore, RngExt as _};
+
+use crate::{BroadcastCodec, CodecConfig, CodecKind, CodecProgress};
+
+/// Overlapping-class coding per Silva, Zeng & Kschischang (arXiv:0905.2796).
+///
+/// The object's packets are laid out by [`ClassPlan`]: classes of `g`
+/// packets whose consecutive spans share `overlap` packets. Coded packets
+/// are ordinary RLNC combinations within one class, so decode cost stays
+/// O(g²·s); the shared packets couple the classes, and when one class
+/// decodes, its packets are injected as systematic rows into the
+/// neighbouring classes — each neighbour then needs only `g − overlap`
+/// packets of its own, which caps the coupon-collector tail that makes
+/// disjoint generations expensive to finish. The source additionally
+/// emits **repair packets** (class id ≥ class count on the wire): random
+/// combinations of just the packets shared across a class boundary, which
+/// either neighbour can absorb.
+///
+/// Global rank is reported without double-counting the shared packets:
+/// decoded (known) packets count once, and an incomplete class contributes
+/// at most `min(rank − injected, unknown packets in its span)`.
+pub struct OverlapCodec {
+    plan: ClassPlan,
+    s: usize,
+    original_len: usize,
+    live: bool,
+    /// Source role: original bytes + per-class encoders over padded rows.
+    source: Option<SourceState>,
+    /// Sink/relay role: per-class recoders + decoded-packet cascade state.
+    classes: Vec<Recoder>,
+    known: Vec<Option<Vec<u8>>>,
+    known_count: usize,
+    /// Innovative systematic injections per class (for rank accounting).
+    injected: Vec<u64>,
+    recode_cursor: usize,
+    /// Rotates the live relay's healing slot over all held classes.
+    heal_cursor: usize,
+    /// High-water mark of the global-rank estimate: the per-class
+    /// contribution bound corrects itself downward when a completing
+    /// class injects rows into a neighbour, and reported progress must
+    /// never regress.
+    rank_hwm: Cell<u64>,
+}
+
+struct SourceState {
+    data: Vec<u8>,
+    rows: Vec<Vec<u8>>,
+    encoders: Vec<Encoder>,
+    /// Classes currently servable (live edge).
+    edge: usize,
+    /// Packets emitted so far (drives the repair cadence).
+    emitted: usize,
+    class_cursor: usize,
+    boundary_cursor: usize,
+    repair_interval: usize,
+}
+
+impl OverlapCodec {
+    fn plan_for(cfg: &CodecConfig, content_len: usize) -> ClassPlan {
+        ClassPlan::new(cfg.packet_count(content_len), cfg.generation_size, cfg.overlap)
+    }
+
+    /// Builds the source endpoint over `data`.
+    #[must_use]
+    pub fn source(cfg: &CodecConfig, data: &[u8]) -> Self {
+        let plan = Self::plan_for(cfg, data.len());
+        let s = cfg.packet_len;
+        let mut rows = vec![vec![0u8; s]; plan.padded_packets()];
+        for (i, row) in rows.iter_mut().enumerate() {
+            let start = i * s;
+            if start < data.len() {
+                let end = (start + s).min(data.len());
+                row[..end - start].copy_from_slice(&data[start..end]);
+            }
+        }
+        let encoders = (0..plan.class_count())
+            .map(|c| {
+                Encoder::new(c as u32, rows[plan.span(c)].to_vec())
+                    .expect("class spans are non-empty and equal length")
+            })
+            .collect();
+        let edge = if cfg.live { 0 } else { plan.class_count() };
+        OverlapCodec {
+            plan,
+            s,
+            original_len: data.len(),
+            live: cfg.live,
+            source: Some(SourceState {
+                data: data.to_vec(),
+                rows,
+                encoders,
+                edge,
+                emitted: 0,
+                class_cursor: 0,
+                boundary_cursor: 0,
+                repair_interval: cfg.repair_interval,
+            }),
+            classes: Vec::new(),
+            known: Vec::new(),
+            known_count: 0,
+            injected: Vec::new(),
+            recode_cursor: 0,
+            heal_cursor: 0,
+            rank_hwm: Cell::new(0),
+        }
+    }
+
+    /// Builds a sink/relay endpoint for an object of `content_len` bytes.
+    #[must_use]
+    pub fn sink(cfg: &CodecConfig, content_len: usize) -> Self {
+        let plan = Self::plan_for(cfg, content_len);
+        let classes = (0..plan.class_count())
+            .map(|c| Recoder::new(c as u32, plan.class_size(), cfg.packet_len))
+            .collect();
+        OverlapCodec {
+            plan,
+            s: cfg.packet_len,
+            original_len: content_len,
+            live: cfg.live,
+            source: None,
+            classes,
+            known: vec![None; plan.padded_packets()],
+            known_count: 0,
+            injected: vec![0; plan.class_count()],
+            recode_cursor: 0,
+            heal_cursor: 0,
+            rank_hwm: Cell::new(0),
+        }
+    }
+
+    /// Decoding a class reveals its span; newly-known packets are injected
+    /// as systematic rows into every other incomplete class covering them,
+    /// which may complete those classes in turn — hence the worklist.
+    fn cascade(&mut self, seed_class: usize) {
+        let mut work = vec![seed_class];
+        while let Some(c) = work.pop() {
+            if !self.classes[c].is_complete() {
+                continue;
+            }
+            let rows = self.classes[c].recover().expect("complete class recovers");
+            let span = self.plan.span(c);
+            let mut newly = Vec::new();
+            for (local, idx) in span.clone().enumerate() {
+                if self.known[idx].is_none() {
+                    self.known[idx] = Some(rows[local].clone());
+                    self.known_count += 1;
+                    newly.push(idx);
+                }
+            }
+            for &idx in &newly {
+                for c2 in self.plan.classes_covering(idx) {
+                    if c2 == c || self.classes[c2].is_complete() {
+                        continue;
+                    }
+                    let local = idx - self.plan.span(c2).start;
+                    let mut coeffs = vec![0u8; self.plan.class_size()];
+                    coeffs[local] = 1;
+                    let payload = self.known[idx].clone().expect("just marked known");
+                    let innovative = self.classes[c2]
+                        .push(CodedPacket::new(c2 as u32, coeffs, payload))
+                        .expect("systematic injection is well-formed");
+                    if innovative {
+                        self.injected[c2] += 1;
+                        if self.classes[c2].is_complete() {
+                            work.push(c2);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn unknown_in_span(&self, c: usize) -> u64 {
+        self.plan.span(c).filter(|&idx| self.known[idx].is_none()).count() as u64
+    }
+
+    /// Global rank: known packets count once; an incomplete class adds at
+    /// most the information it could still reveal. Clamped at the padded
+    /// total so overlapping spans can never overcount, and floored at its
+    /// own high-water mark so the estimate is monotone even when a
+    /// cascade re-attributes shared-column information.
+    fn global_rank(&self) -> u64 {
+        let total = self.plan.padded_packets() as u64;
+        let mut rank = self.known_count as u64;
+        for (c, class) in self.classes.iter().enumerate() {
+            if class.is_complete() {
+                continue;
+            }
+            let residual = (class.rank() as u64).saturating_sub(self.injected[c]);
+            rank += residual.min(self.unknown_in_span(c));
+        }
+        let rank = rank.min(total).max(self.rank_hwm.get());
+        self.rank_hwm.set(rank);
+        rank
+    }
+
+    /// Contiguous decoded prefix in packets.
+    fn delivered(&self) -> u64 {
+        self.known.iter().take_while(|k| k.is_some()).count() as u64
+    }
+}
+
+impl BroadcastCodec for OverlapCodec {
+    fn kind(&self) -> CodecKind {
+        CodecKind::Overlap
+    }
+
+    fn set_telemetry(&mut self, recorder: SharedRecorder, node: u64) {
+        for r in &mut self.classes {
+            r.set_telemetry(recorder.clone(), node);
+        }
+    }
+
+    fn encode(&mut self, rng: &mut dyn RngCore) -> Option<CodedPacket> {
+        let plan = self.plan;
+        let live = self.live;
+        let src = self.source.as_mut()?;
+        if src.edge == 0 {
+            return None;
+        }
+        src.emitted += 1;
+        // Live streams concentrate on the two newest unlocked classes (the
+        // older one still overlaps the edge, so stragglers get repaired);
+        // file transfer round-robins everything unlocked.
+        let serve_lo = if live { src.edge.saturating_sub(2) } else { 0 };
+        let boundaries = src.edge.saturating_sub(1);
+        if plan.overlap() > 0
+            && boundaries > serve_lo
+            && src.repair_interval > 0
+            && src.emitted % src.repair_interval == 0
+        {
+            // Cross-class repair: a random combination of the packets two
+            // neighbouring classes share, absorbable by either side.
+            let b = if live {
+                let b = serve_lo + src.boundary_cursor % (boundaries - serve_lo);
+                src.boundary_cursor = src.boundary_cursor.wrapping_add(1);
+                b
+            } else {
+                rng.random_range(0..boundaries)
+            };
+            let shared = plan.shared_span(b);
+            let mut coeffs = vec![0u8; plan.overlap()];
+            loop {
+                for c in coeffs.iter_mut() {
+                    *c = Gf256::random(&mut *rng).value();
+                }
+                if coeffs.iter().any(|&c| c != 0) {
+                    break;
+                }
+            }
+            let mut payload = vec![0u8; self.s];
+            for (i, &c) in coeffs.iter().enumerate() {
+                vec_ops::axpy(&mut payload, c, &src.rows[shared.start + i]);
+            }
+            return Some(CodedPacket::new((plan.class_count() + b) as u32, coeffs, payload));
+        }
+        // File transfer samples uniformly: a cursor advanced once per
+        // out-link couples class choice to link parity (an even
+        // out-degree would starve half the classes on every link).
+        let c = if live {
+            let c = serve_lo + src.class_cursor % (src.edge - serve_lo);
+            src.class_cursor = src.class_cursor.wrapping_add(1);
+            c
+        } else {
+            rng.random_range(0..src.edge)
+        };
+        Some(src.encoders[c].encode(&mut *rng))
+    }
+
+    fn ingest(&mut self, packet: CodedPacket) -> Result<bool, RlncError> {
+        let m = self.plan.class_count();
+        let gen = packet.generation() as usize;
+        if gen < m {
+            let innovative = self.classes[gen].push(packet)?;
+            if innovative && self.classes[gen].is_complete() {
+                self.cascade(gen);
+            }
+            return Ok(innovative);
+        }
+        let boundaries = m.saturating_sub(1);
+        if gen >= m + boundaries {
+            return Err(RlncError::GenerationMismatch {
+                expected: (m + boundaries).saturating_sub(1) as u32,
+                got: packet.generation(),
+            });
+        }
+        // Repair packet for boundary b: expand its coefficients (over the
+        // shared span) into a full class vector for whichever neighbour is
+        // still decoding, preferring the one closer to completion.
+        let b = gen - m;
+        if packet.coefficients().len() != self.plan.overlap() {
+            return Err(RlncError::CoefficientLengthMismatch {
+                expected: self.plan.overlap(),
+                got: packet.coefficients().len(),
+            });
+        }
+        let shared = self.plan.shared_span(b);
+        let target = [b, b + 1]
+            .into_iter()
+            .filter(|&c| !self.classes[c].is_complete())
+            .max_by_key(|&c| self.classes[c].rank());
+        let Some(c) = target else {
+            return Ok(false); // both neighbours already decoded
+        };
+        let offset = shared.start - self.plan.span(c).start;
+        let mut coeffs = vec![0u8; self.plan.class_size()];
+        coeffs[offset..offset + self.plan.overlap()].copy_from_slice(packet.coefficients());
+        let expanded = CodedPacket::new(c as u32, coeffs, packet.payload().to_vec());
+        let innovative = self.classes[c].push(expanded)?;
+        if innovative && self.classes[c].is_complete() {
+            self.cascade(c);
+        }
+        Ok(innovative)
+    }
+
+    fn recode(&mut self, rng: &mut dyn RngCore) -> Option<CodedPacket> {
+        let n = self.classes.len();
+        if n == 0 {
+            return None;
+        }
+        if self.live {
+            // Live relays mostly mirror the source — alternate between the
+            // two newest classes that carry information (stale segments
+            // are past play-out) — but spend every fourth slot on the two
+            // classes just behind the edge: those had their service window
+            // cut short when the edge moved, so downstream stragglers are
+            // most likely still missing them.
+            let slot = self.recode_cursor;
+            self.recode_cursor = self.recode_cursor.wrapping_add(1);
+            let ranked: Vec<usize> =
+                (0..n).rev().filter(|&c| self.classes[c].rank() > 0).take(4).collect();
+            if ranked.is_empty() {
+                return None;
+            }
+            let idx = if slot % 4 == 3 && ranked.len() > 2 {
+                let trail = &ranked[2..];
+                let idx = trail[self.heal_cursor % trail.len()];
+                self.heal_cursor = self.heal_cursor.wrapping_add(1);
+                idx
+            } else {
+                ranked[slot % ranked.len().min(2)]
+            };
+            return self.classes[idx].recode(&mut *rng);
+        }
+        // File transfer: a uniformly random class with information.
+        // Deterministic preferences deadlock relay chains — favouring
+        // incomplete classes forwards only sub-rank mixes, and a
+        // per-call cursor couples the choice to out-link parity.
+        let held: Vec<usize> = (0..n).filter(|&c| self.classes[c].rank() > 0).collect();
+        if held.is_empty() {
+            return None;
+        }
+        let idx = held[rng.random_range(0..held.len())];
+        self.classes[idx].recode(&mut *rng)
+    }
+
+    fn advance_to(&mut self, source_packet: u64) {
+        let plan = self.plan;
+        let Some(src) = self.source.as_mut() else { return };
+        let avail = (source_packet as usize).min(plan.total());
+        let edge = if avail >= plan.total() {
+            plan.class_count()
+        } else {
+            (0..plan.class_count()).take_while(|&c| plan.span(c).end <= avail).count()
+        };
+        src.edge = src.edge.max(edge);
+    }
+
+    fn on_feedback(&mut self, _delivered_packets: u64) {}
+
+    fn progress(&self) -> CodecProgress {
+        let total_packets = self.plan.padded_packets() as u64;
+        let total_generations = self.plan.class_count() as u64;
+        if self.source.is_some() {
+            return CodecProgress {
+                delivered_packets: total_packets,
+                delivered_bytes: self.original_len as u64,
+                complete_generations: total_generations,
+                total_generations,
+                rank: total_packets,
+                total_packets,
+            };
+        }
+        let delivered_packets = self.delivered();
+        CodecProgress {
+            delivered_packets,
+            delivered_bytes: (delivered_packets * self.s as u64).min(self.original_len as u64),
+            complete_generations: self.classes.iter().filter(|r| r.is_complete()).count() as u64,
+            total_generations,
+            rank: self.global_rank(),
+            total_packets,
+        }
+    }
+
+    fn is_range_decoded(&self, start: u64, end: u64) -> bool {
+        if start >= end || self.source.is_some() {
+            return true;
+        }
+        let lo = (start as usize).min(self.known.len());
+        let hi = (end as usize).min(self.known.len());
+        self.known[lo..hi].iter().all(Option::is_some)
+    }
+
+    fn is_complete(&self) -> bool {
+        self.source.is_some() || self.known_count == self.plan.padded_packets()
+    }
+
+    fn decoded(&self) -> Option<Vec<u8>> {
+        if let Some(src) = &self.source {
+            return Some(src.data.clone());
+        }
+        if self.known_count != self.plan.padded_packets() {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.original_len);
+        for row in &self.known {
+            out.extend_from_slice(row.as_ref().expect("complete"));
+        }
+        out.truncate(self.original_len);
+        Some(out)
+    }
+
+    fn window(&self) -> Option<(u64, u64)> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn data(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 13 % 251) as u8).collect()
+    }
+
+    #[test]
+    fn completing_one_class_unlocks_neighbours_via_overlap() {
+        // 2 classes of 4 sharing 2 (6 packets of 8 bytes → 48 bytes).
+        let cfg = CodecConfig::new(CodecKind::Overlap, 4, 8).with_overlap(2);
+        let payload = data(48);
+        let mut src = OverlapCodec::source(&cfg, &payload);
+        let mut dst = OverlapCodec::sink(&cfg, payload.len());
+        assert_eq!(dst.plan.class_count(), 2);
+        let mut rng = StdRng::seed_from_u64(5);
+        // Feed only class-0 packets until class 0 decodes.
+        let mut guard = 0;
+        while !dst.classes[0].is_complete() {
+            let p = src.encode(&mut rng).unwrap();
+            if p.generation() == 0 {
+                dst.ingest(p).unwrap();
+            }
+            guard += 1;
+            assert!(guard < 2000);
+        }
+        // The cascade hands class 1 its two shared packets.
+        assert_eq!(dst.classes[1].rank(), 2);
+        assert_eq!(dst.injected[1], 2);
+        // Two more class-1 packets finish the object.
+        let mut guard = 0;
+        while !dst.is_complete() {
+            let p = src.encode(&mut rng).unwrap();
+            if p.generation() == 1 {
+                dst.ingest(p).unwrap();
+            }
+            guard += 1;
+            assert!(guard < 2000);
+        }
+        assert_eq!(dst.decoded().unwrap(), payload);
+    }
+
+    #[test]
+    fn repair_packets_complete_either_neighbour() {
+        let cfg = CodecConfig::new(CodecKind::Overlap, 4, 8)
+            .with_overlap(2)
+            .with_repair_interval(1); // every packet is a repair packet
+        let payload = data(48);
+        let mut src = OverlapCodec::source(&cfg, &payload);
+        let mut dst = OverlapCodec::sink(&cfg, payload.len());
+        let mut rng = StdRng::seed_from_u64(8);
+        // Repair packets alone span only the shared packets: rank caps at 2.
+        for _ in 0..16 {
+            let p = src.encode(&mut rng).unwrap();
+            assert!(p.generation() >= 2, "repair id beyond class ids");
+            dst.ingest(p).unwrap();
+        }
+        let ranks: Vec<usize> = dst.classes.iter().map(Recoder::rank).collect();
+        assert_eq!(ranks.iter().sum::<usize>(), 2, "shared span has 2 packets");
+        assert!(dst.progress().rank <= dst.progress().total_packets);
+    }
+
+    #[test]
+    fn repair_for_decoded_neighbours_is_redundant() {
+        let cfg = CodecConfig::new(CodecKind::Overlap, 4, 8).with_overlap(2);
+        let payload = data(48);
+        let mut src = OverlapCodec::source(&cfg, &payload);
+        let mut dst = OverlapCodec::sink(&cfg, payload.len());
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut guard = 0;
+        while !dst.is_complete() {
+            let p = src.encode(&mut rng).unwrap();
+            dst.ingest(p).unwrap();
+            guard += 1;
+            assert!(guard < 4000);
+        }
+        // Hand-build a repair packet for boundary 0: both sides decoded.
+        let shared = dst.plan.shared_span(0);
+        let mut repair_payload = vec![0u8; 8];
+        vec_ops::axpy(&mut repair_payload, 3, dst.known[shared.start].as_ref().unwrap());
+        let repair = CodedPacket::new(2, vec![3, 0], repair_payload);
+        assert!(!dst.ingest(repair).unwrap());
+    }
+
+    #[test]
+    fn malformed_ids_and_repair_coeffs_rejected() {
+        let cfg = CodecConfig::new(CodecKind::Overlap, 4, 8).with_overlap(2);
+        let mut dst = OverlapCodec::sink(&cfg, 48); // classes 0,1; repair id 2
+        assert!(matches!(
+            dst.ingest(CodedPacket::new(3, vec![1, 0], vec![0u8; 8])).unwrap_err(),
+            RlncError::GenerationMismatch { got: 3, .. }
+        ));
+        assert!(matches!(
+            dst.ingest(CodedPacket::new(2, vec![1, 0, 0], vec![0u8; 8])).unwrap_err(),
+            RlncError::CoefficientLengthMismatch { expected: 2, got: 3 }
+        ));
+    }
+
+    #[test]
+    fn zero_overlap_degenerates_to_disjoint_generations() {
+        let cfg = CodecConfig::new(CodecKind::Overlap, 4, 8).with_overlap(0);
+        let payload = data(100);
+        let mut src = OverlapCodec::source(&cfg, &payload);
+        let mut dst = OverlapCodec::sink(&cfg, payload.len());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sent = 0;
+        while !dst.is_complete() {
+            dst.ingest(src.encode(&mut rng).unwrap()).unwrap();
+            sent += 1;
+            assert!(sent < 4000);
+        }
+        assert_eq!(dst.decoded().unwrap(), payload);
+    }
+}

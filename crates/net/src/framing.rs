@@ -26,6 +26,23 @@ pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
 /// interoperating with untraced senders unchanged.
 pub const TRACE_FLAG: u32 = 1 << 31;
 
+/// Bit 30 of the length prefix: the frame body carries a 4-byte
+/// little-endian *window base* — the oldest generation the sender still
+/// serves — placed after the trace context when both flags are set.
+///
+/// A windowed source advances the base as it cuts generations; peers
+/// that understand the flag stop recoding generations behind the base
+/// and re-stamp their own frames, so the active window propagates down
+/// the overlay. Like [`TRACE_FLAG`], the bit sits far above `MAX_FRAME`,
+/// so readers that predate it reject a flagged frame as a bad length
+/// instead of misparsing it, and unflagged frames stay byte-identical —
+/// windowed and pre-window nodes interoperate as long as the sender
+/// does not window.
+pub const WINDOW_FLAG: u32 = 1 << 30;
+
+/// Width of the wire window base.
+const WINDOW_BASE_LEN: usize = 4;
+
 /// Upper bound on the subscribe line; anything longer is garbage.
 const MAX_SUBSCRIBE_LINE: usize = 512;
 
@@ -212,13 +229,44 @@ pub fn write_frame_ctx_into(
     ctx: Option<TraceContext>,
     scratch: &mut Vec<u8>,
 ) -> io::Result<()> {
-    let Some(ctx) = ctx else {
+    write_frame_tagged_into(stream, packet, ctx, None, scratch)
+}
+
+/// Writes one frame carrying any combination of the optional extensions:
+/// a trace context ([`TRACE_FLAG`]) and a window base ([`WINDOW_FLAG`]).
+/// With both `None` the output is byte-identical to [`write_frame`].
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_frame_tagged_into(
+    stream: &mut impl Write,
+    packet: &CodedPacket,
+    ctx: Option<TraceContext>,
+    window_base: Option<u32>,
+    scratch: &mut Vec<u8>,
+) -> io::Result<()> {
+    if ctx.is_none() && window_base.is_none() {
         return write_frame_into(stream, packet, scratch);
-    };
+    }
     scratch.clear();
-    let body_len = (packet.wire_len() + TraceContext::WIRE_LEN) as u32;
-    scratch.extend_from_slice(&(body_len | TRACE_FLAG).to_le_bytes());
-    scratch.extend_from_slice(&ctx.to_wire());
+    let mut len = packet.wire_len() as u32;
+    let mut flags = 0u32;
+    if ctx.is_some() {
+        len += TraceContext::WIRE_LEN as u32;
+        flags |= TRACE_FLAG;
+    }
+    if window_base.is_some() {
+        len += WINDOW_BASE_LEN as u32;
+        flags |= WINDOW_FLAG;
+    }
+    scratch.extend_from_slice(&(len | flags).to_le_bytes());
+    if let Some(ctx) = ctx {
+        scratch.extend_from_slice(&ctx.to_wire());
+    }
+    if let Some(base) = window_base {
+        scratch.extend_from_slice(&base.to_le_bytes());
+    }
     packet.to_wire_into(scratch);
     stream.write_all(scratch)?;
     stream.flush()
@@ -228,6 +276,11 @@ pub fn write_frame_ctx_into(
 /// parsing the packet into pool-recycled buffers. `Ok(None)` signals
 /// clean EOF at a frame boundary; unflagged frames return `(packet,
 /// None)` exactly as [`read_frame_pooled`] would.
+///
+/// This is the pre-window reader: a [`WINDOW_FLAG`]-tagged frame is
+/// rejected as a bad length (the mixed-version contract — see
+/// [`read_frame_tagged_pooled`] for the reader that understands both
+/// extensions).
 ///
 /// # Errors
 ///
@@ -262,6 +315,70 @@ pub fn read_frame_ctx_pooled(
     };
     CodedPacket::from_wire_pooled(packet_bytes, pool)
         .map(|p| Some((p, ctx)))
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// A parsed frame with its optional extensions: the packet, the trace
+/// context (if the `TRACE_FLAG` was set) and the window base (if the
+/// `WINDOW_FLAG` was set).
+pub type TaggedFrame = (CodedPacket, Option<TraceContext>, Option<u32>);
+
+/// Reads one frame that may carry any combination of the trace-context
+/// and window-base extensions, parsing the packet into pool-recycled
+/// buffers. `Ok(None)` signals clean EOF at a frame boundary; frames
+/// without a given extension return `None` in its slot.
+///
+/// # Errors
+///
+/// Propagates socket errors; corrupt frames map to `InvalidData`.
+pub fn read_frame_tagged_pooled(
+    stream: &mut impl Read,
+    pool: &BufPool,
+    scratch: &mut Vec<u8>,
+) -> io::Result<Option<TaggedFrame>> {
+    let mut len_buf = [0u8; 4];
+    if !read_exact_or_eof(stream, &mut len_buf)? {
+        return Ok(None);
+    }
+    let raw = u32::from_le_bytes(len_buf);
+    let traced = raw & TRACE_FLAG != 0;
+    let windowed = raw & WINDOW_FLAG != 0;
+    let len = raw & !(TRACE_FLAG | WINDOW_FLAG);
+    if len == 0 || len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad frame length"));
+    }
+    let mut header = 0;
+    if traced {
+        header += TraceContext::WIRE_LEN;
+    }
+    if windowed {
+        header += WINDOW_BASE_LEN;
+    }
+    if (len as usize) <= header {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "tagged frame too short"));
+    }
+    scratch.clear();
+    scratch.resize(len as usize, 0);
+    stream.read_exact(scratch)?;
+    let mut rest: &[u8] = scratch;
+    let ctx = if traced {
+        let mut wire = [0u8; TraceContext::WIRE_LEN];
+        wire.copy_from_slice(&rest[..TraceContext::WIRE_LEN]);
+        rest = &rest[TraceContext::WIRE_LEN..];
+        Some(TraceContext::from_wire(&wire))
+    } else {
+        None
+    };
+    let base = if windowed {
+        let mut wire = [0u8; WINDOW_BASE_LEN];
+        wire.copy_from_slice(&rest[..WINDOW_BASE_LEN]);
+        rest = &rest[WINDOW_BASE_LEN..];
+        Some(u32::from_le_bytes(wire))
+    } else {
+        None
+    };
+    CodedPacket::from_wire_pooled(rest, pool)
+        .map(|p| Some((p, ctx, base)))
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
 }
 
@@ -485,6 +602,93 @@ mod tests {
         let mut scratch = Vec::new();
         let mut cursor = io::Cursor::new(wire);
         let err = read_frame_ctx_pooled(&mut cursor, &pool, &mut scratch).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+    }
+
+    #[test]
+    fn tagged_frame_round_trips_every_flag_combination() {
+        let pool = BufPool::default();
+        let mut scratch = Vec::new();
+        let p = CodedPacket::new(7, vec![1, 2, 3], Bytes::from(vec![4u8; 24]));
+        let ctx = TraceContext { trace: 0xDEAD, span: 0xBEEF };
+        let cases =
+            [(None, None), (Some(ctx), None), (None, Some(5u32)), (Some(ctx), Some(9u32))];
+
+        let mut buf = Vec::new();
+        for (c, b) in cases {
+            write_frame_tagged_into(&mut buf, &p, c, b, &mut scratch).unwrap();
+        }
+        let mut cursor = io::Cursor::new(buf);
+        for (c, b) in cases {
+            let (got, got_ctx, got_base) =
+                read_frame_tagged_pooled(&mut cursor, &pool, &mut scratch).unwrap().unwrap();
+            assert_eq!(got, p);
+            assert_eq!(got_ctx, c);
+            assert_eq!(got_base, b);
+        }
+        assert!(read_frame_tagged_pooled(&mut cursor, &pool, &mut scratch).unwrap().is_none());
+    }
+
+    #[test]
+    fn untagged_tagged_frame_is_byte_identical_to_plain_frame() {
+        let p = CodedPacket::new(0, vec![5, 6], Bytes::from(vec![1u8; 16]));
+        let mut plain = Vec::new();
+        write_frame(&mut plain, &p).unwrap();
+        let mut via_tagged = Vec::new();
+        let mut scratch = Vec::new();
+        write_frame_tagged_into(&mut via_tagged, &p, None, None, &mut scratch).unwrap();
+        assert_eq!(plain, via_tagged);
+    }
+
+    #[test]
+    fn pre_window_readers_reject_window_flagged_frame_instead_of_misparsing() {
+        // The mixed-version contract: a windowed sender talking to a
+        // pre-window receiver produces a clean framing error, never a
+        // misparsed packet.
+        let p = CodedPacket::new(0, vec![5, 6], Bytes::from(vec![1u8; 16]));
+        let mut buf = Vec::new();
+        let mut scratch = Vec::new();
+        write_frame_tagged_into(&mut buf, &p, None, Some(3), &mut scratch).unwrap();
+
+        let pool = BufPool::default();
+        let mut cursor = io::Cursor::new(buf.clone());
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+        let mut cursor = io::Cursor::new(buf);
+        let err = read_frame_ctx_pooled(&mut cursor, &pool, &mut scratch).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+    }
+
+    #[test]
+    fn tagged_reader_accepts_pre_window_senders() {
+        // The other direction of the mixed-version contract: the new
+        // reader parses plain and trace-only frames unchanged.
+        let pool = BufPool::default();
+        let mut scratch = Vec::new();
+        let p = CodedPacket::new(2, vec![8, 9], Bytes::from(vec![6u8; 20]));
+        let ctx = TraceContext { trace: 11, span: 22 };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &p).unwrap();
+        write_frame_ctx(&mut buf, &p, Some(ctx)).unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        let (got, got_ctx, got_base) =
+            read_frame_tagged_pooled(&mut cursor, &pool, &mut scratch).unwrap().unwrap();
+        assert_eq!((got, got_ctx, got_base), (p.clone(), None, None));
+        let (got, got_ctx, got_base) =
+            read_frame_tagged_pooled(&mut cursor, &pool, &mut scratch).unwrap().unwrap();
+        assert_eq!((got, got_ctx, got_base), (p, Some(ctx), None));
+    }
+
+    #[test]
+    fn tagged_frame_shorter_than_its_extensions_rejected() {
+        // Both flags claim 20 extension bytes; a length of 20 leaves no
+        // room for a packet.
+        let mut wire = ((20u32) | TRACE_FLAG | WINDOW_FLAG).to_le_bytes().to_vec();
+        wire.extend_from_slice(&[0u8; 20]);
+        let pool = BufPool::default();
+        let mut scratch = Vec::new();
+        let mut cursor = io::Cursor::new(wire);
+        let err = read_frame_tagged_pooled(&mut cursor, &pool, &mut scratch).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
     }
 

@@ -67,6 +67,11 @@ struct ObjectState {
     recoders: Vec<Recoder>,
     complete_count: usize,
     serve_cursor: usize,
+    /// Oldest generation still in the upstream's active window (0 when
+    /// no parent windows). Serving skips generations behind it, and the
+    /// base is re-stamped on outgoing frames so the window propagates
+    /// down the overlay.
+    window_base: usize,
     /// Per generation: the causal context of the last *innovative* packet
     /// received. A recoded outgoing packet is a linear mix of everything
     /// in the generation's basis, so its causal parent is "the most recent
@@ -95,8 +100,15 @@ impl ObjectState {
                 .collect(),
             complete_count: 0,
             serve_cursor: 0,
+            window_base: 0,
             last_ctx: vec![None; generations],
         }
+    }
+
+    /// Notes an upstream window base; the base only moves forward (a
+    /// straggling parent cannot reopen retired generations).
+    fn advance_window(&mut self, base: usize) {
+        self.window_base = self.window_base.max(base.min(self.recoders.len()));
     }
 
     /// Returns true iff the push was innovative.
@@ -156,6 +168,9 @@ impl ObjectState {
         let n = self.recoders.len();
         for probe in 0..n {
             let g = (self.serve_cursor + probe) % n;
+            if g < self.window_base {
+                continue; // retired by the upstream window
+            }
             if self.recoders[g].rank() > 0 {
                 self.serve_cursor = (g + 1) % n;
                 return Some((self.recoders[g].snapshot(), self.last_ctx[g]));
@@ -589,9 +604,13 @@ fn serve_child(stream: &TcpStream, shared: &Shared, pace: Duration, seed: u64) -
         // snapshot; the GF recode below runs against the shared immutable
         // rows, so concurrent children and the upstream push path never
         // wait on each other's math (and nothing is copied under the lock).
-        let (snapshot, recv_ctx) = match shared.state.lock().snapshot_next_ctx() {
-            Some((s, c)) => (Some(s), c),
-            None => (None, None),
+        let (snapshot, recv_ctx, base) = {
+            let mut st = shared.state.lock();
+            let base = st.window_base;
+            match st.snapshot_next_ctx() {
+                Some((s, c)) => (Some(s), c, base),
+                None => (None, None, base),
+            }
         };
         let timer = if traced { Some(Instant::now()) } else { None };
         match snapshot.and_then(|s| s.recode(&mut rng)) {
@@ -617,7 +636,13 @@ fn serve_child(stream: &TcpStream, shared: &Shared, pace: Duration, seed: u64) -
                     }
                     _ => None,
                 };
-                if framing::write_frame_ctx_into(&mut out, &p, out_ctx, &mut scratch).is_err() {
+                // Re-stamp the upstream window base so children retire
+                // the same generations (unwindowed overlays stay on the
+                // extension-free wire format).
+                let out_base = (base > 0).then_some(base as u32);
+                if framing::write_frame_tagged_into(&mut out, &p, out_ctx, out_base, &mut scratch)
+                    .is_err()
+                {
                     break; // child went away
                 }
                 std::thread::sleep(pace);
@@ -658,8 +683,8 @@ fn upstream_loop(shared: &Shared, thread: u16, mut parent: ParentAddr) {
             if shared.stop.load(Ordering::SeqCst) {
                 return;
             }
-            match framing::read_frame_ctx_pooled(&mut reader, &shared.pool, &mut scratch) {
-                Ok(Some((packet, ctx))) => {
+            match framing::read_frame_tagged_pooled(&mut reader, &shared.pool, &mut scratch) {
+                Ok(Some((packet, ctx, base))) => {
                     last_data = Instant::now();
                     let ctx = ctx.filter(|_| shared.tracing());
                     if let Some(ctx) = ctx {
@@ -671,7 +696,14 @@ fn upstream_loop(shared: &Shared, thread: u16, mut parent: ParentAddr) {
                             t_us: wall_micros(),
                         });
                     }
-                    if shared.state.lock().push_ctx(packet, ctx) {
+                    let innovative = {
+                        let mut st = shared.state.lock();
+                        if let Some(base) = base {
+                            st.advance_window(base as usize);
+                        }
+                        st.push_ctx(packet, ctx)
+                    };
+                    if innovative {
                         shared.note_progress();
                     }
                 }
@@ -978,6 +1010,24 @@ mod tests {
             "concurrent serve/push: {produced} recodes alongside {pushes} pushes \
              in {push_elapsed:?} with zero lock contention ({checks} probes)"
         );
+    }
+
+    #[test]
+    fn window_base_retires_generations_from_serving() {
+        let (mut state, _, mut rng) = filled_state(4, 4, 32, 16);
+        state.advance_window(2);
+        let mut seen = Vec::new();
+        for _ in 0..6 {
+            let snap = state.snapshot_next().expect("window still has data");
+            seen.push(snap.recode(&mut rng).expect("recodable").generation());
+        }
+        assert_eq!(seen, vec![2, 3, 2, 3, 2, 3], "generations 0 and 1 are retired");
+        // The base never moves backwards, and is clamped to the object.
+        state.advance_window(1);
+        assert_eq!(state.window_base, 2);
+        state.advance_window(99);
+        assert_eq!(state.window_base, 4);
+        assert!(state.snapshot_next().is_none(), "everything retired");
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub struct PendingSource {
     pace: Duration,
     recorder: SharedRecorder,
     trace: bool,
+    window: Option<usize>,
 }
 
 impl PendingSource {
@@ -94,7 +95,29 @@ impl PendingSource {
             pace,
             recorder: SharedRecorder::null(),
             trace: false,
+            window: None,
         })
+    }
+
+    /// Serves a sliding window of `window` generations instead of
+    /// round-robinning the whole object: each subscriber stream cuts
+    /// generations in order, mixes only the window's generations, and
+    /// stamps every frame with the window base
+    /// ([`crate::framing::WINDOW_FLAG`]) so peers recode within the
+    /// active window. The window parks over the object's tail once it
+    /// reaches the end.
+    ///
+    /// Peers that predate the flag reject the stamped frames as a framing
+    /// error, so only enable this on overlays where every node speaks it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    #[must_use]
+    pub fn windowed(mut self, window: usize) -> Self {
+        assert!(window > 0, "window must cover at least one generation");
+        self.window = Some(window);
+        self
     }
 
     /// Attaches a telemetry recorder and (optionally) turns on causal
@@ -161,6 +184,7 @@ impl PendingSource {
             let seed = Arc::new(AtomicU64::new(0x50u64));
             let recorder = self.recorder.clone();
             let trace = self.trace;
+            let window = self.window.map(|w| Window { span: w, generation_size: self.generation_size });
             std::thread::spawn(move || {
                 while !stop.load(Ordering::SeqCst) {
                     match listener.accept() {
@@ -178,6 +202,7 @@ impl PendingSource {
                                     s,
                                     &recorder,
                                     trace,
+                                    window,
                                 );
                             });
                             let mut subs = subscribers.lock();
@@ -370,6 +395,46 @@ impl std::fmt::Debug for Source {
     }
 }
 
+/// Sliding-window serving parameters (copied into each subscriber
+/// thread).
+#[derive(Debug, Clone, Copy)]
+struct Window {
+    /// Generations mixed at a time.
+    span: usize,
+    /// Packets per generation (sizes the per-generation service quota).
+    generation_size: usize,
+}
+
+impl Window {
+    /// Packets emitted per generation before the window slides: enough
+    /// redundancy to decode through mild loss without parking forever.
+    fn quota(&self) -> u64 {
+        (2 * self.generation_size) as u64
+    }
+
+    /// The window base after `emitted` packets, parked over the tail.
+    ///
+    /// The base holds at 0 for the first `span` quota periods (the
+    /// ramp-up) and then advances one generation per quota. Without the
+    /// ramp, generation 0 would be live for a single quota period shared
+    /// across `span` generations and retire with only `quota / span`
+    /// packets served — starving the head of the stream.
+    fn base(&self, emitted: u64, generations: usize) -> usize {
+        ((emitted / self.quota()) as usize)
+            .saturating_sub(self.span - 1)
+            .min(generations.saturating_sub(self.span))
+    }
+
+    /// The generation to serve for emission number `emitted`:
+    /// round-robin across the window's live span.
+    fn pick(&self, emitted: u64, generations: usize) -> usize {
+        let base = self.base(emitted, generations);
+        let live = (generations - base).min(self.span);
+        base + (emitted % live as u64) as usize
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn serve_subscriber(
     stream: &TcpStream,
     encoder: &ObjectEncoder,
@@ -378,6 +443,7 @@ fn serve_subscriber(
     seed: u64,
     recorder: &SharedRecorder,
     trace: bool,
+    window: Option<Window>,
 ) -> io::Result<()> {
     let _sub = framing::read_subscribe_deadline(stream, stop, Duration::from_secs(5))?;
     let mut rng = StdRng::seed_from_u64(seed);
@@ -387,8 +453,20 @@ fn serve_subscriber(
     out.set_write_timeout(Some(Duration::from_secs(2)))?;
     let tracing = trace && recorder.is_enabled();
     let mut scratch = Vec::new();
+    let mut emitted: u64 = 0;
     while !stop.load(Ordering::SeqCst) {
-        let packet = encoder.next_packet(&mut rng);
+        // A windowed stream cuts generations in order and mixes only the
+        // active window, stamping each frame with the base; the plain
+        // path round-robins the whole object unstamped.
+        let (packet, base) = match window {
+            Some(w) => {
+                let generations = encoder.generation_count();
+                let packet = encoder.packet_for(w.pick(emitted, generations) as u32, &mut rng);
+                (packet, Some(w.base(emitted, generations) as u32))
+            }
+            None => (encoder.next_packet(&mut rng), None),
+        };
+        emitted += 1;
         // Packet birth: mint the root of a fresh causal chain. Stitching
         // later declares a delivery chain complete exactly when its parent
         // walk reaches one of these SOURCE_NODE hops.
@@ -406,10 +484,55 @@ fn serve_subscriber(
         } else {
             None
         };
-        if framing::write_frame_ctx_into(&mut out, &packet, ctx, &mut scratch).is_err() {
+        if framing::write_frame_tagged_into(&mut out, &packet, ctx, base, &mut scratch).is_err() {
             break; // subscriber went away
         }
         std::thread::sleep(pace);
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Window;
+
+    /// Every generation must be served at least a full quota of frames
+    /// before the window slides past it, the base must never regress,
+    /// and the window must park over the tail — otherwise subscribers
+    /// who joined at stream start can never finish the head or the tail
+    /// of the object.
+    #[test]
+    fn window_schedule_serves_every_generation_a_full_quota() {
+        for (span, generation_size, generations) in
+            [(3, 8, 12), (2, 8, 12), (4, 16, 5), (3, 8, 3), (2, 4, 64)]
+        {
+            let w = Window { span, generation_size };
+            let mut served = vec![0u64; generations];
+            let mut last_base = 0usize;
+            // Enough emissions to slide the base onto the tail and park.
+            let total = w.quota() * (generations + span) as u64;
+            for emitted in 0..total {
+                let base = w.base(emitted, generations);
+                assert!(base >= last_base, "base regressed at emission {emitted}");
+                assert!(base <= generations - span, "base overran the tail");
+                let pick = w.pick(emitted, generations);
+                assert!(
+                    (base..base + span).contains(&pick),
+                    "picked generation {pick} outside window [{base}, {})",
+                    base + span
+                );
+                served[pick] += 1;
+                last_base = base;
+            }
+            assert_eq!(last_base, generations - span, "window never parked on the tail");
+            for (generation, &count) in served.iter().enumerate() {
+                assert!(
+                    count >= w.quota(),
+                    "generation {generation} retired after only {count} of {} frames \
+                     (span {span}, g {generation_size}, {generations} generations)",
+                    w.quota()
+                );
+            }
+        }
+    }
 }

@@ -141,6 +141,15 @@ impl Decoder {
             } else {
                 Event::PacketRedundant { node: *node, generation: self.id }
             });
+            if innovative && self.space.is_complete() {
+                recorder.record(&Event::GenerationComplete {
+                    node: *node,
+                    generation: self.id,
+                    innovative: self.stats.innovative(),
+                    redundant: self.stats.redundant(),
+                });
+                recorder.counter("generations_decoded", 1);
+            }
         }
         Ok(innovative)
     }
@@ -298,6 +307,24 @@ mod tests {
             _ => None,
         });
         assert_eq!(last_rank, Some(2));
+        // Exactly one completion event, carrying the packet economics.
+        let completions: Vec<_> = events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                Event::GenerationComplete { node, generation, innovative, redundant } => {
+                    Some((*node, *generation, *innovative, *redundant))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(completions.len(), 1);
+        let (node, generation, innov, _red) = completions[0];
+        assert_eq!((node, generation, innov), (42, 0, 2));
+        // ...and the counter reaches the Prometheus exposition path.
+        let snapshot = sink.metrics().snapshot();
+        assert_eq!(snapshot.counters.get("generations_decoded"), Some(&1));
+        let page = curtain_telemetry::expose::render_prometheus(&snapshot);
+        assert!(page.contains("generations_decoded 1"), "{page}");
     }
 
     #[test]

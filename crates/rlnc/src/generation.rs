@@ -146,6 +146,12 @@ impl Content {
         self.generation_size
     }
 
+    /// Total source packets across all generations (including tail padding).
+    #[must_use]
+    pub fn packet_count(&self) -> usize {
+        self.generations.len() * self.generation_size
+    }
+
     /// Bytes per packet.
     #[must_use]
     pub fn packet_len(&self) -> usize {
@@ -172,6 +178,127 @@ impl Content {
         }
         out.truncate(self.original_len);
         out
+    }
+}
+
+/// Overlapping-class layout over a run of source packets.
+///
+/// Partitions `total` source packets into classes of `class_size` packets
+/// where consecutive classes share `overlap` packets, per Silva, Zeng &
+/// Kschischang (arXiv:0905.2796). Classes start every `stride = class_size -
+/// overlap` packets, so a coded packet for class `c` mixes source packets
+/// `span(c)`, and a decoded class hands `overlap` known packets to its
+/// neighbours for cheap cross-class repair. `overlap == 0` degenerates to the
+/// disjoint [CWJ03] generations of [`Content::split`].
+///
+/// The plan is pure arithmetic — it owns no packet data — so encoders,
+/// recoders, and decoders can all derive the same layout from `(total,
+/// class_size, overlap)` carried in session metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassPlan {
+    total: usize,
+    class_size: usize,
+    overlap: usize,
+}
+
+impl ClassPlan {
+    /// Lays out `total` source packets into classes of `class_size` with
+    /// `overlap` shared packets between consecutive classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class_size == 0`, `overlap >= class_size`, or `total == 0`.
+    #[must_use]
+    pub fn new(total: usize, class_size: usize, overlap: usize) -> Self {
+        assert!(class_size > 0, "class_size must be positive");
+        assert!(overlap < class_size, "overlap must be smaller than class_size");
+        assert!(total > 0, "total packet count must be positive");
+        ClassPlan { total, class_size, overlap }
+    }
+
+    /// Source packet count this plan covers (before padding).
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Packets per class (`g`).
+    #[must_use]
+    pub fn class_size(&self) -> usize {
+        self.class_size
+    }
+
+    /// Packets shared between consecutive classes.
+    #[must_use]
+    pub fn overlap(&self) -> usize {
+        self.overlap
+    }
+
+    /// Distance between consecutive class starts.
+    #[must_use]
+    pub fn stride(&self) -> usize {
+        self.class_size - self.overlap
+    }
+
+    /// Number of classes needed to cover every source packet.
+    #[must_use]
+    pub fn class_count(&self) -> usize {
+        if self.total <= self.class_size {
+            1
+        } else {
+            1 + (self.total - self.class_size).div_ceil(self.stride())
+        }
+    }
+
+    /// Packet count after padding the tail so the last class is full.
+    #[must_use]
+    pub fn padded_packets(&self) -> usize {
+        (self.class_count() - 1) * self.stride() + self.class_size
+    }
+
+    /// The half-open range of source packet indices class `class` mixes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class >= class_count()`.
+    #[must_use]
+    pub fn span(&self, class: usize) -> core::ops::Range<usize> {
+        assert!(class < self.class_count(), "class index out of range");
+        let start = class * self.stride();
+        start..start + self.class_size
+    }
+
+    /// Packet indices shared by classes `boundary` and `boundary + 1` —
+    /// the natural support for cross-class repair packets.
+    ///
+    /// Returns an empty range when `overlap == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `boundary + 1 >= class_count()`.
+    #[must_use]
+    pub fn shared_span(&self, boundary: usize) -> core::ops::Range<usize> {
+        assert!(boundary + 1 < self.class_count(), "boundary out of range");
+        let start = (boundary + 1) * self.stride();
+        start..start + self.overlap
+    }
+
+    /// The classes whose span contains source packet `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= padded_packets()`.
+    #[must_use]
+    pub fn classes_covering(&self, index: usize) -> core::ops::Range<usize> {
+        assert!(index < self.padded_packets(), "packet index out of range");
+        let stride = self.stride();
+        let lo = if index + 1 > self.class_size {
+            (index + 1 - self.class_size).div_ceil(stride)
+        } else {
+            0
+        };
+        let hi = (index / stride).min(self.class_count() - 1);
+        lo..hi + 1
     }
 }
 
@@ -211,7 +338,77 @@ mod tests {
         assert_eq!(c.clone().reassemble(vec![c.generations()[0].packets().to_vec()]), b"");
     }
 
+    #[test]
+    fn reassemble_strips_tail_padding_for_non_multiple_sizes() {
+        // g·s = 32 here; none of these lengths is a multiple of it.
+        for &len in &[1usize, 5, 31, 33, 100, 257] {
+            assert!(len % 32 != 0);
+            let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8 + 1).collect();
+            let c = Content::split(&data, 4, 8);
+            let padded: usize = c.packet_count() * c.packet_len();
+            assert!(padded > len, "tail must be padded");
+            let decoded: Vec<Vec<Vec<u8>>> =
+                c.generations().iter().map(|g| g.packets().to_vec()).collect();
+            assert_eq!(c.reassemble(decoded), data, "len {len} round trip");
+        }
+    }
+
+    #[test]
+    fn class_plan_disjoint_matches_generations() {
+        let plan = ClassPlan::new(12, 4, 0);
+        assert_eq!(plan.stride(), 4);
+        assert_eq!(plan.class_count(), 3);
+        assert_eq!(plan.padded_packets(), 12);
+        assert_eq!(plan.span(1), 4..8);
+        assert_eq!(plan.classes_covering(5), 1..2);
+    }
+
+    #[test]
+    fn class_plan_overlap_layout() {
+        // 10 packets, classes of 4 sharing 2: starts at 0,2,4,6 → 4 classes.
+        let plan = ClassPlan::new(10, 4, 2);
+        assert_eq!(plan.stride(), 2);
+        assert_eq!(plan.class_count(), 4);
+        assert_eq!(plan.padded_packets(), 10);
+        assert_eq!(plan.span(0), 0..4);
+        assert_eq!(plan.span(3), 6..10);
+        assert_eq!(plan.shared_span(0), 2..4);
+        assert_eq!(plan.classes_covering(3), 0..2);
+        assert_eq!(plan.classes_covering(0), 0..1);
+        assert_eq!(plan.classes_covering(9), 3..4);
+    }
+
+    #[test]
+    fn class_plan_single_class_when_small() {
+        let plan = ClassPlan::new(3, 8, 4);
+        assert_eq!(plan.class_count(), 1);
+        assert_eq!(plan.padded_packets(), 8);
+        assert_eq!(plan.classes_covering(7), 0..1);
+    }
+
     proptest! {
+        #[test]
+        fn class_plan_covering_agrees_with_span(
+            total in 1usize..200,
+            g in 1usize..12,
+            overlap_frac in 0usize..12,
+        ) {
+            let overlap = overlap_frac % g;
+            let plan = ClassPlan::new(total, g, overlap);
+            prop_assert!(plan.padded_packets() >= total);
+            for idx in 0..plan.padded_packets() {
+                let covering = plan.classes_covering(idx);
+                prop_assert!(!covering.is_empty(), "packet {} uncovered", idx);
+                for c in 0..plan.class_count() {
+                    prop_assert_eq!(
+                        covering.contains(&c),
+                        plan.span(c).contains(&idx),
+                        "plan {:?} packet {} class {}", plan, idx, c
+                    );
+                }
+            }
+        }
+
         #[test]
         fn split_reassemble_round_trip(
             data in proptest::collection::vec(any::<u8>(), 0..500),

@@ -65,7 +65,7 @@ pub use buffer::{BufPool, PacketBuf, PacketBufMut, PoolStats};
 pub use decoder::Decoder;
 pub use encoder::Encoder;
 pub use error::RlncError;
-pub use generation::{Content, Generation, GenerationId};
+pub use generation::{ClassPlan, Content, Generation, GenerationId};
 pub use packet::CodedPacket;
 pub use pipeline::{ObjectDecoder, ObjectEncoder};
 pub use recoder::{RecodeSnapshot, Recoder};

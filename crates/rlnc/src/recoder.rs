@@ -156,6 +156,15 @@ impl Recoder {
             } else {
                 Event::PacketRedundant { node: *node, generation: self.id }
             });
+            if innovative && self.space.is_complete() {
+                recorder.record(&Event::GenerationComplete {
+                    node: *node,
+                    generation: self.id,
+                    innovative: self.stats.innovative(),
+                    redundant: self.stats.redundant(),
+                });
+                recorder.counter("generations_decoded", 1);
+            }
         }
         Ok(innovative)
     }

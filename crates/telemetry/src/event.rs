@@ -138,6 +138,20 @@ pub enum Event {
         /// Generation the packet belongs to.
         generation: u32,
     },
+    /// A decoder/recoder's generation reached full rank and became
+    /// decodable. `innovative + redundant` is the total packets the
+    /// generation cost this node; the redundant count *is* the completion
+    /// overhead the e20 codec sweep measures.
+    GenerationComplete {
+        /// Label of the decoding node (host index or overlay id).
+        node: u64,
+        /// The generation (or overlapping class) that completed.
+        generation: u32,
+        /// Innovative packets consumed (= the generation size `g`).
+        innovative: u64,
+        /// Redundant packets received before completion.
+        redundant: u64,
+    },
     /// The simulated link layer dropped an offered packet.
     LinkDrop {
         /// Link id within the world.
@@ -298,6 +312,7 @@ impl Event {
             Event::DefectSample { .. } => "defect_sample",
             Event::PacketInnovative { .. } => "packet_innovative",
             Event::PacketRedundant { .. } => "packet_redundant",
+            Event::GenerationComplete { .. } => "generation_complete",
             Event::LinkDrop { .. } => "link_drop",
             Event::PeerConnect { .. } => "peer_connect",
             Event::PeerDisconnect { .. } => "peer_disconnect",
@@ -327,7 +342,8 @@ impl Event {
             | Event::Splice { node, .. }
             | Event::RepairComplete { node }
             | Event::PacketInnovative { node, .. }
-            | Event::PacketRedundant { node, .. } => Some(*node),
+            | Event::PacketRedundant { node, .. }
+            | Event::GenerationComplete { node, .. } => Some(*node),
             Event::PeerConnect { peer }
             | Event::PeerDisconnect { peer }
             | Event::RepairAttempt { peer, .. }
@@ -394,6 +410,12 @@ impl Event {
             Event::PacketRedundant { node, generation } => {
                 field("node", &node.to_string());
                 field("generation", &generation.to_string());
+            }
+            Event::GenerationComplete { node, generation, innovative, redundant } => {
+                field("node", &node.to_string());
+                field("generation", &generation.to_string());
+                field("innovative", &innovative.to_string());
+                field("redundant", &redundant.to_string());
             }
             Event::LinkDrop { link, from, to, reason } => {
                 field("link", &link.to_string());
@@ -508,6 +530,12 @@ impl Event {
             "packet_redundant" => Event::PacketRedundant {
                 node: fields.u64("node")?,
                 generation: fields.u32("generation")?,
+            },
+            "generation_complete" => Event::GenerationComplete {
+                node: fields.u64("node")?,
+                generation: fields.u32("generation")?,
+                innovative: fields.u64("innovative")?,
+                redundant: fields.u64("redundant")?,
             },
             "link_drop" => Event::LinkDrop {
                 link: fields.u32("link")?,
@@ -634,6 +662,7 @@ pub(crate) fn sample_of_every_variant() -> Vec<Event> {
         Event::DefectSample { defect: 12, tuples: 66 },
         Event::PacketInnovative { node: 9, generation: 1, rank: 4 },
         Event::PacketRedundant { node: 9, generation: 1 },
+        Event::GenerationComplete { node: 9, generation: 1, innovative: 4, redundant: 2 },
         Event::LinkDrop { link: 7, from: 0, to: 4, reason: DropReason::Loss },
         Event::LinkDrop { link: 8, from: 1, to: 5, reason: DropReason::Capacity },
         Event::PeerConnect { peer: 11 },
@@ -669,6 +698,7 @@ pub(crate) fn sample_of_every_variant() -> Vec<Event> {
         | Event::DefectSample { .. }
         | Event::PacketInnovative { .. }
         | Event::PacketRedundant { .. }
+        | Event::GenerationComplete { .. }
         | Event::LinkDrop { .. }
         | Event::PeerConnect { .. }
         | Event::PeerDisconnect { .. }

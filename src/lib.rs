@@ -19,6 +19,7 @@
 //! |--------|-------|----------|
 //! | [`gf`] | `curtain-gf` | GF(2⁸)/GF(2¹⁶), matrices, Reed–Solomon |
 //! | [`rlnc`] | `curtain-rlnc` | practical network coding codec |
+//! | [`codec`] | `curtain-codec` | pluggable broadcast codecs: whole-object RLNC, overlapping classes, sliding window |
 //! | [`overlay`] | `curtain-overlay` | the paper's curtain protocol + analysis hooks |
 //! | [`simnet`] | `curtain-simnet` | deterministic discrete-event network simulator |
 //! | [`broadcast`] | `curtain-broadcast` | end-to-end sessions, strategies, attacks |
@@ -54,6 +55,7 @@
 
 pub use curtain_analysis as analysis;
 pub use curtain_broadcast as broadcast;
+pub use curtain_codec as codec;
 pub use curtain_gf as gf;
 pub use curtain_net as net;
 pub use curtain_overlay as overlay;

@@ -159,3 +159,38 @@ fn full_pipeline_object_transfer_matches_bytes() {
     }
     assert_eq!(dec.reassemble().unwrap(), original);
 }
+
+/// A sliding-window source still completes a *file* transfer over real
+/// TCP: every subscriber stream starts at base 0, the per-generation
+/// quota (2·g frames) is emitted before the window slides past a
+/// generation, and relays re-stamp the window base downstream without
+/// ever regressing it. Reliable transport means no frame is lost, so
+/// each peer hears enough of every generation to decode the whole
+/// object even though the source never revisits retired generations.
+#[test]
+fn windowed_source_completes_over_reliable_tcp() {
+    use curtain_net::{Coordinator, Peer, PendingSource};
+    use std::time::Duration;
+
+    const PACE: Duration = Duration::from_micros(150);
+    let coordinator = Coordinator::start(OverlayConfig::new(4, 2)).unwrap();
+    let data: Vec<u8> = (0..24 * 1024).map(|i| (i * 37 % 251) as u8).collect();
+    // 24 KiB over 8×256 B generations = 12 generations, window of 3:
+    // the window must actually slide for this to exercise anything.
+    let source = PendingSource::bind_with_shape(&data, 8, 256, PACE)
+        .unwrap()
+        .windowed(3)
+        .register(coordinator.addr())
+        .unwrap();
+    assert!(source.generations() > 3, "window must be smaller than the object");
+
+    let peers: Vec<Peer> = (0..3).map(|_| Peer::join(coordinator.addr()).unwrap()).collect();
+    for (i, peer) in peers.iter().enumerate() {
+        assert!(
+            peer.wait_complete(Duration::from_secs(30)),
+            "peer {i} stuck at rank {}",
+            peer.rank()
+        );
+        assert_eq!(peer.decoded_content().unwrap(), data, "peer {i} decoded garbage");
+    }
+}

