@@ -1,0 +1,97 @@
+//! E21 — control-plane durability and availability over real sockets.
+//!
+//! The measurement core lives in `curtain_bench::exp::e21` (shared with
+//! `curtain-lab`'s claim-gated sweep). Two tables:
+//!
+//! * admitted joins/second under a WAL whose fsync costs 2 ms, group
+//!   commit vs fsync-per-mutation, as the client count grows — group
+//!   commit amortizes one sync across a whole admitted batch;
+//! * the failover drill — kill a primary mid-transfer and check the
+//!   warm standby promotes at the same address, survivors finish
+//!   byte-identical, and nothing gives up repair.
+//!
+//! Both tables are wall-clock: `--seed` pins the workload, the rates
+//! are the machine's. The lab claims gate only the group/per-mutation
+//! ratio and the drill's pass/fail flags.
+
+use curtain_bench::args::ExpArgs;
+use curtain_bench::exp::e21::{self, FailoverParams, JoinParams};
+use curtain_bench::stats;
+use curtain_bench::table::Table;
+use curtain_bench::runtime;
+
+fn main() {
+    runtime::banner(
+        "E21 / control plane",
+        "group commit >= 3x fsync-per-mutation joins; failover drill heals without loss",
+    );
+    let args = ExpArgs::parse();
+    let trials = 3 * args.scale();
+    let seed0 = args.seed_or(2100);
+
+    println!("join storm: 2 ms per WAL sync, joins admitted only once durable");
+    println!();
+    let t = Table::new(&["mode", "clients", "joins", "joins/s", "ratio vs per-mutation"]);
+    t.header();
+    for &clients in &[2usize, 4, 8] {
+        let base = JoinParams {
+            group_commit: true,
+            clients,
+            joins_per_client: 16,
+            sync_delay_us: 2000,
+        };
+        let mut rates = [Vec::new(), Vec::new()];
+        for trial in 0..trials {
+            for (i, group) in [(0usize, true), (1, false)] {
+                let out = e21::join_throughput(
+                    &JoinParams { group_commit: group, ..base },
+                    seed0 + trial,
+                );
+                rates[i].push(out.joins_per_s);
+            }
+        }
+        let group = stats::mean(&rates[0]);
+        let per = stats::mean(&rates[1]);
+        for (mode, rate) in [("group", group), ("per_mutation", per)] {
+            t.row(&[
+                mode.into(),
+                format!("{clients}"),
+                format!("{}", clients * 16),
+                format!("{rate:.0}"),
+                if mode == "group" {
+                    format!("{:.2}x", group / per.max(1e-9))
+                } else {
+                    "1.00x".into()
+                },
+            ]);
+        }
+    }
+
+    println!();
+    println!("failover drill: kill the primary mid-transfer, warm standby takes over");
+    println!();
+    let t = Table::new(&["peers", "payload", "promoted", "byte-identical", "give-ups"]);
+    t.header();
+    for &peers in &[2usize, 4] {
+        let params = FailoverParams { peers, payload: 16 * 1024 };
+        let mut promoted = 0u64;
+        let mut byte_ok = 0u64;
+        let mut give_ups = 0u64;
+        for trial in 0..trials {
+            let out = e21::failover_drill(&params, seed0 + trial);
+            promoted += u64::from(out.promoted);
+            byte_ok += u64::from(out.byte_ok);
+            give_ups += out.give_ups;
+        }
+        t.row(&[
+            format!("{peers}"),
+            format!("{} KiB", params.payload / 1024),
+            format!("{promoted}/{trials}"),
+            format!("{byte_ok}/{trials}"),
+            format!("{give_ups}"),
+        ]);
+    }
+
+    println!();
+    println!("(claim gate: `cargo run -p curtain-lab -- check --exp e21` writes BENCH_e21.json)");
+}

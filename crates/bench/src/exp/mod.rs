@@ -12,10 +12,11 @@
 //! Everything here is deterministic in its `seed` argument: a cell's
 //! result depends only on its parameters and seed, never on global state
 //! or scheduling — the property `curtain-lab` relies on for byte-identical
-//! reports at any `--jobs` count. The one exemption is [`e06`], whose
-//! measurements are wall-clock throughputs: the seed pins the data, but
-//! the rates depend on the machine (its claims gate machine-independent
-//! ratios, not absolute rates).
+//! reports at any `--jobs` count. The exemptions are [`e06`] and
+//! [`e21`], whose measurements are wall-clock (kernel throughputs and
+//! real-socket control-plane rates respectively): the seed pins the
+//! data, but the values depend on the machine (their claims gate
+//! machine-independent ratios and pass/fail flags, not absolute rates).
 
 pub mod e01;
 pub mod e03;
@@ -23,3 +24,4 @@ pub mod e04;
 pub mod e05;
 pub mod e06;
 pub mod e20;
+pub mod e21;

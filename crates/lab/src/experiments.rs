@@ -20,14 +20,20 @@
 //!   generations on completion overhead whenever the channel loses
 //!   packets, the sliding-window backend's p95 delivery latency stays
 //!   flat as the stream grows 8×, and every backend decodes the same
-//!   bytes.
+//!   bytes;
+//! * **e21** — control plane: group commit admits joins at least 3×
+//!   faster than fsync-per-mutation under a slow WAL sync, and the
+//!   failover drill (kill the primary mid-transfer) always promotes the
+//!   warm standby at the same address, finishes byte-identical, and
+//!   never gives up a repair (wall-clock like e06; absolute rates land
+//!   in `BENCH_e21.json`).
 //!
 //! Profile knobs: `--scale` multiplies sample counts (and is part of the
 //! cache key, as it should be — more samples is a different measurement);
 //! `--quick` swaps in the small smoke grids CI runs.
 
 use curtain_analysis::drift::DriftParams;
-use curtain_bench::exp::{e01, e03, e04, e05, e06, e20};
+use curtain_bench::exp::{e01, e03, e04, e05, e06, e20, e21};
 use curtain_bench::stats;
 use curtain_telemetry::SharedRecorder;
 use rand::rngs::StdRng;
@@ -49,6 +55,7 @@ pub fn registry() -> Vec<Box<dyn Sweep>> {
         Box::new(E05Adversarial),
         Box::new(E06Dataplane),
         Box::new(E20Generations),
+        Box::new(E21ControlPlane),
     ]
 }
 
@@ -823,6 +830,190 @@ impl Sweep for E20Generations {
     }
 }
 
+/// e21 — control plane: group-commit join throughput and the failover
+/// drill, over real TCP sockets.
+///
+/// Wall-clock like [`E06Dataplane`]: a cell's values depend on the
+/// machine, so the claims gate only the group/per-mutation throughput
+/// *ratio* (the artificial 2 ms WAL sync makes it robust to disk and
+/// filesystem noise) and the drill's pass/fail flags. Run it with
+/// `--jobs 1`: the cells time real sockets and real threads, and
+/// co-scheduled cells steal each other's wall clock.
+struct E21ControlPlane;
+
+impl E21ControlPlane {
+    fn join_point(commit: &str, clients: usize, joins_per_client: usize) -> Params {
+        Params::new()
+            .with("mode", "join")
+            .with("commit", commit)
+            .with("clients", clients)
+            .with("joins_per_client", joins_per_client)
+            .with("sync_delay_us", 2000usize)
+    }
+
+    /// Pooled mean `joins_per_s` over the join points in `commit` mode.
+    fn pooled_rate(points: &[PointSummary], commit: &str) -> Option<f64> {
+        let rates: Vec<f64> = points
+            .iter()
+            .filter(|pt| {
+                pt.params.get("mode").and_then(|v| v.as_str()) == Some("join")
+                    && pt.params.get("commit").and_then(|v| v.as_str()) == Some(commit)
+            })
+            .filter_map(|pt| pt.mean("joins_per_s"))
+            .collect();
+        if rates.is_empty() {
+            return None;
+        }
+        Some(rates.iter().sum::<f64>() / rates.len() as f64)
+    }
+}
+
+impl Sweep for E21ControlPlane {
+    fn id(&self) -> &'static str {
+        "e21"
+    }
+
+    fn title(&self) -> &'static str {
+        "Control plane: group commit >= 3x per-mutation joins; failover drill heals without loss"
+    }
+
+    fn code_salt(&self) -> &'static str {
+        "e21-v1"
+    }
+
+    fn grid(&self, profile: Profile) -> ParamGrid {
+        let mut points = Vec::new();
+        if profile.quick {
+            for commit in ["group", "per_mutation"] {
+                points.push(Self::join_point(commit, 8, 8));
+            }
+            points.push(
+                Params::new()
+                    .with("mode", "failover")
+                    .with("peers", 2usize)
+                    .with("payload", 8 * 1024usize),
+            );
+            return ParamGrid::from_points(points);
+        }
+        // 8+ concurrent clients: below that the batches are too small
+        // for the amortization to clear the 3x gate with margin (the
+        // e21 binary's table shows the full scaling curve from 2 up).
+        for &clients in &[8usize, 16] {
+            for commit in ["group", "per_mutation"] {
+                points.push(Self::join_point(commit, clients, 16));
+            }
+        }
+        for &peers in &[2usize, 4] {
+            points.push(
+                Params::new()
+                    .with("mode", "failover")
+                    .with("peers", peers)
+                    .with("payload", 16 * 1024usize),
+            );
+        }
+        ParamGrid::from_points(points)
+    }
+
+    fn seeds(&self, profile: Profile) -> Vec<u64> {
+        // Every cell spins real sockets (the drill runs whole transfers);
+        // keep the matrix small and let the artificial sync delay carry
+        // the statistical weight.
+        crate::default_seeds(if profile.quick { 1 } else { 2 })
+    }
+
+    fn run(&self, params: &Params, seed: u64) -> Measurement {
+        match params.str("mode") {
+            "join" => {
+                let out = e21::join_throughput(
+                    &e21::JoinParams {
+                        group_commit: params.str("commit") == "group",
+                        clients: params.usize("clients"),
+                        joins_per_client: params.usize("joins_per_client"),
+                        sync_delay_us: params.usize("sync_delay_us") as u64,
+                    },
+                    seed,
+                );
+                Measurement::new()
+                    .with("joins_per_s", out.joins_per_s)
+                    .with("joins", out.joins as f64)
+                    .with("elapsed_s", out.elapsed_s)
+            }
+            "failover" => {
+                let out = e21::failover_drill(
+                    &e21::FailoverParams {
+                        peers: params.usize("peers"),
+                        payload: params.usize("payload"),
+                    },
+                    seed,
+                );
+                Measurement::new()
+                    .with("promoted", if out.promoted { 1.0 } else { 0.0 })
+                    .with("byte_ok", if out.byte_ok { 1.0 } else { 0.0 })
+                    .with("completed", out.completed as f64)
+                    .with("give_ups", out.give_ups as f64)
+            }
+            other => panic!("unknown e21 mode {other:?}"),
+        }
+    }
+
+    fn claims(&self) -> Vec<Box<dyn Claim>> {
+        vec![
+            Box::new(Predicate {
+                name: "E21-group-commit-geq-3x",
+                check: Box::new(|points: &[PointSummary]| {
+                    let (Some(group), Some(per)) = (
+                        E21ControlPlane::pooled_rate(points, "group"),
+                        E21ControlPlane::pooled_rate(points, "per_mutation"),
+                    ) else {
+                        return Err("join points missing a commit mode".to_owned());
+                    };
+                    let ratio = group / per.max(1e-9);
+                    if ratio < 3.0 {
+                        return Err(format!(
+                            "group commit only {ratio:.2}x per-mutation ({group:.0}/s vs {per:.0}/s)"
+                        ));
+                    }
+                    Ok(format!(
+                        "group commit {ratio:.2}x per-mutation ({group:.0}/s vs {per:.0}/s)"
+                    ))
+                }),
+            }),
+            Box::new(Predicate {
+                name: "E21-failover-heals-without-loss",
+                check: Box::new(|points: &[PointSummary]| {
+                    let mut drills = 0usize;
+                    for pt in points {
+                        if pt.params.get("mode").and_then(|v| v.as_str()) != Some("failover")
+                        {
+                            continue;
+                        }
+                        drills += 1;
+                        for (metric, want) in
+                            [("promoted", 1.0), ("byte_ok", 1.0), ("give_ups", 0.0)]
+                        {
+                            let Some(v) = pt.mean(metric) else {
+                                return Err(format!("[{}] lacks {metric}", pt.params));
+                            };
+                            if (v - want).abs() > 1e-9 {
+                                return Err(format!(
+                                    "{metric} = {v} (want {want}) at [{}]",
+                                    pt.params
+                                ));
+                            }
+                        }
+                    }
+                    if drills == 0 {
+                        return Err("no failover drill points measured".to_owned());
+                    }
+                    Ok(format!(
+                        "every drill promoted at the old address, byte-identical, zero give-ups ({drills} points)"
+                    ))
+                }),
+            }),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -831,7 +1022,7 @@ mod tests {
     fn registry_ids_are_unique_and_salted() {
         let sweeps = registry();
         let ids: Vec<&str> = sweeps.iter().map(|s| s.id()).collect();
-        assert_eq!(ids, vec!["e01", "e03", "e04", "e05", "e06", "e20"]);
+        assert_eq!(ids, vec!["e01", "e03", "e04", "e05", "e06", "e20", "e21"]);
         for sweep in &sweeps {
             assert!(
                 sweep.code_salt().starts_with(sweep.id()),

@@ -1,7 +1,8 @@
 //! CLI: run a curtain coordinator.
 //!
 //! ```text
-//! curtain_coordinator <k> <d> [--wal <path>] [--checkpoint <path>] [--stats-every <secs>]
+//! curtain_coordinator <k> <d> [--wal <path>] [--strict] [--standby-of <addr>]
+//!                             [--checkpoint <path>] [--stats-every <secs>]
 //!                             [--trace <path>] [--metrics <addr>]
 //! ```
 //!
@@ -9,8 +10,15 @@
 //! `--wal`, every matrix mutation is logged durably and a restart with
 //! the same path *recovers* the previous matrix instead of starting
 //! empty (an existing non-empty log is replayed; a missing or empty one
-//! starts fresh). The optional checkpoint file is rewritten after every
-//! stats interval so operators can inspect the live matrix.
+//! starts fresh); recovery is followed by a proactive resync sweep over
+//! every known peer. `--strict` makes a WAL failure fence mutations
+//! (`Response::Unavailable`) instead of serving them non-durably from
+//! memory. `--standby-of <addr>` runs this process as a *warm standby*
+//! of the primary at `addr`: it bootstraps over the control port, tails
+//! the primary's WAL into its own `--wal` path, and promotes itself at
+//! the primary's address when the primary stops answering. The optional
+//! checkpoint file is rewritten after every stats interval so operators
+//! can inspect the live matrix.
 //!
 //! `--trace` streams the protocol event log (JSONL) to a file — feed it,
 //! together with peer/source traces, to `lab trace` for a stitched
@@ -22,14 +30,15 @@ use std::fs::File;
 use std::io::BufWriter;
 use std::time::Duration;
 
-use curtain_net::{Coordinator, WalOptions};
+use curtain_net::{Coordinator, Standby, StandbyOptions, WalOptions};
 use curtain_overlay::OverlayConfig;
 use curtain_telemetry::{ExposeServer, JsonlSink, SharedRecorder};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: curtain_coordinator <k> <d> [--wal <path>] [--checkpoint <path>] \
-         [--stats-every <secs>] [--trace <path>] [--metrics <addr>]"
+        "usage: curtain_coordinator <k> <d> [--wal <path>] [--strict] \
+         [--standby-of <addr>] [--checkpoint <path>] [--stats-every <secs>] \
+         [--trace <path>] [--metrics <addr>]"
     );
     std::process::exit(2);
 }
@@ -42,6 +51,8 @@ fn main() {
     let k: usize = args[0].parse().unwrap_or_else(|_| usage());
     let d: usize = args[1].parse().unwrap_or_else(|_| usage());
     let mut wal: Option<String> = None;
+    let mut strict = false;
+    let mut standby_of: Option<String> = None;
     let mut checkpoint: Option<String> = None;
     let mut stats_every = 5u64;
     let mut trace: Option<String> = None;
@@ -51,6 +62,14 @@ fn main() {
         match args[i].as_str() {
             "--wal" if i + 1 < args.len() => {
                 wal = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--strict" => {
+                strict = true;
+                i += 1;
+            }
+            "--standby-of" if i + 1 < args.len() => {
+                standby_of = Some(args[i + 1].clone());
                 i += 2;
             }
             "--checkpoint" if i + 1 < args.len() => {
@@ -99,29 +118,62 @@ fn main() {
     };
 
     let config = OverlayConfig::new(k, d);
-    let started = match &wal {
-        Some(path) => {
-            let existing =
-                std::fs::metadata(path).map(|m| m.len() > 0).unwrap_or(false);
-            if existing {
-                println!("recovering from WAL {path}");
-                Coordinator::recover_traced(
-                    WalOptions::new(path),
-                    config,
-                    0xC0DE,
-                    recorder.clone(),
-                )
-            } else {
-                Coordinator::start_durable(config, 0xC0DE, recorder.clone(), &WalOptions::new(path))
+    let coordinator = if let Some(primary) = &standby_of {
+        // Warm standby: tail the primary until it dies, then take over at
+        // its address. The follower needs a WAL of its own for the
+        // shipped history.
+        let Some(path) = &wal else {
+            eprintln!("--standby-of requires --wal <path> for the shipped log");
+            std::process::exit(2);
+        };
+        let primary_addr = primary.parse().unwrap_or_else(|_| usage());
+        let mut standby = Standby::start(
+            StandbyOptions::new(
+                primary_addr,
+                WalOptions::new(path).with_strict(strict),
+                config,
+            ),
+            recorder.clone(),
+        );
+        println!("standing by for coordinator at {primary_addr}");
+        while !standby.wait_promoted(Duration::from_secs(3600)) {}
+        match standby.take_promoted().expect("wait_promoted returned true") {
+            Ok(c) => {
+                println!("promoted: primary at {primary_addr} stopped answering");
+                c
+            }
+            Err(e) => {
+                eprintln!("promotion failed: {e}");
+                std::process::exit(1);
             }
         }
-        None => Coordinator::start_traced(config, 0xC0DE, recorder.clone()),
-    };
-    let coordinator = match started {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("failed to start: {e}");
-            std::process::exit(1);
+    } else {
+        let started = match &wal {
+            Some(path) => {
+                let options = WalOptions::new(path).with_strict(strict);
+                let existing =
+                    std::fs::metadata(path).map(|m| m.len() > 0).unwrap_or(false);
+                if existing {
+                    println!("recovering from WAL {path}");
+                    Coordinator::recover_traced(options, config, 0xC0DE, recorder.clone())
+                        .inspect(|c| {
+                            // An amnesiac restart may be missing rows the
+                            // old incarnation knew; chase peers instead of
+                            // waiting for their complaints.
+                            drop(c.spawn_resync_sweep());
+                        })
+                } else {
+                    Coordinator::start_durable(config, 0xC0DE, recorder.clone(), &options)
+                }
+            }
+            None => Coordinator::start_traced(config, 0xC0DE, recorder.clone()),
+        };
+        match started {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("failed to start: {e}");
+                std::process::exit(1);
+            }
         }
     };
     let _expose = metrics_addr.as_ref().map(|addr| {

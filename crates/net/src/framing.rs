@@ -82,6 +82,22 @@ impl Subscribe {
     }
 }
 
+/// The first line on a freshly accepted data connection: either a
+/// subscriber's handshake or a coordinator's resync nudge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataHello {
+    /// A peer subscribing to one overlay thread.
+    Subscribe(Subscribe),
+    /// A recovering coordinator asking this peer to re-announce itself
+    /// via the `Resync` control verb (the proactive sweep).
+    ResyncNudge,
+}
+
+/// The one-line resync nudge a sweeping coordinator sends on the data
+/// port. Deliberately *not* a valid subscribe line: pre-sweep peers
+/// reject it as a bad handshake and close, which is harmless.
+pub const RESYNC_NUDGE_LINE: &str = "{\"nudge\":\"resync\"}";
+
 /// Writes the subscribe line.
 ///
 /// # Errors
@@ -89,6 +105,18 @@ impl Subscribe {
 /// Propagates socket errors.
 pub fn write_subscribe(mut stream: &TcpStream, sub: &Subscribe) -> io::Result<()> {
     let mut line = sub.to_json_line();
+    line.push('\n');
+    stream.write_all(line.as_bytes())?;
+    stream.flush()
+}
+
+/// Writes the resync-nudge line (see [`RESYNC_NUDGE_LINE`]).
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_resync_nudge(mut stream: &TcpStream) -> io::Result<()> {
+    let mut line = String::from(RESYNC_NUDGE_LINE);
     line.push('\n');
     stream.write_all(line.as_bytes())?;
     stream.flush()
@@ -126,6 +154,26 @@ pub fn read_subscribe_deadline(
     stop: &AtomicBool,
     deadline: Duration,
 ) -> io::Result<Subscribe> {
+    match read_data_hello_deadline(stream, stop, deadline)? {
+        DataHello::Subscribe(sub) => Ok(sub),
+        DataHello::ResyncNudge => {
+            Err(io::Error::new(io::ErrorKind::InvalidData, "resync nudge, not a subscribe"))
+        }
+    }
+}
+
+/// Like [`read_subscribe_deadline`], but also accepts the coordinator's
+/// resync nudge — the reader a sweep-aware peer runs on every accepted
+/// data connection.
+///
+/// # Errors
+///
+/// See [`read_subscribe_deadline`].
+pub fn read_data_hello_deadline(
+    stream: &TcpStream,
+    stop: &AtomicBool,
+    deadline: Duration,
+) -> io::Result<DataHello> {
     let until = Instant::now() + deadline;
     stream.set_read_timeout(Some(Duration::from_millis(100)))?;
     let mut reader = stream.try_clone()?;
@@ -149,7 +197,11 @@ pub fn read_subscribe_deadline(
                 if byte[0] == b'\n' {
                     let text = std::str::from_utf8(&line)
                         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad utf-8"))?;
+                    if text.trim() == RESYNC_NUDGE_LINE {
+                        return Ok(DataHello::ResyncNudge);
+                    }
                     return Subscribe::parse_json_line(text)
+                        .map(DataHello::Subscribe)
                         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e));
                 }
                 line.push(byte[0]);
@@ -780,6 +832,32 @@ mod tests {
         // The reader noticed the flag within its ~100 ms poll interval,
         // not the 30 s deadline.
         assert!(started.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn resync_nudge_parses_as_data_hello_but_not_as_subscribe() {
+        let (client, server) = tcp_pair();
+        let stop = AtomicBool::new(false);
+        write_resync_nudge(&client).unwrap();
+        let hello = read_data_hello_deadline(&server, &stop, Duration::from_secs(5)).unwrap();
+        assert_eq!(hello, DataHello::ResyncNudge);
+
+        // A pre-sweep peer (subscribe-only reader) rejects it cleanly.
+        let (client, server) = tcp_pair();
+        write_resync_nudge(&client).unwrap();
+        let err =
+            read_subscribe_deadline(&server, &stop, Duration::from_secs(5)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn data_hello_reader_accepts_plain_subscribe() {
+        let (client, server) = tcp_pair();
+        let stop = AtomicBool::new(false);
+        let sub = Subscribe { node: NodeId(5), thread: 2 };
+        write_subscribe(&client, &sub).unwrap();
+        let hello = read_data_hello_deadline(&server, &stop, Duration::from_secs(5)).unwrap();
+        assert_eq!(hello, DataHello::Subscribe(sub));
     }
 
     #[test]

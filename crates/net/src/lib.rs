@@ -47,11 +47,26 @@
 //!   endpoint.
 //! * **Durability** — a coordinator started with [`WalOptions`] appends
 //!   every matrix mutation to a checksummed write-ahead log ([`wal`]) and
-//!   can be resurrected with [`Coordinator::recover`] after a crash. When
-//!   the log itself is lost, peers rebuild `M` through the resync
+//!   can be resurrected with [`Coordinator::recover`] after a crash.
+//!   Mutations are *group-committed* by default: they park on a commit
+//!   queue, the committer fsyncs one batch at a time, and responses are
+//!   released only once their batch is durable — same guarantee as
+//!   fsync-per-mutation, a fraction of the fsyncs. A WAL failure enters
+//!   loud degraded mode (`CoordinatorDegraded`, `"durable": false` in
+//!   `/health`); with [`WalOptions::with_strict`] the coordinator
+//!   refuses further mutations instead of serving them from memory.
+//!   When the log itself is lost, peers rebuild `M` through the resync
 //!   protocol: an "unknown child" complaint answer makes the peer upload
 //!   its thread→parent view and the coordinator re-inserts the row (see
-//!   `tests/coordinator_crash_soak.rs` at the workspace root).
+//!   `tests/coordinator_crash_soak.rs` at the workspace root) — and a
+//!   recovered or promoted coordinator additionally runs a *proactive
+//!   resync sweep* ([`Coordinator::resync_sweep`]) instead of waiting
+//!   for complaints.
+//! * **High availability** — a [`Standby`] bootstraps from the primary
+//!   over the control port (`SnapshotFetch`), tails streamed WAL
+//!   records (`WalTail`), and promotes itself at the primary's address
+//!   when it stops answering, with an epoch-fenced id allocator so
+//!   stale grants can never collide (see `tests/failover_soak.rs`).
 //!
 //! # Example
 //!
@@ -81,11 +96,13 @@ mod peer;
 pub mod proto;
 pub mod repair;
 mod source;
+pub mod standby;
 pub mod wal;
 
-pub use coordinator::Coordinator;
+pub use coordinator::{Coordinator, SweepReport};
 pub use faults::{Fault, FaultProxy};
 pub use peer::{Peer, PeerConfig};
 pub use repair::{RepairBudget, RepairPolicy};
 pub use source::{PendingSource, Source};
-pub use wal::{Wal, WalOptions, WalRecord, WalSourceInfo};
+pub use standby::{Standby, StandbyOptions};
+pub use wal::{Wal, WalOptions, WalRecord, WalSourceInfo, WalStore};

@@ -591,8 +591,18 @@ fn health_json_of(shared: &Shared) -> String {
 }
 
 /// Serves one child subscription: recoded packets at the configured pace.
+/// A coordinator's resync nudge on the same port instead triggers a
+/// re-announce via the `Resync` control verb (the proactive sweep after
+/// an amnesiac recovery or failover) and closes the connection.
 fn serve_child(stream: &TcpStream, shared: &Shared, pace: Duration, seed: u64) -> io::Result<()> {
-    let _sub = framing::read_subscribe_deadline(stream, &shared.stop, SUBSCRIBE_DEADLINE)?;
+    let _sub =
+        match framing::read_data_hello_deadline(stream, &shared.stop, SUBSCRIBE_DEADLINE)? {
+            framing::DataHello::Subscribe(sub) => sub,
+            framing::DataHello::ResyncNudge => {
+                shared.resync(None);
+                return Ok(());
+            }
+        };
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = stream.try_clone()?;
     out.set_write_timeout(Some(Duration::from_secs(2)))?;

@@ -133,6 +133,17 @@ pub enum Request {
     },
     /// Asks for progress counters (used by tests and operators).
     Stats,
+    /// A warm standby asks for a full-state snapshot to bootstrap from
+    /// (snapshot shipping over the control port — no shared filesystem).
+    SnapshotFetch,
+    /// A warm standby asks for the WAL records committed after `after`
+    /// (its last applied sequence number). The primary answers from its
+    /// in-memory tail ring, or with an error telling the standby to
+    /// refetch a snapshot if the ring no longer reaches back that far.
+    WalTail {
+        /// The last commit sequence number the standby has applied.
+        after: u64,
+    },
 }
 
 impl Request {
@@ -208,6 +219,11 @@ impl Request {
                 );
             }
             Request::Stats => tag(&mut fields, "stats"),
+            Request::SnapshotFetch => tag(&mut fields, "snapshot_fetch"),
+            Request::WalTail { after } => {
+                tag(&mut fields, "wal_tail");
+                fields.insert("after".into(), JsonValue::Int(*after as i64));
+            }
         }
         JsonValue::Object(fields).render()
     }
@@ -273,6 +289,8 @@ impl Request {
                 })
             }
             "stats" => Ok(Request::Stats),
+            "snapshot_fetch" => Ok(Request::SnapshotFetch),
+            "wal_tail" => Ok(Request::WalTail { after: field_u64(&v, "after")? }),
             other => Err(format!("unknown request {other:?}")),
         }
     }
@@ -314,6 +332,28 @@ pub enum Response {
     },
     /// Generic acknowledgement.
     Ok,
+    /// A strict-mode coordinator refuses to mutate while its WAL is
+    /// degraded (the mutation would not be durable).
+    Unavailable {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A full-state snapshot for a bootstrapping standby.
+    Snapshot {
+        /// The commit sequence number the snapshot covers: tailing
+        /// `WalTail { after: seq }` streams everything after it.
+        seq: u64,
+        /// A `WalRecord::Checkpoint` payload (opaque JSON at this layer).
+        record: String,
+    },
+    /// A batch of committed WAL records for a tailing standby.
+    WalSegment {
+        /// The sequence number of the last record shipped (equals the
+        /// request's `after` when `records` is empty).
+        last: u64,
+        /// `WalRecord` payloads in commit order (opaque JSON here).
+        records: Vec<String>,
+    },
     /// The request could not be served.
     Error {
         /// Human-readable reason.
@@ -372,6 +412,25 @@ impl Response {
                 fields.insert("repairs".into(), JsonValue::Int(*repairs as i64));
             }
             Response::Ok => tag(&mut fields, "ok"),
+            Response::Unavailable { reason } => {
+                tag(&mut fields, "unavailable");
+                fields.insert("reason".into(), JsonValue::Str(reason.clone()));
+            }
+            Response::Snapshot { seq, record } => {
+                tag(&mut fields, "snapshot");
+                fields.insert("seq".into(), JsonValue::Int(*seq as i64));
+                fields.insert("record".into(), JsonValue::Str(record.clone()));
+            }
+            Response::WalSegment { last, records } => {
+                tag(&mut fields, "wal_segment");
+                fields.insert("last".into(), JsonValue::Int(*last as i64));
+                fields.insert(
+                    "records".into(),
+                    JsonValue::Array(
+                        records.iter().map(|r| JsonValue::Str(r.clone())).collect(),
+                    ),
+                );
+            }
             Response::Error { reason } => {
                 tag(&mut fields, "error");
                 fields.insert("reason".into(), JsonValue::Str(reason.clone()));
@@ -430,6 +489,31 @@ impl Response {
                 repairs: field_u64(&v, "repairs")?,
             }),
             "ok" => Ok(Response::Ok),
+            "unavailable" => Ok(Response::Unavailable {
+                reason: v
+                    .get("reason")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("missing reason")?
+                    .to_string(),
+            }),
+            "snapshot" => Ok(Response::Snapshot {
+                seq: field_u64(&v, "seq")?,
+                record: v
+                    .get("record")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("missing record")?
+                    .to_string(),
+            }),
+            "wal_segment" => Ok(Response::WalSegment {
+                last: field_u64(&v, "last")?,
+                records: v
+                    .get("records")
+                    .and_then(JsonValue::as_array)
+                    .ok_or("missing records array")?
+                    .iter()
+                    .map(|r| r.as_str().map(str::to_string).ok_or("bad record payload"))
+                    .collect::<Result<_, _>>()?,
+            }),
             "error" => Ok(Response::Error {
                 reason: v
                     .get("reason")
@@ -575,6 +659,9 @@ mod tests {
                 ctx: None,
             },
             Request::Stats,
+            Request::SnapshotFetch,
+            Request::WalTail { after: 0 },
+            Request::WalTail { after: u64::MAX >> 1 },
         ];
         for r in reqs {
             let s = r.to_json_line();
@@ -599,6 +686,19 @@ mod tests {
             },
             Response::Stats { members: 4, completed: 2, repairs: 9 },
             Response::Ok,
+            Response::Unavailable { reason: "wal degraded".into() },
+            Response::Snapshot {
+                seq: 41,
+                record: r#"{"rec":"checkpoint","server":"{\"k\":4}"}"#.into(),
+            },
+            Response::WalSegment {
+                last: 44,
+                records: vec![
+                    r#"{"rec":"goodbye","node":1}"#.into(),
+                    r#"{"rec":"splice","node":2}"#.into(),
+                ],
+            },
+            Response::WalSegment { last: 0, records: vec![] },
             Response::Error { reason: "no \"source\" yet\n".into() },
         ];
         for r in resps {

@@ -201,6 +201,31 @@ pub enum Event {
         /// Members in the matrix at the moment it went down.
         members: u64,
     },
+    /// The coordinator's WAL failed an append, fsync, or checkpoint
+    /// build: it is now serving from memory only and recovery will
+    /// degrade to the resync path. Emitted once on entry to degraded
+    /// mode (never repeated per mutation).
+    CoordinatorDegraded {
+        /// What failed, human-readable (e.g. `"wal append/sync failed"`).
+        reason: String,
+    },
+    /// A warm standby promoted itself to primary after the primary
+    /// stopped answering, taking over the control address with a fenced
+    /// id epoch so stale grants cannot collide.
+    StandbyPromoted {
+        /// The last shipped WAL sequence number the standby had applied.
+        seq: u64,
+        /// Members in the matrix the promoted coordinator serves.
+        members: u64,
+    },
+    /// The group-commit WAL made one batch of mutations durable with a
+    /// single fsync (the whole point of the commit queue).
+    BatchCommit {
+        /// Mutations in the batch.
+        records: u64,
+        /// Microseconds spent appending + fsyncing the batch.
+        sync_us: u64,
+    },
     /// A coordinator finished recovering its matrix state.
     CoordinatorRecovered {
         /// WAL records replayed to rebuild `M` (0 when the WAL was lost).
@@ -319,6 +344,9 @@ impl Event {
             Event::RepairAttempt { .. } => "repair_attempt",
             Event::RepairGaveUp { .. } => "repair_gave_up",
             Event::CoordinatorDown { .. } => "coordinator_down",
+            Event::CoordinatorDegraded { .. } => "coordinator_degraded",
+            Event::StandbyPromoted { .. } => "standby_promoted",
+            Event::BatchCommit { .. } => "batch_commit",
             Event::CoordinatorRecovered { .. } => "coordinator_recovered",
             Event::PeerResync { .. } => "peer_resync",
             Event::SourceRegisterRejected => "source_register_rejected",
@@ -357,6 +385,9 @@ impl Event {
             | Event::DefectSample { .. }
             | Event::LinkDrop { .. }
             | Event::CoordinatorDown { .. }
+            | Event::CoordinatorDegraded { .. }
+            | Event::StandbyPromoted { .. }
+            | Event::BatchCommit { .. }
             | Event::CoordinatorRecovered { .. }
             | Event::SourceRegisterRejected
             | Event::RunInfo { .. } => None,
@@ -436,6 +467,19 @@ impl Event {
                 field("attempts", &attempts.to_string());
             }
             Event::CoordinatorDown { members } => field("members", &members.to_string()),
+            Event::CoordinatorDegraded { reason } => {
+                let mut r = String::new();
+                json::write_escaped(reason, &mut r);
+                field("reason", &r);
+            }
+            Event::StandbyPromoted { seq, members } => {
+                field("seq", &seq.to_string());
+                field("members", &members.to_string());
+            }
+            Event::BatchCommit { records, sync_us } => {
+                field("records", &records.to_string());
+                field("sync_us", &sync_us.to_string());
+            }
             Event::CoordinatorRecovered { replayed, resynced } => {
                 field("replayed", &replayed.to_string());
                 field("resynced", &resynced.to_string());
@@ -557,6 +601,17 @@ impl Event {
                 attempts: fields.u32("attempts")?,
             },
             "coordinator_down" => Event::CoordinatorDown { members: fields.u64("members")? },
+            "coordinator_degraded" => {
+                Event::CoordinatorDegraded { reason: fields.str("reason")?.to_string() }
+            }
+            "standby_promoted" => Event::StandbyPromoted {
+                seq: fields.u64("seq")?,
+                members: fields.u64("members")?,
+            },
+            "batch_commit" => Event::BatchCommit {
+                records: fields.u64("records")?,
+                sync_us: fields.u64("sync_us")?,
+            },
             "coordinator_recovered" => Event::CoordinatorRecovered {
                 replayed: fields.u64("replayed")?,
                 resynced: fields.u64("resynced")?,
@@ -670,6 +725,9 @@ pub(crate) fn sample_of_every_variant() -> Vec<Event> {
         Event::RepairAttempt { peer: 11, thread: 3, attempt: 2 },
         Event::RepairGaveUp { peer: 11, thread: 3, attempts: 5 },
         Event::CoordinatorDown { members: 12 },
+        Event::CoordinatorDegraded { reason: "wal append/sync failed".into() },
+        Event::StandbyPromoted { seq: 17, members: 6 },
+        Event::BatchCommit { records: 9, sync_us: 1800 },
         Event::CoordinatorRecovered { replayed: 40, resynced: 3 },
         Event::PeerResync { peer: 6, threads: 2 },
         Event::SourceRegisterRejected,
@@ -705,6 +763,9 @@ pub(crate) fn sample_of_every_variant() -> Vec<Event> {
         | Event::RepairAttempt { .. }
         | Event::RepairGaveUp { .. }
         | Event::CoordinatorDown { .. }
+        | Event::CoordinatorDegraded { .. }
+        | Event::StandbyPromoted { .. }
+        | Event::BatchCommit { .. }
         | Event::CoordinatorRecovered { .. }
         | Event::PeerResync { .. }
         | Event::SourceRegisterRejected
