@@ -25,3 +25,4 @@ pub mod e05;
 pub mod e06;
 pub mod e20;
 pub mod e21;
+pub mod e22;

@@ -26,14 +26,20 @@
 //!   failover drill (kill the primary mid-transfer) always promotes the
 //!   warm standby at the same address, finishes byte-identical, and
 //!   never gives up a repair (wall-clock like e06; absolute rates land
-//!   in `BENCH_e21.json`).
+//!   in `BENCH_e21.json`);
+//! * **e22** — vnet scale: a single-process churn soak of the real
+//!   sans-io protocol over the virtual network, at `N` up to 1000.
+//!   The steady-state defect probability must stay in one narrow band
+//!   across `N` (Theorem 4's N-independence), every defect must heal
+//!   with zero repair give-ups, and the same `(params, seed)` cell must
+//!   replay with a byte-identical event journal.
 //!
 //! Profile knobs: `--scale` multiplies sample counts (and is part of the
 //! cache key, as it should be — more samples is a different measurement);
 //! `--quick` swaps in the small smoke grids CI runs.
 
 use curtain_analysis::drift::DriftParams;
-use curtain_bench::exp::{e01, e03, e04, e05, e06, e20, e21};
+use curtain_bench::exp::{e01, e03, e04, e05, e06, e20, e21, e22};
 use curtain_bench::stats;
 use curtain_telemetry::SharedRecorder;
 use rand::rngs::StdRng;
@@ -56,6 +62,7 @@ pub fn registry() -> Vec<Box<dyn Sweep>> {
         Box::new(E06Dataplane),
         Box::new(E20Generations),
         Box::new(E21ControlPlane),
+        Box::new(E22VnetScale),
     ]
 }
 
@@ -1014,6 +1021,208 @@ impl Sweep for E21ControlPlane {
     }
 }
 
+/// e22 — vnet scale: the N-independence of the steady-state defect
+/// probability, measured over the in-process virtual network.
+///
+/// Unlike e06/e21 this sweep is *fully* deterministic: the vnet runs on
+/// a virtual clock, so a cell's metrics — including the journal digest —
+/// depend only on `(params, seed)`. The `determinism` point makes that
+/// a gated claim by replaying its own cell and comparing digests.
+struct E22VnetScale;
+
+impl E22VnetScale {
+    fn churn_point(n: usize, rounds: usize, frac: f64) -> Params {
+        Params::new()
+            .with("mode", "churn")
+            .with("n", n)
+            .with("k", 8usize)
+            .with("d", 2usize)
+            .with("rounds", rounds)
+            .with("frac", frac)
+            .with("loss", 0.01)
+    }
+
+    fn cell_params(params: &Params) -> e22::ChurnParams {
+        e22::ChurnParams {
+            peers: params.usize("n"),
+            fanout: params.usize("k"),
+            reserve: params.usize("d"),
+            churn_rounds: params.usize("rounds"),
+            churn_frac: params.float("frac"),
+            loss: params.float("loss"),
+        }
+    }
+
+    /// `(n, mean defect_p)` for every churn-mode point, in grid order.
+    fn defect_curve(points: &[PointSummary]) -> Vec<(i64, f64)> {
+        points
+            .iter()
+            .filter(|pt| pt.params.get("mode").and_then(|v| v.as_str()) == Some("churn"))
+            .filter_map(|pt| {
+                let n = pt.params.get("n").and_then(|v| v.as_i64())?;
+                Some((n, pt.mean("defect_p")?))
+            })
+            .collect()
+    }
+}
+
+impl Sweep for E22VnetScale {
+    fn id(&self) -> &'static str {
+        "e22"
+    }
+
+    fn title(&self) -> &'static str {
+        "Vnet scale: defect probability independent of N; churn heals; replays byte-identical"
+    }
+
+    fn code_salt(&self) -> &'static str {
+        "e22-v1"
+    }
+
+    fn grid(&self, profile: Profile) -> ParamGrid {
+        if profile.quick {
+            // Smaller swarms need heavier churn for a reliable defect
+            // signal: at 5% of 60 peers a round kills 3, and two rounds
+            // can miss every in-transfer parent.
+            return ParamGrid::from_points(vec![
+                Self::churn_point(60, 2, 0.1),
+                Self::churn_point(150, 2, 0.1),
+                Self::churn_point(60, 1, 0.1).with("mode", "determinism"),
+            ]);
+        }
+        ParamGrid::from_points(vec![
+            Self::churn_point(100, 4, 0.05),
+            Self::churn_point(300, 4, 0.05),
+            Self::churn_point(1000, 4, 0.05),
+            Self::churn_point(100, 2, 0.05).with("mode", "determinism"),
+        ])
+    }
+
+    fn run(&self, params: &Params, seed: u64) -> Measurement {
+        match params.str("mode") {
+            "churn" => {
+                let out = e22::churn_soak(&Self::cell_params(params), seed);
+                Measurement::new()
+                    .with("defect_p", out.defect_p)
+                    .with("repairs", out.repairs as f64)
+                    .with("resyncs", out.resyncs as f64)
+                    .with("gave_up", out.gave_up as f64)
+                    .with("frames_lost", out.frames_lost as f64)
+                    .with("all_complete", if out.all_complete { 1.0 } else { 0.0 })
+                    .with("completed", out.completed as f64)
+                    .with("virtual_ms", out.virtual_ms)
+            }
+            "determinism" => {
+                let identical = e22::replay_identical(&Self::cell_params(params), seed);
+                Measurement::new().with("replay_identical", if identical { 1.0 } else { 0.0 })
+            }
+            other => panic!("unknown e22 mode {other:?}"),
+        }
+    }
+
+    fn claims(&self) -> Vec<Box<dyn Claim>> {
+        vec![
+            Box::new(Predicate {
+                name: "E22-defect-independent-of-n",
+                check: Box::new(|points: &[PointSummary]| {
+                    let curve = E22VnetScale::defect_curve(points);
+                    if curve.len() < 2 {
+                        return Err(format!("need >=2 churn points, got {}", curve.len()));
+                    }
+                    let lo = curve.iter().map(|(_, p)| *p).fold(f64::INFINITY, f64::min);
+                    let hi = curve.iter().map(|(_, p)| *p).fold(0.0, f64::max);
+                    let shown: Vec<String> =
+                        curve.iter().map(|(n, p)| format!("N={n}: {p:.4}")).collect();
+                    // The band is absolute-or-relative: small means are
+                    // noisy in ratio but trivially close in absolute
+                    // terms; large means must track each other.
+                    if hi - lo > 0.05 && hi > 4.0 * lo.max(1e-9) {
+                        return Err(format!(
+                            "defect probability varies with N: {}",
+                            shown.join(", ")
+                        ));
+                    }
+                    Ok(format!("defect band across N: {}", shown.join(", ")))
+                }),
+            }),
+            Box::new(UpperBound {
+                name: "E22-defect-under-10pct",
+                metric: "defect_p",
+                slack: 0.0,
+                bound: Box::new(|params| {
+                    (params.get("mode").and_then(|v| v.as_str()) == Some("churn"))
+                        .then_some(0.1)
+                }),
+            }),
+            Box::new(Predicate {
+                name: "E22-churn-heals-completely",
+                check: Box::new(|points: &[PointSummary]| {
+                    let mut churn = 0usize;
+                    let mut pooled_defect = 0.0;
+                    let mut pooled_repairs = 0.0;
+                    for pt in points {
+                        if pt.params.get("mode").and_then(|v| v.as_str()) != Some("churn") {
+                            continue;
+                        }
+                        churn += 1;
+                        for (metric, want) in [("gave_up", 0.0), ("all_complete", 1.0)] {
+                            let Some(v) = pt.mean(metric) else {
+                                return Err(format!("[{}] lacks {metric}", pt.params));
+                            };
+                            if (v - want).abs() > 1e-9 {
+                                return Err(format!(
+                                    "{metric} = {v} (want {want}) at [{}]",
+                                    pt.params
+                                ));
+                            }
+                        }
+                        pooled_defect += pt.mean("defect_p").unwrap_or(0.0);
+                        pooled_repairs += pt.mean("repairs").unwrap_or(0.0);
+                    }
+                    if churn == 0 {
+                        return Err("no churn points measured".to_owned());
+                    }
+                    if pooled_defect <= 0.0 || pooled_repairs <= 0.0 {
+                        return Err(format!(
+                            "churn left no trace: pooled defect {pooled_defect:.5}, repairs {pooled_repairs:.1}"
+                        ));
+                    }
+                    Ok(format!(
+                        "{churn} churn points: every defect healed, zero give-ups, all swarms complete"
+                    ))
+                }),
+            }),
+            Box::new(Predicate {
+                name: "E22-replay-byte-identical",
+                check: Box::new(|points: &[PointSummary]| {
+                    let mut cells = 0usize;
+                    for pt in points {
+                        if pt.params.get("mode").and_then(|v| v.as_str())
+                            != Some("determinism")
+                        {
+                            continue;
+                        }
+                        cells += 1;
+                        match pt.mean("replay_identical") {
+                            Some(v) if (v - 1.0).abs() <= 1e-9 => {}
+                            other => {
+                                return Err(format!(
+                                    "replay diverged at [{}]: {other:?}",
+                                    pt.params
+                                ))
+                            }
+                        }
+                    }
+                    if cells == 0 {
+                        return Err("no determinism points measured".to_owned());
+                    }
+                    Ok(format!("{cells} determinism points replayed byte-identical"))
+                }),
+            }),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1022,7 +1231,7 @@ mod tests {
     fn registry_ids_are_unique_and_salted() {
         let sweeps = registry();
         let ids: Vec<&str> = sweeps.iter().map(|s| s.id()).collect();
-        assert_eq!(ids, vec!["e01", "e03", "e04", "e05", "e06", "e20", "e21"]);
+        assert_eq!(ids, vec!["e01", "e03", "e04", "e05", "e06", "e20", "e21", "e22"]);
         for sweep in &sweeps {
             assert!(
                 sweep.code_salt().starts_with(sweep.id()),

@@ -19,15 +19,15 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use curtain_overlay::snapshot::RowSnapshot;
-use curtain_overlay::{CurtainServer, Holder, NodeId, NodeStatus, OverlayConfig, ThreadId};
-use curtain_telemetry::trace::{COORDINATOR_NODE, fresh_id};
+use curtain_overlay::{CurtainServer, NodeId, NodeStatus, OverlayConfig, ThreadId};
+use curtain_telemetry::trace::COORDINATOR_NODE;
 use curtain_telemetry::{Event, SharedRecorder, TraceContext};
 use parking_lot::{Condvar, Mutex};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
+use crate::core::backoff::Backoff;
+use crate::core::coordinator::{ControlCore, CoreOutcome, Mutation, SourceInfo};
 use crate::framing;
-use crate::proto::{self, ParentAddr, Request, Response};
+use crate::proto::{self, Request, Response};
 use crate::wal::{Wal, WalOptions, WalRecord, WalSourceInfo, WalStore};
 
 /// Committed-but-recent WAL records kept in memory so a tailing standby
@@ -127,8 +127,13 @@ impl CommitInner {
             self.compact_backoff_until = None;
         } else {
             self.compact_failures += 1;
-            let shift = self.compact_failures.min(6);
-            let backoff = Duration::from_millis(COMPACT_BACKOFF_BASE_MS << shift);
+            // Shared doubling-with-cap schedule; same curve as the old
+            // inline shift (100ms · 2^n, capped at 100ms · 2^6).
+            let schedule = Backoff::new(
+                Duration::from_millis(COMPACT_BACKOFF_BASE_MS),
+                Duration::from_millis(COMPACT_BACKOFF_BASE_MS << 6),
+            );
+            let backoff = schedule.base_delay(self.compact_failures);
             self.compact_backoff_until = Some(Instant::now() + backoff);
             recorder.counter("wal_compact_errors", 1);
         }
@@ -301,12 +306,49 @@ fn committer_loop(shared: &Arc<CommitShared>) {
     }
 }
 
+/// `SourceInfo` ⇄ `WalSourceInfo` (same fields; the WAL type is pinned
+/// to `SocketAddr` and carries the serde impls).
+fn wal_source_of(info: SourceInfo<SocketAddr>) -> WalSourceInfo {
+    WalSourceInfo {
+        addr: info.addr,
+        generations: info.generations,
+        generation_size: info.generation_size,
+        packet_len: info.packet_len,
+        content_len: info.content_len,
+    }
+}
+
+fn core_source_of(info: WalSourceInfo) -> SourceInfo<SocketAddr> {
+    SourceInfo {
+        addr: info.addr,
+        generations: info.generations,
+        generation_size: info.generation_size,
+        packet_len: info.packet_len,
+        content_len: info.content_len,
+    }
+}
+
+/// Maps a core mutation onto the WAL record that persists it.
+fn wal_record_of(mutation: Mutation<SocketAddr>) -> WalRecord {
+    match mutation {
+        Mutation::RegisterSource(info) => WalRecord::RegisterSource(wal_source_of(info)),
+        Mutation::Hello { node, position, threads, data_addr } => {
+            WalRecord::Hello { node, position, threads, data_addr }
+        }
+        Mutation::Resync { node, threads, data_addr } => {
+            WalRecord::Resync { node, threads, data_addr }
+        }
+        Mutation::Goodbye { node } => WalRecord::Goodbye { node },
+        Mutation::Splice { node } => WalRecord::Splice { node },
+        Mutation::Completed { node } => WalRecord::Completed { node },
+    }
+}
+
+/// The TCP driver around the sans-io [`ControlCore`]: the core decides,
+/// this wraps its decisions in the WAL/commit machinery and the strict-
+/// mode refusals durability brings along.
 struct State {
-    server: CurtainServer,
-    rng: StdRng,
-    addrs: HashMap<NodeId, SocketAddr>,
-    source: Option<WalSourceInfo>,
-    completed: HashSet<NodeId>,
+    core: ControlCore<SocketAddr>,
     recorder: SharedRecorder,
     commit: Arc<CommitShared>,
     /// Sequence number the in-flight request must wait on before its
@@ -316,13 +358,6 @@ struct State {
 }
 
 impl State {
-    fn parent_addr(&self, holder: Holder) -> Option<ParentAddr> {
-        match holder {
-            Holder::Server => self.source.map(|s| ParentAddr::Source(s.addr)),
-            Holder::Node(n) => self.addrs.get(&n).map(|a| ParentAddr::Node(n, *a)),
-        }
-    }
-
     /// Admits one mutation to the WAL.
     ///
     /// Group mode parks it on the commit queue and records the sequence
@@ -408,75 +443,28 @@ impl State {
     /// embedded epoch is the id-allocation high-water mark, which fences
     /// post-recovery grants against clock steps.
     fn checkpoint_record(&self) -> Result<WalRecord, String> {
-        let server = self.server.to_json().map_err(|e| e.to_string())?;
+        let server = self.core.server().to_json().map_err(|e| e.to_string())?;
         let mut addrs: Vec<(u64, SocketAddr)> =
-            self.addrs.iter().map(|(n, a)| (n.0, *a)).collect();
+            self.core.addrs().iter().map(|(n, a)| (n.0, *a)).collect();
         addrs.sort_unstable_by_key(|(n, _)| *n);
-        let mut completed: Vec<u64> = self.completed.iter().map(|n| n.0).collect();
+        let mut completed: Vec<u64> = self.core.completed().iter().map(|n| n.0).collect();
         completed.sort_unstable();
         Ok(WalRecord::Checkpoint {
             server,
             addrs,
-            source: self.source,
+            source: self.core.source().copied().map(wal_source_of),
             completed,
-            epoch: self.server.next_node_id(),
+            epoch: self.core.server().next_node_id(),
         })
     }
 
-    /// Opens a coordinator-side span hanging off a request's causal
-    /// context. Returns `None` (and records nothing) when the request was
-    /// untraced — span bookkeeping must stay free for old/untraced peers.
-    fn span_start(&self, ctx: Option<TraceContext>, name: &str) -> Option<TraceContext> {
-        let ctx = ctx?;
-        let child = TraceContext { trace: ctx.trace, span: fresh_id() };
-        self.recorder.record(&Event::SpanStart {
-            trace: child.trace,
-            span: child.span,
-            parent: ctx.span,
-            name: name.to_string(),
-            node: COORDINATOR_NODE,
-        });
-        Some(child)
-    }
-
-    /// Closes a span opened by [`State::span_start`] (no-op on `None`).
-    fn span_end(&self, span: Option<TraceContext>, ok: bool) {
-        if let Some(span) = span {
-            self.recorder.record(&Event::SpanEnd { trace: span.trace, span: span.span, ok });
-        }
-    }
-
-    /// The child's current parent on `thread`, after any necessary repair.
-    fn current_parent(&mut self, child: NodeId, thread: ThreadId) -> Result<ParentAddr, String> {
-        let pos = self
-            .server
-            .matrix()
-            .position_of(child)
-            .ok_or_else(|| format!("unknown child {child}"))?;
-        let (_, holder) = self
-            .server
-            .matrix()
-            .parents_of_position(pos)
-            .into_iter()
-            .find(|(t, _)| *t == thread)
-            .ok_or_else(|| format!("{child} does not hold thread {thread}"))?;
-        self.parent_addr(holder)
-            .ok_or_else(|| "no source registered".to_string())
-    }
-
-    /// Marks `failed` failed and splices it out of `M` — report, repair,
-    /// WAL, telemetry. Shared by the complaint handler and the proactive
-    /// resync sweep.
+    /// Splices `failed` out via the core and persists the resulting
+    /// records. Shared by the complaint path (inside dispatch) and the
+    /// proactive resync sweep (which calls this directly).
     fn splice_out(&mut self, failed: NodeId, ctx: Option<TraceContext>) {
-        let splice_span = self.span_start(ctx, "splice");
-        let _ = self.server.report_failure(failed);
-        let _ = self.server.repair(failed);
-        self.addrs.remove(&failed);
-        self.completed.remove(&failed);
-        self.log(&WalRecord::Splice { node: failed.0 });
-        self.recorder.record(&Event::PeerDisconnect { peer: failed.0 });
-        self.recorder.gauge("coordinator_members", self.server.matrix().len() as f64);
-        self.span_end(splice_span, true);
+        for mutation in self.core.splice_out(failed, ctx) {
+            self.log(&wal_record_of(mutation));
+        }
     }
 
     /// Whether this request would mutate `M` (and therefore needs WAL
@@ -507,12 +495,20 @@ impl State {
     /// connection handler must wait on (group mode) before the response
     /// may leave — waiting happens *outside* the state lock.
     fn handle(&mut self, request: Request) -> (Response, Option<u64>) {
-        if Self::refuses_mutations(self) && Self::is_mutation(&request) {
+        if self.refuses_mutations() && Self::is_mutation(&request) {
             return (unavailable(), None);
         }
         let was_degraded = self.is_degraded();
         self.pending_wait = None;
-        let response = self.dispatch(request);
+        let response = match self.core.dispatch(request) {
+            CoreOutcome::Done { response, effects } => {
+                for mutation in effects {
+                    self.log(&wal_record_of(mutation));
+                }
+                response
+            }
+            CoreOutcome::Driver(request) => self.answer_durability(request),
+        };
         let wait = self.pending_wait.take();
         if self.commit.strict() && !was_degraded && self.is_degraded() {
             // The WAL failed *during this request* (per-mutation mode):
@@ -523,153 +519,11 @@ impl State {
         (response, wait)
     }
 
-    fn dispatch(&mut self, request: Request) -> Response {
+    /// Answers the durability verbs the core hands back: they read the
+    /// commit queue's sequence numbers and tail ring, which only this
+    /// driver has.
+    fn answer_durability(&self, request: Request) -> Response {
         match request {
-            Request::RegisterSource {
-                data_addr,
-                generations,
-                generation_size,
-                packet_len,
-                content_len,
-            } => {
-                // A second registration at a *different* address while a
-                // session is live is a hijack, not a restart — refuse it.
-                // (Same-address re-registration is the restart case and
-                // stays idempotent.)
-                if let Some(existing) = self.source {
-                    if existing.addr != data_addr {
-                        self.recorder.record(&Event::SourceRegisterRejected);
-                        self.recorder.counter("source_register_rejected", 1);
-                        return Response::Error {
-                            reason: format!(
-                                "source already registered at {}",
-                                existing.addr
-                            ),
-                        };
-                    }
-                }
-                let info = WalSourceInfo {
-                    addr: data_addr,
-                    generations,
-                    generation_size,
-                    packet_len,
-                    content_len,
-                };
-                self.source = Some(info);
-                self.log(&WalRecord::RegisterSource(info));
-                Response::Ok
-            }
-            Request::Hello { data_addr } => {
-                let Some(info) = self.source else {
-                    return Response::Error { reason: "no source registered yet".into() };
-                };
-                let grant = self.server.hello(&mut self.rng);
-                self.addrs.insert(grant.node, data_addr);
-                self.log(&WalRecord::Hello {
-                    node: grant.node.0,
-                    position: grant.position as u64,
-                    threads: grant.parents.iter().map(|(t, _)| *t).collect(),
-                    data_addr,
-                });
-                self.recorder.record(&Event::PeerConnect { peer: grant.node.0 });
-                self.recorder.gauge("coordinator_members", self.server.matrix().len() as f64);
-                let mut parents = Vec::with_capacity(grant.parents.len());
-                for (thread, holder) in grant.parents {
-                    match self.parent_addr(holder) {
-                        Some(p) => parents.push((thread, p)),
-                        None => {
-                            return Response::Error {
-                                reason: format!("no address for parent of thread {thread}"),
-                            }
-                        }
-                    }
-                }
-                Response::Welcome {
-                    node: grant.node,
-                    generations: info.generations,
-                    generation_size: info.generation_size,
-                    packet_len: info.packet_len,
-                    content_len: info.content_len,
-                    parents,
-                }
-            }
-            Request::Goodbye { node } => match self.server.goodbye(node) {
-                Ok(_) => {
-                    self.addrs.remove(&node);
-                    self.log(&WalRecord::Goodbye { node: node.0 });
-                    self.recorder.record(&Event::PeerDisconnect { peer: node.0 });
-                    self.recorder.gauge("coordinator_members", self.server.matrix().len() as f64);
-                    Response::Ok
-                }
-                Err(e) => Response::Error { reason: e.to_string() },
-            },
-            Request::Complaint { child, failed_parent, thread, ctx } => {
-                // If the accused is still a member, mark it failed and
-                // splice it out (report + repair merged: the coordinator is
-                // the repair interval here). Duplicate complaints are fine:
-                // the node is already gone and we just return the child's
-                // current parent.
-                if let Some(failed) = failed_parent {
-                    if self.server.matrix().position_of(failed).is_some() {
-                        // When the complaint carries a causal context, the
-                        // splice work becomes a child span of it — the
-                        // stitched repair-episode tree then shows the
-                        // coordinator-side step between complain and
-                        // repair-complete.
-                        self.splice_out(failed, ctx);
-                    }
-                }
-                match self.current_parent(child, thread) {
-                    Ok(new_parent) => Response::Redirect { thread, new_parent },
-                    Err(reason) => Response::Error { reason },
-                }
-            }
-            Request::Completed { node } => {
-                if self.completed.insert(node) {
-                    self.log(&WalRecord::Completed { node: node.0 });
-                }
-                Response::Ok
-            }
-            Request::Resync { node, data_addr, parents, ctx } => {
-                if self.server.matrix().position_of(node).is_some() {
-                    // Already known — a duplicate resync (the first Ok was
-                    // lost), or the WAL had the row all along. Refresh the
-                    // address and move on.
-                    self.addrs.insert(node, data_addr);
-                    return Response::Ok;
-                }
-                let resync_span = self.span_start(ctx, "resync");
-                let mut threads: Vec<ThreadId> = parents.iter().map(|(t, _)| *t).collect();
-                threads.sort_unstable();
-                match self.server.readmit(node, threads.clone(), NodeStatus::Working) {
-                    Ok(_) => {
-                        self.addrs.insert(node, data_addr);
-                        self.log(&WalRecord::Resync {
-                            node: node.0,
-                            threads: threads.clone(),
-                            data_addr,
-                        });
-                        self.recorder.record(&Event::PeerResync {
-                            peer: node.0,
-                            threads: threads.len() as u32,
-                        });
-                        self.recorder.counter("resynced_rows", 1);
-                        self.recorder
-                            .gauge("coordinator_members", self.server.matrix().len() as f64);
-                        self.span_end(resync_span, true);
-                        Response::Ok
-                    }
-                    Err(e) => {
-                        self.span_end(resync_span, false);
-                        Response::Error { reason: e.to_string() }
-                    }
-                }
-            }
-            Request::Stats => Response::Stats {
-                members: self.server.matrix().len(),
-                completed: self.completed.len(),
-                repairs: self.server.metrics().repairs,
-            },
             Request::SnapshotFetch => match self.checkpoint_record() {
                 Ok(ck) => {
                     // The snapshot covers the full *memory* state, i.e.
@@ -717,6 +571,7 @@ impl State {
                     }
                 }
             }
+            other => unreachable!("core handles {other:?} itself"),
         }
     }
 }
@@ -778,19 +633,9 @@ impl Coordinator {
         seed: u64,
         recorder: SharedRecorder,
     ) -> io::Result<Self> {
-        let mut server = CurtainServer::new(config).map_err(io::Error::other)?;
-        server.set_recorder(recorder.clone());
+        let core = ControlCore::new(config, seed, recorder.clone()).map_err(io::Error::other)?;
         let commit = CommitShared::new(None, false, false, recorder.clone());
-        let state = State {
-            server,
-            rng: StdRng::seed_from_u64(seed),
-            addrs: HashMap::new(),
-            source: None,
-            completed: HashSet::new(),
-            recorder,
-            commit,
-            pending_wait: None,
-        };
+        let state = State { core, recorder, commit, pending_wait: None };
         Self::serve(TcpListener::bind("127.0.0.1:0")?, state)
     }
 
@@ -829,19 +674,9 @@ impl Coordinator {
         group_commit: bool,
         strict: bool,
     ) -> io::Result<Self> {
-        let mut server = CurtainServer::new(config).map_err(io::Error::other)?;
-        server.set_recorder(recorder.clone());
+        let core = ControlCore::new(config, seed, recorder.clone()).map_err(io::Error::other)?;
         let commit = CommitShared::new(Some(store), group_commit, strict, recorder.clone());
-        let state = State {
-            server,
-            rng: StdRng::seed_from_u64(seed),
-            addrs: HashMap::new(),
-            source: None,
-            completed: HashSet::new(),
-            recorder,
-            commit,
-            pending_wait: None,
-        };
+        let state = State { core, recorder, commit, pending_wait: None };
         Self::serve(TcpListener::bind("127.0.0.1:0")?, state)
     }
 
@@ -976,7 +811,7 @@ impl Coordinator {
         });
         let (state, replayed, resynced) = replay?;
         recorder.record(&Event::CoordinatorRecovered { replayed, resynced });
-        recorder.gauge("coordinator_members", state.server.matrix().len() as f64);
+        recorder.gauge("coordinator_members", state.core.server().matrix().len() as f64);
         {
             let inner = state.commit.inner.lock();
             if let Some(w) = inner.wal.as_ref() {
@@ -998,7 +833,7 @@ impl Coordinator {
             // scrape of a freshly started coordinator sees an explicit zero
             // rather than an empty exposition.
             let st = state.lock();
-            st.recorder.gauge("coordinator_members", st.server.matrix().len() as f64);
+            st.recorder.gauge("coordinator_members", st.core.server().matrix().len() as f64);
         }
         let committer = {
             let inner = commit.inner.lock();
@@ -1026,19 +861,19 @@ impl Coordinator {
     /// Current member count.
     #[must_use]
     pub fn members(&self) -> usize {
-        self.state.lock().server.matrix().len()
+        self.state.lock().core.server().matrix().len()
     }
 
     /// Peers that reported full decode.
     #[must_use]
     pub fn completed(&self) -> usize {
-        self.state.lock().completed.len()
+        self.state.lock().core.completed().len()
     }
 
     /// Repairs executed so far.
     #[must_use]
     pub fn repairs(&self) -> u64 {
-        self.state.lock().server.metrics().repairs
+        self.state.lock().core.server().metrics().repairs
     }
 
     /// The matrix rows — `(node id, threads)` in matrix order — a
@@ -1047,7 +882,8 @@ impl Coordinator {
     pub fn matrix_rows(&self) -> Vec<(u64, Vec<ThreadId>)> {
         self.state
             .lock()
-            .server
+            .core
+            .server()
             .matrix()
             .rows()
             .iter()
@@ -1077,7 +913,7 @@ impl Coordinator {
     ///
     /// Propagates serialization errors.
     pub fn checkpoint_json(&self) -> io::Result<String> {
-        self.state.lock().server.to_json().map_err(io::Error::other)
+        self.state.lock().core.server().to_json().map_err(io::Error::other)
     }
 
     /// Proactive resync sweep (blocking): probes every known
@@ -1141,7 +977,7 @@ impl Coordinator {
             }
             let st = self.state.lock();
             st.recorder.record(&Event::CoordinatorDown {
-                members: st.server.matrix().len() as u64,
+                members: st.core.server().matrix().len() as u64,
             });
             let _ = st.recorder.flush();
         }
@@ -1155,16 +991,16 @@ fn health_json_of(state: &Mutex<State>) -> String {
     use curtain_telemetry::json::JsonValue;
     use std::collections::BTreeMap;
     let st = state.lock();
-    let metrics = st.server.metrics();
+    let metrics = st.core.server().metrics();
     let mut doc = BTreeMap::new();
     doc.insert("role".to_string(), JsonValue::Str("coordinator".to_string()));
     doc.insert("ok".to_string(), JsonValue::Bool(true));
-    doc.insert("matrix_rows".to_string(), JsonValue::Int(st.server.matrix().len() as i64));
-    let defect = curtain_overlay::defect::exact(st.server.matrix(), st.server.config().d);
+    doc.insert("matrix_rows".to_string(), JsonValue::Int(st.core.server().matrix().len() as i64));
+    let defect = curtain_overlay::defect::exact(st.core.server().matrix(), st.core.server().config().d);
     doc.insert("total_defect".to_string(), JsonValue::Int(defect.total_defect() as i64));
-    doc.insert("completed".to_string(), JsonValue::Int(st.completed.len() as i64));
+    doc.insert("completed".to_string(), JsonValue::Int(st.core.completed().len() as i64));
     doc.insert("repairs".to_string(), JsonValue::Int(metrics.repairs as i64));
-    doc.insert("source_registered".to_string(), JsonValue::Bool(st.source.is_some()));
+    doc.insert("source_registered".to_string(), JsonValue::Bool(st.core.source().is_some()));
     let inner = st.commit.inner.lock();
     doc.insert("wal_enabled".to_string(), JsonValue::Bool(inner.enabled));
     // `durable` is the headline bit operators alert on: true only while
@@ -1205,7 +1041,7 @@ fn resync_sweep(state: &Mutex<State>) -> SweepReport {
     // stall every admission behind the slowest peer's connect timeout.
     let members: Vec<(NodeId, SocketAddr)> = {
         let st = state.lock();
-        st.addrs.iter().map(|(n, a)| (*n, *a)).collect()
+        st.core.addrs().iter().map(|(n, a)| (*n, *a)).collect()
     };
     let mut report = SweepReport { probed: 0, nudged: 0, spliced: 0 };
     for (node, addr) in members {
@@ -1221,7 +1057,7 @@ fn resync_sweep(state: &Mutex<State>) -> SweepReport {
                 // The peer may have re-announced (new address) or left
                 // while we probed unlocked — only splice if the stale
                 // address is still the one on file.
-                if st.addrs.get(&node) == Some(&addr) {
+                if st.core.addrs().get(&node) == Some(&addr) {
                     st.splice_out(node, None);
                     report.spliced += 1;
                 }
@@ -1373,20 +1209,15 @@ fn replay_wal(
 
     let commit =
         CommitShared::new(Some(Box::new(wal)), group_commit, strict, recorder.clone());
-    Ok((
-        State {
-            server,
-            rng: StdRng::seed_from_u64(seed),
-            addrs,
-            source,
-            completed,
-            recorder,
-            commit,
-            pending_wait: None,
-        },
-        replayed,
-        resynced,
-    ))
+    let core = ControlCore::from_parts(
+        server,
+        seed,
+        addrs,
+        source.map(core_source_of),
+        completed,
+        recorder.clone(),
+    );
+    Ok((State { core, recorder, commit, pending_wait: None }, replayed, resynced))
 }
 
 /// Milliseconds since the unix epoch, with a fixed large fallback when
@@ -1418,19 +1249,40 @@ fn accept_loop(
     state: &Arc<Mutex<State>>,
     commit: &Arc<CommitShared>,
 ) {
+    // Every connection handler is tracked and joined: finished handlers
+    // are reaped as new connections arrive (so the list tracks the live
+    // set, not the total served), and the stragglers are joined on the
+    // way out — a stopped coordinator leaves no thread of its own behind.
+    let mut children: Vec<JoinHandle<()>> = Vec::new();
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
+                reap_finished(&mut children);
                 let state = Arc::clone(state);
                 let commit = Arc::clone(commit);
-                std::thread::spawn(move || {
+                children.push(std::thread::spawn(move || {
                     let _ = handle_connection(&stream, &state, &commit);
-                });
+                }));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
             }
             Err(_) => break,
+        }
+    }
+    for child in children {
+        let _ = child.join();
+    }
+}
+
+/// Joins (without blocking) every handler that has already returned.
+fn reap_finished(children: &mut Vec<JoinHandle<()>>) {
+    let mut i = 0;
+    while i < children.len() {
+        if children[i].is_finished() {
+            let _ = children.swap_remove(i).join();
+        } else {
+            i += 1;
         }
     }
 }
@@ -1467,6 +1319,8 @@ fn handle_connection(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::proto::ParentAddr;
+    use curtain_overlay::Holder;
     use std::time::Duration;
 
     const T: Duration = Duration::from_secs(2);
@@ -1614,8 +1468,8 @@ mod tests {
             let st = c.state.lock();
             let mut found = None;
             'outer: for &n in &nodes {
-                let pos = st.server.matrix().position_of(n).unwrap();
-                for (t, holder) in st.server.matrix().parents_of_position(pos) {
+                let pos = st.core.server().matrix().position_of(n).unwrap();
+                for (t, holder) in st.core.server().matrix().parents_of_position(pos) {
                     if let Holder::Node(p) = holder {
                         found = Some((n, t, p));
                         break 'outer;
@@ -1651,7 +1505,7 @@ mod tests {
         assert_eq!(t2, thread);
         assert_eq!(c.repairs(), 1, "duplicate complaint must not re-repair");
         assert_ne!(second.node(), Some(failed));
-        let expected = c.state.lock().current_parent(child, thread).unwrap();
+        let expected = c.state.lock().core.current_parent(child, thread).unwrap();
         assert_eq!(second, expected);
     }
 

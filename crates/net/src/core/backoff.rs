@@ -1,0 +1,129 @@
+//! The one exponential-backoff-with-jitter implementation.
+//!
+//! Three corners of the net plane used to carry their own copy of this
+//! arithmetic: the repair episode's complaint spacing
+//! ([`crate::RepairPolicy::backoff`]), the coordinator's WAL-compaction
+//! retry (`CommitInner::note_compact_result`), and the standby's
+//! bootstrap retry loop. They now all delegate here, so the doubling,
+//! the cap, and the jitter band are specified — and tested — once.
+
+use std::time::Duration;
+
+use rand::Rng;
+
+/// Exponential backoff: `initial · 2^attempt`, capped at `max`, scaled
+/// by a uniform jitter factor in `[1 - jitter, 1 + jitter]`.
+///
+/// Pure arithmetic over an explicit RNG — no clocks, no sleeping — so
+/// the same schedule runs under real time (the TCP driver sleeps the
+/// returned duration) and virtual time (the vnet driver turns it into a
+/// timer event).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Backoff {
+    /// Delay before attempt 0.
+    pub initial: Duration,
+    /// Cap on the doubled delay.
+    pub max: Duration,
+    /// Jitter fraction, clamped to `[0, 1]` at evaluation time.
+    pub jitter: f64,
+}
+
+impl Backoff {
+    /// A jitter-free schedule (`initial · 2^attempt`, capped).
+    #[must_use]
+    pub fn new(initial: Duration, max: Duration) -> Self {
+        Backoff { initial, max, jitter: 0.0 }
+    }
+
+    /// Adds a jitter fraction to the schedule.
+    #[must_use]
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// The deterministic (unjittered) delay before attempt `attempt`
+    /// (0-based): the base doubles per attempt and saturates at
+    /// [`Backoff::max`], including for absurd attempt counts.
+    #[must_use]
+    pub fn base_delay(&self, attempt: u32) -> Duration {
+        self.initial
+            .saturating_mul(1u32.checked_shl(attempt.min(20)).unwrap_or(u32::MAX))
+            .min(self.max)
+    }
+
+    /// The jittered delay before attempt `attempt`: [`Backoff::base_delay`]
+    /// scaled by a uniform factor in `[1 - jitter, 1 + jitter]`.
+    pub fn delay<R: Rng + ?Sized>(&self, attempt: u32, rng: &mut R) -> Duration {
+        let base = self.base_delay(attempt);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        if jitter == 0.0 {
+            return base;
+        }
+        let factor = 1.0 + jitter * (2.0 * rng.random::<f64>() - 1.0);
+        base.mul_f64(factor.max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn doubles_and_caps() {
+        let b = Backoff::new(Duration::from_millis(10), Duration::from_millis(160));
+        assert_eq!(b.base_delay(0), Duration::from_millis(10));
+        assert_eq!(b.base_delay(1), Duration::from_millis(20));
+        assert_eq!(b.base_delay(3), Duration::from_millis(80));
+        assert_eq!(b.base_delay(10), Duration::from_millis(160));
+        assert_eq!(b.base_delay(1000), Duration::from_millis(160));
+    }
+
+    #[test]
+    fn unjittered_delay_consumes_no_randomness() {
+        // jitter == 0 must not touch the RNG: the TCP and vnet drivers
+        // share seeds with other decisions, and a stray draw would skew
+        // replay determinism.
+        let b = Backoff::new(Duration::from_millis(5), Duration::from_secs(1));
+        let mut a = StdRng::seed_from_u64(9);
+        let mut c = StdRng::seed_from_u64(9);
+        let _ = b.delay(3, &mut a);
+        assert_eq!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn jitter_stays_in_band() {
+        let b = Backoff::new(Duration::from_millis(100), Duration::from_millis(100))
+            .with_jitter(0.25);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let d = b.delay(0, &mut rng);
+            assert!(
+                d >= Duration::from_millis(75) && d <= Duration::from_millis(125),
+                "jittered delay out of band: {d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_jitter_is_clamped() {
+        let b = Backoff::new(Duration::from_millis(100), Duration::from_millis(100))
+            .with_jitter(7.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let d = b.delay(0, &mut rng);
+            // Clamped to jitter = 1: band is [0, 2 · base].
+            assert!(d <= Duration::from_millis(200), "clamp failed: {d:?}");
+        }
+    }
+
+    #[test]
+    fn zero_initial_is_always_zero() {
+        let b = Backoff::new(Duration::ZERO, Duration::from_secs(1));
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(b.delay(0, &mut rng), Duration::ZERO);
+        assert_eq!(b.delay(20, &mut rng), Duration::ZERO);
+    }
+}

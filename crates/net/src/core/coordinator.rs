@@ -1,0 +1,648 @@
+//! The coordinator's control-plane brain, sans io.
+//!
+//! [`ControlCore`] owns everything the protocol needs to answer a
+//! request — the paper's matrix `M` (a [`CurtainServer`]), the member
+//! address book, the registered source, the completion set — and nothing
+//! it does not: no sockets, no WAL, no locks, no threads. One call,
+//! [`ControlCore::dispatch`], turns a [`CtrlRequest`] into a
+//! [`CoreOutcome`]:
+//!
+//! * [`CoreOutcome::Done`] — the response to send, plus the list of
+//!   [`Mutation`]s the driver must make durable (the TCP driver maps
+//!   each onto a `WalRecord` and runs its commit machinery; the vnet
+//!   driver drops them — a simulated coordinator keeps no log).
+//! * [`CoreOutcome::Driver`] — the request touches durability state the
+//!   core deliberately does not model (`SnapshotFetch`, `WalTail`), so
+//!   the driver answers it from its commit queue.
+//!
+//! The core is generic over the address type, so the same dispatch logic
+//! serves real `SocketAddr`s over TCP/UDP and vnet endpoint ids inside
+//! the simulator — the same grants, splices, and redirects either way.
+
+use std::collections::{HashMap, HashSet};
+
+use curtain_overlay::{CurtainServer, Holder, NodeId, NodeStatus, OverlayConfig, ThreadId};
+use curtain_telemetry::trace::{fresh_id, COORDINATOR_NODE};
+use curtain_telemetry::{Event, SharedRecorder, TraceContext};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::core::ctrl::{CtrlParent, CtrlRequest, CtrlRequest as Request, CtrlResponse, WireAddr};
+
+/// The registered source: its data listener and the content shape, at
+/// whatever address type the transport speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceInfo<A> {
+    /// Source data-plane listener (as advertised to peers).
+    pub addr: A,
+    /// Number of generations.
+    pub generations: usize,
+    /// Packets per generation.
+    pub generation_size: usize,
+    /// Bytes per packet.
+    pub packet_len: usize,
+    /// Original (unpadded) object length.
+    pub content_len: usize,
+}
+
+/// One matrix mutation the driver must make durable before (or while —
+/// that is the driver's commit policy, not the core's) the response
+/// leaves. Mirrors the WAL record set minus checkpoints, which are a
+/// durability artifact the core does not know about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mutation<A> {
+    /// The source registered (or re-registered at the same address).
+    RegisterSource(SourceInfo<A>),
+    /// A hello was granted: the row as inserted.
+    Hello {
+        /// Assigned node id.
+        node: u64,
+        /// Matrix position the row was inserted at.
+        position: u64,
+        /// The row's thread set.
+        threads: Vec<ThreadId>,
+        /// The peer's data-plane listener.
+        data_addr: A,
+    },
+    /// An amnesiac coordinator re-admitted a row from a peer's resync.
+    Resync {
+        /// The re-admitted node (keeps its old id).
+        node: u64,
+        /// The row's thread set (sorted).
+        threads: Vec<ThreadId>,
+        /// The peer's data-plane listener.
+        data_addr: A,
+    },
+    /// A peer left gracefully.
+    Goodbye {
+        /// The departed node.
+        node: u64,
+    },
+    /// A failed peer was spliced out of `M`.
+    Splice {
+        /// The spliced node.
+        node: u64,
+    },
+    /// A peer reported full decode.
+    Completed {
+        /// The node.
+        node: u64,
+    },
+}
+
+/// What [`ControlCore::dispatch`] decided.
+#[derive(Debug)]
+pub enum CoreOutcome<A: WireAddr> {
+    /// The core handled the request: send `response` after making the
+    /// `effects` durable (in order — a complaint's splice record must
+    /// land before anything that observes the repaired matrix).
+    Done {
+        /// The response to write back.
+        response: CtrlResponse<A>,
+        /// Matrix mutations this request caused, in application order.
+        /// Applied to memory already; the driver only persists them.
+        effects: Vec<Mutation<A>>,
+    },
+    /// A durability verb (`SnapshotFetch` / `WalTail`) the driver must
+    /// answer from its commit state; the core has no opinion.
+    Driver(CtrlRequest<A>),
+}
+
+/// The sans-io coordinator state machine. See the module docs.
+pub struct ControlCore<A: WireAddr> {
+    server: CurtainServer,
+    rng: StdRng,
+    addrs: HashMap<NodeId, A>,
+    source: Option<SourceInfo<A>>,
+    completed: HashSet<NodeId>,
+    recorder: SharedRecorder,
+}
+
+impl<A: WireAddr> ControlCore<A> {
+    /// A fresh core: empty matrix for `config`, thread assignments drawn
+    /// from a `seed`ed RNG, protocol telemetry onto `recorder`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the overlay server.
+    pub fn new(config: OverlayConfig, seed: u64, recorder: SharedRecorder) -> Result<Self, String> {
+        let mut server = CurtainServer::new(config).map_err(|e| e.to_string())?;
+        server.set_recorder(recorder.clone());
+        Ok(ControlCore {
+            server,
+            rng: StdRng::seed_from_u64(seed),
+            addrs: HashMap::new(),
+            source: None,
+            completed: HashSet::new(),
+            recorder,
+        })
+    }
+
+    /// Rebuilds a core from replayed state — the recovery path: the
+    /// driver replays its WAL into a `server` + address book + source +
+    /// completion set and hands them over.
+    #[must_use]
+    pub fn from_parts(
+        server: CurtainServer,
+        seed: u64,
+        addrs: HashMap<NodeId, A>,
+        source: Option<SourceInfo<A>>,
+        completed: HashSet<NodeId>,
+        recorder: SharedRecorder,
+    ) -> Self {
+        ControlCore {
+            server,
+            rng: StdRng::seed_from_u64(seed),
+            addrs,
+            source,
+            completed,
+            recorder,
+        }
+    }
+
+    /// The embedded overlay server (the matrix `M` and its metrics).
+    #[must_use]
+    pub fn server(&self) -> &CurtainServer {
+        &self.server
+    }
+
+    /// Data-plane address per member.
+    #[must_use]
+    pub fn addrs(&self) -> &HashMap<NodeId, A> {
+        &self.addrs
+    }
+
+    /// The registered source, if any.
+    #[must_use]
+    pub fn source(&self) -> Option<&SourceInfo<A>> {
+        self.source.as_ref()
+    }
+
+    /// Nodes that reported full decode.
+    #[must_use]
+    pub fn completed(&self) -> &HashSet<NodeId> {
+        &self.completed
+    }
+
+    fn parent_addr(&self, holder: Holder) -> Option<CtrlParent<A>> {
+        match holder {
+            Holder::Server => self.source.as_ref().map(|s| CtrlParent::Source(s.addr)),
+            Holder::Node(n) => self.addrs.get(&n).map(|a| CtrlParent::Node(n, *a)),
+        }
+    }
+
+    /// Opens a coordinator-side span hanging off a request's causal
+    /// context. Returns `None` (and records nothing) when the request was
+    /// untraced — span bookkeeping must stay free for old/untraced peers.
+    fn span_start(&self, ctx: Option<TraceContext>, name: &str) -> Option<TraceContext> {
+        let ctx = ctx?;
+        let child = TraceContext { trace: ctx.trace, span: fresh_id() };
+        self.recorder.record(&Event::SpanStart {
+            trace: child.trace,
+            span: child.span,
+            parent: ctx.span,
+            name: name.to_string(),
+            node: COORDINATOR_NODE,
+        });
+        Some(child)
+    }
+
+    /// Closes a span opened by [`ControlCore::span_start`] (no-op on `None`).
+    fn span_end(&self, span: Option<TraceContext>, ok: bool) {
+        if let Some(span) = span {
+            self.recorder.record(&Event::SpanEnd { trace: span.trace, span: span.span, ok });
+        }
+    }
+
+    /// The child's current parent on `thread`, after any necessary repair.
+    ///
+    /// # Errors
+    ///
+    /// Describes an unknown child, a thread the child does not hold, or
+    /// a missing source registration.
+    pub fn current_parent(
+        &mut self,
+        child: NodeId,
+        thread: ThreadId,
+    ) -> Result<CtrlParent<A>, String> {
+        let pos = self
+            .server
+            .matrix()
+            .position_of(child)
+            .ok_or_else(|| format!("unknown child {child}"))?;
+        let (_, holder) = self
+            .server
+            .matrix()
+            .parents_of_position(pos)
+            .into_iter()
+            .find(|(t, _)| *t == thread)
+            .ok_or_else(|| format!("{child} does not hold thread {thread}"))?;
+        self.parent_addr(holder)
+            .ok_or_else(|| "no source registered".to_string())
+    }
+
+    /// Marks `failed` failed and splices it out of `M` — report, repair,
+    /// telemetry — returning the mutations the driver must persist.
+    /// Shared by the complaint handler and the proactive resync sweep.
+    pub fn splice_out(&mut self, failed: NodeId, ctx: Option<TraceContext>) -> Vec<Mutation<A>> {
+        let mut effects = Vec::new();
+        self.splice_out_into(failed, ctx, &mut effects);
+        effects
+    }
+
+    fn splice_out_into(
+        &mut self,
+        failed: NodeId,
+        ctx: Option<TraceContext>,
+        effects: &mut Vec<Mutation<A>>,
+    ) {
+        let splice_span = self.span_start(ctx, "splice");
+        let _ = self.server.report_failure(failed);
+        let _ = self.server.repair(failed);
+        self.addrs.remove(&failed);
+        self.completed.remove(&failed);
+        effects.push(Mutation::Splice { node: failed.0 });
+        self.recorder.record(&Event::PeerDisconnect { peer: failed.0 });
+        self.recorder.gauge("coordinator_members", self.server.matrix().len() as f64);
+        self.span_end(splice_span, true);
+    }
+
+    /// Handles one control request. Durability verbs come back as
+    /// [`CoreOutcome::Driver`]; everything else is decided here, with the
+    /// memory state already mutated and the needed persistence listed in
+    /// the outcome's effects.
+    pub fn dispatch(&mut self, request: CtrlRequest<A>) -> CoreOutcome<A> {
+        let mut effects = Vec::new();
+        let response = match request {
+            Request::RegisterSource {
+                data_addr,
+                generations,
+                generation_size,
+                packet_len,
+                content_len,
+            } => {
+                // A second registration at a *different* address while a
+                // session is live is a hijack, not a restart — refuse it.
+                // (Same-address re-registration is the restart case and
+                // stays idempotent.)
+                if let Some(existing) = self.source {
+                    if existing.addr != data_addr {
+                        self.recorder.record(&Event::SourceRegisterRejected);
+                        self.recorder.counter("source_register_rejected", 1);
+                        return CoreOutcome::Done {
+                            response: CtrlResponse::Error {
+                                reason: format!(
+                                    "source already registered at {}",
+                                    existing.addr.render()
+                                ),
+                            },
+                            effects,
+                        };
+                    }
+                }
+                let info = SourceInfo {
+                    addr: data_addr,
+                    generations,
+                    generation_size,
+                    packet_len,
+                    content_len,
+                };
+                self.source = Some(info);
+                effects.push(Mutation::RegisterSource(info));
+                CtrlResponse::Ok
+            }
+            Request::Hello { data_addr } => {
+                let Some(info) = self.source else {
+                    return CoreOutcome::Done {
+                        response: CtrlResponse::Error {
+                            reason: "no source registered yet".into(),
+                        },
+                        effects,
+                    };
+                };
+                let grant = self.server.hello(&mut self.rng);
+                self.addrs.insert(grant.node, data_addr);
+                effects.push(Mutation::Hello {
+                    node: grant.node.0,
+                    position: grant.position as u64,
+                    threads: grant.parents.iter().map(|(t, _)| *t).collect(),
+                    data_addr,
+                });
+                self.recorder.record(&Event::PeerConnect { peer: grant.node.0 });
+                self.recorder.gauge("coordinator_members", self.server.matrix().len() as f64);
+                let mut parents = Vec::with_capacity(grant.parents.len());
+                for (thread, holder) in grant.parents {
+                    match self.parent_addr(holder) {
+                        Some(p) => parents.push((thread, p)),
+                        None => {
+                            return CoreOutcome::Done {
+                                response: CtrlResponse::Error {
+                                    reason: format!(
+                                        "no address for parent of thread {thread}"
+                                    ),
+                                },
+                                effects,
+                            }
+                        }
+                    }
+                }
+                CtrlResponse::Welcome {
+                    node: grant.node,
+                    generations: info.generations,
+                    generation_size: info.generation_size,
+                    packet_len: info.packet_len,
+                    content_len: info.content_len,
+                    parents,
+                }
+            }
+            Request::Goodbye { node } => match self.server.goodbye(node) {
+                Ok(_) => {
+                    self.addrs.remove(&node);
+                    effects.push(Mutation::Goodbye { node: node.0 });
+                    self.recorder.record(&Event::PeerDisconnect { peer: node.0 });
+                    self.recorder
+                        .gauge("coordinator_members", self.server.matrix().len() as f64);
+                    CtrlResponse::Ok
+                }
+                Err(e) => CtrlResponse::Error { reason: e.to_string() },
+            },
+            Request::Complaint { child, failed_parent, thread, ctx } => {
+                // If the accused is still a member, mark it failed and
+                // splice it out (report + repair merged: the coordinator is
+                // the repair interval here). Duplicate complaints are fine:
+                // the node is already gone and we just return the child's
+                // current parent.
+                if let Some(failed) = failed_parent {
+                    if self.server.matrix().position_of(failed).is_some() {
+                        // When the complaint carries a causal context, the
+                        // splice work becomes a child span of it — the
+                        // stitched repair-episode tree then shows the
+                        // coordinator-side step between complain and
+                        // repair-complete.
+                        self.splice_out_into(failed, ctx, &mut effects);
+                    }
+                }
+                match self.current_parent(child, thread) {
+                    Ok(new_parent) => CtrlResponse::Redirect { thread, new_parent },
+                    Err(reason) => CtrlResponse::Error { reason },
+                }
+            }
+            Request::Completed { node } => {
+                if self.completed.insert(node) {
+                    effects.push(Mutation::Completed { node: node.0 });
+                }
+                CtrlResponse::Ok
+            }
+            Request::Resync { node, data_addr, parents, ctx } => {
+                if self.server.matrix().position_of(node).is_some() {
+                    // Already known — a duplicate resync (the first Ok was
+                    // lost), or the WAL had the row all along. Refresh the
+                    // address and move on.
+                    self.addrs.insert(node, data_addr);
+                    return CoreOutcome::Done { response: CtrlResponse::Ok, effects };
+                }
+                let resync_span = self.span_start(ctx, "resync");
+                let mut threads: Vec<ThreadId> = parents.iter().map(|(t, _)| *t).collect();
+                threads.sort_unstable();
+                match self.server.readmit(node, threads.clone(), NodeStatus::Working) {
+                    Ok(_) => {
+                        self.addrs.insert(node, data_addr);
+                        effects.push(Mutation::Resync {
+                            node: node.0,
+                            threads: threads.clone(),
+                            data_addr,
+                        });
+                        self.recorder.record(&Event::PeerResync {
+                            peer: node.0,
+                            threads: threads.len() as u32,
+                        });
+                        self.recorder.counter("resynced_rows", 1);
+                        self.recorder
+                            .gauge("coordinator_members", self.server.matrix().len() as f64);
+                        self.span_end(resync_span, true);
+                        CtrlResponse::Ok
+                    }
+                    Err(e) => {
+                        self.span_end(resync_span, false);
+                        CtrlResponse::Error { reason: e.to_string() }
+                    }
+                }
+            }
+            Request::Stats => CtrlResponse::Stats {
+                members: self.server.matrix().len(),
+                completed: self.completed.len(),
+                repairs: self.server.metrics().repairs,
+            },
+            request @ (Request::SnapshotFetch | Request::WalTail { .. }) => {
+                return CoreOutcome::Driver(request)
+            }
+        };
+        CoreOutcome::Done { response, effects }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use curtain_telemetry::SharedRecorder;
+
+    /// A toy address: vnet-style endpoint slots, no `std::net` anywhere.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    struct Slot(u64);
+
+    impl WireAddr for Slot {
+        fn render(&self) -> String {
+            format!("slot:{}", self.0)
+        }
+        fn parse(s: &str) -> Result<Self, String> {
+            s.strip_prefix("slot:")
+                .and_then(|n| n.parse().ok())
+                .map(Slot)
+                .ok_or_else(|| format!("bad slot {s:?}"))
+        }
+    }
+
+    fn core() -> ControlCore<Slot> {
+        ControlCore::new(OverlayConfig::new(4, 2), 7, SharedRecorder::null()).unwrap()
+    }
+
+    fn done(outcome: CoreOutcome<Slot>) -> (CtrlResponse<Slot>, Vec<Mutation<Slot>>) {
+        match outcome {
+            CoreOutcome::Done { response, effects } => (response, effects),
+            CoreOutcome::Driver(r) => panic!("unexpected driver outcome for {r:?}"),
+        }
+    }
+
+    fn register(core: &mut ControlCore<Slot>) {
+        let (resp, effects) = done(core.dispatch(Request::RegisterSource {
+            data_addr: Slot(1000),
+            generations: 1,
+            generation_size: 8,
+            packet_len: 64,
+            content_len: 512,
+        }));
+        assert_eq!(resp, CtrlResponse::Ok);
+        assert_eq!(effects.len(), 1);
+        assert!(matches!(effects[0], Mutation::RegisterSource(_)));
+    }
+
+    #[test]
+    fn hello_without_a_source_is_refused_with_no_effects() {
+        let mut core = core();
+        let (resp, effects) = done(core.dispatch(Request::Hello { data_addr: Slot(1) }));
+        assert!(matches!(resp, CtrlResponse::Error { .. }));
+        assert!(effects.is_empty());
+    }
+
+    #[test]
+    fn register_hello_complete_flow_emits_matching_mutations() {
+        let mut core = core();
+        register(&mut core);
+        let (resp, effects) = done(core.dispatch(Request::Hello { data_addr: Slot(1) }));
+        let CtrlResponse::Welcome { node, generation_size, parents, .. } = resp else {
+            panic!("expected welcome, got {resp:?}");
+        };
+        assert_eq!(generation_size, 8);
+        assert_eq!(parents.len(), 2);
+        assert!(parents.iter().all(|(_, p)| matches!(p, CtrlParent::Source(Slot(1000)))));
+        let [Mutation::Hello { node: n, threads, data_addr, .. }] = &effects[..] else {
+            panic!("expected one hello mutation, got {effects:?}");
+        };
+        assert_eq!(*n, node.0);
+        assert_eq!(threads.len(), 2);
+        assert_eq!(*data_addr, Slot(1));
+        // Completion books once, then goes idempotent (no second record).
+        let (_, effects) = done(core.dispatch(Request::Completed { node }));
+        assert_eq!(effects, vec![Mutation::Completed { node: node.0 }]);
+        let (_, effects) = done(core.dispatch(Request::Completed { node }));
+        assert!(effects.is_empty());
+    }
+
+    #[test]
+    fn hijacking_register_is_refused() {
+        let mut core = core();
+        register(&mut core);
+        let (resp, effects) = done(core.dispatch(Request::RegisterSource {
+            data_addr: Slot(2000),
+            generations: 1,
+            generation_size: 8,
+            packet_len: 64,
+            content_len: 512,
+        }));
+        let CtrlResponse::Error { reason } = resp else { panic!("expected refusal") };
+        assert!(reason.contains("slot:1000"), "reason: {reason}");
+        assert!(effects.is_empty());
+        // Same-address re-registration stays idempotent.
+        register(&mut core);
+    }
+
+    #[test]
+    fn complaint_splices_then_redirects() {
+        let mut core = core();
+        register(&mut core);
+        let mut nodes = Vec::new();
+        for slot in [1u64, 2] {
+            let (resp, _) = done(core.dispatch(Request::Hello { data_addr: Slot(slot) }));
+            let CtrlResponse::Welcome { node, .. } = resp else { panic!() };
+            nodes.push(node);
+        }
+        // Find a (child, thread, parent) relation to complain about.
+        let pos1 = core.server().matrix().position_of(nodes[1]).unwrap();
+        let (thread, holder) = core.server().matrix().parents_of_position(pos1)[0];
+        let failed = match holder {
+            Holder::Node(n) => n,
+            Holder::Server => {
+                // Child of the source: complaints about the source carry
+                // no failed_parent and splice nothing.
+                let (resp, effects) = done(core.dispatch(Request::Complaint {
+                    child: nodes[1],
+                    failed_parent: None,
+                    thread,
+                    ctx: None,
+                }));
+                assert!(matches!(resp, CtrlResponse::Redirect { .. }));
+                assert!(effects.is_empty());
+                return;
+            }
+        };
+        let (resp, effects) = done(core.dispatch(Request::Complaint {
+            child: nodes[1],
+            failed_parent: Some(failed),
+            thread,
+            ctx: None,
+        }));
+        let CtrlResponse::Redirect { thread: t, new_parent } = resp else {
+            panic!("expected redirect, got {resp:?}");
+        };
+        assert_eq!(t, thread);
+        assert_ne!(new_parent.node(), Some(failed), "redirected back at the corpse");
+        assert_eq!(effects, vec![Mutation::Splice { node: failed.0 }]);
+        assert!(core.server().matrix().position_of(failed).is_none());
+        // A duplicate complaint finds the node gone: redirect, no splice.
+        let (resp, effects) = done(core.dispatch(Request::Complaint {
+            child: nodes[1],
+            failed_parent: Some(failed),
+            thread,
+            ctx: None,
+        }));
+        assert!(matches!(resp, CtrlResponse::Redirect { .. }));
+        assert!(effects.is_empty());
+    }
+
+    #[test]
+    fn resync_readmits_an_unknown_row() {
+        let mut core = core();
+        register(&mut core);
+        let (resp, _) = done(core.dispatch(Request::Hello { data_addr: Slot(1) }));
+        let CtrlResponse::Welcome { node, parents, .. } = resp else { panic!() };
+        let row: Vec<(ThreadId, Option<NodeId>)> =
+            parents.iter().map(|(t, p)| (*t, p.node())).collect();
+        // Known node: address refresh only, no mutation.
+        let (resp, effects) = done(core.dispatch(Request::Resync {
+            node,
+            data_addr: Slot(9),
+            parents: row.clone(),
+            ctx: None,
+        }));
+        assert_eq!(resp, CtrlResponse::Ok);
+        assert!(effects.is_empty());
+        assert_eq!(core.addrs().get(&node), Some(&Slot(9)));
+        // Amnesiac path: splice it, then readmit from the peer's view.
+        let _ = core.splice_out(node, None);
+        assert!(core.server().matrix().position_of(node).is_none());
+        let (resp, effects) = done(core.dispatch(Request::Resync {
+            node,
+            data_addr: Slot(9),
+            parents: row,
+            ctx: None,
+        }));
+        assert_eq!(resp, CtrlResponse::Ok);
+        assert!(matches!(&effects[..], [Mutation::Resync { node: n, .. }] if *n == node.0));
+        assert!(core.server().matrix().position_of(node).is_some());
+    }
+
+    #[test]
+    fn durability_verbs_defer_to_the_driver() {
+        let mut core = core();
+        assert!(matches!(
+            core.dispatch(Request::SnapshotFetch),
+            CoreOutcome::Driver(Request::SnapshotFetch)
+        ));
+        assert!(matches!(
+            core.dispatch(Request::WalTail { after: 3 }),
+            CoreOutcome::Driver(Request::WalTail { after: 3 })
+        ));
+    }
+
+    #[test]
+    fn stats_track_the_membership() {
+        let mut core = core();
+        register(&mut core);
+        for slot in 0..3u64 {
+            let _ = core.dispatch(Request::Hello { data_addr: Slot(slot) });
+        }
+        let (resp, effects) = done(core.dispatch(Request::Stats));
+        assert_eq!(resp, CtrlResponse::Stats { members: 3, completed: 0, repairs: 0 });
+        assert!(effects.is_empty());
+    }
+}

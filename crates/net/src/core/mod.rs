@@ -1,0 +1,36 @@
+//! The sans-io net plane: every protocol decision in `crates/net`,
+//! expressed as pure state machines over bytes, instants, and explicit
+//! RNGs.
+//!
+//! Nothing in this module tree may construct a socket, spawn a thread,
+//! or sleep — CI greps `src/core/` for the socket and thread-spawn
+//! constructors and fails on any hit. Drivers own
+//! the I/O: the blocking TCP layer ([`crate::peer`],
+//! [`crate::coordinator`], [`crate::source`], [`crate::standby`]) feeds
+//! these cores from real sockets and real clocks, the UDP endpoint feeds
+//! them from datagrams, and the vnet scheduler
+//! ([`crate::transport::vnet`]) feeds them from a virtual clock — which
+//! is what lets one test drive a thousand real-protocol peers
+//! deterministically in a single process.
+//!
+//! Layout:
+//!
+//! * [`wire`] — frame/handshake/datagram byte formats, pure codecs.
+//! * [`ctrl`] — the control-plane request/response protocol, generic
+//!   over the address type so cores never name `std::net`.
+//! * [`backoff`] — the one exponential-backoff-with-jitter schedule.
+//! * [`repair`] — repair policy, budget, and episode state machine.
+//! * [`peer`] — per-object decoding state and upstream-thread logic.
+//! * [`source`] — emission scheduling (round-robin and windowed).
+//! * [`coordinator`] — the control-plane state machine (overlay
+//!   bookkeeping, splice repair, WAL record emission as pure effects).
+//! * [`standby`] — the warm-standby follower's decision logic.
+
+pub mod backoff;
+pub mod coordinator;
+pub mod ctrl;
+pub mod peer;
+pub mod repair;
+pub mod source;
+pub mod standby;
+pub mod wire;

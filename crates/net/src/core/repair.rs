@@ -1,0 +1,282 @@
+//! The repair policy: how hard an upstream thread fights to stay fed.
+//!
+//! The paper's robustness argument (Theorem 4) assumes every thread
+//! defect is *transient*: a child complains, the coordinator splices, and
+//! connectivity returns within one repair interval. Over real sockets
+//! that only holds if the complaint loop itself survives transient
+//! failures — a coordinator call timing out, a replacement parent dying
+//! before the resubscribe lands, a flapping link. [`RepairPolicy`]
+//! centralizes the knobs:
+//!
+//! * **Backoff** — complaint attempts within one episode are spaced by
+//!   exponential backoff with jitter (one shared [`Backoff`] schedule),
+//!   so a herd of orphaned children does not synchronize against the
+//!   coordinator.
+//! * **Deadline** — an episode retries until [`RepairPolicy::deadline`]
+//!   elapses, then gives up *observably* (a `RepairGaveUp` event, never a
+//!   silent thread death).
+//! * **Sliding-window budget** — episodes are admitted against a budget
+//!   of [`RepairPolicy::window_budget`] per [`RepairPolicy::window`],
+//!   replacing the old lifetime cap (`MAX_REPAIRS = 32`) that permanently
+//!   orphaned a thread after 32 churn events *even when every repair
+//!   succeeded*. Old episodes expire out of the window, so a long-lived
+//!   peer can repair indefinitely; only a runaway flap exhausts it.
+//! * **Stall detection** — a parent that stays connected but sends
+//!   nothing for [`RepairPolicy::stall_timeout`] is treated as dead, so
+//!   partitions (not just closed sockets) trigger repair.
+//!
+//! Everything here is pure bookkeeping over caller-supplied instants —
+//! no sockets, no sleeping — which is what lets the same policy drive
+//! the blocking TCP loops and the virtual-clock vnet scheduler.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use rand::Rng;
+
+use super::backoff::Backoff;
+
+/// Tuning for the complaint/repair loop of one peer.
+///
+/// The default is production-shaped: 10 ms initial backoff doubling to
+/// 1 s, an 8 s per-episode deadline, 32 episodes per 10 s sliding window,
+/// and a 3 s stall timeout. Tests compress or relax these freely.
+#[derive(Debug, Clone)]
+pub struct RepairPolicy {
+    /// Backoff before the first complaint attempt of an episode.
+    pub initial_backoff: Duration,
+    /// Cap on the per-attempt backoff as it doubles.
+    pub max_backoff: Duration,
+    /// Jitter fraction: each backoff is scaled by a uniform factor in
+    /// `[1 - jitter, 1 + jitter]`. Clamped to `[0, 1]`.
+    pub jitter: f64,
+    /// Total time an episode keeps retrying complaints before giving up.
+    pub deadline: Duration,
+    /// Width of the sliding window the episode budget counts against.
+    pub window: Duration,
+    /// Maximum repair episodes admitted per `window`; `0` disables
+    /// repair entirely (every defect is immediately permanent).
+    pub window_budget: usize,
+    /// How long a connected parent may send nothing before the thread
+    /// treats the link as dead and complains.
+    pub stall_timeout: Duration,
+}
+
+impl Default for RepairPolicy {
+    fn default() -> Self {
+        RepairPolicy {
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+            jitter: 0.25,
+            deadline: Duration::from_secs(8),
+            window: Duration::from_secs(10),
+            window_budget: 32,
+            stall_timeout: Duration::from_secs(3),
+        }
+    }
+}
+
+impl RepairPolicy {
+    /// This policy's complaint-spacing schedule as a [`Backoff`].
+    #[must_use]
+    pub fn backoff_schedule(&self) -> Backoff {
+        Backoff::new(self.initial_backoff, self.max_backoff).with_jitter(self.jitter)
+    }
+
+    /// The jittered backoff before attempt `attempt` (0-based): the base
+    /// doubles per attempt up to [`RepairPolicy::max_backoff`], then a
+    /// uniform `[1 - jitter, 1 + jitter]` factor is applied.
+    pub fn backoff<R: Rng + ?Sized>(&self, attempt: u32, rng: &mut R) -> Duration {
+        self.backoff_schedule().delay(attempt, rng)
+    }
+}
+
+/// Sliding-window admission for repair episodes.
+///
+/// Each admitted episode records its start; entries older than the window
+/// expire. An episode is denied only when `window_budget` episodes
+/// already started within the last `window` — the "thrashing" signal the
+/// old lifetime cap was a blunt proxy for.
+#[derive(Debug)]
+pub struct RepairBudget {
+    window: Duration,
+    budget: usize,
+    episodes: VecDeque<Instant>,
+}
+
+impl RepairBudget {
+    /// An empty budget tracker for `policy`.
+    #[must_use]
+    pub fn new(policy: &RepairPolicy) -> Self {
+        RepairBudget {
+            window: policy.window,
+            budget: policy.window_budget,
+            episodes: VecDeque::new(),
+        }
+    }
+
+    /// Tries to admit an episode starting at `now`; returns whether it is
+    /// within budget (and records it if so).
+    pub fn admit(&mut self, now: Instant) -> bool {
+        self.expire(now);
+        if self.episodes.len() >= self.budget {
+            return false;
+        }
+        self.episodes.push_back(now);
+        true
+    }
+
+    /// Episodes currently inside the window as of `now`.
+    pub fn in_window(&mut self, now: Instant) -> usize {
+        self.expire(now);
+        self.episodes.len()
+    }
+
+    fn expire(&mut self, now: Instant) {
+        while let Some(&front) = self.episodes.front() {
+            if now.duration_since(front) >= self.window {
+                self.episodes.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = RepairPolicy {
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(160),
+            jitter: 0.0,
+            ..RepairPolicy::default()
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(policy.backoff(0, &mut rng), Duration::from_millis(10));
+        assert_eq!(policy.backoff(1, &mut rng), Duration::from_millis(20));
+        assert_eq!(policy.backoff(3, &mut rng), Duration::from_millis(80));
+        // Caps at max_backoff, including for absurd attempt counts.
+        assert_eq!(policy.backoff(10, &mut rng), Duration::from_millis(160));
+        assert_eq!(policy.backoff(1000, &mut rng), Duration::from_millis(160));
+    }
+
+    #[test]
+    fn backoff_jitter_stays_in_band() {
+        let policy = RepairPolicy {
+            initial_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_millis(100),
+            jitter: 0.25,
+            ..RepairPolicy::default()
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let b = policy.backoff(0, &mut rng);
+            assert!(
+                b >= Duration::from_millis(75) && b <= Duration::from_millis(125),
+                "jittered backoff out of band: {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_denies_only_past_window_rate() {
+        let policy = RepairPolicy {
+            window: Duration::from_secs(10),
+            window_budget: 3,
+            ..RepairPolicy::default()
+        };
+        let mut budget = RepairBudget::new(&policy);
+        let t0 = Instant::now();
+        assert!(budget.admit(t0));
+        assert!(budget.admit(t0 + Duration::from_secs(1)));
+        assert!(budget.admit(t0 + Duration::from_secs(2)));
+        // Fourth within the window: denied.
+        assert!(!budget.admit(t0 + Duration::from_secs(3)));
+        assert_eq!(budget.in_window(t0 + Duration::from_secs(3)), 3);
+        // Once the first episode ages out, capacity returns — the
+        // regression the old lifetime cap failed: repairs spread over
+        // time never exhaust the budget.
+        assert!(budget.admit(t0 + Duration::from_secs(10)));
+        assert!(!budget.admit(t0 + Duration::from_secs(10)));
+    }
+
+    #[test]
+    fn budget_survives_many_paced_episodes() {
+        // > 32 (the old MAX_REPAIRS lifetime cap) successful episodes,
+        // paced slower than the window rate: all admitted.
+        let policy =
+            RepairPolicy { window: Duration::from_secs(10), window_budget: 4, ..Default::default() };
+        let mut budget = RepairBudget::new(&policy);
+        let t0 = Instant::now();
+        for i in 0..100u64 {
+            assert!(budget.admit(t0 + Duration::from_secs(3 * i)), "episode {i} denied");
+        }
+    }
+
+    #[test]
+    fn admission_exactly_at_the_window_edge() {
+        // `expire` evicts entries aged *exactly* `window` (`>=`, not `>`):
+        // an episode admitted at t0 must free its slot at precisely
+        // t0 + window, while one instant earlier still counts against the
+        // budget. Off-by-one here silently halves or doubles the
+        // effective rate at the boundary.
+        let policy = RepairPolicy {
+            window: Duration::from_secs(10),
+            window_budget: 1,
+            ..RepairPolicy::default()
+        };
+        let mut budget = RepairBudget::new(&policy);
+        let t0 = Instant::now();
+        assert!(budget.admit(t0));
+        // One nanosecond before the edge: the t0 episode still occupies
+        // the only slot.
+        let just_inside = t0 + Duration::from_secs(10) - Duration::from_nanos(1);
+        assert!(!budget.admit(just_inside));
+        assert_eq!(budget.in_window(just_inside), 1);
+        // Exactly at the edge: the t0 episode has aged out.
+        let edge = t0 + Duration::from_secs(10);
+        assert_eq!(budget.in_window(edge), 0);
+        assert!(budget.admit(edge));
+        // And the new admission occupies the window from the edge onward.
+        assert!(!budget.admit(edge + Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn budget_fully_resets_after_a_quiet_window() {
+        // Exhaust the budget, go quiet for one full window, and the
+        // tracker must be back at full capacity — no residue from the
+        // burst (the property that makes the budget a rate limiter, not a
+        // decaying lifetime cap).
+        let policy = RepairPolicy {
+            window: Duration::from_secs(10),
+            window_budget: 3,
+            ..RepairPolicy::default()
+        };
+        let mut budget = RepairBudget::new(&policy);
+        let t0 = Instant::now();
+        for i in 0..3u64 {
+            assert!(budget.admit(t0 + Duration::from_millis(100 * i)));
+        }
+        assert!(!budget.admit(t0 + Duration::from_secs(1)));
+        // Quiet until every burst entry is a full window old.
+        let after = t0 + Duration::from_secs(10) + Duration::from_millis(300);
+        assert_eq!(budget.in_window(after), 0);
+        for i in 0..3u64 {
+            assert!(budget.admit(after + Duration::from_millis(100 * i)), "slot {i} not freed");
+        }
+        assert!(!budget.admit(after + Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn zero_budget_denies_everything() {
+        let policy = RepairPolicy { window_budget: 0, ..RepairPolicy::default() };
+        let mut budget = RepairBudget::new(&policy);
+        assert!(!budget.admit(Instant::now()));
+    }
+}

@@ -1,0 +1,94 @@
+//! The source's sans-io core: the sliding-window emission schedule.
+//!
+//! A source stream is an unbounded sequence of coded packets; the only
+//! protocol decision per emission is *which generation to mix next* and
+//! *what window base to stamp on the frame*. [`Window`] answers both as
+//! a pure function of the emission counter, so the TCP subscriber
+//! threads and the vnet's simulated source emit identical schedules.
+
+/// Sliding-window serving parameters (copied into each subscriber
+/// stream).
+#[derive(Debug, Clone, Copy)]
+pub struct Window {
+    /// Generations mixed at a time.
+    pub span: usize,
+    /// Packets per generation (sizes the per-generation service quota).
+    pub generation_size: usize,
+}
+
+impl Window {
+    /// Packets emitted per generation before the window slides: enough
+    /// redundancy to decode through mild loss without parking forever.
+    #[must_use]
+    pub fn quota(&self) -> u64 {
+        (2 * self.generation_size) as u64
+    }
+
+    /// The window base after `emitted` packets, parked over the tail.
+    ///
+    /// The base holds at 0 for the first `span` quota periods (the
+    /// ramp-up) and then advances one generation per quota. Without the
+    /// ramp, generation 0 would be live for a single quota period shared
+    /// across `span` generations and retire with only `quota / span`
+    /// packets served — starving the head of the stream.
+    #[must_use]
+    pub fn base(&self, emitted: u64, generations: usize) -> usize {
+        ((emitted / self.quota()) as usize)
+            .saturating_sub(self.span - 1)
+            .min(generations.saturating_sub(self.span))
+    }
+
+    /// The generation to serve for emission number `emitted`:
+    /// round-robin across the window's live span.
+    #[must_use]
+    pub fn pick(&self, emitted: u64, generations: usize) -> usize {
+        let base = self.base(emitted, generations);
+        let live = (generations - base).min(self.span);
+        base + (emitted % live as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Window;
+
+    /// Every generation must be served at least a full quota of frames
+    /// before the window slides past it, the base must never regress,
+    /// and the window must park over the tail — otherwise subscribers
+    /// who joined at stream start can never finish the head or the tail
+    /// of the object.
+    #[test]
+    fn window_schedule_serves_every_generation_a_full_quota() {
+        for (span, generation_size, generations) in
+            [(3, 8, 12), (2, 8, 12), (4, 16, 5), (3, 8, 3), (2, 4, 64)]
+        {
+            let w = Window { span, generation_size };
+            let mut served = vec![0u64; generations];
+            let mut last_base = 0usize;
+            // Enough emissions to slide the base onto the tail and park.
+            let total = w.quota() * (generations + span) as u64;
+            for emitted in 0..total {
+                let base = w.base(emitted, generations);
+                assert!(base >= last_base, "base regressed at emission {emitted}");
+                assert!(base <= generations - span, "base overran the tail");
+                let pick = w.pick(emitted, generations);
+                assert!(
+                    (base..base + span).contains(&pick),
+                    "picked generation {pick} outside window [{base}, {})",
+                    base + span
+                );
+                served[pick] += 1;
+                last_base = base;
+            }
+            assert_eq!(last_base, generations - span, "window never parked on the tail");
+            for (generation, &count) in served.iter().enumerate() {
+                assert!(
+                    count >= w.quota(),
+                    "generation {generation} retired after only {count} of {} frames \
+                     (span {span}, g {generation_size}, {generations} generations)",
+                    w.quota()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! The warm standby's sans-io core: the follower state machine.
+//!
+//! The follower loop's protocol decisions — *what to ask the primary
+//! next*, *when silence becomes failover*, and *how long to sleep
+//! between polls* — are pure bookkeeping over a failure counter and a
+//! bootstrapped flag. [`FollowerCore`] holds them; the driver in
+//! [`crate::standby`] owns the sockets, the WAL, and the promotion
+//! side effects.
+//!
+//! Failover timing is part of the protocol contract: once bootstrapped,
+//! every poll (success or failure) is followed by exactly
+//! `poll_interval`, so the primary is declared dead after
+//! `fail_threshold × poll_interval` of silence. Only the *pre-bootstrap*
+//! retry path backs off (via [`Backoff`]) — a standby started before its
+//! primary should not hammer the control port at full poll cadence, and
+//! nothing downstream times against that phase.
+
+use std::time::Duration;
+
+use crate::core::backoff::Backoff;
+
+/// Pre-bootstrap retries back off up to this many times the poll
+/// interval.
+const BOOTSTRAP_BACKOFF_CAP: u32 = 8;
+
+/// The next request the follower should issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FollowStep {
+    /// Fetch a full snapshot and re-anchor the local log.
+    Bootstrap,
+    /// Poll `WalTail { after }` for records past the last shipped seq.
+    Tail {
+        /// Last sequence number already shipped and fsynced locally.
+        after: u64,
+    },
+}
+
+/// What happened on the wire for the step the core asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FollowEvent {
+    /// Snapshot fetched and compacted locally; it covers `seq`.
+    Bootstrapped {
+        /// Sequence number the snapshot covers.
+        seq: u64,
+    },
+    /// A tail poll succeeded; the primary's durable history ends at
+    /// `last`.
+    Tailed {
+        /// Last durable sequence number on the primary.
+        last: u64,
+    },
+    /// The primary demands a fresh snapshot (the standby fell off the
+    /// retained ring, or the primary restarted).
+    SnapshotRequired,
+    /// The request failed outright (timeout, refused, bad response).
+    Failed,
+}
+
+/// What the driver must do after booking a [`FollowEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FollowDirective {
+    /// Keep following; sleep this long before the next step.
+    Continue {
+        /// Delay before the next poll.
+        sleep: Duration,
+    },
+    /// The primary has been silent past the threshold: promote.
+    Promote,
+}
+
+/// The follower's decision state: bootstrapped-ness, the shipped
+/// high-water mark, and the consecutive-failure count that arms the
+/// failure detector.
+#[derive(Debug, Clone)]
+pub struct FollowerCore {
+    poll_interval: Duration,
+    fail_threshold: u32,
+    retry: Backoff,
+    bootstrapped: bool,
+    failures: u32,
+    last_seq: u64,
+}
+
+impl FollowerCore {
+    /// A fresh follower that has shipped nothing.
+    #[must_use]
+    pub fn new(poll_interval: Duration, fail_threshold: u32) -> Self {
+        FollowerCore {
+            poll_interval,
+            fail_threshold,
+            retry: Backoff::new(
+                poll_interval,
+                poll_interval.saturating_mul(BOOTSTRAP_BACKOFF_CAP),
+            ),
+            bootstrapped: false,
+            failures: 0,
+            last_seq: 0,
+        }
+    }
+
+    /// The request to issue next.
+    #[must_use]
+    pub fn next_step(&self) -> FollowStep {
+        if self.bootstrapped {
+            FollowStep::Tail { after: self.last_seq }
+        } else {
+            FollowStep::Bootstrap
+        }
+    }
+
+    /// Last sequence number shipped (what `Tail` resumes after).
+    #[must_use]
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
+    }
+
+    /// Whether the snapshot bootstrap has completed.
+    #[must_use]
+    pub fn is_bootstrapped(&self) -> bool {
+        self.bootstrapped
+    }
+
+    /// Books the outcome of the last step and decides what follows.
+    pub fn on(&mut self, event: FollowEvent) -> FollowDirective {
+        match event {
+            FollowEvent::Bootstrapped { seq } => {
+                self.bootstrapped = true;
+                self.failures = 0;
+                self.last_seq = seq;
+                FollowDirective::Continue { sleep: self.poll_interval }
+            }
+            FollowEvent::Tailed { last } => {
+                self.failures = 0;
+                self.last_seq = last;
+                FollowDirective::Continue { sleep: self.poll_interval }
+            }
+            FollowEvent::SnapshotRequired => {
+                // Fell off the retained ring — re-anchor. Not a failure:
+                // the primary answered, it is alive.
+                self.bootstrapped = false;
+                self.failures = 0;
+                FollowDirective::Continue { sleep: self.poll_interval }
+            }
+            FollowEvent::Failed => {
+                self.failures += 1;
+                if self.bootstrapped && self.failures >= self.fail_threshold {
+                    return FollowDirective::Promote;
+                }
+                let sleep = if self.bootstrapped {
+                    // The failure detector times against a fixed cadence.
+                    self.poll_interval
+                } else {
+                    self.retry.base_delay(self.failures.saturating_sub(1))
+                };
+                FollowDirective::Continue { sleep }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const POLL: Duration = Duration::from_millis(100);
+
+    #[test]
+    fn follower_promotes_after_threshold_consecutive_failures() {
+        let mut core = FollowerCore::new(POLL, 3);
+        assert_eq!(core.next_step(), FollowStep::Bootstrap);
+        assert_eq!(
+            core.on(FollowEvent::Bootstrapped { seq: 7 }),
+            FollowDirective::Continue { sleep: POLL }
+        );
+        assert_eq!(core.next_step(), FollowStep::Tail { after: 7 });
+        // Two failures, then a success: the counter resets.
+        assert_eq!(core.on(FollowEvent::Failed), FollowDirective::Continue { sleep: POLL });
+        assert_eq!(core.on(FollowEvent::Failed), FollowDirective::Continue { sleep: POLL });
+        assert_eq!(
+            core.on(FollowEvent::Tailed { last: 9 }),
+            FollowDirective::Continue { sleep: POLL }
+        );
+        assert_eq!(core.next_step(), FollowStep::Tail { after: 9 });
+        // Three consecutive failures arm the detector on the third.
+        assert_eq!(core.on(FollowEvent::Failed), FollowDirective::Continue { sleep: POLL });
+        assert_eq!(core.on(FollowEvent::Failed), FollowDirective::Continue { sleep: POLL });
+        assert_eq!(core.on(FollowEvent::Failed), FollowDirective::Promote);
+    }
+
+    #[test]
+    fn pre_bootstrap_failures_back_off_and_never_promote() {
+        let mut core = FollowerCore::new(POLL, 3);
+        let mut sleeps = Vec::new();
+        for _ in 0..6 {
+            match core.on(FollowEvent::Failed) {
+                FollowDirective::Continue { sleep } => sleeps.push(sleep),
+                FollowDirective::Promote => panic!("promoted before ever bootstrapping"),
+            }
+            assert_eq!(core.next_step(), FollowStep::Bootstrap);
+        }
+        // Doubling from the poll interval, capped at 8×.
+        assert_eq!(
+            sleeps,
+            vec![POLL, POLL * 2, POLL * 4, POLL * 8, POLL * 8, POLL * 8]
+        );
+    }
+
+    #[test]
+    fn snapshot_required_reanchors_without_counting_as_failure() {
+        let mut core = FollowerCore::new(POLL, 2);
+        core.on(FollowEvent::Bootstrapped { seq: 3 });
+        core.on(FollowEvent::Failed);
+        // The primary answered (it is alive), demanding a re-anchor.
+        assert_eq!(
+            core.on(FollowEvent::SnapshotRequired),
+            FollowDirective::Continue { sleep: POLL }
+        );
+        assert!(!core.is_bootstrapped());
+        assert_eq!(core.next_step(), FollowStep::Bootstrap);
+        // Post-re-anchor failures are pre-bootstrap again: no promotion.
+        for _ in 0..5 {
+            assert!(matches!(core.on(FollowEvent::Failed), FollowDirective::Continue { .. }));
+        }
+        // The shipped high-water mark survives the re-anchor until the
+        // fresh snapshot overwrites it.
+        assert_eq!(core.last_seq(), 3);
+    }
+}

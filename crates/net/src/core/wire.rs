@@ -1,0 +1,737 @@
+//! The data-plane wire format, as pure byte functions.
+//!
+//! Everything here is sans-io: encoders append to caller-owned buffers,
+//! decoders parse caller-supplied slices, and nothing touches a socket.
+//! [`crate::framing`] wraps these functions with blocking stream I/O for
+//! the TCP driver; the UDP and vnet transports consume them directly —
+//! one message per frame — so all three backends speak byte-identical
+//! frames by construction.
+//!
+//! Three encodings live here:
+//!
+//! * **Stream frames** — `[u32 LE length | flags][extensions][packet]`,
+//!   the length-prefixed format TCP writes back-to-back on a connection
+//!   (see [`TRACE_FLAG`] / [`WINDOW_FLAG`] for the optional extensions).
+//! * **Handshake lines** — the one-line JSON [`Subscribe`] handshake and
+//!   the coordinator's resync nudge ([`RESYNC_NUDGE_LINE`]).
+//! * **Datagram chunks** — a frame cut into MTU-sized datagrams with a
+//!   10-byte header, reassembled loss- and reorder-tolerantly by
+//!   [`Reassembler`] (the UDP transport's framing).
+
+use std::collections::{HashMap, VecDeque};
+
+use curtain_overlay::{NodeId, ThreadId};
+use curtain_rlnc::{BufPool, CodedPacket};
+use curtain_telemetry::json::{self, JsonValue};
+use curtain_telemetry::TraceContext;
+
+/// Upper bound on a frame (coefficients + payload); guards against
+/// corrupted length prefixes.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// High bit of the length prefix: the frame body starts with a 16-byte
+/// [`TraceContext`] before the packet bytes.
+///
+/// `MAX_FRAME` keeps real lengths far below this bit, so flagged and
+/// unflagged frames can never be confused. Untraced frames are written
+/// byte-identically to the pre-tracing format, and readers that predate
+/// the flag reject a flagged frame as a bad length instead of
+/// misparsing it — tracing is opt-in per sender, old receivers keep
+/// interoperating with untraced senders unchanged.
+pub const TRACE_FLAG: u32 = 1 << 31;
+
+/// Bit 30 of the length prefix: the frame body carries a 4-byte
+/// little-endian *window base* — the oldest generation the sender still
+/// serves — placed after the trace context when both flags are set.
+///
+/// A windowed source advances the base as it cuts generations; peers
+/// that understand the flag stop recoding generations behind the base
+/// and re-stamp their own frames, so the active window propagates down
+/// the overlay. Like [`TRACE_FLAG`], the bit sits far above `MAX_FRAME`,
+/// so readers that predate it reject a flagged frame as a bad length
+/// instead of misparsing it, and unflagged frames stay byte-identical —
+/// windowed and pre-window nodes interoperate as long as the sender
+/// does not window.
+pub const WINDOW_FLAG: u32 = 1 << 30;
+
+/// Width of the wire window base.
+pub(crate) const WINDOW_BASE_LEN: usize = 4;
+
+/// Upper bound on the subscribe line; anything longer is garbage.
+pub(crate) const MAX_SUBSCRIBE_LINE: usize = 512;
+
+/// The one-line handshake a subscriber sends after connecting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Subscribe {
+    /// The subscribing peer (for the publisher's bookkeeping/logging).
+    pub node: NodeId,
+    /// The overlay thread this subscription carries.
+    pub thread: ThreadId,
+}
+
+impl Subscribe {
+    /// Renders the handshake as its JSON line (no trailing newline).
+    #[must_use]
+    pub fn to_json_line(self) -> String {
+        let mut out = String::from("{\"node\":");
+        out.push_str(&self.node.0.to_string());
+        out.push_str(",\"thread\":");
+        out.push_str(&self.thread.to_string());
+        out.push('}');
+        out
+    }
+
+    /// Parses a handshake line.
+    ///
+    /// # Errors
+    ///
+    /// Describes the malformed field.
+    pub fn parse_json_line(line: &str) -> Result<Self, String> {
+        let obj = json::parse_flat_object(line.trim())?;
+        let node = obj
+            .fields
+            .get("node")
+            .and_then(JsonValue::as_u64)
+            .ok_or("missing or bad node")?;
+        let thread = obj
+            .fields
+            .get("thread")
+            .and_then(JsonValue::as_u64)
+            .and_then(|t| ThreadId::try_from(t).ok())
+            .ok_or("missing or bad thread")?;
+        Ok(Subscribe { node: NodeId(node), thread })
+    }
+}
+
+/// The first line on a freshly accepted data connection: either a
+/// subscriber's handshake or a coordinator's resync nudge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataHello {
+    /// A peer subscribing to one overlay thread.
+    Subscribe(Subscribe),
+    /// A recovering coordinator asking this peer to re-announce itself
+    /// via the `Resync` control verb (the proactive sweep).
+    ResyncNudge,
+}
+
+/// The one-line resync nudge a sweeping coordinator sends on the data
+/// port. Deliberately *not* a valid subscribe line: pre-sweep peers
+/// reject it as a bad handshake and close, which is harmless.
+pub const RESYNC_NUDGE_LINE: &str = "{\"nudge\":\"resync\"}";
+
+/// Parses one data-plane hello line (already stripped of its newline).
+///
+/// # Errors
+///
+/// Describes the malformed line.
+pub fn parse_data_hello(line: &str) -> Result<DataHello, String> {
+    if line.trim() == RESYNC_NUDGE_LINE {
+        return Ok(DataHello::ResyncNudge);
+    }
+    Subscribe::parse_json_line(line).map(DataHello::Subscribe)
+}
+
+/// Appends one encoded frame to `out`: the length prefix (with extension
+/// flags), the optional 16-byte trace context, the optional 4-byte window
+/// base, then the packet's wire bytes. With both extensions `None` the
+/// bytes are identical to the original unflagged format.
+pub fn encode_frame_tagged_into(
+    out: &mut Vec<u8>,
+    packet: &CodedPacket,
+    ctx: Option<TraceContext>,
+    window_base: Option<u32>,
+) {
+    let mut len = packet.wire_len() as u32;
+    let mut flags = 0u32;
+    if ctx.is_some() {
+        len += TraceContext::WIRE_LEN as u32;
+        flags |= TRACE_FLAG;
+    }
+    if window_base.is_some() {
+        len += WINDOW_BASE_LEN as u32;
+        flags |= WINDOW_FLAG;
+    }
+    out.extend_from_slice(&(len | flags).to_le_bytes());
+    if let Some(ctx) = ctx {
+        out.extend_from_slice(&ctx.to_wire());
+    }
+    if let Some(base) = window_base {
+        out.extend_from_slice(&base.to_le_bytes());
+    }
+    packet.to_wire_into(out);
+}
+
+/// One encoded frame as a fresh buffer (see [`encode_frame_tagged_into`]).
+#[must_use]
+pub fn encode_frame_tagged(
+    packet: &CodedPacket,
+    ctx: Option<TraceContext>,
+    window_base: Option<u32>,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + packet.wire_len() + 20);
+    encode_frame_tagged_into(&mut out, packet, ctx, window_base);
+    out
+}
+
+/// A parsed frame with its optional extensions: the packet, the trace
+/// context (if [`TRACE_FLAG`] was set) and the window base (if
+/// [`WINDOW_FLAG`] was set).
+pub type TaggedFrame = (CodedPacket, Option<TraceContext>, Option<u32>);
+
+/// Decodes exactly one frame from `buf` (prefix included), parsing the
+/// packet into pool-recycled buffers. The message-oriented counterpart of
+/// the stream reader: trailing bytes after the frame are an error, so a
+/// datagram or vnet message carries one frame and nothing else.
+///
+/// # Errors
+///
+/// Describes the corruption (bad length, truncation, trailing garbage,
+/// malformed packet).
+pub fn decode_frame_message(buf: &[u8], pool: &BufPool) -> Result<TaggedFrame, String> {
+    let (frame, used) = decode_frame_prefix(buf, pool)?;
+    if used != buf.len() {
+        return Err(format!("{} trailing bytes after frame", buf.len() - used));
+    }
+    Ok(frame)
+}
+
+/// A validated length prefix: the body length in bytes and which
+/// extensions ([`TRACE_FLAG`] / [`WINDOW_FLAG`]) the body carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FramePrefix {
+    /// Body length in bytes (extensions included, prefix excluded).
+    pub len: usize,
+    /// Body starts with a 16-byte trace context.
+    pub traced: bool,
+    /// Body carries a 4-byte window base (after the context, if any).
+    pub windowed: bool,
+}
+
+/// Validates a raw little-endian length prefix: strips the extension
+/// flags, bounds the length against [`MAX_FRAME`], and rejects bodies too
+/// short to hold the extensions they claim.
+///
+/// # Errors
+///
+/// Describes the corrupt prefix.
+pub fn parse_prefix(raw: u32) -> Result<FramePrefix, String> {
+    let traced = raw & TRACE_FLAG != 0;
+    let windowed = raw & WINDOW_FLAG != 0;
+    let len = raw & !(TRACE_FLAG | WINDOW_FLAG);
+    if len == 0 || len > MAX_FRAME {
+        return Err("bad frame length".to_string());
+    }
+    let mut header = 0;
+    if traced {
+        header += TraceContext::WIRE_LEN;
+    }
+    if windowed {
+        header += WINDOW_BASE_LEN;
+    }
+    if (len as usize) <= header {
+        return Err("tagged frame too short".to_string());
+    }
+    Ok(FramePrefix { len: len as usize, traced, windowed })
+}
+
+/// Splits a frame body (already length-validated by [`parse_prefix`])
+/// into its extensions and the packet bytes.
+#[must_use]
+pub fn split_body(prefix: FramePrefix, body: &[u8]) -> (Option<TraceContext>, Option<u32>, &[u8]) {
+    debug_assert_eq!(body.len(), prefix.len);
+    let mut rest = body;
+    let ctx = if prefix.traced {
+        let mut wire = [0u8; TraceContext::WIRE_LEN];
+        wire.copy_from_slice(&rest[..TraceContext::WIRE_LEN]);
+        rest = &rest[TraceContext::WIRE_LEN..];
+        Some(TraceContext::from_wire(&wire))
+    } else {
+        None
+    };
+    let base = if prefix.windowed {
+        let mut wire = [0u8; WINDOW_BASE_LEN];
+        wire.copy_from_slice(&rest[..WINDOW_BASE_LEN]);
+        rest = &rest[WINDOW_BASE_LEN..];
+        Some(u32::from_le_bytes(wire))
+    } else {
+        None
+    };
+    (ctx, base, rest)
+}
+
+/// Decodes one frame from the front of `buf`, returning it and the number
+/// of bytes consumed — the incremental form stream decoders build on.
+///
+/// # Errors
+///
+/// Describes the corruption; a buffer that merely ends early reports
+/// `"truncated frame"` (callers feeding a stream can wait for more bytes).
+pub fn decode_frame_prefix(buf: &[u8], pool: &BufPool) -> Result<(TaggedFrame, usize), String> {
+    if buf.len() < 4 {
+        return Err("truncated frame".to_string());
+    }
+    let raw = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    let prefix = parse_prefix(raw)?;
+    let total = 4 + prefix.len;
+    if buf.len() < total {
+        return Err("truncated frame".to_string());
+    }
+    let (ctx, base, rest) = split_body(prefix, &buf[4..total]);
+    let packet = CodedPacket::from_wire_pooled(rest, pool).map_err(|e| e.to_string())?;
+    Ok(((packet, ctx, base), total))
+}
+
+// ---------------------------------------------------------------------------
+// Datagram chunking — the UDP transport's framing.
+// ---------------------------------------------------------------------------
+
+/// First byte of every chunk datagram. Chosen to collide with neither a
+/// JSON control line (`{`) nor plausible length-prefix bytes, so a UDP
+/// endpoint can demultiplex handshake lines from frame chunks on the
+/// first byte.
+pub const DGRAM_MAGIC: u8 = 0xC7;
+
+/// Chunk header version; bumped if the layout ever changes.
+pub const DGRAM_VERSION: u8 = 1;
+
+/// Bytes of chunk header preceding each payload slice:
+/// `[magic][version][msg_id u32 LE][chunk u16 LE][count u16 LE]`.
+pub const DGRAM_HEADER_LEN: usize = 10;
+
+/// One parsed chunk header plus its payload slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk<'a> {
+    /// Message this chunk belongs to (sender-scoped, monotonically
+    /// increasing so late duplicates of finished messages are cheap to
+    /// drop).
+    pub msg_id: u32,
+    /// This chunk's index in `0..count`.
+    pub index: u16,
+    /// Total chunks of the message.
+    pub count: u16,
+    /// The payload slice carried by this datagram.
+    pub payload: &'a [u8],
+}
+
+/// Cuts `payload` (one encoded frame) into datagrams of at most `mtu`
+/// bytes each, headers included. Every datagram carries
+/// [`DGRAM_HEADER_LEN`] bytes of header plus a payload slice; all slices
+/// but the last are equal-sized.
+///
+/// # Panics
+///
+/// Panics if `mtu` cannot fit a header plus one payload byte, if the
+/// payload is empty, or if the payload needs more than `u16::MAX` chunks
+/// (far beyond [`MAX_FRAME`] at any sane MTU).
+#[must_use]
+pub fn chunk_message(msg_id: u32, payload: &[u8], mtu: usize) -> Vec<Vec<u8>> {
+    assert!(mtu > DGRAM_HEADER_LEN, "mtu must exceed the chunk header");
+    assert!(!payload.is_empty(), "empty datagram payload");
+    let slice = mtu - DGRAM_HEADER_LEN;
+    let count = payload.len().div_ceil(slice);
+    assert!(count <= usize::from(u16::MAX), "payload needs too many chunks");
+    payload
+        .chunks(slice)
+        .enumerate()
+        .map(|(i, part)| {
+            let mut d = Vec::with_capacity(DGRAM_HEADER_LEN + part.len());
+            d.push(DGRAM_MAGIC);
+            d.push(DGRAM_VERSION);
+            d.extend_from_slice(&msg_id.to_le_bytes());
+            d.extend_from_slice(&(i as u16).to_le_bytes());
+            d.extend_from_slice(&(count as u16).to_le_bytes());
+            d.extend_from_slice(part);
+            d
+        })
+        .collect()
+}
+
+/// Parses one datagram's chunk header.
+///
+/// # Errors
+///
+/// Describes the malformed header (wrong magic/version, empty payload,
+/// index out of range).
+pub fn parse_chunk(datagram: &[u8]) -> Result<Chunk<'_>, String> {
+    if datagram.len() <= DGRAM_HEADER_LEN {
+        return Err("datagram shorter than chunk header".to_string());
+    }
+    if datagram[0] != DGRAM_MAGIC {
+        return Err("bad chunk magic".to_string());
+    }
+    if datagram[1] != DGRAM_VERSION {
+        return Err(format!("unsupported chunk version {}", datagram[1]));
+    }
+    let msg_id = u32::from_le_bytes([datagram[2], datagram[3], datagram[4], datagram[5]]);
+    let index = u16::from_le_bytes([datagram[6], datagram[7]]);
+    let count = u16::from_le_bytes([datagram[8], datagram[9]]);
+    if count == 0 {
+        return Err("zero-chunk message".to_string());
+    }
+    if index >= count {
+        return Err(format!("chunk index {index} out of range 0..{count}"));
+    }
+    Ok(Chunk { msg_id, index, count, payload: &datagram[DGRAM_HEADER_LEN..] })
+}
+
+/// Reassembles chunked messages from one sender, tolerating reordering
+/// and duplication. A message completes only when every chunk `0..count`
+/// has arrived with consistent sizing; anything inconsistent drops the
+/// whole message — a lost or corrupted chunk can delay a frame or kill
+/// it, but can never surface a corrupt one.
+///
+/// Partially received messages are bounded: at most `max_pending`
+/// in-flight messages are buffered, evicting the oldest (a message whose
+/// middle chunk was lost eventually falls out instead of leaking).
+#[derive(Debug)]
+pub struct Reassembler {
+    max_pending: usize,
+    pending: HashMap<u32, Partial>,
+    /// Insertion order for eviction.
+    order: VecDeque<u32>,
+    /// Recently completed message ids: late duplicates of a finished
+    /// message must not deliver it twice (or re-open a partial).
+    completed: VecDeque<u32>,
+    /// Messages dropped by eviction or inconsistency (for telemetry).
+    dropped: u64,
+}
+
+/// How many finished message ids [`Reassembler`] remembers for duplicate
+/// suppression.
+const COMPLETED_MEMORY: usize = 64;
+
+#[derive(Debug)]
+struct Partial {
+    count: u16,
+    received: u16,
+    /// Chunk payloads by index (`None` = not yet arrived).
+    chunks: Vec<Option<Vec<u8>>>,
+    bytes: usize,
+}
+
+impl Reassembler {
+    /// A reassembler buffering at most `max_pending` in-flight messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_pending == 0`.
+    #[must_use]
+    pub fn new(max_pending: usize) -> Self {
+        assert!(max_pending > 0, "reassembler needs at least one slot");
+        Reassembler {
+            max_pending,
+            pending: HashMap::new(),
+            order: VecDeque::new(),
+            completed: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Messages dropped so far (evicted while incomplete, or killed by an
+    /// inconsistent chunk).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// In-flight (incomplete) messages currently buffered.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Feeds one datagram. Returns the completed message payload when
+    /// this chunk was the last missing piece, `None` while the message is
+    /// still incomplete (or the chunk was a duplicate).
+    ///
+    /// # Errors
+    ///
+    /// Describes a malformed or inconsistent chunk; an inconsistency also
+    /// drops the whole message it belonged to (never yielding a frame
+    /// assembled from conflicting pieces).
+    pub fn accept(&mut self, datagram: &[u8]) -> Result<Option<Vec<u8>>, String> {
+        let chunk = parse_chunk(datagram)?;
+        if self.completed.contains(&chunk.msg_id) {
+            return Ok(None); // late duplicate of a finished message
+        }
+        if !self.pending.contains_key(&chunk.msg_id) {
+            if chunk.count == 1 {
+                // Single-chunk fast path: no buffering at all.
+                self.note_completed(chunk.msg_id);
+                return Ok(Some(chunk.payload.to_vec()));
+            }
+            while self.pending.len() >= self.max_pending {
+                if let Some(oldest) = self.order.pop_front() {
+                    if self.pending.remove(&oldest).is_some() {
+                        self.dropped += 1;
+                    }
+                } else {
+                    break;
+                }
+            }
+            self.pending.insert(
+                chunk.msg_id,
+                Partial {
+                    count: chunk.count,
+                    received: 0,
+                    chunks: vec![None; usize::from(chunk.count)],
+                    bytes: 0,
+                },
+            );
+            self.order.push_back(chunk.msg_id);
+        }
+        let partial = self.pending.get_mut(&chunk.msg_id).expect("just ensured");
+        if partial.count != chunk.count {
+            self.kill(chunk.msg_id);
+            return Err("chunk count changed mid-message".to_string());
+        }
+        let slot = &mut partial.chunks[usize::from(chunk.index)];
+        if let Some(existing) = slot {
+            if existing.as_slice() != chunk.payload {
+                self.kill(chunk.msg_id);
+                return Err("duplicate chunk with different payload".to_string());
+            }
+            return Ok(None); // benign duplicate
+        }
+        partial.bytes += chunk.payload.len();
+        if partial.bytes > MAX_FRAME as usize + DGRAM_HEADER_LEN {
+            self.kill(chunk.msg_id);
+            return Err("reassembled message exceeds MAX_FRAME".to_string());
+        }
+        *slot = Some(chunk.payload.to_vec());
+        partial.received += 1;
+        if partial.received < partial.count {
+            return Ok(None);
+        }
+        let done = self.pending.remove(&chunk.msg_id).expect("complete");
+        self.order.retain(|id| *id != chunk.msg_id);
+        self.note_completed(chunk.msg_id);
+        let mut payload = Vec::with_capacity(done.bytes);
+        for part in done.chunks {
+            payload.extend_from_slice(&part.expect("all chunks received"));
+        }
+        Ok(Some(payload))
+    }
+
+    fn note_completed(&mut self, msg_id: u32) {
+        if self.completed.len() >= COMPLETED_MEMORY {
+            self.completed.pop_front();
+        }
+        self.completed.push_back(msg_id);
+    }
+
+    fn kill(&mut self, msg_id: u32) {
+        if self.pending.remove(&msg_id).is_some() {
+            self.dropped += 1;
+        }
+        self.order.retain(|id| *id != msg_id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::{Rng, SeedableRng};
+
+    fn packet(generation: u32, payload_len: usize) -> CodedPacket {
+        CodedPacket::new(
+            generation,
+            vec![1, 2, 3],
+            Bytes::from((0..payload_len).map(|i| (i % 251) as u8).collect::<Vec<_>>()),
+        )
+    }
+
+    #[test]
+    fn message_decode_round_trips_every_flag_combination() {
+        let pool = BufPool::default();
+        let p = packet(7, 24);
+        let ctx = TraceContext { trace: 0xDEAD, span: 0xBEEF };
+        for (c, b) in
+            [(None, None), (Some(ctx), None), (None, Some(5u32)), (Some(ctx), Some(9u32))]
+        {
+            let bytes = encode_frame_tagged(&p, c, b);
+            let (got, got_ctx, got_base) = decode_frame_message(&bytes, &pool).unwrap();
+            assert_eq!(got, p);
+            assert_eq!(got_ctx, c);
+            assert_eq!(got_base, b);
+        }
+    }
+
+    #[test]
+    fn message_decode_rejects_trailing_bytes_and_truncation() {
+        let pool = BufPool::default();
+        let mut bytes = encode_frame_tagged(&packet(0, 16), None, None);
+        bytes.push(0);
+        assert!(decode_frame_message(&bytes, &pool).unwrap_err().contains("trailing"));
+        bytes.pop();
+        bytes.pop();
+        assert!(decode_frame_message(&bytes, &pool).unwrap_err().contains("truncated"));
+    }
+
+    #[test]
+    fn prefix_decode_walks_a_concatenated_stream() {
+        let pool = BufPool::default();
+        let mut buf = Vec::new();
+        for g in 0..4u32 {
+            encode_frame_tagged_into(&mut buf, &packet(g, 16), None, Some(g));
+        }
+        let mut off = 0;
+        let mut seen = Vec::new();
+        while off < buf.len() {
+            let ((p, _, base), used) = decode_frame_prefix(&buf[off..], &pool).unwrap();
+            seen.push((p.generation(), base));
+            off += used;
+        }
+        assert_eq!(seen, vec![(0, Some(0)), (1, Some(1)), (2, Some(2)), (3, Some(3))]);
+    }
+
+    #[test]
+    fn chunk_round_trip_across_random_sizes_reorder_and_duplication() {
+        // Property test: any payload size, any delivery order, any
+        // duplication — the reassembled message is byte-identical.
+        let mut rng = StdRng::seed_from_u64(0x0DD5);
+        for case in 0..200 {
+            let len = rng.random_range(1..=4096);
+            let mtu = rng.random_range(DGRAM_HEADER_LEN + 1..=1400);
+            let payload: Vec<u8> = (0..len).map(|_| rng.random()).collect();
+            let mut datagrams = chunk_message(case, &payload, mtu);
+            // Duplicate a random subset, then shuffle the delivery order.
+            let dups: Vec<Vec<u8>> = datagrams
+                .iter()
+                .filter(|_| rng.random_bool(0.3))
+                .cloned()
+                .collect();
+            datagrams.extend(dups);
+            datagrams.shuffle(&mut rng);
+
+            let mut reasm = Reassembler::new(8);
+            let mut done = None;
+            for d in &datagrams {
+                if let Some(msg) = reasm.accept(d).expect("chunks are well-formed") {
+                    assert!(done.is_none(), "message completed twice");
+                    done = Some(msg);
+                }
+            }
+            assert_eq!(done.as_deref(), Some(payload.as_slice()), "case {case} corrupted");
+        }
+    }
+
+    #[test]
+    fn lost_middle_chunk_never_yields_a_frame() {
+        let mut rng = StdRng::seed_from_u64(0x1055);
+        for case in 0..100 {
+            let payload: Vec<u8> = (0..rng.random_range(300..2000)).map(|_| rng.random()).collect();
+            let mut datagrams = chunk_message(case, &payload, 128);
+            assert!(datagrams.len() >= 3, "need a middle chunk to lose");
+            // Lose one non-edge chunk; deliver the rest in random order.
+            let lost = rng.random_range(1..datagrams.len() - 1);
+            datagrams.remove(lost);
+            datagrams.shuffle(&mut rng);
+            let mut reasm = Reassembler::new(8);
+            for d in &datagrams {
+                assert!(
+                    reasm.accept(d).expect("well-formed").is_none(),
+                    "incomplete message must never complete"
+                );
+            }
+            assert_eq!(reasm.pending(), 1, "the torso stays pending until evicted");
+        }
+    }
+
+    #[test]
+    fn eviction_bounds_pending_and_counts_drops() {
+        let mut reasm = Reassembler::new(2);
+        // Three two-chunk messages, each missing its second chunk.
+        for id in 0..3u32 {
+            let payload = vec![id as u8; 200];
+            let datagrams = chunk_message(id, &payload, 128);
+            assert!(reasm.accept(&datagrams[0]).unwrap().is_none());
+        }
+        assert_eq!(reasm.pending(), 2, "oldest evicted");
+        assert_eq!(reasm.dropped(), 1);
+        // The evicted message's late chunk re-opens a fresh partial; it
+        // still cannot complete from one chunk.
+        let late = chunk_message(0, &vec![0u8; 200], 128);
+        assert!(reasm.accept(&late[1]).unwrap().is_none());
+    }
+
+    #[test]
+    fn conflicting_duplicate_kills_the_message() {
+        let payload = vec![7u8; 300];
+        let datagrams = chunk_message(9, &payload, 128);
+        let mut reasm = Reassembler::new(4);
+        assert!(reasm.accept(&datagrams[0]).unwrap().is_none());
+        // Same msg_id and index, different payload bytes.
+        let mut evil = datagrams[0].clone();
+        let last = evil.len() - 1;
+        evil[last] ^= 0xFF;
+        assert!(reasm.accept(&evil).is_err());
+        // The remaining real chunks can no longer complete the message.
+        let mut completed = false;
+        for d in &datagrams[1..] {
+            if reasm.accept(d).unwrap().is_some() {
+                completed = true;
+            }
+        }
+        assert!(!completed, "a poisoned message must never complete");
+        assert!(reasm.dropped() >= 1);
+    }
+
+    #[test]
+    fn malformed_chunks_rejected() {
+        let mut reasm = Reassembler::new(4);
+        assert!(reasm.accept(&[]).is_err());
+        assert!(reasm.accept(&[DGRAM_MAGIC; 5]).is_err());
+        let good = &chunk_message(1, &[1, 2, 3], 64)[0];
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'{';
+        assert!(reasm.accept(&bad_magic).is_err());
+        let mut bad_version = good.clone();
+        bad_version[1] = 99;
+        assert!(reasm.accept(&bad_version).is_err());
+        let mut bad_index = good.clone();
+        bad_index[6] = 7; // index 7 of count 1
+        assert!(reasm.accept(&bad_index).is_err());
+    }
+
+    #[test]
+    fn chunked_frames_interop_with_stream_framing() {
+        // Mixed-version interop: the datagram payload IS the stream
+        // frame. Reassembling chunks and feeding the bytes to the
+        // message decoder must agree with what the stream writer
+        // produced, for every extension combination.
+        let pool = BufPool::default();
+        let p = packet(3, 900);
+        let ctx = TraceContext { trace: 42, span: 43 };
+        for (c, b) in
+            [(None, None), (Some(ctx), None), (None, Some(2u32)), (Some(ctx), Some(8u32))]
+        {
+            let frame = encode_frame_tagged(&p, c, b);
+            let mut reasm = Reassembler::new(4);
+            let mut done = None;
+            for d in chunk_message(77, &frame, 256) {
+                if let Some(msg) = reasm.accept(&d).unwrap() {
+                    done = Some(msg);
+                }
+            }
+            let done = done.expect("reassembled");
+            assert_eq!(done, frame, "reassembly must reproduce the stream bytes");
+            let (got, got_ctx, got_base) = decode_frame_message(&done, &pool).unwrap();
+            assert_eq!((got, got_ctx, got_base), (p.clone(), c, b));
+        }
+    }
+
+    #[test]
+    fn data_hello_lines_parse() {
+        let sub = Subscribe { node: NodeId(42), thread: 7 };
+        assert_eq!(
+            parse_data_hello(&sub.to_json_line()),
+            Ok(DataHello::Subscribe(sub))
+        );
+        assert_eq!(parse_data_hello(RESYNC_NUDGE_LINE), Ok(DataHello::ResyncNudge));
+        assert!(parse_data_hello("junk").is_err());
+    }
+}

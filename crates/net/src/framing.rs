@@ -1,102 +1,23 @@
-//! Data-plane framing: length-prefixed coded packets, plus the subscribe
-//! handshake.
+//! Data-plane framing over blocking streams: the thin I/O shell around
+//! the pure wire format in [`crate::core::wire`].
+//!
+//! All byte layouts — length prefixes, extension flags, handshake lines,
+//! datagram chunking — are defined (and re-exported from) the sans-io
+//! core; this module only adds the socket concerns: blocking reads and
+//! writes, read deadlines, stop-flag polling, and clean-EOF detection.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
-use curtain_overlay::{NodeId, ThreadId};
 use curtain_rlnc::{BufPool, CodedPacket};
 use curtain_telemetry::TraceContext;
-use curtain_telemetry::json::{self, JsonValue};
 
-/// Upper bound on a frame (coefficients + payload); guards against
-/// corrupted length prefixes.
-pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
-
-/// High bit of the length prefix: the frame body starts with a 16-byte
-/// [`TraceContext`] before the packet bytes.
-///
-/// `MAX_FRAME` keeps real lengths far below this bit, so flagged and
-/// unflagged frames can never be confused. Untraced frames are written
-/// byte-identically to the pre-tracing format, and readers that predate
-/// the flag reject a flagged frame as a bad length instead of
-/// misparsing it — tracing is opt-in per sender, old receivers keep
-/// interoperating with untraced senders unchanged.
-pub const TRACE_FLAG: u32 = 1 << 31;
-
-/// Bit 30 of the length prefix: the frame body carries a 4-byte
-/// little-endian *window base* — the oldest generation the sender still
-/// serves — placed after the trace context when both flags are set.
-///
-/// A windowed source advances the base as it cuts generations; peers
-/// that understand the flag stop recoding generations behind the base
-/// and re-stamp their own frames, so the active window propagates down
-/// the overlay. Like [`TRACE_FLAG`], the bit sits far above `MAX_FRAME`,
-/// so readers that predate it reject a flagged frame as a bad length
-/// instead of misparsing it, and unflagged frames stay byte-identical —
-/// windowed and pre-window nodes interoperate as long as the sender
-/// does not window.
-pub const WINDOW_FLAG: u32 = 1 << 30;
-
-/// Width of the wire window base.
-const WINDOW_BASE_LEN: usize = 4;
-
-/// Upper bound on the subscribe line; anything longer is garbage.
-const MAX_SUBSCRIBE_LINE: usize = 512;
-
-/// The one-line handshake a subscriber sends after connecting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Subscribe {
-    /// The subscribing peer (for the publisher's bookkeeping/logging).
-    pub node: NodeId,
-    /// The overlay thread this subscription carries.
-    pub thread: ThreadId,
-}
-
-impl Subscribe {
-    fn to_json_line(self) -> String {
-        let mut out = String::from("{\"node\":");
-        out.push_str(&self.node.0.to_string());
-        out.push_str(",\"thread\":");
-        out.push_str(&self.thread.to_string());
-        out.push('}');
-        out
-    }
-
-    fn parse_json_line(line: &str) -> Result<Self, String> {
-        let obj = json::parse_flat_object(line.trim())?;
-        let node = obj
-            .fields
-            .get("node")
-            .and_then(JsonValue::as_u64)
-            .ok_or("missing or bad node")?;
-        let thread = obj
-            .fields
-            .get("thread")
-            .and_then(JsonValue::as_u64)
-            .and_then(|t| ThreadId::try_from(t).ok())
-            .ok_or("missing or bad thread")?;
-        Ok(Subscribe { node: NodeId(node), thread })
-    }
-}
-
-/// The first line on a freshly accepted data connection: either a
-/// subscriber's handshake or a coordinator's resync nudge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DataHello {
-    /// A peer subscribing to one overlay thread.
-    Subscribe(Subscribe),
-    /// A recovering coordinator asking this peer to re-announce itself
-    /// via the `Resync` control verb (the proactive sweep).
-    ResyncNudge,
-}
-
-/// The one-line resync nudge a sweeping coordinator sends on the data
-/// port. Deliberately *not* a valid subscribe line: pre-sweep peers
-/// reject it as a bad handshake and close, which is harmless.
-pub const RESYNC_NUDGE_LINE: &str = "{\"nudge\":\"resync\"}";
+pub use crate::core::wire::{
+    DataHello, Subscribe, MAX_FRAME, RESYNC_NUDGE_LINE, TRACE_FLAG, WINDOW_FLAG,
+};
+use crate::core::wire::{self, MAX_SUBSCRIBE_LINE};
 
 /// Writes the subscribe line.
 ///
@@ -197,11 +118,7 @@ pub fn read_data_hello_deadline(
                 if byte[0] == b'\n' {
                     let text = std::str::from_utf8(&line)
                         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad utf-8"))?;
-                    if text.trim() == RESYNC_NUDGE_LINE {
-                        return Ok(DataHello::ResyncNudge);
-                    }
-                    return Subscribe::parse_json_line(text)
-                        .map(DataHello::Subscribe)
+                    return wire::parse_data_hello(text)
                         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e));
                 }
                 line.push(byte[0]);
@@ -245,8 +162,7 @@ pub fn write_frame_into(
     scratch: &mut Vec<u8>,
 ) -> io::Result<()> {
     scratch.clear();
-    scratch.extend_from_slice(&(packet.wire_len() as u32).to_le_bytes());
-    packet.to_wire_into(scratch);
+    wire::encode_frame_tagged_into(scratch, packet, None, None);
     stream.write_all(scratch)?;
     stream.flush()
 }
@@ -298,28 +214,8 @@ pub fn write_frame_tagged_into(
     window_base: Option<u32>,
     scratch: &mut Vec<u8>,
 ) -> io::Result<()> {
-    if ctx.is_none() && window_base.is_none() {
-        return write_frame_into(stream, packet, scratch);
-    }
     scratch.clear();
-    let mut len = packet.wire_len() as u32;
-    let mut flags = 0u32;
-    if ctx.is_some() {
-        len += TraceContext::WIRE_LEN as u32;
-        flags |= TRACE_FLAG;
-    }
-    if window_base.is_some() {
-        len += WINDOW_BASE_LEN as u32;
-        flags |= WINDOW_FLAG;
-    }
-    scratch.extend_from_slice(&(len | flags).to_le_bytes());
-    if let Some(ctx) = ctx {
-        scratch.extend_from_slice(&ctx.to_wire());
-    }
-    if let Some(base) = window_base {
-        scratch.extend_from_slice(&base.to_le_bytes());
-    }
-    packet.to_wire_into(scratch);
+    wire::encode_frame_tagged_into(scratch, packet, ctx, window_base);
     stream.write_all(scratch)?;
     stream.flush()
 }
@@ -370,10 +266,7 @@ pub fn read_frame_ctx_pooled(
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
 }
 
-/// A parsed frame with its optional extensions: the packet, the trace
-/// context (if the `TRACE_FLAG` was set) and the window base (if the
-/// `WINDOW_FLAG` was set).
-pub type TaggedFrame = (CodedPacket, Option<TraceContext>, Option<u32>);
+pub use crate::core::wire::TaggedFrame;
 
 /// Reads one frame that may carry any combination of the trace-context
 /// and window-base extensions, parsing the packet into pool-recycled
@@ -393,42 +286,12 @@ pub fn read_frame_tagged_pooled(
         return Ok(None);
     }
     let raw = u32::from_le_bytes(len_buf);
-    let traced = raw & TRACE_FLAG != 0;
-    let windowed = raw & WINDOW_FLAG != 0;
-    let len = raw & !(TRACE_FLAG | WINDOW_FLAG);
-    if len == 0 || len > MAX_FRAME {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad frame length"));
-    }
-    let mut header = 0;
-    if traced {
-        header += TraceContext::WIRE_LEN;
-    }
-    if windowed {
-        header += WINDOW_BASE_LEN;
-    }
-    if (len as usize) <= header {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "tagged frame too short"));
-    }
+    let prefix =
+        wire::parse_prefix(raw).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     scratch.clear();
-    scratch.resize(len as usize, 0);
+    scratch.resize(prefix.len, 0);
     stream.read_exact(scratch)?;
-    let mut rest: &[u8] = scratch;
-    let ctx = if traced {
-        let mut wire = [0u8; TraceContext::WIRE_LEN];
-        wire.copy_from_slice(&rest[..TraceContext::WIRE_LEN]);
-        rest = &rest[TraceContext::WIRE_LEN..];
-        Some(TraceContext::from_wire(&wire))
-    } else {
-        None
-    };
-    let base = if windowed {
-        let mut wire = [0u8; WINDOW_BASE_LEN];
-        wire.copy_from_slice(&rest[..WINDOW_BASE_LEN]);
-        rest = &rest[WINDOW_BASE_LEN..];
-        Some(u32::from_le_bytes(wire))
-    } else {
-        None
-    };
+    let (ctx, base, rest) = wire::split_body(prefix, scratch);
     CodedPacket::from_wire_pooled(rest, pool)
         .map(|p| Some((p, ctx, base)))
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
@@ -509,6 +372,7 @@ fn read_exact_or_eof(stream: &mut impl Read, buf: &mut [u8]) -> io::Result<bool>
 mod tests {
     use super::*;
     use bytes::Bytes;
+    use curtain_overlay::NodeId;
     use std::net::TcpListener;
 
     #[test]

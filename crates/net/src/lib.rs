@@ -90,6 +90,7 @@
 #![warn(missing_docs)]
 
 mod coordinator;
+pub mod core;
 pub mod faults;
 pub mod framing;
 mod peer;
@@ -97,12 +98,15 @@ pub mod proto;
 pub mod repair;
 mod source;
 pub mod standby;
+pub mod transport;
 pub mod wal;
 
 pub use coordinator::{Coordinator, SweepReport};
+pub use core::backoff::Backoff;
 pub use faults::{Fault, FaultProxy};
 pub use peer::{Peer, PeerConfig};
 pub use repair::{RepairBudget, RepairPolicy};
 pub use source::{PendingSource, Source};
 pub use standby::{Standby, StandbyOptions};
+pub use transport::TransportKind;
 pub use wal::{Wal, WalOptions, WalRecord, WalSourceInfo, WalStore};

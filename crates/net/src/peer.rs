@@ -11,20 +11,22 @@
 //! counters).
 
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use curtain_overlay::NodeId;
-use curtain_rlnc::{BufPool, RecodeSnapshot, Recoder};
+use curtain_rlnc::BufPool;
 use curtain_telemetry::trace::{wall_micros, NO_PARENT};
 use curtain_telemetry::{Event, SharedRecorder, TraceContext};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::core::peer::{LinkLiveness, ObjectState};
+use crate::transport::tcp;
 use crate::framing::{self, Subscribe};
 use crate::proto::{self, ParentAddr, Request, Response};
 use crate::repair::{RepairBudget, RepairPolicy};
@@ -59,128 +61,6 @@ impl Default for PeerConfig {
             repair: RepairPolicy::default(),
             trace: false,
         }
-    }
-}
-
-/// Per-generation buffers plus the rotation cursor for serving children.
-struct ObjectState {
-    recoders: Vec<Recoder>,
-    complete_count: usize,
-    serve_cursor: usize,
-    /// Oldest generation still in the upstream's active window (0 when
-    /// no parent windows). Serving skips generations behind it, and the
-    /// base is re-stamped on outgoing frames so the window propagates
-    /// down the overlay.
-    window_base: usize,
-    /// Per generation: the causal context of the last *innovative* packet
-    /// received. A recoded outgoing packet is a linear mix of everything
-    /// in the generation's basis, so its causal parent is "the most recent
-    /// packet that actually changed that basis" — the best single
-    /// antecedent a linear code admits.
-    last_ctx: Vec<Option<TraceContext>>,
-}
-
-impl ObjectState {
-    #[cfg(test)]
-    fn new(generations: usize, generation_size: usize, packet_len: usize) -> Self {
-        Self::with_pool(generations, generation_size, packet_len, BufPool::default())
-    }
-
-    /// All generations draw row storage from one shared pool, so ingest
-    /// and recode traffic is allocation-free at steady state.
-    fn with_pool(
-        generations: usize,
-        generation_size: usize,
-        packet_len: usize,
-        pool: BufPool,
-    ) -> Self {
-        ObjectState {
-            recoders: (0..generations)
-                .map(|g| Recoder::with_pool(g as u32, generation_size, packet_len, pool.clone()))
-                .collect(),
-            complete_count: 0,
-            serve_cursor: 0,
-            window_base: 0,
-            last_ctx: vec![None; generations],
-        }
-    }
-
-    /// Notes an upstream window base; the base only moves forward (a
-    /// straggling parent cannot reopen retired generations).
-    fn advance_window(&mut self, base: usize) {
-        self.window_base = self.window_base.max(base.min(self.recoders.len()));
-    }
-
-    /// Returns true iff the push was innovative.
-    #[cfg(test)]
-    fn push(&mut self, packet: curtain_rlnc::CodedPacket) -> bool {
-        self.push_ctx(packet, None)
-    }
-
-    /// [`ObjectState::push`] carrying the packet's causal context; an
-    /// innovative push makes it the generation's current context (see
-    /// [`ObjectState::last_ctx`]).
-    fn push_ctx(
-        &mut self,
-        packet: curtain_rlnc::CodedPacket,
-        ctx: Option<TraceContext>,
-    ) -> bool {
-        let g = packet.generation() as usize;
-        let Some(recoder) = self.recoders.get_mut(g) else {
-            return false;
-        };
-        let was_complete = recoder.is_complete();
-        let innovative = recoder.push(packet).unwrap_or(false);
-        if !was_complete && recoder.is_complete() {
-            self.complete_count += 1;
-        }
-        if innovative && ctx.is_some() {
-            self.last_ctx[g] = ctx;
-        }
-        innovative
-    }
-
-    fn is_complete(&self) -> bool {
-        self.complete_count == self.recoders.len()
-    }
-
-    fn rank(&self) -> usize {
-        self.recoders.iter().map(Recoder::rank).sum()
-    }
-
-    /// A snapshot of the next generation with data, rotating so children
-    /// receive all generations. The caller recodes from the snapshot
-    /// *outside* the state lock. Unlike the old full-`Recoder` clone, the
-    /// snapshot is an `Arc` over the generation's current basis rows
-    /// (cached inside the recoder until the next innovative packet), so
-    /// the critical section is an O(1) refcount bump: no row memcpy, no
-    /// GF math, and the upstream `push` path cannot stall behind a slow
-    /// child. Later inserts copy-on-write around outstanding snapshots.
-    #[cfg(test)]
-    fn snapshot_next(&mut self) -> Option<Arc<RecodeSnapshot>> {
-        self.snapshot_next_ctx().map(|(snap, _)| snap)
-    }
-
-    /// [`ObjectState::snapshot_next`] plus the generation's current causal
-    /// context (the last innovative packet's), so the serving path can
-    /// derive a child span for the recoded frame.
-    fn snapshot_next_ctx(&mut self) -> Option<(Arc<RecodeSnapshot>, Option<TraceContext>)> {
-        let n = self.recoders.len();
-        for probe in 0..n {
-            let g = (self.serve_cursor + probe) % n;
-            if g < self.window_base {
-                continue; // retired by the upstream window
-            }
-            if self.recoders[g].rank() > 0 {
-                self.serve_cursor = (g + 1) % n;
-                return Some((self.recoders[g].snapshot(), self.last_ctx[g]));
-            }
-        }
-        None
-    }
-
-    fn recover_all(&self) -> Option<Vec<Vec<Vec<u8>>>> {
-        self.recoders.iter().map(Recoder::recover).collect()
     }
 }
 
@@ -328,9 +208,7 @@ impl Peer {
     /// Propagates socket errors and protocol rejections.
     pub fn join_with(coordinator: SocketAddr, config: PeerConfig) -> io::Result<Self> {
         let PeerConfig { pace, recorder, repair, trace } = config;
-        let listener = TcpListener::bind("127.0.0.1:0")?;
-        let data_addr = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
+        let (listener, data_addr) = tcp::bind_data_listener()?;
 
         let resp = proto::call(coordinator, &Request::Hello { data_addr }, CALL_TIMEOUT)?;
         let Response::Welcome { node, generations, generation_size, packet_len, content_len, parents } =
@@ -384,8 +262,8 @@ impl Peer {
             let seed = Arc::new(AtomicU64::new(node.0.wrapping_mul(0x9E37_79B9)));
             handles.push(std::thread::spawn(move || {
                 while !shared.stop.load(Ordering::SeqCst) {
-                    match listener.accept() {
-                        Ok((stream, _)) => {
+                    match tcp::poll_accept(&listener) {
+                        Ok(Some(stream)) => {
                             let worker_shared = Arc::clone(&shared);
                             let s = seed.fetch_add(1, Ordering::SeqCst);
                             let handle = std::thread::spawn(move || {
@@ -397,9 +275,7 @@ impl Peer {
                             children.retain(|h| !h.is_finished());
                             children.push(handle);
                         }
-                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(2));
-                        }
+                        Ok(None) => {}
                         Err(_) => break,
                     }
                 }
@@ -670,7 +546,7 @@ fn upstream_loop(shared: &Shared, thread: u16, mut parent: ParentAddr) {
     let mut rng = StdRng::seed_from_u64(shared.node.0.rotate_left(16) ^ u64::from(thread));
     let mut budget = RepairBudget::new(&shared.policy);
     'reconnect: while !shared.stop.load(Ordering::SeqCst) {
-        let stream = match TcpStream::connect_timeout(&parent.addr(), CALL_TIMEOUT) {
+        let stream = match tcp::dial(parent.addr(), CALL_TIMEOUT) {
             Ok(s) => s,
             Err(_) => {
                 if !repair_episode(shared, thread, &mut parent, &mut budget, &mut rng) {
@@ -687,7 +563,11 @@ fn upstream_loop(shared: &Shared, thread: u16, mut parent: ParentAddr) {
             continue 'reconnect;
         }
         let mut reader = stream;
-        let mut last_data = Instant::now();
+        // The stall decision is the sans-io core's; this driver just feeds
+        // it a microsecond clock anchored at connect time.
+        let epoch = Instant::now();
+        let now_us = || u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let mut link = LinkLiveness::new(shared.policy.stall_timeout, now_us());
         let mut scratch = Vec::new();
         loop {
             if shared.stop.load(Ordering::SeqCst) {
@@ -695,7 +575,7 @@ fn upstream_loop(shared: &Shared, thread: u16, mut parent: ParentAddr) {
             }
             match framing::read_frame_tagged_pooled(&mut reader, &shared.pool, &mut scratch) {
                 Ok(Some((packet, ctx, base))) => {
-                    last_data = Instant::now();
+                    link.on_data(now_us());
                     let ctx = ctx.filter(|_| shared.tracing());
                     if let Some(ctx) = ctx {
                         shared.recorder.record(&Event::HopRecv {
@@ -728,12 +608,9 @@ fn upstream_loop(shared: &Shared, thread: u16, mut parent: ParentAddr) {
                     if e.kind() == io::ErrorKind::WouldBlock
                         || e.kind() == io::ErrorKind::TimedOut =>
                 {
-                    // Idle link. A parent that stays connected but sends
-                    // nothing (a partition, not a close) is still a
-                    // defect once the stall timeout passes.
-                    if !shared.complete.load(Ordering::SeqCst)
-                        && last_data.elapsed() >= shared.policy.stall_timeout
-                    {
+                    // Idle link: [`LinkLiveness`] decides whether the
+                    // silence is a partition-shaped defect yet.
+                    if link.is_stalled(now_us(), shared.complete.load(Ordering::SeqCst)) {
                         if !repair_episode(shared, thread, &mut parent, &mut budget, &mut rng) {
                             return;
                         }
@@ -952,19 +829,6 @@ mod tests {
         (state, encoder, rng)
     }
 
-    #[test]
-    fn snapshot_next_rotates_generations() {
-        let (mut state, _, mut rng) = filled_state(3, 4, 64, 12);
-        let mut seen = Vec::new();
-        for _ in 0..6 {
-            let snap = state.snapshot_next().expect("rank > 0");
-            let packet = snap.recode(&mut rng).expect("recodable");
-            seen.push(packet.generation());
-        }
-        // Rotation visits every generation with data, twice around.
-        assert_eq!(seen, vec![0, 1, 2, 0, 1, 2]);
-    }
-
     /// Satellite (c): GF recoding must happen *outside* the shared state
     /// lock. A worker recodes continuously from one snapshot while the
     /// main thread keeps pushing fresh packets; every `try_lock` during
@@ -1020,47 +884,5 @@ mod tests {
             "concurrent serve/push: {produced} recodes alongside {pushes} pushes \
              in {push_elapsed:?} with zero lock contention ({checks} probes)"
         );
-    }
-
-    #[test]
-    fn window_base_retires_generations_from_serving() {
-        let (mut state, _, mut rng) = filled_state(4, 4, 32, 16);
-        state.advance_window(2);
-        let mut seen = Vec::new();
-        for _ in 0..6 {
-            let snap = state.snapshot_next().expect("window still has data");
-            seen.push(snap.recode(&mut rng).expect("recodable").generation());
-        }
-        assert_eq!(seen, vec![2, 3, 2, 3, 2, 3], "generations 0 and 1 are retired");
-        // The base never moves backwards, and is clamped to the object.
-        state.advance_window(1);
-        assert_eq!(state.window_base, 2);
-        state.advance_window(99);
-        assert_eq!(state.window_base, 4);
-        assert!(state.snapshot_next().is_none(), "everything retired");
-    }
-
-    #[test]
-    fn snapshot_on_empty_state_is_none() {
-        let mut state = ObjectState::new(2, 4, 32);
-        assert!(state.snapshot_next().is_none());
-    }
-
-    /// The lock-held cost of `snapshot_next` is an `Arc` clone, not a
-    /// `Recoder` clone: with a stable basis, consecutive snapshots of the
-    /// same generation are pointer-identical, and only an innovative push
-    /// produces a fresh one.
-    #[test]
-    fn snapshot_next_shares_until_innovation() {
-        let (mut state, mut encoder, mut rng) = filled_state(1, 8, 64, 4);
-        let a = state.snapshot_next().expect("rank > 0");
-        let b = state.snapshot_next().expect("rank > 0");
-        assert!(Arc::ptr_eq(&a, &b), "stable basis must re-share the cached snapshot");
-        // Push until the rank grows; the next snapshot must be new.
-        let before = a.epoch();
-        while !state.push(encoder.next_packet(&mut rng)) {}
-        let c = state.snapshot_next().expect("rank > 0");
-        assert!(!Arc::ptr_eq(&a, &c), "innovation must invalidate the cached snapshot");
-        assert!(c.epoch() > before);
     }
 }

@@ -1,569 +1,36 @@
-//! Control-plane messages: one JSON line per request and response.
+//! Control-plane messages at `SocketAddr`, plus the blocking TCP call
+//! helpers.
 //!
-//! The wire codec is hand-rolled over [`curtain_telemetry::json`] — the
-//! same dependency-free JSON layer the trace format uses — so the control
-//! plane carries no serialization dependency and its wire form is
-//! explicit: every message is a flat-ish tagged object, e.g.
-//! `{"req":"complaint","child":4,"failed_parent":1,"thread":7}`.
+//! The protocol itself — message shapes, JSON wire form, parsing — lives
+//! in the sans-io core ([`crate::core::ctrl`]), generic over the address
+//! type. This module pins it to `std::net::SocketAddr` for the TCP
+//! driver (the type aliases keep every existing call site compiling
+//! unchanged) and adds the one-connection-per-request I/O:
+//! [`call`], [`read_request`], [`write_response`].
 
-use std::collections::BTreeMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
-use curtain_overlay::{NodeId, ThreadId};
-use curtain_telemetry::TraceContext;
-use curtain_telemetry::json::{self, JsonValue};
+use crate::core::ctrl::{CtrlParent, CtrlRequest, CtrlResponse, WireAddr};
+
+impl WireAddr for SocketAddr {
+    fn render(&self) -> String {
+        self.to_string()
+    }
+    fn parse(s: &str) -> Result<Self, String> {
+        s.parse().map_err(|e| format!("bad socket address: {e}"))
+    }
+}
 
 /// Where a stream comes from: the source host or a peer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ParentAddr {
-    /// The source's data listener.
-    Source(SocketAddr),
-    /// A peer's data listener.
-    Node(NodeId, SocketAddr),
-}
-
-impl ParentAddr {
-    /// The socket address to dial.
-    #[must_use]
-    pub fn addr(&self) -> SocketAddr {
-        match self {
-            ParentAddr::Source(a) | ParentAddr::Node(_, a) => *a,
-        }
-    }
-
-    /// The peer id, if this is a peer.
-    #[must_use]
-    pub fn node(&self) -> Option<NodeId> {
-        match self {
-            ParentAddr::Source(_) => None,
-            ParentAddr::Node(n, _) => Some(*n),
-        }
-    }
-
-    fn to_json(self) -> JsonValue {
-        let mut fields = BTreeMap::new();
-        match self {
-            ParentAddr::Source(a) => {
-                fields.insert("kind".into(), JsonValue::Str("source".into()));
-                fields.insert("addr".into(), JsonValue::Str(a.to_string()));
-            }
-            ParentAddr::Node(n, a) => {
-                fields.insert("kind".into(), JsonValue::Str("node".into()));
-                fields.insert("node".into(), JsonValue::Int(n.0 as i64));
-                fields.insert("addr".into(), JsonValue::Str(a.to_string()));
-            }
-        }
-        JsonValue::Object(fields)
-    }
-
-    fn from_json(v: &JsonValue) -> Result<Self, String> {
-        let addr = parse_addr_field(v, "addr")?;
-        match v.get("kind").and_then(JsonValue::as_str) {
-            Some("source") => Ok(ParentAddr::Source(addr)),
-            Some("node") => Ok(ParentAddr::Node(NodeId(field_u64(v, "node")?), addr)),
-            other => Err(format!("bad parent kind {other:?}")),
-        }
-    }
-}
+pub type ParentAddr = CtrlParent<SocketAddr>;
 
 /// Requests a client may send to the coordinator.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Request {
-    /// The source announces itself and the content shape.
-    RegisterSource {
-        /// Source data-plane listener.
-        data_addr: SocketAddr,
-        /// Number of generations the object is split into.
-        generations: usize,
-        /// Packets per generation.
-        generation_size: usize,
-        /// Bytes per packet.
-        packet_len: usize,
-        /// Original (unpadded) object length in bytes.
-        content_len: usize,
-    },
-    /// A new peer asks to join (the hello protocol).
-    Hello {
-        /// The peer's data-plane listener (where its children will dial).
-        data_addr: SocketAddr,
-    },
-    /// A peer leaves gracefully (the good-bye protocol).
-    Goodbye {
-        /// The departing peer.
-        node: NodeId,
-    },
-    /// A child reports that its parent for `thread` stopped serving and
-    /// asks where to resubscribe (failure report + repair).
-    Complaint {
-        /// The complaining child.
-        child: NodeId,
-        /// The parent that died (`None` = it was the source).
-        failed_parent: Option<NodeId>,
-        /// The thread whose stream broke.
-        thread: ThreadId,
-        /// Causal context of the repair episode's complain span, when
-        /// the child traces: the coordinator hangs its splice span off
-        /// it. Optional on the wire — untraced complainants omit the
-        /// fields and old coordinators ignore them.
-        ctx: Option<TraceContext>,
-    },
-    /// A peer announces it decoded the full generation.
-    Completed {
-        /// The peer.
-        node: NodeId,
-    },
-    /// A peer answers an "unknown child" rejection with its full
-    /// thread→parent view so an amnesiac coordinator (restarted without
-    /// its WAL) can re-insert the row instead of stranding the peer.
-    Resync {
-        /// The peer re-introducing itself (keeps its old id).
-        node: NodeId,
-        /// The peer's data-plane listener.
-        data_addr: SocketAddr,
-        /// `(thread, last-known parent)` per upstream thread (`None` =
-        /// the source). The threads are the row; the parents are a hint
-        /// the coordinator may audit but does not need.
-        parents: Vec<(ThreadId, Option<NodeId>)>,
-        /// Causal context for the resync, when the peer traces; the
-        /// coordinator's readmit span becomes its child. Optional on the
-        /// wire for the same reasons as `Complaint::ctx`.
-        ctx: Option<TraceContext>,
-    },
-    /// Asks for progress counters (used by tests and operators).
-    Stats,
-    /// A warm standby asks for a full-state snapshot to bootstrap from
-    /// (snapshot shipping over the control port — no shared filesystem).
-    SnapshotFetch,
-    /// A warm standby asks for the WAL records committed after `after`
-    /// (its last applied sequence number). The primary answers from its
-    /// in-memory tail ring, or with an error telling the standby to
-    /// refetch a snapshot if the ring no longer reaches back that far.
-    WalTail {
-        /// The last commit sequence number the standby has applied.
-        after: u64,
-    },
-}
-
-impl Request {
-    /// The single-line JSON wire form (no trailing newline).
-    #[must_use]
-    pub fn to_json_line(&self) -> String {
-        let mut fields = BTreeMap::new();
-        let tag = |fields: &mut BTreeMap<String, JsonValue>, t: &str| {
-            fields.insert("req".into(), JsonValue::Str(t.into()));
-        };
-        match self {
-            Request::RegisterSource {
-                data_addr,
-                generations,
-                generation_size,
-                packet_len,
-                content_len,
-            } => {
-                tag(&mut fields, "register_source");
-                fields.insert("data_addr".into(), JsonValue::Str(data_addr.to_string()));
-                fields.insert("generations".into(), JsonValue::Int(*generations as i64));
-                fields
-                    .insert("generation_size".into(), JsonValue::Int(*generation_size as i64));
-                fields.insert("packet_len".into(), JsonValue::Int(*packet_len as i64));
-                fields.insert("content_len".into(), JsonValue::Int(*content_len as i64));
-            }
-            Request::Hello { data_addr } => {
-                tag(&mut fields, "hello");
-                fields.insert("data_addr".into(), JsonValue::Str(data_addr.to_string()));
-            }
-            Request::Goodbye { node } => {
-                tag(&mut fields, "goodbye");
-                fields.insert("node".into(), JsonValue::Int(node.0 as i64));
-            }
-            Request::Complaint { child, failed_parent, thread, ctx } => {
-                tag(&mut fields, "complaint");
-                fields.insert("child".into(), JsonValue::Int(child.0 as i64));
-                fields.insert(
-                    "failed_parent".into(),
-                    match failed_parent {
-                        Some(n) => JsonValue::Int(n.0 as i64),
-                        None => JsonValue::Null,
-                    },
-                );
-                fields.insert("thread".into(), JsonValue::Int(i64::from(*thread)));
-                insert_ctx(&mut fields, *ctx);
-            }
-            Request::Completed { node } => {
-                tag(&mut fields, "completed");
-                fields.insert("node".into(), JsonValue::Int(node.0 as i64));
-            }
-            Request::Resync { node, data_addr, parents, ctx } => {
-                tag(&mut fields, "resync");
-                insert_ctx(&mut fields, *ctx);
-                fields.insert("node".into(), JsonValue::Int(node.0 as i64));
-                fields.insert("data_addr".into(), JsonValue::Str(data_addr.to_string()));
-                fields.insert(
-                    "parents".into(),
-                    JsonValue::Array(
-                        parents
-                            .iter()
-                            .map(|(t, p)| {
-                                JsonValue::Array(vec![
-                                    JsonValue::Int(i64::from(*t)),
-                                    match p {
-                                        Some(n) => JsonValue::Int(n.0 as i64),
-                                        None => JsonValue::Null,
-                                    },
-                                ])
-                            })
-                            .collect(),
-                    ),
-                );
-            }
-            Request::Stats => tag(&mut fields, "stats"),
-            Request::SnapshotFetch => tag(&mut fields, "snapshot_fetch"),
-            Request::WalTail { after } => {
-                tag(&mut fields, "wal_tail");
-                fields.insert("after".into(), JsonValue::Int(*after as i64));
-            }
-        }
-        JsonValue::Object(fields).render()
-    }
-
-    /// Parses one wire line.
-    ///
-    /// # Errors
-    ///
-    /// Returns a human-readable message on malformed lines.
-    pub fn parse_json_line(line: &str) -> Result<Self, String> {
-        let v = json::parse_document(line.trim())?;
-        let req = match v.get("req").and_then(JsonValue::as_str) {
-            Some(t) => t,
-            None => return Err("missing \"req\" tag".into()),
-        };
-        match req {
-            "register_source" => Ok(Request::RegisterSource {
-                data_addr: parse_addr_field(&v, "data_addr")?,
-                generations: field_usize(&v, "generations")?,
-                generation_size: field_usize(&v, "generation_size")?,
-                packet_len: field_usize(&v, "packet_len")?,
-                content_len: field_usize(&v, "content_len")?,
-            }),
-            "hello" => Ok(Request::Hello { data_addr: parse_addr_field(&v, "data_addr")? }),
-            "goodbye" => Ok(Request::Goodbye { node: NodeId(field_u64(&v, "node")?) }),
-            "complaint" => Ok(Request::Complaint {
-                child: NodeId(field_u64(&v, "child")?),
-                failed_parent: match v.get("failed_parent") {
-                    Some(JsonValue::Null) | None => None,
-                    Some(x) => Some(NodeId(
-                        x.as_u64().ok_or("bad failed_parent")?,
-                    )),
-                },
-                thread: field_thread(&v)?,
-                ctx: parse_ctx(&v),
-            }),
-            "completed" => Ok(Request::Completed { node: NodeId(field_u64(&v, "node")?) }),
-            "resync" => {
-                let parents_json = v
-                    .get("parents")
-                    .and_then(JsonValue::as_array)
-                    .ok_or("missing parents array")?;
-                let mut parents = Vec::with_capacity(parents_json.len());
-                for pair in parents_json {
-                    let [t, p] = pair.as_array().ok_or("bad parent pair")? else {
-                        return Err("parent pair is not 2-element".into());
-                    };
-                    let thread = t
-                        .as_u64()
-                        .and_then(|x| ThreadId::try_from(x).ok())
-                        .ok_or("bad thread id")?;
-                    let parent = match p {
-                        JsonValue::Null => None,
-                        x => Some(NodeId(x.as_u64().ok_or("bad parent id")?)),
-                    };
-                    parents.push((thread, parent));
-                }
-                Ok(Request::Resync {
-                    node: NodeId(field_u64(&v, "node")?),
-                    data_addr: parse_addr_field(&v, "data_addr")?,
-                    parents,
-                    ctx: parse_ctx(&v),
-                })
-            }
-            "stats" => Ok(Request::Stats),
-            "snapshot_fetch" => Ok(Request::SnapshotFetch),
-            "wal_tail" => Ok(Request::WalTail { after: field_u64(&v, "after")? }),
-            other => Err(format!("unknown request {other:?}")),
-        }
-    }
-}
+pub type Request = CtrlRequest<SocketAddr>;
 
 /// Responses from the coordinator.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Response {
-    /// Join granted.
-    Welcome {
-        /// Assigned node id.
-        node: NodeId,
-        /// Number of generations.
-        generations: usize,
-        /// Packets per generation.
-        generation_size: usize,
-        /// Bytes per packet.
-        packet_len: usize,
-        /// Original (unpadded) object length.
-        content_len: usize,
-        /// One parent per assigned thread.
-        parents: Vec<(ThreadId, ParentAddr)>,
-    },
-    /// Where to resubscribe after a complaint.
-    Redirect {
-        /// The thread in question.
-        thread: ThreadId,
-        /// The child's current parent for that thread.
-        new_parent: ParentAddr,
-    },
-    /// Progress counters.
-    Stats {
-        /// Current members.
-        members: usize,
-        /// Members that reported completion.
-        completed: usize,
-        /// Failures repaired so far.
-        repairs: u64,
-    },
-    /// Generic acknowledgement.
-    Ok,
-    /// A strict-mode coordinator refuses to mutate while its WAL is
-    /// degraded (the mutation would not be durable).
-    Unavailable {
-        /// Human-readable reason.
-        reason: String,
-    },
-    /// A full-state snapshot for a bootstrapping standby.
-    Snapshot {
-        /// The commit sequence number the snapshot covers: tailing
-        /// `WalTail { after: seq }` streams everything after it.
-        seq: u64,
-        /// A `WalRecord::Checkpoint` payload (opaque JSON at this layer).
-        record: String,
-    },
-    /// A batch of committed WAL records for a tailing standby.
-    WalSegment {
-        /// The sequence number of the last record shipped (equals the
-        /// request's `after` when `records` is empty).
-        last: u64,
-        /// `WalRecord` payloads in commit order (opaque JSON here).
-        records: Vec<String>,
-    },
-    /// The request could not be served.
-    Error {
-        /// Human-readable reason.
-        reason: String,
-    },
-}
-
-impl Response {
-    /// The single-line JSON wire form (no trailing newline).
-    #[must_use]
-    pub fn to_json_line(&self) -> String {
-        let mut fields = BTreeMap::new();
-        let tag = |fields: &mut BTreeMap<String, JsonValue>, t: &str| {
-            fields.insert("resp".into(), JsonValue::Str(t.into()));
-        };
-        match self {
-            Response::Welcome {
-                node,
-                generations,
-                generation_size,
-                packet_len,
-                content_len,
-                parents,
-            } => {
-                tag(&mut fields, "welcome");
-                fields.insert("node".into(), JsonValue::Int(node.0 as i64));
-                fields.insert("generations".into(), JsonValue::Int(*generations as i64));
-                fields
-                    .insert("generation_size".into(), JsonValue::Int(*generation_size as i64));
-                fields.insert("packet_len".into(), JsonValue::Int(*packet_len as i64));
-                fields.insert("content_len".into(), JsonValue::Int(*content_len as i64));
-                fields.insert(
-                    "parents".into(),
-                    JsonValue::Array(
-                        parents
-                            .iter()
-                            .map(|(t, p)| {
-                                JsonValue::Array(vec![
-                                    JsonValue::Int(i64::from(*t)),
-                                    p.to_json(),
-                                ])
-                            })
-                            .collect(),
-                    ),
-                );
-            }
-            Response::Redirect { thread, new_parent } => {
-                tag(&mut fields, "redirect");
-                fields.insert("thread".into(), JsonValue::Int(i64::from(*thread)));
-                fields.insert("new_parent".into(), new_parent.to_json());
-            }
-            Response::Stats { members, completed, repairs } => {
-                tag(&mut fields, "stats");
-                fields.insert("members".into(), JsonValue::Int(*members as i64));
-                fields.insert("completed".into(), JsonValue::Int(*completed as i64));
-                fields.insert("repairs".into(), JsonValue::Int(*repairs as i64));
-            }
-            Response::Ok => tag(&mut fields, "ok"),
-            Response::Unavailable { reason } => {
-                tag(&mut fields, "unavailable");
-                fields.insert("reason".into(), JsonValue::Str(reason.clone()));
-            }
-            Response::Snapshot { seq, record } => {
-                tag(&mut fields, "snapshot");
-                fields.insert("seq".into(), JsonValue::Int(*seq as i64));
-                fields.insert("record".into(), JsonValue::Str(record.clone()));
-            }
-            Response::WalSegment { last, records } => {
-                tag(&mut fields, "wal_segment");
-                fields.insert("last".into(), JsonValue::Int(*last as i64));
-                fields.insert(
-                    "records".into(),
-                    JsonValue::Array(
-                        records.iter().map(|r| JsonValue::Str(r.clone())).collect(),
-                    ),
-                );
-            }
-            Response::Error { reason } => {
-                tag(&mut fields, "error");
-                fields.insert("reason".into(), JsonValue::Str(reason.clone()));
-            }
-        }
-        JsonValue::Object(fields).render()
-    }
-
-    /// Parses one wire line.
-    ///
-    /// # Errors
-    ///
-    /// Returns a human-readable message on malformed lines.
-    pub fn parse_json_line(line: &str) -> Result<Self, String> {
-        let v = json::parse_document(line.trim())?;
-        let resp = match v.get("resp").and_then(JsonValue::as_str) {
-            Some(t) => t,
-            None => return Err("missing \"resp\" tag".into()),
-        };
-        match resp {
-            "welcome" => {
-                let parents_json = v
-                    .get("parents")
-                    .and_then(JsonValue::as_array)
-                    .ok_or("missing parents array")?;
-                let mut parents = Vec::with_capacity(parents_json.len());
-                for pair in parents_json {
-                    let items = pair.as_array().ok_or("bad parent pair")?;
-                    let [t, p] = items else {
-                        return Err("parent pair is not 2-element".into());
-                    };
-                    let thread = t
-                        .as_u64()
-                        .and_then(|x| ThreadId::try_from(x).ok())
-                        .ok_or("bad thread id")?;
-                    parents.push((thread, ParentAddr::from_json(p)?));
-                }
-                Ok(Response::Welcome {
-                    node: NodeId(field_u64(&v, "node")?),
-                    generations: field_usize(&v, "generations")?,
-                    generation_size: field_usize(&v, "generation_size")?,
-                    packet_len: field_usize(&v, "packet_len")?,
-                    content_len: field_usize(&v, "content_len")?,
-                    parents,
-                })
-            }
-            "redirect" => Ok(Response::Redirect {
-                thread: field_thread(&v)?,
-                new_parent: ParentAddr::from_json(
-                    v.get("new_parent").ok_or("missing new_parent")?,
-                )?,
-            }),
-            "stats" => Ok(Response::Stats {
-                members: field_usize(&v, "members")?,
-                completed: field_usize(&v, "completed")?,
-                repairs: field_u64(&v, "repairs")?,
-            }),
-            "ok" => Ok(Response::Ok),
-            "unavailable" => Ok(Response::Unavailable {
-                reason: v
-                    .get("reason")
-                    .and_then(JsonValue::as_str)
-                    .ok_or("missing reason")?
-                    .to_string(),
-            }),
-            "snapshot" => Ok(Response::Snapshot {
-                seq: field_u64(&v, "seq")?,
-                record: v
-                    .get("record")
-                    .and_then(JsonValue::as_str)
-                    .ok_or("missing record")?
-                    .to_string(),
-            }),
-            "wal_segment" => Ok(Response::WalSegment {
-                last: field_u64(&v, "last")?,
-                records: v
-                    .get("records")
-                    .and_then(JsonValue::as_array)
-                    .ok_or("missing records array")?
-                    .iter()
-                    .map(|r| r.as_str().map(str::to_string).ok_or("bad record payload"))
-                    .collect::<Result<_, _>>()?,
-            }),
-            "error" => Ok(Response::Error {
-                reason: v
-                    .get("reason")
-                    .and_then(JsonValue::as_str)
-                    .ok_or("missing reason")?
-                    .to_string(),
-            }),
-            other => Err(format!("unknown response {other:?}")),
-        }
-    }
-}
-
-/// Adds the optional `"trace"`/`"span"` fields carrying a causal context.
-fn insert_ctx(fields: &mut BTreeMap<String, JsonValue>, ctx: Option<TraceContext>) {
-    if let Some(ctx) = ctx {
-        fields.insert("trace".into(), JsonValue::Int(ctx.trace as i64));
-        fields.insert("span".into(), JsonValue::Int(ctx.span as i64));
-    }
-}
-
-/// Reads the optional `"trace"`/`"span"` context fields. Absent or
-/// malformed fields read as "no context" — a request from an untraced
-/// (or older) sender must keep parsing.
-fn parse_ctx(v: &JsonValue) -> Option<TraceContext> {
-    let trace = v.get("trace").and_then(JsonValue::as_u64)?;
-    let span = v.get("span").and_then(JsonValue::as_u64)?;
-    Some(TraceContext { trace, span })
-}
-
-fn field_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
-    v.get(key)
-        .and_then(JsonValue::as_u64)
-        .ok_or_else(|| format!("missing or non-integer field {key:?}"))
-}
-
-fn field_usize(v: &JsonValue, key: &str) -> Result<usize, String> {
-    usize::try_from(field_u64(v, key)?).map_err(|_| format!("field {key:?} overflows usize"))
-}
-
-fn field_thread(v: &JsonValue) -> Result<ThreadId, String> {
-    ThreadId::try_from(field_u64(v, "thread")?).map_err(|_| "thread overflows u16".to_string())
-}
-
-fn parse_addr_field(v: &JsonValue, key: &str) -> Result<SocketAddr, String> {
-    v.get(key)
-        .and_then(JsonValue::as_str)
-        .ok_or_else(|| format!("missing addr field {key:?}"))?
-        .parse()
-        .map_err(|e| format!("bad socket address in {key:?}: {e}"))
-}
+pub type Response = CtrlResponse<SocketAddr>;
 
 fn invalid(e: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, e)
@@ -620,6 +87,8 @@ pub fn write_response(mut stream: &TcpStream, response: &Response) -> io::Result
 #[cfg(test)]
 mod tests {
     use super::*;
+    use curtain_overlay::NodeId;
+    use curtain_telemetry::TraceContext;
 
     #[test]
     fn round_trip_json() {

@@ -17,6 +17,8 @@ use curtain_telemetry::{Event, SharedRecorder, TraceContext};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::core::source::Window;
+use crate::transport::tcp;
 use crate::framing;
 use crate::proto::{self, Request, Response};
 
@@ -82,8 +84,7 @@ impl PendingSource {
         let generations = split.generations().len();
         let content_len = content.len();
         let encoder = Arc::new(ObjectEncoder::new(split).with_schedule(Schedule::RoundRobin));
-        let listener = TcpListener::bind("127.0.0.1:0")?;
-        let data_addr = listener.local_addr()?;
+        let (listener, data_addr) = tcp::bind_data_listener()?;
         Ok(PendingSource {
             listener,
             data_addr,
@@ -172,7 +173,6 @@ impl PendingSource {
             return Err(io::Error::other(format!("registration rejected: {resp:?}")));
         }
 
-        self.listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let subscribers = Arc::new(Mutex::new(Vec::new()));
         let accept_handle = {
@@ -187,8 +187,8 @@ impl PendingSource {
             let window = self.window.map(|w| Window { span: w, generation_size: self.generation_size });
             std::thread::spawn(move || {
                 while !stop.load(Ordering::SeqCst) {
-                    match listener.accept() {
-                        Ok((stream, _)) => {
+                    match tcp::poll_accept(&listener) {
+                        Ok(Some(stream)) => {
                             let worker_stop = Arc::clone(&stop);
                             let encoder = Arc::clone(&encoder);
                             let s = seed.fetch_add(1, Ordering::SeqCst);
@@ -209,9 +209,7 @@ impl PendingSource {
                             subs.retain(|h: &JoinHandle<()>| !h.is_finished());
                             subs.push(handle);
                         }
-                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(2));
-                        }
+                        Ok(None) => {}
                         Err(_) => break,
                     }
                 }
@@ -395,45 +393,6 @@ impl std::fmt::Debug for Source {
     }
 }
 
-/// Sliding-window serving parameters (copied into each subscriber
-/// thread).
-#[derive(Debug, Clone, Copy)]
-struct Window {
-    /// Generations mixed at a time.
-    span: usize,
-    /// Packets per generation (sizes the per-generation service quota).
-    generation_size: usize,
-}
-
-impl Window {
-    /// Packets emitted per generation before the window slides: enough
-    /// redundancy to decode through mild loss without parking forever.
-    fn quota(&self) -> u64 {
-        (2 * self.generation_size) as u64
-    }
-
-    /// The window base after `emitted` packets, parked over the tail.
-    ///
-    /// The base holds at 0 for the first `span` quota periods (the
-    /// ramp-up) and then advances one generation per quota. Without the
-    /// ramp, generation 0 would be live for a single quota period shared
-    /// across `span` generations and retire with only `quota / span`
-    /// packets served — starving the head of the stream.
-    fn base(&self, emitted: u64, generations: usize) -> usize {
-        ((emitted / self.quota()) as usize)
-            .saturating_sub(self.span - 1)
-            .min(generations.saturating_sub(self.span))
-    }
-
-    /// The generation to serve for emission number `emitted`:
-    /// round-robin across the window's live span.
-    fn pick(&self, emitted: u64, generations: usize) -> usize {
-        let base = self.base(emitted, generations);
-        let live = (generations - base).min(self.span);
-        base + (emitted % live as u64) as usize
-    }
-}
-
 #[allow(clippy::too_many_arguments)]
 fn serve_subscriber(
     stream: &TcpStream,
@@ -490,49 +449,4 @@ fn serve_subscriber(
         std::thread::sleep(pace);
     }
     Ok(())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::Window;
-
-    /// Every generation must be served at least a full quota of frames
-    /// before the window slides past it, the base must never regress,
-    /// and the window must park over the tail — otherwise subscribers
-    /// who joined at stream start can never finish the head or the tail
-    /// of the object.
-    #[test]
-    fn window_schedule_serves_every_generation_a_full_quota() {
-        for (span, generation_size, generations) in
-            [(3, 8, 12), (2, 8, 12), (4, 16, 5), (3, 8, 3), (2, 4, 64)]
-        {
-            let w = Window { span, generation_size };
-            let mut served = vec![0u64; generations];
-            let mut last_base = 0usize;
-            // Enough emissions to slide the base onto the tail and park.
-            let total = w.quota() * (generations + span) as u64;
-            for emitted in 0..total {
-                let base = w.base(emitted, generations);
-                assert!(base >= last_base, "base regressed at emission {emitted}");
-                assert!(base <= generations - span, "base overran the tail");
-                let pick = w.pick(emitted, generations);
-                assert!(
-                    (base..base + span).contains(&pick),
-                    "picked generation {pick} outside window [{base}, {})",
-                    base + span
-                );
-                served[pick] += 1;
-                last_base = base;
-            }
-            assert_eq!(last_base, generations - span, "window never parked on the tail");
-            for (generation, &count) in served.iter().enumerate() {
-                assert!(
-                    count >= w.quota(),
-                    "generation {generation} retired after only {count} of {} frames \
-                     (span {span}, g {generation_size}, {generations} generations)",
-                    w.quota()
-                );
-            }
-        }
-    }
 }

@@ -26,6 +26,7 @@ use curtain_telemetry::{Event, SharedRecorder};
 use parking_lot::{Condvar, Mutex};
 
 use crate::coordinator::Coordinator;
+use crate::core::standby::{FollowDirective, FollowEvent, FollowStep, FollowerCore};
 use crate::proto::{self, Request, Response};
 use crate::wal::{Wal, WalOptions, WalRecord};
 
@@ -240,49 +241,47 @@ fn follow(shared: &Arc<Shared>, options: &StandbyOptions, recorder: &SharedRecor
             return;
         }
     };
-    let mut bootstrapped = false;
-    let mut failures = 0u32;
+    // All follow/failover *decisions* live in the sans-io core; this
+    // loop just issues the step it asks for and books the outcome.
+    let mut core = FollowerCore::new(options.poll_interval, options.fail_threshold);
     while !shared.stop.load(Ordering::SeqCst) {
         if shared.force_promote.load(Ordering::SeqCst) {
             promote(shared, options, recorder, wal);
             return;
         }
-        let step = if bootstrapped {
-            tail_once(options.primary, &mut wal, shared.last_seq.load(Ordering::SeqCst)).map(
-                |r| match r {
-                    Some(last) => Some(last),
-                    None => {
-                        // Fell off the retained ring — re-anchor.
-                        bootstrapped = false;
-                        None
-                    }
-                },
-            )
-        } else {
-            bootstrap(options.primary, &mut wal).map(|seq| {
-                bootstrapped = true;
-                recorder.counter("standby_bootstraps", 1);
-                Some(seq)
-            })
-        };
-        match step {
-            Ok(Some(last)) => {
-                shared.last_seq.store(last, Ordering::SeqCst);
-                recorder.gauge("standby_last_seq", last as f64);
-                failures = 0;
-            }
-            Ok(None) => failures = 0,
-            Err(_) => {
-                failures += 1;
-                recorder.counter("standby_poll_failures", 1);
-                if bootstrapped && failures >= options.fail_threshold {
-                    // The primary has been silent long enough: take over.
-                    promote(shared, options, recorder, wal);
-                    return;
+        let event = match core.next_step() {
+            FollowStep::Tail { after } => match tail_once(options.primary, &mut wal, after) {
+                Ok(Some(last)) => FollowEvent::Tailed { last },
+                // Fell off the retained ring — re-anchor.
+                Ok(None) => FollowEvent::SnapshotRequired,
+                Err(_) => FollowEvent::Failed,
+            },
+            FollowStep::Bootstrap => match bootstrap(options.primary, &mut wal) {
+                Ok(seq) => {
+                    recorder.counter("standby_bootstraps", 1);
+                    FollowEvent::Bootstrapped { seq }
                 }
+                Err(_) => FollowEvent::Failed,
+            },
+        };
+        if matches!(event, FollowEvent::Failed) {
+            recorder.counter("standby_poll_failures", 1);
+        }
+        match core.on(event) {
+            FollowDirective::Promote => {
+                // The primary has been silent long enough: take over.
+                promote(shared, options, recorder, wal);
+                return;
+            }
+            FollowDirective::Continue { sleep } => {
+                if matches!(event, FollowEvent::Bootstrapped { .. } | FollowEvent::Tailed { .. })
+                {
+                    shared.last_seq.store(core.last_seq(), Ordering::SeqCst);
+                    recorder.gauge("standby_last_seq", core.last_seq() as f64);
+                }
+                std::thread::sleep(sleep);
             }
         }
-        std::thread::sleep(options.poll_interval);
     }
 }
 

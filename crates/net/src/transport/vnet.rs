@@ -1,0 +1,1324 @@
+//! The in-process virtual network: thousands of real-protocol peers,
+//! one OS process, zero sockets, zero wall clock.
+//!
+//! The vnet is a deterministic discrete-event simulator that drives the
+//! *same* sans-io cores the TCP driver runs — [`ObjectState`] decodes,
+//! [`LinkLiveness`] declares stalls, [`RepairPolicy`] paces complaint
+//! episodes, and a real [`ControlCore`] (over the virtual address type
+//! [`VAddr`]) grants hellos, splices failures, and readmits resyncs.
+//! Every coded frame really crosses the wire format
+//! ([`wire::encode_frame_tagged`] / [`wire::decode_frame_message`]), so
+//! a framing bug shows up here before it shows up on a socket.
+//!
+//! What the simulator replaces is only the *world*: time is a virtual
+//! microsecond counter, links have configurable latency / loss /
+//! bandwidth ([`LinkProfile`]) plus hard cuts, and all scheduling runs
+//! off one seeded RNG through a binary heap whose ties break on
+//! insertion order. Two runs of the same scenario at the same seed
+//! produce byte-identical journals — the property the `vnet-scale` CI
+//! job and the `e22` lab sweep diff on.
+//!
+//! Faults are first-class: [`World::kill_peer`] is a crash (no
+//! goodbye — children must detect the stall and repair through the
+//! coordinator), [`World::cut_link`] severs one directed edge while
+//! both ends stay up, and [`World::coordinator_amnesia`] swaps in a
+//! fresh [`ControlCore`] that has never heard of anyone, exercising the
+//! unknown-child → resync readmission path at scale.
+//!
+//! The headline metric is *defect time*: for every (peer, thread)
+//! subscription the world integrates the time between a parent's
+//! failure (or link cut) and the moment coded frames flow again. The
+//! ratio `defect_us / alive_us` is the steady-state defect probability
+//! the paper bounds independently of N — what `e22` gates across
+//! N ∈ {100, 300, 1000}.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::time::Duration;
+
+use curtain_overlay::{NodeId, OverlayConfig, ThreadId};
+use curtain_rlnc::pipeline::{ObjectEncoder, Schedule};
+use curtain_rlnc::{BufPool, Content};
+use curtain_telemetry::SharedRecorder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::core::coordinator::{ControlCore, CoreOutcome};
+use crate::core::ctrl::{CtrlParent, CtrlRequest, CtrlResponse, WireAddr};
+use crate::core::peer::{LinkLiveness, ObjectState};
+use crate::core::repair::RepairPolicy;
+use crate::core::standby::{FollowDirective, FollowEvent, FollowStep, FollowerCore};
+use crate::core::wire;
+
+/// A virtual address: `0` is the source, peers count up from `1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VAddr(pub u32);
+
+/// The source's well-known virtual address.
+pub const SOURCE_ADDR: VAddr = VAddr(0);
+
+impl WireAddr for VAddr {
+    fn render(&self) -> String {
+        format!("v{}", self.0)
+    }
+
+    fn parse(s: &str) -> Result<Self, String> {
+        s.strip_prefix('v')
+            .and_then(|n| n.parse().ok())
+            .map(VAddr)
+            .ok_or_else(|| format!("bad virtual address {s:?}"))
+    }
+}
+
+impl std::fmt::Display for VAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Shaping for one direction of one link (or the world default).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkProfile {
+    /// One-way propagation delay in virtual microseconds.
+    pub latency_us: u64,
+    /// Independent per-frame loss probability in `[0, 1]`.
+    pub loss: f64,
+    /// Serialization rate in bytes per virtual second; `0` = infinite.
+    pub bandwidth_bps: u64,
+}
+
+impl Default for LinkProfile {
+    fn default() -> Self {
+        LinkProfile { latency_us: 500, loss: 0.0, bandwidth_bps: 0 }
+    }
+}
+
+impl LinkProfile {
+    /// Total virtual delay for a frame of `bytes` on this link.
+    fn delay_us(&self, bytes: usize) -> u64 {
+        let serialize = if self.bandwidth_bps == 0 {
+            0
+        } else {
+            (bytes as u64).saturating_mul(1_000_000) / self.bandwidth_bps
+        };
+        self.latency_us.saturating_add(serialize)
+    }
+}
+
+/// Scenario shape: the overlay geometry, the object, and the pacing.
+#[derive(Debug, Clone)]
+pub struct VnetConfig {
+    /// Overlay geometry (`k` threads, `d` threads per node).
+    pub overlay: OverlayConfig,
+    /// Number of generations the object is split into.
+    pub generations: usize,
+    /// Packets per generation.
+    pub generation_size: usize,
+    /// Bytes per packet.
+    pub packet_len: usize,
+    /// Virtual microseconds between coded frames on one subscription.
+    pub pace_us: u64,
+    /// The repair policy every peer runs (stall timeout, complaint
+    /// backoff, episode deadline).
+    pub policy: RepairPolicy,
+}
+
+impl Default for VnetConfig {
+    fn default() -> Self {
+        VnetConfig {
+            overlay: OverlayConfig::new(8, 2),
+            generations: 2,
+            generation_size: 8,
+            packet_len: 64,
+            pace_us: 2_000,
+            policy: RepairPolicy {
+                // Virtual time is free: keep the TCP schedule's shape but
+                // let episodes resolve within a short soak.
+                initial_backoff: Duration::from_millis(10),
+                max_backoff: Duration::from_millis(500),
+                jitter: 0.25,
+                deadline: Duration::from_secs(8),
+                window: Duration::from_secs(10),
+                window_budget: 32,
+                stall_timeout: Duration::from_millis(100),
+            },
+        }
+    }
+}
+
+/// One (child, thread) upstream subscription.
+#[derive(Debug)]
+struct UpLink {
+    parent: CtrlParent<VAddr>,
+    /// Bumped on every resubscribe; events carrying a stale epoch are
+    /// timers from a previous parent and are dropped.
+    epoch: u64,
+    liveness: LinkLiveness,
+    /// Per-subscription generation cursor. Each link rotates through
+    /// the generations *independently*: a shared cursor in a
+    /// deterministic scheduler parity-locks (with two generations and
+    /// two children, each child would see only one generation forever —
+    /// TCP breaks the lock with scheduling jitter and per-subscriber
+    /// encoders, the vnet must break it structurally).
+    serve_gen: u64,
+    /// `Some(attempt)` while a repair episode is running.
+    repair: Option<RepairEpisode>,
+    /// When the current defect began (parent died, link cut, or stall
+    /// detected) — cleared when frames flow again.
+    defect_since: Option<u64>,
+    /// A gave-up episode leaves the thread permanently dead.
+    dead: bool,
+}
+
+#[derive(Debug)]
+struct RepairEpisode {
+    started_us: u64,
+    attempt: u32,
+}
+
+/// One simulated peer: a real [`ObjectState`] plus its upstream links.
+struct PeerActor {
+    node: NodeId,
+    addr: VAddr,
+    state: ObjectState,
+    links: BTreeMap<ThreadId, UpLink>,
+    joined_at_us: u64,
+    /// Set when the object fully decodes. A complete peer's upstream
+    /// subscriptions quiesce (production bins leave their parents after
+    /// `wait_complete`), but it keeps serving its own children — and it
+    /// stops accruing alive/defect time: a peer owed nothing cannot be
+    /// defective.
+    completed_at_us: Option<u64>,
+}
+
+impl PeerActor {
+    /// The end of this peer's service interval so far.
+    fn served_until(&self, now: u64) -> u64 {
+        self.completed_at_us.unwrap_or(now)
+    }
+}
+
+/// A scheduled event. Orders by `(t_us, seq)`: virtual time first,
+/// insertion order as the deterministic tiebreak.
+#[derive(Debug, PartialEq, Eq)]
+struct QEv {
+    t_us: u64,
+    seq: u64,
+    ev: Ev,
+}
+
+impl Ord for QEv {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.t_us, self.seq).cmp(&(other.t_us, other.seq))
+    }
+}
+
+impl PartialOrd for QEv {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum Ev {
+    /// A parent owes `child` the next coded frame on a subscription.
+    Emit { child: VAddr, thread: ThreadId, epoch: u64 },
+    /// An encoded frame arrives at `child` after the link delay.
+    Deliver { child: VAddr, thread: ThreadId, epoch: u64, frame: Vec<u8> },
+    /// Periodic stall check for one subscription.
+    Liveness { child: VAddr, thread: ThreadId, epoch: u64 },
+    /// The next complaint attempt of a running repair episode.
+    RepairTick { child: VAddr, thread: ThreadId, epoch: u64 },
+    /// The standby's next bootstrap/tail poll (see [`World::start_standby`]).
+    FollowerPoll { gen: u64 },
+}
+
+/// Counters the world accumulates; see [`World::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorldStats {
+    /// Coded frames delivered (decoded by a peer's `ObjectState`).
+    pub frames_delivered: u64,
+    /// Frames dropped by link loss or cuts.
+    pub frames_lost: u64,
+    /// Repair episodes that ended in a successful resubscribe.
+    pub repairs: u64,
+    /// Repair episodes that exhausted their deadline.
+    pub gave_up: u64,
+    /// Resync readmissions (unknown-child recoveries).
+    pub resyncs: u64,
+    /// Peers that reported full decode.
+    pub completed: u64,
+}
+
+/// A defect-time reading at one instant; subtract two to get the
+/// defect probability over a window (see [`World::defect_report`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DefectReport {
+    /// Integrated (peer, thread) defect time, in-flight defects included.
+    pub defect_us: u64,
+    /// Integrated (peer, thread) alive time.
+    pub alive_us: u64,
+}
+
+impl DefectReport {
+    /// `defect_us / alive_us` — the steady-state defect probability.
+    #[must_use]
+    pub fn probability(&self) -> f64 {
+        if self.alive_us == 0 {
+            0.0
+        } else {
+            self.defect_us as f64 / self.alive_us as f64
+        }
+    }
+
+    /// The window between an earlier reading and this one.
+    #[must_use]
+    pub fn since(&self, earlier: &DefectReport) -> DefectReport {
+        DefectReport {
+            defect_us: self.defect_us.saturating_sub(earlier.defect_us),
+            alive_us: self.alive_us.saturating_sub(earlier.alive_us),
+        }
+    }
+}
+
+/// The virtual world. See the module docs for the model.
+pub struct World {
+    cfg: VnetConfig,
+    clock_us: u64,
+    seq: u64,
+    queue: BinaryHeap<Reverse<QEv>>,
+    rng: StdRng,
+    control: ControlCore<VAddr>,
+    control_seed: u64,
+    /// `false` after [`World::crash_coordinator`] until a standby
+    /// promotes: control requests go unanswered.
+    coordinator_up: bool,
+    /// Commit sequence proxy: bumps per control mutation, feeds the
+    /// follower's `Bootstrapped`/`Tailed` events.
+    commit_seq: u64,
+    follower: Option<FollowerCore>,
+    /// Guards stale poll timers after a promote replaces the follower.
+    follower_gen: u64,
+    content: Vec<u8>,
+    encoder: ObjectEncoder,
+    peers: BTreeMap<VAddr, PeerActor>,
+    /// Peers that died; kept so late events resolve deterministically.
+    dead: BTreeSet<VAddr>,
+    node_to_addr: BTreeMap<NodeId, VAddr>,
+    next_addr: u32,
+    default_link: LinkProfile,
+    link_overrides: BTreeMap<(VAddr, VAddr), LinkProfile>,
+    cuts: BTreeSet<(VAddr, VAddr)>,
+    pool: BufPool,
+    stats: WorldStats,
+    /// Closed defect intervals (completed repairs, healed cuts).
+    defect_us_closed: u64,
+    /// Closed alive-thread time (links of peers that died).
+    alive_us_closed: u64,
+    journal: Vec<String>,
+}
+
+impl World {
+    /// Builds a world, registers the source at [`SOURCE_ADDR`], and
+    /// prepares `content` for serving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the control core rejects its own configuration or the
+    /// source registration — a scenario bug, not a runtime outcome.
+    #[must_use]
+    pub fn new(seed: u64, cfg: VnetConfig, content: &[u8]) -> World {
+        let split = Content::split(content, cfg.generation_size, cfg.packet_len);
+        let generations = split.generations().len();
+        assert_eq!(
+            generations, cfg.generations,
+            "content shape disagrees with VnetConfig.generations"
+        );
+        let control = ControlCore::new(cfg.overlay, seed ^ 0xC0DE, SharedRecorder::null())
+            .expect("overlay config");
+        let encoder = ObjectEncoder::new(split).with_schedule(Schedule::RoundRobin);
+        let mut world = World {
+            cfg,
+            clock_us: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            control,
+            control_seed: seed ^ 0xC0DE,
+            coordinator_up: true,
+            commit_seq: 0,
+            follower: None,
+            follower_gen: 0,
+            content: content.to_vec(),
+            encoder,
+            peers: BTreeMap::new(),
+            dead: BTreeSet::new(),
+            node_to_addr: BTreeMap::new(),
+            next_addr: 1,
+            default_link: LinkProfile::default(),
+            link_overrides: BTreeMap::new(),
+            cuts: BTreeSet::new(),
+            pool: BufPool::default(),
+            stats: WorldStats::default(),
+            defect_us_closed: 0,
+            alive_us_closed: 0,
+            journal: Vec::new(),
+        };
+        let outcome = world.control.dispatch(CtrlRequest::RegisterSource {
+            data_addr: SOURCE_ADDR,
+            generations: world.cfg.generations,
+            generation_size: world.cfg.generation_size,
+            packet_len: world.cfg.packet_len,
+            content_len: content.len(),
+        });
+        assert!(
+            matches!(outcome, CoreOutcome::Done { response: CtrlResponse::Ok, .. }),
+            "source registration refused"
+        );
+        world
+    }
+
+    /// Current virtual time in microseconds.
+    #[must_use]
+    pub fn clock_us(&self) -> u64 {
+        self.clock_us
+    }
+
+    /// Accumulated counters.
+    #[must_use]
+    pub fn stats(&self) -> WorldStats {
+        self.stats
+    }
+
+    /// The deterministic event journal (one line per protocol event,
+    /// virtual timestamps only — byte-identical across reruns at the
+    /// same seed).
+    #[must_use]
+    pub fn journal(&self) -> &[String] {
+        &self.journal
+    }
+
+    /// Sets the default link shaping for every edge without an override.
+    pub fn set_default_link(&mut self, profile: LinkProfile) {
+        self.default_link = profile;
+    }
+
+    /// Overrides shaping for the directed edge `from → to`.
+    pub fn shape_link(&mut self, from: VAddr, to: VAddr, profile: LinkProfile) {
+        self.link_overrides.insert((from, to), profile);
+    }
+
+    /// Severs the directed edge `from → to`: frames sent on it vanish
+    /// while both ends stay up. Starts defect accounting for any
+    /// subscription riding the edge.
+    pub fn cut_link(&mut self, from: VAddr, to: VAddr) {
+        if !self.cuts.insert((from, to)) {
+            return;
+        }
+        let now = self.clock_us;
+        if let Some(peer) = self.peers.get_mut(&to) {
+            if peer.completed_at_us.is_none() {
+                for link in peer.links.values_mut() {
+                    if link.parent.addr() == from && !link.dead {
+                        link.defect_since.get_or_insert(now);
+                    }
+                }
+            }
+        }
+        self.journal.push(format!("t={now} cut {from}->{to}"));
+    }
+
+    /// Restores a previously cut edge. Defect accounting closes when
+    /// frames actually flow again, not here.
+    pub fn heal_link(&mut self, from: VAddr, to: VAddr) {
+        if self.cuts.remove(&(from, to)) {
+            self.journal.push(format!("t={} heal {from}->{to}", self.clock_us));
+        }
+    }
+
+    /// Number of live peers.
+    #[must_use]
+    pub fn alive(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Live peers whose object has fully decoded.
+    #[must_use]
+    pub fn complete(&self) -> usize {
+        self.peers.values().filter(|p| p.state.is_complete()).count()
+    }
+
+    /// The decoded object of a live peer, exact to `content_len`.
+    #[must_use]
+    pub fn decoded_content(&self, node: NodeId) -> Option<Vec<u8>> {
+        let addr = self.node_to_addr.get(&node)?;
+        let peer = self.peers.get(addr)?;
+        let mut bytes: Vec<u8> =
+            peer.state.recover_all()?.into_iter().flatten().flatten().collect();
+        bytes.truncate(self.content.len());
+        Some(bytes)
+    }
+
+    /// Live peer addresses, ascending (the deterministic kill-pool).
+    #[must_use]
+    pub fn peer_addrs(&self) -> Vec<VAddr> {
+        self.peers.keys().copied().collect()
+    }
+
+    /// Live peer nodes in ascending address order, the deterministic
+    /// victim pool for scenario churn. `true` in the pair marks a peer
+    /// whose object has fully decoded.
+    #[must_use]
+    pub fn alive_nodes(&self) -> Vec<(NodeId, bool)> {
+        self.peers.values().map(|p| (p.node, p.state.is_complete())).collect()
+    }
+
+    /// The first live peer (ascending address order) that currently
+    /// serves another live peer — the deterministic choice of a victim
+    /// whose death forces a repair episode.
+    #[must_use]
+    pub fn a_serving_peer(&self) -> Option<NodeId> {
+        self.peers
+            .values()
+            .flat_map(|p| p.links.values())
+            .filter_map(|l| l.parent.node())
+            .filter(|n| self.node_to_addr.contains_key(n))
+            .min_by_key(|n| self.node_to_addr[n])
+    }
+
+    /// One line per live peer — rank, completion, and the current
+    /// thread→parent map. For scenario debugging and soak reports.
+    #[must_use]
+    pub fn dump_peers(&self) -> Vec<String> {
+        self.peers
+            .values()
+            .map(|p| {
+                let links: Vec<String> = p
+                    .links
+                    .iter()
+                    .map(|(t, l)| {
+                        let mark = if l.dead {
+                            "!"
+                        } else if l.repair.is_some() {
+                            "~"
+                        } else {
+                            ""
+                        };
+                        format!("{t}:{}{mark}", l.parent.addr())
+                    })
+                    .collect();
+                format!(
+                    "node={} addr={} rank={} complete={} links=[{}]",
+                    p.node,
+                    p.addr,
+                    p.state.rank(),
+                    p.state.is_complete(),
+                    links.join(",")
+                )
+            })
+            .collect()
+    }
+
+    /// The defect-time reading at the current instant. In-flight
+    /// defects and live subscriptions contribute up to `now`, so two
+    /// readings bracket a window exactly.
+    #[must_use]
+    pub fn defect_report(&self) -> DefectReport {
+        let now = self.clock_us;
+        let mut defect = self.defect_us_closed;
+        let mut alive = self.alive_us_closed;
+        for peer in self.peers.values() {
+            let until = peer.served_until(now);
+            for link in peer.links.values() {
+                alive += until - peer.joined_at_us;
+                if let Some(since) = link.defect_since {
+                    defect += until.max(since) - since;
+                }
+            }
+        }
+        DefectReport { defect_us: defect, alive_us: alive }
+    }
+
+    /// Joins one fresh peer through the hello protocol and schedules
+    /// its subscriptions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hello is refused (no source — a scenario bug).
+    pub fn join_peer(&mut self) -> NodeId {
+        assert!(self.coordinator_up, "cannot join while the coordinator is down");
+        let addr = VAddr(self.next_addr);
+        self.next_addr += 1;
+        let outcome = self.control.dispatch(CtrlRequest::Hello { data_addr: addr });
+        let CoreOutcome::Done {
+            response:
+                CtrlResponse::Welcome {
+                    node, generations, generation_size, packet_len, parents, ..
+                },
+            ..
+        } = outcome
+        else {
+            panic!("hello refused");
+        };
+        let now = self.clock_us;
+        let mut actor = PeerActor {
+            node,
+            addr,
+            state: ObjectState::with_pool(
+                generations,
+                generation_size,
+                packet_len,
+                self.pool.clone(),
+            ),
+            links: BTreeMap::new(),
+            joined_at_us: now,
+            completed_at_us: None,
+        };
+        let parent_list: Vec<String> =
+            parents.iter().map(|(t, p)| format!("{t}:{}", p.addr())).collect();
+        for (thread, parent) in parents {
+            actor.links.insert(
+                thread,
+                UpLink {
+                    parent,
+                    epoch: 0,
+                    liveness: LinkLiveness::new(self.cfg.policy.stall_timeout, now),
+                    serve_gen: 0,
+                    repair: None,
+                    defect_since: None,
+                    dead: false,
+                },
+            );
+            self.push_ev(
+                now + self.cfg.pace_us,
+                Ev::Emit { child: addr, thread, epoch: 0 },
+            );
+            self.push_ev(
+                now + self.stall_us(),
+                Ev::Liveness { child: addr, thread, epoch: 0 },
+            );
+        }
+        self.node_to_addr.insert(node, addr);
+        self.journal.push(format!(
+            "t={now} join node={node} addr={addr} parents=[{}]",
+            parent_list.join(",")
+        ));
+        self.peers.insert(addr, actor);
+        node
+    }
+
+    /// Crashes a peer: no goodbye, its subscriptions just go silent.
+    /// Children detect the stall and repair through the coordinator;
+    /// the coordinator learns of the death from their complaints.
+    pub fn kill_peer(&mut self, node: NodeId) {
+        let Some(addr) = self.node_to_addr.remove(&node) else { return };
+        let Some(actor) = self.peers.remove(&addr) else { return };
+        let now = self.clock_us;
+        // Close the actor's own books: alive time for every link up to
+        // completion (or death), plus any defect still open.
+        let until = actor.served_until(now);
+        for link in actor.links.values() {
+            self.alive_us_closed += until - actor.joined_at_us;
+            if let Some(since) = link.defect_since {
+                self.defect_us_closed += until.max(since) - since;
+            }
+        }
+        self.dead.insert(addr);
+        // Incomplete children subscribed to the corpse start their
+        // defect clock at the moment of death, even though they only
+        // notice at the next stall check.
+        for peer in self.peers.values_mut() {
+            if peer.completed_at_us.is_some() {
+                continue;
+            }
+            for link in peer.links.values_mut() {
+                if link.parent.addr() == addr && !link.dead {
+                    link.defect_since.get_or_insert(now);
+                }
+            }
+        }
+        self.journal.push(format!("t={now} kill node={node} addr={addr}"));
+    }
+
+    /// Dispatches one control request, or `None` while the coordinator
+    /// is down (a crashed control plane answers nothing). Successful
+    /// mutations advance the commit sequence the standby tails.
+    fn control_dispatch(&mut self, request: CtrlRequest<VAddr>) -> Option<CoreOutcome<VAddr>> {
+        if !self.coordinator_up {
+            return None;
+        }
+        let outcome = self.control.dispatch(request);
+        if let CoreOutcome::Done { effects, .. } = &outcome {
+            self.commit_seq += effects.len() as u64;
+        }
+        Some(outcome)
+    }
+
+    /// Attaches a warm standby: a [`FollowerCore`] polled on the
+    /// virtual clock. When [`World::crash_coordinator`] silences the
+    /// control plane, `fail_threshold` consecutive failed polls promote
+    /// the standby — installing a successor core that kept the durable
+    /// prefix (the source registration) but lost the un-shipped tail,
+    /// so every surviving peer re-enters through the resync path. That
+    /// readmission load is exactly what promotion can create at scale.
+    pub fn start_standby(&mut self, poll_interval: Duration, fail_threshold: u32) {
+        self.follower = Some(FollowerCore::new(poll_interval, fail_threshold));
+        self.follower_gen += 1;
+        let gen = self.follower_gen;
+        self.push_ev(self.clock_us, Ev::FollowerPoll { gen });
+        self.journal.push(format!("t={} standby", self.clock_us));
+    }
+
+    /// Crashes the coordinator: control requests go unanswered until a
+    /// standby (see [`World::start_standby`]) promotes. Repair episodes
+    /// keep retrying on their backoff schedule, exactly as the TCP
+    /// driver does against a dead control port.
+    pub fn crash_coordinator(&mut self) {
+        self.coordinator_up = false;
+        self.journal.push(format!("t={} coordinator_crash", self.clock_us));
+    }
+
+    /// Whether the control plane currently answers.
+    #[must_use]
+    pub fn coordinator_up(&self) -> bool {
+        self.coordinator_up
+    }
+
+    fn on_follower_poll(&mut self, gen: u64) {
+        if gen != self.follower_gen {
+            return;
+        }
+        let Some(core) = self.follower.as_mut() else { return };
+        let event = if self.coordinator_up {
+            match core.next_step() {
+                FollowStep::Bootstrap => FollowEvent::Bootstrapped { seq: self.commit_seq },
+                FollowStep::Tail { .. } => FollowEvent::Tailed { last: self.commit_seq },
+            }
+        } else {
+            FollowEvent::Failed
+        };
+        match core.on(event) {
+            FollowDirective::Continue { sleep } => {
+                let t = self.clock_us
+                    + u64::try_from(sleep.as_micros()).unwrap_or(u64::MAX).max(1);
+                self.push_ev(t, Ev::FollowerPoll { gen });
+            }
+            FollowDirective::Promote => self.promote_standby(),
+        }
+    }
+
+    /// The standby takes over: a successor [`ControlCore`] with the
+    /// durable prefix (source registration) but none of the peer rows —
+    /// the worst-case un-shipped tail. Survivors readmit themselves via
+    /// resync on their next complaint.
+    fn promote_standby(&mut self) {
+        self.follower = None;
+        self.follower_gen += 1;
+        self.control_seed = self.control_seed.wrapping_add(1);
+        self.control =
+            ControlCore::new(self.cfg.overlay, self.control_seed, SharedRecorder::null())
+                .expect("overlay config");
+        let outcome = self.control.dispatch(CtrlRequest::RegisterSource {
+            data_addr: SOURCE_ADDR,
+            generations: self.cfg.generations,
+            generation_size: self.cfg.generation_size,
+            packet_len: self.cfg.packet_len,
+            content_len: self.content.len(),
+        });
+        assert!(
+            matches!(outcome, CoreOutcome::Done { response: CtrlResponse::Ok, .. }),
+            "promoted core refused the source registration"
+        );
+        self.coordinator_up = true;
+        self.journal.push(format!("t={} promote", self.clock_us));
+    }
+
+    /// Replaces the coordinator with a fresh core that has never heard
+    /// of anyone, then re-registers the source (its restart behavior).
+    /// Peers discover the amnesia on their next complaint ("unknown
+    /// child") and readmit themselves through the resync path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fresh core refuses the configuration or the
+    /// re-registration — a scenario bug.
+    pub fn coordinator_amnesia(&mut self) {
+        self.control_seed = self.control_seed.wrapping_add(1);
+        self.control =
+            ControlCore::new(self.cfg.overlay, self.control_seed, SharedRecorder::null())
+                .expect("overlay config");
+        let outcome = self.control.dispatch(CtrlRequest::RegisterSource {
+            data_addr: SOURCE_ADDR,
+            generations: self.cfg.generations,
+            generation_size: self.cfg.generation_size,
+            packet_len: self.cfg.packet_len,
+            content_len: self.content.len(),
+        });
+        assert!(
+            matches!(outcome, CoreOutcome::Done { response: CtrlResponse::Ok, .. }),
+            "source re-registration refused"
+        );
+        self.journal.push(format!("t={} amnesia", self.clock_us));
+    }
+
+    /// Runs the event loop for `dur_us` of virtual time.
+    pub fn run_for(&mut self, dur_us: u64) {
+        self.run_until(self.clock_us + dur_us);
+    }
+
+    /// Runs the event loop until the virtual clock reaches `t_us`.
+    pub fn run_until(&mut self, t_us: u64) {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.t_us > t_us {
+                break;
+            }
+            let Some(Reverse(ev)) = self.queue.pop() else { break };
+            self.clock_us = ev.t_us;
+            self.handle(ev.ev);
+        }
+        self.clock_us = t_us;
+    }
+
+    /// Runs until every live peer decoded the object or the virtual
+    /// clock hits `deadline_us`; returns whether all completed.
+    pub fn run_until_all_complete(&mut self, deadline_us: u64) -> bool {
+        while self.clock_us < deadline_us {
+            if self.peers.values().all(|p| p.state.is_complete()) {
+                return true;
+            }
+            let step = (deadline_us - self.clock_us).min(10 * self.cfg.pace_us);
+            self.run_for(step);
+        }
+        self.peers.values().all(|p| p.state.is_complete())
+    }
+
+    fn stall_us(&self) -> u64 {
+        u64::try_from(self.cfg.policy.stall_timeout.as_micros()).unwrap_or(u64::MAX)
+    }
+
+    fn push_ev(&mut self, t_us: u64, ev: Ev) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QEv { t_us, seq, ev }));
+    }
+
+    fn profile(&self, from: VAddr, to: VAddr) -> LinkProfile {
+        self.link_overrides.get(&(from, to)).copied().unwrap_or(self.default_link)
+    }
+
+    /// One coded frame from `parent` for the (child, thread) link, or
+    /// `None` when the parent has nothing to serve yet (rank 0).
+    /// `counter` is the subscription's own generation cursor — see
+    /// [`UpLink::serve_gen`] for why rotation must be per-link.
+    fn produce_frame(&mut self, parent: &CtrlParent<VAddr>, counter: u64) -> Option<Vec<u8>> {
+        match parent {
+            CtrlParent::Source(_) => {
+                let g = (counter % self.cfg.generations as u64) as u32;
+                let packet = self.encoder.packet_for(g, &mut self.rng);
+                Some(wire::encode_frame_tagged(&packet, None, None))
+            }
+            CtrlParent::Node(_, addr) => {
+                let snapshot = {
+                    let state = &mut self.peers.get_mut(addr)?.state;
+                    let n = state.recoders.len();
+                    let mut found = None;
+                    for probe in 0..n {
+                        let g = (counter as usize + probe) % n;
+                        if g >= state.window_base && state.recoders[g].rank() > 0 {
+                            found = Some(state.recoders[g].snapshot());
+                            break;
+                        }
+                    }
+                    found?
+                };
+                let packet = snapshot.recode(&mut self.rng)?;
+                Some(wire::encode_frame_tagged(&packet, None, None))
+            }
+        }
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::Emit { child, thread, epoch } => self.on_emit(child, thread, epoch),
+            Ev::Deliver { child, thread, epoch, frame } => {
+                self.on_deliver(child, thread, epoch, &frame);
+            }
+            Ev::Liveness { child, thread, epoch } => {
+                self.on_liveness(child, thread, epoch);
+            }
+            Ev::RepairTick { child, thread, epoch } => {
+                self.on_repair_tick(child, thread, epoch);
+            }
+            Ev::FollowerPoll { gen } => self.on_follower_poll(gen),
+        }
+    }
+
+    /// Is this event's (child, thread, epoch) still the live
+    /// subscription it was scheduled for? Completion retires every
+    /// upstream subscription, so pending timers die here.
+    fn link_current(&self, child: VAddr, thread: ThreadId, epoch: u64) -> bool {
+        self.peers.get(&child).is_some_and(|p| {
+            p.completed_at_us.is_none()
+                && p.links.get(&thread).is_some_and(|l| l.epoch == epoch && !l.dead)
+        })
+    }
+
+    fn on_emit(&mut self, child: VAddr, thread: ThreadId, epoch: u64) {
+        if !self.link_current(child, thread, epoch) {
+            return;
+        }
+        let parent = self.peers[&child].links[&thread].parent;
+        let parent_addr = parent.addr();
+        // A dead parent stops serving: the emission timer dies with it.
+        // (The child's liveness check takes over from here.)
+        if self.dead.contains(&parent_addr) {
+            return;
+        }
+        let next = self.clock_us + self.cfg.pace_us;
+        if self.cuts.contains(&(parent_addr, child)) {
+            // The parent keeps writing into the void — it cannot know.
+            self.stats.frames_lost += 1;
+            self.push_ev(next, Ev::Emit { child, thread, epoch });
+            return;
+        }
+        let profile = self.profile(parent_addr, child);
+        if profile.loss > 0.0 && self.rng.random::<f64>() < profile.loss {
+            self.stats.frames_lost += 1;
+            self.push_ev(next, Ev::Emit { child, thread, epoch });
+            return;
+        }
+        let counter = {
+            let link = self
+                .peers
+                .get_mut(&child)
+                .and_then(|p| p.links.get_mut(&thread))
+                .expect("link_current checked");
+            let c = link.serve_gen;
+            link.serve_gen += 1;
+            c
+        };
+        if let Some(frame) = self.produce_frame(&parent, counter) {
+            let delay = profile.delay_us(frame.len());
+            self.push_ev(
+                self.clock_us + delay,
+                Ev::Deliver { child, thread, epoch, frame },
+            );
+        }
+        // Rank-0 parents emit nothing but stay subscribed; the next
+        // tick may find them innovative.
+        self.push_ev(next, Ev::Emit { child, thread, epoch });
+    }
+
+    fn on_deliver(&mut self, child: VAddr, thread: ThreadId, epoch: u64, frame: &[u8]) {
+        if !self.link_current(child, thread, epoch) {
+            return;
+        }
+        let Ok((packet, _ctx, _base)) = wire::decode_frame_message(frame, &self.pool) else {
+            return;
+        };
+        let now = self.clock_us;
+        let mut completed_node = None;
+        {
+            let peer = self.peers.get_mut(&child).expect("link_current checked");
+            let was_complete = peer.state.is_complete();
+            peer.state.push(packet);
+            self.stats.frames_delivered += 1;
+            let link = peer.links.get_mut(&thread).expect("link_current checked");
+            link.liveness.on_data(now);
+            // Frames flowing again closes any open defect (a healed cut
+            // or a stall that resolved without repair) and cancels a
+            // pending episode.
+            if let Some(since) = link.defect_since.take() {
+                self.defect_us_closed += now - since;
+                if link.repair.take().is_some() {
+                    self.journal
+                        .push(format!("t={now} recovered node={} thread={thread}", peer.node));
+                }
+            }
+            if !was_complete && peer.state.is_complete() {
+                completed_node = Some(peer.node);
+                // Completion retires the upstream subscriptions: close
+                // any open defect (owed nothing from here on) and let
+                // pending timers die against `link_current`.
+                peer.completed_at_us = Some(now);
+                for l in peer.links.values_mut() {
+                    l.repair = None;
+                    if let Some(since) = l.defect_since.take() {
+                        self.defect_us_closed += now - since;
+                    }
+                }
+            }
+        }
+        if let Some(node) = completed_node {
+            self.stats.completed += 1;
+            self.journal.push(format!("t={now} complete node={node}"));
+            // Report completion; an amnesiac coordinator answers Ok
+            // regardless and a dead one answers nothing — either way
+            // the response needs no handling.
+            let _ = self.control_dispatch(CtrlRequest::Completed { node });
+        }
+    }
+
+    fn on_liveness(&mut self, child: VAddr, thread: ThreadId, epoch: u64) {
+        if !self.link_current(child, thread, epoch) {
+            return;
+        }
+        let now = self.clock_us;
+        let next = now + self.stall_us();
+        let (node, stalled, episode_running) = {
+            let peer = self.peers.get(&child).expect("link_current checked");
+            let link = &peer.links[&thread];
+            (
+                peer.node,
+                link.liveness.is_stalled(now, peer.state.is_complete()),
+                link.repair.is_some(),
+            )
+        };
+        if stalled && !episode_running {
+            let backoff = self.cfg.policy.backoff(0, &mut self.rng);
+            let peer = self.peers.get_mut(&child).expect("link_current checked");
+            let link = peer.links.get_mut(&thread).expect("link_current checked");
+            link.defect_since.get_or_insert(now);
+            link.repair = Some(RepairEpisode { started_us: now, attempt: 0 });
+            self.journal.push(format!(
+                "t={now} defect node={node} thread={thread} parent={}",
+                link.parent.addr()
+            ));
+            let t = now + u64::try_from(backoff.as_micros()).unwrap_or(u64::MAX);
+            self.push_ev(t, Ev::RepairTick { child, thread, epoch });
+        }
+        self.push_ev(next, Ev::Liveness { child, thread, epoch });
+    }
+
+    fn on_repair_tick(&mut self, child: VAddr, thread: ThreadId, epoch: u64) {
+        if !self.link_current(child, thread, epoch) {
+            return;
+        }
+        let now = self.clock_us;
+        let deadline_us =
+            u64::try_from(self.cfg.policy.deadline.as_micros()).unwrap_or(u64::MAX);
+        let (node, started_us, attempt, failed_parent) = {
+            let peer = self.peers.get(&child).expect("link_current checked");
+            let link = &peer.links[&thread];
+            let Some(ep) = link.repair.as_ref() else { return };
+            (peer.node, ep.started_us, ep.attempt, link.parent.node())
+        };
+        if now.saturating_sub(started_us) > deadline_us {
+            let peer = self.peers.get_mut(&child).expect("link_current checked");
+            let link = peer.links.get_mut(&thread).expect("link_current checked");
+            link.repair = None;
+            link.dead = true;
+            self.stats.gave_up += 1;
+            self.journal.push(format!("t={now} give_up node={node} thread={thread}"));
+            return;
+        }
+        let outcome = self.control_dispatch(CtrlRequest::Complaint {
+            child: node,
+            failed_parent,
+            thread,
+            ctx: None,
+        });
+        // A dead coordinator answers nothing: the episode keeps its
+        // backoff schedule running, like a TCP dial timeout would.
+        let Some(CoreOutcome::Done { response, .. }) = outcome else {
+            self.schedule_retry(child, thread, epoch, attempt);
+            return;
+        };
+        match response {
+            CtrlResponse::Redirect { new_parent, .. } => {
+                self.resubscribe(child, thread, node, new_parent, attempt);
+            }
+            CtrlResponse::Error { reason } if reason.contains("unknown child") => {
+                // Amnesiac coordinator: readmit ourselves, then retry the
+                // complaint on the next tick.
+                self.resync(child, node);
+                self.schedule_retry(child, thread, epoch, attempt);
+            }
+            _ => self.schedule_retry(child, thread, epoch, attempt),
+        }
+    }
+
+    /// Re-introduces a peer's row to an amnesiac coordinator.
+    fn resync(&mut self, child: VAddr, node: NodeId) {
+        let parents: Vec<(ThreadId, Option<NodeId>)> = self.peers[&child]
+            .links
+            .iter()
+            .map(|(t, l)| (*t, l.parent.node()))
+            .collect();
+        let outcome = self.control_dispatch(CtrlRequest::Resync {
+            node,
+            data_addr: child,
+            parents,
+            ctx: None,
+        });
+        if matches!(outcome, Some(CoreOutcome::Done { response: CtrlResponse::Ok, .. })) {
+            self.stats.resyncs += 1;
+            self.journal.push(format!("t={} resync node={node}", self.clock_us));
+        }
+    }
+
+    fn schedule_retry(&mut self, child: VAddr, thread: ThreadId, epoch: u64, attempt: u32) {
+        let backoff = self.cfg.policy.backoff(attempt + 1, &mut self.rng);
+        if let Some(link) =
+            self.peers.get_mut(&child).and_then(|p| p.links.get_mut(&thread))
+        {
+            if let Some(ep) = link.repair.as_mut() {
+                ep.attempt = attempt + 1;
+            }
+        }
+        let t = self.clock_us + u64::try_from(backoff.as_micros()).unwrap_or(u64::MAX);
+        self.push_ev(t, Ev::RepairTick { child, thread, epoch });
+    }
+
+    /// Moves a subscription to `new_parent`: bumps the epoch (stale
+    /// timers die), resets liveness, restarts the emission and stall
+    /// clocks, and closes the defect interval.
+    fn resubscribe(
+        &mut self,
+        child: VAddr,
+        thread: ThreadId,
+        node: NodeId,
+        new_parent: CtrlParent<VAddr>,
+        attempts: u32,
+    ) {
+        let now = self.clock_us;
+        let new_epoch = {
+            let peer = self.peers.get_mut(&child).expect("caller checked");
+            let link = peer.links.get_mut(&thread).expect("caller checked");
+            link.parent = new_parent;
+            link.epoch += 1;
+            link.liveness = LinkLiveness::new(self.cfg.policy.stall_timeout, now);
+            link.repair = None;
+            // The redirect target may itself be dead (the coordinator
+            // has not heard yet) — then the stall re-fires and a fresh
+            // episode runs, exactly like the TCP driver. The defect
+            // clock keeps running until frames actually arrive.
+            link.epoch
+        };
+        self.stats.repairs += 1;
+        self.journal.push(format!(
+            "t={now} repair node={node} thread={thread} parent={} attempts={}",
+            new_parent.addr(),
+            attempts + 1
+        ));
+        self.push_ev(now + self.cfg.pace_us, Ev::Emit { child, thread, epoch: new_epoch });
+        self.push_ev(
+            now + self.stall_us(),
+            Ev::Liveness { child, thread, epoch: new_epoch },
+        );
+    }
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("clock_us", &self.clock_us)
+            .field("alive", &self.peers.len())
+            .field("queued", &self.queue.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i.wrapping_mul(131).wrapping_add(7) % 256) as u8).collect()
+    }
+
+    fn small_world(seed: u64) -> (World, Vec<u8>) {
+        let cfg = VnetConfig {
+            overlay: OverlayConfig::new(4, 2),
+            ..VnetConfig::default()
+        };
+        let content = pattern(cfg.generations * cfg.generation_size * cfg.packet_len);
+        (World::new(seed, cfg, &content), content)
+    }
+
+    /// A world whose transfer is slow enough that faults injected a few
+    /// virtual milliseconds in land mid-transfer (complete peers owe
+    /// nothing and never complain, so repair tests need stragglers).
+    fn slow_world(seed: u64) -> (World, Vec<u8>) {
+        let cfg = VnetConfig {
+            overlay: OverlayConfig::new(4, 2),
+            generations: 4,
+            generation_size: 16,
+            ..VnetConfig::default()
+        };
+        let content = pattern(cfg.generations * cfg.generation_size * cfg.packet_len);
+        (World::new(seed, cfg, &content), content)
+    }
+
+    #[test]
+    fn a_small_swarm_completes_and_decodes_exactly() {
+        let (mut world, content) = small_world(11);
+        let nodes: Vec<NodeId> = (0..8).map(|_| world.join_peer()).collect();
+        assert!(world.run_until_all_complete(60_000_000), "{world:?}");
+        for node in nodes {
+            assert_eq!(world.decoded_content(node).as_deref(), Some(&content[..]));
+        }
+        assert_eq!(world.stats().completed, 8);
+    }
+
+    #[test]
+    fn killing_a_parent_heals_through_repair() {
+        let (mut world, content) = slow_world(23);
+        let all: Vec<NodeId> = (0..8).map(|_| world.join_peer()).collect();
+        world.run_for(10_000);
+        // Kill a peer that is really someone's parent, mid-transfer, so
+        // at least one survivor must repair through the coordinator.
+        let victim = world.a_serving_peer().expect("8 peers at k=4 share threads");
+        let rest: Vec<NodeId> = all.into_iter().filter(|n| *n != victim).collect();
+        world.kill_peer(victim);
+        assert!(world.run_until_all_complete(120_000_000), "{world:?}");
+        let stats = world.stats();
+        assert!(stats.repairs > 0, "no repair episode ran: {stats:?}");
+        assert_eq!(stats.gave_up, 0, "{stats:?}");
+        for node in rest {
+            assert_eq!(world.decoded_content(node).as_deref(), Some(&content[..]));
+        }
+        // The healed defects were measured.
+        let report = world.defect_report();
+        assert!(report.defect_us > 0, "{report:?}");
+        assert!(report.probability() < 1.0);
+    }
+
+    #[test]
+    fn a_cut_link_stalls_then_repairs_and_a_heal_recovers_silently() {
+        let (mut world, content) = slow_world(31);
+        let a = world.join_peer();
+        let b = world.join_peer();
+        world.run_for(10_000);
+        // Sever every edge into b mid-transfer: both current parents
+        // and the source, so no redirect can route around the cuts. The
+        // stall detector must notice and episodes must keep running.
+        let b_addr = world.node_to_addr[&b];
+        let a_addr = world.node_to_addr[&a];
+        for from in [SOURCE_ADDR, a_addr] {
+            world.cut_link(from, b_addr);
+        }
+        world.run_for(3_000_000);
+        let mid = world.defect_report();
+        assert!(mid.defect_us > 0, "cut never registered as defect: {mid:?}");
+        assert!(
+            world.stats().frames_lost > 0,
+            "cut edges dropped nothing: {:?}",
+            world.stats()
+        );
+        // Heal: frames flow again and the swarm finishes with no repair
+        // ever giving up — the episodes either resolved via redirect or
+        // dissolved when data resumed.
+        for from in [SOURCE_ADDR, a_addr] {
+            world.heal_link(from, b_addr);
+        }
+        assert!(world.run_until_all_complete(240_000_000), "{world:?}");
+        assert_eq!(world.stats().gave_up, 0, "{:?}", world.stats());
+        assert_eq!(world.decoded_content(b).as_deref(), Some(&content[..]));
+        let end = world.defect_report();
+        assert!(end.probability() > 0.0 && end.probability() < 1.0, "{end:?}");
+    }
+
+    #[test]
+    fn coordinator_amnesia_readmits_through_resync() {
+        let (mut world, content) = slow_world(47);
+        let all: Vec<NodeId> = (0..8).map(|_| world.join_peer()).collect();
+        world.run_for(10_000);
+        world.coordinator_amnesia();
+        // Kill a serving peer after the amnesia: its children's
+        // complaints hit "unknown child", forcing resync readmission
+        // before the redirect can be answered.
+        let victim = world.a_serving_peer().expect("8 peers at k=4 share threads");
+        world.kill_peer(victim);
+        assert!(world.run_until_all_complete(120_000_000), "{world:?}");
+        assert!(world.stats().resyncs > 0, "resync path never ran: {:?}", world.stats());
+        for node in all.into_iter().filter(|n| *n != victim) {
+            assert_eq!(world.decoded_content(node).as_deref(), Some(&content[..]));
+        }
+    }
+
+    #[test]
+    fn standby_promotes_on_the_virtual_clock_and_survivors_resync() {
+        // A long transfer with a twitchy stall detector: the fault below
+        // must land mid-transfer and be *noticed* before survivors can
+        // coast to completion on their remaining links.
+        let cfg = VnetConfig {
+            overlay: OverlayConfig::new(4, 2),
+            generations: 8,
+            generation_size: 16,
+            policy: RepairPolicy {
+                stall_timeout: Duration::from_millis(20),
+                max_backoff: Duration::from_millis(100),
+                ..VnetConfig::default().policy
+            },
+            ..VnetConfig::default()
+        };
+        let content = pattern(cfg.generations * cfg.generation_size * cfg.packet_len);
+        let mut world = World::new(53, cfg, &content);
+        let all: Vec<NodeId> = (0..8).map(|_| world.join_peer()).collect();
+        world.start_standby(Duration::from_millis(10), 3);
+        world.run_for(10_000);
+        // Coordinator dies mid-transfer, and so does a serving peer:
+        // complaints go unanswered until the FollowerCore counts three
+        // failed polls and promotes.
+        let victim = world.a_serving_peer().expect("8 peers at k=4 share threads");
+        world.crash_coordinator();
+        world.kill_peer(victim);
+        assert!(!world.coordinator_up());
+        world.run_for(200_000);
+        assert!(world.coordinator_up(), "standby never promoted");
+        let promote_line =
+            world.journal().iter().find(|l| l.contains("promote")).cloned();
+        assert!(promote_line.is_some(), "no promote in journal");
+        assert!(world.run_until_all_complete(240_000_000), "{world:?}");
+        let stats = world.stats();
+        // The promoted core lost the peer rows: survivors readmitted
+        // themselves through the resync path.
+        assert!(stats.resyncs > 0, "no resync after promotion: {stats:?}");
+        assert_eq!(stats.gave_up, 0, "{stats:?}");
+        for node in all.into_iter().filter(|n| *n != victim) {
+            assert_eq!(world.decoded_content(node).as_deref(), Some(&content[..]));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_journal_different_seed_diverges() {
+        let run = |seed: u64| {
+            let (mut world, _) = small_world(seed);
+            let nodes: Vec<NodeId> = (0..6).map(|_| world.join_peer()).collect();
+            world.run_for(30_000);
+            world.kill_peer(nodes[0]);
+            world.run_for(10_000_000);
+            world.journal().join("\n")
+        };
+        let a = run(99);
+        let b = run(99);
+        assert_eq!(a, b, "same seed must replay byte-identically");
+        let c = run(100);
+        assert_ne!(a, c, "different seeds should explore different worlds");
+    }
+
+    #[test]
+    fn lossy_links_slow_but_do_not_stop_the_swarm() {
+        let (mut world, content) = small_world(59);
+        world.set_default_link(LinkProfile {
+            latency_us: 2_000,
+            loss: 0.2,
+            bandwidth_bps: 50_000_000,
+        });
+        let nodes: Vec<NodeId> = (0..5).map(|_| world.join_peer()).collect();
+        assert!(world.run_until_all_complete(240_000_000), "{world:?}");
+        assert!(world.stats().frames_lost > 0, "loss never sampled");
+        for node in nodes {
+            assert_eq!(world.decoded_content(node).as_deref(), Some(&content[..]));
+        }
+    }
+
+    #[test]
+    fn vaddr_renders_and_parses() {
+        assert_eq!(VAddr(7).render(), "v7");
+        assert_eq!(VAddr::parse("v7"), Ok(VAddr(7)));
+        assert!(VAddr::parse("127.0.0.1:80").is_err());
+    }
+}

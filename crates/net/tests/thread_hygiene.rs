@@ -1,0 +1,66 @@
+//! Thread-join audit, as a test: every role's shutdown (or `Drop`) must
+//! reclaim every OS thread it spawned. A "working" session that leaves
+//! detached threads behind is how long-lived processes — and long `cargo
+//! test` runs — slowly drown.
+//!
+//! Linux-only: the count comes from `/proc/self/status`. This file holds
+//! exactly one `#[test]` so no sibling test's threads can race the
+//! baseline.
+
+#![cfg(target_os = "linux")]
+
+use std::time::{Duration, Instant};
+
+use curtain_net::{Coordinator, Peer, Source};
+use curtain_overlay::OverlayConfig;
+
+const PACE: Duration = Duration::from_micros(150);
+const DECODE_TIMEOUT: Duration = Duration::from_secs(20);
+
+fn os_threads() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").expect("/proc/self/status");
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Threads: line in /proc/self/status")
+}
+
+#[test]
+fn a_full_session_reclaims_every_os_thread() {
+    let baseline = os_threads();
+    {
+        let coordinator = Coordinator::start(OverlayConfig::new(4, 2)).unwrap();
+        let data: Vec<u8> = (0..4096).map(|i| (i * 131 + 7) as u8).collect();
+        let source = Source::start(coordinator.addr(), &data, 16, PACE).unwrap();
+        let peers: Vec<Peer> = (0..3).map(|_| Peer::join(coordinator.addr()).unwrap()).collect();
+        for (i, peer) in peers.iter().enumerate() {
+            assert!(peer.wait_complete(DECODE_TIMEOUT), "peer {i} never decoded");
+        }
+        assert!(os_threads() > baseline, "the session spawned no threads at all?");
+        // Tear down through both exits: one peer leaves politely, the
+        // rest are dropped; source and coordinator use their explicit
+        // shutdowns.
+        let mut peers = peers;
+        peers.pop().unwrap().leave();
+        drop(peers);
+        source.shutdown();
+        coordinator.shutdown();
+    }
+    // Every join happens inside Drop/shutdown, so by here the count
+    // should already be back — but a just-joined thread's kernel exit
+    // can trail the join return, so poll briefly instead of flaking.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let now = os_threads();
+        if now <= baseline {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "session leaked {} OS thread(s): {now} now vs {baseline} before",
+            now - baseline
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
